@@ -1,0 +1,30 @@
+//! Fig. 5a — impact of the monitored formula (ϕ₁–ϕ₆) and of the number of
+//! processes on the monitor's runtime.
+
+use rvmtl_bench::{
+    default_trace_config, formula, measure, print_header, synthetic_computation, DEFAULT_SEGMENTS,
+};
+
+fn main() {
+    println!("Fig. 5a — impact of the formula (runtime vs number of processes)\n");
+    print_header("|P|");
+    for index in 1..=6usize {
+        for processes in [1usize, 2, 3] {
+            let mut cfg = default_trace_config();
+            cfg.processes = processes;
+            let comp = synthetic_computation(index, &cfg);
+            let phi = formula(index, processes);
+            let sample = measure(
+                format!("phi{index}"),
+                processes as f64,
+                &comp,
+                &phi,
+                DEFAULT_SEGMENTS,
+            );
+            println!("{}", sample.row());
+        }
+    }
+    println!("\nExpected shape (paper): runtime grows with the number of processes for every");
+    println!("formula; formulas with nested temporal operators (phi2, phi4, phi6) and more");
+    println!("sub-formulas (phi1, phi5) sit above the flat single-operator ones (phi3).");
+}

@@ -1,0 +1,28 @@
+//! Fig. 5c — impact of the segment frequency (segments per unit of time).
+
+use rvmtl_bench::{default_trace_config, formula, measure, print_header, synthetic_computation};
+use rvmtl_distrib::segments_for_frequency;
+
+fn main() {
+    println!("Fig. 5c — impact of segment frequency (runtime vs segments per 10-unit window)\n");
+    print_header("seg-freq");
+    for (phi_index, processes) in [(4usize, 1usize), (4, 2), (6, 1), (6, 2)] {
+        let mut cfg = default_trace_config();
+        cfg.processes = processes;
+        let comp = synthetic_computation(phi_index, &cfg);
+        let phi = formula(phi_index, processes);
+        for freq in [0.025f64, 0.05, 0.075, 0.1, 0.15, 0.2] {
+            let g = segments_for_frequency(comp.duration(), freq);
+            let sample = measure(
+                format!("phi{phi_index}, |P|={processes}"),
+                freq * 10.0,
+                &comp,
+                &phi,
+                g,
+            );
+            println!("{}", sample.row());
+        }
+    }
+    println!("\nExpected shape (paper): runtime first drops as segments get shorter, reaches a");
+    println!("sweet spot, then rises again slightly once per-instance setup work dominates.");
+}

@@ -1,0 +1,29 @@
+//! Fig. 5d — impact of the computation length l.
+
+use rvmtl_bench::{
+    default_trace_config, formula, measure, print_header, synthetic_computation, DEFAULT_SEGMENTS,
+};
+
+fn main() {
+    println!("Fig. 5d — impact of the computation length (runtime vs length, fixed g and ε)\n");
+    print_header("length");
+    for (phi_index, processes) in [(4usize, 1usize), (4, 2), (6, 1), (6, 2)] {
+        let phi = formula(phi_index, processes);
+        for length in [100u64, 200, 300, 400, 500] {
+            let mut cfg = default_trace_config();
+            cfg.processes = processes;
+            cfg.duration_ms = length;
+            let comp = synthetic_computation(phi_index, &cfg);
+            let sample = measure(
+                format!("phi{phi_index}, |P|={processes}"),
+                length as f64,
+                &comp,
+                &phi,
+                DEFAULT_SEGMENTS,
+            );
+            println!("{}", sample.row());
+        }
+    }
+    println!("\nExpected shape (paper): runtime grows with the computation length, roughly");
+    println!("linearly once the segment count is held constant (each segment gets more events).");
+}

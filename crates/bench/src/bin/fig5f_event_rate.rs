@@ -1,0 +1,29 @@
+//! Fig. 5f — impact of the event rate (events per second per process).
+
+use rvmtl_bench::{
+    default_trace_config, formula, measure, print_header, synthetic_computation, DEFAULT_SEGMENTS,
+};
+
+fn main() {
+    println!("Fig. 5f — impact of the event rate (runtime vs events per second per process)\n");
+    print_header("rate");
+    for (phi_index, processes) in [(4usize, 1usize), (4, 2), (6, 1), (6, 2)] {
+        let phi = formula(phi_index, processes);
+        for rate in [25.0f64, 50.0, 75.0, 100.0, 125.0] {
+            let mut cfg = default_trace_config();
+            cfg.processes = processes;
+            cfg.event_rate = rate;
+            let comp = synthetic_computation(phi_index, &cfg);
+            let sample = measure(
+                format!("phi{phi_index}, |P|={processes}"),
+                rate / 5.0, // expressed in the paper's events/sec scale
+                &comp,
+                &phi,
+                DEFAULT_SEGMENTS,
+            );
+            println!("{}", sample.row());
+        }
+    }
+    println!("\nExpected shape (paper): runtime grows super-linearly with the event rate, and");
+    println!("faster for larger process counts (more events per segment and more concurrency).");
+}

@@ -1,0 +1,31 @@
+//! Fig. 6 — monitoring the cross-chain protocols: runtime vs the number of
+//! events in the transaction log, for the two-party swap (g = 1), three-party
+//! swap (g = 2) and auction (g = 2).
+
+use rvmtl_bench::{
+    blockchain_workloads, measure, print_header, BLOCKCHAIN_DELTA, BLOCKCHAIN_EPSILON,
+};
+
+fn main() {
+    println!("Fig. 6 — blockchain experiments (runtime vs number of events in the log)\n");
+    print_header("events");
+    let mut samples = Vec::new();
+    for (label, segments, comp, phi) in blockchain_workloads(BLOCKCHAIN_DELTA, BLOCKCHAIN_EPSILON)
+    {
+        let sample = measure(label, comp.event_count() as f64, &comp, &phi, segments);
+        println!("{}", sample.row());
+        samples.push(sample);
+    }
+    println!("\nExpected shape (paper): runtime increases with the number of events in the");
+    println!("log; the auction and three-party protocols (more chains, more events, g = 2)");
+    println!("sit above the two-party swap (single segment, fewer events).");
+    let max = samples
+        .iter()
+        .max_by(|a, b| a.runtime.cmp(&b.runtime))
+        .expect("non-empty");
+    println!(
+        "\nSlowest workload: {} at {:.3} ms",
+        max.series,
+        max.runtime.as_secs_f64() * 1000.0
+    );
+}

@@ -1,0 +1,246 @@
+//! Shared harness for regenerating every figure of the paper's evaluation
+//! (Fig. 5a–5f and Fig. 6, plus the Δ-vs-ε observation of Sec. VI-B-3).
+//!
+//! Absolute runtimes are not comparable to the paper's (their testbed is a
+//! 2×Xeon-8180 machine driving Z3; ours is a laptop-scale pure-Rust engine),
+//! so every experiment reports the *series shape*: which configuration is
+//! slower, by roughly what factor, and where the curves bend. Time-valued
+//! parameters are expressed in a coarser unit (1 unit ≈ 10 ms of the paper's
+//! wall clock) to keep the per-segment search spaces laptop-sized; the ratios
+//! between ε, the event spacing and the formula deadlines match the paper's.
+
+use rvmtl_chain::{
+    Auction, AuctionScenario, ThreePartyScenario, ThreePartySwap, TwoPartyScenario, TwoPartySwap,
+};
+use rvmtl_distrib::DistributedComputation;
+use rvmtl_monitor::{Monitor, MonitorConfig, VerdictSet};
+use rvmtl_mtl::Formula;
+use rvmtl_ta::{generate, specs, Model, TraceConfig};
+use std::time::{Duration, Instant};
+
+/// One measured point of an experiment series.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Name of the series the point belongs to (e.g. `phi4, |P|=2`).
+    pub series: String,
+    /// The swept parameter value (ε, segment frequency, event count, …).
+    pub x: f64,
+    /// Wall-clock monitoring time.
+    pub runtime: Duration,
+    /// Number of solver search states explored (a machine-independent proxy
+    /// for the runtime).
+    pub explored_states: usize,
+    /// The verdicts obtained.
+    pub verdicts: VerdictSet,
+}
+
+impl Sample {
+    /// Formats the sample as an aligned table row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<28} {:>10.2} {:>12.3} {:>12} {:>10}",
+            self.series,
+            self.x,
+            self.runtime.as_secs_f64() * 1000.0,
+            self.explored_states,
+            self.verdicts.to_string()
+        )
+    }
+}
+
+/// Prints the standard table header matching [`Sample::row`].
+pub fn print_header(x_label: &str) {
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>10}",
+        "series", x_label, "runtime[ms]", "states", "verdicts"
+    );
+    println!("{}", "-".repeat(78));
+}
+
+/// The synthetic-workload defaults used across the Fig. 5 experiments
+/// (the paper's ε = 15 ms, |P| = 2, l = 2 s, 10 events/s, g = 15, expressed in
+/// the coarser time unit).
+pub fn default_trace_config() -> TraceConfig {
+    TraceConfig {
+        processes: 2,
+        duration_ms: 200,
+        event_rate: 50.0,
+        epsilon_ms: 2,
+        seed: 2022,
+    }
+}
+
+/// The default deadline (in coarse time units) used for the timed formulas
+/// ϕ₄ and ϕ₅.
+pub const DEFAULT_BOUND: u64 = 60;
+
+/// The default segment count (the paper's g = 15).
+pub const DEFAULT_SEGMENTS: usize = 15;
+
+/// Runs the monitor over a computation and packages the measurement.
+pub fn measure(
+    series: impl Into<String>,
+    x: f64,
+    comp: &DistributedComputation,
+    phi: &Formula,
+    segments: usize,
+) -> Sample {
+    let monitor = Monitor::new(if segments <= 1 {
+        MonitorConfig::unsegmented()
+    } else {
+        MonitorConfig::with_segments(segments)
+    });
+    let started = Instant::now();
+    let report = monitor.run(comp, phi);
+    Sample {
+        series: series.into(),
+        x,
+        runtime: started.elapsed(),
+        explored_states: report.explored_states(),
+        verdicts: report.verdicts,
+    }
+}
+
+/// Generates the synthetic computation used by a Fig. 5 series: the model is
+/// chosen to match the formula (train-gate for ϕ₁/ϕ₂, Fischer for ϕ₃/ϕ₄,
+/// gossip for ϕ₅/ϕ₆).
+pub fn synthetic_computation(formula_index: usize, config: &TraceConfig) -> DistributedComputation {
+    let model = match formula_index {
+        1 | 2 => Model::TrainGate,
+        3 | 4 => Model::Fischer,
+        _ => Model::Gossip,
+    };
+    generate(model, config)
+}
+
+/// The formula ϕ_i instantiated for the given process count and the default
+/// deadline.
+pub fn formula(index: usize, processes: usize) -> Formula {
+    specs::by_index(index, processes, DEFAULT_BOUND)
+}
+
+/// Builds the cross-chain computations of Fig. 6. Returns
+/// `(label, segments, computation, formula)` tuples of increasing event
+/// count, one per protocol, using the conforming scenario plus a handful of
+/// deviating ones.
+pub fn blockchain_workloads(
+    delta: u64,
+    epsilon: u64,
+) -> Vec<(String, usize, DistributedComputation, Formula)> {
+    use rvmtl_chain::specs as chain_specs;
+    let mut out = Vec::new();
+
+    let two_party = TwoPartySwap::new(delta);
+    for (label, scenario) in [
+        ("2-party conforming", TwoPartyScenario::conforming()),
+        ("2-party partial", TwoPartyScenario::from_encoding(2, 3, 0)),
+        ("2-party late", TwoPartyScenario::from_encoding(3, 3, 0b001001)),
+    ] {
+        let exec = two_party.execute(&scenario);
+        out.push((
+            format!("{label} ({} events)", exec.event_count()),
+            1,
+            exec.to_computation(epsilon),
+            chain_specs::two_party::liveness(delta),
+        ));
+    }
+
+    let three_party = ThreePartySwap::new(delta);
+    for (label, scenario) in [
+        ("3-party conforming", ThreePartyScenario::conforming()),
+        (
+            "3-party partial",
+            ThreePartyScenario {
+                progress: [3, 2, 1],
+                late_bits: 0,
+            },
+        ),
+    ] {
+        let exec = three_party.execute(&scenario);
+        out.push((
+            format!("{label} ({} events)", exec.event_count()),
+            2,
+            exec.to_computation(epsilon),
+            chain_specs::three_party::liveness(delta),
+        ));
+    }
+
+    let auction = Auction::new(delta);
+    for (label, scenario) in [
+        ("auction conforming", AuctionScenario::conforming()),
+        ("auction cheating", {
+            let mut s = AuctionScenario::conforming();
+            s.release_both_secrets = true;
+            s.actions[3] = rvmtl_chain::ActionChoice::OnTime;
+            s
+        }),
+    ] {
+        let exec = auction.execute(&scenario);
+        out.push((
+            format!("{label} ({} events)", exec.event_count()),
+            2,
+            exec.to_computation(epsilon),
+            chain_specs::auction::liveness(delta),
+        ));
+    }
+    out
+}
+
+/// The Δ used for the blockchain experiments, expressed in the coarse time
+/// unit (the paper's Δ = 500 ms).
+pub const BLOCKCHAIN_DELTA: u64 = 50;
+/// Default clock skew bound for the blockchain experiments.
+pub const BLOCKCHAIN_EPSILON: u64 = 3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_workloads_are_monitorable() {
+        let mut cfg = default_trace_config();
+        cfg.duration_ms = 60;
+        for index in [1, 3, 4, 6] {
+            let comp = synthetic_computation(index, &cfg);
+            let phi = formula(index, cfg.processes);
+            let sample = measure(format!("phi{index}"), 0.0, &comp, &phi, 4);
+            assert!(!sample.verdicts.is_empty(), "phi{index} produced no verdict");
+        }
+    }
+
+    #[test]
+    fn blockchain_workloads_cover_all_three_protocols() {
+        let workloads = blockchain_workloads(BLOCKCHAIN_DELTA, BLOCKCHAIN_EPSILON);
+        assert_eq!(workloads.len(), 7);
+        assert!(workloads.iter().any(|(l, ..)| l.starts_with("2-party")));
+        assert!(workloads.iter().any(|(l, ..)| l.starts_with("3-party")));
+        assert!(workloads.iter().any(|(l, ..)| l.starts_with("auction")));
+        // Event counts vary across the workloads (the x-axis of Fig. 6).
+        let counts: std::collections::BTreeSet<usize> =
+            workloads.iter().map(|(_, _, c, _)| c.event_count()).collect();
+        assert!(counts.len() >= 4);
+    }
+
+    #[test]
+    fn conforming_two_party_liveness_is_satisfied() {
+        let workloads = blockchain_workloads(BLOCKCHAIN_DELTA, BLOCKCHAIN_EPSILON);
+        let (label, segments, comp, phi) = &workloads[0];
+        assert!(label.contains("conforming"));
+        let sample = measure(label.clone(), 0.0, comp, phi, *segments);
+        assert!(sample.verdicts.may_be_satisfied());
+    }
+
+    #[test]
+    fn sample_row_is_aligned() {
+        let cfg = TraceConfig {
+            duration_ms: 40,
+            ..default_trace_config()
+        };
+        let comp = synthetic_computation(4, &cfg);
+        let sample = measure("phi4", 2.0, &comp, &formula(4, 2), 2);
+        let row = sample.row();
+        assert!(row.contains("phi4"));
+        print_header("epsilon");
+        println!("{row}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Mock blockchains (the Ganache substitute).
+//!
+//! A [`MockChain`] has its own token ledger, its own clock (with an optional
+//! bounded skew relative to true time), and an append-only event log — the
+//! observable interface the runtime monitor consumes, mirroring how the
+//! paper's experiments capture Solidity `event`s emitted by the contracts.
+
+use crate::{Account, TokenError, TokenLedger};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised by chain or contract operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// A token operation failed.
+    Token(TokenError),
+    /// A contract function was called out of order (the precondition step has
+    /// not been taken).
+    StepRejected {
+        /// The contract rejecting the call.
+        contract: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A hashlock preimage did not match.
+    WrongPreimage,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::Token(e) => write!(f, "token operation failed: {e}"),
+            ChainError::StepRejected { contract, reason } => {
+                write!(f, "{contract} rejected the call: {reason}")
+            }
+            ChainError::WrongPreimage => write!(f, "hashlock preimage does not match"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl From<TokenError> for ChainError {
+    fn from(e: TokenError) -> Self {
+        ChainError::Token(e)
+    }
+}
+
+/// An event emitted by a contract and recorded in the chain's log, analogous
+/// to a Solidity `event` captured by the paper's test harness.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainEvent {
+    /// The chain that emitted the event.
+    pub chain: String,
+    /// Event name (e.g. `premium_deposited`).
+    pub name: String,
+    /// The party the event refers to (e.g. `alice`), or `any`.
+    pub party: String,
+    /// Token amount involved, if any.
+    pub amount: u64,
+    /// The chain's local timestamp when the event was emitted.
+    pub time: u64,
+}
+
+impl ChainEvent {
+    /// The proposition name used by the monitor for this event:
+    /// `chain.name(party)`.
+    pub fn proposition(&self) -> String {
+        format!("{}.{}({})", self.chain, self.name, self.party)
+    }
+}
+
+impl fmt::Display for ChainEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} @{}ms] {}({}) amount={}", self.chain, self.time, self.name, self.party, self.amount)
+    }
+}
+
+/// A mocked blockchain: ledger + clock + event log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MockChain {
+    name: String,
+    /// True (reference) time offset of this chain's local clock: the local
+    /// clock shows `true_time + skew` (bounded by the system's ε).
+    skew: i64,
+    now: u64,
+    ledger: TokenLedger,
+    log: Vec<ChainEvent>,
+}
+
+impl MockChain {
+    /// Creates a chain with the given name and a perfectly synchronised clock.
+    pub fn new(name: impl Into<String>) -> Self {
+        MockChain {
+            name: name.into(),
+            skew: 0,
+            now: 0,
+            ledger: TokenLedger::new(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Creates a chain whose local clock is offset from true time by `skew`
+    /// (positive = fast, negative = slow).
+    pub fn with_skew(name: impl Into<String>, skew: i64) -> Self {
+        MockChain {
+            skew,
+            ..MockChain::new(name)
+        }
+    }
+
+    /// The chain's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the true (reference) time; the chain's local clock follows with
+    /// its configured skew.
+    pub fn set_true_time(&mut self, true_time: u64) {
+        self.now = (true_time as i64 + self.skew).max(0) as u64;
+    }
+
+    /// The chain's current local timestamp.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The chain's token ledger.
+    pub fn ledger(&self) -> &TokenLedger {
+        &self.ledger
+    }
+
+    /// Mutable access to the ledger (used by contracts).
+    pub fn ledger_mut(&mut self) -> &mut TokenLedger {
+        &mut self.ledger
+    }
+
+    /// Mints tokens for an account (test/bootstrap helper).
+    pub fn fund(&mut self, account: impl Into<Account>, amount: u64) {
+        self.ledger.mint(account, amount);
+    }
+
+    /// Emits an event into the chain's log at the current local time.
+    pub fn emit(&mut self, name: &str, party: &str, amount: u64) {
+        self.log.push(ChainEvent {
+            chain: self.name.clone(),
+            name: name.to_string(),
+            party: party.to_string(),
+            amount,
+            time: self.now,
+        });
+    }
+
+    /// The events emitted so far, in emission order.
+    pub fn log(&self) -> &[ChainEvent] {
+        &self.log
+    }
+
+    /// Total tokens transferred *to* `account` according to the log-annotated
+    /// ledger history is not tracked here; payoffs are computed from the
+    /// ledger directly by the scenario driver.
+    pub fn balance(&self, account: &Account) -> u64 {
+        self.ledger.balance(account)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_follows_true_time_with_skew() {
+        let mut fast = MockChain::with_skew("apr", 3);
+        let mut slow = MockChain::with_skew("ban", -2);
+        fast.set_true_time(100);
+        slow.set_true_time(100);
+        assert_eq!(fast.now(), 103);
+        assert_eq!(slow.now(), 98);
+        slow.set_true_time(1);
+        assert_eq!(slow.now(), 0, "local clocks never go negative");
+    }
+
+    #[test]
+    fn events_carry_local_time_and_proposition() {
+        let mut chain = MockChain::new("apr");
+        chain.set_true_time(500);
+        chain.emit("asset_redeemed", "bob", 100);
+        let e = &chain.log()[0];
+        assert_eq!(e.time, 500);
+        assert_eq!(e.proposition(), "apr.asset_redeemed(bob)");
+        assert_eq!(e.amount, 100);
+    }
+
+    #[test]
+    fn ledger_is_per_chain() {
+        let mut chain = MockChain::new("ban");
+        chain.fund("alice", 100);
+        chain.ledger_mut().transfer("alice", "swap", 30).unwrap();
+        assert_eq!(chain.balance(&"alice".into()), 70);
+        assert_eq!(chain.balance(&"swap".into()), 30);
+    }
+
+    #[test]
+    fn errors_convert_and_display() {
+        let err: ChainError = TokenError::InsufficientBalance {
+            account: "alice".into(),
+            balance: 1,
+            requested: 2,
+        }
+        .into();
+        assert!(err.to_string().contains("alice"));
+        let rejected = ChainError::StepRejected {
+            contract: "ApricotSwap".into(),
+            reason: "premium not deposited".into(),
+        };
+        assert!(rejected.to_string().contains("ApricotSwap"));
+    }
+}

@@ -1,0 +1,3 @@
+//! Per-chain contracts used by the cross-chain protocols.
+
+pub mod swap;

@@ -1,0 +1,354 @@
+//! The per-chain hedged swap contract.
+//!
+//! Each chain participating in a (two- or three-party) hedged swap deploys one
+//! instance of this contract. The contract escrows one party's asset, is
+//! guarded by a hashlock and absolute deadlines, collects premiums that hedge
+//! the counterparty against a sore-loser attack, and emits an event for every
+//! successful call — the events are what the runtime monitor observes.
+
+use crate::{Account, ChainError, Hashlock, MockChain, Preimage};
+use serde::{Deserialize, Serialize};
+
+/// The lifecycle state of one hedged swap contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapState {
+    /// The premium hedging the redeemer has been deposited.
+    pub premium_deposited: bool,
+    /// The asset has been escrowed by its owner.
+    pub asset_escrowed: bool,
+    /// The asset has been redeemed by the counterparty.
+    pub asset_redeemed: bool,
+    /// The asset has been refunded to its owner.
+    pub asset_refunded: bool,
+    /// The premium has been refunded to its payer.
+    pub premium_refunded: bool,
+    /// The premium has been paid out as compensation.
+    pub premium_redeemed: bool,
+    /// All assets held by the contract have been settled.
+    pub settled: bool,
+}
+
+/// One hedged swap contract deployed on one chain.
+///
+/// Roles: `asset_owner` escrows `asset_amount` tokens; `redeemer` may redeem
+/// them by revealing the hashlock preimage before the redeem deadline;
+/// `premium_payer` deposits `premium_amount` tokens which are refunded on a
+/// successful swap and paid to the escrowing party as compensation otherwise.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SwapContract {
+    name: String,
+    asset_owner: String,
+    redeemer: String,
+    premium_payer: String,
+    asset_amount: u64,
+    premium_amount: u64,
+    hashlock: Hashlock,
+    /// Absolute local-time deadlines for (premium deposit, escrow, redeem).
+    deadlines: (u64, u64, u64),
+    state: SwapState,
+}
+
+impl SwapContract {
+    /// Deploys a contract.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        asset_owner: impl Into<String>,
+        redeemer: impl Into<String>,
+        premium_payer: impl Into<String>,
+        asset_amount: u64,
+        premium_amount: u64,
+        hashlock: Hashlock,
+        deadlines: (u64, u64, u64),
+    ) -> Self {
+        SwapContract {
+            name: name.into(),
+            asset_owner: asset_owner.into(),
+            redeemer: redeemer.into(),
+            premium_payer: premium_payer.into(),
+            asset_amount,
+            premium_amount,
+            hashlock,
+            deadlines,
+            state: SwapState::default(),
+        }
+    }
+
+    /// The contract's account on its chain.
+    pub fn account(&self) -> Account {
+        Account::new(self.name.clone())
+    }
+
+    /// The contract's current state.
+    pub fn state(&self) -> SwapState {
+        self.state
+    }
+
+    /// The premium amount this contract collects.
+    pub fn premium_amount(&self) -> u64 {
+        self.premium_amount
+    }
+
+    /// The escrowed asset amount.
+    pub fn asset_amount(&self) -> u64 {
+        self.asset_amount
+    }
+
+    fn reject(&self, reason: &str) -> ChainError {
+        ChainError::StepRejected {
+            contract: self.name.clone(),
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Step: the premium payer deposits the premium.
+    ///
+    /// # Errors
+    ///
+    /// Rejected if already deposited or the payer lacks funds.
+    pub fn deposit_premium(&mut self, chain: &mut MockChain) -> Result<(), ChainError> {
+        if self.state.premium_deposited {
+            return Err(self.reject("premium already deposited"));
+        }
+        chain
+            .ledger_mut()
+            .transfer(self.premium_payer.as_str(), self.account(), self.premium_amount)?;
+        self.state.premium_deposited = true;
+        chain.emit("premium_deposited", &self.premium_payer, self.premium_amount);
+        Ok(())
+    }
+
+    /// Step: the asset owner escrows the asset. Requires the premium to have
+    /// been deposited first (the contract enforces the protocol order).
+    ///
+    /// # Errors
+    ///
+    /// Rejected if the premium has not been deposited, the asset was already
+    /// escrowed, or the owner lacks funds.
+    pub fn escrow_asset(&mut self, chain: &mut MockChain) -> Result<(), ChainError> {
+        if !self.state.premium_deposited {
+            return Err(self.reject("premium not deposited"));
+        }
+        if self.state.asset_escrowed {
+            return Err(self.reject("asset already escrowed"));
+        }
+        chain
+            .ledger_mut()
+            .transfer(self.asset_owner.as_str(), self.account(), self.asset_amount)?;
+        self.state.asset_escrowed = true;
+        chain.emit("asset_escrowed", &self.asset_owner, self.asset_amount);
+        Ok(())
+    }
+
+    /// Step: the redeemer reveals the preimage and takes the escrowed asset;
+    /// the premium is refunded to its payer.
+    ///
+    /// # Errors
+    ///
+    /// Rejected if the asset is not escrowed, was already redeemed or
+    /// refunded, or the preimage does not open the hashlock.
+    pub fn redeem_asset(
+        &mut self,
+        chain: &mut MockChain,
+        preimage: Preimage,
+    ) -> Result<(), ChainError> {
+        if !self.state.asset_escrowed {
+            return Err(self.reject("asset not escrowed"));
+        }
+        if self.state.asset_redeemed || self.state.asset_refunded {
+            return Err(self.reject("asset already settled"));
+        }
+        if !self.hashlock.opens(&preimage) {
+            return Err(ChainError::WrongPreimage);
+        }
+        chain
+            .ledger_mut()
+            .transfer(self.account(), self.redeemer.as_str(), self.asset_amount)?;
+        self.state.asset_redeemed = true;
+        chain.emit("asset_redeemed", &self.redeemer, self.asset_amount);
+        self.refund_premium(chain)?;
+        Ok(())
+    }
+
+    /// Refunds the premium to its payer (successful swap).
+    fn refund_premium(&mut self, chain: &mut MockChain) -> Result<(), ChainError> {
+        if self.state.premium_deposited && !self.state.premium_refunded && !self.state.premium_redeemed {
+            chain
+                .ledger_mut()
+                .transfer(self.account(), self.premium_payer.as_str(), self.premium_amount)?;
+            self.state.premium_refunded = true;
+            chain.emit("premium_refunded", &self.premium_payer, self.premium_amount);
+        }
+        Ok(())
+    }
+
+    /// Pays the premium to the asset owner as compensation (sore-loser
+    /// hedging).
+    fn redeem_premium(&mut self, chain: &mut MockChain) -> Result<(), ChainError> {
+        if self.state.premium_deposited && !self.state.premium_refunded && !self.state.premium_redeemed {
+            chain
+                .ledger_mut()
+                .transfer(self.account(), self.asset_owner.as_str(), self.premium_amount)?;
+            self.state.premium_redeemed = true;
+            chain.emit("premium_redeemed", &self.asset_owner, self.premium_amount);
+        }
+        Ok(())
+    }
+
+    /// Timeout settlement, called after the last deadline: refunds an
+    /// unredeemed escrow to its owner (compensating the owner with the
+    /// premium), refunds the premium if the swap never progressed, and emits
+    /// `all_asset_settled`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ledger failures (which indicate a bug in the driver).
+    pub fn settle(&mut self, chain: &mut MockChain) -> Result<(), ChainError> {
+        if self.state.settled {
+            return Ok(());
+        }
+        if self.state.asset_escrowed && !self.state.asset_redeemed && !self.state.asset_refunded {
+            // Sore-loser case: the owner escrowed but the counterparty walked
+            // away. Refund the asset and hand the premium to the owner.
+            chain
+                .ledger_mut()
+                .transfer(self.account(), self.asset_owner.as_str(), self.asset_amount)?;
+            self.state.asset_refunded = true;
+            chain.emit("asset_refunded", &self.asset_owner, self.asset_amount);
+            self.redeem_premium(chain)?;
+        } else if !self.state.asset_escrowed {
+            // Nothing was ever at risk: return the premium to its payer.
+            self.refund_premium(chain)?;
+        }
+        self.state.settled = true;
+        chain.emit("all_asset_settled", "any", 0);
+        Ok(())
+    }
+
+    /// The deadline (absolute local time) for the given step index
+    /// (0 = premium, 1 = escrow, 2 = redeem).
+    pub fn deadline(&self, step: usize) -> u64 {
+        match step {
+            0 => self.deadlines.0,
+            1 => self.deadlines.1,
+            _ => self.deadlines.2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MockChain, SwapContract, Preimage) {
+        let mut chain = MockChain::new("apr");
+        chain.fund("alice", 200);
+        chain.fund("bob", 50);
+        let secret = Preimage(7);
+        let contract = SwapContract::new(
+            "ApricotSwap",
+            "alice",
+            "bob",
+            "bob",
+            100,
+            1,
+            secret.lock(),
+            (1000, 1500, 3000),
+        );
+        (chain, contract, secret)
+    }
+
+    #[test]
+    fn happy_path_transfers_asset_and_refunds_premium() {
+        let (mut chain, mut c, secret) = setup();
+        c.deposit_premium(&mut chain).unwrap();
+        c.escrow_asset(&mut chain).unwrap();
+        c.redeem_asset(&mut chain, secret).unwrap();
+        c.settle(&mut chain).unwrap();
+        assert_eq!(chain.balance(&"bob".into()), 150); // 50 - 1 premium + 100 asset + 1 refund
+        assert_eq!(chain.balance(&"alice".into()), 100); // 200 - 100 escrowed
+        assert_eq!(chain.balance(&c.account()), 0);
+        let names: Vec<_> = chain.log().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "premium_deposited",
+                "asset_escrowed",
+                "asset_redeemed",
+                "premium_refunded",
+                "all_asset_settled"
+            ]
+        );
+    }
+
+    #[test]
+    fn ordering_is_enforced() {
+        let (mut chain, mut c, secret) = setup();
+        assert!(matches!(
+            c.escrow_asset(&mut chain),
+            Err(ChainError::StepRejected { .. })
+        ));
+        assert!(matches!(
+            c.redeem_asset(&mut chain, secret),
+            Err(ChainError::StepRejected { .. })
+        ));
+        c.deposit_premium(&mut chain).unwrap();
+        assert!(matches!(
+            c.deposit_premium(&mut chain),
+            Err(ChainError::StepRejected { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_preimage_rejected() {
+        let (mut chain, mut c, _secret) = setup();
+        c.deposit_premium(&mut chain).unwrap();
+        c.escrow_asset(&mut chain).unwrap();
+        assert_eq!(
+            c.redeem_asset(&mut chain, Preimage(999)),
+            Err(ChainError::WrongPreimage)
+        );
+        assert!(!c.state().asset_redeemed);
+    }
+
+    #[test]
+    fn sore_loser_settlement_compensates_owner() {
+        let (mut chain, mut c, _secret) = setup();
+        c.deposit_premium(&mut chain).unwrap();
+        c.escrow_asset(&mut chain).unwrap();
+        // Bob never redeems; after the timeout the asset returns to Alice and
+        // she keeps Bob's premium.
+        c.settle(&mut chain).unwrap();
+        assert_eq!(chain.balance(&"alice".into()), 201);
+        assert_eq!(chain.balance(&"bob".into()), 49);
+        let names: Vec<_> = chain.log().iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"asset_refunded"));
+        assert!(names.contains(&"premium_redeemed"));
+    }
+
+    #[test]
+    fn abandoned_protocol_refunds_premium() {
+        let (mut chain, mut c, _secret) = setup();
+        c.deposit_premium(&mut chain).unwrap();
+        // Alice never escrows.
+        c.settle(&mut chain).unwrap();
+        assert_eq!(chain.balance(&"bob".into()), 50);
+        assert_eq!(chain.balance(&"alice".into()), 200);
+        assert!(c.state().settled);
+        // Settle is idempotent.
+        let events_before = chain.log().len();
+        c.settle(&mut chain).unwrap();
+        assert_eq!(chain.log().len(), events_before);
+    }
+
+    #[test]
+    fn token_conservation_through_full_protocol() {
+        let (mut chain, mut c, secret) = setup();
+        let supply = chain.ledger().total_supply();
+        c.deposit_premium(&mut chain).unwrap();
+        c.escrow_asset(&mut chain).unwrap();
+        c.redeem_asset(&mut chain, secret).unwrap();
+        c.settle(&mut chain).unwrap();
+        assert_eq!(chain.ledger().total_supply(), supply);
+    }
+}

@@ -1,0 +1,147 @@
+//! The outcome of running a cross-chain protocol scenario: the per-chain event
+//! logs, the final ledgers, and the derived quantities (payoffs) the safety
+//! and hedging specifications refer to.
+
+use crate::{Account, ChainEvent, MockChain};
+use rvmtl_distrib::{ComputationBuilder, DistributedComputation};
+use rvmtl_mtl::State;
+use std::collections::BTreeMap;
+
+/// A completed protocol run across several mocked chains.
+#[derive(Debug, Clone)]
+pub struct ProtocolExecution {
+    /// The chains after the run, including their event logs and ledgers.
+    pub chains: Vec<MockChain>,
+    /// The parties participating in the protocol.
+    pub parties: Vec<String>,
+    /// Initial total balance of each party summed across chains (used to
+    /// compute payoffs).
+    pub initial_balances: BTreeMap<String, u64>,
+    /// The protocol's step deadline Δ (milliseconds of local time).
+    pub delta: u64,
+}
+
+impl ProtocolExecution {
+    /// Records the initial balances of `parties` across `chains`.
+    pub fn start(chains: Vec<MockChain>, parties: &[&str], delta: u64) -> Self {
+        let parties: Vec<String> = parties.iter().map(|p| p.to_string()).collect();
+        let initial_balances = parties
+            .iter()
+            .map(|p| {
+                let account = Account::new(p.clone());
+                let total = chains.iter().map(|c| c.balance(&account)).sum();
+                (p.clone(), total)
+            })
+            .collect();
+        ProtocolExecution {
+            chains,
+            parties,
+            initial_balances,
+            delta,
+        }
+    }
+
+    /// The current total balance of `party` across all chains.
+    pub fn balance(&self, party: &str) -> u64 {
+        let account = Account::new(party);
+        self.chains.iter().map(|c| c.balance(&account)).sum()
+    }
+
+    /// The party's payoff: tokens held now minus tokens held before the
+    /// protocol started (negative means the party lost assets).
+    pub fn payoff(&self, party: &str) -> i64 {
+        self.balance(party) as i64 - *self.initial_balances.get(party).unwrap_or(&0) as i64
+    }
+
+    /// All events of all chains, in (chain, emission) order.
+    pub fn events(&self) -> impl Iterator<Item = &ChainEvent> {
+        self.chains.iter().flat_map(|c| c.log().iter())
+    }
+
+    /// Total number of emitted events (the x-axis of Fig. 6).
+    pub fn event_count(&self) -> usize {
+        self.chains.iter().map(|c| c.log().len()).sum()
+    }
+
+    /// Returns `true` if some chain emitted `name` for `party`.
+    pub fn has_event(&self, chain: &str, name: &str, party: &str) -> bool {
+        self.chains.iter().any(|c| {
+            c.name() == chain
+                && c.log()
+                    .iter()
+                    .any(|e| e.name == name && (e.party == party || party == "any"))
+        })
+    }
+
+    /// Converts the per-chain event logs into a partially synchronous
+    /// distributed computation: each chain is a process, each emitted event an
+    /// event with the proposition `chain.name(party)`, timestamped with the
+    /// chain's local clock, under maximum clock skew `epsilon`.
+    pub fn to_computation(&self, epsilon: u64) -> DistributedComputation {
+        let mut builder = ComputationBuilder::new(self.chains.len(), epsilon);
+        for (p, chain) in self.chains.iter().enumerate() {
+            for event in chain.log() {
+                let mut state = State::empty();
+                state.insert(event.proposition());
+                builder.event(p, event.time, state);
+            }
+        }
+        builder
+            .build()
+            .expect("chain logs are totally ordered per chain")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ProtocolExecution {
+        let mut apr = MockChain::new("apr");
+        let mut ban = MockChain::new("ban");
+        apr.fund("alice", 100);
+        ban.fund("bob", 50);
+        let mut exec = ProtocolExecution::start(vec![apr, ban], &["alice", "bob"], 500);
+        exec.chains[0].set_true_time(100);
+        exec.chains[0].emit("asset_escrowed", "alice", 100);
+        exec.chains[0]
+            .ledger_mut()
+            .transfer("alice", "swap", 100)
+            .unwrap();
+        exec.chains[1].set_true_time(200);
+        exec.chains[1].emit("asset_redeemed", "alice", 50);
+        exec.chains[1]
+            .ledger_mut()
+            .transfer("bob", "alice", 50)
+            .unwrap();
+        exec
+    }
+
+    #[test]
+    fn payoffs_reflect_ledger_changes() {
+        let exec = sample();
+        assert_eq!(exec.payoff("alice"), -50); // escrowed 100, received 50
+        assert_eq!(exec.payoff("bob"), -50);
+        assert_eq!(exec.event_count(), 2);
+    }
+
+    #[test]
+    fn event_queries() {
+        let exec = sample();
+        assert!(exec.has_event("apr", "asset_escrowed", "alice"));
+        assert!(exec.has_event("ban", "asset_redeemed", "any"));
+        assert!(!exec.has_event("apr", "asset_redeemed", "alice"));
+    }
+
+    #[test]
+    fn conversion_to_computation() {
+        let exec = sample();
+        let comp = exec.to_computation(3);
+        assert_eq!(comp.process_count(), 2);
+        assert_eq!(comp.event_count(), 2);
+        assert_eq!(comp.epsilon(), 3);
+        let e = comp.event(rvmtl_distrib::EventId(0));
+        assert!(e.state.holds("apr.asset_escrowed(alice)"));
+        assert_eq!(e.local_time, 100);
+    }
+}

@@ -1,0 +1,66 @@
+//! Hashlocks: the hash/preimage pairs that gate redemption in cross-chain
+//! swaps.
+//!
+//! The simulation uses a 64-bit FNV-1a hash — collision resistance is
+//! irrelevant here because the monitor only observes *events*, not the
+//! cryptography; what matters is that a contract can check that the released
+//! secret matches the lock it was configured with.
+
+use serde::{Deserialize, Serialize};
+
+/// A secret preimage held by the party allowed to trigger redemption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Preimage(pub u64);
+
+/// The hash of a preimage, stored in a contract at setup time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Hashlock(u64);
+
+impl Preimage {
+    /// The hashlock corresponding to this preimage.
+    pub fn lock(&self) -> Hashlock {
+        Hashlock(fnv1a(self.0))
+    }
+}
+
+impl Hashlock {
+    /// Returns `true` if `preimage` opens this lock.
+    pub fn opens(&self, preimage: &Preimage) -> bool {
+        fnv1a(preimage.0) == self.0
+    }
+}
+
+fn fnv1a(value: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in value.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preimage_opens_its_own_lock() {
+        let s = Preimage(42);
+        assert!(s.lock().opens(&s));
+    }
+
+    #[test]
+    fn different_preimage_is_rejected() {
+        let s = Preimage(42);
+        assert!(!s.lock().opens(&Preimage(43)));
+        assert!(!s.lock().opens(&Preimage(0)));
+    }
+
+    #[test]
+    fn locks_of_distinct_preimages_differ() {
+        assert_ne!(Preimage(1).lock(), Preimage(2).lock());
+        assert_ne!(Preimage(u64::MAX).lock(), Preimage(0).lock());
+    }
+}

@@ -1,0 +1,51 @@
+//! Mocked multi-blockchain substrate and the cross-chain protocols of the
+//! paper's evaluation (Sec. VI-B): hedged two-party swap, hedged three-party
+//! swap, and the cross-chain auction.
+//!
+//! The paper runs Solidity contracts on Ganache-mocked Ethereum chains and
+//! captures the emitted events; this crate provides the equivalent in Rust:
+//!
+//! * [`MockChain`] — a chain with its own [`TokenLedger`], local clock
+//!   (optionally skewed) and append-only event log;
+//! * [`SwapContract`] and the protocol drivers [`TwoPartySwap`],
+//!   [`ThreePartySwap`], [`Auction`] — the contracts, their step ordering and
+//!   deadline rules, premiums and hashlocks;
+//! * scenario generators ([`TwoPartyScenario::enumerate`] and friends)
+//!   reproducing the paper's 1024 / 4096 / 3888 log sets;
+//! * [`ProtocolExecution`] — the captured logs, payoffs, and the conversion
+//!   into a partially synchronous [`rvmtl_distrib::DistributedComputation`]
+//!   ready for monitoring;
+//! * [`specs`] — the monitored MTL formulas (liveness, conformance) and the
+//!   arithmetic safety/hedging checks.
+//!
+//! # Example
+//!
+//! ```
+//! use rvmtl_chain::{specs, TwoPartyScenario, TwoPartySwap};
+//! use rvmtl_monitor::Monitor;
+//!
+//! let exec = TwoPartySwap::new(500).execute(&TwoPartyScenario::conforming());
+//! let computation = exec.to_computation(50);
+//! let report = Monitor::with_defaults().run(&computation, &specs::two_party::liveness(500));
+//! assert!(report.verdicts.definitely_satisfied());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chain;
+mod contracts;
+mod execution;
+mod hashlock;
+mod protocols;
+pub mod specs;
+mod token;
+
+pub use chain::{ChainError, ChainEvent, MockChain};
+pub use contracts::swap::{SwapContract, SwapState};
+pub use execution::ProtocolExecution;
+pub use hashlock::{Hashlock, Preimage};
+pub use protocols::auction::{ActionChoice, Auction, AuctionScenario};
+pub use protocols::three_party::{ThreePartyScenario, ThreePartySwap};
+pub use protocols::two_party::{StepChoice, TwoPartyScenario, TwoPartySwap};
+pub use token::{Account, TokenError, TokenLedger};

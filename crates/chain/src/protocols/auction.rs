@@ -1,0 +1,410 @@
+//! The cross-chain auction protocol (Appendix IX-B2).
+//!
+//! Alice auctions a ticket (managed by `TicketAuction` on the `tckt` chain) to
+//! Bob and Carol, who bid coins (managed by `CoinAuction` on the `coin`
+//! chain). Alice assigns each bidder a hashlock; she declares the winner by
+//! releasing the winner's secret on both chains, bidders may challenge by
+//! forwarding secrets, and after `4Δ` both contracts settle: the winner's bid
+//! goes to Alice and the ticket to the winner unless Alice misbehaved, in
+//! which case bids and ticket are refunded and premiums compensate the
+//! bidders.
+
+use crate::{MockChain, Preimage, ProtocolExecution};
+use serde::{Deserialize, Serialize};
+
+/// A three-valued choice for an auction action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActionChoice {
+    /// The action is not taken.
+    Skip,
+    /// The action is taken before its deadline.
+    OnTime,
+    /// The action is taken after its deadline.
+    Late,
+}
+
+impl ActionChoice {
+    /// All three choices, used by the scenario enumerator.
+    pub const ALL: [ActionChoice; 3] = [ActionChoice::Skip, ActionChoice::OnTime, ActionChoice::Late];
+
+    fn attempted(self) -> bool {
+        !matches!(self, ActionChoice::Skip)
+    }
+
+    fn late(self) -> bool {
+        matches!(self, ActionChoice::Late)
+    }
+}
+
+/// One simulated behaviour of the auction participants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuctionScenario {
+    /// Bob's bid, Carol's bid, Alice's declaration, Bob's challenge, Carol's
+    /// challenge.
+    pub actions: [ActionChoice; 5],
+    /// Alice publishes her declaration on the coin chain.
+    pub declare_on_coin: bool,
+    /// Alice publishes her declaration on the ticket chain.
+    pub declare_on_ticket: bool,
+    /// Alice declares Bob (rather than Carol) the winner.
+    pub declare_bob_winner: bool,
+    /// Alice cheats by releasing both secrets.
+    pub release_both_secrets: bool,
+}
+
+impl AuctionScenario {
+    /// The conforming scenario: both bidders bid, Alice declares the highest
+    /// bidder (Bob) on both chains, nobody needs to challenge.
+    pub fn conforming() -> Self {
+        AuctionScenario {
+            actions: [
+                ActionChoice::OnTime,
+                ActionChoice::OnTime,
+                ActionChoice::OnTime,
+                ActionChoice::Skip,
+                ActionChoice::Skip,
+            ],
+            declare_on_coin: true,
+            declare_on_ticket: true,
+            declare_bob_winner: true,
+            release_both_secrets: false,
+        }
+    }
+
+    /// Enumerates all 3888 scenarios (3⁵ action choices × 2⁴ declaration
+    /// variations), the size of the paper's auction log set.
+    pub fn enumerate() -> Vec<Self> {
+        let mut out = Vec::with_capacity(3888);
+        let bools = [false, true];
+        for a0 in ActionChoice::ALL {
+            for a1 in ActionChoice::ALL {
+                for a2 in ActionChoice::ALL {
+                    for a3 in ActionChoice::ALL {
+                        for a4 in ActionChoice::ALL {
+                            for &coin in &bools {
+                                for &ticket in &bools {
+                                    for &bob in &bools {
+                                        for &both in &bools {
+                                            out.push(AuctionScenario {
+                                                actions: [a0, a1, a2, a3, a4],
+                                                declare_on_coin: coin,
+                                                declare_on_ticket: ticket,
+                                                declare_bob_winner: bob,
+                                                release_both_secrets: both,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parameters of the auction protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Auction {
+    /// Step deadline Δ (milliseconds).
+    pub delta: u64,
+    /// Ticket value (ERC20 tokens on the ticket chain).
+    pub ticket_value: u64,
+    /// Bob's bid.
+    pub bob_bid: u64,
+    /// Carol's bid.
+    pub carol_bid: u64,
+}
+
+impl Default for Auction {
+    fn default() -> Self {
+        Auction {
+            delta: 500,
+            ticket_value: 100,
+            bob_bid: 100,
+            carol_bid: 90,
+        }
+    }
+}
+
+impl Auction {
+    /// Creates an auction with the given Δ.
+    pub fn new(delta: u64) -> Self {
+        Auction {
+            delta,
+            ..Auction::default()
+        }
+    }
+
+    /// Executes the auction under the given scenario.
+    pub fn execute(&self, scenario: &AuctionScenario) -> ProtocolExecution {
+        let d = self.delta;
+        let secret_bob = Preimage(0xB0B);
+        let secret_carol = Preimage(0xCA201);
+
+        let mut tckt = MockChain::new("tckt");
+        let mut coin = MockChain::new("coin");
+        tckt.fund("alice", self.ticket_value);
+        coin.fund("alice", 2);
+        coin.fund("bob", self.bob_bid);
+        coin.fund("carol", self.carol_bid);
+
+        let mut exec = ProtocolExecution::start(vec![tckt, coin], &["alice", "bob", "carol"], d);
+
+        // Setup: Alice escrows the ticket and deposits premiums.
+        exec.chains[0].set_true_time(10);
+        exec.chains[1].set_true_time(10);
+        exec.chains[0]
+            .ledger_mut()
+            .transfer("alice", "TicketAuction", self.ticket_value)
+            .expect("alice funded");
+        exec.chains[0].emit("ticketEscrowed", "alice", self.ticket_value);
+        exec.chains[1]
+            .ledger_mut()
+            .transfer("alice", "CoinAuction", 2)
+            .expect("alice funded");
+        exec.chains[1].emit("premiumDeposited", "alice", 2);
+
+        let mut bob_bid_placed = false;
+        let mut carol_bid_placed = false;
+        // Which secrets end up released on each chain (bob, carol).
+        let mut coin_released = [false, false];
+        let mut tckt_released = [false, false];
+
+        // Step 1: bidding (deadline Δ).
+        for (bidder, amount, choice, placed) in [
+            ("bob", self.bob_bid, scenario.actions[0], &mut bob_bid_placed),
+            ("carol", self.carol_bid, scenario.actions[1], &mut carol_bid_placed),
+        ] {
+            if !choice.attempted() {
+                continue;
+            }
+            let t = if choice.late() { d + d / 2 } else { d - d / 2 };
+            exec.chains[1].set_true_time(t);
+            exec.chains[1]
+                .ledger_mut()
+                .transfer(bidder, "CoinAuction", amount)
+                .expect("bidder funded");
+            exec.chains[1].emit("bid", bidder, amount);
+            *placed = true;
+        }
+
+        // Step 2: declaration (deadline 2Δ). Alice releases the winner's
+        // secret (or both, if she cheats) on the chains she chooses.
+        let declare = scenario.actions[2];
+        if declare.attempted() {
+            let t = if declare.late() { 2 * d + d / 2 } else { 2 * d - d / 2 };
+            let winner_secret = if scenario.declare_bob_winner { "sb" } else { "sc" };
+            let winner_idx = usize::from(!scenario.declare_bob_winner);
+            if scenario.declare_on_coin {
+                exec.chains[1].set_true_time(t);
+                exec.chains[1].emit("declaration", &format!("alice, {winner_secret}"), 0);
+                coin_released[winner_idx] = true;
+                if scenario.release_both_secrets {
+                    exec.chains[1].emit(
+                        "declaration",
+                        &format!("alice, {}", if winner_idx == 0 { "sc" } else { "sb" }),
+                        0,
+                    );
+                    coin_released[1 - winner_idx] = true;
+                }
+            }
+            if scenario.declare_on_ticket {
+                exec.chains[0].set_true_time(t);
+                exec.chains[0].emit("declaration", &format!("alice, {winner_secret}"), 0);
+                tckt_released[winner_idx] = true;
+                if scenario.release_both_secrets {
+                    exec.chains[0].emit(
+                        "declaration",
+                        &format!("alice, {}", if winner_idx == 0 { "sc" } else { "sb" }),
+                        0,
+                    );
+                    tckt_released[1 - winner_idx] = true;
+                }
+            }
+        }
+
+        // Step 3: challenges (deadline 4Δ). A bidder who sees a secret on one
+        // chain but not the other forwards it.
+        for (bidder, choice) in [("bob", scenario.actions[3]), ("carol", scenario.actions[4])] {
+            if !choice.attempted() {
+                continue;
+            }
+            let t = if choice.late() { 4 * d + d / 2 } else { 4 * d - d / 2 };
+            for idx in 0..2 {
+                let secret_name = if idx == 0 { "sb" } else { "sc" };
+                if coin_released[idx] && !tckt_released[idx] {
+                    exec.chains[0].set_true_time(t);
+                    exec.chains[0].emit("challenge", &format!("{bidder}, {secret_name}"), 0);
+                    if !choice.late() {
+                        tckt_released[idx] = true;
+                    }
+                }
+                if tckt_released[idx] && !coin_released[idx] {
+                    exec.chains[1].set_true_time(t);
+                    exec.chains[1].emit("challenge", &format!("{bidder}, {secret_name}"), 0);
+                    if !choice.late() {
+                        coin_released[idx] = true;
+                    }
+                }
+            }
+        }
+
+        // Step 4: settlement after 4Δ.
+        let settle = 4 * d + d;
+        exec.chains[0].set_true_time(settle);
+        exec.chains[1].set_true_time(settle);
+        let actual_winner = if bob_bid_placed { "bob" } else if carol_bid_placed { "carol" } else { "" };
+        let actual_winner_idx = usize::from(actual_winner == "carol");
+        let winner_bid = if actual_winner == "bob" { self.bob_bid } else { self.carol_bid };
+
+        // CoinAuction settlement.
+        {
+            let coin = &mut exec.chains[1];
+            let only_winner_released = !actual_winner.is_empty()
+                && coin_released[actual_winner_idx]
+                && !coin_released[1 - actual_winner_idx];
+            if !actual_winner.is_empty() {
+                if only_winner_released {
+                    coin.ledger_mut()
+                        .transfer("CoinAuction", "alice", winner_bid)
+                        .expect("bid escrowed");
+                    coin.emit("redeemBid", "any", winner_bid);
+                    coin.ledger_mut()
+                        .transfer("CoinAuction", "alice", 2)
+                        .expect("premium escrowed");
+                    coin.emit("refundPremium", "any", 2);
+                } else {
+                    coin.ledger_mut()
+                        .transfer("CoinAuction", actual_winner, winner_bid)
+                        .expect("bid escrowed");
+                    coin.emit("refundBid", actual_winner, winner_bid);
+                    // Premiums compensate the bidders for Alice's misbehaviour.
+                    for bidder in ["bob", "carol"] {
+                        coin.ledger_mut()
+                            .transfer("CoinAuction", bidder, 1)
+                            .expect("premium escrowed");
+                        coin.emit("redeemPremium", bidder, 1);
+                    }
+                }
+            }
+            // The losing bid is always refunded.
+            let loser = if actual_winner == "bob" && carol_bid_placed {
+                Some(("carol", self.carol_bid))
+            } else {
+                None
+            };
+            if let Some((loser, amount)) = loser {
+                coin.ledger_mut()
+                    .transfer("CoinAuction", loser, amount)
+                    .expect("bid escrowed");
+                coin.emit("refundBid", loser, amount);
+            }
+        }
+
+        // TicketAuction settlement.
+        {
+            let tckt = &mut exec.chains[0];
+            let released: Vec<usize> = (0..2).filter(|&i| tckt_released[i]).collect();
+            if released.len() == 1 {
+                let receiver = if released[0] == 0 { "bob" } else { "carol" };
+                tckt.ledger_mut()
+                    .transfer("TicketAuction", receiver, self.ticket_value)
+                    .expect("ticket escrowed");
+                tckt.emit("redeemTicket", receiver, self.ticket_value);
+            } else {
+                tckt.ledger_mut()
+                    .transfer("TicketAuction", "alice", self.ticket_value)
+                    .expect("ticket escrowed");
+                tckt.emit("refundTicket", "alice", self.ticket_value);
+            }
+        }
+        let _ = (secret_bob, secret_carol);
+        exec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_matches_paper_count() {
+        assert_eq!(AuctionScenario::enumerate().len(), 3888);
+    }
+
+    #[test]
+    fn conforming_auction_pays_alice_and_delivers_ticket() {
+        let exec = Auction::default().execute(&AuctionScenario::conforming());
+        assert!(exec.has_event("coin", "bid", "bob"));
+        assert!(exec.has_event("coin", "redeemBid", "any"));
+        assert!(exec.has_event("tckt", "redeemTicket", "bob"));
+        // Alice traded a 100-token ticket for a 100-token bid: payoff 0.
+        assert_eq!(exec.payoff("alice"), 0);
+        // Bob paid his bid and received the ticket: payoff 0.
+        assert_eq!(exec.payoff("bob"), 0);
+        // Carol's bid was refunded.
+        assert_eq!(exec.payoff("carol"), 0);
+    }
+
+    #[test]
+    fn cheating_alice_is_punished() {
+        let mut scenario = AuctionScenario::conforming();
+        scenario.release_both_secrets = true;
+        let exec = Auction::default().execute(&scenario);
+        // Both secrets released: the winner's bid is refunded, bidders are
+        // compensated, and the ticket is refunded to Alice.
+        assert!(exec.has_event("coin", "refundBid", "bob"));
+        assert!(exec.has_event("tckt", "refundTicket", "alice"));
+        assert!(exec.payoff("alice") <= 0);
+        assert!(exec.payoff("bob") >= 0);
+        assert!(exec.payoff("carol") >= 0);
+    }
+
+    #[test]
+    fn missing_declaration_triggers_refunds() {
+        let mut scenario = AuctionScenario::conforming();
+        scenario.actions[2] = ActionChoice::Skip;
+        let exec = Auction::default().execute(&scenario);
+        assert!(!exec.has_event("coin", "declaration", "any"));
+        assert!(exec.has_event("tckt", "refundTicket", "alice"));
+        assert!(exec.payoff("bob") >= 0);
+    }
+
+    #[test]
+    fn challenge_forwards_missing_secret() {
+        let mut scenario = AuctionScenario::conforming();
+        scenario.declare_on_ticket = false;
+        scenario.actions[3] = ActionChoice::OnTime; // Bob challenges
+        let exec = Auction::default().execute(&scenario);
+        assert!(exec.has_event("tckt", "challenge", "bob, sb"));
+        // The forwarded secret lets the ticket reach the winner after all.
+        assert!(exec.has_event("tckt", "redeemTicket", "bob"));
+    }
+
+    #[test]
+    fn token_conservation() {
+        for scenario in [
+            AuctionScenario::conforming(),
+            AuctionScenario {
+                actions: [
+                    ActionChoice::Late,
+                    ActionChoice::OnTime,
+                    ActionChoice::OnTime,
+                    ActionChoice::OnTime,
+                    ActionChoice::Skip,
+                ],
+                declare_on_coin: true,
+                declare_on_ticket: false,
+                declare_bob_winner: false,
+                release_both_secrets: true,
+            },
+        ] {
+            let exec = Auction::default().execute(&scenario);
+            let total: u64 = exec.chains.iter().map(|c| c.ledger().total_supply()).sum();
+            assert_eq!(total, 100 + 2 + 100 + 90);
+        }
+    }
+}

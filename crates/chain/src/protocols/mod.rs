@@ -1,0 +1,5 @@
+//! Protocol drivers and scenario generators.
+
+pub mod auction;
+pub mod three_party;
+pub mod two_party;

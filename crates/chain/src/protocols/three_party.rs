@@ -1,0 +1,456 @@
+//! The hedged three-party swap protocol (Appendix IX-B1).
+//!
+//! Alice, Bob and Carol form a cycle: Alice transfers apricot tokens to Bob
+//! (`ApricotSwap`), Bob transfers banana tokens to Carol (`BananaSwap`), Carol
+//! transfers cherry tokens to Alice (`CherrySwap`). Each contract collects an
+//! *escrow premium* from the asset owner and a *redemption premium* from the
+//! receiver before the asset itself is escrowed and redeemed via the shared
+//! hashlock, twelve steps in total with deadlines `Δ … 12Δ`.
+
+use crate::{MockChain, Preimage, ProtocolExecution};
+use crate::{ChainError, Hashlock};
+use serde::{Deserialize, Serialize};
+
+/// One leg of the three-party swap (one contract on one chain).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LegContract {
+    name: String,
+    owner: String,
+    redeemer: String,
+    asset: u64,
+    escrow_premium: u64,
+    redemption_premium: u64,
+    hashlock: Hashlock,
+    escrow_premium_deposited: bool,
+    redemption_premium_deposited: bool,
+    asset_escrowed: bool,
+    asset_redeemed: bool,
+    settled: bool,
+}
+
+impl LegContract {
+    fn account(&self) -> crate::Account {
+        crate::Account::new(self.name.clone())
+    }
+
+    fn reject(&self, reason: &str) -> ChainError {
+        ChainError::StepRejected {
+            contract: self.name.clone(),
+            reason: reason.into(),
+        }
+    }
+
+    fn deposit_escrow_premium(&mut self, chain: &mut MockChain) -> Result<(), ChainError> {
+        if self.escrow_premium_deposited {
+            return Err(self.reject("escrow premium already deposited"));
+        }
+        chain
+            .ledger_mut()
+            .transfer(self.owner.as_str(), self.account(), self.escrow_premium)?;
+        self.escrow_premium_deposited = true;
+        chain.emit("depositEscrowPr", &self.owner, self.escrow_premium);
+        Ok(())
+    }
+
+    fn deposit_redemption_premium(&mut self, chain: &mut MockChain) -> Result<(), ChainError> {
+        if !self.escrow_premium_deposited {
+            return Err(self.reject("escrow premium missing"));
+        }
+        if self.redemption_premium_deposited {
+            return Err(self.reject("redemption premium already deposited"));
+        }
+        chain.ledger_mut().transfer(
+            self.redeemer.as_str(),
+            self.account(),
+            self.redemption_premium,
+        )?;
+        self.redemption_premium_deposited = true;
+        chain.emit("depositRedemptionPr", &self.redeemer, self.redemption_premium);
+        Ok(())
+    }
+
+    fn escrow_asset(&mut self, chain: &mut MockChain) -> Result<(), ChainError> {
+        if !self.redemption_premium_deposited {
+            return Err(self.reject("redemption premium missing"));
+        }
+        if self.asset_escrowed {
+            return Err(self.reject("asset already escrowed"));
+        }
+        chain
+            .ledger_mut()
+            .transfer(self.owner.as_str(), self.account(), self.asset)?;
+        self.asset_escrowed = true;
+        chain.emit("assetEscrowed", &self.owner, self.asset);
+        Ok(())
+    }
+
+    fn redeem(&mut self, chain: &mut MockChain, preimage: Preimage) -> Result<(), ChainError> {
+        if !self.asset_escrowed {
+            return Err(self.reject("asset not escrowed"));
+        }
+        if self.asset_redeemed {
+            return Err(self.reject("asset already redeemed"));
+        }
+        if !self.hashlock.opens(&preimage) {
+            return Err(ChainError::WrongPreimage);
+        }
+        chain.emit("hashlockUnlocked", &self.redeemer, 0);
+        chain
+            .ledger_mut()
+            .transfer(self.account(), self.redeemer.as_str(), self.asset)?;
+        self.asset_redeemed = true;
+        chain.emit("assetRedeemed", &self.redeemer, self.asset);
+        // Premiums go back to their payers on success.
+        chain
+            .ledger_mut()
+            .transfer(self.account(), self.owner.as_str(), self.escrow_premium)?;
+        chain.emit("EscrowPremiumRefunded", &self.owner, self.escrow_premium);
+        chain.ledger_mut().transfer(
+            self.account(),
+            self.redeemer.as_str(),
+            self.redemption_premium,
+        )?;
+        chain.emit(
+            "RedemptionPremiumRefunded",
+            &self.redeemer,
+            self.redemption_premium,
+        );
+        Ok(())
+    }
+
+    fn settle(&mut self, chain: &mut MockChain) -> Result<(), ChainError> {
+        if self.settled {
+            return Ok(());
+        }
+        if self.asset_escrowed && !self.asset_redeemed {
+            // Sore-loser: refund the asset, compensate the owner with the
+            // redemption premium, refund the escrow premium.
+            chain
+                .ledger_mut()
+                .transfer(self.account(), self.owner.as_str(), self.asset)?;
+            chain.emit("assetRefunded", &self.owner, self.asset);
+            if self.redemption_premium_deposited {
+                chain.ledger_mut().transfer(
+                    self.account(),
+                    self.owner.as_str(),
+                    self.redemption_premium,
+                )?;
+                chain.emit("RedemptionPremiumRedeemed", &self.owner, self.redemption_premium);
+            }
+            if self.escrow_premium_deposited {
+                chain
+                    .ledger_mut()
+                    .transfer(self.account(), self.owner.as_str(), self.escrow_premium)?;
+                chain.emit("EscrowPremiumRefunded", &self.owner, self.escrow_premium);
+            }
+        } else if !self.asset_escrowed {
+            if self.redemption_premium_deposited {
+                chain.ledger_mut().transfer(
+                    self.account(),
+                    self.redeemer.as_str(),
+                    self.redemption_premium,
+                )?;
+                chain.emit(
+                    "RedemptionPremiumRefunded",
+                    &self.redeemer,
+                    self.redemption_premium,
+                );
+            }
+            if self.escrow_premium_deposited {
+                chain
+                    .ledger_mut()
+                    .transfer(self.account(), self.owner.as_str(), self.escrow_premium)?;
+                chain.emit("EscrowPremiumRefunded", &self.owner, self.escrow_premium);
+            }
+        }
+        self.settled = true;
+        chain.emit("all_asset_settled", "any", 0);
+        Ok(())
+    }
+}
+
+/// Scenario of a three-party run: a per-contract progress level plus late
+/// flags for the six escrow/redeem steps (global steps 7–12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreePartyScenario {
+    /// Progress level 0–3 of the Apricot, Banana and Cherry contracts:
+    /// 0 = nothing, 1 = escrow premium only, 2 = both premiums,
+    /// 3 = premiums + escrow + redeem.
+    pub progress: [u8; 3],
+    /// Late flags for global steps 7–12 (bit 0 = step 7).
+    pub late_bits: u8,
+}
+
+impl ThreePartyScenario {
+    /// The conforming scenario.
+    pub fn conforming() -> Self {
+        ThreePartyScenario {
+            progress: [3, 3, 3],
+            late_bits: 0,
+        }
+    }
+
+    /// Enumerates all 4096 scenarios (4³ progress combinations × 2⁶ late
+    /// flags), the size of the paper's three-party log set.
+    pub fn enumerate() -> Vec<Self> {
+        let mut out = Vec::with_capacity(4096);
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                for c in 0..4u8 {
+                    for bits in 0u8..64 {
+                        out.push(ThreePartyScenario {
+                            progress: [a, b, c],
+                            late_bits: bits,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn step_attempted(&self, global_step: usize) -> bool {
+        // Contract index and how far into that contract's own 4-step sequence
+        // the global step is.
+        let (contract, local) = match global_step {
+            1 => (0, 0),
+            2 => (1, 0),
+            3 => (2, 0),
+            4 => (2, 1),
+            5 => (1, 1),
+            6 => (0, 1),
+            7 => (0, 2),
+            8 => (1, 2),
+            9 => (2, 2),
+            10 => (2, 3),
+            11 => (1, 3),
+            _ => (0, 3),
+        };
+        let progress = self.progress[contract];
+        match progress {
+            0 => false,
+            1 => local == 0,
+            2 => local <= 1,
+            _ => true,
+        }
+    }
+
+    fn step_late(&self, global_step: usize) -> bool {
+        if global_step < 7 {
+            false
+        } else {
+            self.late_bits & (1 << (global_step - 7)) != 0
+        }
+    }
+}
+
+/// Parameters of the hedged three-party swap.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreePartySwap {
+    /// Step deadline Δ (milliseconds).
+    pub delta: u64,
+    /// Asset amount transferred on each leg.
+    pub asset: u64,
+}
+
+impl Default for ThreePartySwap {
+    fn default() -> Self {
+        ThreePartySwap {
+            delta: 500,
+            asset: 100,
+        }
+    }
+}
+
+impl ThreePartySwap {
+    /// Creates a protocol instance with the given Δ.
+    pub fn new(delta: u64) -> Self {
+        ThreePartySwap {
+            delta,
+            ..ThreePartySwap::default()
+        }
+    }
+
+    /// Executes the protocol under the given scenario.
+    pub fn execute(&self, scenario: &ThreePartyScenario) -> ProtocolExecution {
+        let d = self.delta;
+        let secret = Preimage(0x3CA5);
+        let lock = secret.lock();
+        let mut apr = MockChain::new("apr");
+        let mut ban = MockChain::new("ban");
+        let mut che = MockChain::new("che");
+        // Owners need the asset plus their escrow premium; redeemers need
+        // their redemption premium.
+        apr.fund("alice", self.asset + 3);
+        apr.fund("bob", 1);
+        ban.fund("bob", self.asset + 3);
+        ban.fund("carol", 2);
+        che.fund("carol", self.asset + 3);
+        che.fund("alice", 3);
+
+        let mut legs = [
+            LegContract {
+                name: "ApricotSwap".into(),
+                owner: "alice".into(),
+                redeemer: "bob".into(),
+                asset: self.asset,
+                escrow_premium: 3,
+                redemption_premium: 1,
+                hashlock: lock,
+                escrow_premium_deposited: false,
+                redemption_premium_deposited: false,
+                asset_escrowed: false,
+                asset_redeemed: false,
+                settled: false,
+            },
+            LegContract {
+                name: "BananaSwap".into(),
+                owner: "bob".into(),
+                redeemer: "carol".into(),
+                asset: self.asset,
+                escrow_premium: 3,
+                redemption_premium: 2,
+                hashlock: lock,
+                escrow_premium_deposited: false,
+                redemption_premium_deposited: false,
+                asset_escrowed: false,
+                asset_redeemed: false,
+                settled: false,
+            },
+            LegContract {
+                name: "CherrySwap".into(),
+                owner: "carol".into(),
+                redeemer: "alice".into(),
+                asset: self.asset,
+                escrow_premium: 3,
+                redemption_premium: 3,
+                hashlock: lock,
+                escrow_premium_deposited: false,
+                redemption_premium_deposited: false,
+                asset_escrowed: false,
+                asset_redeemed: false,
+                settled: false,
+            },
+        ];
+
+        let mut exec =
+            ProtocolExecution::start(vec![apr, ban, che], &["alice", "bob", "carol"], d);
+
+        for step in 1..=12usize {
+            if !scenario.step_attempted(step) {
+                continue;
+            }
+            let true_time = if scenario.step_late(step) {
+                step as u64 * d + d / 2
+            } else {
+                step as u64 * d - d / 2
+            };
+            for chain in exec.chains.iter_mut() {
+                chain.set_true_time(true_time);
+            }
+            // Which contract/action each global step corresponds to.
+            let (contract, action): (usize, u8) = match step {
+                1 => (0, 0),
+                2 => (1, 0),
+                3 => (2, 0),
+                4 => (2, 1),
+                5 => (1, 1),
+                6 => (0, 1),
+                7 => (0, 2),
+                8 => (1, 2),
+                9 => (2, 2),
+                10 => (2, 3),
+                11 => (1, 3),
+                _ => (0, 3),
+            };
+            let chain = &mut exec.chains[contract];
+            let leg = &mut legs[contract];
+            let _ = match action {
+                0 => leg.deposit_escrow_premium(chain),
+                1 => leg.deposit_redemption_premium(chain),
+                2 => leg.escrow_asset(chain),
+                _ => leg.redeem(chain, secret),
+            };
+        }
+
+        let settle_time = 13 * d;
+        for (i, leg) in legs.iter_mut().enumerate() {
+            exec.chains[i].set_true_time(settle_time);
+            let _ = leg.settle(&mut exec.chains[i]);
+        }
+        exec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_matches_paper_count() {
+        assert_eq!(ThreePartyScenario::enumerate().len(), 4096);
+    }
+
+    #[test]
+    fn conforming_run_swaps_all_three_legs() {
+        let exec = ThreePartySwap::default().execute(&ThreePartyScenario::conforming());
+        assert!(exec.has_event("apr", "hashlockUnlocked", "bob"));
+        assert!(exec.has_event("ban", "hashlockUnlocked", "carol"));
+        assert!(exec.has_event("che", "hashlockUnlocked", "alice"));
+        for party in ["alice", "bob", "carol"] {
+            assert_eq!(exec.payoff(party), 0, "{party} should break even");
+        }
+        assert_eq!(exec.event_count() > 20, true);
+    }
+
+    #[test]
+    fn conforming_party_is_hedged_when_counterparty_defects() {
+        // Carol completes her premiums and escrow but Alice never reveals the
+        // secret (no redeems happen anywhere): everyone who escrowed gets a
+        // refund plus the counterparty's redemption premium.
+        let scenario = ThreePartyScenario {
+            progress: [2, 2, 2],
+            late_bits: 0,
+        };
+        let exec = ThreePartySwap::default().execute(&scenario);
+        for party in ["alice", "bob", "carol"] {
+            assert!(
+                exec.payoff(party) >= 0,
+                "{party} ended negative: {}",
+                exec.payoff(party)
+            );
+        }
+        assert!(!exec.has_event("apr", "assetEscrowed", "alice"));
+    }
+
+    #[test]
+    fn token_conservation() {
+        for scenario in [
+            ThreePartyScenario::conforming(),
+            ThreePartyScenario {
+                progress: [3, 1, 0],
+                late_bits: 0b10_1010,
+            },
+            ThreePartyScenario {
+                progress: [2, 3, 1],
+                late_bits: 0b11_1111,
+            },
+        ] {
+            let exec = ThreePartySwap::default().execute(&scenario);
+            let total: u64 = exec.chains.iter().map(|c| c.ledger().total_supply()).sum();
+            assert_eq!(total, 3 * (100 + 3) + 1 + 2 + 3);
+        }
+    }
+
+    #[test]
+    fn partial_progress_emits_prefix_of_events() {
+        let scenario = ThreePartyScenario {
+            progress: [1, 0, 0],
+            late_bits: 0,
+        };
+        let exec = ThreePartySwap::default().execute(&scenario);
+        assert!(exec.has_event("apr", "depositEscrowPr", "alice"));
+        assert!(!exec.has_event("apr", "depositRedemptionPr", "bob"));
+        assert!(!exec.has_event("ban", "depositEscrowPr", "bob"));
+    }
+}

@@ -1,0 +1,331 @@
+//! The hedged two-party swap protocol (Fig. 1) and its scenario generator.
+//!
+//! Alice swaps 100 apricot tokens for Bob's 100 banana tokens. Each chain
+//! hosts one [`SwapContract`]; the six protocol steps alternate between the
+//! parties with deadlines `Δ, 2Δ, …, 6Δ`. The scenario generator reproduces
+//! the paper's 1024 distinct log sets: 4 per-contract step prefixes on each
+//! chain × 2⁶ on-time/late flags.
+
+use crate::{MockChain, Preimage, ProtocolExecution, SwapContract};
+use serde::{Deserialize, Serialize};
+
+/// Whether a protocol step is attempted, and if so whether it is on time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepChoice {
+    /// The step is attempted by its party.
+    pub attempted: bool,
+    /// The step is attempted after its deadline.
+    pub late: bool,
+}
+
+impl StepChoice {
+    /// A step taken on time.
+    pub fn on_time() -> Self {
+        StepChoice {
+            attempted: true,
+            late: false,
+        }
+    }
+
+    /// A step taken after its deadline.
+    pub fn late() -> Self {
+        StepChoice {
+            attempted: true,
+            late: true,
+        }
+    }
+
+    /// A skipped step.
+    pub fn skipped() -> Self {
+        StepChoice {
+            attempted: false,
+            late: false,
+        }
+    }
+}
+
+/// One simulated behaviour of the two parties: a choice for each of the six
+/// protocol steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoPartyScenario {
+    /// Choices for steps 1–6 (index 0 = step 1).
+    pub steps: [StepChoice; 6],
+}
+
+impl TwoPartyScenario {
+    /// The conforming scenario: every step attempted on time.
+    pub fn conforming() -> Self {
+        TwoPartyScenario {
+            steps: [StepChoice::on_time(); 6],
+        }
+    }
+
+    /// Builds a scenario from the paper's encoding: how many of each
+    /// contract's three steps are attempted (a prefix, 0–3), plus an on-time /
+    /// late bit for each of the six global steps.
+    ///
+    /// Apricot's steps are the global steps 2, 3 and 6; Banana's are 1, 4
+    /// and 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prefix exceeds 3.
+    pub fn from_encoding(apricot_prefix: usize, banana_prefix: usize, late_bits: u8) -> Self {
+        assert!(apricot_prefix <= 3 && banana_prefix <= 3, "prefixes are 0..=3");
+        const APRICOT_STEPS: [usize; 3] = [1, 2, 5]; // 0-based global indices
+        const BANANA_STEPS: [usize; 3] = [0, 3, 4];
+        let mut steps = [StepChoice::skipped(); 6];
+        for (i, &global) in APRICOT_STEPS.iter().enumerate() {
+            steps[global].attempted = i < apricot_prefix;
+        }
+        for (i, &global) in BANANA_STEPS.iter().enumerate() {
+            steps[global].attempted = i < banana_prefix;
+        }
+        for (global, step) in steps.iter_mut().enumerate() {
+            step.late = late_bits & (1 << global) != 0;
+        }
+        TwoPartyScenario { steps }
+    }
+
+    /// Enumerates all 1024 scenarios of the paper's experiment
+    /// (4 apricot prefixes × 4 banana prefixes × 2⁶ late flags).
+    pub fn enumerate() -> Vec<Self> {
+        let mut out = Vec::with_capacity(1024);
+        for apricot in 0..=3 {
+            for banana in 0..=3 {
+                for bits in 0u8..64 {
+                    out.push(Self::from_encoding(apricot, banana, bits));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parameters of the hedged two-party swap.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoPartySwap {
+    /// The step deadline Δ in milliseconds (500 in the paper's experiments).
+    pub delta: u64,
+    /// Amount of ERC20 tokens swapped in each direction.
+    pub asset: u64,
+    /// Alice's premium `p_a`.
+    pub premium_a: u64,
+    /// Bob's premium `p_b`.
+    pub premium_b: u64,
+    /// Local-clock skew of the Apricot chain relative to true time.
+    pub apricot_skew: i64,
+    /// Local-clock skew of the Banana chain relative to true time.
+    pub banana_skew: i64,
+}
+
+impl Default for TwoPartySwap {
+    fn default() -> Self {
+        TwoPartySwap {
+            delta: 500,
+            asset: 100,
+            premium_a: 1,
+            premium_b: 1,
+            apricot_skew: 0,
+            banana_skew: 0,
+        }
+    }
+}
+
+impl TwoPartySwap {
+    /// Creates a protocol instance with the given Δ and default amounts.
+    pub fn new(delta: u64) -> Self {
+        TwoPartySwap {
+            delta,
+            ..TwoPartySwap::default()
+        }
+    }
+
+    /// Sets the per-chain clock skews (used by the Δ-vs-ε experiment).
+    pub fn with_skews(mut self, apricot: i64, banana: i64) -> Self {
+        self.apricot_skew = apricot;
+        self.banana_skew = banana;
+        self
+    }
+
+    /// Executes the protocol under the given scenario and returns the
+    /// resulting per-chain logs and ledgers.
+    pub fn execute(&self, scenario: &TwoPartyScenario) -> ProtocolExecution {
+        let d = self.delta;
+        let secret = Preimage(0xA11CE);
+        let lock = secret.lock();
+
+        let mut apr = MockChain::with_skew("apr", self.apricot_skew);
+        let mut ban = MockChain::with_skew("ban", self.banana_skew);
+        apr.fund("alice", self.asset);
+        apr.fund("bob", self.premium_b);
+        ban.fund("bob", self.asset);
+        ban.fund("alice", self.premium_a + self.premium_b);
+
+        // ApricotSwap: Alice escrows apricot tokens for Bob; Bob pays the
+        // premium p_b. BananaSwap: Bob escrows banana tokens for Alice; Alice
+        // pays p_a + p_b.
+        let mut apricot_swap = SwapContract::new(
+            "ApricotSwap",
+            "alice",
+            "bob",
+            "bob",
+            self.asset,
+            self.premium_b,
+            lock,
+            (2 * d, 3 * d, 6 * d),
+        );
+        let mut banana_swap = SwapContract::new(
+            "BananaSwap",
+            "bob",
+            "alice",
+            "alice",
+            self.asset,
+            self.premium_a + self.premium_b,
+            lock,
+            (d, 4 * d, 5 * d),
+        );
+
+        let execution_parties = ["alice", "bob"];
+        let mut exec = ProtocolExecution::start(vec![apr, ban], &execution_parties, d);
+
+        for (index, choice) in scenario.steps.iter().enumerate() {
+            let step = index + 1;
+            if !choice.attempted {
+                continue;
+            }
+            // On-time steps land half a deadline before `step · Δ`, late ones
+            // half a deadline after.
+            let true_time = if choice.late {
+                step as u64 * d + d / 2
+            } else {
+                step as u64 * d - d / 2
+            };
+            exec.chains[0].set_true_time(true_time);
+            exec.chains[1].set_true_time(true_time);
+            let (apr_chain, ban_chain) = {
+                let (a, b) = exec.chains.split_at_mut(1);
+                (&mut a[0], &mut b[0])
+            };
+            // Rejected calls (missing prerequisite) are simply dropped, as in
+            // the paper's harness: the contract refuses and no event is
+            // emitted.
+            let _ = match step {
+                1 => banana_swap.deposit_premium(ban_chain),
+                2 => apricot_swap.deposit_premium(apr_chain),
+                3 => apricot_swap.escrow_asset(apr_chain),
+                4 => banana_swap.escrow_asset(ban_chain),
+                5 => banana_swap.redeem_asset(ban_chain, secret),
+                _ => apricot_swap.redeem_asset(apr_chain, secret),
+            };
+        }
+
+        // Timeout settlement after the last deadline.
+        let settle_time = 7 * d;
+        exec.chains[0].set_true_time(settle_time);
+        exec.chains[1].set_true_time(settle_time);
+        let _ = apricot_swap.settle(&mut exec.chains[0]);
+        let _ = banana_swap.settle(&mut exec.chains[1]);
+        exec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_enumeration_matches_paper_count() {
+        let all = TwoPartyScenario::enumerate();
+        assert_eq!(all.len(), 1024);
+        // All scenarios are distinct.
+        let mut unique = all.clone();
+        unique.sort_by_key(|s| format!("{s:?}"));
+        unique.dedup();
+        assert_eq!(unique.len(), 1024);
+    }
+
+    #[test]
+    fn conforming_run_swaps_assets_and_refunds_premiums() {
+        let exec = TwoPartySwap::default().execute(&TwoPartyScenario::conforming());
+        // Both parties end with the same total value they started with: the
+        // swapped assets are of equal amount, and premiums are refunded.
+        assert_eq!(exec.payoff("alice"), 0);
+        assert_eq!(exec.payoff("bob"), 0);
+        assert!(exec.has_event("apr", "asset_redeemed", "bob"));
+        assert!(exec.has_event("ban", "asset_redeemed", "alice"));
+        assert!(exec.has_event("ban", "premium_refunded", "alice"));
+        assert!(exec.has_event("apr", "premium_refunded", "bob"));
+        assert!(exec.has_event("apr", "all_asset_settled", "any"));
+    }
+
+    #[test]
+    fn sore_loser_bob_leaves_alice_compensated() {
+        // Bob stops after Alice escrowed on Apricot: he never escrows on
+        // Banana and never redeems. Alice's escrow is refunded and she keeps
+        // Bob's premium (the hedge), so her payoff is non-negative.
+        let scenario = TwoPartyScenario {
+            steps: [
+                StepChoice::on_time(), // Alice premium on Banana
+                StepChoice::on_time(), // Bob premium on Apricot
+                StepChoice::on_time(), // Alice escrow on Apricot
+                StepChoice::skipped(), // Bob escrow on Banana
+                StepChoice::skipped(), // Alice redeem
+                StepChoice::skipped(), // Bob redeem
+            ],
+        };
+        let exec = TwoPartySwap::default().execute(&scenario);
+        assert!(exec.has_event("apr", "asset_refunded", "alice"));
+        assert!(exec.has_event("apr", "premium_redeemed", "alice"));
+        assert!(exec.payoff("alice") >= 0, "hedged party must not lose: {}", exec.payoff("alice"));
+        assert!(exec.payoff("bob") <= 0);
+    }
+
+    #[test]
+    fn skipped_prerequisites_suppress_later_events() {
+        // Bob never deposits his premium on Apricot, so Alice's escrow there
+        // is rejected and no apricot escrow event exists.
+        let scenario = TwoPartyScenario::from_encoding(0, 3, 0);
+        let exec = TwoPartySwap::default().execute(&scenario);
+        assert!(!exec.has_event("apr", "premium_deposited", "bob"));
+        assert!(!exec.has_event("apr", "asset_escrowed", "alice"));
+        assert!(!exec.has_event("apr", "asset_redeemed", "bob"));
+    }
+
+    #[test]
+    fn late_steps_carry_late_timestamps() {
+        let mut steps = [StepChoice::on_time(); 6];
+        steps[0] = StepChoice::late();
+        let exec = TwoPartySwap::new(500).execute(&TwoPartyScenario { steps });
+        let premium_event = exec
+            .chains
+            .iter()
+            .flat_map(|c| c.log())
+            .find(|e| e.name == "premium_deposited" && e.party == "alice")
+            .expect("event exists");
+        assert!(premium_event.time > 500, "late step must miss the Δ deadline");
+    }
+
+    #[test]
+    fn clock_skew_shifts_local_timestamps() {
+        let skewed = TwoPartySwap::default()
+            .with_skews(40, -40)
+            .execute(&TwoPartyScenario::conforming());
+        let reference = TwoPartySwap::default().execute(&TwoPartyScenario::conforming());
+        let first = |exec: &ProtocolExecution, chain: usize| exec.chains[chain].log()[0].time;
+        assert_eq!(first(&skewed, 0), first(&reference, 0) + 40);
+        assert_eq!(first(&skewed, 1), first(&reference, 1) - 40);
+    }
+
+    #[test]
+    fn token_conservation_across_all_scenarios_sample() {
+        for (i, scenario) in TwoPartyScenario::enumerate().into_iter().enumerate() {
+            if i % 97 != 0 {
+                continue; // sample for speed; the full sweep runs in the experiment binary
+            }
+            let exec = TwoPartySwap::default().execute(&scenario);
+            let total: u64 = exec.chains.iter().map(|c| c.ledger().total_supply()).sum();
+            assert_eq!(total, 100 + 1 + 100 + 2, "scenario {i} lost tokens");
+        }
+    }
+}

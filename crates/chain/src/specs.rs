@@ -1,0 +1,297 @@
+//! The MTL specifications monitored over the cross-chain protocols
+//! (Sec. VI-B and Appendix IX-B): liveness, conformance, safety and hedging,
+//! parameterised by the step deadline Δ.
+//!
+//! Safety and hedging compare token payoffs (a sum over ledger transfers);
+//! following the paper's remark that the labelling function µ extends to
+//! non-boolean data, the arithmetic part is evaluated directly on the
+//! execution's ledgers ([`payoff_nonnegative`], [`hedged_compensation_holds`])
+//! and combined with the monitor's verdict for the conformance formula.
+
+use rvmtl_mtl::{Formula, Interval};
+
+fn ev(lo: u64, hi: Option<u64>, prop: &str) -> Formula {
+    Formula::eventually(Interval::new(lo, hi), Formula::atom(prop))
+}
+
+/// Specifications of the hedged two-party swap.
+pub mod two_party {
+    use super::*;
+
+    /// ϕ_liveness: every step happens before its deadline and all assets are
+    /// eventually settled.
+    pub fn liveness(delta: u64) -> Formula {
+        Formula::and_all([
+            ev(0, Some(delta), "ban.premium_deposited(alice)"),
+            ev(0, Some(2 * delta), "apr.premium_deposited(bob)"),
+            ev(0, Some(3 * delta), "apr.asset_escrowed(alice)"),
+            ev(0, Some(4 * delta), "ban.asset_escrowed(bob)"),
+            ev(0, Some(5 * delta), "ban.asset_redeemed(alice)"),
+            ev(0, Some(6 * delta), "apr.asset_redeemed(bob)"),
+            ev(0, Some(5 * delta), "ban.premium_refunded(alice)"),
+            ev(0, Some(6 * delta), "apr.premium_refunded(bob)"),
+            ev(6 * delta, None, "apr.all_asset_settled(any)"),
+            ev(5 * delta, None, "ban.all_asset_settled(any)"),
+        ])
+    }
+
+    /// ϕ_alice_conform: Alice starts the protocol and keeps pace with Bob, and
+    /// never lets Bob redeem before she does.
+    pub fn alice_conform(delta: u64) -> Formula {
+        Formula::and_all([
+            ev(0, Some(delta), "ban.premium_deposited(alice)"),
+            Formula::implies(
+                ev(0, Some(2 * delta), "apr.premium_deposited(bob)"),
+                ev(0, Some(3 * delta), "apr.asset_escrowed(alice)"),
+            ),
+            Formula::implies(
+                ev(0, Some(4 * delta), "ban.asset_escrowed(bob)"),
+                ev(0, Some(5 * delta), "ban.asset_redeemed(alice)"),
+            ),
+            Formula::until_untimed(
+                Formula::not(Formula::atom("apr.asset_redeemed(bob)")),
+                Formula::atom("ban.asset_redeemed(alice)"),
+            ),
+        ])
+    }
+
+    /// ϕ_bob_conform: the symmetric conditions for Bob.
+    pub fn bob_conform(delta: u64) -> Formula {
+        Formula::and_all([
+            Formula::implies(
+                ev(0, Some(delta), "ban.premium_deposited(alice)"),
+                ev(0, Some(2 * delta), "apr.premium_deposited(bob)"),
+            ),
+            Formula::implies(
+                ev(0, Some(3 * delta), "apr.asset_escrowed(alice)"),
+                ev(0, Some(4 * delta), "ban.asset_escrowed(bob)"),
+            ),
+            Formula::implies(
+                ev(0, Some(5 * delta), "ban.asset_redeemed(alice)"),
+                ev(0, Some(6 * delta), "apr.asset_redeemed(bob)"),
+            ),
+            Formula::until_untimed(
+                Formula::not(Formula::atom("ban.asset_redeemed(alice)")),
+                Formula::atom("ban.asset_escrowed(bob)"),
+            ),
+        ])
+    }
+
+    /// The φ_spec of the paper's introduction: Alice must redeem before Bob
+    /// within the given window.
+    pub fn intro_spec(window: u64) -> Formula {
+        Formula::until(
+            Formula::not(Formula::atom("apr.asset_redeemed(bob)")),
+            Interval::bounded(0, window),
+            Formula::atom("ban.asset_redeemed(alice)"),
+        )
+    }
+}
+
+/// Specifications of the hedged three-party swap (Appendix IX-B1).
+pub mod three_party {
+    use super::*;
+
+    /// ϕ_liveness for the three-party swap.
+    pub fn liveness(delta: u64) -> Formula {
+        Formula::and_all([
+            ev(0, Some(delta), "apr.depositEscrowPr(alice)"),
+            ev(0, Some(2 * delta), "ban.depositEscrowPr(bob)"),
+            ev(0, Some(3 * delta), "che.depositEscrowPr(carol)"),
+            ev(0, Some(4 * delta), "che.depositRedemptionPr(alice)"),
+            ev(0, Some(5 * delta), "ban.depositRedemptionPr(carol)"),
+            ev(0, Some(6 * delta), "apr.depositRedemptionPr(bob)"),
+            ev(0, Some(7 * delta), "apr.assetEscrowed(alice)"),
+            ev(0, Some(8 * delta), "ban.assetEscrowed(bob)"),
+            ev(0, Some(9 * delta), "che.assetEscrowed(carol)"),
+            ev(0, Some(10 * delta), "che.hashlockUnlocked(alice)"),
+            ev(0, Some(11 * delta), "ban.hashlockUnlocked(carol)"),
+            ev(0, Some(12 * delta), "apr.hashlockUnlocked(bob)"),
+            ev(0, None, "apr.assetRedeemed(bob)"),
+            ev(0, None, "ban.assetRedeemed(carol)"),
+            ev(0, None, "che.assetRedeemed(alice)"),
+            ev(0, None, "apr.EscrowPremiumRefunded(alice)"),
+            ev(0, None, "ban.EscrowPremiumRefunded(bob)"),
+            ev(0, None, "che.EscrowPremiumRefunded(carol)"),
+            ev(0, None, "che.RedemptionPremiumRefunded(alice)"),
+            ev(0, None, "ban.RedemptionPremiumRefunded(carol)"),
+            ev(0, None, "apr.RedemptionPremiumRefunded(bob)"),
+        ])
+    }
+
+    /// ϕ_alice_conform for the three-party swap: Alice initiates, follows up
+    /// on each of her obligations, and releases her secret in the right order.
+    pub fn alice_conform(delta: u64) -> Formula {
+        Formula::and_all([
+            ev(0, Some(delta), "apr.depositEscrowPr(alice)"),
+            Formula::implies(
+                ev(0, Some(3 * delta), "che.depositEscrowPr(carol)"),
+                ev(0, Some(4 * delta), "che.depositRedemptionPr(alice)"),
+            ),
+            Formula::until_untimed(
+                Formula::not(Formula::atom("che.depositRedemptionPr(alice)")),
+                Formula::atom("che.depositEscrowPr(carol)"),
+            ),
+            Formula::implies(
+                ev(0, Some(6 * delta), "apr.depositRedemptionPr(bob)"),
+                ev(0, Some(7 * delta), "apr.assetEscrowed(alice)"),
+            ),
+            Formula::until_untimed(
+                Formula::not(Formula::atom("apr.assetEscrowed(alice)")),
+                Formula::atom("apr.depositRedemptionPr(bob)"),
+            ),
+            Formula::implies(
+                ev(0, Some(9 * delta), "che.assetEscrowed(carol)"),
+                ev(0, Some(10 * delta), "che.hashlockUnlocked(alice)"),
+            ),
+            Formula::until_untimed(
+                Formula::not(Formula::atom("che.hashlockUnlocked(alice)")),
+                Formula::atom("che.assetEscrowed(carol)"),
+            ),
+            Formula::until_untimed(
+                Formula::not(Formula::atom("ban.hashlockUnlocked(carol)")),
+                Formula::atom("che.hashlockUnlocked(alice)"),
+            ),
+            Formula::until_untimed(
+                Formula::not(Formula::atom("apr.hashlockUnlocked(bob)")),
+                Formula::atom("che.hashlockUnlocked(alice)"),
+            ),
+        ])
+    }
+}
+
+/// Specifications of the auction protocol (Appendix IX-B2).
+pub mod auction {
+    use super::*;
+
+    /// ϕ_liveness: if everyone conforms, the winner (Bob) gets the ticket, the
+    /// auctioneer gets the winning bid, and nobody needs to challenge.
+    pub fn liveness(delta: u64) -> Formula {
+        Formula::and_all([
+            ev(0, Some(delta), "coin.bid(bob)"),
+            ev(0, Some(2 * delta), "coin.declaration(alice, sb)"),
+            ev(0, Some(2 * delta), "tckt.declaration(alice, sb)"),
+            ev(4 * delta, None, "coin.redeemBid(any)"),
+            ev(4 * delta, None, "coin.refundPremium(any)"),
+            Formula::implies(
+                Formula::eventually_untimed(Formula::atom("coin.bid(carol)")),
+                Formula::eventually_untimed(Formula::atom("coin.refundBid(carol)")),
+            ),
+            ev(0, None, "tckt.redeemTicket(bob)"),
+            Formula::not(Formula::eventually_untimed(Formula::atom("coin.challenge(any)"))),
+            Formula::not(Formula::eventually_untimed(Formula::atom("tckt.challenge(any)"))),
+        ])
+    }
+
+    /// ϕ_bob_conform: Bob bids on time and forwards any secret he sees on one
+    /// chain but not the other.
+    pub fn bob_conform(delta: u64) -> Formula {
+        let secret_consistency = |from: &str, to: &str, secret: &str| {
+            Formula::implies(
+                Formula::or(
+                    Formula::eventually_untimed(Formula::atom(format!(
+                        "{from}.declaration(alice, {secret})"
+                    ))),
+                    Formula::eventually_untimed(Formula::atom(format!(
+                        "{from}.challenge(carol, {secret})"
+                    ))),
+                ),
+                Formula::or_all([
+                    Formula::eventually_untimed(Formula::atom(format!(
+                        "{to}.declaration(alice, {secret})"
+                    ))),
+                    Formula::eventually_untimed(Formula::atom(format!(
+                        "{to}.challenge(carol, {secret})"
+                    ))),
+                    Formula::eventually_untimed(Formula::atom(format!(
+                        "{to}.challenge(bob, {secret})"
+                    ))),
+                ]),
+            )
+        };
+        Formula::and_all([
+            ev(0, Some(delta), "coin.bid(bob)"),
+            secret_consistency("coin", "tckt", "sc"),
+            secret_consistency("coin", "tckt", "sb"),
+            secret_consistency("tckt", "coin", "sc"),
+            secret_consistency("tckt", "coin", "sb"),
+        ])
+    }
+}
+
+/// The arithmetic half of the safety specification: a conforming party must
+/// not end up with a negative payoff.
+pub fn payoff_nonnegative(payoff: i64) -> bool {
+    payoff >= 0
+}
+
+/// The safety implication `ϕ_conform → payoff ≥ 0`, evaluated for one verdict
+/// of the conformance formula.
+pub fn safety_holds(conform: bool, payoff: i64) -> bool {
+    !conform || payoff_nonnegative(payoff)
+}
+
+/// The hedging implication: if a conforming party escrowed an asset that was
+/// later refunded, its payoff must cover at least the compensating premium.
+pub fn hedged_compensation_holds(
+    conform: bool,
+    escrowed_and_refunded: bool,
+    payoff: i64,
+    premium: u64,
+) -> bool {
+    !(conform && escrowed_and_refunded) || payoff >= premium as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_party_formulas_are_well_formed() {
+        let liveness = two_party::liveness(500);
+        assert_eq!(liveness.temporal_operator_count(), 10);
+        assert_eq!(liveness.max_horizon(), Some(3000));
+        let conform = two_party::alice_conform(500);
+        assert!(conform.atoms().contains("ban.asset_redeemed(alice)"));
+        assert_eq!(two_party::intro_spec(8).temporal_depth(), 1);
+        let bob = two_party::bob_conform(500);
+        assert!(bob.atoms().contains("apr.premium_deposited(bob)"));
+    }
+
+    #[test]
+    fn three_party_formulas_cover_all_legs() {
+        let liveness = three_party::liveness(500);
+        let atoms = liveness.atoms();
+        for chain in ["apr", "ban", "che"] {
+            assert!(
+                atoms.iter().any(|a| a.name().starts_with(chain)),
+                "missing {chain} atoms"
+            );
+        }
+        assert_eq!(liveness.max_horizon(), Some(12 * 500));
+        let conform = three_party::alice_conform(500);
+        assert!(conform.temporal_operator_count() >= 9);
+    }
+
+    #[test]
+    fn auction_formulas_reference_both_chains() {
+        let liveness = auction::liveness(500);
+        let atoms = liveness.atoms();
+        assert!(atoms.iter().any(|a| a.name().starts_with("coin")));
+        assert!(atoms.iter().any(|a| a.name().starts_with("tckt")));
+        let conform = auction::bob_conform(500);
+        assert!(conform.atoms().len() >= 10);
+    }
+
+    #[test]
+    fn safety_and_hedging_helpers() {
+        assert!(safety_holds(true, 0));
+        assert!(safety_holds(true, 5));
+        assert!(!safety_holds(true, -1));
+        assert!(safety_holds(false, -100));
+        assert!(hedged_compensation_holds(true, true, 2, 1));
+        assert!(!hedged_compensation_holds(true, true, 0, 1));
+        assert!(hedged_compensation_holds(true, false, -5, 1));
+        assert!(hedged_compensation_holds(false, true, -5, 1));
+    }
+}

@@ -1,0 +1,183 @@
+//! An ERC20-style token ledger.
+//!
+//! Each mock blockchain manages one fungible token. Contracts escrow tokens by
+//! transferring them to their own account and release them by transferring
+//! out, so conservation of total supply is an invariant the tests check.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An account on a chain: a protocol party or a contract.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Account(String);
+
+impl Account {
+    /// Creates an account with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Account(name.into())
+    }
+
+    /// The account name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Account {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Account {
+    fn from(s: &str) -> Self {
+        Account::new(s)
+    }
+}
+
+/// Errors produced by ledger operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenError {
+    /// The source account does not hold enough tokens.
+    InsufficientBalance {
+        /// The account attempting to pay.
+        account: Account,
+        /// Its current balance.
+        balance: u64,
+        /// The requested amount.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for TokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenError::InsufficientBalance {
+                account,
+                balance,
+                requested,
+            } => write!(
+                f,
+                "account {account} holds {balance} tokens but {requested} were requested"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+/// A fungible-token ledger (the ERC20 contract of the paper's experiments).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenLedger {
+    balances: BTreeMap<Account, u64>,
+}
+
+impl TokenLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        TokenLedger::default()
+    }
+
+    /// Mints `amount` tokens into `account`.
+    pub fn mint(&mut self, account: impl Into<Account>, amount: u64) {
+        *self.balances.entry(account.into()).or_insert(0) += amount;
+    }
+
+    /// The balance of `account` (0 if it never held tokens).
+    pub fn balance(&self, account: &Account) -> u64 {
+        self.balances.get(account).copied().unwrap_or(0)
+    }
+
+    /// Transfers `amount` tokens from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TokenError::InsufficientBalance`] if `from` holds fewer than
+    /// `amount` tokens; no state is modified in that case.
+    pub fn transfer(
+        &mut self,
+        from: impl Into<Account>,
+        to: impl Into<Account>,
+        amount: u64,
+    ) -> Result<(), TokenError> {
+        let from = from.into();
+        let to = to.into();
+        let balance = self.balance(&from);
+        if balance < amount {
+            return Err(TokenError::InsufficientBalance {
+                account: from,
+                balance,
+                requested: amount,
+            });
+        }
+        *self.balances.get_mut(&from).expect("checked above") -= amount;
+        *self.balances.entry(to).or_insert(0) += amount;
+        Ok(())
+    }
+
+    /// Total number of tokens in existence.
+    pub fn total_supply(&self) -> u64 {
+        self.balances.values().sum()
+    }
+
+    /// Iterates over `(account, balance)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Account, u64)> {
+        self.balances.iter().map(|(a, &b)| (a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_and_balance() {
+        let mut ledger = TokenLedger::new();
+        ledger.mint("alice", 100);
+        ledger.mint("alice", 2);
+        assert_eq!(ledger.balance(&"alice".into()), 102);
+        assert_eq!(ledger.balance(&"bob".into()), 0);
+        assert_eq!(ledger.total_supply(), 102);
+    }
+
+    #[test]
+    fn transfer_moves_tokens() {
+        let mut ledger = TokenLedger::new();
+        ledger.mint("alice", 100);
+        ledger.transfer("alice", "swap", 40).unwrap();
+        assert_eq!(ledger.balance(&"alice".into()), 60);
+        assert_eq!(ledger.balance(&"swap".into()), 40);
+        assert_eq!(ledger.total_supply(), 100);
+    }
+
+    #[test]
+    fn transfer_fails_without_funds() {
+        let mut ledger = TokenLedger::new();
+        ledger.mint("alice", 10);
+        let err = ledger.transfer("alice", "bob", 11).unwrap_err();
+        assert!(matches!(err, TokenError::InsufficientBalance { .. }));
+        // Nothing moved.
+        assert_eq!(ledger.balance(&"alice".into()), 10);
+        assert_eq!(ledger.balance(&"bob".into()), 0);
+    }
+
+    #[test]
+    fn conservation_under_many_transfers() {
+        let mut ledger = TokenLedger::new();
+        ledger.mint("alice", 100);
+        ledger.mint("bob", 100);
+        for i in 0..10u64 {
+            let _ = ledger.transfer("alice", "contract", i);
+            let _ = ledger.transfer("contract", "bob", i / 2);
+        }
+        assert_eq!(ledger.total_supply(), 200);
+    }
+
+    #[test]
+    fn account_display_and_conversion() {
+        let a = Account::from("carol");
+        assert_eq!(a.name(), "carol");
+        assert_eq!(a.to_string(), "carol");
+    }
+}

@@ -1,0 +1,508 @@
+//! Distributed computations `(E, ⇝)` under partial synchrony (Def. 1).
+
+use crate::{Event, EventId, HbRelation, ProcessId};
+use rvmtl_mtl::State;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error produced when assembling an ill-formed computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComputationError {
+    /// Events of a process are not in non-decreasing local-time order.
+    ProcessOrderViolation {
+        /// The offending process.
+        process: ProcessId,
+        /// Local time of the earlier-inserted event.
+        previous: u64,
+        /// Local time of the later-inserted event.
+        current: u64,
+    },
+    /// A message edge references an unknown event.
+    UnknownEvent(EventId),
+    /// A message edge connects two events of the same process.
+    SelfMessage(EventId, EventId),
+    /// The happened-before relation contains a cycle (e.g. a message received
+    /// before it was sent according to the skew bound).
+    CyclicHappenedBefore,
+    /// A process index is referenced that exceeds the declared process count.
+    UnknownProcess(ProcessId),
+}
+
+impl fmt::Display for ComputationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComputationError::ProcessOrderViolation {
+                process,
+                previous,
+                current,
+            } => write!(
+                f,
+                "events of {process} must have non-decreasing local times ({current} after {previous})"
+            ),
+            ComputationError::UnknownEvent(e) => write!(f, "message references unknown event {e}"),
+            ComputationError::SelfMessage(a, b) => {
+                write!(f, "message {a} -> {b} connects events of the same process")
+            }
+            ComputationError::CyclicHappenedBefore => {
+                write!(f, "happened-before relation is cyclic")
+            }
+            ComputationError::UnknownProcess(p) => write!(f, "unknown process {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ComputationError {}
+
+/// Builder for [`DistributedComputation`].
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_distrib::ComputationBuilder;
+/// use rvmtl_mtl::state;
+///
+/// // Fig. 3 of the paper: two processes, ε = 2.
+/// let mut b = ComputationBuilder::new(2, 2);
+/// b.event(0, 1, state!["a"]);
+/// b.event(0, 4, state![]);
+/// b.event(1, 2, state!["a"]);
+/// b.event(1, 5, state!["b"]);
+/// let comp = b.build()?;
+/// assert_eq!(comp.event_count(), 4);
+/// assert_eq!(comp.process_count(), 2);
+/// # Ok::<(), rvmtl_distrib::ComputationError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComputationBuilder {
+    process_count: usize,
+    epsilon: u64,
+    base_time: u64,
+    horizon: Option<u64>,
+    events: Vec<Event>,
+    messages: Vec<(EventId, EventId)>,
+    initial_states: Vec<State>,
+}
+
+impl ComputationBuilder {
+    /// Starts a computation over `process_count` processes with maximum clock
+    /// skew `epsilon`.
+    pub fn new(process_count: usize, epsilon: u64) -> Self {
+        ComputationBuilder {
+            process_count,
+            epsilon,
+            base_time: 0,
+            horizon: None,
+            events: Vec::new(),
+            messages: Vec::new(),
+            initial_states: vec![State::empty(); process_count],
+        }
+    }
+
+    /// Sets the horizon of the computation: an upper bound on the global
+    /// occurrence times of its events. Used by the segmenter so that the
+    /// events of a non-final segment cannot be scheduled beyond the segment's
+    /// end boundary.
+    pub fn horizon(&mut self, t: u64) -> &mut Self {
+        self.horizon = Some(t);
+        self
+    }
+
+    /// Sets the base (anchor) time of the computation: the global time of the
+    /// initial frontier, 0 for a complete run, or the segment start when this
+    /// computation is a segment of a larger one.
+    pub fn base_time(&mut self, t: u64) -> &mut Self {
+        self.base_time = t;
+        self
+    }
+
+    /// Sets the carried-over local state of a process (the state established
+    /// by its last event *before* this computation/segment began).
+    pub fn initial_state(&mut self, process: impl Into<ProcessId>, state: State) -> &mut Self {
+        let p = process.into();
+        assert!(p.0 < self.process_count, "unknown process {p}");
+        self.initial_states[p.0] = state;
+        self
+    }
+
+    /// Appends an event on `process` at local time `local_time` establishing
+    /// local state `state`, and returns its id.
+    pub fn event(
+        &mut self,
+        process: impl Into<ProcessId>,
+        local_time: u64,
+        state: State,
+    ) -> EventId {
+        let id = EventId(self.events.len());
+        self.events.push(Event::new(process, local_time, state));
+        id
+    }
+
+    /// Records a message sent at event `send` and received at event `receive`.
+    pub fn message(&mut self, send: EventId, receive: EventId) -> &mut Self {
+        self.messages.push((send, receive));
+        self
+    }
+
+    /// Validates the computation and computes its happened-before relation.
+    ///
+    /// # Errors
+    ///
+    /// See [`ComputationError`].
+    pub fn build(&self) -> Result<DistributedComputation, ComputationError> {
+        DistributedComputation::from_parts(
+            self.process_count,
+            self.epsilon,
+            self.base_time,
+            self.horizon,
+            self.events.clone(),
+            self.messages.clone(),
+            self.initial_states.clone(),
+        )
+    }
+}
+
+/// A partially synchronous distributed computation `(E, ⇝)` (Def. 1).
+///
+/// Holds the events of every process (totally ordered per process), message
+/// edges, the maximum clock skew `ε`, and the derived happened-before
+/// relation. Optionally carries per-process initial states and a base time so
+/// that a *segment* of a larger computation is itself a computation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistributedComputation {
+    process_count: usize,
+    epsilon: u64,
+    base_time: u64,
+    horizon: Option<u64>,
+    events: Vec<Event>,
+    per_process: Vec<Vec<EventId>>,
+    messages: Vec<(EventId, EventId)>,
+    initial_states: Vec<State>,
+    #[serde(skip)]
+    hb: HbRelation,
+}
+
+impl DistributedComputation {
+    pub(crate) fn from_parts(
+        process_count: usize,
+        epsilon: u64,
+        base_time: u64,
+        horizon: Option<u64>,
+        events: Vec<Event>,
+        messages: Vec<(EventId, EventId)>,
+        initial_states: Vec<State>,
+    ) -> Result<Self, ComputationError> {
+        let mut per_process: Vec<Vec<EventId>> = vec![Vec::new(); process_count];
+        for (idx, e) in events.iter().enumerate() {
+            if e.process.0 >= process_count {
+                return Err(ComputationError::UnknownProcess(e.process));
+            }
+            if let Some(&last) = per_process[e.process.0].last() {
+                let prev = events[last.0].local_time;
+                if e.local_time < prev {
+                    return Err(ComputationError::ProcessOrderViolation {
+                        process: e.process,
+                        previous: prev,
+                        current: e.local_time,
+                    });
+                }
+            }
+            per_process[e.process.0].push(EventId(idx));
+        }
+        for &(a, b) in &messages {
+            if a.0 >= events.len() {
+                return Err(ComputationError::UnknownEvent(a));
+            }
+            if b.0 >= events.len() {
+                return Err(ComputationError::UnknownEvent(b));
+            }
+            if events[a.0].process == events[b.0].process {
+                return Err(ComputationError::SelfMessage(a, b));
+            }
+        }
+        let hb = HbRelation::compute(&events, &per_process, &messages, epsilon);
+        if hb.is_cyclic() {
+            return Err(ComputationError::CyclicHappenedBefore);
+        }
+        Ok(DistributedComputation {
+            process_count,
+            epsilon,
+            base_time,
+            horizon,
+            events,
+            per_process,
+            messages,
+            initial_states,
+            hb,
+        })
+    }
+
+    /// Number of processes.
+    pub fn process_count(&self) -> usize {
+        self.process_count
+    }
+
+    /// Number of events `|E|`.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the computation has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The maximum clock skew `ε`.
+    pub fn epsilon(&self) -> u64 {
+        self.epsilon
+    }
+
+    /// The base (anchor) time of the computation.
+    pub fn base_time(&self) -> u64 {
+        self.base_time
+    }
+
+    /// The horizon of the computation, if any: an upper bound on the global
+    /// occurrence times of its events (set by the segmenter for non-final
+    /// segments).
+    pub fn horizon(&self) -> Option<u64> {
+        self.horizon
+    }
+
+    /// The event with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.0]
+    }
+
+    /// All events, indexed by [`EventId`].
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The ids of the events of `process`, in process order.
+    pub fn events_of(&self, process: ProcessId) -> &[EventId] {
+        &self.per_process[process.0]
+    }
+
+    /// The message edges `(send, receive)`.
+    pub fn messages(&self) -> &[(EventId, EventId)] {
+        &self.messages
+    }
+
+    /// The carried-over initial local state of `process`.
+    pub fn initial_state(&self, process: ProcessId) -> &State {
+        &self.initial_states[process.0]
+    }
+
+    /// The happened-before relation `⇝`.
+    pub fn hb(&self) -> &HbRelation {
+        &self.hb
+    }
+
+    /// Returns `true` if `a ⇝ b`.
+    pub fn happened_before(&self, a: EventId, b: EventId) -> bool {
+        self.hb.happened_before(a, b)
+    }
+
+    /// Returns `true` if `a` and `b` are concurrent (neither happened before
+    /// the other).
+    pub fn concurrent(&self, a: EventId, b: EventId) -> bool {
+        a != b && !self.happened_before(a, b) && !self.happened_before(b, a)
+    }
+
+    /// The inclusive window of admissible global times for event `id`
+    /// (the paper's δ), additionally clamped from below by the computation's
+    /// base time and from above by its horizon (if any).
+    pub fn time_window(&self, id: EventId) -> (u64, u64) {
+        let (lo, hi) = self.events[id.0].time_window(self.epsilon);
+        let lo = lo.max(self.base_time);
+        let hi = hi.max(self.base_time);
+        match self.horizon {
+            Some(h) => (lo, hi.min(h)),
+            None => (lo, hi),
+        }
+    }
+
+    /// Smallest local timestamp of any event (or the base time if empty).
+    pub fn min_local_time(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| e.local_time)
+            .min()
+            .unwrap_or(self.base_time)
+    }
+
+    /// Largest local timestamp of any event (or the base time if empty).
+    pub fn max_local_time(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| e.local_time)
+            .max()
+            .unwrap_or(self.base_time)
+    }
+
+    /// The computation length `l`: elapsed local time from the base time to
+    /// the last event.
+    pub fn duration(&self) -> u64 {
+        self.max_local_time().saturating_sub(self.base_time)
+    }
+
+    /// The number of pairs of concurrent events — a rough measure of how much
+    /// nondeterminism the monitor has to resolve.
+    pub fn concurrency_degree(&self) -> usize {
+        let n = self.event_count();
+        let mut count = 0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.concurrent(EventId(a), EventId(b)) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvmtl_mtl::state;
+
+    fn fig3() -> DistributedComputation {
+        let mut b = ComputationBuilder::new(2, 2);
+        b.event(0, 1, state!["a"]);
+        b.event(0, 4, state![]);
+        b.event(1, 2, state!["a"]);
+        b.event(1, 5, state!["b"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assembles_fig3() {
+        let c = fig3();
+        assert_eq!(c.event_count(), 4);
+        assert_eq!(c.process_count(), 2);
+        assert_eq!(c.epsilon(), 2);
+        assert_eq!(c.events_of(ProcessId(0)).len(), 2);
+        assert_eq!(c.event(EventId(3)).local_time, 5);
+        assert_eq!(c.min_local_time(), 1);
+        assert_eq!(c.max_local_time(), 5);
+        assert_eq!(c.duration(), 5);
+    }
+
+    #[test]
+    fn process_order_is_enforced() {
+        let mut b = ComputationBuilder::new(1, 1);
+        b.event(0, 5, state![]);
+        b.event(0, 3, state![]);
+        assert!(matches!(
+            b.build(),
+            Err(ComputationError::ProcessOrderViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_process_rejected() {
+        let mut b = ComputationBuilder::new(1, 1);
+        b.event(3, 5, state![]);
+        assert!(matches!(
+            b.build(),
+            Err(ComputationError::UnknownProcess(ProcessId(3)))
+        ));
+    }
+
+    #[test]
+    fn message_validation() {
+        let mut b = ComputationBuilder::new(2, 1);
+        let e0 = b.event(0, 1, state![]);
+        let e1 = b.event(0, 2, state![]);
+        b.message(e0, e1);
+        assert!(matches!(b.build(), Err(ComputationError::SelfMessage(..))));
+
+        let mut b = ComputationBuilder::new(2, 1);
+        let e0 = b.event(0, 1, state![]);
+        b.message(e0, EventId(9));
+        assert!(matches!(
+            b.build(),
+            Err(ComputationError::UnknownEvent(EventId(9)))
+        ));
+    }
+
+    #[test]
+    fn happened_before_same_process_and_skew() {
+        let c = fig3();
+        // Same process ordering.
+        assert!(c.happened_before(EventId(0), EventId(1)));
+        assert!(!c.happened_before(EventId(1), EventId(0)));
+        // Skew rule: 1 + 2 < 5 so e0 ⇝ e3.
+        assert!(c.happened_before(EventId(0), EventId(3)));
+        // 1 + 2 < 4 is false (events at times 1 and 2 with ε = 2 are concurrent).
+        assert!(c.concurrent(EventId(0), EventId(2)));
+        // Events at times 4 and 5 are concurrent under ε = 2.
+        assert!(c.concurrent(EventId(1), EventId(3)));
+        assert!(c.concurrency_degree() > 0);
+    }
+
+    #[test]
+    fn messages_induce_happened_before() {
+        let mut b = ComputationBuilder::new(2, 10);
+        let send = b.event(0, 1, state!["s"]);
+        let recv = b.event(1, 2, state!["r"]);
+        b.message(send, recv);
+        let c = b.build().unwrap();
+        // With ε = 10 the skew rule alone would leave them concurrent, but the
+        // message forces the order.
+        assert!(c.happened_before(send, recv));
+        assert!(!c.concurrent(send, recv));
+    }
+
+    #[test]
+    fn cyclic_message_rejected() {
+        let mut b = ComputationBuilder::new(2, 10);
+        let a0 = b.event(0, 1, state![]);
+        let a1 = b.event(0, 5, state![]);
+        let b0 = b.event(1, 1, state![]);
+        let b1 = b.event(1, 5, state![]);
+        // a0 -> b1 and b0 -> a1 is fine; adding b1 -> a0 creates a cycle.
+        b.message(a0, b1);
+        b.message(b0, a1);
+        assert!(b.build().is_ok());
+        b.message(b1, a0);
+        assert!(matches!(
+            b.build(),
+            Err(ComputationError::CyclicHappenedBefore)
+        ));
+    }
+
+    #[test]
+    fn time_windows_respect_base_time() {
+        let mut b = ComputationBuilder::new(1, 3);
+        b.base_time(10);
+        b.event(0, 11, state![]);
+        let c = b.build().unwrap();
+        assert_eq!(c.time_window(EventId(0)), (10, 13));
+        assert_eq!(c.base_time(), 10);
+    }
+
+    #[test]
+    fn initial_states_carried() {
+        let mut b = ComputationBuilder::new(2, 1);
+        b.initial_state(1, state!["carried"]);
+        b.event(0, 1, state![]);
+        let c = b.build().unwrap();
+        assert!(c.initial_state(ProcessId(1)).holds("carried"));
+        assert!(c.initial_state(ProcessId(0)).is_empty());
+    }
+
+    #[test]
+    fn perfect_synchrony_orders_by_local_time() {
+        let mut b = ComputationBuilder::new(2, 0);
+        b.event(0, 1, state![]);
+        b.event(1, 2, state![]);
+        let c = b.build().unwrap();
+        assert!(c.happened_before(EventId(0), EventId(1)));
+    }
+}

@@ -1,0 +1,263 @@
+//! Consistent cuts and frontiers (Def. 2).
+//!
+//! Because events of a single process are totally ordered, a cut is fully
+//! described by how many events of each process it contains; consistency then
+//! means the cut is downward closed under happened-before.
+
+use crate::{DistributedComputation, EventId, ProcessId};
+use rvmtl_mtl::State;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cut of a distributed computation: a downward-closed set of events,
+/// represented by the number of events taken from each process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cut {
+    taken: Vec<usize>,
+}
+
+impl Cut {
+    /// The empty cut `C₀ = ∅` of a computation over `process_count` processes.
+    pub fn empty(process_count: usize) -> Self {
+        Cut {
+            taken: vec![0; process_count],
+        }
+    }
+
+    /// Number of events taken from `process`.
+    pub fn taken(&self, process: ProcessId) -> usize {
+        self.taken[process.0]
+    }
+
+    /// Per-process counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.taken
+    }
+
+    /// Total number of events in the cut.
+    pub fn size(&self) -> usize {
+        self.taken.iter().sum()
+    }
+
+    /// Returns `true` if the cut contains every event of the computation.
+    pub fn is_full(&self, comp: &DistributedComputation) -> bool {
+        self.size() == comp.event_count()
+    }
+
+    /// Returns `true` if the cut contains `event`.
+    pub fn contains(&self, comp: &DistributedComputation, event: EventId) -> bool {
+        let e = comp.event(event);
+        comp.events_of(e.process)
+            .iter()
+            .position(|&id| id == event)
+            .map(|pos| pos < self.taken[e.process.0])
+            .unwrap_or(false)
+    }
+
+    /// Returns `true` if the cut is consistent: for every event it contains,
+    /// it also contains all events that happened before it (Def. 2).
+    pub fn is_consistent(&self, comp: &DistributedComputation) -> bool {
+        for p in 0..self.taken.len() {
+            for &id in &comp.events_of(ProcessId(p))[..self.taken[p]] {
+                for pred in comp.hb().predecessors(id) {
+                    if !self.contains(comp, pred) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The frontier `front(C)`: the last event of each process within the cut
+    /// (processes with no event in the cut are omitted).
+    pub fn frontier_events(&self, comp: &DistributedComputation) -> Vec<EventId> {
+        (0..self.taken.len())
+            .filter_map(|p| {
+                let k = self.taken[p];
+                if k == 0 {
+                    None
+                } else {
+                    Some(comp.events_of(ProcessId(p))[k - 1])
+                }
+            })
+            .collect()
+    }
+
+    /// The combined state of the frontier: the union of the local states of
+    /// the last event of each process in the cut, falling back to the
+    /// process's carried-over initial state when the cut contains none of its
+    /// events.
+    pub fn frontier_state(&self, comp: &DistributedComputation) -> State {
+        let mut state = State::empty();
+        for p in 0..self.taken.len() {
+            let k = self.taken[p];
+            if k == 0 {
+                state.extend_from(comp.initial_state(ProcessId(p)));
+            } else {
+                state.extend_from(&comp.event(comp.events_of(ProcessId(p))[k - 1]).state);
+            }
+        }
+        state
+    }
+
+    /// The events that can extend this cut while keeping it consistent: the
+    /// next event of each process all of whose happened-before predecessors
+    /// are already in the cut.
+    pub fn enabled(&self, comp: &DistributedComputation) -> Vec<EventId> {
+        (0..self.taken.len())
+            .filter_map(|p| {
+                let ids = comp.events_of(ProcessId(p));
+                let k = self.taken[p];
+                if k >= ids.len() {
+                    return None;
+                }
+                let candidate = ids[k];
+                let ready = comp
+                    .hb()
+                    .predecessors(candidate)
+                    .all(|pred| self.contains(comp, pred));
+                ready.then_some(candidate)
+            })
+            .collect()
+    }
+
+    /// The cut extended with one more event of `event`'s process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is not the next event of its process.
+    pub fn extended(&self, comp: &DistributedComputation, event: EventId) -> Cut {
+        let p = comp.event(event).process;
+        let ids = comp.events_of(p);
+        assert_eq!(
+            ids.get(self.taken[p.0]),
+            Some(&event),
+            "{event} is not the next event of {p}"
+        );
+        let mut next = self.clone();
+        next.taken[p.0] += 1;
+        next
+    }
+}
+
+impl fmt::Display for Cut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, k) in self.taken.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{k}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComputationBuilder;
+    use rvmtl_mtl::state;
+
+    fn fig3() -> DistributedComputation {
+        let mut b = ComputationBuilder::new(2, 2);
+        b.event(0, 1, state!["a"]); // e0
+        b.event(0, 4, state!["na"]); // e1
+        b.event(1, 2, state!["a2"]); // e2
+        b.event(1, 5, state!["b"]); // e3
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_cut_properties() {
+        let c = fig3();
+        let cut = Cut::empty(2);
+        assert_eq!(cut.size(), 0);
+        assert!(!cut.is_full(&c));
+        assert!(cut.is_consistent(&c));
+        assert!(cut.frontier_events(&c).is_empty());
+        assert!(cut.frontier_state(&c).is_empty());
+        assert_eq!(cut.to_string(), "⟨0,0⟩");
+    }
+
+    #[test]
+    fn enabled_respects_happened_before() {
+        let c = fig3();
+        let cut = Cut::empty(2);
+        // e2 (P1 at time 2) is within ε of e0 (P0 at 1), so both first events
+        // are enabled from the empty cut.
+        let enabled = cut.enabled(&c);
+        assert_eq!(enabled, vec![EventId(0), EventId(2)]);
+        // After taking only e2, e3 (P1 at 5) is not enabled because e0 ⇝ e3.
+        let cut2 = cut.extended(&c, EventId(2));
+        assert_eq!(cut2.enabled(&c), vec![EventId(0)]);
+    }
+
+    #[test]
+    fn extension_builds_consistent_cuts() {
+        let c = fig3();
+        let mut cut = Cut::empty(2);
+        for id in [EventId(0), EventId(2), EventId(1), EventId(3)] {
+            assert!(cut.enabled(&c).contains(&id));
+            cut = cut.extended(&c, id);
+            assert!(cut.is_consistent(&c));
+        }
+        assert!(cut.is_full(&c));
+        assert_eq!(cut.size(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not the next event")]
+    fn extending_with_wrong_event_panics() {
+        let c = fig3();
+        let cut = Cut::empty(2);
+        let _ = cut.extended(&c, EventId(1));
+    }
+
+    #[test]
+    fn inconsistent_cut_detected() {
+        let c = fig3();
+        // A cut containing e3 (P1 at 5) but not e0 (P0 at 1) is inconsistent
+        // because 1 + ε < 5.
+        let cut = Cut {
+            taken: vec![0, 2],
+        };
+        assert!(!cut.is_consistent(&c));
+    }
+
+    #[test]
+    fn frontier_state_is_union_of_last_events() {
+        let c = fig3();
+        let cut = Cut::empty(2)
+            .extended(&c, EventId(0))
+            .extended(&c, EventId(2));
+        let state = cut.frontier_state(&c);
+        assert!(state.holds("a"));
+        assert!(state.holds("a2"));
+        assert!(!state.holds("b"));
+        let events = cut.frontier_events(&c);
+        assert_eq!(events, vec![EventId(0), EventId(2)]);
+    }
+
+    #[test]
+    fn frontier_uses_initial_state_for_untouched_processes() {
+        let mut b = ComputationBuilder::new(2, 1);
+        b.initial_state(1, state!["carried"]);
+        b.event(0, 1, state!["fresh"]);
+        let c = b.build().unwrap();
+        let cut = Cut::empty(2).extended(&c, EventId(0));
+        let state = cut.frontier_state(&c);
+        assert!(state.holds("fresh"));
+        assert!(state.holds("carried"));
+    }
+
+    #[test]
+    fn contains_checks_prefix_membership() {
+        let c = fig3();
+        let cut = Cut::empty(2).extended(&c, EventId(0));
+        assert!(cut.contains(&c, EventId(0)));
+        assert!(!cut.contains(&c, EventId(1)));
+        assert!(!cut.contains(&c, EventId(2)));
+    }
+}

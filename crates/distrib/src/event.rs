@@ -1,0 +1,129 @@
+//! Processes and events of a distributed computation.
+
+use rvmtl_mtl::State;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a process `P_i` of the distributed system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The process index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// Identifier of an event within a [`crate::DistributedComputation`].
+///
+/// Event ids are dense indices assigned in insertion order by the
+/// [`crate::ComputationBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventId(pub usize);
+
+impl EventId {
+    /// The event index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An event `e^i_σ`: a local state change of process `i` at local time `σ`.
+///
+/// The attached [`State`] is the process's local state (the set of atomic
+/// propositions that hold on that process) from this event onwards, until the
+/// process's next event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// The process on which the event occurred.
+    pub process: ProcessId,
+    /// The local clock value `σ = c_i(G)` at which the event occurred.
+    pub local_time: u64,
+    /// The local state established by the event.
+    pub state: State,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(process: impl Into<ProcessId>, local_time: u64, state: State) -> Self {
+        Event {
+            process: process.into(),
+            local_time,
+            state,
+        }
+    }
+
+    /// The inclusive window of global times the event may actually have
+    /// occurred at, given the maximum clock skew `epsilon`:
+    /// `[max(0, σ − ε + 1), σ + ε − 1]` (the paper's δ).
+    ///
+    /// With `epsilon == 0` (perfect synchrony) the window collapses to `σ`.
+    pub fn time_window(&self, epsilon: u64) -> (u64, u64) {
+        if epsilon == 0 {
+            return (self.local_time, self.local_time);
+        }
+        (
+            self.local_time.saturating_sub(epsilon - 1),
+            self.local_time + epsilon - 1,
+        )
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}:{}", self.process, self.local_time, self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvmtl_mtl::state;
+
+    #[test]
+    fn time_window_with_skew() {
+        let e = Event::new(0, 5, state!["a"]);
+        assert_eq!(e.time_window(2), (4, 6));
+        assert_eq!(e.time_window(1), (5, 5));
+        assert_eq!(e.time_window(0), (5, 5));
+    }
+
+    #[test]
+    fn time_window_clamps_at_zero() {
+        let e = Event::new(1, 1, state![]);
+        assert_eq!(e.time_window(5), (0, 5));
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = Event::new(2, 7, state!["x"]);
+        assert_eq!(e.to_string(), "P2@7:{x}");
+        assert_eq!(ProcessId(3).to_string(), "P3");
+        assert_eq!(EventId(4).to_string(), "e4");
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(EventId(1) < EventId(2));
+        assert!(ProcessId(0) < ProcessId(1));
+    }
+}

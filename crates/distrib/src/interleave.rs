@@ -1,0 +1,306 @@
+//! Explicit enumeration of all traces `Tr(E, ⇝)` of a computation.
+//!
+//! This is the brute-force reference semantics of Sec. III: every sequence of
+//! consistent cuts combined with every admissible assignment of global
+//! occurrence times yields one timed trace. The solver crate answers the same
+//! questions without materialising all traces; this module is the oracle the
+//! solver is differentially tested against, and the naive baseline measured in
+//! the benchmarks.
+//!
+//! A trace has one position per event (in cut order); the state at a position
+//! is the *frontier state* of the cut — the union of the latest local state of
+//! every process — so that global predicates such as mutual exclusion are
+//! observable. The time at a position is the admissible global occurrence
+//! time `δ` chosen for the newly added event.
+
+use crate::{Cut, DistributedComputation};
+use rvmtl_mtl::{evaluate_from, Formula, TimedTrace};
+use std::collections::BTreeSet;
+
+/// Bound on the number of traces the enumerator will materialise before
+/// giving up (the blow-up is exponential; the oracle is meant for small
+/// computations).
+pub const DEFAULT_TRACE_LIMIT: usize = 2_000_000;
+
+/// Error returned when enumeration exceeds the configured limit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceLimitExceeded {
+    /// The limit that was exceeded.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for TraceLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace enumeration exceeded {} traces", self.limit)
+    }
+}
+
+impl std::error::Error for TraceLimitExceeded {}
+
+/// Enumerates every linearisation of the computation's events (every maximal
+/// sequence of consistent cuts), ignoring occurrence-time nondeterminism.
+pub fn enumerate_linearizations(comp: &DistributedComputation) -> Vec<Vec<crate::EventId>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let cut = Cut::empty(comp.process_count());
+    fn recurse(
+        comp: &DistributedComputation,
+        cut: &Cut,
+        current: &mut Vec<crate::EventId>,
+        out: &mut Vec<Vec<crate::EventId>>,
+    ) {
+        if cut.is_full(comp) {
+            out.push(current.clone());
+            return;
+        }
+        for id in cut.enabled(comp) {
+            current.push(id);
+            recurse(comp, &cut.extended(comp, id), current, out);
+            current.pop();
+        }
+    }
+    recurse(comp, &cut, &mut current, &mut out);
+    out
+}
+
+/// Enumerates every trace of the computation: every linearisation combined
+/// with every admissible, monotone assignment of global occurrence times
+/// within each event's `±ε` window (clamped below by the computation's base
+/// time).
+///
+/// # Errors
+///
+/// Returns [`TraceLimitExceeded`] if more than `limit` traces would be
+/// produced.
+pub fn enumerate_traces_bounded(
+    comp: &DistributedComputation,
+    limit: usize,
+) -> Result<Vec<TimedTrace>, TraceLimitExceeded> {
+    let mut out = Vec::new();
+    let mut trace = TimedTrace::empty();
+    let cut = Cut::empty(comp.process_count());
+    recurse_traces(comp, &cut, &mut trace, comp.base_time(), limit, &mut out)?;
+    Ok(out)
+}
+
+/// [`enumerate_traces_bounded`] with [`DEFAULT_TRACE_LIMIT`].
+///
+/// # Panics
+///
+/// Panics if the limit is exceeded; use the bounded variant on computations of
+/// unknown size.
+pub fn enumerate_traces(comp: &DistributedComputation) -> Vec<TimedTrace> {
+    enumerate_traces_bounded(comp, DEFAULT_TRACE_LIMIT)
+        .expect("trace enumeration exceeded the default limit")
+}
+
+fn recurse_traces(
+    comp: &DistributedComputation,
+    cut: &Cut,
+    trace: &mut TimedTrace,
+    last_time: u64,
+    limit: usize,
+    out: &mut Vec<TimedTrace>,
+) -> Result<(), TraceLimitExceeded> {
+    if cut.is_full(comp) {
+        if out.len() >= limit {
+            return Err(TraceLimitExceeded { limit });
+        }
+        out.push(trace.clone());
+        return Ok(());
+    }
+    for id in cut.enabled(comp) {
+        let (lo, hi) = comp.time_window(id);
+        let lo = lo.max(last_time);
+        if lo > hi {
+            continue;
+        }
+        let next_cut = cut.extended(comp, id);
+        let state = next_cut.frontier_state(comp);
+        for t in lo..=hi {
+            trace
+                .push(state.clone(), t)
+                .expect("time chosen to be monotone");
+            recurse_traces(comp, &next_cut, trace, t, limit, out)?;
+            // Rebuild the trace without the last element.
+            *trace = trace.prefix(trace.len() - 1);
+        }
+    }
+    Ok(())
+}
+
+/// The set of verdicts `[(E, ⇝) ⊨F φ]`: the formula evaluated on every trace
+/// of the computation (Sec. III), anchored at the computation's base time
+/// (the paper's `π₀ = 0`). A singleton set means the verdict is independent of
+/// the unknown interleaving; a two-element set means the computation is
+/// genuinely ambiguous under partial synchrony.
+///
+/// # Panics
+///
+/// Panics if the trace enumeration exceeds [`DEFAULT_TRACE_LIMIT`].
+pub fn all_verdicts(comp: &DistributedComputation, phi: &Formula) -> BTreeSet<bool> {
+    enumerate_traces(comp)
+        .iter()
+        .map(|trace| evaluate_from(trace, phi, comp.base_time()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComputationBuilder;
+    use rvmtl_mtl::{state, Formula, Interval};
+
+    fn fig3() -> DistributedComputation {
+        let mut b = ComputationBuilder::new(2, 2);
+        b.event(0, 1, state!["a"]);
+        b.event(0, 4, state![]);
+        b.event(1, 2, state!["a"]);
+        b.event(1, 5, state!["b"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn linearizations_respect_happened_before() {
+        let comp = fig3();
+        let lins = enumerate_linearizations(&comp);
+        assert!(!lins.is_empty());
+        for lin in &lins {
+            assert_eq!(lin.len(), comp.event_count());
+            for (i, &a) in lin.iter().enumerate() {
+                for &b in &lin[i + 1..] {
+                    assert!(
+                        !comp.happened_before(b, a),
+                        "linearisation violates happened-before: {b} before {a}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn totally_ordered_computation_has_single_linearization() {
+        let mut b = ComputationBuilder::new(1, 1);
+        b.event(0, 1, state!["x"]);
+        b.event(0, 2, state!["y"]);
+        let comp = b.build().unwrap();
+        assert_eq!(enumerate_linearizations(&comp).len(), 1);
+    }
+
+    #[test]
+    fn traces_have_one_position_per_event_and_monotone_times() {
+        let comp = fig3();
+        let traces = enumerate_traces(&comp);
+        assert!(!traces.is_empty());
+        for t in &traces {
+            assert_eq!(t.len(), comp.event_count());
+            for i in 1..t.len() {
+                assert!(t.time(i) >= t.time(i - 1));
+            }
+            // Every assigned time lies within some event's ±ε window.
+            for i in 0..t.len() {
+                let time = t.time(i);
+                assert!(comp
+                    .events()
+                    .iter()
+                    .any(|e| {
+                        let (lo, hi) = e.time_window(comp.epsilon());
+                        time >= lo && time <= hi
+                    }));
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_produces_contradictory_verdicts() {
+        // Sec. III: with ε = 2 and φ = a U_[0,6) b, the computation of Fig. 3
+        // admits both a satisfying and a violating trace.
+        let comp = fig3();
+        let phi = Formula::until(
+            Formula::atom("a"),
+            Interval::bounded(0, 6),
+            Formula::atom("b"),
+        );
+        let verdicts = all_verdicts(&comp, &phi);
+        assert_eq!(verdicts.len(), 2, "expected both ⊤ and ⊥");
+    }
+
+    #[test]
+    fn synchronous_computation_has_unambiguous_verdict() {
+        // With ε = 1 (no effective skew) and well-separated events the verdict
+        // is unique.
+        let mut b = ComputationBuilder::new(2, 1);
+        b.event(0, 1, state!["a"]);
+        b.event(1, 3, state!["b"]);
+        let comp = b.build().unwrap();
+        let phi = Formula::until(
+            Formula::atom("a"),
+            Interval::bounded(0, 6),
+            Formula::atom("b"),
+        );
+        let verdicts = all_verdicts(&comp, &phi);
+        assert_eq!(verdicts.len(), 1);
+        assert!(verdicts.contains(&true));
+    }
+
+    #[test]
+    fn trace_count_grows_with_epsilon() {
+        let build = |eps| {
+            let mut b = ComputationBuilder::new(2, eps);
+            b.event(0, 2, state!["a"]);
+            b.event(1, 3, state!["b"]);
+            b.build().unwrap()
+        };
+        let small = enumerate_traces(&build(1)).len();
+        let large = enumerate_traces(&build(3)).len();
+        assert!(large > small, "ε = 3 should admit more traces ({large} vs {small})");
+    }
+
+    #[test]
+    fn frontier_states_expose_global_predicates() {
+        // Two processes both enter a critical section concurrently: some trace
+        // has a position where both cs flags are visible simultaneously.
+        let mut b = ComputationBuilder::new(2, 3);
+        b.event(0, 2, state!["cs0"]);
+        b.event(1, 3, state!["cs1"]);
+        let comp = b.build().unwrap();
+        let both = Formula::eventually_untimed(Formula::and(
+            Formula::atom("cs0"),
+            Formula::atom("cs1"),
+        ));
+        let verdicts = all_verdicts(&comp, &both);
+        assert!(verdicts.contains(&true));
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let mut b = ComputationBuilder::new(3, 4);
+        for p in 0..3 {
+            for t in 0..4 {
+                b.event(p, t + 1, state![]);
+            }
+        }
+        let comp = b.build().unwrap();
+        let err = enumerate_traces_bounded(&comp, 10).unwrap_err();
+        assert_eq!(err.limit, 10);
+    }
+
+    #[test]
+    fn empty_computation_has_single_empty_trace() {
+        let comp = ComputationBuilder::new(2, 2).build().unwrap();
+        let traces = enumerate_traces(&comp);
+        assert_eq!(traces.len(), 1);
+        assert!(traces[0].is_empty());
+    }
+
+    #[test]
+    fn base_time_clamps_assigned_times() {
+        let mut b = ComputationBuilder::new(1, 5);
+        b.base_time(10);
+        b.event(0, 11, state!["x"]);
+        let comp = b.build().unwrap();
+        for t in enumerate_traces(&comp) {
+            assert!(t.time(0) >= 10);
+        }
+    }
+}

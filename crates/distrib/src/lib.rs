@@ -1,0 +1,54 @@
+//! Partially synchronous distributed computations for runtime verification.
+//!
+//! This crate models the system side of the paper *Distributed Runtime
+//! Verification of Metric Temporal Properties for Cross-Chain Protocols*
+//! (ICDCS 2022):
+//!
+//! * [`Event`]s on [`ProcessId`]s with local clocks and a bounded clock skew
+//!   `ε` ([`DistributedComputation`], Def. 1);
+//! * the happened-before relation `⇝` closed under the partial-synchrony rule
+//!   ([`HbRelation`]);
+//! * consistent cuts, frontiers and their enabled extensions ([`Cut`],
+//!   Def. 2);
+//! * brute-force enumeration of all traces `Tr(E, ⇝)` ([`enumerate_traces`],
+//!   Sec. III) — the reference oracle for the solver crate;
+//! * segmentation of a computation for scalable monitoring ([`segment`],
+//!   Sec. V-C).
+//!
+//! # Example
+//!
+//! ```
+//! use rvmtl_distrib::{all_verdicts, ComputationBuilder};
+//! use rvmtl_mtl::{parse, state};
+//!
+//! // Fig. 3 of the paper: with ε = 2 the formula a U[0,6) b is ambiguous.
+//! let mut b = ComputationBuilder::new(2, 2);
+//! b.event(0, 1, state!["a"]);
+//! b.event(0, 4, state![]);
+//! b.event(1, 2, state!["a"]);
+//! b.event(1, 5, state!["b"]);
+//! let comp = b.build()?;
+//! let phi = parse("a U[0,6) b")?;
+//! assert_eq!(all_verdicts(&comp, &phi).len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod computation;
+mod cuts;
+mod event;
+mod hb;
+mod interleave;
+mod segment;
+
+pub use computation::{ComputationBuilder, ComputationError, DistributedComputation};
+pub use cuts::Cut;
+pub use event::{Event, EventId, ProcessId};
+pub use hb::HbRelation;
+pub use interleave::{
+    all_verdicts, enumerate_linearizations, enumerate_traces, enumerate_traces_bounded,
+    TraceLimitExceeded, DEFAULT_TRACE_LIMIT,
+};
+pub use segment::{boundary_events, segment, segments_for_frequency, SegmentationMode};

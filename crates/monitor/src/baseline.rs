@@ -1,0 +1,79 @@
+//! The naive baseline monitor: explicitly enumerate every trace of the
+//! computation and evaluate the formula on each one.
+//!
+//! This is the approach the paper argues against (exponential blow-up without
+//! any symbolic pruning); it serves as the correctness oracle for the
+//! progression-based monitor and as the baseline series in the benchmark
+//! harness.
+
+use crate::VerdictSet;
+use rvmtl_distrib::{all_verdicts, enumerate_traces_bounded, DistributedComputation, TraceLimitExceeded};
+use rvmtl_mtl::{evaluate_from, Formula};
+
+/// Monitors by brute force: evaluates `phi` on every trace of `comp`.
+///
+/// # Panics
+///
+/// Panics if the number of traces exceeds
+/// [`rvmtl_distrib::DEFAULT_TRACE_LIMIT`].
+pub fn naive_verdicts(comp: &DistributedComputation, phi: &Formula) -> VerdictSet {
+    VerdictSet::from_bools(all_verdicts(comp, phi))
+}
+
+/// Bounded variant of [`naive_verdicts`] that gives up (returning an error)
+/// instead of enumerating more than `limit` traces.
+///
+/// # Errors
+///
+/// Returns [`TraceLimitExceeded`] when the computation admits more traces than
+/// `limit`.
+pub fn naive_verdicts_bounded(
+    comp: &DistributedComputation,
+    phi: &Formula,
+    limit: usize,
+) -> Result<VerdictSet, TraceLimitExceeded> {
+    let traces = enumerate_traces_bounded(comp, limit)?;
+    Ok(VerdictSet::from_bools(
+        traces
+            .iter()
+            .map(|t| evaluate_from(t, phi, comp.base_time())),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvmtl_distrib::ComputationBuilder;
+    use rvmtl_mtl::{parse, state};
+
+    fn fig3() -> DistributedComputation {
+        let mut b = ComputationBuilder::new(2, 2);
+        b.event(0, 1, state!["a"]);
+        b.event(0, 4, state![]);
+        b.event(1, 2, state!["a"]);
+        b.event(1, 5, state!["b"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn naive_monitor_detects_ambiguity() {
+        let verdicts = naive_verdicts(&fig3(), &parse("a U[0,6) b").unwrap());
+        assert!(verdicts.is_ambiguous());
+    }
+
+    #[test]
+    fn bounded_variant_reports_blowup() {
+        let mut b = ComputationBuilder::new(3, 4);
+        for p in 0..3 {
+            for t in 1..5u64 {
+                b.event(p, t, state![]);
+            }
+        }
+        let comp = b.build().unwrap();
+        let err = naive_verdicts_bounded(&comp, &parse("true").unwrap(), 5).unwrap_err();
+        assert_eq!(err.limit, 5);
+        // Small computations succeed.
+        let ok = naive_verdicts_bounded(&fig3(), &parse("F[0,9) b").unwrap(), 100_000).unwrap();
+        assert!(ok.may_be_satisfied());
+    }
+}

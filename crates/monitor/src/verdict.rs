@@ -1,0 +1,231 @@
+//! Verdicts of distributed monitoring.
+//!
+//! A partially synchronous computation can justify *several* verdicts for the
+//! same formula (Sec. III), so the monitor's output is a set.
+
+use rvmtl_mtl::Formula;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The verdict associated with one distinguishable class of traces.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// The formula is satisfied on every extension of this class of traces.
+    True,
+    /// The formula is violated on every extension of this class of traces.
+    False,
+    /// The verdict still depends on future observations; the rewritten
+    /// formula is the remaining obligation.
+    Inconclusive(Formula),
+}
+
+impl Verdict {
+    /// Classifies a rewritten formula.
+    pub fn from_formula(phi: &Formula) -> Self {
+        match phi.as_bool() {
+            Some(true) => Verdict::True,
+            Some(false) => Verdict::False,
+            None => Verdict::Inconclusive(phi.clone()),
+        }
+    }
+
+    /// Returns `true` if this verdict is conclusive.
+    pub fn is_conclusive(&self) -> bool {
+        !matches!(self, Verdict::Inconclusive(_))
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::True => write!(f, "⊤"),
+            Verdict::False => write!(f, "⊥"),
+            Verdict::Inconclusive(phi) => write!(f, "?({phi})"),
+        }
+    }
+}
+
+/// The set of verdicts produced by monitoring one computation (or the state of
+/// an online monitor mid-computation).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerdictSet {
+    verdicts: BTreeSet<Verdict>,
+}
+
+impl VerdictSet {
+    /// Creates an empty verdict set.
+    pub fn new() -> Self {
+        VerdictSet::default()
+    }
+
+    /// Builds a verdict set from rewritten formulas.
+    pub fn from_formulas<'a>(formulas: impl IntoIterator<Item = &'a Formula>) -> Self {
+        VerdictSet {
+            verdicts: formulas
+                .into_iter()
+                .map(Verdict::from_formula)
+                .collect(),
+        }
+    }
+
+    /// Builds a verdict set from final boolean verdicts.
+    pub fn from_bools(bools: impl IntoIterator<Item = bool>) -> Self {
+        VerdictSet {
+            verdicts: bools
+                .into_iter()
+                .map(|b| if b { Verdict::True } else { Verdict::False })
+                .collect(),
+        }
+    }
+
+    /// Inserts a verdict.
+    pub fn insert(&mut self, v: Verdict) {
+        self.verdicts.insert(v);
+    }
+
+    /// Iterates over the verdicts.
+    pub fn iter(&self) -> impl Iterator<Item = &Verdict> {
+        self.verdicts.iter()
+    }
+
+    /// Number of distinct verdicts.
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// Returns `true` if the set contains no verdicts (an infeasible
+    /// computation).
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+
+    /// Returns `true` if some class of traces satisfies the formula.
+    pub fn may_be_satisfied(&self) -> bool {
+        self.verdicts.contains(&Verdict::True)
+    }
+
+    /// Returns `true` if some class of traces violates the formula.
+    pub fn may_be_violated(&self) -> bool {
+        self.verdicts.contains(&Verdict::False)
+    }
+
+    /// Returns `true` if every class of traces satisfies the formula — the
+    /// strongest positive statement the monitor can make.
+    pub fn definitely_satisfied(&self) -> bool {
+        !self.is_empty() && self.verdicts.iter().all(|v| *v == Verdict::True)
+    }
+
+    /// Returns `true` if every class of traces violates the formula.
+    pub fn definitely_violated(&self) -> bool {
+        !self.is_empty() && self.verdicts.iter().all(|v| *v == Verdict::False)
+    }
+
+    /// Returns `true` if different classes of traces give different verdicts —
+    /// the ambiguity the paper warns about when `ε ⪆ Δ`.
+    pub fn is_ambiguous(&self) -> bool {
+        self.len() > 1
+    }
+
+    /// The conclusive boolean verdicts contained in the set.
+    pub fn booleans(&self) -> BTreeSet<bool> {
+        self.verdicts
+            .iter()
+            .filter_map(|v| match v {
+                Verdict::True => Some(true),
+                Verdict::False => Some(false),
+                Verdict::Inconclusive(_) => None,
+            })
+            .collect()
+    }
+
+    /// The remaining obligations of inconclusive verdicts.
+    pub fn pending_formulas(&self) -> Vec<&Formula> {
+        self.verdicts
+            .iter()
+            .filter_map(|v| match v {
+                Verdict::Inconclusive(phi) => Some(phi),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<Verdict> for VerdictSet {
+    fn from_iter<I: IntoIterator<Item = Verdict>>(iter: I) -> Self {
+        VerdictSet {
+            verdicts: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for VerdictSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.verdicts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvmtl_mtl::parse;
+
+    #[test]
+    fn classification_from_formulas() {
+        assert_eq!(Verdict::from_formula(&Formula::True), Verdict::True);
+        assert_eq!(Verdict::from_formula(&Formula::False), Verdict::False);
+        let pending = parse("F[0,5) p").unwrap();
+        assert_eq!(
+            Verdict::from_formula(&pending),
+            Verdict::Inconclusive(pending.clone())
+        );
+        assert!(Verdict::True.is_conclusive());
+        assert!(!Verdict::from_formula(&pending).is_conclusive());
+    }
+
+    #[test]
+    fn set_queries() {
+        let both = VerdictSet::from_bools([true, false]);
+        assert!(both.may_be_satisfied());
+        assert!(both.may_be_violated());
+        assert!(both.is_ambiguous());
+        assert!(!both.definitely_satisfied());
+        assert_eq!(both.booleans().len(), 2);
+
+        let only_true = VerdictSet::from_bools([true, true]);
+        assert_eq!(only_true.len(), 1);
+        assert!(only_true.definitely_satisfied());
+        assert!(!only_true.is_ambiguous());
+
+        let empty = VerdictSet::new();
+        assert!(empty.is_empty());
+        assert!(!empty.definitely_satisfied());
+        assert!(!empty.definitely_violated());
+    }
+
+    #[test]
+    fn pending_formulas_exposed() {
+        let pending = parse("F[0,5) p").unwrap();
+        let set = VerdictSet::from_formulas([&Formula::True, &pending]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.pending_formulas(), vec![&pending]);
+        assert!(set.may_be_satisfied());
+        assert!(!set.may_be_violated());
+    }
+
+    #[test]
+    fn display_renders_all_kinds() {
+        let pending = parse("p").unwrap();
+        let set = VerdictSet::from_formulas([&Formula::True, &Formula::False, &pending]);
+        let text = set.to_string();
+        assert!(text.contains('⊤'));
+        assert!(text.contains('⊥'));
+        assert!(text.contains("?(p)"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Atomic propositions.
+//!
+//! Propositions name observable facts about a system under monitoring, such as
+//! `apr.asset_redeemed(bob)` (an event on the Apricot chain) or
+//! `Train1.Cross` (a location of a timed automaton). They are cheap to clone
+//! (reference-counted strings) and totally ordered so that states and formulas
+//! can be canonicalised and deduplicated.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An atomic proposition.
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_mtl::Prop;
+///
+/// let p = Prop::new("apr.asset_redeemed(bob)");
+/// assert_eq!(p.name(), "apr.asset_redeemed(bob)");
+/// assert_eq!(p, Prop::new("apr.asset_redeemed(bob)"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prop(Arc<str>);
+
+impl Prop {
+    /// Creates a proposition with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Prop(Arc::from(name.as_ref()))
+    }
+
+    /// Creates a proposition of the form `scope.event(party)`, the naming
+    /// convention used for blockchain events in the paper
+    /// (e.g. `ban.premium_deposited(alice)`).
+    pub fn scoped(scope: &str, event: &str, party: &str) -> Self {
+        Prop::new(format!("{scope}.{event}({party})"))
+    }
+
+    /// Creates an indexed proposition of the form `name[i].field`, the naming
+    /// convention used for the UPPAAL benchmark models
+    /// (e.g. `Train[1].Cross`).
+    pub fn indexed(name: &str, index: usize, field: &str) -> Self {
+        Prop::new(format!("{name}[{index}].{field}"))
+    }
+
+    /// The proposition's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Prop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Prop {
+    fn from(s: &str) -> Self {
+        Prop::new(s)
+    }
+}
+
+impl From<String> for Prop {
+    fn from(s: String) -> Self {
+        Prop::new(s)
+    }
+}
+
+impl Borrow<str> for Prop {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Prop {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Serialize for Prop {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Prop {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Prop::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn equality_is_by_name() {
+        assert_eq!(Prop::new("a"), Prop::new("a"));
+        assert_ne!(Prop::new("a"), Prop::new("b"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut set = BTreeSet::new();
+        set.insert(Prop::new("b"));
+        set.insert(Prop::new("a"));
+        set.insert(Prop::new("c"));
+        let names: Vec<_> = set.iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn scoped_and_indexed_constructors() {
+        assert_eq!(
+            Prop::scoped("ban", "premium_deposited", "alice").name(),
+            "ban.premium_deposited(alice)"
+        );
+        assert_eq!(Prop::indexed("Train", 1, "Cross").name(), "Train[1].Cross");
+    }
+
+    #[test]
+    fn borrow_str_lookup() {
+        let mut set = BTreeSet::new();
+        set.insert(Prop::new("x"));
+        assert!(set.contains("x"));
+        assert!(!set.contains("y"));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        let p = Prop::new("Gate.Occ");
+        assert_eq!(p.to_string(), "Gate.Occ");
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let p = Prop::new("long.proposition.name(with_party)");
+        let q = p.clone();
+        assert_eq!(p, q);
+    }
+}

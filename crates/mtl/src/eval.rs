@@ -1,0 +1,316 @@
+//! Finite-trace MTL semantics (`⊨F`) as defined in Sec. II-B of the paper.
+//!
+//! The truth values are the two-valued set `{⊤, ⊥}`: a formula either is
+//! satisfied by the finite trace or it is not. The only operator whose
+//! semantics differs from the infinite-trace case is `U_I` (and, derived from
+//! it, `◇_I` and `□_I`): existential obligations that are not discharged
+//! within the trace evaluate to `⊥`, universal obligations that are never
+//! challenged within the trace evaluate to `⊤`.
+
+use crate::{Formula, TimedTrace};
+
+/// Evaluates `(α, τ̄, i) ⊨F φ` — the finite-trace semantics at position `i`.
+///
+/// # Panics
+///
+/// Panics if `i >= trace.len()` on a non-empty trace access. For an empty
+/// trace, every existential obligation is `false` and every universal one is
+/// `true`.
+pub fn evaluate_at(trace: &TimedTrace, i: usize, phi: &Formula) -> bool {
+    let n = trace.len();
+    match phi {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom(p) => i < n && trace.state(i).holds_prop(p),
+        Formula::Not(a) => !evaluate_at(trace, i, a),
+        Formula::And(a, b) => evaluate_at(trace, i, a) && evaluate_at(trace, i, b),
+        Formula::Or(a, b) => evaluate_at(trace, i, a) || evaluate_at(trace, i, b),
+        Formula::Implies(a, b) => !evaluate_at(trace, i, a) || evaluate_at(trace, i, b),
+        Formula::Eventually(interval, a) => {
+            if i >= n {
+                return false;
+            }
+            let base = trace.time(i);
+            (i..n).any(|j| interval.contains(trace.time(j) - base) && evaluate_at(trace, j, a))
+        }
+        Formula::Always(interval, a) => {
+            if i >= n {
+                return true;
+            }
+            let base = trace.time(i);
+            (i..n).all(|j| !interval.contains(trace.time(j) - base) || evaluate_at(trace, j, a))
+        }
+        Formula::Until(a, interval, b) => {
+            if i >= n {
+                return false;
+            }
+            let base = trace.time(i);
+            (i..n).any(|j| {
+                interval.contains(trace.time(j) - base)
+                    && evaluate_at(trace, j, b)
+                    && (i..j).all(|k| evaluate_at(trace, k, a))
+            })
+        }
+    }
+}
+
+/// Evaluates `(α, τ̄) ⊨F φ`, i.e. [`evaluate_at`] at position 0.
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_mtl::{evaluate, state, Formula, Interval, TimedTrace};
+///
+/// // Fig. 3 of the paper: φ = a U_[0,6) b over one of the two possible
+/// // orderings, (a,1)(a,2)(b,4)(¬a,5), which satisfies φ.
+/// let trace = TimedTrace::new(
+///     vec![state!["a"], state!["a"], state!["b"], state![]],
+///     vec![1, 2, 4, 5],
+/// )?;
+/// let phi = Formula::until(
+///     Formula::atom("a"),
+///     Interval::bounded(0, 6),
+///     Formula::atom("b"),
+/// );
+/// assert!(evaluate(&trace, &phi));
+/// # Ok::<(), rvmtl_mtl::TraceError>(())
+/// ```
+pub fn evaluate(trace: &TimedTrace, phi: &Formula) -> bool {
+    evaluate_at(trace, 0, phi)
+}
+
+/// Evaluates `phi` on `trace` with the top-level time reference anchored at
+/// `origin` instead of the trace's first timestamp.
+///
+/// This is the semantics used for whole distributed computations, where the
+/// paper anchors the time sequence at the global start (`π₀ = 0`) rather than
+/// at the first observed event. Inner temporal operators still anchor at the
+/// trace position from which they are evaluated; atomic propositions at the
+/// top level refer to the first observation.
+///
+/// For `origin == trace.time(0)` this coincides with [`evaluate`].
+pub fn evaluate_from(trace: &TimedTrace, phi: &Formula, origin: u64) -> bool {
+    let n = trace.len();
+    match phi {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom(p) => n > 0 && trace.state(0).holds_prop(p),
+        Formula::Not(a) => !evaluate_from(trace, a, origin),
+        Formula::And(a, b) => evaluate_from(trace, a, origin) && evaluate_from(trace, b, origin),
+        Formula::Or(a, b) => evaluate_from(trace, a, origin) || evaluate_from(trace, b, origin),
+        Formula::Implies(a, b) => {
+            !evaluate_from(trace, a, origin) || evaluate_from(trace, b, origin)
+        }
+        Formula::Eventually(interval, a) => (0..n).any(|j| {
+            trace.time(j) >= origin
+                && interval.contains(trace.time(j) - origin)
+                && evaluate_at(trace, j, a)
+        }),
+        Formula::Always(interval, a) => (0..n).all(|j| {
+            trace.time(j) < origin
+                || !interval.contains(trace.time(j) - origin)
+                || evaluate_at(trace, j, a)
+        }),
+        Formula::Until(a, interval, b) => (0..n).any(|j| {
+            trace.time(j) >= origin
+                && interval.contains(trace.time(j) - origin)
+                && evaluate_at(trace, j, b)
+                && (0..j).all(|k| evaluate_at(trace, k, a))
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{state, Interval};
+
+    fn trace(states: Vec<crate::State>, times: Vec<u64>) -> TimedTrace {
+        TimedTrace::new(states, times).unwrap()
+    }
+
+    #[test]
+    fn atoms_and_boolean_connectives() {
+        let t = trace(vec![state!["a", "b"], state!["b"]], vec![0, 1]);
+        assert!(evaluate(&t, &Formula::atom("a")));
+        assert!(!evaluate(&t, &Formula::atom("c")));
+        assert!(evaluate(&t, &Formula::and(Formula::atom("a"), Formula::atom("b"))));
+        assert!(!evaluate(&t, &Formula::and(Formula::atom("a"), Formula::atom("c"))));
+        assert!(evaluate(&t, &Formula::or(Formula::atom("c"), Formula::atom("b"))));
+        assert!(evaluate(&t, &Formula::implies(Formula::atom("c"), Formula::atom("z"))));
+        assert!(evaluate(&t, &Formula::not(Formula::atom("z"))));
+        assert!(evaluate(&t, &Formula::True));
+        assert!(!evaluate(&t, &Formula::False));
+    }
+
+    #[test]
+    fn fig3_until_both_orderings() {
+        // Fig. 3: P1 has (a,1),(¬a,4); P2 has (a,2),(b,5). With ε = 2 the two
+        // orderings of the middle events give contradictory verdicts.
+        let phi = Formula::until(
+            Formula::atom("a"),
+            Interval::bounded(0, 6),
+            Formula::atom("b"),
+        );
+        let satisfying = trace(
+            vec![state!["a"], state!["a"], state!["b"], state![]],
+            vec![1, 2, 4, 5],
+        );
+        assert!(evaluate(&satisfying, &phi));
+        let violating = trace(
+            vec![state!["a"], state!["a"], state![], state!["b"]],
+            vec![1, 2, 4, 5],
+        );
+        assert!(!evaluate(&violating, &phi));
+    }
+
+    #[test]
+    fn eventually_finite_semantics() {
+        // From Sec. II-B: ◇_I p is ⊤ iff some state within I satisfies p.
+        let t = trace(vec![state![], state![], state!["p"]], vec![0, 2, 5]);
+        assert!(evaluate(
+            &t,
+            &Formula::eventually(Interval::bounded(0, 6), Formula::atom("p"))
+        ));
+        assert!(!evaluate(
+            &t,
+            &Formula::eventually(Interval::bounded(0, 5), Formula::atom("p"))
+        ));
+        assert!(!evaluate(
+            &t,
+            &Formula::eventually(Interval::bounded(0, 2), Formula::atom("p"))
+        ));
+    }
+
+    #[test]
+    fn always_finite_semantics_vacuous_truth() {
+        // □_I p is ⊥ only if some state within I violates p; if the interval
+        // is never reached within the trace the verdict is ⊤.
+        let t = trace(vec![state!["p"], state!["p"]], vec![0, 1]);
+        assert!(evaluate(
+            &t,
+            &Formula::always(Interval::bounded(0, 2), Formula::atom("p"))
+        ));
+        assert!(evaluate(
+            &t,
+            &Formula::always(Interval::bounded(10, 20), Formula::atom("q"))
+        ));
+        let t2 = trace(vec![state!["p"], state![]], vec![0, 1]);
+        assert!(!evaluate(
+            &t2,
+            &Formula::always(Interval::bounded(0, 2), Formula::atom("p"))
+        ));
+    }
+
+    #[test]
+    fn until_requires_phi1_up_to_witness() {
+        let phi = Formula::until(
+            Formula::atom("a"),
+            Interval::bounded(0, 10),
+            Formula::atom("b"),
+        );
+        // a fails before b is reached.
+        let t = trace(vec![state!["a"], state![], state!["b"]], vec![0, 1, 2]);
+        assert!(!evaluate(&t, &phi));
+        // b holds immediately: φ1 need not hold at all.
+        let t2 = trace(vec![state!["b"], state![]], vec![0, 1]);
+        assert!(evaluate(&t2, &phi));
+    }
+
+    #[test]
+    fn until_respects_interval_lower_bound() {
+        let phi = Formula::until(
+            Formula::atom("a"),
+            Interval::bounded(2, 9),
+            Formula::atom("b"),
+        );
+        // b occurs too early (before the interval opens) and never again.
+        let t = trace(vec![state!["a", "b"], state!["a"]], vec![0, 1]);
+        assert!(!evaluate(&t, &phi));
+        // b occurs within the interval.
+        let t2 = trace(vec![state!["a"], state!["a"], state!["b"]], vec![0, 1, 3]);
+        assert!(evaluate(&t2, &phi));
+    }
+
+    #[test]
+    fn evaluation_at_inner_positions() {
+        let t = trace(vec![state![], state!["p"], state![]], vec![0, 3, 6]);
+        let phi = Formula::eventually(Interval::bounded(0, 2), Formula::atom("p"));
+        assert!(!evaluate_at(&t, 0, &phi));
+        assert!(evaluate_at(&t, 1, &phi));
+        assert!(!evaluate_at(&t, 2, &phi));
+    }
+
+    #[test]
+    fn empty_trace_semantics() {
+        let t = TimedTrace::empty();
+        assert!(!evaluate(&t, &Formula::atom("p")));
+        assert!(!evaluate(
+            &t,
+            &Formula::eventually_untimed(Formula::atom("p"))
+        ));
+        assert!(evaluate(&t, &Formula::always_untimed(Formula::atom("p"))));
+        assert!(evaluate(&t, &Formula::True));
+    }
+
+    #[test]
+    fn nested_temporal_operators() {
+        // □_[0,4) ◇_[0,3) p — every state in the first 4 time units sees p
+        // within 3 time units.
+        let phi = Formula::always(
+            Interval::bounded(0, 4),
+            Formula::eventually(Interval::bounded(0, 3), Formula::atom("p")),
+        );
+        let good = trace(
+            vec![state!["p"], state![], state!["p"], state![], state!["p"]],
+            vec![0, 1, 2, 3, 4],
+        );
+        assert!(evaluate(&good, &phi));
+        let bad = trace(
+            vec![state!["p"], state![], state![], state![], state![]],
+            vec![0, 1, 2, 3, 4],
+        );
+        assert!(!evaluate(&bad, &phi));
+    }
+
+    #[test]
+    fn evaluate_from_anchors_at_origin() {
+        // An event at time 5 satisfies ◇_[0,6) p when anchored at 0, but not
+        // when anchored at... it also satisfies it when anchored at its own
+        // time; an event at time 7 satisfies it only from a later origin.
+        let t = trace(vec![state!["p"]], vec![7]);
+        let phi = Formula::eventually(Interval::bounded(0, 6), Formula::atom("p"));
+        assert!(!evaluate_from(&t, &phi, 0));
+        assert!(evaluate_from(&t, &phi, 2));
+        assert!(evaluate_from(&t, &phi, 7));
+        // Anchoring at the first timestamp coincides with `evaluate`.
+        let t2 = trace(vec![state![], state!["p"]], vec![3, 5]);
+        assert_eq!(evaluate_from(&t2, &phi, 3), evaluate(&t2, &phi));
+        // Until anchored at the global start.
+        let swap = trace(vec![state!["a"], state!["b"]], vec![4, 6]);
+        let until = Formula::until(Formula::atom("a"), Interval::bounded(0, 6), Formula::atom("b"));
+        assert!(!evaluate_from(&swap, &until, 0), "witness at 6 is outside [0,6) from origin 0");
+        assert!(evaluate_from(&swap, &until, 4));
+    }
+
+    #[test]
+    fn derived_operators_agree_with_until_encoding() {
+        let t = trace(
+            vec![state!["p"], state![], state!["q"], state!["p", "q"]],
+            vec![0, 1, 3, 7],
+        );
+        let formulas = vec![
+            Formula::eventually(Interval::bounded(1, 4), Formula::atom("q")),
+            Formula::always(Interval::bounded(0, 4), Formula::atom("p")),
+            Formula::always(Interval::bounded(0, 1), Formula::atom("p")),
+            Formula::eventually(Interval::bounded(5, 9), Formula::and(Formula::atom("p"), Formula::atom("q"))),
+        ];
+        for phi in formulas {
+            assert_eq!(
+                evaluate(&t, &phi),
+                evaluate(&t, &phi.to_core()),
+                "mismatch for {phi}"
+            );
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The abstract syntax of metric temporal logic (MTL) formulas.
+//!
+//! The grammar follows Sec. II-B of the paper:
+//!
+//! ```text
+//! φ ::= p | ¬φ | φ ∨ φ | φ U_I φ
+//! ```
+//!
+//! with the usual derived operators kept as first-class constructors because
+//! the progression algorithm (Sec. IV) treats them directly: `∧`, `→`,
+//! `◇_I` (eventually) and `□_I` (always).
+
+use crate::{Interval, Prop};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An MTL formula.
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_mtl::{Formula, Interval};
+///
+/// // ¬Apr.Redeem(bob) U_[0,8) Ban.Redeem(alice)   (the paper's φ_spec)
+/// let phi = Formula::until(
+///     Formula::not(Formula::atom("Apr.Redeem(bob)")),
+///     Interval::bounded(0, 8),
+///     Formula::atom("Ban.Redeem(alice)"),
+/// );
+/// assert_eq!(phi.to_string(), "(!Apr.Redeem(bob) U[0,8) Ban.Redeem(alice))");
+/// assert_eq!(phi.size(), 4);
+/// assert_eq!(phi.temporal_depth(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Formula {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// An atomic proposition.
+    Atom(Prop),
+    /// Negation `¬φ`.
+    Not(Box<Formula>),
+    /// Conjunction `φ₁ ∧ φ₂`.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction `φ₁ ∨ φ₂`.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication `φ₁ → φ₂`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Timed until `φ₁ U_I φ₂`.
+    Until(Box<Formula>, Interval, Box<Formula>),
+    /// Timed eventually `◇_I φ`.
+    Eventually(Interval, Box<Formula>),
+    /// Timed always `□_I φ`.
+    Always(Interval, Box<Formula>),
+}
+
+impl Formula {
+    /// The constant `true`.
+    pub fn tt() -> Self {
+        Formula::True
+    }
+
+    /// The constant `false`.
+    pub fn ff() -> Self {
+        Formula::False
+    }
+
+    /// An atomic proposition.
+    pub fn atom(p: impl Into<Prop>) -> Self {
+        Formula::Atom(p.into())
+    }
+
+    /// Negation `¬φ`.
+    pub fn not(phi: Formula) -> Self {
+        Formula::Not(Box::new(phi))
+    }
+
+    /// Conjunction `φ₁ ∧ φ₂`.
+    pub fn and(a: Formula, b: Formula) -> Self {
+        Formula::And(Box::new(a), Box::new(b))
+    }
+
+    /// Disjunction `φ₁ ∨ φ₂`.
+    pub fn or(a: Formula, b: Formula) -> Self {
+        Formula::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Implication `φ₁ → φ₂`.
+    pub fn implies(a: Formula, b: Formula) -> Self {
+        Formula::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// Timed until `φ₁ U_I φ₂`.
+    pub fn until(a: Formula, i: Interval, b: Formula) -> Self {
+        Formula::Until(Box::new(a), i, Box::new(b))
+    }
+
+    /// Untimed until `φ₁ U φ₂` (interval `[0,∞)`).
+    pub fn until_untimed(a: Formula, b: Formula) -> Self {
+        Formula::until(a, Interval::full(), b)
+    }
+
+    /// Timed eventually `◇_I φ`.
+    pub fn eventually(i: Interval, phi: Formula) -> Self {
+        Formula::Eventually(i, Box::new(phi))
+    }
+
+    /// Untimed eventually `◇ φ` (interval `[0,∞)`).
+    pub fn eventually_untimed(phi: Formula) -> Self {
+        Formula::eventually(Interval::full(), phi)
+    }
+
+    /// Timed always `□_I φ`.
+    pub fn always(i: Interval, phi: Formula) -> Self {
+        Formula::Always(i, Box::new(phi))
+    }
+
+    /// Untimed always `□ φ` (interval `[0,∞)`).
+    pub fn always_untimed(phi: Formula) -> Self {
+        Formula::always(Interval::full(), phi)
+    }
+
+    /// N-ary conjunction; returns `true` for an empty iterator.
+    pub fn and_all(parts: impl IntoIterator<Item = Formula>) -> Self {
+        let mut iter = parts.into_iter();
+        match iter.next() {
+            None => Formula::True,
+            Some(first) => iter.fold(first, Formula::and),
+        }
+    }
+
+    /// N-ary disjunction; returns `false` for an empty iterator.
+    pub fn or_all(parts: impl IntoIterator<Item = Formula>) -> Self {
+        let mut iter = parts.into_iter();
+        match iter.next() {
+            None => Formula::False,
+            Some(first) => iter.fold(first, Formula::or),
+        }
+    }
+
+    /// Returns `true` if the formula is the constant `true` or `false`.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, Formula::True | Formula::False)
+    }
+
+    /// Returns `Some(b)` if the formula is the boolean constant `b`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Formula::True => Some(true),
+            Formula::False => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Number of syntactic nodes in the formula.
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => 1,
+            Formula::Not(a) | Formula::Eventually(_, a) | Formula::Always(_, a) => 1 + a.size(),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Until(a, _, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Maximum nesting depth of temporal operators (the paper observes that
+    /// runtime grows with this depth; see Fig. 5a).
+    pub fn temporal_depth(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => 0,
+            Formula::Not(a) => a.temporal_depth(),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                a.temporal_depth().max(b.temporal_depth())
+            }
+            Formula::Until(a, _, b) => 1 + a.temporal_depth().max(b.temporal_depth()),
+            Formula::Eventually(_, a) | Formula::Always(_, a) => 1 + a.temporal_depth(),
+        }
+    }
+
+    /// Number of temporal operators in the formula.
+    pub fn temporal_operator_count(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => 0,
+            Formula::Not(a) => a.temporal_operator_count(),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                a.temporal_operator_count() + b.temporal_operator_count()
+            }
+            Formula::Until(a, _, b) => 1 + a.temporal_operator_count() + b.temporal_operator_count(),
+            Formula::Eventually(_, a) | Formula::Always(_, a) => 1 + a.temporal_operator_count(),
+        }
+    }
+
+    /// The set of atomic propositions occurring in the formula.
+    pub fn atoms(&self) -> BTreeSet<Prop> {
+        let mut out = BTreeSet::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut BTreeSet<Prop>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(p) => {
+                out.insert(p.clone());
+            }
+            Formula::Not(a) | Formula::Eventually(_, a) | Formula::Always(_, a) => {
+                a.collect_atoms(out)
+            }
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Until(a, _, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+        }
+    }
+
+    /// The largest finite interval endpoint mentioned in the formula, if any.
+    /// Useful for sizing monitoring horizons.
+    pub fn max_horizon(&self) -> Option<u64> {
+        fn interval_bound(i: &Interval) -> Option<u64> {
+            i.end()
+        }
+        match self {
+            Formula::True | Formula::False | Formula::Atom(_) => None,
+            Formula::Not(a) => a.max_horizon(),
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
+                match (a.max_horizon(), b.max_horizon()) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
+                }
+            }
+            Formula::Until(a, i, b) => {
+                let inner = match (a.max_horizon(), b.max_horizon()) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
+                };
+                match (interval_bound(i), inner) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
+                }
+            }
+            Formula::Eventually(i, a) | Formula::Always(i, a) => {
+                match (interval_bound(i), a.max_horizon()) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
+                }
+            }
+        }
+    }
+
+    /// Rewrites the formula into the core grammar (`p`, `¬`, `∨`, `U_I`),
+    /// eliminating `∧`, `→`, `◇` and `□` via the standard dualities.
+    pub fn to_core(&self) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(p) => Formula::Atom(p.clone()),
+            Formula::Not(a) => Formula::not(a.to_core()),
+            Formula::Or(a, b) => Formula::or(a.to_core(), b.to_core()),
+            Formula::And(a, b) => {
+                Formula::not(Formula::or(Formula::not(a.to_core()), Formula::not(b.to_core())))
+            }
+            Formula::Implies(a, b) => Formula::or(Formula::not(a.to_core()), b.to_core()),
+            Formula::Until(a, i, b) => Formula::until(a.to_core(), *i, b.to_core()),
+            Formula::Eventually(i, a) => Formula::until(Formula::True, *i, a.to_core()),
+            Formula::Always(i, a) => {
+                Formula::not(Formula::until(Formula::True, *i, Formula::not(a.to_core())))
+            }
+        }
+    }
+}
+
+impl From<Prop> for Formula {
+    fn from(p: Prop) -> Self {
+        Formula::Atom(p)
+    }
+}
+
+impl From<bool> for Formula {
+    fn from(b: bool) -> Self {
+        if b {
+            Formula::True
+        } else {
+            Formula::False
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(p) => write!(f, "{p}"),
+            Formula::Not(a) => write!(f, "!{a}"),
+            Formula::And(a, b) => write!(f, "({a} & {b})"),
+            Formula::Or(a, b) => write!(f, "({a} | {b})"),
+            Formula::Implies(a, b) => write!(f, "({a} -> {b})"),
+            Formula::Until(a, i, b) => write!(f, "({a} U{i} {b})"),
+            Formula::Eventually(i, a) => write!(f, "F{i} {a}"),
+            Formula::Always(i, a) => write!(f, "G{i} {a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::{state, TimedTrace};
+
+    fn phi_spec() -> Formula {
+        Formula::until(
+            Formula::not(Formula::atom("Apr.Redeem(bob)")),
+            Interval::bounded(0, 8),
+            Formula::atom("Ban.Redeem(alice)"),
+        )
+    }
+
+    #[test]
+    fn constructors_and_display() {
+        let phi = phi_spec();
+        assert_eq!(
+            phi.to_string(),
+            "(!Apr.Redeem(bob) U[0,8) Ban.Redeem(alice))"
+        );
+        let g = Formula::always(Interval::bounded(0, 6), Formula::atom("r"));
+        assert_eq!(g.to_string(), "G[0,6) r");
+        let e = Formula::eventually_untimed(Formula::atom("q"));
+        assert_eq!(e.to_string(), "F[0,inf) q");
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let phi = phi_spec();
+        assert_eq!(phi.size(), 4);
+        assert_eq!(phi.temporal_depth(), 1);
+        assert_eq!(phi.temporal_operator_count(), 1);
+        let nested = Formula::always_untimed(Formula::eventually(
+            Interval::bounded(0, 5),
+            Formula::atom("p"),
+        ));
+        assert_eq!(nested.temporal_depth(), 2);
+        assert_eq!(nested.temporal_operator_count(), 2);
+    }
+
+    #[test]
+    fn atoms_collected() {
+        let phi = phi_spec();
+        let atoms = phi.atoms();
+        assert_eq!(atoms.len(), 2);
+        assert!(atoms.contains("Apr.Redeem(bob)"));
+        assert!(atoms.contains("Ban.Redeem(alice)"));
+    }
+
+    #[test]
+    fn and_all_or_all() {
+        assert_eq!(Formula::and_all([]), Formula::True);
+        assert_eq!(Formula::or_all([]), Formula::False);
+        let c = Formula::and_all([Formula::atom("a"), Formula::atom("b"), Formula::atom("c")]);
+        assert_eq!(c.size(), 5);
+    }
+
+    #[test]
+    fn max_horizon() {
+        let phi = phi_spec();
+        assert_eq!(phi.max_horizon(), Some(8));
+        assert_eq!(Formula::atom("a").max_horizon(), None);
+        let unbounded = Formula::eventually_untimed(Formula::atom("a"));
+        assert_eq!(unbounded.max_horizon(), None);
+        let mixed = Formula::and(
+            Formula::eventually(Interval::bounded(0, 3), Formula::atom("a")),
+            Formula::always(Interval::bounded(0, 12), Formula::atom("b")),
+        );
+        assert_eq!(mixed.max_horizon(), Some(12));
+    }
+
+    #[test]
+    fn to_core_preserves_finite_semantics() {
+        let trace = TimedTrace::new(
+            vec![state!["a"], state!["a"], state!["b"], state![]],
+            vec![0, 1, 4, 5],
+        )
+        .unwrap();
+        let formulas = vec![
+            Formula::and(Formula::atom("a"), Formula::not(Formula::atom("b"))),
+            Formula::implies(Formula::atom("a"), Formula::eventually(Interval::bounded(0, 6), Formula::atom("b"))),
+            Formula::always(Interval::bounded(0, 2), Formula::atom("a")),
+            Formula::eventually(Interval::bounded(2, 5), Formula::atom("b")),
+            phi_spec(),
+        ];
+        for phi in formulas {
+            assert_eq!(
+                evaluate(&trace, &phi),
+                evaluate(&trace, &phi.to_core()),
+                "core translation changed semantics of {phi}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Formula::from(true), Formula::True);
+        assert_eq!(Formula::from(false), Formula::False);
+        assert_eq!(Formula::from(Prop::new("x")), Formula::atom("x"));
+    }
+}

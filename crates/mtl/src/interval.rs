@@ -1,0 +1,256 @@
+//! Half-open discrete time intervals `[start, end)` over `u64`, with `end = None`
+//! denoting an unbounded (infinite) right endpoint.
+//!
+//! Intervals are the time bounds attached to the temporal operators of MTL
+//! (`U_I`, `◇_I`, `□_I`). The operation [`Interval::shift_down`] implements the
+//! paper's `I − τ` used by formula progression: both endpoints are lowered by a
+//! delay and clamped at zero.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open interval `[start, end)` over discrete time.
+///
+/// `end == None` represents an infinite right endpoint, i.e. `[start, ∞)`.
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_mtl::Interval;
+///
+/// let i = Interval::bounded(2, 9);
+/// assert!(i.contains(2));
+/// assert!(i.contains(8));
+/// assert!(!i.contains(9));
+///
+/// // The paper's `I − τ` operation, used when progressing formulas.
+/// assert_eq!(i.shift_down(3), Interval::bounded(0, 6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Interval {
+    start: u64,
+    end: Option<u64>,
+}
+
+impl Interval {
+    /// Creates the bounded interval `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`; an interval with `start == end` is allowed and
+    /// is empty (this arises naturally when shifting intervals down).
+    pub fn bounded(start: u64, end: u64) -> Self {
+        assert!(
+            start <= end,
+            "interval start {start} must not exceed end {end}"
+        );
+        Interval {
+            start,
+            end: Some(end),
+        }
+    }
+
+    /// Creates the unbounded interval `[start, ∞)`.
+    pub fn unbounded(start: u64) -> Self {
+        Interval { start, end: None }
+    }
+
+    /// Creates an interval from a start and an optional exclusive end.
+    pub fn new(start: u64, end: Option<u64>) -> Self {
+        match end {
+            Some(e) => Self::bounded(start, e),
+            None => Self::unbounded(start),
+        }
+    }
+
+    /// The full time line `[0, ∞)`.
+    pub fn full() -> Self {
+        Interval {
+            start: 0,
+            end: None,
+        }
+    }
+
+    /// The inclusive lower endpoint.
+    pub fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// The exclusive upper endpoint (`None` means `∞`).
+    pub fn end(&self) -> Option<u64> {
+        self.end
+    }
+
+    /// Returns `true` if the interval contains no time point.
+    pub fn is_empty(&self) -> bool {
+        matches!(self.end, Some(e) if e <= self.start)
+    }
+
+    /// Returns `true` if the interval has an infinite right endpoint.
+    pub fn is_unbounded(&self) -> bool {
+        self.end.is_none()
+    }
+
+    /// Membership test: `t ∈ [start, end)`.
+    pub fn contains(&self, t: u64) -> bool {
+        t >= self.start && self.end.map_or(true, |e| t < e)
+    }
+
+    /// The paper's `I − τ`: lowers both endpoints by `delay`, clamping at zero.
+    ///
+    /// `[s, e) − d = [max(0, s − d), max(0, e − d))`; an unbounded end stays
+    /// unbounded. The result may be empty when the whole interval has elapsed.
+    pub fn shift_down(&self, delay: u64) -> Self {
+        Interval {
+            start: self.start.saturating_sub(delay),
+            end: self.end.map(|e| e.saturating_sub(delay)),
+        }
+    }
+
+    /// Shifts both endpoints up by `delay` (no clamping needed).
+    pub fn shift_up(&self, delay: u64) -> Self {
+        Interval {
+            start: self.start + delay,
+            end: self.end.map(|e| e + delay),
+        }
+    }
+
+    /// Returns `true` if every point of the interval is strictly below `t`,
+    /// i.e. the interval has fully elapsed once `t` time units have passed.
+    pub fn elapsed_by(&self, t: u64) -> bool {
+        match self.end {
+            Some(e) => e <= t,
+            None => false,
+        }
+    }
+
+    /// Returns `true` if the interval starts at or after `t` (no point of the
+    /// interval is below `t`).
+    pub fn starts_at_or_after(&self, t: u64) -> bool {
+        self.start >= t
+    }
+
+    /// Intersection of two intervals.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let start = self.start.max(other.start);
+        let end = match (self.end, other.end) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        };
+        Interval {
+            start,
+            end: end.map(|e| e.max(start)),
+        }
+    }
+
+    /// Number of integer time points in the interval, `None` if infinite.
+    pub fn len(&self) -> Option<u64> {
+        self.end.map(|e| e.saturating_sub(self.start))
+    }
+}
+
+impl Default for Interval {
+    fn default() -> Self {
+        Interval::full()
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.end {
+            Some(e) => write!(f, "[{},{})", self.start, e),
+            None => write!(f, "[{},inf)", self.start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_membership() {
+        let i = Interval::bounded(2, 9);
+        assert!(!i.contains(0));
+        assert!(!i.contains(1));
+        assert!(i.contains(2));
+        assert!(i.contains(5));
+        assert!(i.contains(8));
+        assert!(!i.contains(9));
+        assert!(!i.contains(100));
+    }
+
+    #[test]
+    fn unbounded_membership() {
+        let i = Interval::unbounded(3);
+        assert!(!i.contains(2));
+        assert!(i.contains(3));
+        assert!(i.contains(u64::MAX));
+        assert!(i.is_unbounded());
+        assert!(!i.is_empty());
+        assert_eq!(i.len(), None);
+    }
+
+    #[test]
+    fn empty_interval() {
+        let i = Interval::bounded(4, 4);
+        assert!(i.is_empty());
+        assert!(!i.contains(4));
+        assert_eq!(i.len(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn invalid_interval_panics() {
+        let _ = Interval::bounded(5, 2);
+    }
+
+    #[test]
+    fn shift_down_matches_paper_example() {
+        // From Fig. 4: [2,9) shifted by 3 becomes [0,6).
+        assert_eq!(Interval::bounded(2, 9).shift_down(3), Interval::bounded(0, 6));
+        // From Fig. 2: [0,8) shifted by 4 becomes [0,4).
+        assert_eq!(Interval::bounded(0, 8).shift_down(4), Interval::bounded(0, 4));
+    }
+
+    #[test]
+    fn shift_down_clamps_at_zero() {
+        assert_eq!(Interval::bounded(2, 9).shift_down(20), Interval::bounded(0, 0));
+        assert!(Interval::bounded(2, 9).shift_down(20).is_empty());
+        assert_eq!(Interval::unbounded(5).shift_down(100), Interval::unbounded(0));
+    }
+
+    #[test]
+    fn shift_up_then_down_roundtrips() {
+        let i = Interval::bounded(3, 7);
+        assert_eq!(i.shift_up(5).shift_down(5), i);
+    }
+
+    #[test]
+    fn elapsed_by() {
+        let i = Interval::bounded(2, 9);
+        assert!(!i.elapsed_by(8));
+        assert!(i.elapsed_by(9));
+        assert!(i.elapsed_by(100));
+        assert!(!Interval::unbounded(0).elapsed_by(u64::MAX));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Interval::bounded(2, 9);
+        let b = Interval::bounded(5, 20);
+        assert_eq!(a.intersect(&b), Interval::bounded(5, 9));
+        let c = Interval::unbounded(7);
+        assert_eq!(a.intersect(&c), Interval::bounded(7, 9));
+        let disjoint = Interval::bounded(10, 20);
+        assert!(a.intersect(&disjoint).is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interval::bounded(0, 8).to_string(), "[0,8)");
+        assert_eq!(Interval::unbounded(5).to_string(), "[5,inf)");
+    }
+}

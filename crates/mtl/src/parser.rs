@@ -1,0 +1,428 @@
+//! A concrete text syntax for MTL formulas.
+//!
+//! The grammar (lowest to highest precedence):
+//!
+//! ```text
+//! formula  := until ('->' formula)?          (right associative)
+//! until    := or ('U' interval? or)?
+//! or       := and ('|' and)*
+//! and      := unary ('&' unary)*
+//! unary    := '!' unary
+//!           | 'G' interval? unary
+//!           | 'F' interval? unary
+//!           | primary
+//! primary  := 'true' | 'false' | atom | '(' formula ')'
+//! interval := '[' nat ',' (nat | 'inf') ')'
+//! atom     := ident ('(' ident (',' ident)* ')')?
+//! ident    := [A-Za-z_][A-Za-z0-9_.\[\]]*
+//! ```
+//!
+//! Omitting the interval after `U`, `G` or `F` means `[0, inf)`. Atom names
+//! may contain dots, brackets and a parenthesised argument list so that the
+//! paper's propositions (`ban.premium_deposited(alice)`, `Train[1].Cross`)
+//! parse verbatim.
+
+use crate::{Formula, Interval};
+use std::fmt;
+
+/// Error produced when parsing a formula from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input at which the error was detected.
+    pub position: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an MTL formula from its text representation.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending position if the
+/// input does not conform to the grammar.
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_mtl::{parse, Formula, Interval};
+///
+/// let phi = parse("!Apr.Redeem(bob) U[0,8) Ban.Redeem(alice)")?;
+/// assert_eq!(
+///     phi,
+///     Formula::until(
+///         Formula::not(Formula::atom("Apr.Redeem(bob)")),
+///         Interval::bounded(0, 8),
+///         Formula::atom("Ban.Redeem(alice)"),
+///     )
+/// );
+/// # Ok::<(), rvmtl_mtl::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Formula, ParseError> {
+    let mut parser = Parser::new(input);
+    let phi = parser.formula()?;
+    parser.skip_ws();
+    if parser.pos < parser.bytes.len() {
+        return Err(parser.error("unexpected trailing input"));
+    }
+    Ok(phi)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, expected: u8) -> Result<(), ParseError> {
+        if self.eat(expected) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", expected as char)))
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.until()?;
+        self.skip_ws();
+        if self.starts_with("->") {
+            self.pos += 2;
+            let rhs = self.formula()?;
+            return Ok(Formula::implies(lhs, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn until(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or()?;
+        self.skip_ws();
+        if self.peek() == Some(b'U') && !self.is_ident_continuation(self.pos + 1) {
+            self.pos += 1;
+            let interval = self.optional_interval()?;
+            let rhs = self.or()?;
+            return Ok(Formula::until(lhs, interval, rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.and()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'|') {
+                self.pos += 1;
+                let rhs = self.and()?;
+                lhs = Formula::or(lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'&') {
+                self.pos += 1;
+                let rhs = self.unary()?;
+                lhs = Formula::and(lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'!') => {
+                self.pos += 1;
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(b'G') if !self.is_ident_continuation(self.pos + 1) => {
+                self.pos += 1;
+                let interval = self.optional_interval()?;
+                Ok(Formula::always(interval, self.unary()?))
+            }
+            Some(b'F') if !self.is_ident_continuation(self.pos + 1) => {
+                self.pos += 1;
+                let interval = self.optional_interval()?;
+                Ok(Formula::eventually(interval, self.unary()?))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Formula, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let phi = self.formula()?;
+                self.skip_ws();
+                self.expect(b')')?;
+                Ok(phi)
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let name = self.atom_name()?;
+                match name.as_str() {
+                    "true" => Ok(Formula::True),
+                    "false" => Ok(Formula::False),
+                    _ => Ok(Formula::atom(name)),
+                }
+            }
+            _ => Err(self.error("expected a formula")),
+        }
+    }
+
+    /// `true` if the byte at `at` continues an identifier, which tells `U`,
+    /// `G` and `F` operators apart from atoms such as `Gate.Occ`. A `[` does
+    /// not count as a continuation here: `G[0,6)` is the always operator with
+    /// an interval, not an atom.
+    fn is_ident_continuation(&self, at: usize) -> bool {
+        matches!(self.bytes.get(at), Some(c) if c.is_ascii_alphanumeric() || *c == b'_' || *c == b'.')
+    }
+
+    fn atom_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'.' | b'[' | b']') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected an identifier"));
+        }
+        let mut name = self.input[start..self.pos].to_string();
+        // Optional argument list: `event(alice,bob)`.
+        if self.peek() == Some(b'(') {
+            let args_start = self.pos;
+            self.pos += 1;
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some(b')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(c)
+                        if c.is_ascii_alphanumeric()
+                            || matches!(c, b'_' | b'.' | b',' | b' ' | b'+' | b'-') =>
+                    {
+                        self.pos += 1;
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            position: args_start,
+                            message: "unterminated argument list in atom".into(),
+                        })
+                    }
+                }
+            }
+            name.push_str(&self.input[args_start..self.pos]);
+        }
+        Ok(name)
+    }
+
+    fn optional_interval(&mut self) -> Result<Interval, ParseError> {
+        self.skip_ws();
+        if self.peek() != Some(b'[') {
+            return Ok(Interval::full());
+        }
+        self.pos += 1;
+        let start = self.number()?;
+        self.skip_ws();
+        self.expect(b',')?;
+        self.skip_ws();
+        let end = if self.starts_with("inf") {
+            self.pos += 3;
+            None
+        } else {
+            Some(self.number()?)
+        };
+        self.skip_ws();
+        self.expect(b')')?;
+        match end {
+            Some(e) if e < start => Err(self.error("interval end precedes start")),
+            _ => Ok(Interval::new(start, end)),
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected a number"));
+        }
+        self.input[start..self.pos]
+            .parse()
+            .map_err(|_| self.error("number out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_and_constants() {
+        assert_eq!(parse("true").unwrap(), Formula::True);
+        assert_eq!(parse("false").unwrap(), Formula::False);
+        assert_eq!(parse("p").unwrap(), Formula::atom("p"));
+        assert_eq!(
+            parse("ban.premium_deposited(alice)").unwrap(),
+            Formula::atom("ban.premium_deposited(alice)")
+        );
+        assert_eq!(
+            parse("Train[1].Cross").unwrap(),
+            Formula::atom("Train[1].Cross")
+        );
+    }
+
+    #[test]
+    fn boolean_connectives_and_precedence() {
+        assert_eq!(
+            parse("a & b | c").unwrap(),
+            Formula::or(Formula::and(Formula::atom("a"), Formula::atom("b")), Formula::atom("c"))
+        );
+        assert_eq!(
+            parse("a -> b -> c").unwrap(),
+            Formula::implies(
+                Formula::atom("a"),
+                Formula::implies(Formula::atom("b"), Formula::atom("c"))
+            )
+        );
+        assert_eq!(
+            parse("!(a | b)").unwrap(),
+            Formula::not(Formula::or(Formula::atom("a"), Formula::atom("b")))
+        );
+    }
+
+    #[test]
+    fn temporal_operators_with_intervals() {
+        assert_eq!(
+            parse("G[0,6) r").unwrap(),
+            Formula::always(Interval::bounded(0, 6), Formula::atom("r"))
+        );
+        assert_eq!(
+            parse("F[2,9) q").unwrap(),
+            Formula::eventually(Interval::bounded(2, 9), Formula::atom("q"))
+        );
+        assert_eq!(
+            parse("a U[0,8) b").unwrap(),
+            Formula::until(Formula::atom("a"), Interval::bounded(0, 8), Formula::atom("b"))
+        );
+        assert_eq!(
+            parse("F[1,inf) p").unwrap(),
+            Formula::eventually(Interval::unbounded(1), Formula::atom("p"))
+        );
+    }
+
+    #[test]
+    fn omitted_interval_means_full() {
+        assert_eq!(
+            parse("G p").unwrap(),
+            Formula::always_untimed(Formula::atom("p"))
+        );
+        assert_eq!(
+            parse("a U b").unwrap(),
+            Formula::until_untimed(Formula::atom("a"), Formula::atom("b"))
+        );
+    }
+
+    #[test]
+    fn paper_specifications_parse() {
+        let phi_spec = parse("!Apr.Redeem(bob) U[0,8) Ban.Redeem(alice)").unwrap();
+        assert_eq!(phi_spec.temporal_depth(), 1);
+        let fig4 = parse("F[0,6) r -> (!p U[2,9) q)").unwrap();
+        assert_eq!(fig4.temporal_operator_count(), 2);
+        let phi2 = parse("G (Train[1].Appr -> (Gate.Occ U Train[1].Cross))").unwrap();
+        assert_eq!(phi2.temporal_depth(), 2);
+        let liveness = parse("F[0,500) ban.premium_deposited(alice) & F[0,1000) apr.premium_deposited(bob)").unwrap();
+        assert_eq!(liveness.atoms().len(), 2);
+    }
+
+    #[test]
+    fn atoms_starting_with_operator_letters() {
+        assert_eq!(parse("Gate.Occ").unwrap(), Formula::atom("Gate.Occ"));
+        assert_eq!(parse("Free").unwrap(), Formula::atom("Free"));
+        assert_eq!(parse("Up").unwrap(), Formula::atom("Up"));
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let formulas = vec![
+            "(!Apr.Redeem(bob) U[0,8) Ban.Redeem(alice))",
+            "G[0,6) (a -> F[2,9) b)",
+            "((a & b) | !c)",
+            "F[0,inf) p",
+        ];
+        for text in formulas {
+            let parsed = parse(text).unwrap();
+            let reparsed = parse(&parsed.to_string()).unwrap();
+            assert_eq!(parsed, reparsed, "roundtrip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse("").is_err());
+        assert!(parse("a &").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("G[5,2) a").is_err());
+        assert!(parse("a U[0,8 b").is_err());
+        assert!(parse("a b").is_err());
+    }
+}

@@ -1,0 +1,489 @@
+//! Formula progression (Sec. IV of the paper).
+//!
+//! The progression function `Pr(α, τ̄, φ)` rewrites a formula after observing a
+//! finite trace segment, so that the original formula holds on the full
+//! execution if and only if the rewritten formula holds on the remaining
+//! (unobserved) suffix:
+//!
+//! ```text
+//! (α.α′, τ̄.τ̄′) ⊨ φ   ⟺   (α′, τ̄′) ⊨ Pr(α, τ̄, φ)
+//! ```
+//!
+//! Unlike the classic state-by-state rewriting of Havelund–Roşu, progression
+//! here consumes a whole segment at once (Def. 3), which is what keeps the
+//! number of solver queries small when monitoring distributed computations.
+//!
+//! ## Residual anchoring
+//!
+//! A rewritten temporal operator carries a *residual* interval `I − d` where
+//! `d` is the elapsed time between the start of the observed segment and the
+//! reference point at which the residual formula will be re-anchored. The
+//! paper anchors residuals at `τ_{|α|}` (the last timestamp of the segment,
+//! which is also where the next segment starts because segments overlap by
+//! construction, Sec. V-C). [`progress`] takes that anchor explicitly as
+//! `next_base`, and [`progress_default`] uses the segment's last timestamp.
+
+use crate::simplify as s;
+use crate::{Formula, TimedTrace};
+
+/// Progresses `phi` over the observed segment `trace`, anchoring residual
+/// obligations at time `next_base` (the start time of the next segment).
+///
+/// Residual intervals are computed as `I − (next_base − τ_i)`. For the
+/// progression identity to hold, every timestamp of the future suffix must be
+/// `≥ next_base` and `next_base` must be `≥` every timestamp of `trace`.
+///
+/// An empty `trace` leaves the formula unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_mtl::{progress, state, Formula, Interval, TimedTrace};
+///
+/// // Fig. 2 of the paper: φ_spec = ¬Apr.Redeem(bob) U_[0,8) Ban.Redeem(alice).
+/// // After a first segment covering 4 time units in which neither redeem
+/// // happened, the obligation shrinks to an interval of length 4.
+/// let phi = Formula::until(
+///     Formula::not(Formula::atom("Apr.Redeem(bob)")),
+///     Interval::bounded(0, 8),
+///     Formula::atom("Ban.Redeem(alice)"),
+/// );
+/// let seg1 = TimedTrace::new(vec![state![], state![]], vec![1, 4])?;
+/// let rewritten = progress(&seg1, &phi, 5);
+/// assert_eq!(
+///     rewritten,
+///     Formula::until(
+///         Formula::not(Formula::atom("Apr.Redeem(bob)")),
+///         Interval::bounded(0, 4),
+///         Formula::atom("Ban.Redeem(alice)"),
+///     )
+/// );
+/// # Ok::<(), rvmtl_mtl::TraceError>(())
+/// ```
+pub fn progress(trace: &TimedTrace, phi: &Formula, next_base: u64) -> Formula {
+    if trace.is_empty() {
+        return phi.clone();
+    }
+    progress_at(trace, 0, phi, next_base)
+}
+
+/// Progresses `phi` over `trace`, anchoring residuals at the segment's last
+/// timestamp (the paper's `τ_{|α|}`).
+pub fn progress_default(trace: &TimedTrace, phi: &Formula) -> Formula {
+    match trace.last_time() {
+        None => phi.clone(),
+        Some(last) => progress(trace, phi, last),
+    }
+}
+
+/// Progresses `phi` over an observation *gap*: `elapsed` time units during
+/// which no event occurred.
+///
+/// This is what the monitor applies between the anchor of a pending formula
+/// and the first observation of the next segment: outer temporal intervals
+/// shrink by `elapsed` (yielding a constant verdict when they have fully
+/// elapsed), while atoms and the operands of temporal operators are left
+/// untouched because they refer to future observations.
+pub fn progress_gap(phi: &Formula, elapsed: u64) -> Formula {
+    if elapsed == 0 {
+        return phi.clone();
+    }
+    match phi {
+        Formula::True | Formula::False | Formula::Atom(_) => phi.clone(),
+        Formula::Not(a) => s::not(progress_gap(a, elapsed)),
+        Formula::And(a, b) => s::and(progress_gap(a, elapsed), progress_gap(b, elapsed)),
+        Formula::Or(a, b) => s::or(progress_gap(a, elapsed), progress_gap(b, elapsed)),
+        Formula::Implies(a, b) => s::implies(progress_gap(a, elapsed), progress_gap(b, elapsed)),
+        Formula::Eventually(i, a) => {
+            if i.elapsed_by(elapsed) {
+                Formula::False
+            } else {
+                s::eventually(i.shift_down(elapsed), a.as_ref().clone())
+            }
+        }
+        Formula::Always(i, a) => {
+            if i.elapsed_by(elapsed) {
+                Formula::True
+            } else {
+                s::always(i.shift_down(elapsed), a.as_ref().clone())
+            }
+        }
+        Formula::Until(a, i, b) => {
+            if i.elapsed_by(elapsed) {
+                Formula::False
+            } else {
+                s::until(a.as_ref().clone(), i.shift_down(elapsed), b.as_ref().clone())
+            }
+        }
+    }
+}
+
+/// Progresses `phi` anchored at position `i` of the segment (the paper's
+/// `Pr(αⁱ, τ̄ⁱ, φ)`).
+fn progress_at(trace: &TimedTrace, i: usize, phi: &Formula, next_base: u64) -> Formula {
+    let n = trace.len();
+    debug_assert!(i < n, "progress_at called past the end of the segment");
+    match phi {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        // Base case: an atomic proposition is resolved against the first state
+        // of the (suffix of the) segment.
+        Formula::Atom(p) => {
+            if trace.state(i).holds_prop(p) {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::Not(a) => s::not(progress_at(trace, i, a, next_base)),
+        Formula::And(a, b) => s::and(
+            progress_at(trace, i, a, next_base),
+            progress_at(trace, i, b, next_base),
+        ),
+        Formula::Or(a, b) => s::or(
+            progress_at(trace, i, a, next_base),
+            progress_at(trace, i, b, next_base),
+        ),
+        Formula::Implies(a, b) => s::implies(
+            progress_at(trace, i, a, next_base),
+            progress_at(trace, i, b, next_base),
+        ),
+        // Algorithm 2 (Eventually): a disjunction over the in-interval
+        // positions of the segment, plus a residual obligation if the interval
+        // extends beyond the segment.
+        Formula::Eventually(interval, a) => {
+            let base = trace.time(i);
+            let elapsed = next_base.saturating_sub(base);
+            let observed = s::or_all((i..n).filter_map(|j| {
+                if interval.contains(trace.time(j) - base) {
+                    Some(progress_at(trace, j, a, next_base))
+                } else {
+                    None
+                }
+            }));
+            if interval.elapsed_by(elapsed) {
+                observed
+            } else {
+                s::or(
+                    observed,
+                    s::eventually(interval.shift_down(elapsed), a.as_ref().clone()),
+                )
+            }
+        }
+        // Algorithm 1 (Always): a conjunction over the in-interval positions,
+        // plus a residual obligation if the interval extends beyond the
+        // segment.
+        Formula::Always(interval, a) => {
+            let base = trace.time(i);
+            let elapsed = next_base.saturating_sub(base);
+            let observed = s::and_all((i..n).filter_map(|j| {
+                if interval.contains(trace.time(j) - base) {
+                    Some(progress_at(trace, j, a, next_base))
+                } else {
+                    None
+                }
+            }));
+            if interval.elapsed_by(elapsed) {
+                observed
+            } else {
+                s::and(
+                    observed,
+                    s::always(interval.shift_down(elapsed), a.as_ref().clone()),
+                )
+            }
+        }
+        // Algorithm 3 (Until).
+        Formula::Until(a, interval, b) => {
+            let base = trace.time(i);
+            let elapsed = next_base.saturating_sub(base);
+            // A: φ1 must hold at every position strictly before the interval
+            // opens (any witness, observed or future, lies after them).
+            let pre = s::and_all((i..n).filter_map(|j| {
+                if trace.time(j) - base < interval.start() {
+                    Some(progress_at(trace, j, a, next_base))
+                } else {
+                    None
+                }
+            }));
+            // B: some observed position within the interval is a witness for
+            // φ2, with φ1 holding at every earlier position of the segment.
+            let observed_witness = s::or_all((i..n).filter_map(|j| {
+                if interval.contains(trace.time(j) - base) {
+                    let up_to_j = s::and_all(
+                        (i..j).map(|k| progress_at(trace, k, a, next_base)),
+                    );
+                    Some(s::and(up_to_j, progress_at(trace, j, b, next_base)))
+                } else {
+                    None
+                }
+            }));
+            // Residual: the witness lies beyond the segment, which requires φ1
+            // to hold at every observed position and the until obligation to
+            // carry over with a shrunk interval.
+            let future_witness = if interval.elapsed_by(elapsed) {
+                Formula::False
+            } else {
+                let all_a =
+                    s::and_all((i..n).map(|k| progress_at(trace, k, a, next_base)));
+                s::and(
+                    all_a,
+                    s::until(
+                        a.as_ref().clone(),
+                        interval.shift_down(elapsed),
+                        b.as_ref().clone(),
+                    ),
+                )
+            };
+            s::and(pre, s::or(observed_witness, future_witness))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate, state, Interval};
+
+    fn tr(states: Vec<crate::State>, times: Vec<u64>) -> TimedTrace {
+        TimedTrace::new(states, times).unwrap()
+    }
+
+    #[test]
+    fn empty_trace_is_identity() {
+        let phi = Formula::eventually(Interval::bounded(0, 5), Formula::atom("p"));
+        assert_eq!(progress(&TimedTrace::empty(), &phi, 10), phi);
+    }
+
+    #[test]
+    fn atoms_resolve_against_first_state() {
+        let t = tr(vec![state!["p"], state![]], vec![0, 1]);
+        assert_eq!(progress(&t, &Formula::atom("p"), 2), Formula::True);
+        assert_eq!(progress(&t, &Formula::atom("q"), 2), Formula::False);
+        assert_eq!(
+            progress(&t, &Formula::not(Formula::atom("q")), 2),
+            Formula::True
+        );
+    }
+
+    #[test]
+    fn eventually_satisfied_within_segment() {
+        let t = tr(vec![state![], state!["p"]], vec![0, 3]);
+        let phi = Formula::eventually(Interval::bounded(0, 5), Formula::atom("p"));
+        assert_eq!(progress(&t, &phi, 4), Formula::True);
+    }
+
+    #[test]
+    fn eventually_residual_interval_shrinks() {
+        let t = tr(vec![state![], state![]], vec![0, 2]);
+        let phi = Formula::eventually(Interval::bounded(0, 10), Formula::atom("p"));
+        // Anchor the residual at time 4: 4 time units of the interval elapsed.
+        assert_eq!(
+            progress(&t, &phi, 4),
+            Formula::eventually(Interval::bounded(0, 6), Formula::atom("p"))
+        );
+    }
+
+    #[test]
+    fn eventually_interval_fully_elapsed_gives_verdict() {
+        let t = tr(vec![state![], state![]], vec![0, 2]);
+        let phi = Formula::eventually(Interval::bounded(0, 2), Formula::atom("p"));
+        assert_eq!(progress(&t, &phi, 5), Formula::False);
+        let phi_sat = Formula::eventually(Interval::bounded(0, 2), Formula::not(Formula::atom("p")));
+        assert_eq!(progress(&t, &phi_sat, 5), Formula::True);
+    }
+
+    #[test]
+    fn always_violated_within_segment() {
+        let t = tr(vec![state!["p"], state![]], vec![0, 1]);
+        let phi = Formula::always(Interval::bounded(0, 3), Formula::atom("p"));
+        assert_eq!(progress(&t, &phi, 2), Formula::False);
+    }
+
+    #[test]
+    fn always_residual_carries_over() {
+        let t = tr(vec![state!["p"], state!["p"]], vec![0, 1]);
+        let phi = Formula::always(Interval::bounded(0, 6), Formula::atom("p"));
+        assert_eq!(
+            progress(&t, &phi, 2),
+            Formula::always(Interval::bounded(0, 4), Formula::atom("p"))
+        );
+    }
+
+    #[test]
+    fn fig2_until_progression_shrinks_interval() {
+        // Fig. 2 / Sec. I: φ_spec over seg1 where neither redeem event occurred.
+        // With the events of seg1 consuming 4 (resp. 5) time units, the
+        // rewritten formulas are φ_spec1 (interval [0,4)) and φ_spec2
+        // (interval [0,3)).
+        let not_bob = Formula::not(Formula::atom("Apr.Redeem(bob)"));
+        let alice = Formula::atom("Ban.Redeem(alice)");
+        let phi = Formula::until(not_bob.clone(), Interval::bounded(0, 8), alice.clone());
+        let seg1 = tr(vec![state![], state![], state![], state![]], vec![1, 1, 3, 4]);
+        assert_eq!(
+            progress(&seg1, &phi, 5),
+            Formula::until(not_bob.clone(), Interval::bounded(0, 4), alice.clone())
+        );
+        assert_eq!(
+            progress(&seg1, &phi, 6),
+            Formula::until(not_bob, Interval::bounded(0, 3), alice)
+        );
+    }
+
+    #[test]
+    fn until_witness_in_segment_resolves_to_true() {
+        let not_bob = Formula::not(Formula::atom("bob"));
+        let phi = Formula::until(not_bob, Interval::bounded(0, 8), Formula::atom("alice"));
+        let seg = tr(vec![state![], state!["alice"], state!["bob"]], vec![0, 3, 5]);
+        assert_eq!(progress(&seg, &phi, 6), Formula::True);
+    }
+
+    #[test]
+    fn until_violation_before_witness_resolves_to_false() {
+        let not_bob = Formula::not(Formula::atom("bob"));
+        let phi = Formula::until(not_bob, Interval::bounded(0, 8), Formula::atom("alice"));
+        // bob redeems first, alice never does within the segment, and the
+        // interval has fully elapsed by the anchor.
+        let seg = tr(vec![state![], state!["bob"], state![]], vec![0, 3, 7]);
+        assert_eq!(progress(&seg, &phi, 9), Formula::False);
+    }
+
+    #[test]
+    fn until_pending_when_interval_open() {
+        let not_bob = Formula::not(Formula::atom("bob"));
+        let phi = Formula::until(
+            not_bob.clone(),
+            Interval::bounded(0, 8),
+            Formula::atom("alice"),
+        );
+        // Nothing happened; obligation survives with a shrunk interval.
+        let seg = tr(vec![state![], state![]], vec![0, 2]);
+        let out = progress(&seg, &phi, 3);
+        assert_eq!(
+            out,
+            Formula::until(not_bob, Interval::bounded(0, 5), Formula::atom("alice"))
+        );
+    }
+
+    #[test]
+    fn fig4_three_segment_worked_example() {
+        // Fig. 4: φ = ◇_[0,6) r → (¬p U_[2,9) q), three segments.
+        let phi = Formula::implies(
+            Formula::eventually(Interval::bounded(0, 6), Formula::atom("r")),
+            Formula::until(
+                Formula::not(Formula::atom("p")),
+                Interval::bounded(2, 9),
+                Formula::atom("q"),
+            ),
+        );
+        // Segment 1: (∅,1)(∅,2)(∅,3); next segment starts at 3.
+        let seg1 = tr(vec![state![], state![], state![]], vec![1, 2, 3]);
+        let after1 = progress(&seg1, &phi, 3);
+        // r not seen yet and q not seen yet: both obligations survive with
+        // shrunk intervals (shift 2).
+        assert!(after1 != Formula::True && after1 != Formula::False);
+        // Segment 2: ({r},3)(∅,4)(∅,5); next segment starts at 6.
+        let seg2 = tr(vec![state!["r"], state![], state![]], vec![3, 4, 5]);
+        let after2 = progress(&seg2, &after1, 6);
+        assert!(after2 != Formula::True && after2 != Formula::False);
+        // Segment 3: (∅,6)({q},7)({p},7): the pending until is discharged by q.
+        let seg3 = tr(vec![state![], state!["q"], state!["p"]], vec![6, 7, 7]);
+        let after3 = progress(&seg3, &after2, 8);
+        assert_eq!(after3, Formula::True);
+        // Cross-check against direct evaluation of the full trace.
+        let full = seg1.concat(&seg2).unwrap().concat(&seg3).unwrap();
+        assert!(evaluate(&full, &phi));
+    }
+
+    #[test]
+    fn progression_matches_direct_evaluation_when_split() {
+        // The defining property of progression (Def. 3), checked on a handful
+        // of deterministic cases (the property test in tests/ covers random
+        // cases).
+        let full = tr(
+            vec![state!["a"], state!["a"], state!["b"], state![], state!["a", "b"]],
+            vec![0, 2, 3, 5, 8],
+        );
+        let formulas = vec![
+            Formula::eventually(Interval::bounded(0, 6), Formula::atom("b")),
+            Formula::always(Interval::bounded(0, 9), Formula::or(Formula::atom("a"), Formula::atom("b"))),
+            Formula::until(Formula::atom("a"), Interval::bounded(0, 4), Formula::atom("b")),
+            Formula::until(Formula::atom("a"), Interval::bounded(2, 9), Formula::atom("b")),
+            Formula::implies(
+                Formula::atom("a"),
+                Formula::eventually(Interval::bounded(0, 10), Formula::atom("b")),
+            ),
+        ];
+        for split in 1..full.len() {
+            let prefix = full.prefix(split);
+            let suffix = full.suffix(split);
+            let anchor = suffix.first_time().unwrap();
+            for phi in &formulas {
+                let rewritten = progress(&prefix, phi, anchor);
+                assert_eq!(
+                    evaluate(&full, phi),
+                    evaluate(&suffix, &rewritten),
+                    "split {split}, formula {phi}: rewritten = {rewritten}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gap_progression_shrinks_outer_intervals_only() {
+        let phi = Formula::implies(
+            Formula::atom("start"),
+            Formula::eventually(Interval::bounded(0, 10), Formula::always(Interval::bounded(0, 3), Formula::atom("p"))),
+        );
+        let shifted = super::progress_gap(&phi, 4);
+        assert_eq!(
+            shifted,
+            Formula::implies(
+                Formula::atom("start"),
+                Formula::eventually(
+                    Interval::bounded(0, 6),
+                    Formula::always(Interval::bounded(0, 3), Formula::atom("p"))
+                ),
+            )
+        );
+        assert_eq!(super::progress_gap(&phi, 0), phi);
+    }
+
+    #[test]
+    fn gap_progression_resolves_elapsed_intervals() {
+        let ev = Formula::eventually(Interval::bounded(0, 3), Formula::atom("p"));
+        let al = Formula::always(Interval::bounded(0, 3), Formula::atom("p"));
+        let un = Formula::until(Formula::atom("a"), Interval::bounded(2, 3), Formula::atom("b"));
+        assert_eq!(super::progress_gap(&ev, 5), Formula::False);
+        assert_eq!(super::progress_gap(&al, 5), Formula::True);
+        assert_eq!(super::progress_gap(&un, 5), Formula::False);
+    }
+
+    #[test]
+    fn gap_progression_matches_segment_composition() {
+        // Splitting a trace and accounting for the idle time between the
+        // anchor and the first observation of the suffix must agree with
+        // direct evaluation.
+        let full = tr(
+            vec![state!["a"], state![], state!["b"]],
+            vec![0, 2, 7],
+        );
+        let phi = Formula::eventually(Interval::bounded(0, 9), Formula::atom("b"));
+        let prefix = full.prefix(2);
+        let suffix = full.suffix(2);
+        // Progress over the prefix anchored at time 3 (a segment boundary),
+        // then bridge the gap from 3 to the suffix's first observation at 7.
+        let pending = progress(&prefix, &phi, 3);
+        let bridged = super::progress_gap(&pending, suffix.first_time().unwrap() - 3);
+        assert_eq!(evaluate(&suffix, &bridged), evaluate(&full, &phi));
+    }
+
+    #[test]
+    fn progress_default_anchors_at_last_time() {
+        let t = tr(vec![state![], state![]], vec![0, 3]);
+        let phi = Formula::eventually(Interval::bounded(0, 10), Formula::atom("p"));
+        assert_eq!(
+            progress_default(&t, &phi),
+            Formula::eventually(Interval::bounded(0, 7), Formula::atom("p"))
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Semantics-preserving simplification and canonicalisation of formulas.
+//!
+//! Progression (Sec. IV) produces large boolean combinations of residual
+//! formulas; the monitor deduplicates the *distinct* rewritten formulas across
+//! the possible interleavings of a segment, so rewritten formulas must be
+//! brought into a canonical form. All rewrites preserve the finite-trace
+//! semantics of [`crate::evaluate`] (this is checked by property tests).
+
+use crate::{Formula, Interval};
+use std::collections::BTreeSet;
+
+/// Simplifies and canonicalises a formula.
+///
+/// The rewrites applied are:
+/// * constant folding through `¬`, `∧`, `∨`, `→`;
+/// * double-negation elimination;
+/// * flattening of `∧`/`∨` trees with sorted, deduplicated operands;
+/// * complementary-literal collapse (`φ ∧ ¬φ → false`, `φ ∨ ¬φ → true`);
+/// * empty-interval collapse (`◇_∅ φ → false`, `□_∅ φ → true`, `φ U_∅ ψ → false`);
+/// * `◇_I false → false`, `□_I true → true`, `φ U_I false → false`.
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_mtl::{simplify, Formula};
+///
+/// let phi = Formula::and(Formula::atom("a"), Formula::and(Formula::True, Formula::atom("a")));
+/// assert_eq!(simplify(&phi), Formula::atom("a"));
+/// ```
+pub fn simplify(phi: &Formula) -> Formula {
+    match phi {
+        Formula::True | Formula::False | Formula::Atom(_) => phi.clone(),
+        Formula::Not(a) => not(simplify(a)),
+        Formula::And(a, b) => and(simplify(a), simplify(b)),
+        Formula::Or(a, b) => or(simplify(a), simplify(b)),
+        Formula::Implies(a, b) => implies(simplify(a), simplify(b)),
+        Formula::Until(a, i, b) => until(simplify(a), *i, simplify(b)),
+        Formula::Eventually(i, a) => eventually(*i, simplify(a)),
+        Formula::Always(i, a) => always(*i, simplify(a)),
+    }
+}
+
+/// Smart negation: folds constants and removes double negations.
+pub fn not(a: Formula) -> Formula {
+    match a {
+        Formula::True => Formula::False,
+        Formula::False => Formula::True,
+        Formula::Not(inner) => *inner,
+        other => Formula::not(other),
+    }
+}
+
+/// Smart conjunction: flattens, sorts, deduplicates and folds constants.
+pub fn and(a: Formula, b: Formula) -> Formula {
+    let mut operands = BTreeSet::new();
+    if collect_and(a, &mut operands) || collect_and(b, &mut operands) {
+        return Formula::False;
+    }
+    if has_complementary_pair(&operands) {
+        return Formula::False;
+    }
+    rebuild(operands, true)
+}
+
+/// Smart disjunction: flattens, sorts, deduplicates and folds constants.
+pub fn or(a: Formula, b: Formula) -> Formula {
+    let mut operands = BTreeSet::new();
+    if collect_or(a, &mut operands) || collect_or(b, &mut operands) {
+        return Formula::True;
+    }
+    if has_complementary_pair(&operands) {
+        return Formula::True;
+    }
+    rebuild(operands, false)
+}
+
+/// Smart conjunction over an arbitrary number of operands.
+pub fn and_all(parts: impl IntoIterator<Item = Formula>) -> Formula {
+    parts.into_iter().fold(Formula::True, and)
+}
+
+/// Smart disjunction over an arbitrary number of operands.
+pub fn or_all(parts: impl IntoIterator<Item = Formula>) -> Formula {
+    parts.into_iter().fold(Formula::False, or)
+}
+
+/// Smart implication.
+pub fn implies(a: Formula, b: Formula) -> Formula {
+    match (&a, &b) {
+        (Formula::True, _) => b,
+        (Formula::False, _) => Formula::True,
+        (_, Formula::True) => Formula::True,
+        (_, Formula::False) => not(a),
+        _ => {
+            if a == b {
+                Formula::True
+            } else {
+                Formula::Implies(Box::new(a), Box::new(b))
+            }
+        }
+    }
+}
+
+/// Smart timed until.
+pub fn until(a: Formula, i: Interval, b: Formula) -> Formula {
+    if i.is_empty() || b == Formula::False {
+        return Formula::False;
+    }
+    Formula::Until(Box::new(a), i, Box::new(b))
+}
+
+/// Smart timed eventually.
+pub fn eventually(i: Interval, a: Formula) -> Formula {
+    if i.is_empty() || a == Formula::False {
+        return Formula::False;
+    }
+    Formula::Eventually(i, Box::new(a))
+}
+
+/// Smart timed always.
+pub fn always(i: Interval, a: Formula) -> Formula {
+    if i.is_empty() || a == Formula::True {
+        return Formula::True;
+    }
+    Formula::Always(i, Box::new(a))
+}
+
+/// Collects operands of an `∧`-tree; returns `true` if a `false` operand makes
+/// the whole conjunction false.
+fn collect_and(f: Formula, out: &mut BTreeSet<Formula>) -> bool {
+    match f {
+        Formula::True => false,
+        Formula::False => true,
+        Formula::And(a, b) => collect_and(*a, out) || collect_and(*b, out),
+        other => {
+            out.insert(other);
+            false
+        }
+    }
+}
+
+/// Collects operands of an `∨`-tree; returns `true` if a `true` operand makes
+/// the whole disjunction true.
+fn collect_or(f: Formula, out: &mut BTreeSet<Formula>) -> bool {
+    match f {
+        Formula::False => false,
+        Formula::True => true,
+        Formula::Or(a, b) => collect_or(*a, out) || collect_or(*b, out),
+        other => {
+            out.insert(other);
+            false
+        }
+    }
+}
+
+fn has_complementary_pair(operands: &BTreeSet<Formula>) -> bool {
+    operands.iter().any(|f| match f {
+        Formula::Not(inner) => operands.contains(inner.as_ref()),
+        _ => false,
+    })
+}
+
+fn rebuild(operands: BTreeSet<Formula>, conjunction: bool) -> Formula {
+    let neutral = if conjunction {
+        Formula::True
+    } else {
+        Formula::False
+    };
+    let mut iter = operands.into_iter();
+    let first = match iter.next() {
+        None => return neutral,
+        Some(f) => f,
+    };
+    iter.fold(first, |acc, f| {
+        if conjunction {
+            Formula::And(Box::new(acc), Box::new(f))
+        } else {
+            Formula::Or(Box::new(acc), Box::new(f))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate;
+    use crate::{state, TimedTrace};
+
+    #[test]
+    fn constant_folding() {
+        assert_eq!(not(Formula::True), Formula::False);
+        assert_eq!(not(Formula::not(Formula::atom("a"))), Formula::atom("a"));
+        assert_eq!(and(Formula::True, Formula::atom("a")), Formula::atom("a"));
+        assert_eq!(and(Formula::False, Formula::atom("a")), Formula::False);
+        assert_eq!(or(Formula::False, Formula::atom("a")), Formula::atom("a"));
+        assert_eq!(or(Formula::True, Formula::atom("a")), Formula::True);
+        assert_eq!(implies(Formula::False, Formula::atom("a")), Formula::True);
+        assert_eq!(
+            implies(Formula::atom("a"), Formula::False),
+            Formula::not(Formula::atom("a"))
+        );
+    }
+
+    #[test]
+    fn idempotence_and_commutativity_canonicalised() {
+        let a = Formula::atom("a");
+        let b = Formula::atom("b");
+        assert_eq!(and(a.clone(), a.clone()), a);
+        assert_eq!(and(a.clone(), b.clone()), and(b.clone(), a.clone()));
+        assert_eq!(or(a.clone(), b.clone()), or(b, a));
+    }
+
+    #[test]
+    fn complementary_pairs_collapse() {
+        let a = Formula::atom("a");
+        assert_eq!(and(a.clone(), Formula::not(a.clone())), Formula::False);
+        assert_eq!(or(a.clone(), Formula::not(a)), Formula::True);
+    }
+
+    #[test]
+    fn nested_and_or_flattened() {
+        let f = Formula::and(
+            Formula::and(Formula::atom("a"), Formula::atom("b")),
+            Formula::and(Formula::atom("b"), Formula::atom("c")),
+        );
+        let s = simplify(&f);
+        assert_eq!(s.size(), 5); // a & b & c
+    }
+
+    #[test]
+    fn empty_intervals_collapse() {
+        let empty = Interval::bounded(3, 3);
+        assert_eq!(eventually(empty, Formula::atom("a")), Formula::False);
+        assert_eq!(always(empty, Formula::atom("a")), Formula::True);
+        assert_eq!(
+            until(Formula::atom("a"), empty, Formula::atom("b")),
+            Formula::False
+        );
+    }
+
+    #[test]
+    fn temporal_constant_operands() {
+        let i = Interval::bounded(0, 5);
+        assert_eq!(eventually(i, Formula::False), Formula::False);
+        assert_eq!(always(i, Formula::True), Formula::True);
+        assert_eq!(
+            until(Formula::atom("a"), i, Formula::False),
+            Formula::False
+        );
+    }
+
+    #[test]
+    fn simplify_preserves_semantics_on_samples() {
+        let trace = TimedTrace::new(
+            vec![state!["a"], state!["a", "b"], state![], state!["b"]],
+            vec![0, 1, 3, 6],
+        )
+        .unwrap();
+        let i = Interval::bounded(0, 5);
+        let samples = vec![
+            Formula::and(Formula::atom("a"), Formula::and(Formula::True, Formula::atom("a"))),
+            Formula::or(Formula::not(Formula::not(Formula::atom("b"))), Formula::False),
+            Formula::implies(Formula::atom("a"), Formula::atom("a")),
+            Formula::and(
+                Formula::eventually(i, Formula::atom("b")),
+                Formula::always(Interval::bounded(2, 2), Formula::atom("z")),
+            ),
+            Formula::until(Formula::atom("a"), i, Formula::or(Formula::atom("b"), Formula::False)),
+        ];
+        for phi in samples {
+            let simplified = simplify(&phi);
+            assert_eq!(
+                evaluate(&trace, &phi),
+                evaluate(&trace, &simplified),
+                "simplification changed semantics: {phi} vs {simplified}"
+            );
+            assert!(simplified.size() <= phi.size());
+        }
+    }
+
+    #[test]
+    fn and_all_or_all_neutral_elements() {
+        assert_eq!(and_all([]), Formula::True);
+        assert_eq!(or_all([]), Formula::False);
+        assert_eq!(
+            and_all([Formula::atom("x"), Formula::True]),
+            Formula::atom("x")
+        );
+    }
+}

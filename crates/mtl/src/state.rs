@@ -1,0 +1,217 @@
+//! States: sets of atomic propositions that hold at an instant.
+//!
+//! A [`State`] is an element of `Σ = 2^AP`. Timed traces pair a sequence of
+//! states with a sequence of timestamps (see [`crate::TimedTrace`]).
+
+use crate::Prop;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set of atomic propositions that hold simultaneously.
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_mtl::{Prop, State};
+///
+/// let s: State = ["a", "b"].into_iter().collect();
+/// assert!(s.holds("a"));
+/// assert!(!s.holds("c"));
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct State {
+    props: BTreeSet<Prop>,
+}
+
+impl State {
+    /// Creates an empty state (no proposition holds).
+    pub fn empty() -> Self {
+        State::default()
+    }
+
+    /// Creates a state containing a single proposition.
+    pub fn singleton(p: impl Into<Prop>) -> Self {
+        let mut s = State::empty();
+        s.insert(p);
+        s
+    }
+
+    /// Inserts a proposition; returns `true` if it was not already present.
+    pub fn insert(&mut self, p: impl Into<Prop>) -> bool {
+        self.props.insert(p.into())
+    }
+
+    /// Removes a proposition; returns `true` if it was present.
+    pub fn remove(&mut self, p: &str) -> bool {
+        self.props.remove(p)
+    }
+
+    /// Returns `true` if the proposition named `p` holds in this state.
+    pub fn holds(&self, p: &str) -> bool {
+        self.props.contains(p)
+    }
+
+    /// Returns `true` if the proposition holds in this state.
+    pub fn holds_prop(&self, p: &Prop) -> bool {
+        self.props.contains(p)
+    }
+
+    /// Number of propositions that hold.
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Returns `true` if no proposition holds.
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+
+    /// Iterates over the propositions that hold, in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = &Prop> {
+        self.props.iter()
+    }
+
+    /// Set union with another state (used when merging simultaneous events).
+    pub fn union(&self, other: &State) -> State {
+        State {
+            props: self.props.union(&other.props).cloned().collect(),
+        }
+    }
+
+    /// Extends this state with all propositions of `other`.
+    pub fn extend_from(&mut self, other: &State) {
+        for p in &other.props {
+            self.props.insert(p.clone());
+        }
+    }
+}
+
+impl FromIterator<Prop> for State {
+    fn from_iter<I: IntoIterator<Item = Prop>>(iter: I) -> Self {
+        State {
+            props: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> FromIterator<&'a str> for State {
+    fn from_iter<I: IntoIterator<Item = &'a str>>(iter: I) -> Self {
+        State {
+            props: iter.into_iter().map(Prop::new).collect(),
+        }
+    }
+}
+
+impl Extend<Prop> for State {
+    fn extend<I: IntoIterator<Item = Prop>>(&mut self, iter: I) {
+        self.props.extend(iter);
+    }
+}
+
+impl IntoIterator for State {
+    type Item = Prop;
+    type IntoIter = std::collections::btree_set::IntoIter<Prop>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.props.into_iter()
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.props.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Convenience macro for building a [`State`] from proposition names.
+///
+/// ```
+/// use rvmtl_mtl::state;
+///
+/// let s = state!["a", "b"];
+/// assert!(s.holds("a"));
+/// let empty = state![];
+/// assert!(empty.is_empty());
+/// ```
+#[macro_export]
+macro_rules! state {
+    () => { $crate::State::empty() };
+    ($($p:expr),+ $(,)?) => {{
+        let mut s = $crate::State::empty();
+        $( s.insert($crate::Prop::new($p)); )+
+        s
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_state_holds_nothing() {
+        let s = State::empty();
+        assert!(s.is_empty());
+        assert!(!s.holds("a"));
+        assert_eq!(s.to_string(), "{}");
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut s = State::empty();
+        assert!(s.insert("a"));
+        assert!(!s.insert("a"));
+        assert!(s.holds("a"));
+        assert!(s.holds_prop(&Prop::new("a")));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove("a"));
+        assert!(!s.remove("a"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_of_strs() {
+        let s: State = ["b", "a", "a"].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        let names: Vec<_> = s.iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn union_and_extend() {
+        let a = state!["x"];
+        let b = state!["y", "x"];
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        let mut c = state!["z"];
+        c.extend_from(&u);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn state_macro() {
+        let s = state!["p", "q"];
+        assert!(s.holds("p") && s.holds("q"));
+        assert_eq!(state![].len(), 0);
+    }
+
+    #[test]
+    fn display_sorted() {
+        let s = state!["b", "a"];
+        assert_eq!(s.to_string(), "{a, b}");
+    }
+
+    #[test]
+    fn ordering_and_equality() {
+        assert_eq!(state!["a", "b"], state!["b", "a"]);
+        assert!(state!["a"] < state!["a", "b"]);
+    }
+}

@@ -1,0 +1,353 @@
+//! Timed traces: a finite sequence of states paired with non-decreasing
+//! timestamps, i.e. an element of `(Σ*, Z*≥0)` from the paper.
+
+use crate::State;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when constructing an ill-formed [`TimedTrace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The state and time sequences have different lengths.
+    LengthMismatch {
+        /// Number of states provided.
+        states: usize,
+        /// Number of timestamps provided.
+        times: usize,
+    },
+    /// Timestamps are not non-decreasing.
+    NonMonotonicTime {
+        /// Index at which monotonicity is violated.
+        index: usize,
+        /// Timestamp at `index - 1`.
+        previous: u64,
+        /// Timestamp at `index`.
+        current: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::LengthMismatch { states, times } => write!(
+                f,
+                "state sequence has {states} entries but time sequence has {times}"
+            ),
+            TraceError::NonMonotonicTime {
+                index,
+                previous,
+                current,
+            } => write!(
+                f,
+                "timestamps must be non-decreasing: time[{index}] = {current} < time[{}] = {previous}",
+                index - 1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A finite timed trace `(α, τ̄)`: states `s₀s₁…sₙ` with timestamps `τ₀τ₁…τₙ`.
+///
+/// Timestamps are non-decreasing; repeated timestamps are allowed (several
+/// states can share a time point, as happens when concurrent events are
+/// linearised).
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_mtl::{state, TimedTrace};
+///
+/// let trace = TimedTrace::new(
+///     vec![state!["a"], state!["a"], state!["b"]],
+///     vec![1, 2, 4],
+/// )?;
+/// assert_eq!(trace.len(), 3);
+/// assert_eq!(trace.duration(), 3);
+/// # Ok::<(), rvmtl_mtl::TraceError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimedTrace {
+    states: Vec<State>,
+    times: Vec<u64>,
+}
+
+impl TimedTrace {
+    /// Creates a timed trace from parallel state and time sequences.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::LengthMismatch`] if the sequences differ in
+    /// length, and [`TraceError::NonMonotonicTime`] if timestamps decrease.
+    pub fn new(states: Vec<State>, times: Vec<u64>) -> Result<Self, TraceError> {
+        if states.len() != times.len() {
+            return Err(TraceError::LengthMismatch {
+                states: states.len(),
+                times: times.len(),
+            });
+        }
+        for i in 1..times.len() {
+            if times[i] < times[i - 1] {
+                return Err(TraceError::NonMonotonicTime {
+                    index: i,
+                    previous: times[i - 1],
+                    current: times[i],
+                });
+            }
+        }
+        Ok(TimedTrace { states, times })
+    }
+
+    /// Creates an empty trace.
+    pub fn empty() -> Self {
+        TimedTrace::default()
+    }
+
+    /// Creates a trace from `(state, time)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if timestamps decrease.
+    pub fn from_pairs(
+        pairs: impl IntoIterator<Item = (State, u64)>,
+    ) -> Result<Self, TraceError> {
+        let (states, times): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        TimedTrace::new(states, times)
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::NonMonotonicTime`] if `time` is smaller than the
+    /// last timestamp.
+    pub fn push(&mut self, state: State, time: u64) -> Result<(), TraceError> {
+        if let Some(&last) = self.times.last() {
+            if time < last {
+                return Err(TraceError::NonMonotonicTime {
+                    index: self.times.len(),
+                    previous: last,
+                    current: time,
+                });
+            }
+        }
+        self.states.push(state);
+        self.times.push(time);
+        Ok(())
+    }
+
+    /// Number of observations in the trace.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if the trace has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn state(&self, i: usize) -> &State {
+        &self.states[i]
+    }
+
+    /// The timestamp at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn time(&self, i: usize) -> u64 {
+        self.times[i]
+    }
+
+    /// All states.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// All timestamps.
+    pub fn times(&self) -> &[u64] {
+        &self.times
+    }
+
+    /// The first timestamp, or `None` for an empty trace.
+    pub fn first_time(&self) -> Option<u64> {
+        self.times.first().copied()
+    }
+
+    /// The last timestamp, or `None` for an empty trace.
+    pub fn last_time(&self) -> Option<u64> {
+        self.times.last().copied()
+    }
+
+    /// Elapsed time between the first and last observation (0 for traces with
+    /// fewer than two observations).
+    pub fn duration(&self) -> u64 {
+        match (self.first_time(), self.last_time()) {
+            (Some(a), Some(b)) => b - a,
+            _ => 0,
+        }
+    }
+
+    /// The suffix trace `(αⁱ, τ̄ⁱ)` starting at position `i` (an owned copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > len()`.
+    pub fn suffix(&self, i: usize) -> TimedTrace {
+        TimedTrace {
+            states: self.states[i..].to_vec(),
+            times: self.times[i..].to_vec(),
+        }
+    }
+
+    /// The prefix consisting of the first `n` observations (an owned copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn prefix(&self, n: usize) -> TimedTrace {
+        TimedTrace {
+            states: self.states[..n].to_vec(),
+            times: self.times[..n].to_vec(),
+        }
+    }
+
+    /// Concatenation `α.α′` of two traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::NonMonotonicTime`] if the first timestamp of
+    /// `other` is smaller than the last timestamp of `self`.
+    pub fn concat(&self, other: &TimedTrace) -> Result<TimedTrace, TraceError> {
+        let mut out = self.clone();
+        for i in 0..other.len() {
+            out.push(other.state(i).clone(), other.time(i))?;
+        }
+        Ok(out)
+    }
+
+    /// Iterates over `(state, time)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&State, u64)> {
+        self.states.iter().zip(self.times.iter().copied())
+    }
+
+    /// Returns the sub-trace of observations whose timestamps fall in
+    /// `[from, to)` (global times, not offsets).
+    pub fn window(&self, from: u64, to: u64) -> TimedTrace {
+        let pairs = self
+            .iter()
+            .filter(|&(_, t)| t >= from && t < to)
+            .map(|(s, t)| (s.clone(), t));
+        TimedTrace::from_pairs(pairs).expect("window of a monotone trace is monotone")
+    }
+}
+
+impl fmt::Display for TimedTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (s, t)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "({s},{t})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state;
+
+    fn sample() -> TimedTrace {
+        TimedTrace::new(
+            vec![state![], state![], state![], state!["r"]],
+            vec![1, 2, 3, 3],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.time(0), 1);
+        assert_eq!(t.time(3), 3);
+        assert!(t.state(3).holds("r"));
+        assert_eq!(t.first_time(), Some(1));
+        assert_eq!(t.last_time(), Some(3));
+        assert_eq!(t.duration(), 2);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let err = TimedTrace::new(vec![state![]], vec![1, 2]).unwrap_err();
+        assert!(matches!(err, TraceError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn non_monotonic_rejected() {
+        let err = TimedTrace::new(vec![state![], state![]], vec![5, 3]).unwrap_err();
+        assert!(matches!(err, TraceError::NonMonotonicTime { index: 1, .. }));
+        let mut t = sample();
+        assert!(t.push(state![], 2).is_err());
+        assert!(t.push(state![], 3).is_ok());
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        let t = TimedTrace::new(vec![state!["a"], state!["b"]], vec![7, 7]).unwrap();
+        assert_eq!(t.duration(), 0);
+    }
+
+    #[test]
+    fn suffix_and_prefix() {
+        let t = sample();
+        let s = t.suffix(2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.time(0), 3);
+        let p = t.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.last_time(), Some(2));
+        assert_eq!(t.suffix(4).len(), 0);
+    }
+
+    #[test]
+    fn concat() {
+        let a = TimedTrace::new(vec![state!["x"]], vec![1]).unwrap();
+        let b = TimedTrace::new(vec![state!["y"]], vec![5]).unwrap();
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(b.concat(&a).is_err());
+    }
+
+    #[test]
+    fn window_selects_by_global_time() {
+        let t = sample();
+        let w = t.window(2, 3);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.time(0), 2);
+        let all = t.window(0, 100);
+        assert_eq!(all.len(), t.len());
+    }
+
+    #[test]
+    fn from_pairs_and_iter() {
+        let t = TimedTrace::from_pairs([(state!["a"], 0), (state!["b"], 2)]).unwrap();
+        let collected: Vec<_> = t.iter().map(|(s, time)| (s.holds("a"), time)).collect();
+        assert_eq!(collected, vec![(true, 0), (false, 2)]);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = TimedTrace::new(vec![state!["a"]], vec![3]).unwrap();
+        assert_eq!(t.to_string(), "({a},3)");
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for the MTL layer.
+//!
+//! The central property is the defining equation of formula progression
+//! (Def. 3 of the paper): evaluating a formula on a full trace is the same as
+//! evaluating the progressed formula on the unobserved suffix.
+
+use proptest::prelude::*;
+use rvmtl_mtl::{evaluate, parse, progress, simplify, Formula, Interval, State, TimedTrace};
+
+const PROPS: [&str; 3] = ["p", "q", "r"];
+
+fn arb_state() -> impl Strategy<Value = State> {
+    proptest::collection::vec(proptest::bool::ANY, PROPS.len()).prop_map(|bits| {
+        PROPS
+            .iter()
+            .zip(bits)
+            .filter(|(_, b)| *b)
+            .map(|(p, _)| *p)
+            .collect()
+    })
+}
+
+fn arb_trace(max_len: usize) -> impl Strategy<Value = TimedTrace> {
+    proptest::collection::vec((arb_state(), 0u64..4), 1..=max_len).prop_map(|steps| {
+        let mut trace = TimedTrace::empty();
+        let mut t = 0;
+        for (state, gap) in steps {
+            t += gap;
+            trace.push(state, t).expect("monotone by construction");
+        }
+        trace
+    })
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0u64..6, 1u64..10, proptest::bool::ANY).prop_map(|(start, len, unbounded)| {
+        if unbounded {
+            Interval::unbounded(start)
+        } else {
+            Interval::bounded(start, start + len)
+        }
+    })
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        (0..PROPS.len()).prop_map(|i| Formula::atom(PROPS[i])),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            (arb_interval(), inner.clone()).prop_map(|(i, a)| Formula::eventually(i, a)),
+            (arb_interval(), inner.clone()).prop_map(|(i, a)| Formula::always(i, a)),
+            (inner.clone(), arb_interval(), inner).prop_map(|(a, i, b)| Formula::until(a, i, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Def. 3: (α.α′, τ̄.τ̄′) ⊨F φ  ⟺  (α′, τ̄′) ⊨F Pr(α, τ̄, φ) when the
+    /// residuals are anchored at the suffix's first timestamp.
+    #[test]
+    fn progression_is_sound_and_complete(
+        full in arb_trace(8),
+        phi in arb_formula(),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = 1 + ((full.len() - 1) as f64 * split_frac) as usize;
+        prop_assume!(split < full.len());
+        let prefix = full.prefix(split);
+        let suffix = full.suffix(split);
+        let anchor = suffix.first_time().unwrap();
+        let rewritten = progress(&prefix, &phi, anchor);
+        prop_assert_eq!(
+            evaluate(&full, &phi),
+            evaluate(&suffix, &rewritten),
+            "phi = {}, rewritten = {}, prefix = {}, suffix = {}",
+            phi, rewritten, prefix, suffix
+        );
+    }
+
+    /// Progressing over the whole trace with the residual anchored past the
+    /// last timestamp yields a constant verdict for formulas whose temporal
+    /// horizon is bounded, and that verdict agrees with direct evaluation
+    /// whenever it is constant.
+    #[test]
+    fn progression_over_full_trace_agrees_with_evaluation(
+        trace in arb_trace(8),
+        phi in arb_formula(),
+    ) {
+        let anchor = trace.last_time().unwrap();
+        let result = progress(&trace, &phi, anchor);
+        if let Some(verdict) = result.as_bool() {
+            prop_assert_eq!(verdict, evaluate(&trace, &phi), "phi = {}", phi);
+        }
+    }
+
+    /// Simplification preserves the finite-trace semantics.
+    #[test]
+    fn simplification_preserves_semantics(
+        trace in arb_trace(8),
+        phi in arb_formula(),
+    ) {
+        let simplified = simplify(&phi);
+        prop_assert_eq!(
+            evaluate(&trace, &phi),
+            evaluate(&trace, &simplified),
+            "phi = {}, simplified = {}", phi, simplified
+        );
+        prop_assert!(simplified.size() <= phi.size());
+    }
+
+    /// Simplification is idempotent (canonical forms stay canonical).
+    #[test]
+    fn simplification_is_idempotent(phi in arb_formula()) {
+        let once = simplify(&phi);
+        let twice = simplify(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The core-grammar translation (∧, →, ◇, □ eliminated) preserves the
+    /// finite-trace semantics.
+    #[test]
+    fn core_translation_preserves_semantics(
+        trace in arb_trace(6),
+        phi in arb_formula(),
+    ) {
+        prop_assert_eq!(evaluate(&trace, &phi), evaluate(&trace, &phi.to_core()));
+    }
+
+    /// Display → parse round-trips syntactically.
+    #[test]
+    fn display_parse_roundtrip(phi in arb_formula()) {
+        let text = phi.to_string();
+        let reparsed = parse(&text).unwrap();
+        prop_assert_eq!(phi, reparsed, "text = {}", text);
+    }
+
+    /// Interval algebra: shifting down never grows the interval, and
+    /// membership after shifting corresponds to membership before.
+    #[test]
+    fn interval_shift_down_membership(
+        start in 0u64..20,
+        len in 0u64..20,
+        delay in 0u64..30,
+        t in 0u64..60,
+    ) {
+        let i = Interval::bounded(start, start + len);
+        let shifted = i.shift_down(delay);
+        // Points reachable in the future (t ≥ 0 after the delay) correspond.
+        if i.contains(t + delay) {
+            prop_assert!(shifted.contains(t));
+        }
+        if shifted.contains(t) && t + delay >= start {
+            prop_assert!(i.contains(t + delay) || i.start() > t + delay);
+        }
+    }
+
+    /// Evaluation at a later position only depends on the suffix.
+    #[test]
+    fn evaluation_is_suffix_local(
+        trace in arb_trace(8),
+        phi in arb_formula(),
+        idx_frac in 0.0f64..1.0,
+    ) {
+        let i = ((trace.len() - 1) as f64 * idx_frac) as usize;
+        let suffix = trace.suffix(i);
+        prop_assert_eq!(
+            rvmtl_mtl::evaluate_at(&trace, i, &phi),
+            evaluate(&suffix, &phi)
+        );
+    }
+}

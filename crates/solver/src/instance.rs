@@ -1,0 +1,228 @@
+//! An SMT-style driver interface over the progression engine.
+//!
+//! The paper drives Z3 in a loop: assert the consistent-cut and timing
+//! constraints of the segment, assert the formula-verdict constraint, `check`,
+//! read back a model, then add a blocking clause and `check` again to discover
+//! the next distinct solution (this loop is the x-axis of Fig. 5e).
+//! [`SolverInstance`] mirrors that workflow on top of
+//! [`crate::ProgressionQuery`].
+
+use crate::progression::{finalize, ProgressionQuery, SolverStats};
+use rvmtl_distrib::DistributedComputation;
+use rvmtl_mtl::Formula;
+use std::collections::BTreeSet;
+
+/// The outcome of a [`SolverInstance::check`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckResult {
+    /// A solution distinct from all blocked ones exists; the model describes
+    /// it.
+    Sat(Model),
+    /// No unblocked solution exists.
+    Unsat,
+}
+
+impl CheckResult {
+    /// Returns the model if the result is `Sat`.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            CheckResult::Sat(m) => Some(m),
+            CheckResult::Unsat => None,
+        }
+    }
+
+    /// Returns `true` if the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, CheckResult::Sat(_))
+    }
+}
+
+/// A satisfying assignment: one distinguishable way the segment's traces can
+/// rewrite the monitored formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Model {
+    /// The rewritten (progressed) formula for the next segment.
+    pub rewritten: Formula,
+    /// The verdict obtained if the computation were to end here (the
+    /// rewritten formula closed against an empty future).
+    pub verdict: bool,
+}
+
+/// An incremental solver instance for one segment and one monitored formula.
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_distrib::ComputationBuilder;
+/// use rvmtl_mtl::{parse, state};
+/// use rvmtl_solver::SolverInstance;
+///
+/// // Fig. 3: the computation is ambiguous for a U[0,6) b under ε = 2.
+/// let mut b = ComputationBuilder::new(2, 2);
+/// b.event(0, 1, state!["a"]);
+/// b.event(0, 4, state![]);
+/// b.event(1, 2, state!["a"]);
+/// b.event(1, 5, state!["b"]);
+/// let comp = b.build()?;
+///
+/// let mut solver = SolverInstance::new(&comp, parse("a U[0,6) b")?, 10);
+/// let mut verdicts = std::collections::BTreeSet::new();
+/// while let Some(model) = solver.check().model().cloned() {
+///     verdicts.insert(model.verdict);
+///     solver.block(&model);
+/// }
+/// assert_eq!(verdicts.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SolverInstance<'a> {
+    comp: &'a DistributedComputation,
+    phi: Formula,
+    next_anchor: u64,
+    blocked: BTreeSet<Formula>,
+    last_stats: SolverStats,
+}
+
+impl<'a> SolverInstance<'a> {
+    /// Creates an instance for the given segment, monitored formula and
+    /// residual anchor (base time of the next segment).
+    pub fn new(comp: &'a DistributedComputation, phi: Formula, next_anchor: u64) -> Self {
+        SolverInstance {
+            comp,
+            phi,
+            next_anchor,
+            blocked: BTreeSet::new(),
+            last_stats: SolverStats::default(),
+        }
+    }
+
+    /// Searches for a solution distinct from every blocked one.
+    ///
+    /// Each call re-runs the search asking for one more distinct solution than
+    /// is currently blocked, mirroring the repeated SMT invocations of the
+    /// paper (whose cost Fig. 5e measures).
+    pub fn check(&mut self) -> CheckResult {
+        let want = self.blocked.len() + 1;
+        let result = ProgressionQuery::new(self.comp, self.next_anchor)
+            .with_limit(want)
+            .distinct_progressions(&self.phi);
+        self.last_stats = result.stats;
+        match result
+            .formulas
+            .into_iter()
+            .find(|f| !self.blocked.contains(f))
+        {
+            Some(rewritten) => {
+                let verdict = finalize(&rewritten);
+                CheckResult::Sat(Model { rewritten, verdict })
+            }
+            None => {
+                // The limited search may have only rediscovered blocked
+                // solutions; retry without a limit to be certain.
+                let full = ProgressionQuery::new(self.comp, self.next_anchor)
+                    .distinct_progressions(&self.phi);
+                self.last_stats = full.stats;
+                match full
+                    .formulas
+                    .into_iter()
+                    .find(|f| !self.blocked.contains(f))
+                {
+                    Some(rewritten) => {
+                        let verdict = finalize(&rewritten);
+                        CheckResult::Sat(Model { rewritten, verdict })
+                    }
+                    None => CheckResult::Unsat,
+                }
+            }
+        }
+    }
+
+    /// Adds a blocking clause excluding the given model's rewritten formula
+    /// from future `check` calls.
+    pub fn block(&mut self, model: &Model) {
+        self.blocked.insert(model.rewritten.clone());
+    }
+
+    /// The formulas blocked so far.
+    pub fn blocked(&self) -> &BTreeSet<Formula> {
+        &self.blocked
+    }
+
+    /// Statistics of the most recent `check` call.
+    pub fn last_stats(&self) -> SolverStats {
+        self.last_stats
+    }
+
+    /// Runs the check/block loop to completion and returns every distinct
+    /// model, in discovery order.
+    pub fn all_models(&mut self) -> Vec<Model> {
+        let mut models = Vec::new();
+        while let CheckResult::Sat(model) = self.check() {
+            self.block(&model);
+            models.push(model);
+        }
+        models
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvmtl_distrib::ComputationBuilder;
+    use rvmtl_mtl::{parse, state};
+
+    fn fig3() -> DistributedComputation {
+        let mut b = ComputationBuilder::new(2, 2);
+        b.event(0, 1, state!["a"]);
+        b.event(0, 4, state![]);
+        b.event(1, 2, state!["a"]);
+        b.event(1, 5, state!["b"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn check_block_loop_enumerates_all_solutions() {
+        let comp = fig3();
+        let mut solver = SolverInstance::new(&comp, parse("a U[0,6) b").unwrap(), 10);
+        let models = solver.all_models();
+        assert!(models.len() >= 2);
+        let verdicts: BTreeSet<bool> = models.iter().map(|m| m.verdict).collect();
+        assert_eq!(verdicts.len(), 2);
+        // After exhaustion the instance stays unsat.
+        assert_eq!(solver.check(), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn unambiguous_instance_has_single_model() {
+        let mut b = ComputationBuilder::new(1, 1);
+        b.event(0, 1, state!["a"]);
+        b.event(0, 3, state!["b"]);
+        let comp = b.build().unwrap();
+        let mut solver = SolverInstance::new(&comp, parse("a U[0,6) b").unwrap(), 10);
+        let models = solver.all_models();
+        assert_eq!(models.len(), 1);
+        assert!(models[0].verdict);
+    }
+
+    #[test]
+    fn blocking_is_persistent() {
+        let comp = fig3();
+        let mut solver = SolverInstance::new(&comp, parse("F[0,6) b").unwrap(), 10);
+        let first = solver.check();
+        assert!(first.is_sat());
+        let model = first.model().unwrap().clone();
+        solver.block(&model);
+        if let CheckResult::Sat(second) = solver.check() {
+            assert_ne!(second.rewritten, model.rewritten);
+        }
+        assert_eq!(solver.blocked().len(), 1);
+    }
+
+    #[test]
+    fn stats_are_reported() {
+        let comp = fig3();
+        let mut solver = SolverInstance::new(&comp, parse("G[0,8) (a | b)").unwrap(), 10);
+        let _ = solver.check();
+        assert!(solver.last_stats().explored_states > 0);
+    }
+}

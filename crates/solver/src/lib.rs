@@ -1,0 +1,30 @@
+//! An SMT-style decision engine for MTL monitoring under partial synchrony.
+//!
+//! This crate plays the role of the SMT solver in the paper's architecture
+//! (Sec. V): given one segment of a distributed computation and a pending MTL
+//! formula, it determines every *distinct* way the segment's admissible traces
+//! (consistent-cut sequences × bounded-skew time assignments) can rewrite the
+//! formula, and therefore every verdict the segment can justify.
+//!
+//! Two interfaces are provided:
+//!
+//! * [`ProgressionQuery`] / [`distinct_progressions`] / [`possible_verdicts`] —
+//!   the direct query API used by the monitor crate;
+//! * [`SolverInstance`] — an incremental check/block/model loop mirroring how
+//!   the paper drives Z3 with blocking clauses (Fig. 5e).
+//!
+//! The engine is exact: its verdict sets coincide with brute-force
+//! enumeration of all traces (`rvmtl_distrib::all_verdicts`), which is
+//! verified by differential and property-based tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod instance;
+mod progression;
+
+pub use instance::{CheckResult, Model, SolverInstance};
+pub use progression::{
+    distinct_progressions, exists_verdict, finalize, possible_verdicts, ProgressionQuery,
+    ProgressionResult, SolverStats,
+};

@@ -1,0 +1,98 @@
+//! Differential and property-based tests: the solver's symbolic verdict sets
+//! must coincide with brute-force enumeration of all traces of the
+//! computation, for random computations and random formulas.
+
+use proptest::prelude::*;
+use rvmtl_distrib::{all_verdicts, ComputationBuilder, DistributedComputation};
+use rvmtl_mtl::{Formula, Interval, State};
+use rvmtl_solver::possible_verdicts;
+
+const PROPS: [&str; 3] = ["p", "q", "r"];
+
+#[derive(Debug, Clone)]
+struct RandomComputation {
+    epsilon: u64,
+    /// Per process: (gap to previous event, state bits).
+    events: Vec<Vec<(u64, [bool; 3])>>,
+}
+
+fn build(rc: &RandomComputation) -> DistributedComputation {
+    let mut b = ComputationBuilder::new(rc.events.len().max(1), rc.epsilon);
+    for (p, events) in rc.events.iter().enumerate() {
+        let mut t = 0;
+        for (gap, bits) in events {
+            t += 1 + gap;
+            let state: State = PROPS
+                .iter()
+                .zip(bits)
+                .filter(|(_, b)| **b)
+                .map(|(name, _)| *name)
+                .collect();
+            b.event(p, t, state);
+        }
+    }
+    b.build().expect("generated computations are valid")
+}
+
+fn arb_computation() -> impl Strategy<Value = RandomComputation> {
+    let event = (0u64..3, proptest::array::uniform3(proptest::bool::ANY));
+    let process = proptest::collection::vec(event, 0..4);
+    (1u64..4, proptest::collection::vec(process, 1..3))
+        .prop_map(|(epsilon, events)| RandomComputation { epsilon, events })
+}
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0u64..4, 1u64..8, proptest::bool::ANY).prop_map(|(s, l, unbounded)| {
+        if unbounded {
+            Interval::unbounded(s)
+        } else {
+            Interval::bounded(s, s + l)
+        }
+    })
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        (0..PROPS.len()).prop_map(|i| Formula::atom(PROPS[i])),
+        Just(Formula::True),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            (arb_interval(), inner.clone()).prop_map(|(i, a)| Formula::eventually(i, a)),
+            (arb_interval(), inner.clone()).prop_map(|(i, a)| Formula::always(i, a)),
+            (inner.clone(), arb_interval(), inner).prop_map(|(a, i, b)| Formula::until(a, i, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The solver's verdict set equals the brute-force oracle's on random
+    /// computations and formulas.
+    #[test]
+    fn solver_matches_bruteforce(rc in arb_computation(), phi in arb_formula()) {
+        let comp = build(&rc);
+        // Keep the oracle tractable.
+        prop_assume!(comp.event_count() <= 6);
+        let expected = all_verdicts(&comp, &phi);
+        let actual = possible_verdicts(&comp, &phi);
+        prop_assert_eq!(actual, expected, "formula {}", phi);
+    }
+
+    /// Verdict sets are never empty and only contain booleans consistent with
+    /// negation: verdicts(¬φ) is the element-wise negation of verdicts(φ).
+    #[test]
+    fn negation_flips_verdicts(rc in arb_computation(), phi in arb_formula()) {
+        let comp = build(&rc);
+        prop_assume!(comp.event_count() <= 6);
+        let pos = possible_verdicts(&comp, &phi);
+        let neg = possible_verdicts(&comp, &Formula::not(phi.clone()));
+        prop_assert!(!pos.is_empty());
+        let flipped: std::collections::BTreeSet<bool> = pos.iter().map(|v| !v).collect();
+        prop_assert_eq!(neg, flipped, "formula {}", phi);
+    }
+}

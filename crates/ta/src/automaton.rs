@@ -1,0 +1,384 @@
+//! A small network-of-timed-automata engine (the UPPAAL substitute).
+//!
+//! The engine supports what the paper's benchmark models need: locations with
+//! labels, integer clocks, guards over clocks and shared integer variables,
+//! resets, updates of shared variables, and binary channel synchronisation
+//! (`chan!` / `chan?`). Time is discrete; the simulator advances true time in
+//! fixed ticks and fires enabled edges, producing one observable event per
+//! fired edge on the owning process.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// A guard over the automaton's own clock `x` and the network's shared
+/// integer variables.
+#[derive(Debug, Clone)]
+pub enum Guard {
+    /// Always enabled.
+    True,
+    /// `x >= c` for the automaton's clock.
+    ClockAtLeast(u64),
+    /// `x < c` for the automaton's clock.
+    ClockLessThan(u64),
+    /// `var == value` for a shared variable.
+    VarEquals(&'static str, i64),
+    /// `var != value` for a shared variable.
+    VarNotEquals(&'static str, i64),
+    /// Conjunction of two guards.
+    And(Box<Guard>, Box<Guard>),
+}
+
+impl Guard {
+    /// Conjunction helper.
+    pub fn and(a: Guard, b: Guard) -> Guard {
+        Guard::And(Box::new(a), Box::new(b))
+    }
+
+    fn eval(&self, clock: u64, vars: &BTreeMap<&'static str, i64>) -> bool {
+        match self {
+            Guard::True => true,
+            Guard::ClockAtLeast(c) => clock >= *c,
+            Guard::ClockLessThan(c) => clock < *c,
+            Guard::VarEquals(v, x) => vars.get(v).copied().unwrap_or(0) == *x,
+            Guard::VarNotEquals(v, x) => vars.get(v).copied().unwrap_or(0) != *x,
+            Guard::And(a, b) => a.eval(clock, vars) && b.eval(clock, vars),
+        }
+    }
+}
+
+/// An effect applied when an edge fires.
+#[derive(Debug, Clone)]
+pub enum Effect {
+    /// No effect.
+    None,
+    /// Reset the automaton's clock to 0.
+    ResetClock,
+    /// Set a shared variable to a constant.
+    SetVar(&'static str, i64),
+    /// Set a shared variable to this automaton's identifier + 1.
+    SetVarToSelf(&'static str),
+    /// Apply two effects in order.
+    Both(Box<Effect>, Box<Effect>),
+}
+
+impl Effect {
+    /// Sequencing helper.
+    pub fn both(a: Effect, b: Effect) -> Effect {
+        Effect::Both(Box::new(a), Box::new(b))
+    }
+}
+
+/// Channel synchronisation label of an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sync {
+    /// Internal edge (no synchronisation).
+    None,
+    /// Emit on a channel (`chan!`).
+    Send(&'static str),
+    /// Receive on a channel (`chan?`).
+    Receive(&'static str),
+}
+
+/// An edge of a timed automaton.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Source location index.
+    pub from: usize,
+    /// Target location index.
+    pub to: usize,
+    /// Enabling guard.
+    pub guard: Guard,
+    /// Channel synchronisation.
+    pub sync: Sync,
+    /// Effect applied when the edge fires.
+    pub effect: Effect,
+    /// Name of the action, used as part of the emitted proposition.
+    pub action: &'static str,
+}
+
+/// One timed automaton (one process of the network).
+#[derive(Debug, Clone)]
+pub struct Automaton {
+    /// Template name, e.g. `Train`.
+    pub name: &'static str,
+    /// Instance identifier within its template (e.g. the train number).
+    pub id: usize,
+    /// Location labels; the proposition `"{name}[{id}].{label}"` holds while
+    /// the automaton is in that location.
+    pub locations: Vec<&'static str>,
+    /// Initial location index.
+    pub initial: usize,
+    /// Edges.
+    pub edges: Vec<Edge>,
+}
+
+/// The run-time state of one automaton.
+#[derive(Debug, Clone)]
+pub struct AutomatonState {
+    /// Current location index.
+    pub location: usize,
+    /// Value of the automaton's clock.
+    pub clock: u64,
+}
+
+/// A fired transition, reported by the simulator.
+#[derive(Debug, Clone)]
+pub struct Firing {
+    /// Index of the automaton in the network.
+    pub automaton: usize,
+    /// The action name of the fired edge.
+    pub action: &'static str,
+    /// The location label reached.
+    pub location: &'static str,
+    /// True time at which the edge fired.
+    pub time: u64,
+}
+
+/// A network of timed automata with shared integer variables and binary
+/// channels.
+#[derive(Debug, Clone)]
+pub struct Network {
+    automata: Vec<Automaton>,
+    states: Vec<AutomatonState>,
+    vars: BTreeMap<&'static str, i64>,
+    time: u64,
+}
+
+impl Network {
+    /// Creates a network from its component automata.
+    pub fn new(automata: Vec<Automaton>) -> Self {
+        let states = automata
+            .iter()
+            .map(|a| AutomatonState {
+                location: a.initial,
+                clock: 0,
+            })
+            .collect();
+        Network {
+            automata,
+            states,
+            vars: BTreeMap::new(),
+            time: 0,
+        }
+    }
+
+    /// Declares (or overwrites) a shared variable.
+    pub fn set_var(&mut self, name: &'static str, value: i64) {
+        self.vars.insert(name, value);
+    }
+
+    /// Reads a shared variable.
+    pub fn var(&self, name: &'static str) -> i64 {
+        self.vars.get(name).copied().unwrap_or(0)
+    }
+
+    /// The automata of the network.
+    pub fn automata(&self) -> &[Automaton] {
+        &self.automata
+    }
+
+    /// The current location label of automaton `i`.
+    pub fn location_of(&self, i: usize) -> &'static str {
+        self.automata[i].locations[self.states[i].location]
+    }
+
+    /// The current true time.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    fn apply_effect(&mut self, automaton: usize, effect: &Effect) {
+        match effect {
+            Effect::None => {}
+            Effect::ResetClock => self.states[automaton].clock = 0,
+            Effect::SetVar(name, value) => {
+                self.vars.insert(name, *value);
+            }
+            Effect::SetVarToSelf(name) => {
+                self.vars.insert(name, self.automata[automaton].id as i64 + 1);
+            }
+            Effect::Both(a, b) => {
+                self.apply_effect(automaton, a);
+                self.apply_effect(automaton, b);
+            }
+        }
+    }
+
+    fn enabled_edges(&self, automaton: usize) -> Vec<usize> {
+        let state = &self.states[automaton];
+        self.automata[automaton]
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.from == state.location && e.guard.eval(state.clock, &self.vars))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn fire_internal(&mut self, automaton: usize, edge_idx: usize) -> Firing {
+        let edge = self.automata[automaton].edges[edge_idx].clone();
+        self.states[automaton].location = edge.to;
+        self.apply_effect(automaton, &edge.effect);
+        Firing {
+            automaton,
+            action: edge.action,
+            location: self.automata[automaton].locations[edge.to],
+            time: self.time,
+        }
+    }
+
+    /// Advances true time by `tick` (all clocks progress) and fires at most
+    /// one transition (or one synchronised pair), chosen uniformly at random
+    /// among the enabled ones. Returns the firings that occurred, in order
+    /// (sender before receiver for a synchronised pair).
+    pub fn step(&mut self, tick: u64, rng: &mut StdRng) -> Vec<Firing> {
+        self.time += tick;
+        for s in &mut self.states {
+            s.clock += tick;
+        }
+        // Collect candidates: internal edges and matched send/receive pairs.
+        #[derive(Clone)]
+        enum Candidate {
+            Internal(usize, usize),
+            Pair(usize, usize, usize, usize),
+        }
+        let mut candidates = Vec::new();
+        let n = self.automata.len();
+        for a in 0..n {
+            for e in self.enabled_edges(a) {
+                match self.automata[a].edges[e].sync {
+                    Sync::None => candidates.push(Candidate::Internal(a, e)),
+                    Sync::Send(chan) => {
+                        for b in 0..n {
+                            if a == b {
+                                continue;
+                            }
+                            for f in self.enabled_edges(b) {
+                                if self.automata[b].edges[f].sync == Sync::Receive(chan) {
+                                    candidates.push(Candidate::Pair(a, e, b, f));
+                                }
+                            }
+                        }
+                    }
+                    Sync::Receive(_) => {}
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let choice = candidates[rng.gen_range(0..candidates.len())].clone();
+        match choice {
+            Candidate::Internal(a, e) => vec![self.fire_internal(a, e)],
+            Candidate::Pair(a, e, b, f) => {
+                let first = self.fire_internal(a, e);
+                let second = self.fire_internal(b, f);
+                vec![first, second]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toggler(id: usize) -> Automaton {
+        Automaton {
+            name: "Toggle",
+            id,
+            locations: vec!["Off", "On"],
+            initial: 0,
+            edges: vec![
+                Edge {
+                    from: 0,
+                    to: 1,
+                    guard: Guard::ClockAtLeast(2),
+                    sync: Sync::None,
+                    effect: Effect::ResetClock,
+                    action: "on",
+                },
+                Edge {
+                    from: 1,
+                    to: 0,
+                    guard: Guard::ClockAtLeast(2),
+                    sync: Sync::None,
+                    effect: Effect::ResetClock,
+                    action: "off",
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn guards_and_clocks_gate_edges() {
+        let mut net = Network::new(vec![toggler(0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        // After one tick the clock is 1 < 2: nothing fires.
+        assert!(net.step(1, &mut rng).is_empty());
+        // After another tick the edge is enabled.
+        let firings = net.step(1, &mut rng);
+        assert_eq!(firings.len(), 1);
+        assert_eq!(firings[0].action, "on");
+        assert_eq!(net.location_of(0), "On");
+        assert_eq!(net.time(), 2);
+    }
+
+    #[test]
+    fn shared_variables_and_effects() {
+        let mut auto = toggler(3);
+        auto.edges[0].effect = Effect::both(Effect::ResetClock, Effect::SetVarToSelf("id"));
+        auto.edges[1].guard = Guard::and(Guard::ClockAtLeast(2), Guard::VarEquals("id", 4));
+        let mut net = Network::new(vec![auto]);
+        net.set_var("id", 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        net.step(2, &mut rng);
+        assert_eq!(net.var("id"), 4);
+        let firings = net.step(2, &mut rng);
+        assert_eq!(firings[0].action, "off");
+    }
+
+    #[test]
+    fn channel_synchronisation_fires_pairs() {
+        let sender = Automaton {
+            name: "S",
+            id: 0,
+            locations: vec!["Idle", "Sent"],
+            initial: 0,
+            edges: vec![Edge {
+                from: 0,
+                to: 1,
+                guard: Guard::True,
+                sync: Sync::Send("go"),
+                effect: Effect::None,
+                action: "send",
+            }],
+        };
+        let receiver = Automaton {
+            name: "R",
+            id: 0,
+            locations: vec!["Wait", "Got"],
+            initial: 0,
+            edges: vec![Edge {
+                from: 0,
+                to: 1,
+                guard: Guard::True,
+                sync: Sync::Receive("go"),
+                effect: Effect::None,
+                action: "recv",
+            }],
+        };
+        let mut net = Network::new(vec![sender, receiver]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let firings = net.step(1, &mut rng);
+        assert_eq!(firings.len(), 2);
+        assert_eq!(firings[0].action, "send");
+        assert_eq!(firings[1].action, "recv");
+        assert_eq!(net.location_of(0), "Sent");
+        assert_eq!(net.location_of(1), "Got");
+        // A lone sender with nobody to receive cannot fire.
+        assert!(net.step(1, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! The three UPPAAL benchmark models used for the paper's synthetic
+//! experiments (Sec. VI-A and Appendix IX-A): the Train-Gate railway
+//! controller, Fischer's mutual exclusion protocol, and the Gossiping People.
+
+use crate::automaton::{Automaton, Edge, Effect, Guard, Network, Sync};
+
+/// Which benchmark model to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// The Train-Gate railway controller (one gate, `n` trains).
+    TrainGate,
+    /// Fischer's mutual exclusion protocol for `n` processes.
+    Fischer,
+    /// The Gossiping People model for `n` people.
+    Gossip,
+}
+
+impl Model {
+    /// All models, for sweeps.
+    pub const ALL: [Model; 3] = [Model::TrainGate, Model::Fischer, Model::Gossip];
+
+    /// A short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Model::TrainGate => "train-gate",
+            Model::Fischer => "fischer",
+            Model::Gossip => "gossip",
+        }
+    }
+
+    /// Builds the network of timed automata for `n` processes. The additional
+    /// controller automaton of the Train-Gate model (the gate) is appended
+    /// after the `n` trains.
+    pub fn network(&self, n: usize) -> Network {
+        match self {
+            Model::TrainGate => train_gate(n),
+            Model::Fischer => fischer(n),
+            Model::Gossip => gossip(n),
+        }
+    }
+}
+
+/// The Train-Gate model: each train approaches, crosses the bridge when it is
+/// free (claiming it through the shared `bridge` variable), then leaves; a
+/// gate automaton mirrors the bridge occupancy as `Gate.Occ` / `Gate.Free`.
+pub fn train_gate(trains: usize) -> Network {
+    let mut automata = Vec::new();
+    for id in 0..trains {
+        automata.push(Automaton {
+            name: "Train",
+            id,
+            locations: vec!["Safe", "Appr", "Cross"],
+            initial: 0,
+            edges: vec![
+                Edge {
+                    from: 0,
+                    to: 1,
+                    guard: Guard::ClockAtLeast(2),
+                    sync: Sync::None,
+                    effect: Effect::ResetClock,
+                    action: "appr",
+                },
+                Edge {
+                    from: 1,
+                    to: 2,
+                    guard: Guard::and(Guard::ClockAtLeast(1), Guard::VarEquals("bridge", 0)),
+                    sync: Sync::None,
+                    effect: Effect::both(Effect::ResetClock, Effect::SetVarToSelf("bridge")),
+                    action: "cross",
+                },
+                Edge {
+                    from: 2,
+                    to: 0,
+                    guard: Guard::ClockAtLeast(2),
+                    sync: Sync::None,
+                    effect: Effect::both(Effect::ResetClock, Effect::SetVar("bridge", 0)),
+                    action: "leave",
+                },
+            ],
+        });
+    }
+    // The gate controller mirrors bridge occupancy.
+    automata.push(Automaton {
+        name: "Gate",
+        id: 0,
+        locations: vec!["Free", "Occ"],
+        initial: 0,
+        edges: vec![
+            Edge {
+                from: 0,
+                to: 1,
+                guard: Guard::VarNotEquals("bridge", 0),
+                sync: Sync::None,
+                effect: Effect::None,
+                action: "occupy",
+            },
+            Edge {
+                from: 1,
+                to: 0,
+                guard: Guard::VarEquals("bridge", 0),
+                sync: Sync::None,
+                effect: Effect::None,
+                action: "release",
+            },
+        ],
+    });
+    let mut net = Network::new(automata);
+    net.set_var("bridge", 0);
+    net
+}
+
+/// Fischer's mutual exclusion protocol: the classic timing-based lock with a
+/// shared `id` variable and the two timing constants (set-delay < check-delay)
+/// that make it correct.
+pub fn fischer(processes: usize) -> Network {
+    const SET_DEADLINE: u64 = 2;
+    const CHECK_DELAY: u64 = 3;
+    let mut automata = Vec::new();
+    for id in 0..processes {
+        automata.push(Automaton {
+            name: "P",
+            id,
+            locations: vec!["A", "req", "wait", "cs"],
+            initial: 0,
+            edges: vec![
+                Edge {
+                    from: 0,
+                    to: 1,
+                    guard: Guard::VarEquals("id", 0),
+                    sync: Sync::None,
+                    effect: Effect::ResetClock,
+                    action: "request",
+                },
+                Edge {
+                    from: 1,
+                    to: 2,
+                    guard: Guard::ClockLessThan(SET_DEADLINE),
+                    sync: Sync::None,
+                    effect: Effect::both(Effect::SetVarToSelf("id"), Effect::ResetClock),
+                    action: "set",
+                },
+                // If the deadline to set `id` is missed, retry from the start.
+                Edge {
+                    from: 1,
+                    to: 0,
+                    guard: Guard::ClockAtLeast(SET_DEADLINE),
+                    sync: Sync::None,
+                    effect: Effect::ResetClock,
+                    action: "abort",
+                },
+                Edge {
+                    from: 2,
+                    to: 3,
+                    guard: Guard::and(
+                        Guard::ClockAtLeast(CHECK_DELAY),
+                        Guard::VarEquals("id", id as i64 + 1),
+                    ),
+                    sync: Sync::None,
+                    effect: Effect::ResetClock,
+                    action: "enter",
+                },
+                Edge {
+                    from: 2,
+                    to: 0,
+                    guard: Guard::and(
+                        Guard::ClockAtLeast(CHECK_DELAY),
+                        Guard::VarNotEquals("id", id as i64 + 1),
+                    ),
+                    sync: Sync::None,
+                    effect: Effect::ResetClock,
+                    action: "retry",
+                },
+                Edge {
+                    from: 3,
+                    to: 0,
+                    guard: Guard::ClockAtLeast(1),
+                    sync: Sync::None,
+                    effect: Effect::both(Effect::SetVar("id", 0), Effect::ResetClock),
+                    action: "exit",
+                },
+            ],
+        });
+    }
+    let mut net = Network::new(automata);
+    net.set_var("id", 0);
+    net
+}
+
+/// The Gossiping People model: people repeatedly call each other over the
+/// `call` channel and exchange secrets (knowledge tracking is done by the
+/// trace generator, which observes the synchronised call pairs).
+pub fn gossip(people: usize) -> Network {
+    let mut automata = Vec::new();
+    for id in 0..people {
+        automata.push(Automaton {
+            name: "Person",
+            id,
+            locations: vec!["Start", "Call"],
+            initial: 0,
+            edges: vec![
+                Edge {
+                    from: 0,
+                    to: 1,
+                    guard: Guard::ClockAtLeast(1),
+                    sync: Sync::Send("call"),
+                    effect: Effect::ResetClock,
+                    action: "talk",
+                },
+                Edge {
+                    from: 0,
+                    to: 1,
+                    guard: Guard::True,
+                    sync: Sync::Receive("call"),
+                    effect: Effect::ResetClock,
+                    action: "listen",
+                },
+                Edge {
+                    from: 1,
+                    to: 0,
+                    guard: Guard::ClockAtLeast(1),
+                    sync: Sync::None,
+                    effect: Effect::ResetClock,
+                    action: "exchange",
+                },
+            ],
+        });
+    }
+    Network::new(automata)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn train_gate_has_one_gate_and_mutual_exclusion_on_bridge() {
+        let mut net = train_gate(3);
+        assert_eq!(net.automata().len(), 4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            net.step(1, &mut rng);
+            let crossing = (0..3)
+                .filter(|&i| net.location_of(i) == "Cross")
+                .count();
+            assert!(crossing <= 1, "two trains on the bridge");
+        }
+    }
+
+    #[test]
+    fn fischer_preserves_mutual_exclusion() {
+        let mut net = fischer(4);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut entered = false;
+        for _ in 0..2000 {
+            net.step(1, &mut rng);
+            let in_cs = (0..4).filter(|&i| net.location_of(i) == "cs").count();
+            assert!(in_cs <= 1, "mutual exclusion violated");
+            entered |= in_cs == 1;
+        }
+        assert!(entered, "some process should reach the critical section");
+    }
+
+    #[test]
+    fn gossip_people_keep_calling() {
+        let mut net = gossip(3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut calls = 0;
+        for _ in 0..200 {
+            let firings = net.step(1, &mut rng);
+            calls += firings.iter().filter(|f| f.action == "talk").count();
+        }
+        assert!(calls > 5, "expected repeated calls, got {calls}");
+    }
+
+    #[test]
+    fn model_enum_builds_networks() {
+        for model in Model::ALL {
+            let net = model.network(2);
+            assert!(net.automata().len() >= 2, "{}", model.name());
+        }
+        assert_eq!(Model::Fischer.name(), "fischer");
+    }
+}

@@ -1,0 +1,137 @@
+//! The MTL specifications ϕ₁–ϕ₆ monitored over the UPPAAL benchmark models
+//! (Sec. VI-A).
+//!
+//! The propositions follow the trace generator's naming: `Train[i].Cross`,
+//! `Gate[0].Occ`, `P[i].cs`, `Person[i].secret[j]`, …. The summation in ϕ₃ is
+//! expanded into pairwise mutual exclusion, and the unbounded interval of ϕ₆
+//! is kept as `[0, ∞)`.
+
+use rvmtl_mtl::{Formula, Interval};
+
+/// ϕ₁: no train crosses until train 1 does.
+pub fn phi1(processes: usize) -> Formula {
+    Formula::until_untimed(
+        Formula::and_all(
+            (0..processes).map(|i| Formula::not(Formula::atom(format!("Train[{i}].Cross")))),
+        ),
+        Formula::atom("Train[1].Cross"),
+    )
+}
+
+/// ϕ₂: whenever a train approaches, the gate stays occupied until that train
+/// crosses.
+pub fn phi2(processes: usize) -> Formula {
+    Formula::and_all((0..processes).map(|i| {
+        Formula::always_untimed(Formula::implies(
+            Formula::atom(format!("Train[{i}].Appr")),
+            Formula::until_untimed(
+                Formula::atom("Gate[0].Occ"),
+                Formula::atom(format!("Train[{i}].Cross")),
+            ),
+        ))
+    }))
+}
+
+/// ϕ₃: at most one process is in the critical section (the paper's summation
+/// expanded to pairwise exclusions), always.
+pub fn phi3(processes: usize) -> Formula {
+    let mut pairs = Vec::new();
+    for i in 0..processes {
+        for j in (i + 1)..processes {
+            pairs.push(Formula::not(Formula::and(
+                Formula::atom(format!("P[{i}].cs")),
+                Formula::atom(format!("P[{j}].cs")),
+            )));
+        }
+    }
+    Formula::always_untimed(Formula::and_all(pairs))
+}
+
+/// ϕ₄: every request is followed by the critical section within `bound` time
+/// units.
+pub fn phi4(processes: usize, bound: u64) -> Formula {
+    Formula::always_untimed(Formula::and_all((0..processes).map(|i| {
+        Formula::implies(
+            Formula::atom(format!("P[{i}].req")),
+            Formula::eventually(Interval::bounded(0, bound), Formula::atom(format!("P[{i}].cs"))),
+        )
+    })))
+}
+
+/// ϕ₅: within `bound` time units everyone knows everyone else's secret.
+pub fn phi5(processes: usize, bound: u64) -> Formula {
+    let mut all = Vec::new();
+    for i in 0..processes {
+        for j in 0..processes {
+            if i != j {
+                all.push(Formula::atom(format!("Person[{i}].secret[{j}]")));
+            }
+        }
+    }
+    Formula::eventually(Interval::bounded(0, bound), Formula::and_all(all))
+}
+
+/// ϕ₆: every person has secrets to share infinitely often (`□◇`).
+pub fn phi6(processes: usize) -> Formula {
+    Formula::and_all((0..processes).map(|i| {
+        Formula::always_untimed(Formula::eventually_untimed(Formula::atom(format!(
+            "Person[{i}].secrets"
+        ))))
+    }))
+}
+
+/// The formula used in a sweep position `index` (1-based, matching the
+/// paper's ϕ₁…ϕ₆), instantiated for `processes` processes and a deadline of
+/// `bound` time units where applicable.
+pub fn by_index(index: usize, processes: usize, bound: u64) -> Formula {
+    match index {
+        1 => phi1(processes),
+        2 => phi2(processes),
+        3 => phi3(processes),
+        4 => phi4(processes, bound),
+        5 => phi5(processes, bound),
+        _ => phi6(processes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_have_expected_shape() {
+        assert_eq!(phi1(3).temporal_depth(), 1);
+        assert_eq!(phi2(2).temporal_depth(), 2);
+        assert_eq!(phi3(3).temporal_depth(), 1);
+        assert_eq!(phi4(2, 10).temporal_depth(), 2);
+        assert_eq!(phi5(2, 10).temporal_depth(), 1);
+        assert_eq!(phi6(2).temporal_depth(), 2);
+    }
+
+    #[test]
+    fn formula_sizes_grow_with_processes() {
+        assert!(phi3(4).size() > phi3(2).size());
+        assert!(phi4(4, 10).size() > phi4(1, 10).size());
+        // ϕ3's pairwise expansion is quadratic.
+        assert!(phi3(5).atoms().len() == 5);
+    }
+
+    #[test]
+    fn by_index_covers_all_six() {
+        for i in 1..=6 {
+            let phi = by_index(i, 2, 20);
+            assert!(phi.size() > 0);
+        }
+        assert_eq!(by_index(1, 2, 20), phi1(2));
+        assert_eq!(by_index(6, 2, 20), phi6(2));
+    }
+
+    #[test]
+    fn propositions_match_trace_generator_naming() {
+        let atoms = phi2(2).atoms();
+        assert!(atoms.contains("Gate[0].Occ"));
+        assert!(atoms.contains("Train[1].Cross"));
+        let atoms5 = phi5(3, 10).atoms();
+        assert!(atoms5.contains("Person[0].secret[2]"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Monitoring the cross-chain auction: a conforming run and a cheating
+//! auctioneer who releases both bidders' secrets.
+//!
+//! Run with: `cargo run --example auction`
+
+use rvmtl::chain::{specs, ActionChoice, Auction, AuctionScenario};
+use rvmtl::monitor::{Monitor, MonitorConfig};
+
+fn main() {
+    let delta = 50;
+    let epsilon = 3;
+    let auction = Auction::new(delta);
+    let monitor = Monitor::new(MonitorConfig::with_segments(2));
+
+    println!("== conforming auction ==");
+    let run = auction.execute(&AuctionScenario::conforming());
+    for event in run.events() {
+        println!("  {event}");
+    }
+    let verdicts = monitor
+        .run(&run.to_computation(epsilon), &specs::auction::liveness(delta))
+        .verdicts;
+    println!("liveness verdicts : {verdicts}");
+    println!("alice payoff {: >4}, bob payoff {: >4}, carol payoff {: >4}",
+        run.payoff("alice"), run.payoff("bob"), run.payoff("carol"));
+    assert!(verdicts.may_be_satisfied());
+
+    println!("\n== cheating auctioneer (both secrets released) ==");
+    let mut cheat = AuctionScenario::conforming();
+    cheat.release_both_secrets = true;
+    cheat.actions[3] = ActionChoice::OnTime; // Bob challenges
+    let run = auction.execute(&cheat);
+    let computation = run.to_computation(epsilon);
+    let liveness = monitor.run(&computation, &specs::auction::liveness(delta)).verdicts;
+    let bob_ok = monitor.run(&computation, &specs::auction::bob_conform(delta)).verdicts;
+    println!("liveness verdicts    : {liveness} (the auction aborts)");
+    println!("bob-conform verdicts : {bob_ok}");
+    println!(
+        "bob payoff           : {} (compensated: {})",
+        run.payoff("bob"),
+        run.payoff("bob") >= 0
+    );
+    assert!(liveness.may_be_violated());
+    assert!(run.payoff("bob") >= 0);
+}

@@ -1,0 +1,114 @@
+//! Workspace-level integration tests: chain → distrib → solver → monitor
+//! pipelines over the cross-chain protocols.
+
+use rvmtl::chain::{specs, StepChoice, ThreePartyScenario, ThreePartySwap, TwoPartyScenario, TwoPartySwap};
+use rvmtl::monitor::{Monitor, MonitorConfig};
+
+const DELTA: u64 = 50;
+const EPSILON: u64 = 3;
+
+#[test]
+fn conforming_two_party_swap_satisfies_liveness_and_conformance() {
+    let exec = TwoPartySwap::new(DELTA).execute(&TwoPartyScenario::conforming());
+    let comp = exec.to_computation(EPSILON);
+    for (name, phi) in [
+        ("liveness", specs::two_party::liveness(DELTA)),
+        ("alice_conform", specs::two_party::alice_conform(DELTA)),
+        ("bob_conform", specs::two_party::bob_conform(DELTA)),
+    ] {
+        let verdicts = Monitor::with_defaults().run(&comp, &phi).verdicts;
+        assert!(verdicts.definitely_satisfied(), "{name}: {verdicts}");
+    }
+    // Safety: both parties conform and end with non-negative payoffs.
+    assert!(specs::safety_holds(true, exec.payoff("alice")));
+    assert!(specs::safety_holds(true, exec.payoff("bob")));
+}
+
+#[test]
+fn late_step_violates_liveness_but_not_safety() {
+    // Bob escrows late (step 4), so liveness fails; Alice still conforms and
+    // must not lose assets.
+    let mut steps = [StepChoice::on_time(); 6];
+    steps[3] = StepChoice::late();
+    let exec = TwoPartySwap::new(DELTA).execute(&TwoPartyScenario { steps });
+    let comp = exec.to_computation(EPSILON);
+    let liveness = Monitor::with_defaults()
+        .run(&comp, &specs::two_party::liveness(DELTA))
+        .verdicts;
+    assert!(liveness.may_be_violated(), "late escrow must break liveness: {liveness}");
+    assert!(
+        specs::safety_holds(true, exec.payoff("alice")),
+        "alice payoff {}",
+        exec.payoff("alice")
+    );
+}
+
+#[test]
+fn abandoned_swap_keeps_conforming_alice_hedged() {
+    // Bob disappears after Alice escrows: the hedged-swap premium compensates
+    // her for the locked asset.
+    let steps = [
+        StepChoice::on_time(),
+        StepChoice::on_time(),
+        StepChoice::on_time(),
+        StepChoice::skipped(),
+        StepChoice::skipped(),
+        StepChoice::skipped(),
+    ];
+    let exec = TwoPartySwap::new(DELTA).execute(&TwoPartyScenario { steps });
+    let comp = exec.to_computation(EPSILON);
+    let conform = Monitor::with_defaults()
+        .run(&comp, &specs::two_party::alice_conform(DELTA))
+        .verdicts;
+    let escrow_refunded =
+        exec.has_event("apr", "asset_escrowed", "alice") && exec.has_event("apr", "asset_refunded", "alice");
+    assert!(escrow_refunded);
+    assert!(specs::hedged_compensation_holds(
+        conform.may_be_satisfied(),
+        escrow_refunded,
+        exec.payoff("alice"),
+        1,
+    ));
+}
+
+#[test]
+fn segmentation_choices_agree_on_conforming_three_party_swap() {
+    let exec = ThreePartySwap::new(DELTA).execute(&ThreePartyScenario::conforming());
+    let comp = exec.to_computation(EPSILON);
+    let phi = specs::three_party::liveness(DELTA);
+    let unsegmented = Monitor::with_defaults().run(&comp, &phi).verdicts;
+    let paper_style = Monitor::new(MonitorConfig::with_segments(2)).run(&comp, &phi).verdicts;
+    assert!(unsegmented.definitely_satisfied());
+    assert!(paper_style.definitely_satisfied());
+}
+
+#[test]
+fn scenario_generators_produce_the_papers_log_counts() {
+    assert_eq!(TwoPartyScenario::enumerate().len(), 1024);
+    assert_eq!(ThreePartyScenario::enumerate().len(), 4096);
+    assert_eq!(rvmtl::chain::AuctionScenario::enumerate().len(), 3888);
+}
+
+#[test]
+fn ambiguous_verdicts_appear_when_epsilon_approaches_delta() {
+    // The Sec. VI-B-3 observation: with ε comparable to Δ the same log admits
+    // both verdicts for the liveness deadline of a late step.
+    let mut steps = [StepChoice::on_time(); 6];
+    steps[0] = StepChoice::late();
+    let scenario = TwoPartyScenario { steps };
+    let small_delta = 4u64;
+    let exec = TwoPartySwap::new(small_delta).execute(&scenario);
+    let phi = specs::two_party::liveness(small_delta);
+
+    let precise = Monitor::with_defaults()
+        .run(&exec.to_computation(1), &phi)
+        .verdicts;
+    let sloppy = Monitor::with_defaults()
+        .run(&exec.to_computation(small_delta), &phi)
+        .verdicts;
+    assert!(!precise.is_ambiguous(), "ε ≪ Δ should give one verdict: {precise}");
+    assert!(
+        sloppy.is_ambiguous(),
+        "ε ≈ Δ should make the verdict ambiguous: {sloppy}"
+    );
+}
