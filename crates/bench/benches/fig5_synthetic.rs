@@ -1,55 +1,53 @@
-//! Criterion benchmarks over the synthetic (UPPAAL-model) workloads —
-//! one benchmark group per swept parameter of Fig. 5.
+//! Benchmarks over the synthetic (UPPAAL-model) workloads — one group per
+//! swept parameter of Fig. 5. The offline build has no `criterion`, so this is
+//! a `harness = false` micro-benchmark with a fixed sample count reporting
+//! min/median wall time per case.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rvmtl_bench::{default_trace_config, formula, synthetic_computation};
+use rvmtl_bench::{bench_case, default_trace_config, formula, synthetic_computation};
 use rvmtl_monitor::{Monitor, MonitorConfig};
 
-fn bench_formulas(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5a_formula");
-    group.sample_size(10);
+fn bench_formulas() {
+    println!("\nfig5a_formula");
     let mut cfg = default_trace_config();
     cfg.duration_ms = 100;
     for index in [1usize, 3, 4, 6] {
         let comp = synthetic_computation(index, &cfg);
         let phi = formula(index, cfg.processes);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("phi{index}")), &index, |b, _| {
-            b.iter(|| Monitor::new(MonitorConfig::with_segments(8)).run(&comp, &phi));
+        bench_case(&format!("phi{index}"), 10, || {
+            Monitor::new(MonitorConfig::with_segments(8)).run(&comp, &phi)
         });
     }
-    group.finish();
 }
 
-fn bench_epsilon(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5b_epsilon");
-    group.sample_size(10);
+fn bench_epsilon() {
+    println!("\nfig5b_epsilon");
     let phi = formula(4, 2);
     for epsilon in [1u64, 2, 3] {
         let mut cfg = default_trace_config();
         cfg.duration_ms = 100;
         cfg.epsilon_ms = epsilon;
         let comp = synthetic_computation(4, &cfg);
-        group.bench_with_input(BenchmarkId::from_parameter(epsilon), &epsilon, |b, _| {
-            b.iter(|| Monitor::new(MonitorConfig::with_segments(8)).run(&comp, &phi));
+        bench_case(&format!("epsilon={epsilon}"), 10, || {
+            Monitor::new(MonitorConfig::with_segments(8)).run(&comp, &phi)
         });
     }
-    group.finish();
 }
 
-fn bench_segments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig5c_segments");
-    group.sample_size(10);
+fn bench_segments() {
+    println!("\nfig5c_segments");
     let mut cfg = default_trace_config();
     cfg.duration_ms = 100;
     let comp = synthetic_computation(4, &cfg);
     let phi = formula(4, 2);
     for g in [4usize, 8, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
-            b.iter(|| Monitor::new(MonitorConfig::with_segments(g)).run(&comp, &phi));
+        bench_case(&format!("g={g}"), 10, || {
+            Monitor::new(MonitorConfig::with_segments(g)).run(&comp, &phi)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_formulas, bench_epsilon, bench_segments);
-criterion_main!(benches);
+fn main() {
+    bench_formulas();
+    bench_epsilon();
+    bench_segments();
+}

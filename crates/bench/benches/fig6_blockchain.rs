@@ -1,25 +1,17 @@
-//! Criterion benchmarks over the cross-chain protocol logs (Fig. 6).
+//! Benchmarks over the cross-chain protocol logs (Fig. 6). `harness = false`
+//! micro-benchmark; see `fig5_synthetic.rs` for the measurement scheme.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rvmtl_bench::{blockchain_workloads, BLOCKCHAIN_DELTA, BLOCKCHAIN_EPSILON};
+use rvmtl_bench::{bench_case, blockchain_workloads, BLOCKCHAIN_DELTA, BLOCKCHAIN_EPSILON};
 use rvmtl_monitor::{Monitor, MonitorConfig};
 
-fn bench_protocols(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_blockchain");
-    group.sample_size(10);
-    for (label, segments, comp, phi) in blockchain_workloads(BLOCKCHAIN_DELTA, BLOCKCHAIN_EPSILON)
-    {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &comp, |b, comp| {
-            let config = if segments <= 1 {
-                MonitorConfig::unsegmented()
-            } else {
-                MonitorConfig::with_segments(segments)
-            };
-            b.iter(|| Monitor::new(config.clone()).run(comp, &phi));
-        });
+fn main() {
+    println!("\nfig6_blockchain");
+    for (label, segments, comp, phi) in blockchain_workloads(BLOCKCHAIN_DELTA, BLOCKCHAIN_EPSILON) {
+        let config = if segments <= 1 {
+            MonitorConfig::unsegmented()
+        } else {
+            MonitorConfig::with_segments(segments)
+        };
+        bench_case(&label, 10, || Monitor::new(config.clone()).run(&comp, &phi));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_protocols);
-criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Machine-readable performance snapshot of the Fig. 5a synthetic workload.
+//!
+//! Prints a JSON object with wall time, explored solver states, and the
+//! states-per-second throughput for each formula of the Fig. 5a sweep plus an
+//! aggregate. The repository keeps the output of this tool in `BENCH_1.json`
+//! so perf-focused PRs have a hard before/after number:
+//!
+//! ```text
+//! cargo run --release --bin bench_snapshot -- [label] > snapshot.json
+//! ```
+
+use rvmtl_bench::{default_trace_config, formula, synthetic_computation, DEFAULT_SEGMENTS};
+use rvmtl_monitor::Monitor;
+use rvmtl_monitor::MonitorConfig;
+use std::time::Instant;
+
+fn main() {
+    let label = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "snapshot".into())
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"");
+    // The Fig. 5a defaults, doubled in length so the measurement rises well
+    // above scheduler noise.
+    let mut cfg = default_trace_config();
+    cfg.duration_ms *= 2;
+
+    let mut rows = Vec::new();
+    let mut total_states = 0usize;
+    let mut total_secs = 0f64;
+    for index in [1usize, 3, 4, 6] {
+        let comp = synthetic_computation(index, &cfg);
+        let phi = formula(index, cfg.processes);
+        let monitor = Monitor::new(MonitorConfig::with_segments(DEFAULT_SEGMENTS));
+        // Warm-up, then best-of-3 to shed scheduler noise.
+        let _ = monitor.run(&comp, &phi);
+        let mut best_secs = f64::MAX;
+        let mut states = 0usize;
+        for _ in 0..3 {
+            let started = Instant::now();
+            let report = monitor.run(&comp, &phi);
+            let secs = started.elapsed().as_secs_f64();
+            if secs < best_secs {
+                best_secs = secs;
+                states = report.explored_states();
+            }
+        }
+        total_states += states;
+        total_secs += best_secs;
+        rows.push(format!(
+            concat!(
+                "    {{\"formula\": \"phi{}\", \"events\": {}, \"explored_states\": {}, ",
+                "\"wall_ms\": {:.3}, \"states_per_sec\": {:.0}}}"
+            ),
+            index,
+            comp.event_count(),
+            states,
+            best_secs * 1000.0,
+            states as f64 / best_secs
+        ));
+    }
+
+    println!("{{");
+    println!("  \"label\": \"{label}\",");
+    println!("  \"workload\": \"fig5a synthetic (g = {DEFAULT_SEGMENTS})\",");
+    println!("  \"series\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ],");
+    println!("  \"total_explored_states\": {total_states},");
+    println!("  \"total_wall_ms\": {:.3},", total_secs * 1000.0);
+    println!(
+        "  \"states_per_sec\": {:.0}",
+        total_states as f64 / total_secs
+    );
+    println!("}}");
+}

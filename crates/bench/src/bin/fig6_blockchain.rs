@@ -10,8 +10,7 @@ fn main() {
     println!("Fig. 6 — blockchain experiments (runtime vs number of events in the log)\n");
     print_header("events");
     let mut samples = Vec::new();
-    for (label, segments, comp, phi) in blockchain_workloads(BLOCKCHAIN_DELTA, BLOCKCHAIN_EPSILON)
-    {
+    for (label, segments, comp, phi) in blockchain_workloads(BLOCKCHAIN_DELTA, BLOCKCHAIN_EPSILON) {
         let sample = measure(label, comp.event_count() as f64, &comp, &phi, segments);
         println!("{}", sample.row());
         samples.push(sample);

@@ -77,6 +77,32 @@ pub const DEFAULT_BOUND: u64 = 60;
 /// The default segment count (the paper's g = 15).
 pub const DEFAULT_SEGMENTS: usize = 15;
 
+/// Runs `f` `samples` times and prints the min/median wall time — the
+/// `criterion`-shaped measurement loop used by the `harness = false` bench
+/// targets (the offline build has no criterion crate). Returns the per-sample
+/// durations for callers that post-process them.
+pub fn bench_case<R>(label: &str, samples: usize, mut f: impl FnMut() -> R) -> Vec<Duration> {
+    // One warm-up iteration so allocator and cache effects do not land on the
+    // first sample.
+    let _ = f();
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let started = Instant::now();
+            let _ = f();
+            started.elapsed()
+        })
+        .collect();
+    times.sort();
+    println!(
+        "  {:<40} min {:>10.3} ms   median {:>10.3} ms   ({} samples)",
+        label,
+        times[0].as_secs_f64() * 1000.0,
+        times[times.len() / 2].as_secs_f64() * 1000.0,
+        times.len()
+    );
+    times
+}
+
 /// Runs the monitor over a computation and packages the measurement.
 pub fn measure(
     series: impl Into<String>,
@@ -134,7 +160,10 @@ pub fn blockchain_workloads(
     for (label, scenario) in [
         ("2-party conforming", TwoPartyScenario::conforming()),
         ("2-party partial", TwoPartyScenario::from_encoding(2, 3, 0)),
-        ("2-party late", TwoPartyScenario::from_encoding(3, 3, 0b001001)),
+        (
+            "2-party late",
+            TwoPartyScenario::from_encoding(3, 3, 0b001001),
+        ),
     ] {
         let exec = two_party.execute(&scenario);
         out.push((
@@ -204,7 +233,10 @@ mod tests {
             let comp = synthetic_computation(index, &cfg);
             let phi = formula(index, cfg.processes);
             let sample = measure(format!("phi{index}"), 0.0, &comp, &phi, 4);
-            assert!(!sample.verdicts.is_empty(), "phi{index} produced no verdict");
+            assert!(
+                !sample.verdicts.is_empty(),
+                "phi{index} produced no verdict"
+            );
         }
     }
 
@@ -216,8 +248,10 @@ mod tests {
         assert!(workloads.iter().any(|(l, ..)| l.starts_with("3-party")));
         assert!(workloads.iter().any(|(l, ..)| l.starts_with("auction")));
         // Event counts vary across the workloads (the x-axis of Fig. 6).
-        let counts: std::collections::BTreeSet<usize> =
-            workloads.iter().map(|(_, _, c, _)| c.event_count()).collect();
+        let counts: std::collections::BTreeSet<usize> = workloads
+            .iter()
+            .map(|(_, _, c, _)| c.event_count())
+            .collect();
         assert!(counts.len() >= 4);
     }
 

@@ -6,7 +6,6 @@
 //! paper's experiments capture Solidity `event`s emitted by the contracts.
 
 use crate::{Account, TokenError, TokenLedger};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors raised by chain or contract operations.
@@ -48,7 +47,7 @@ impl From<TokenError> for ChainError {
 
 /// An event emitted by a contract and recorded in the chain's log, analogous
 /// to a Solidity `event` captured by the paper's test harness.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChainEvent {
     /// The chain that emitted the event.
     pub chain: String,
@@ -72,12 +71,16 @@ impl ChainEvent {
 
 impl fmt::Display for ChainEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{} @{}ms] {}({}) amount={}", self.chain, self.time, self.name, self.party, self.amount)
+        write!(
+            f,
+            "[{} @{}ms] {}({}) amount={}",
+            self.chain, self.time, self.name, self.party, self.amount
+        )
     }
 }
 
 /// A mocked blockchain: ledger + clock + event log.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MockChain {
     name: String,
     /// True (reference) time offset of this chain's local clock: the local

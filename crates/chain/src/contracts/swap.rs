@@ -7,10 +7,9 @@
 //! successful call — the events are what the runtime monitor observes.
 
 use crate::{Account, ChainError, Hashlock, MockChain, Preimage};
-use serde::{Deserialize, Serialize};
 
 /// The lifecycle state of one hedged swap contract.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwapState {
     /// The premium hedging the redeemer has been deposited.
     pub premium_deposited: bool,
@@ -34,7 +33,7 @@ pub struct SwapState {
 /// them by revealing the hashlock preimage before the redeem deadline;
 /// `premium_payer` deposits `premium_amount` tokens which are refunded on a
 /// successful swap and paid to the escrowing party as compensation otherwise.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SwapContract {
     name: String,
     asset_owner: String,
@@ -110,11 +109,17 @@ impl SwapContract {
         if self.state.premium_deposited {
             return Err(self.reject("premium already deposited"));
         }
-        chain
-            .ledger_mut()
-            .transfer(self.premium_payer.as_str(), self.account(), self.premium_amount)?;
+        chain.ledger_mut().transfer(
+            self.premium_payer.as_str(),
+            self.account(),
+            self.premium_amount,
+        )?;
         self.state.premium_deposited = true;
-        chain.emit("premium_deposited", &self.premium_payer, self.premium_amount);
+        chain.emit(
+            "premium_deposited",
+            &self.premium_payer,
+            self.premium_amount,
+        );
         Ok(())
     }
 
@@ -132,9 +137,11 @@ impl SwapContract {
         if self.state.asset_escrowed {
             return Err(self.reject("asset already escrowed"));
         }
-        chain
-            .ledger_mut()
-            .transfer(self.asset_owner.as_str(), self.account(), self.asset_amount)?;
+        chain.ledger_mut().transfer(
+            self.asset_owner.as_str(),
+            self.account(),
+            self.asset_amount,
+        )?;
         self.state.asset_escrowed = true;
         chain.emit("asset_escrowed", &self.asset_owner, self.asset_amount);
         Ok(())
@@ -172,10 +179,15 @@ impl SwapContract {
 
     /// Refunds the premium to its payer (successful swap).
     fn refund_premium(&mut self, chain: &mut MockChain) -> Result<(), ChainError> {
-        if self.state.premium_deposited && !self.state.premium_refunded && !self.state.premium_redeemed {
-            chain
-                .ledger_mut()
-                .transfer(self.account(), self.premium_payer.as_str(), self.premium_amount)?;
+        if self.state.premium_deposited
+            && !self.state.premium_refunded
+            && !self.state.premium_redeemed
+        {
+            chain.ledger_mut().transfer(
+                self.account(),
+                self.premium_payer.as_str(),
+                self.premium_amount,
+            )?;
             self.state.premium_refunded = true;
             chain.emit("premium_refunded", &self.premium_payer, self.premium_amount);
         }
@@ -185,10 +197,15 @@ impl SwapContract {
     /// Pays the premium to the asset owner as compensation (sore-loser
     /// hedging).
     fn redeem_premium(&mut self, chain: &mut MockChain) -> Result<(), ChainError> {
-        if self.state.premium_deposited && !self.state.premium_refunded && !self.state.premium_redeemed {
-            chain
-                .ledger_mut()
-                .transfer(self.account(), self.asset_owner.as_str(), self.premium_amount)?;
+        if self.state.premium_deposited
+            && !self.state.premium_refunded
+            && !self.state.premium_redeemed
+        {
+            chain.ledger_mut().transfer(
+                self.account(),
+                self.asset_owner.as_str(),
+                self.premium_amount,
+            )?;
             self.state.premium_redeemed = true;
             chain.emit("premium_redeemed", &self.asset_owner, self.premium_amount);
         }
@@ -210,9 +227,11 @@ impl SwapContract {
         if self.state.asset_escrowed && !self.state.asset_redeemed && !self.state.asset_refunded {
             // Sore-loser case: the owner escrowed but the counterparty walked
             // away. Refund the asset and hand the premium to the owner.
-            chain
-                .ledger_mut()
-                .transfer(self.account(), self.asset_owner.as_str(), self.asset_amount)?;
+            chain.ledger_mut().transfer(
+                self.account(),
+                self.asset_owner.as_str(),
+                self.asset_amount,
+            )?;
             self.state.asset_refunded = true;
             chain.emit("asset_refunded", &self.asset_owner, self.asset_amount);
             self.redeem_premium(chain)?;

@@ -6,14 +6,12 @@
 //! cryptography; what matters is that a contract can check that the released
 //! secret matches the lock it was configured with.
 
-use serde::{Deserialize, Serialize};
-
 /// A secret preimage held by the party allowed to trigger redemption.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Preimage(pub u64);
 
 /// The hash of a preimage, stored in a contract at setup time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Hashlock(u64);
 
 impl Preimage {

@@ -10,10 +10,9 @@
 //! bidders.
 
 use crate::{MockChain, Preimage, ProtocolExecution};
-use serde::{Deserialize, Serialize};
 
 /// A three-valued choice for an auction action.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ActionChoice {
     /// The action is not taken.
     Skip,
@@ -25,7 +24,8 @@ pub enum ActionChoice {
 
 impl ActionChoice {
     /// All three choices, used by the scenario enumerator.
-    pub const ALL: [ActionChoice; 3] = [ActionChoice::Skip, ActionChoice::OnTime, ActionChoice::Late];
+    pub const ALL: [ActionChoice; 3] =
+        [ActionChoice::Skip, ActionChoice::OnTime, ActionChoice::Late];
 
     fn attempted(self) -> bool {
         !matches!(self, ActionChoice::Skip)
@@ -37,7 +37,7 @@ impl ActionChoice {
 }
 
 /// One simulated behaviour of the auction participants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AuctionScenario {
     /// Bob's bid, Carol's bid, Alice's declaration, Bob's challenge, Carol's
     /// challenge.
@@ -106,7 +106,7 @@ impl AuctionScenario {
 }
 
 /// Parameters of the auction protocol.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Auction {
     /// Step deadline Δ (milliseconds).
     pub delta: u64,
@@ -175,8 +175,18 @@ impl Auction {
 
         // Step 1: bidding (deadline Δ).
         for (bidder, amount, choice, placed) in [
-            ("bob", self.bob_bid, scenario.actions[0], &mut bob_bid_placed),
-            ("carol", self.carol_bid, scenario.actions[1], &mut carol_bid_placed),
+            (
+                "bob",
+                self.bob_bid,
+                scenario.actions[0],
+                &mut bob_bid_placed,
+            ),
+            (
+                "carol",
+                self.carol_bid,
+                scenario.actions[1],
+                &mut carol_bid_placed,
+            ),
         ] {
             if !choice.attempted() {
                 continue;
@@ -195,8 +205,16 @@ impl Auction {
         // secret (or both, if she cheats) on the chains she chooses.
         let declare = scenario.actions[2];
         if declare.attempted() {
-            let t = if declare.late() { 2 * d + d / 2 } else { 2 * d - d / 2 };
-            let winner_secret = if scenario.declare_bob_winner { "sb" } else { "sc" };
+            let t = if declare.late() {
+                2 * d + d / 2
+            } else {
+                2 * d - d / 2
+            };
+            let winner_secret = if scenario.declare_bob_winner {
+                "sb"
+            } else {
+                "sc"
+            };
             let winner_idx = usize::from(!scenario.declare_bob_winner);
             if scenario.declare_on_coin {
                 exec.chains[1].set_true_time(t);
@@ -232,7 +250,11 @@ impl Auction {
             if !choice.attempted() {
                 continue;
             }
-            let t = if choice.late() { 4 * d + d / 2 } else { 4 * d - d / 2 };
+            let t = if choice.late() {
+                4 * d + d / 2
+            } else {
+                4 * d - d / 2
+            };
             for idx in 0..2 {
                 let secret_name = if idx == 0 { "sb" } else { "sc" };
                 if coin_released[idx] && !tckt_released[idx] {
@@ -256,9 +278,19 @@ impl Auction {
         let settle = 4 * d + d;
         exec.chains[0].set_true_time(settle);
         exec.chains[1].set_true_time(settle);
-        let actual_winner = if bob_bid_placed { "bob" } else if carol_bid_placed { "carol" } else { "" };
+        let actual_winner = if bob_bid_placed {
+            "bob"
+        } else if carol_bid_placed {
+            "carol"
+        } else {
+            ""
+        };
         let actual_winner_idx = usize::from(actual_winner == "carol");
-        let winner_bid = if actual_winner == "bob" { self.bob_bid } else { self.carol_bid };
+        let winner_bid = if actual_winner == "bob" {
+            self.bob_bid
+        } else {
+            self.carol_bid
+        };
 
         // CoinAuction settlement.
         {

@@ -7,12 +7,11 @@
 //! receiver before the asset itself is escrowed and redeemed via the shared
 //! hashlock, twelve steps in total with deadlines `Δ … 12Δ`.
 
-use crate::{MockChain, Preimage, ProtocolExecution};
 use crate::{ChainError, Hashlock};
-use serde::{Deserialize, Serialize};
+use crate::{MockChain, Preimage, ProtocolExecution};
 
 /// One leg of the three-party swap (one contract on one chain).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct LegContract {
     name: String,
     owner: String,
@@ -65,7 +64,11 @@ impl LegContract {
             self.redemption_premium,
         )?;
         self.redemption_premium_deposited = true;
-        chain.emit("depositRedemptionPr", &self.redeemer, self.redemption_premium);
+        chain.emit(
+            "depositRedemptionPr",
+            &self.redeemer,
+            self.redemption_premium,
+        );
         Ok(())
     }
 
@@ -135,12 +138,18 @@ impl LegContract {
                     self.owner.as_str(),
                     self.redemption_premium,
                 )?;
-                chain.emit("RedemptionPremiumRedeemed", &self.owner, self.redemption_premium);
+                chain.emit(
+                    "RedemptionPremiumRedeemed",
+                    &self.owner,
+                    self.redemption_premium,
+                );
             }
             if self.escrow_premium_deposited {
-                chain
-                    .ledger_mut()
-                    .transfer(self.account(), self.owner.as_str(), self.escrow_premium)?;
+                chain.ledger_mut().transfer(
+                    self.account(),
+                    self.owner.as_str(),
+                    self.escrow_premium,
+                )?;
                 chain.emit("EscrowPremiumRefunded", &self.owner, self.escrow_premium);
             }
         } else if !self.asset_escrowed {
@@ -157,9 +166,11 @@ impl LegContract {
                 );
             }
             if self.escrow_premium_deposited {
-                chain
-                    .ledger_mut()
-                    .transfer(self.account(), self.owner.as_str(), self.escrow_premium)?;
+                chain.ledger_mut().transfer(
+                    self.account(),
+                    self.owner.as_str(),
+                    self.escrow_premium,
+                )?;
                 chain.emit("EscrowPremiumRefunded", &self.owner, self.escrow_premium);
             }
         }
@@ -171,7 +182,7 @@ impl LegContract {
 
 /// Scenario of a three-party run: a per-contract progress level plus late
 /// flags for the six escrow/redeem steps (global steps 7–12).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThreePartyScenario {
     /// Progress level 0–3 of the Apricot, Banana and Cherry contracts:
     /// 0 = nothing, 1 = escrow premium only, 2 = both premiums,
@@ -245,7 +256,7 @@ impl ThreePartyScenario {
 }
 
 /// Parameters of the hedged three-party swap.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreePartySwap {
     /// Step deadline Δ (milliseconds).
     pub delta: u64,
@@ -333,8 +344,7 @@ impl ThreePartySwap {
             },
         ];
 
-        let mut exec =
-            ProtocolExecution::start(vec![apr, ban, che], &["alice", "bob", "carol"], d);
+        let mut exec = ProtocolExecution::start(vec![apr, ban, che], &["alice", "bob", "carol"], d);
 
         for step in 1..=12usize {
             if !scenario.step_attempted(step) {
@@ -400,7 +410,7 @@ mod tests {
         for party in ["alice", "bob", "carol"] {
             assert_eq!(exec.payoff(party), 0, "{party} should break even");
         }
-        assert_eq!(exec.event_count() > 20, true);
+        assert!(exec.event_count() > 20);
     }
 
     #[test]

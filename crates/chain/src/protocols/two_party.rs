@@ -7,10 +7,9 @@
 //! chain × 2⁶ on-time/late flags.
 
 use crate::{MockChain, Preimage, ProtocolExecution, SwapContract};
-use serde::{Deserialize, Serialize};
 
 /// Whether a protocol step is attempted, and if so whether it is on time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepChoice {
     /// The step is attempted by its party.
     pub attempted: bool,
@@ -46,7 +45,7 @@ impl StepChoice {
 
 /// One simulated behaviour of the two parties: a choice for each of the six
 /// protocol steps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TwoPartyScenario {
     /// Choices for steps 1–6 (index 0 = step 1).
     pub steps: [StepChoice; 6],
@@ -71,7 +70,10 @@ impl TwoPartyScenario {
     ///
     /// Panics if a prefix exceeds 3.
     pub fn from_encoding(apricot_prefix: usize, banana_prefix: usize, late_bits: u8) -> Self {
-        assert!(apricot_prefix <= 3 && banana_prefix <= 3, "prefixes are 0..=3");
+        assert!(
+            apricot_prefix <= 3 && banana_prefix <= 3,
+            "prefixes are 0..=3"
+        );
         const APRICOT_STEPS: [usize; 3] = [1, 2, 5]; // 0-based global indices
         const BANANA_STEPS: [usize; 3] = [0, 3, 4];
         let mut steps = [StepChoice::skipped(); 6];
@@ -103,7 +105,7 @@ impl TwoPartyScenario {
 }
 
 /// Parameters of the hedged two-party swap.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TwoPartySwap {
     /// The step deadline Δ in milliseconds (500 in the paper's experiments).
     pub delta: u64,
@@ -277,7 +279,11 @@ mod tests {
         let exec = TwoPartySwap::default().execute(&scenario);
         assert!(exec.has_event("apr", "asset_refunded", "alice"));
         assert!(exec.has_event("apr", "premium_redeemed", "alice"));
-        assert!(exec.payoff("alice") >= 0, "hedged party must not lose: {}", exec.payoff("alice"));
+        assert!(
+            exec.payoff("alice") >= 0,
+            "hedged party must not lose: {}",
+            exec.payoff("alice")
+        );
         assert!(exec.payoff("bob") <= 0);
     }
 
@@ -303,7 +309,10 @@ mod tests {
             .flat_map(|c| c.log())
             .find(|e| e.name == "premium_deposited" && e.party == "alice")
             .expect("event exists");
-        assert!(premium_event.time > 500, "late step must miss the Δ deadline");
+        assert!(
+            premium_event.time > 500,
+            "late step must miss the Δ deadline"
+        );
     }
 
     #[test]

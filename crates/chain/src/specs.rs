@@ -178,8 +178,12 @@ pub mod auction {
                 Formula::eventually_untimed(Formula::atom("coin.refundBid(carol)")),
             ),
             ev(0, None, "tckt.redeemTicket(bob)"),
-            Formula::not(Formula::eventually_untimed(Formula::atom("coin.challenge(any)"))),
-            Formula::not(Formula::eventually_untimed(Formula::atom("tckt.challenge(any)"))),
+            Formula::not(Formula::eventually_untimed(Formula::atom(
+                "coin.challenge(any)",
+            ))),
+            Formula::not(Formula::eventually_untimed(Formula::atom(
+                "tckt.challenge(any)",
+            ))),
         ])
     }
 

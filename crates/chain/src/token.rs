@@ -4,12 +4,11 @@
 //! transferring them to their own account and release them by transferring
 //! out, so conservation of total supply is an invariant the tests check.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// An account on a chain: a protocol party or a contract.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Account(String);
 
 impl Account {
@@ -68,7 +67,7 @@ impl fmt::Display for TokenError {
 impl std::error::Error for TokenError {}
 
 /// A fungible-token ledger (the ERC20 contract of the paper's experiments).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TokenLedger {
     balances: BTreeMap<Account, u64>,
 }

@@ -2,7 +2,6 @@
 
 use crate::{Event, EventId, HbRelation, ProcessId};
 use rvmtl_mtl::State;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Error produced when assembling an ill-formed computation.
@@ -167,7 +166,7 @@ impl ComputationBuilder {
 /// edges, the maximum clock skew `ε`, and the derived happened-before
 /// relation. Optionally carries per-process initial states and a base time so
 /// that a *segment* of a larger computation is itself a computation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DistributedComputation {
     process_count: usize,
     epsilon: u64,
@@ -177,7 +176,6 @@ pub struct DistributedComputation {
     per_process: Vec<Vec<EventId>>,
     messages: Vec<(EventId, EventId)>,
     initial_states: Vec<State>,
-    #[serde(skip)]
     hb: HbRelation,
 }
 

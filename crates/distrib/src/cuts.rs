@@ -6,12 +6,11 @@
 
 use crate::{DistributedComputation, EventId, ProcessId};
 use rvmtl_mtl::State;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A cut of a distributed computation: a downward-closed set of events,
 /// represented by the number of events taken from each process.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Cut {
     taken: Vec<usize>,
 }
@@ -220,9 +219,7 @@ mod tests {
         let c = fig3();
         // A cut containing e3 (P1 at 5) but not e0 (P0 at 1) is inconsistent
         // because 1 + ε < 5.
-        let cut = Cut {
-            taken: vec![0, 2],
-        };
+        let cut = Cut { taken: vec![0, 2] };
         assert!(!cut.is_consistent(&c));
     }
 

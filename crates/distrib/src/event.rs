@@ -1,11 +1,10 @@
 //! Processes and events of a distributed computation.
 
 use rvmtl_mtl::State;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a process `P_i` of the distributed system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProcessId(pub usize);
 
 impl ProcessId {
@@ -31,7 +30,7 @@ impl From<usize> for ProcessId {
 ///
 /// Event ids are dense indices assigned in insertion order by the
 /// [`crate::ComputationBuilder`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(pub usize);
 
 impl EventId {
@@ -52,7 +51,7 @@ impl fmt::Display for EventId {
 /// The attached [`State`] is the process's local state (the set of atomic
 /// propositions that hold on that process) from this event onwards, until the
 /// process's next event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// The process on which the event occurred.
     pub process: ProcessId,

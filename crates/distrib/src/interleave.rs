@@ -122,8 +122,7 @@ fn recurse_traces(
                 .push(state.clone(), t)
                 .expect("time chosen to be monotone");
             recurse_traces(comp, &next_cut, trace, t, limit, out)?;
-            // Rebuild the trace without the last element.
-            *trace = trace.prefix(trace.len() - 1);
+            trace.pop();
         }
     }
     Ok(())
@@ -200,13 +199,10 @@ mod tests {
             // Every assigned time lies within some event's ±ε window.
             for i in 0..t.len() {
                 let time = t.time(i);
-                assert!(comp
-                    .events()
-                    .iter()
-                    .any(|e| {
-                        let (lo, hi) = e.time_window(comp.epsilon());
-                        time >= lo && time <= hi
-                    }));
+                assert!(comp.events().iter().any(|e| {
+                    let (lo, hi) = e.time_window(comp.epsilon());
+                    time >= lo && time <= hi
+                }));
             }
         }
     }
@@ -253,7 +249,10 @@ mod tests {
         };
         let small = enumerate_traces(&build(1)).len();
         let large = enumerate_traces(&build(3)).len();
-        assert!(large > small, "ε = 3 should admit more traces ({large} vs {small})");
+        assert!(
+            large > small,
+            "ε = 3 should admit more traces ({large} vs {small})"
+        );
     }
 
     #[test]
@@ -264,10 +263,8 @@ mod tests {
         b.event(0, 2, state!["cs0"]);
         b.event(1, 3, state!["cs1"]);
         let comp = b.build().unwrap();
-        let both = Formula::eventually_untimed(Formula::and(
-            Formula::atom("cs0"),
-            Formula::atom("cs1"),
-        ));
+        let both =
+            Formula::eventually_untimed(Formula::and(Formula::atom("cs0"), Formula::atom("cs1")));
         let verdicts = all_verdicts(&comp, &both);
         assert!(verdicts.contains(&true));
     }

@@ -42,6 +42,7 @@ mod event;
 mod hb;
 mod interleave;
 mod segment;
+pub mod testgen;
 
 pub use computation::{ComputationBuilder, ComputationError, DistributedComputation};
 pub use cuts::Cut;

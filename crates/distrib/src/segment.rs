@@ -86,8 +86,7 @@ pub fn segment(
                 .events_of(ProcessId(p))
                 .iter()
                 .map(|&id| comp.event(id))
-                .filter(|e| e.local_time < lo)
-                .next_back()
+                .rfind(|e| e.local_time < lo)
                 .map(|e| e.state.clone())
                 .unwrap_or_else(|| comp.initial_state(ProcessId(p)).clone());
             builder.initial_state(p, carried);
@@ -139,9 +138,7 @@ pub fn boundary_events(comp: &DistributedComputation, segments: usize) -> Vec<Ev
         .map(EventId)
         .filter(|&id| {
             let t = comp.event(id).local_time;
-            boundaries
-                .iter()
-                .any(|&b| t + eps >= b && t < b + eps)
+            boundaries.iter().any(|&b| t + eps >= b && t < b + eps)
         })
         .collect()
 }
@@ -187,7 +184,10 @@ mod tests {
             .iter()
             .map(|s| s.event_count())
             .sum();
-        assert!(overlap > disjoint, "overlap mode must re-include events near boundaries");
+        assert!(
+            overlap > disjoint,
+            "overlap mode must re-include events near boundaries"
+        );
     }
 
     #[test]

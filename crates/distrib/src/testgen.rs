@@ -1,0 +1,42 @@
+//! Deterministic random-computation generator shared by the solver and
+//! monitor differential test suites (companion of [`rvmtl_mtl::testgen`]).
+
+use crate::{ComputationBuilder, DistributedComputation};
+use rvmtl_mtl::testgen::PROPS;
+use rvmtl_mtl::State;
+use rvmtl_prng::StdRng;
+
+/// A small random computation: 1–2 processes, up to 3 events each (gaps of
+/// 1–3 local time units), ε ∈ 1..4, states over [`PROPS`]. Sized so that the
+/// brute-force trace enumeration oracle stays tractable.
+pub fn gen_computation(rng: &mut StdRng) -> DistributedComputation {
+    let epsilon = rng.gen_range(1u64..4);
+    let processes = rng.gen_range(1usize..3);
+    let mut b = ComputationBuilder::new(processes, epsilon);
+    for p in 0..processes {
+        let events = rng.gen_range(0usize..4);
+        let mut t = 0;
+        for _ in 0..events {
+            t += 1 + rng.gen_range(0u64..3);
+            let state: State = PROPS.iter().filter(|_| rng.gen_bool()).copied().collect();
+            b.event(p, t, state);
+        }
+    }
+    b.build().expect("generated computations are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_computations_are_valid_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let comp = gen_computation(&mut rng);
+            assert!(comp.process_count() <= 2);
+            assert!(comp.event_count() <= 6);
+            assert!((1..4).contains(&comp.epsilon()));
+        }
+    }
+}

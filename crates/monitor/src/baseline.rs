@@ -7,7 +7,9 @@
 //! harness.
 
 use crate::VerdictSet;
-use rvmtl_distrib::{all_verdicts, enumerate_traces_bounded, DistributedComputation, TraceLimitExceeded};
+use rvmtl_distrib::{
+    all_verdicts, enumerate_traces_bounded, DistributedComputation, TraceLimitExceeded,
+};
 use rvmtl_mtl::{evaluate_from, Formula};
 
 /// Monitors by brute force: evaluates `phi` on every trace of `comp`.

@@ -3,21 +3,16 @@
 use rvmtl_distrib::SegmentationMode;
 
 /// How a computation is chopped into segments before monitoring (Sec. V-C).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub enum Segmentation {
     /// Monitor the whole computation as a single solver instance.
+    #[default]
     None,
     /// Split into a fixed number of segments `g`.
     Count(usize),
     /// Split so that there are `f` segments per unit of time (the paper's
     /// segment frequency, Fig. 5c).
     Frequency(f64),
-}
-
-impl Default for Segmentation {
-    fn default() -> Self {
-        Segmentation::None
-    }
 }
 
 impl Segmentation {
@@ -27,9 +22,7 @@ impl Segmentation {
         match *self {
             Segmentation::None => 1,
             Segmentation::Count(g) => g.max(1),
-            Segmentation::Frequency(f) => {
-                rvmtl_distrib::segments_for_frequency(duration, f)
-            }
+            Segmentation::Frequency(f) => rvmtl_distrib::segments_for_frequency(duration, f),
         }
     }
 }
@@ -118,7 +111,9 @@ mod tests {
 
     #[test]
     fn builder_style_config() {
-        let cfg = MonitorConfig::with_segments(4).parallel(true).max_solutions(3);
+        let cfg = MonitorConfig::with_segments(4)
+            .parallel(true)
+            .max_solutions(3);
         assert_eq!(cfg.segmentation, Segmentation::Count(4));
         assert!(cfg.parallel);
         assert_eq!(cfg.max_solutions_per_segment, Some(3));

@@ -45,6 +45,7 @@
 mod baseline;
 mod config;
 mod monitor;
+mod par;
 mod verdict;
 
 pub use baseline::{naive_verdicts, naive_verdicts_bounded};

@@ -115,17 +115,7 @@ impl OnlineMonitor {
         };
 
         let results: Vec<_> = if self.parallel && pending.len() > 1 {
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = pending
-                    .iter()
-                    .map(|phi| scope.spawn(move |_| run_one(phi)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("progression worker panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope failed")
+            crate::par::par_map(&pending, run_one)
         } else {
             pending.iter().map(run_one).collect()
         };
@@ -349,7 +339,8 @@ mod tests {
         let comp = fig2_swap();
         let phi = parse("!Apr.Redeem(bob) U[0,8) Ban.Redeem(alice)").unwrap();
         let sequential = Monitor::new(MonitorConfig::with_segments(3)).run(&comp, &phi);
-        let parallel = Monitor::new(MonitorConfig::with_segments(3).parallel(true)).run(&comp, &phi);
+        let parallel =
+            Monitor::new(MonitorConfig::with_segments(3).parallel(true)).run(&comp, &phi);
         assert_eq!(sequential.verdicts, parallel.verdicts);
         assert_eq!(sequential.pending, parallel.pending);
     }
@@ -376,7 +367,8 @@ mod tests {
     fn max_solutions_bounds_pending_formulas() {
         let comp = fig2_swap();
         let phi = parse("F[2,9) Ban.Escrow & F[1,8) Apr.Escrow").unwrap();
-        let bounded = Monitor::new(MonitorConfig::with_segments(3).max_solutions(1)).run(&comp, &phi);
+        let bounded =
+            Monitor::new(MonitorConfig::with_segments(3).max_solutions(1)).run(&comp, &phi);
         for seg in &bounded.segments {
             assert!(seg.pending_out <= seg.pending_in.max(1));
         }

@@ -1,0 +1,97 @@
+//! A minimal data-parallel map over scoped OS threads.
+//!
+//! The build environment is offline, so `rayon` is unavailable; this module
+//! provides the one primitive the monitor needs — an indexed parallel map with
+//! results delivered in input order — on top of `std::thread::scope`. Work is
+//! distributed dynamically through a shared atomic cursor (the rayon idiom of
+//! work stealing collapsed to a single queue), so uneven per-formula solver
+//! costs do not leave threads idle.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item, using up to [`std::thread::available_parallelism`]
+/// worker threads, and returns the results in input order.
+///
+/// `f` runs on multiple threads, so it must be `Sync`; panics in a worker are
+/// propagated to the caller.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = f(&items[i]);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            }));
+        }
+        for h in handles {
+            h.join().expect("parallel worker panicked");
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index visited exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn uneven_workloads_complete() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map(&items, |&x| {
+            // Skew the per-item cost.
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc)
+        });
+        assert_eq!(out.len(), 32);
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+}

@@ -61,10 +61,7 @@ impl VerdictSet {
     /// Builds a verdict set from rewritten formulas.
     pub fn from_formulas<'a>(formulas: impl IntoIterator<Item = &'a Formula>) -> Self {
         VerdictSet {
-            verdicts: formulas
-                .into_iter()
-                .map(Verdict::from_formula)
-                .collect(),
+            verdicts: formulas.into_iter().map(Verdict::from_formula).collect(),
         }
     }
 

@@ -1,97 +1,90 @@
-//! Differential properties of the monitor:
+//! Differential properties of the monitor (seeded local PRNG; case
+//! generators shared via `rvmtl_mtl::testgen` / `rvmtl_distrib::testgen`):
 //!
 //! * the unsegmented monitor agrees exactly with the brute-force baseline;
 //! * segmented monitoring only reports verdicts the whole computation can
 //!   justify, and never reports nothing;
 //! * parallel and sequential evaluation coincide.
 
-use proptest::prelude::*;
-use rvmtl_distrib::{ComputationBuilder, DistributedComputation};
+use rvmtl_distrib::testgen::gen_computation;
 use rvmtl_monitor::{naive_verdicts, Monitor, MonitorConfig};
-use rvmtl_mtl::{Formula, Interval, State};
+use rvmtl_mtl::testgen::{gen_formula, GenConfig};
+use rvmtl_mtl::Formula;
+use rvmtl_prng::StdRng;
 
-const PROPS: [&str; 3] = ["p", "q", "r"];
+const CASES: usize = 48;
 
-#[derive(Debug, Clone)]
-struct RandomComputation {
-    epsilon: u64,
-    events: Vec<Vec<(u64, [bool; 3])>>,
+/// Small, bounded intervals keep the brute-force baseline tractable.
+fn gen_phi(rng: &mut StdRng) -> Formula {
+    let cfg = GenConfig {
+        max_depth: 2,
+        interval_start_max: 4,
+        interval_len_max: 8,
+        unbounded_intervals: false,
+    };
+    gen_formula(rng, &cfg)
 }
 
-fn build(rc: &RandomComputation) -> DistributedComputation {
-    let mut b = ComputationBuilder::new(rc.events.len().max(1), rc.epsilon);
-    for (p, events) in rc.events.iter().enumerate() {
-        let mut t = 0;
-        for (gap, bits) in events {
-            t += 1 + gap;
-            let state: State = PROPS
-                .iter()
-                .zip(bits)
-                .filter(|(_, b)| **b)
-                .map(|(name, _)| *name)
-                .collect();
-            b.event(p, t, state);
+#[test]
+fn unsegmented_monitor_equals_baseline() {
+    let mut rng = StdRng::seed_from_u64(0xBA5E);
+    let mut checked = 0;
+    while checked < CASES {
+        let comp = gen_computation(&mut rng);
+        let phi = gen_phi(&mut rng);
+        if comp.event_count() > 6 {
+            continue;
         }
-    }
-    b.build().expect("generated computations are valid")
-}
-
-fn arb_computation() -> impl Strategy<Value = RandomComputation> {
-    let event = (0u64..3, proptest::array::uniform3(proptest::bool::ANY));
-    let process = proptest::collection::vec(event, 0..4);
-    (1u64..4, proptest::collection::vec(process, 1..3))
-        .prop_map(|(epsilon, events)| RandomComputation { epsilon, events })
-}
-
-fn arb_interval() -> impl Strategy<Value = Interval> {
-    (0u64..4, 1u64..8).prop_map(|(s, l)| Interval::bounded(s, s + l))
-}
-
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    let leaf = (0..PROPS.len()).prop_map(|i| Formula::atom(PROPS[i])).boxed();
-    leaf.prop_recursive(2, 10, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Formula::not),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
-            (arb_interval(), inner.clone()).prop_map(|(i, a)| Formula::eventually(i, a)),
-            (arb_interval(), inner.clone()).prop_map(|(i, a)| Formula::always(i, a)),
-            (inner.clone(), arb_interval(), inner).prop_map(|(a, i, b)| Formula::until(a, i, b)),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn unsegmented_monitor_equals_baseline(rc in arb_computation(), phi in arb_formula()) {
-        let comp = build(&rc);
-        prop_assume!(comp.event_count() <= 6);
+        checked += 1;
         let report = Monitor::with_defaults().run(&comp, &phi);
-        prop_assert_eq!(report.verdicts, naive_verdicts(&comp, &phi), "formula {}", phi);
+        assert_eq!(
+            report.verdicts,
+            naive_verdicts(&comp, &phi),
+            "formula {phi}"
+        );
     }
+}
 
-    #[test]
-    fn segmented_monitor_is_sound_and_nonempty(rc in arb_computation(), phi in arb_formula(), g in 2usize..5) {
-        let comp = build(&rc);
-        prop_assume!(comp.event_count() <= 6);
+#[test]
+fn segmented_monitor_is_sound_and_nonempty() {
+    let mut rng = StdRng::seed_from_u64(0x5E61);
+    let mut checked = 0;
+    while checked < CASES {
+        let comp = gen_computation(&mut rng);
+        let phi = gen_phi(&mut rng);
+        let g = rng.gen_range(2usize..5);
+        if comp.event_count() > 6 {
+            continue;
+        }
+        checked += 1;
         let whole = Monitor::with_defaults().run(&comp, &phi).verdicts;
-        let segmented = Monitor::new(MonitorConfig::with_segments(g)).run(&comp, &phi).verdicts;
-        prop_assert!(!segmented.is_empty(), "formula {}", phi);
+        let segmented = Monitor::new(MonitorConfig::with_segments(g))
+            .run(&comp, &phi)
+            .verdicts;
+        assert!(!segmented.is_empty(), "formula {phi}");
         for v in segmented.booleans() {
-            prop_assert!(
+            assert!(
                 whole.booleans().contains(&v),
-                "formula {}, g = {}: segmented verdict {} not justified", phi, g, v
+                "formula {phi}, g = {g}: segmented verdict {v} not justified"
             );
         }
     }
+}
 
-    #[test]
-    fn parallel_equals_sequential(rc in arb_computation(), phi in arb_formula()) {
-        let comp = build(&rc);
-        prop_assume!(comp.event_count() <= 6);
+#[test]
+fn parallel_equals_sequential() {
+    let mut rng = StdRng::seed_from_u64(0x4A11);
+    let mut checked = 0;
+    while checked < CASES {
+        let comp = gen_computation(&mut rng);
+        let phi = gen_phi(&mut rng);
+        if comp.event_count() > 6 {
+            continue;
+        }
+        checked += 1;
         let sequential = Monitor::new(MonitorConfig::with_segments(2)).run(&comp, &phi);
-        let parallel = Monitor::new(MonitorConfig::with_segments(2).parallel(true)).run(&comp, &phi);
-        prop_assert_eq!(sequential.verdicts, parallel.verdicts);
+        let parallel =
+            Monitor::new(MonitorConfig::with_segments(2).parallel(true)).run(&comp, &phi);
+        assert_eq!(sequential.verdicts, parallel.verdicts);
     }
 }

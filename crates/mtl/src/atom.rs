@@ -6,7 +6,6 @@
 //! (reference-counted strings) and totally ordered so that states and formulas
 //! can be canonicalised and deduplicated.
 
-use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
 use std::fmt;
 use std::sync::Arc;
@@ -78,19 +77,6 @@ impl Borrow<str> for Prop {
 impl AsRef<str> for Prop {
     fn as_ref(&self) -> &str {
         &self.0
-    }
-}
-
-impl Serialize for Prop {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.0)
-    }
-}
-
-impl<'de> Deserialize<'de> for Prop {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Ok(Prop::new(s))
     }
 }
 

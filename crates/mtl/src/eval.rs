@@ -134,10 +134,22 @@ mod tests {
         let t = trace(vec![state!["a", "b"], state!["b"]], vec![0, 1]);
         assert!(evaluate(&t, &Formula::atom("a")));
         assert!(!evaluate(&t, &Formula::atom("c")));
-        assert!(evaluate(&t, &Formula::and(Formula::atom("a"), Formula::atom("b"))));
-        assert!(!evaluate(&t, &Formula::and(Formula::atom("a"), Formula::atom("c"))));
-        assert!(evaluate(&t, &Formula::or(Formula::atom("c"), Formula::atom("b"))));
-        assert!(evaluate(&t, &Formula::implies(Formula::atom("c"), Formula::atom("z"))));
+        assert!(evaluate(
+            &t,
+            &Formula::and(Formula::atom("a"), Formula::atom("b"))
+        ));
+        assert!(!evaluate(
+            &t,
+            &Formula::and(Formula::atom("a"), Formula::atom("c"))
+        ));
+        assert!(evaluate(
+            &t,
+            &Formula::or(Formula::atom("c"), Formula::atom("b"))
+        ));
+        assert!(evaluate(
+            &t,
+            &Formula::implies(Formula::atom("c"), Formula::atom("z"))
+        ));
         assert!(evaluate(&t, &Formula::not(Formula::atom("z"))));
         assert!(evaluate(&t, &Formula::True));
         assert!(!evaluate(&t, &Formula::False));
@@ -288,8 +300,15 @@ mod tests {
         assert_eq!(evaluate_from(&t2, &phi, 3), evaluate(&t2, &phi));
         // Until anchored at the global start.
         let swap = trace(vec![state!["a"], state!["b"]], vec![4, 6]);
-        let until = Formula::until(Formula::atom("a"), Interval::bounded(0, 6), Formula::atom("b"));
-        assert!(!evaluate_from(&swap, &until, 0), "witness at 6 is outside [0,6) from origin 0");
+        let until = Formula::until(
+            Formula::atom("a"),
+            Interval::bounded(0, 6),
+            Formula::atom("b"),
+        );
+        assert!(
+            !evaluate_from(&swap, &until, 0),
+            "witness at 6 is outside [0,6) from origin 0"
+        );
         assert!(evaluate_from(&swap, &until, 4));
     }
 
@@ -303,7 +322,10 @@ mod tests {
             Formula::eventually(Interval::bounded(1, 4), Formula::atom("q")),
             Formula::always(Interval::bounded(0, 4), Formula::atom("p")),
             Formula::always(Interval::bounded(0, 1), Formula::atom("p")),
-            Formula::eventually(Interval::bounded(5, 9), Formula::and(Formula::atom("p"), Formula::atom("q"))),
+            Formula::eventually(
+                Interval::bounded(5, 9),
+                Formula::and(Formula::atom("p"), Formula::atom("q")),
+            ),
         ];
         for phi in formulas {
             assert_eq!(

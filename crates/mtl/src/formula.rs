@@ -11,7 +11,6 @@
 //! `◇_I` (eventually) and `□_I` (always).
 
 use crate::{Interval, Prop};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -32,7 +31,7 @@ use std::fmt;
 /// assert_eq!(phi.size(), 4);
 /// assert_eq!(phi.temporal_depth(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Formula {
     /// The constant `true`.
     True,
@@ -73,6 +72,7 @@ impl Formula {
     }
 
     /// Negation `¬φ`.
+    #[allow(clippy::should_implement_trait)] // `Formula::not(..)` reads as logic, not `!`
     pub fn not(phi: Formula) -> Self {
         Formula::Not(Box::new(phi))
     }
@@ -188,7 +188,9 @@ impl Formula {
             Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) => {
                 a.temporal_operator_count() + b.temporal_operator_count()
             }
-            Formula::Until(a, _, b) => 1 + a.temporal_operator_count() + b.temporal_operator_count(),
+            Formula::Until(a, _, b) => {
+                1 + a.temporal_operator_count() + b.temporal_operator_count()
+            }
             Formula::Eventually(_, a) | Formula::Always(_, a) => 1 + a.temporal_operator_count(),
         }
     }
@@ -262,9 +264,10 @@ impl Formula {
             Formula::Atom(p) => Formula::Atom(p.clone()),
             Formula::Not(a) => Formula::not(a.to_core()),
             Formula::Or(a, b) => Formula::or(a.to_core(), b.to_core()),
-            Formula::And(a, b) => {
-                Formula::not(Formula::or(Formula::not(a.to_core()), Formula::not(b.to_core())))
-            }
+            Formula::And(a, b) => Formula::not(Formula::or(
+                Formula::not(a.to_core()),
+                Formula::not(b.to_core()),
+            )),
             Formula::Implies(a, b) => Formula::or(Formula::not(a.to_core()), b.to_core()),
             Formula::Until(a, i, b) => Formula::until(a.to_core(), *i, b.to_core()),
             Formula::Eventually(i, a) => Formula::until(Formula::True, *i, a.to_core()),
@@ -389,7 +392,10 @@ mod tests {
         .unwrap();
         let formulas = vec![
             Formula::and(Formula::atom("a"), Formula::not(Formula::atom("b"))),
-            Formula::implies(Formula::atom("a"), Formula::eventually(Interval::bounded(0, 6), Formula::atom("b"))),
+            Formula::implies(
+                Formula::atom("a"),
+                Formula::eventually(Interval::bounded(0, 6), Formula::atom("b")),
+            ),
             Formula::always(Interval::bounded(0, 2), Formula::atom("a")),
             Formula::eventually(Interval::bounded(2, 5), Formula::atom("b")),
             phi_spec(),

@@ -1,0 +1,98 @@
+//! A fast, non-cryptographic hasher for the solver's hot maps.
+//!
+//! The progression search performs one memo lookup per visited node with a
+//! fixed-size 20-byte key; the standard library's SipHash dominates that
+//! lookup. This is the Fx multiply-xor hash (the rustc hasher): a handful of
+//! cycles per word, perfectly adequate for in-process tables that are not
+//! exposed to untrusted keys.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiply-xor hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive() {
+        let hash = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b"abc"), hash(b"abc"));
+        assert_ne!(hash(b"abc"), hash(b"abd"));
+        assert_ne!(hash(b"abcdefgh1"), hash(b"abcdefgh2"));
+    }
+
+    #[test]
+    fn usable_as_map_hasher() {
+        let mut map: FxHashMap<(u64, u64, u32), usize> = FxHashMap::default();
+        for i in 0..1000u64 {
+            map.insert((i, i * 7, i as u32), i as usize);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map.get(&(41, 287, 41)), Some(&41));
+    }
+}

@@ -1,0 +1,778 @@
+//! Hash-consed formula storage: an arena/interner in which every distinct
+//! (canonicalised) formula is stored exactly once and named by a small
+//! [`FormulaId`].
+//!
+//! The solver's progression search (`rvmtl-solver`) memoises on
+//! `(cut, time, pending formula)` millions of times per query. With the plain
+//! [`Formula`] tree that means deep clones, deep structural hashing and deep
+//! equality on every lookup. Interning collapses all three to `u32` copies and
+//! compares:
+//!
+//! * **clone** — [`FormulaId`] is `Copy`;
+//! * **eq** — ids are equal iff the canonical formulas are structurally equal
+//!   (hash-consing invariant: one node per distinct formula);
+//! * **hash** — the id is its own perfect hash; no tree walk.
+//!
+//! Construction goes through *smart constructors* ([`Interner::mk_and_all`],
+//! [`Interner::mk_not`], …) that apply the same canonicalising rewrites as
+//! [`crate::simplify`] — constant folding, double-negation elimination,
+//! flattening/sorting/deduplication of `∧`/`∨` operands, complementary-literal
+//! collapse, empty-interval collapse — so structurally different but
+//! simplification-equivalent formulas receive the same id. The progression
+//! engine ([`Interner::progress`], [`Interner::progress_one`],
+//! [`Interner::progress_gap`]) builds its results exclusively through these
+//! constructors.
+//!
+//! An [`Interner`] is a plain value, not a global: the solver keeps one per
+//! query, and the `Formula`-level entry points of this crate create a
+//! short-lived one per call. Memory grows with the number of distinct
+//! formulas ever interned and is released when the interner is dropped.
+
+use crate::hashing::FxHashMap;
+use crate::{Formula, Interval, Prop, State, TimedTrace};
+
+/// A reference to an interned formula. Cheap to copy, compare and hash;
+/// meaningful only together with the [`Interner`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FormulaId(u32);
+
+impl FormulaId {
+    /// The id of the constant `true` (the same in every interner).
+    pub const TRUE: FormulaId = FormulaId(0);
+    /// The id of the constant `false` (the same in every interner).
+    pub const FALSE: FormulaId = FormulaId(1);
+
+    /// Returns `true` if this id names the constant `true` or `false`.
+    pub fn is_constant(self) -> bool {
+        self == FormulaId::TRUE || self == FormulaId::FALSE
+    }
+
+    /// Returns `Some(b)` if this id names the boolean constant `b`.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            FormulaId::TRUE => Some(true),
+            FormulaId::FALSE => Some(false),
+            _ => None,
+        }
+    }
+
+    /// The raw index (useful for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned formula node. Children are [`FormulaId`]s, so equality and
+/// hashing of a node touch only one level of the tree.
+///
+/// `And`/`Or` are n-ary with operands sorted by id and deduplicated — the
+/// interned counterpart of the sorted operand sets `crate::simplify` builds.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// An atomic proposition.
+    Atom(Prop),
+    /// Negation `¬φ`.
+    Not(FormulaId),
+    /// N-ary conjunction (≥ 2 operands, sorted by id, deduplicated).
+    And(Box<[FormulaId]>),
+    /// N-ary disjunction (≥ 2 operands, sorted by id, deduplicated).
+    Or(Box<[FormulaId]>),
+    /// Implication `φ₁ → φ₂`.
+    Implies(FormulaId, FormulaId),
+    /// Timed until `φ₁ U_I φ₂`.
+    Until(FormulaId, Interval, FormulaId),
+    /// Timed eventually `◇_I φ`.
+    Eventually(Interval, FormulaId),
+    /// Timed always `□_I φ`.
+    Always(Interval, FormulaId),
+}
+
+/// The formula arena. See the module documentation.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    nodes: Vec<Node>,
+    ids: FxHashMap<Node, FormulaId>,
+}
+
+impl Interner {
+    /// Creates an interner holding only the two boolean constants.
+    pub fn new() -> Self {
+        let mut interner = Interner {
+            nodes: Vec::with_capacity(64),
+            ids: FxHashMap::default(),
+        };
+        let t = interner.insert(Node::True);
+        let f = interner.insert(Node::False);
+        debug_assert_eq!(t, FormulaId::TRUE);
+        debug_assert_eq!(f, FormulaId::FALSE);
+        interner
+    }
+
+    /// Number of distinct formulas interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always `false`: a fresh interner already holds the two boolean
+    /// constants, so `len() >= 2`. Provided for `len`/`is_empty` consistency.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node named by `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not come from this interner.
+    pub fn node(&self, id: FormulaId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn insert(&mut self, node: Node) -> FormulaId {
+        if let Some(&id) = self.ids.get(&node) {
+            return id;
+        }
+        let id = FormulaId(u32::try_from(self.nodes.len()).expect("interner overflow"));
+        self.nodes.push(node.clone());
+        self.ids.insert(node, id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Smart constructors (the interned mirror of `crate::simplify`).
+    // ------------------------------------------------------------------
+
+    /// Interns an atomic proposition.
+    pub fn mk_atom(&mut self, p: Prop) -> FormulaId {
+        self.insert(Node::Atom(p))
+    }
+
+    /// Smart negation: folds constants, removes double negations.
+    pub fn mk_not(&mut self, a: FormulaId) -> FormulaId {
+        match self.node(a) {
+            Node::True => FormulaId::FALSE,
+            Node::False => FormulaId::TRUE,
+            Node::Not(inner) => *inner,
+            _ => self.insert(Node::Not(a)),
+        }
+    }
+
+    /// Smart binary conjunction.
+    pub fn mk_and(&mut self, a: FormulaId, b: FormulaId) -> FormulaId {
+        self.mk_and_all([a, b])
+    }
+
+    /// Smart binary disjunction.
+    pub fn mk_or(&mut self, a: FormulaId, b: FormulaId) -> FormulaId {
+        self.mk_or_all([a, b])
+    }
+
+    /// Smart n-ary conjunction: flattens nested conjunctions, sorts and
+    /// deduplicates operands, folds constants and complementary pairs.
+    /// Returns `true` for an empty operand list.
+    pub fn mk_and_all(&mut self, parts: impl IntoIterator<Item = FormulaId>) -> FormulaId {
+        self.mk_nary(parts, true)
+    }
+
+    /// Smart n-ary disjunction (dual of [`Interner::mk_and_all`]). Returns
+    /// `false` for an empty operand list.
+    pub fn mk_or_all(&mut self, parts: impl IntoIterator<Item = FormulaId>) -> FormulaId {
+        self.mk_nary(parts, false)
+    }
+
+    fn mk_nary(
+        &mut self,
+        parts: impl IntoIterator<Item = FormulaId>,
+        conjunction: bool,
+    ) -> FormulaId {
+        let (absorbing, neutral) = if conjunction {
+            (FormulaId::FALSE, FormulaId::TRUE)
+        } else {
+            (FormulaId::TRUE, FormulaId::FALSE)
+        };
+        let mut operands: Vec<FormulaId> = Vec::new();
+        for part in parts {
+            if part == absorbing {
+                return absorbing;
+            }
+            if part == neutral {
+                continue;
+            }
+            // Flatten one level: nested n-ary nodes of the same kind cannot
+            // occur as children of each other, so this keeps the set flat.
+            match (conjunction, self.node(part)) {
+                (true, Node::And(children)) | (false, Node::Or(children)) => {
+                    operands.extend(children.iter().copied());
+                }
+                _ => operands.push(part),
+            }
+        }
+        operands.sort_unstable();
+        operands.dedup();
+        // Complementary-literal collapse: φ and ¬φ together absorb.
+        for &op in &operands {
+            if let Node::Not(inner) = self.node(op) {
+                if operands.binary_search(inner).is_ok() {
+                    return absorbing;
+                }
+            }
+        }
+        match operands.len() {
+            0 => neutral,
+            1 => operands[0],
+            _ => {
+                let node = if conjunction {
+                    Node::And(operands.into_boxed_slice())
+                } else {
+                    Node::Or(operands.into_boxed_slice())
+                };
+                self.insert(node)
+            }
+        }
+    }
+
+    /// Smart implication.
+    pub fn mk_implies(&mut self, a: FormulaId, b: FormulaId) -> FormulaId {
+        match (a, b) {
+            (FormulaId::TRUE, _) => b,
+            (FormulaId::FALSE, _) => FormulaId::TRUE,
+            (_, FormulaId::TRUE) => FormulaId::TRUE,
+            (_, FormulaId::FALSE) => self.mk_not(a),
+            _ if a == b => FormulaId::TRUE,
+            _ => self.insert(Node::Implies(a, b)),
+        }
+    }
+
+    /// Smart timed until.
+    pub fn mk_until(&mut self, a: FormulaId, i: Interval, b: FormulaId) -> FormulaId {
+        if i.is_empty() || b == FormulaId::FALSE {
+            return FormulaId::FALSE;
+        }
+        self.insert(Node::Until(a, i, b))
+    }
+
+    /// Smart timed eventually.
+    pub fn mk_eventually(&mut self, i: Interval, a: FormulaId) -> FormulaId {
+        if i.is_empty() || a == FormulaId::FALSE {
+            return FormulaId::FALSE;
+        }
+        self.insert(Node::Eventually(i, a))
+    }
+
+    /// Smart timed always.
+    pub fn mk_always(&mut self, i: Interval, a: FormulaId) -> FormulaId {
+        if i.is_empty() || a == FormulaId::TRUE {
+            return FormulaId::TRUE;
+        }
+        self.insert(Node::Always(i, a))
+    }
+
+    // ------------------------------------------------------------------
+    // Conversion to and from the plain `Formula` tree.
+    // ------------------------------------------------------------------
+
+    /// Interns a formula tree, canonicalising it through the smart
+    /// constructors (so `intern` also *simplifies*: the id of `a ∧ a` is the
+    /// id of `a`).
+    pub fn intern(&mut self, phi: &Formula) -> FormulaId {
+        match phi {
+            Formula::True => FormulaId::TRUE,
+            Formula::False => FormulaId::FALSE,
+            Formula::Atom(p) => self.mk_atom(p.clone()),
+            Formula::Not(a) => {
+                let a = self.intern(a);
+                self.mk_not(a)
+            }
+            Formula::And(a, b) => {
+                let a = self.intern(a);
+                let b = self.intern(b);
+                self.mk_and(a, b)
+            }
+            Formula::Or(a, b) => {
+                let a = self.intern(a);
+                let b = self.intern(b);
+                self.mk_or(a, b)
+            }
+            Formula::Implies(a, b) => {
+                let a = self.intern(a);
+                let b = self.intern(b);
+                self.mk_implies(a, b)
+            }
+            Formula::Until(a, i, b) => {
+                let a = self.intern(a);
+                let b = self.intern(b);
+                self.mk_until(a, *i, b)
+            }
+            Formula::Eventually(i, a) => {
+                let a = self.intern(a);
+                self.mk_eventually(*i, a)
+            }
+            Formula::Always(i, a) => {
+                let a = self.intern(a);
+                self.mk_always(*i, a)
+            }
+        }
+    }
+
+    /// Rebuilds the plain formula tree named by `id`.
+    ///
+    /// N-ary conjunctions/disjunctions are rebuilt as left-associated binary
+    /// trees over *structurally* sorted operands, which is exactly the shape
+    /// [`crate::simplify`] has always produced — so resolving an interned
+    /// formula and simplifying a plain one agree syntactically.
+    pub fn resolve(&self, id: FormulaId) -> Formula {
+        match self.node(id) {
+            Node::True => Formula::True,
+            Node::False => Formula::False,
+            Node::Atom(p) => Formula::Atom(p.clone()),
+            Node::Not(a) => Formula::not(self.resolve(*a)),
+            Node::And(children) => self.resolve_nary(children, true),
+            Node::Or(children) => self.resolve_nary(children, false),
+            Node::Implies(a, b) => Formula::implies(self.resolve(*a), self.resolve(*b)),
+            Node::Until(a, i, b) => Formula::until(self.resolve(*a), *i, self.resolve(*b)),
+            Node::Eventually(i, a) => Formula::eventually(*i, self.resolve(*a)),
+            Node::Always(i, a) => Formula::always(*i, self.resolve(*a)),
+        }
+    }
+
+    fn resolve_nary(&self, children: &[FormulaId], conjunction: bool) -> Formula {
+        let mut resolved: Vec<Formula> = children.iter().map(|&c| self.resolve(c)).collect();
+        resolved.sort();
+        let mut iter = resolved.into_iter();
+        let first = iter.next().expect("n-ary nodes have at least two operands");
+        iter.fold(first, |acc, f| {
+            if conjunction {
+                Formula::and(acc, f)
+            } else {
+                Formula::or(acc, f)
+            }
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Interned progression (Sec. IV of the paper).
+    // ------------------------------------------------------------------
+
+    /// Progresses `id` over the observed segment `trace`, anchoring residual
+    /// obligations at `next_base` — the interned counterpart of
+    /// [`crate::progress`].
+    pub fn progress(&mut self, trace: &TimedTrace, id: FormulaId, next_base: u64) -> FormulaId {
+        if trace.is_empty() {
+            return id;
+        }
+        self.progress_at(trace, 0, id, next_base)
+    }
+
+    fn progress_at(
+        &mut self,
+        trace: &TimedTrace,
+        i: usize,
+        id: FormulaId,
+        next_base: u64,
+    ) -> FormulaId {
+        let n = trace.len();
+        debug_assert!(i < n, "progress_at called past the end of the segment");
+        match self.node(id).clone() {
+            Node::True => FormulaId::TRUE,
+            Node::False => FormulaId::FALSE,
+            Node::Atom(p) => {
+                if trace.state(i).holds_prop(&p) {
+                    FormulaId::TRUE
+                } else {
+                    FormulaId::FALSE
+                }
+            }
+            Node::Not(a) => {
+                let a = self.progress_at(trace, i, a, next_base);
+                self.mk_not(a)
+            }
+            Node::And(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_at(trace, i, c, next_base))
+                    .collect();
+                self.mk_and_all(parts)
+            }
+            Node::Or(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_at(trace, i, c, next_base))
+                    .collect();
+                self.mk_or_all(parts)
+            }
+            Node::Implies(a, b) => {
+                let a = self.progress_at(trace, i, a, next_base);
+                let b = self.progress_at(trace, i, b, next_base);
+                self.mk_implies(a, b)
+            }
+            // Algorithm 2 (Eventually): disjunction over the in-interval
+            // positions plus a residual if the interval outlives the segment.
+            Node::Eventually(interval, a) => {
+                let base = trace.time(i);
+                let elapsed = next_base.saturating_sub(base);
+                let parts: Vec<FormulaId> = (i..n)
+                    .filter(|&j| interval.contains(trace.time(j) - base))
+                    .map(|j| self.progress_at(trace, j, a, next_base))
+                    .collect();
+                let observed = self.mk_or_all(parts);
+                if interval.elapsed_by(elapsed) {
+                    observed
+                } else {
+                    let residual = self.mk_eventually(interval.shift_down(elapsed), a);
+                    self.mk_or(observed, residual)
+                }
+            }
+            // Algorithm 1 (Always): conjunction over the in-interval positions
+            // plus a residual if the interval outlives the segment.
+            Node::Always(interval, a) => {
+                let base = trace.time(i);
+                let elapsed = next_base.saturating_sub(base);
+                let parts: Vec<FormulaId> = (i..n)
+                    .filter(|&j| interval.contains(trace.time(j) - base))
+                    .map(|j| self.progress_at(trace, j, a, next_base))
+                    .collect();
+                let observed = self.mk_and_all(parts);
+                if interval.elapsed_by(elapsed) {
+                    observed
+                } else {
+                    let residual = self.mk_always(interval.shift_down(elapsed), a);
+                    self.mk_and(observed, residual)
+                }
+            }
+            // Algorithm 3 (Until).
+            Node::Until(a, interval, b) => {
+                let base = trace.time(i);
+                let elapsed = next_base.saturating_sub(base);
+                // A: φ1 at every position strictly before the interval opens.
+                let parts: Vec<FormulaId> = (i..n)
+                    .filter(|&j| trace.time(j) - base < interval.start())
+                    .map(|j| self.progress_at(trace, j, a, next_base))
+                    .collect();
+                let pre = self.mk_and_all(parts);
+                // B: an observed witness for φ2 within the interval, φ1 at
+                // every earlier position of the segment.
+                let witnesses: Vec<FormulaId> = (i..n)
+                    .filter(|&j| interval.contains(trace.time(j) - base))
+                    .map(|j| {
+                        let up: Vec<FormulaId> = (i..j)
+                            .map(|k| self.progress_at(trace, k, a, next_base))
+                            .collect();
+                        let up_to_j = self.mk_and_all(up);
+                        let at_j = self.progress_at(trace, j, b, next_base);
+                        self.mk_and(up_to_j, at_j)
+                    })
+                    .collect();
+                let observed_witness = self.mk_or_all(witnesses);
+                // Residual: the witness lies beyond the segment.
+                let future_witness = if interval.elapsed_by(elapsed) {
+                    FormulaId::FALSE
+                } else {
+                    let all: Vec<FormulaId> = (i..n)
+                        .map(|k| self.progress_at(trace, k, a, next_base))
+                        .collect();
+                    let all_a = self.mk_and_all(all);
+                    let residual = self.mk_until(a, interval.shift_down(elapsed), b);
+                    self.mk_and(all_a, residual)
+                };
+                let witness = self.mk_or(observed_witness, future_witness);
+                self.mk_and(pre, witness)
+            }
+        }
+    }
+
+    /// Progression over a segment consisting of a *single* observation
+    /// (`state` at `time`) — the shape the solver's search steps through, kept
+    /// allocation-free on the hot path.
+    pub fn progress_one(
+        &mut self,
+        state: &State,
+        time: u64,
+        id: FormulaId,
+        next_base: u64,
+    ) -> FormulaId {
+        match self.node(id).clone() {
+            Node::True => FormulaId::TRUE,
+            Node::False => FormulaId::FALSE,
+            Node::Atom(p) => {
+                if state.holds_prop(&p) {
+                    FormulaId::TRUE
+                } else {
+                    FormulaId::FALSE
+                }
+            }
+            Node::Not(a) => {
+                let a = self.progress_one(state, time, a, next_base);
+                self.mk_not(a)
+            }
+            Node::And(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_one(state, time, c, next_base))
+                    .collect();
+                self.mk_and_all(parts)
+            }
+            Node::Or(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_one(state, time, c, next_base))
+                    .collect();
+                self.mk_or_all(parts)
+            }
+            Node::Implies(a, b) => {
+                let a = self.progress_one(state, time, a, next_base);
+                let b = self.progress_one(state, time, b, next_base);
+                self.mk_implies(a, b)
+            }
+            Node::Eventually(interval, a) => {
+                let elapsed = next_base.saturating_sub(time);
+                let observed = if interval.contains(0) {
+                    self.progress_one(state, time, a, next_base)
+                } else {
+                    FormulaId::FALSE
+                };
+                if interval.elapsed_by(elapsed) {
+                    observed
+                } else {
+                    let residual = self.mk_eventually(interval.shift_down(elapsed), a);
+                    self.mk_or(observed, residual)
+                }
+            }
+            Node::Always(interval, a) => {
+                let elapsed = next_base.saturating_sub(time);
+                let observed = if interval.contains(0) {
+                    self.progress_one(state, time, a, next_base)
+                } else {
+                    FormulaId::TRUE
+                };
+                if interval.elapsed_by(elapsed) {
+                    observed
+                } else {
+                    let residual = self.mk_always(interval.shift_down(elapsed), a);
+                    self.mk_and(observed, residual)
+                }
+            }
+            Node::Until(a, interval, b) => {
+                let elapsed = next_base.saturating_sub(time);
+                // The single position is either before the interval opens
+                // (φ1 must hold there) or inside it (it may witness φ2).
+                let pre = if interval.start() > 0 {
+                    self.progress_one(state, time, a, next_base)
+                } else {
+                    FormulaId::TRUE
+                };
+                let observed_witness = if interval.contains(0) {
+                    self.progress_one(state, time, b, next_base)
+                } else {
+                    FormulaId::FALSE
+                };
+                let future_witness = if interval.elapsed_by(elapsed) {
+                    FormulaId::FALSE
+                } else {
+                    let all_a = self.progress_one(state, time, a, next_base);
+                    let residual = self.mk_until(a, interval.shift_down(elapsed), b);
+                    self.mk_and(all_a, residual)
+                };
+                let witness = self.mk_or(observed_witness, future_witness);
+                self.mk_and(pre, witness)
+            }
+        }
+    }
+
+    /// Progression over an observation gap of `elapsed` time units — the
+    /// interned counterpart of [`crate::progress_gap`].
+    pub fn progress_gap(&mut self, id: FormulaId, elapsed: u64) -> FormulaId {
+        if elapsed == 0 {
+            return id;
+        }
+        match self.node(id).clone() {
+            Node::True | Node::False | Node::Atom(_) => id,
+            Node::Not(a) => {
+                let a = self.progress_gap(a, elapsed);
+                self.mk_not(a)
+            }
+            Node::And(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_gap(c, elapsed))
+                    .collect();
+                self.mk_and_all(parts)
+            }
+            Node::Or(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_gap(c, elapsed))
+                    .collect();
+                self.mk_or_all(parts)
+            }
+            Node::Implies(a, b) => {
+                let a = self.progress_gap(a, elapsed);
+                let b = self.progress_gap(b, elapsed);
+                self.mk_implies(a, b)
+            }
+            Node::Eventually(i, a) => {
+                if i.elapsed_by(elapsed) {
+                    FormulaId::FALSE
+                } else {
+                    self.mk_eventually(i.shift_down(elapsed), a)
+                }
+            }
+            Node::Always(i, a) => {
+                if i.elapsed_by(elapsed) {
+                    FormulaId::TRUE
+                } else {
+                    self.mk_always(i.shift_down(elapsed), a)
+                }
+            }
+            Node::Until(a, i, b) => {
+                if i.elapsed_by(elapsed) {
+                    FormulaId::FALSE
+                } else {
+                    self.mk_until(a, i.shift_down(elapsed), b)
+                }
+            }
+        }
+    }
+
+    /// Closes a formula against the empty future: the finite-trace verdict of
+    /// `id` on an empty remainder (`◇`/`U` obligations fail, `□` obligations
+    /// hold vacuously). Agrees with evaluating the resolved formula on an
+    /// empty [`TimedTrace`].
+    pub fn eval_empty(&self, id: FormulaId) -> bool {
+        match self.node(id) {
+            Node::True => true,
+            Node::False => false,
+            Node::Atom(_) => false,
+            Node::Not(a) => !self.eval_empty(*a),
+            Node::And(children) => children.iter().all(|&c| self.eval_empty(c)),
+            Node::Or(children) => children.iter().any(|&c| self.eval_empty(c)),
+            Node::Implies(a, b) => !self.eval_empty(*a) || self.eval_empty(*b),
+            Node::Eventually(..) | Node::Until(..) => false,
+            Node::Always(..) => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate, simplify, state};
+
+    #[test]
+    fn constants_have_fixed_ids() {
+        let mut interner = Interner::new();
+        assert_eq!(interner.intern(&Formula::True), FormulaId::TRUE);
+        assert_eq!(interner.intern(&Formula::False), FormulaId::FALSE);
+        assert!(FormulaId::TRUE.is_constant());
+        assert_eq!(FormulaId::TRUE.as_bool(), Some(true));
+        assert_eq!(FormulaId::FALSE.as_bool(), Some(false));
+    }
+
+    #[test]
+    fn interning_is_hash_consing() {
+        let mut interner = Interner::new();
+        let phi = Formula::until(
+            Formula::not(Formula::atom("a")),
+            Interval::bounded(0, 8),
+            Formula::atom("b"),
+        );
+        let a = interner.intern(&phi);
+        let b = interner.intern(&phi.clone());
+        assert_eq!(a, b);
+        let before = interner.len();
+        let _ = interner.intern(&phi);
+        assert_eq!(interner.len(), before, "re-interning allocates nothing");
+    }
+
+    #[test]
+    fn intern_resolve_matches_simplify() {
+        let mut interner = Interner::new();
+        let samples = [
+            Formula::and(
+                Formula::atom("a"),
+                Formula::and(Formula::True, Formula::atom("a")),
+            ),
+            Formula::or(
+                Formula::not(Formula::not(Formula::atom("b"))),
+                Formula::False,
+            ),
+            Formula::implies(Formula::atom("a"), Formula::atom("a")),
+            Formula::until(
+                Formula::atom("a"),
+                Interval::bounded(0, 5),
+                Formula::or(Formula::atom("b"), Formula::False),
+            ),
+            Formula::and(
+                Formula::and(Formula::atom("c"), Formula::atom("a")),
+                Formula::atom("b"),
+            ),
+        ];
+        for phi in samples {
+            let id = interner.intern(&phi);
+            assert_eq!(interner.resolve(id), simplify(&phi), "phi = {phi}");
+        }
+    }
+
+    #[test]
+    fn complementary_operands_collapse() {
+        let mut interner = Interner::new();
+        let a = interner.intern(&Formula::atom("a"));
+        let na = interner.mk_not(a);
+        assert_eq!(interner.mk_and(a, na), FormulaId::FALSE);
+        assert_eq!(interner.mk_or(a, na), FormulaId::TRUE);
+        assert_eq!(interner.mk_not(na), a);
+    }
+
+    #[test]
+    fn progress_one_matches_general_progress() {
+        let mut interner = Interner::new();
+        let formulas = [
+            crate::parse("a U[0,8) b").unwrap(),
+            crate::parse("F[2,6) a").unwrap(),
+            crate::parse("G[0,4) (a | b)").unwrap(),
+            crate::parse("!a U[2,9) (a & b)").unwrap(),
+        ];
+        let states = [state!["a"], state!["b"], state![], state!["a", "b"]];
+        for phi in &formulas {
+            for s in &states {
+                for time in [0u64, 2, 5] {
+                    for next in [time, time + 1, time + 4, time + 20] {
+                        let id = interner.intern(phi);
+                        let via_one = interner.progress_one(s, time, id, next);
+                        let trace = TimedTrace::new(vec![s.clone()], vec![time]).unwrap();
+                        let via_trace = interner.progress(&trace, id, next);
+                        assert_eq!(
+                            via_one, via_trace,
+                            "phi = {phi}, state = {s}, time = {time}, next = {next}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_empty_matches_empty_trace_evaluation() {
+        let mut interner = Interner::new();
+        let samples = [
+            crate::parse("true").unwrap(),
+            crate::parse("p").unwrap(),
+            crate::parse("!p").unwrap(),
+            crate::parse("F[0,5) p").unwrap(),
+            crate::parse("G[0,5) p").unwrap(),
+            crate::parse("p U[0,5) q").unwrap(),
+            crate::parse("(G[0,5) p) & !q").unwrap(),
+        ];
+        for phi in samples {
+            let id = interner.intern(&phi);
+            assert_eq!(
+                interner.eval_empty(id),
+                evaluate(&TimedTrace::empty(), &phi),
+                "phi = {phi}"
+            );
+        }
+    }
+}

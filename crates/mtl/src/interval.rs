@@ -6,7 +6,6 @@
 //! paper's `I − τ` used by formula progression: both endpoints are lowered by a
 //! delay and clamped at zero.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A half-open interval `[start, end)` over discrete time.
@@ -26,7 +25,7 @@ use std::fmt;
 /// // The paper's `I − τ` operation, used when progressing formulas.
 /// assert_eq!(i.shift_down(3), Interval::bounded(0, 6));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Interval {
     start: u64,
     end: Option<u64>,
@@ -93,7 +92,7 @@ impl Interval {
 
     /// Membership test: `t ∈ [start, end)`.
     pub fn contains(&self, t: u64) -> bool {
-        t >= self.start && self.end.map_or(true, |e| t < e)
+        t >= self.start && self.end.is_none_or(|e| t < e)
     }
 
     /// The paper's `I − τ`: lowers both endpoints by `delay`, clamping at zero.
@@ -210,16 +209,28 @@ mod tests {
     #[test]
     fn shift_down_matches_paper_example() {
         // From Fig. 4: [2,9) shifted by 3 becomes [0,6).
-        assert_eq!(Interval::bounded(2, 9).shift_down(3), Interval::bounded(0, 6));
+        assert_eq!(
+            Interval::bounded(2, 9).shift_down(3),
+            Interval::bounded(0, 6)
+        );
         // From Fig. 2: [0,8) shifted by 4 becomes [0,4).
-        assert_eq!(Interval::bounded(0, 8).shift_down(4), Interval::bounded(0, 4));
+        assert_eq!(
+            Interval::bounded(0, 8).shift_down(4),
+            Interval::bounded(0, 4)
+        );
     }
 
     #[test]
     fn shift_down_clamps_at_zero() {
-        assert_eq!(Interval::bounded(2, 9).shift_down(20), Interval::bounded(0, 0));
+        assert_eq!(
+            Interval::bounded(2, 9).shift_down(20),
+            Interval::bounded(0, 0)
+        );
         assert!(Interval::bounded(2, 9).shift_down(20).is_empty());
-        assert_eq!(Interval::unbounded(5).shift_down(100), Interval::unbounded(0));
+        assert_eq!(
+            Interval::unbounded(5).shift_down(100),
+            Interval::unbounded(0)
+        );
     }
 
     #[test]

@@ -46,16 +46,20 @@
 mod atom;
 mod eval;
 mod formula;
+pub mod hashing;
+mod intern;
 mod interval;
 mod parser;
 mod progress;
 mod simplify;
 mod state;
+pub mod testgen;
 mod trace;
 
 pub use atom::Prop;
 pub use eval::{evaluate, evaluate_at, evaluate_from};
 pub use formula::Formula;
+pub use intern::{FormulaId, Interner, Node};
 pub use interval::Interval;
 pub use parser::{parse, ParseError};
 pub use progress::{progress, progress_default, progress_gap};

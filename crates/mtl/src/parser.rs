@@ -335,7 +335,10 @@ mod tests {
     fn boolean_connectives_and_precedence() {
         assert_eq!(
             parse("a & b | c").unwrap(),
-            Formula::or(Formula::and(Formula::atom("a"), Formula::atom("b")), Formula::atom("c"))
+            Formula::or(
+                Formula::and(Formula::atom("a"), Formula::atom("b")),
+                Formula::atom("c")
+            )
         );
         assert_eq!(
             parse("a -> b -> c").unwrap(),
@@ -362,7 +365,11 @@ mod tests {
         );
         assert_eq!(
             parse("a U[0,8) b").unwrap(),
-            Formula::until(Formula::atom("a"), Interval::bounded(0, 8), Formula::atom("b"))
+            Formula::until(
+                Formula::atom("a"),
+                Interval::bounded(0, 8),
+                Formula::atom("b")
+            )
         );
         assert_eq!(
             parse("F[1,inf) p").unwrap(),
@@ -390,7 +397,9 @@ mod tests {
         assert_eq!(fig4.temporal_operator_count(), 2);
         let phi2 = parse("G (Train[1].Appr -> (Gate.Occ U Train[1].Cross))").unwrap();
         assert_eq!(phi2.temporal_depth(), 2);
-        let liveness = parse("F[0,500) ban.premium_deposited(alice) & F[0,1000) apr.premium_deposited(bob)").unwrap();
+        let liveness =
+            parse("F[0,500) ban.premium_deposited(alice) & F[0,1000) apr.premium_deposited(bob)")
+                .unwrap();
         assert_eq!(liveness.atoms().len(), 2);
     }
 

@@ -22,9 +22,16 @@
 //! which is also where the next segment starts because segments overlap by
 //! construction, Sec. V-C). [`progress`] takes that anchor explicitly as
 //! `next_base`, and [`progress_default`] uses the segment's last timestamp.
+//!
+//! ## Implementation
+//!
+//! The functions here are thin wrappers over the hash-consed progression
+//! engine of [`crate::Interner`]: the formula is interned, progressed through
+//! the arena's canonicalising smart constructors, and resolved back to a
+//! plain [`Formula`]. Long-lived callers that progress many formulas (the
+//! solver) keep their own [`Interner`] and skip the conversion entirely.
 
-use crate::simplify as s;
-use crate::{Formula, TimedTrace};
+use crate::{Formula, Interner, TimedTrace};
 
 /// Progresses `phi` over the observed segment `trace`, anchoring residual
 /// obligations at time `next_base` (the start time of the next segment).
@@ -64,7 +71,10 @@ pub fn progress(trace: &TimedTrace, phi: &Formula, next_base: u64) -> Formula {
     if trace.is_empty() {
         return phi.clone();
     }
-    progress_at(trace, 0, phi, next_base)
+    let mut interner = Interner::new();
+    let id = interner.intern(phi);
+    let progressed = interner.progress(trace, id, next_base);
+    interner.resolve(progressed)
 }
 
 /// Progresses `phi` over `trace`, anchoring residuals at the segment's last
@@ -88,155 +98,10 @@ pub fn progress_gap(phi: &Formula, elapsed: u64) -> Formula {
     if elapsed == 0 {
         return phi.clone();
     }
-    match phi {
-        Formula::True | Formula::False | Formula::Atom(_) => phi.clone(),
-        Formula::Not(a) => s::not(progress_gap(a, elapsed)),
-        Formula::And(a, b) => s::and(progress_gap(a, elapsed), progress_gap(b, elapsed)),
-        Formula::Or(a, b) => s::or(progress_gap(a, elapsed), progress_gap(b, elapsed)),
-        Formula::Implies(a, b) => s::implies(progress_gap(a, elapsed), progress_gap(b, elapsed)),
-        Formula::Eventually(i, a) => {
-            if i.elapsed_by(elapsed) {
-                Formula::False
-            } else {
-                s::eventually(i.shift_down(elapsed), a.as_ref().clone())
-            }
-        }
-        Formula::Always(i, a) => {
-            if i.elapsed_by(elapsed) {
-                Formula::True
-            } else {
-                s::always(i.shift_down(elapsed), a.as_ref().clone())
-            }
-        }
-        Formula::Until(a, i, b) => {
-            if i.elapsed_by(elapsed) {
-                Formula::False
-            } else {
-                s::until(a.as_ref().clone(), i.shift_down(elapsed), b.as_ref().clone())
-            }
-        }
-    }
-}
-
-/// Progresses `phi` anchored at position `i` of the segment (the paper's
-/// `Pr(αⁱ, τ̄ⁱ, φ)`).
-fn progress_at(trace: &TimedTrace, i: usize, phi: &Formula, next_base: u64) -> Formula {
-    let n = trace.len();
-    debug_assert!(i < n, "progress_at called past the end of the segment");
-    match phi {
-        Formula::True => Formula::True,
-        Formula::False => Formula::False,
-        // Base case: an atomic proposition is resolved against the first state
-        // of the (suffix of the) segment.
-        Formula::Atom(p) => {
-            if trace.state(i).holds_prop(p) {
-                Formula::True
-            } else {
-                Formula::False
-            }
-        }
-        Formula::Not(a) => s::not(progress_at(trace, i, a, next_base)),
-        Formula::And(a, b) => s::and(
-            progress_at(trace, i, a, next_base),
-            progress_at(trace, i, b, next_base),
-        ),
-        Formula::Or(a, b) => s::or(
-            progress_at(trace, i, a, next_base),
-            progress_at(trace, i, b, next_base),
-        ),
-        Formula::Implies(a, b) => s::implies(
-            progress_at(trace, i, a, next_base),
-            progress_at(trace, i, b, next_base),
-        ),
-        // Algorithm 2 (Eventually): a disjunction over the in-interval
-        // positions of the segment, plus a residual obligation if the interval
-        // extends beyond the segment.
-        Formula::Eventually(interval, a) => {
-            let base = trace.time(i);
-            let elapsed = next_base.saturating_sub(base);
-            let observed = s::or_all((i..n).filter_map(|j| {
-                if interval.contains(trace.time(j) - base) {
-                    Some(progress_at(trace, j, a, next_base))
-                } else {
-                    None
-                }
-            }));
-            if interval.elapsed_by(elapsed) {
-                observed
-            } else {
-                s::or(
-                    observed,
-                    s::eventually(interval.shift_down(elapsed), a.as_ref().clone()),
-                )
-            }
-        }
-        // Algorithm 1 (Always): a conjunction over the in-interval positions,
-        // plus a residual obligation if the interval extends beyond the
-        // segment.
-        Formula::Always(interval, a) => {
-            let base = trace.time(i);
-            let elapsed = next_base.saturating_sub(base);
-            let observed = s::and_all((i..n).filter_map(|j| {
-                if interval.contains(trace.time(j) - base) {
-                    Some(progress_at(trace, j, a, next_base))
-                } else {
-                    None
-                }
-            }));
-            if interval.elapsed_by(elapsed) {
-                observed
-            } else {
-                s::and(
-                    observed,
-                    s::always(interval.shift_down(elapsed), a.as_ref().clone()),
-                )
-            }
-        }
-        // Algorithm 3 (Until).
-        Formula::Until(a, interval, b) => {
-            let base = trace.time(i);
-            let elapsed = next_base.saturating_sub(base);
-            // A: φ1 must hold at every position strictly before the interval
-            // opens (any witness, observed or future, lies after them).
-            let pre = s::and_all((i..n).filter_map(|j| {
-                if trace.time(j) - base < interval.start() {
-                    Some(progress_at(trace, j, a, next_base))
-                } else {
-                    None
-                }
-            }));
-            // B: some observed position within the interval is a witness for
-            // φ2, with φ1 holding at every earlier position of the segment.
-            let observed_witness = s::or_all((i..n).filter_map(|j| {
-                if interval.contains(trace.time(j) - base) {
-                    let up_to_j = s::and_all(
-                        (i..j).map(|k| progress_at(trace, k, a, next_base)),
-                    );
-                    Some(s::and(up_to_j, progress_at(trace, j, b, next_base)))
-                } else {
-                    None
-                }
-            }));
-            // Residual: the witness lies beyond the segment, which requires φ1
-            // to hold at every observed position and the until obligation to
-            // carry over with a shrunk interval.
-            let future_witness = if interval.elapsed_by(elapsed) {
-                Formula::False
-            } else {
-                let all_a =
-                    s::and_all((i..n).map(|k| progress_at(trace, k, a, next_base)));
-                s::and(
-                    all_a,
-                    s::until(
-                        a.as_ref().clone(),
-                        interval.shift_down(elapsed),
-                        b.as_ref().clone(),
-                    ),
-                )
-            };
-            s::and(pre, s::or(observed_witness, future_witness))
-        }
-    }
+    let mut interner = Interner::new();
+    let id = interner.intern(phi);
+    let progressed = interner.progress_gap(id, elapsed);
+    interner.resolve(progressed)
 }
 
 #[cfg(test)]
@@ -288,7 +153,8 @@ mod tests {
         let t = tr(vec![state![], state![]], vec![0, 2]);
         let phi = Formula::eventually(Interval::bounded(0, 2), Formula::atom("p"));
         assert_eq!(progress(&t, &phi, 5), Formula::False);
-        let phi_sat = Formula::eventually(Interval::bounded(0, 2), Formula::not(Formula::atom("p")));
+        let phi_sat =
+            Formula::eventually(Interval::bounded(0, 2), Formula::not(Formula::atom("p")));
         assert_eq!(progress(&t, &phi_sat, 5), Formula::True);
     }
 
@@ -318,7 +184,10 @@ mod tests {
         let not_bob = Formula::not(Formula::atom("Apr.Redeem(bob)"));
         let alice = Formula::atom("Ban.Redeem(alice)");
         let phi = Formula::until(not_bob.clone(), Interval::bounded(0, 8), alice.clone());
-        let seg1 = tr(vec![state![], state![], state![], state![]], vec![1, 1, 3, 4]);
+        let seg1 = tr(
+            vec![state![], state![], state![], state![]],
+            vec![1, 1, 3, 4],
+        );
         assert_eq!(
             progress(&seg1, &phi, 5),
             Formula::until(not_bob.clone(), Interval::bounded(0, 4), alice.clone())
@@ -333,7 +202,10 @@ mod tests {
     fn until_witness_in_segment_resolves_to_true() {
         let not_bob = Formula::not(Formula::atom("bob"));
         let phi = Formula::until(not_bob, Interval::bounded(0, 8), Formula::atom("alice"));
-        let seg = tr(vec![state![], state!["alice"], state!["bob"]], vec![0, 3, 5]);
+        let seg = tr(
+            vec![state![], state!["alice"], state!["bob"]],
+            vec![0, 3, 5],
+        );
         assert_eq!(progress(&seg, &phi, 6), Formula::True);
     }
 
@@ -400,14 +272,31 @@ mod tests {
         // of deterministic cases (the property test in tests/ covers random
         // cases).
         let full = tr(
-            vec![state!["a"], state!["a"], state!["b"], state![], state!["a", "b"]],
+            vec![
+                state!["a"],
+                state!["a"],
+                state!["b"],
+                state![],
+                state!["a", "b"],
+            ],
             vec![0, 2, 3, 5, 8],
         );
         let formulas = vec![
             Formula::eventually(Interval::bounded(0, 6), Formula::atom("b")),
-            Formula::always(Interval::bounded(0, 9), Formula::or(Formula::atom("a"), Formula::atom("b"))),
-            Formula::until(Formula::atom("a"), Interval::bounded(0, 4), Formula::atom("b")),
-            Formula::until(Formula::atom("a"), Interval::bounded(2, 9), Formula::atom("b")),
+            Formula::always(
+                Interval::bounded(0, 9),
+                Formula::or(Formula::atom("a"), Formula::atom("b")),
+            ),
+            Formula::until(
+                Formula::atom("a"),
+                Interval::bounded(0, 4),
+                Formula::atom("b"),
+            ),
+            Formula::until(
+                Formula::atom("a"),
+                Interval::bounded(2, 9),
+                Formula::atom("b"),
+            ),
             Formula::implies(
                 Formula::atom("a"),
                 Formula::eventually(Interval::bounded(0, 10), Formula::atom("b")),
@@ -432,7 +321,10 @@ mod tests {
     fn gap_progression_shrinks_outer_intervals_only() {
         let phi = Formula::implies(
             Formula::atom("start"),
-            Formula::eventually(Interval::bounded(0, 10), Formula::always(Interval::bounded(0, 3), Formula::atom("p"))),
+            Formula::eventually(
+                Interval::bounded(0, 10),
+                Formula::always(Interval::bounded(0, 3), Formula::atom("p")),
+            ),
         );
         let shifted = super::progress_gap(&phi, 4);
         assert_eq!(
@@ -452,7 +344,11 @@ mod tests {
     fn gap_progression_resolves_elapsed_intervals() {
         let ev = Formula::eventually(Interval::bounded(0, 3), Formula::atom("p"));
         let al = Formula::always(Interval::bounded(0, 3), Formula::atom("p"));
-        let un = Formula::until(Formula::atom("a"), Interval::bounded(2, 3), Formula::atom("b"));
+        let un = Formula::until(
+            Formula::atom("a"),
+            Interval::bounded(2, 3),
+            Formula::atom("b"),
+        );
         assert_eq!(super::progress_gap(&ev, 5), Formula::False);
         assert_eq!(super::progress_gap(&al, 5), Formula::True);
         assert_eq!(super::progress_gap(&un, 5), Formula::False);
@@ -463,10 +359,7 @@ mod tests {
         // Splitting a trace and accounting for the idle time between the
         // anchor and the first observation of the suffix must agree with
         // direct evaluation.
-        let full = tr(
-            vec![state!["a"], state![], state!["b"]],
-            vec![0, 2, 7],
-        );
+        let full = tr(vec![state!["a"], state![], state!["b"]], vec![0, 2, 7]);
         let phi = Formula::eventually(Interval::bounded(0, 9), Formula::atom("b"));
         let prefix = full.prefix(2);
         let suffix = full.suffix(2);

@@ -28,16 +28,11 @@ use std::collections::BTreeSet;
 /// assert_eq!(simplify(&phi), Formula::atom("a"));
 /// ```
 pub fn simplify(phi: &Formula) -> Formula {
-    match phi {
-        Formula::True | Formula::False | Formula::Atom(_) => phi.clone(),
-        Formula::Not(a) => not(simplify(a)),
-        Formula::And(a, b) => and(simplify(a), simplify(b)),
-        Formula::Or(a, b) => or(simplify(a), simplify(b)),
-        Formula::Implies(a, b) => implies(simplify(a), simplify(b)),
-        Formula::Until(a, i, b) => until(simplify(a), *i, simplify(b)),
-        Formula::Eventually(i, a) => eventually(*i, simplify(a)),
-        Formula::Always(i, a) => always(*i, simplify(a)),
-    }
+    // Interning applies exactly these rewrites through the arena's smart
+    // constructors; resolving rebuilds the canonical tree.
+    let mut interner = crate::Interner::new();
+    let id = interner.intern(phi);
+    interner.resolve(id)
 }
 
 /// Smart negation: folds constants and removes double negations.
@@ -243,10 +238,7 @@ mod tests {
         let i = Interval::bounded(0, 5);
         assert_eq!(eventually(i, Formula::False), Formula::False);
         assert_eq!(always(i, Formula::True), Formula::True);
-        assert_eq!(
-            until(Formula::atom("a"), i, Formula::False),
-            Formula::False
-        );
+        assert_eq!(until(Formula::atom("a"), i, Formula::False), Formula::False);
     }
 
     #[test]
@@ -258,14 +250,24 @@ mod tests {
         .unwrap();
         let i = Interval::bounded(0, 5);
         let samples = vec![
-            Formula::and(Formula::atom("a"), Formula::and(Formula::True, Formula::atom("a"))),
-            Formula::or(Formula::not(Formula::not(Formula::atom("b"))), Formula::False),
+            Formula::and(
+                Formula::atom("a"),
+                Formula::and(Formula::True, Formula::atom("a")),
+            ),
+            Formula::or(
+                Formula::not(Formula::not(Formula::atom("b"))),
+                Formula::False,
+            ),
             Formula::implies(Formula::atom("a"), Formula::atom("a")),
             Formula::and(
                 Formula::eventually(i, Formula::atom("b")),
                 Formula::always(Interval::bounded(2, 2), Formula::atom("z")),
             ),
-            Formula::until(Formula::atom("a"), i, Formula::or(Formula::atom("b"), Formula::False)),
+            Formula::until(
+                Formula::atom("a"),
+                i,
+                Formula::or(Formula::atom("b"), Formula::False),
+            ),
         ];
         for phi in samples {
             let simplified = simplify(&phi);

@@ -4,7 +4,6 @@
 //! states with a sequence of timestamps (see [`crate::TimedTrace`]).
 
 use crate::Prop;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -20,7 +19,7 @@ use std::fmt;
 /// assert!(!s.holds("c"));
 /// assert_eq!(s.len(), 2);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct State {
     props: BTreeSet<Prop>,
 }

@@ -1,0 +1,142 @@
+//! Deterministic random-case generators shared by the workspace's property
+//! tests (the offline stand-in for `proptest` strategies).
+//!
+//! Every suite that needs random states, traces, intervals or formulas pulls
+//! them from here instead of re-implementing the recursion, so generator
+//! tweaks (biases, new [`Formula`] variants) land in one place. Generation is
+//! a pure function of the seeded [`StdRng`], keeping failures reproducible.
+
+use crate::{Formula, Interval, State, TimedTrace};
+use rvmtl_prng::StdRng;
+
+/// The proposition alphabet used across the property tests.
+pub const PROPS: [&str; 3] = ["p", "q", "r"];
+
+/// Tuning knobs for [`gen_formula`] / [`gen_interval`]. `Default` matches the
+/// MTL-layer property tests; the solver/monitor differential suites shrink
+/// the interval bounds to keep their brute-force oracles tractable.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Maximum operator nesting depth.
+    pub max_depth: usize,
+    /// Interval start is drawn from `0..interval_start_max`.
+    pub interval_start_max: u64,
+    /// Interval length is drawn from `1..interval_len_max`.
+    pub interval_len_max: u64,
+    /// Whether intervals may be unbounded (`[s, ∞)`).
+    pub unbounded_intervals: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_depth: 3,
+            interval_start_max: 6,
+            interval_len_max: 10,
+            unbounded_intervals: true,
+        }
+    }
+}
+
+/// A random state over [`PROPS`] (each proposition holds with probability ½).
+pub fn gen_state(rng: &mut StdRng) -> State {
+    PROPS.iter().filter(|_| rng.gen_bool()).copied().collect()
+}
+
+/// A random non-empty timed trace of up to `max_len` observations with
+/// non-decreasing timestamps (gaps of 0–3 time units).
+pub fn gen_trace(rng: &mut StdRng, max_len: usize) -> TimedTrace {
+    let len = rng.gen_range(1usize..max_len + 1);
+    let mut trace = TimedTrace::empty();
+    let mut t = 0;
+    for _ in 0..len {
+        t += rng.gen_range(0u64..4);
+        trace
+            .push(gen_state(rng), t)
+            .expect("monotone by construction");
+    }
+    trace
+}
+
+/// A random interval within the configured bounds.
+pub fn gen_interval(rng: &mut StdRng, cfg: &GenConfig) -> Interval {
+    let start = rng.gen_range(0u64..cfg.interval_start_max);
+    if cfg.unbounded_intervals && rng.gen_bool() {
+        Interval::unbounded(start)
+    } else {
+        Interval::bounded(start, start + rng.gen_range(1u64..cfg.interval_len_max))
+    }
+}
+
+/// A random formula over [`PROPS`] with at most `cfg.max_depth` nested
+/// operators, covering every [`Formula`] constructor.
+pub fn gen_formula(rng: &mut StdRng, cfg: &GenConfig) -> Formula {
+    gen_formula_at(rng, cfg, cfg.max_depth)
+}
+
+fn gen_formula_at(rng: &mut StdRng, cfg: &GenConfig, depth: usize) -> Formula {
+    if depth == 0 || rng.gen_range(0u32..4) == 0 {
+        return match rng.gen_range(0u32..5) {
+            0 => Formula::True,
+            1 => Formula::False,
+            _ => Formula::atom(PROPS[rng.gen_range(0usize..PROPS.len())]),
+        };
+    }
+    match rng.gen_range(0u32..7) {
+        0 => Formula::not(gen_formula_at(rng, cfg, depth - 1)),
+        1 => Formula::and(
+            gen_formula_at(rng, cfg, depth - 1),
+            gen_formula_at(rng, cfg, depth - 1),
+        ),
+        2 => Formula::or(
+            gen_formula_at(rng, cfg, depth - 1),
+            gen_formula_at(rng, cfg, depth - 1),
+        ),
+        3 => Formula::implies(
+            gen_formula_at(rng, cfg, depth - 1),
+            gen_formula_at(rng, cfg, depth - 1),
+        ),
+        4 => Formula::eventually(gen_interval(rng, cfg), gen_formula_at(rng, cfg, depth - 1)),
+        5 => Formula::always(gen_interval(rng, cfg), gen_formula_at(rng, cfg, depth - 1)),
+        _ => Formula::until(
+            gen_formula_at(rng, cfg, depth - 1),
+            gen_interval(rng, cfg),
+            gen_formula_at(rng, cfg, depth - 1),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GenConfig::default();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert_eq!(gen_formula(&mut a, &cfg), gen_formula(&mut b, &cfg));
+        }
+    }
+
+    #[test]
+    fn depth_and_interval_bounds_are_respected() {
+        let cfg = GenConfig {
+            max_depth: 2,
+            interval_start_max: 4,
+            interval_len_max: 8,
+            unbounded_intervals: false,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let phi = gen_formula(&mut rng, &cfg);
+            assert!(phi.temporal_depth() <= 2);
+            assert!(phi.max_horizon().unwrap_or(0) <= 11); // start < 4, len < 8
+            let i = gen_interval(&mut rng, &cfg);
+            assert!(!i.is_unbounded());
+            let trace = gen_trace(&mut rng, 8);
+            assert!(!trace.is_empty() && trace.len() <= 8);
+        }
+    }
+}

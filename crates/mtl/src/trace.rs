@@ -2,7 +2,6 @@
 //! timestamps, i.e. an element of `(Σ*, Z*≥0)` from the paper.
 
 use crate::State;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Error returned when constructing an ill-formed [`TimedTrace`].
@@ -67,7 +66,7 @@ impl std::error::Error for TraceError {}
 /// assert_eq!(trace.duration(), 3);
 /// # Ok::<(), rvmtl_mtl::TraceError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct TimedTrace {
     states: Vec<State>,
     times: Vec<u64>,
@@ -109,9 +108,7 @@ impl TimedTrace {
     /// # Errors
     ///
     /// Returns an error if timestamps decrease.
-    pub fn from_pairs(
-        pairs: impl IntoIterator<Item = (State, u64)>,
-    ) -> Result<Self, TraceError> {
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (State, u64)>) -> Result<Self, TraceError> {
         let (states, times): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
         TimedTrace::new(states, times)
     }
@@ -135,6 +132,16 @@ impl TimedTrace {
         self.states.push(state);
         self.times.push(time);
         Ok(())
+    }
+
+    /// Removes and returns the last observation, or `None` for an empty
+    /// trace. The O(1) inverse of [`TimedTrace::push`], used by backtracking
+    /// enumerators.
+    pub fn pop(&mut self) -> Option<(State, u64)> {
+        match (self.states.pop(), self.times.pop()) {
+            (Some(s), Some(t)) => Some((s, t)),
+            _ => None,
+        }
     }
 
     /// Number of observations in the trace.
@@ -317,6 +324,20 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.last_time(), Some(2));
         assert_eq!(t.suffix(4).len(), 0);
+    }
+
+    #[test]
+    fn pop_inverts_push() {
+        let mut t = sample();
+        let popped = t.pop().unwrap();
+        assert_eq!(popped.1, 3);
+        assert!(popped.0.holds("r"));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.last_time(), Some(3));
+        t.push(popped.0, popped.1).unwrap();
+        assert_eq!(t, sample());
+        let mut empty = TimedTrace::empty();
+        assert_eq!(empty.pop(), None);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! Property tests for the hash-consed formula interner (seeded local PRNG,
+//! shared case generators in [`rvmtl_mtl::testgen`]): interning must preserve
+//! the structural equality, ordering and semantics of [`Formula`], and the
+//! arena must actually cons — structurally equal formulas share one id.
+
+use rvmtl_mtl::testgen::{gen_formula, gen_state, gen_trace, GenConfig};
+use rvmtl_mtl::{evaluate, simplify, Formula, Interner, TimedTrace};
+use rvmtl_prng::StdRng;
+
+const CASES: usize = 256;
+
+fn gen_phi(rng: &mut StdRng) -> Formula {
+    gen_formula(rng, &GenConfig::default())
+}
+
+/// Intern → resolve is exactly `simplify`: the canonical tree survives the
+/// round trip syntactically.
+#[test]
+fn intern_resolve_roundtrips_to_simplify() {
+    let mut rng = StdRng::seed_from_u64(0x1067);
+    let mut interner = Interner::new();
+    for _ in 0..CASES {
+        let phi = gen_phi(&mut rng);
+        let id = interner.intern(&phi);
+        assert_eq!(interner.resolve(id), simplify(&phi), "phi = {phi}");
+    }
+}
+
+/// Id equality coincides with structural equality of the canonical forms:
+/// `intern(φ) == intern(ψ)` iff `simplify(φ) == simplify(ψ)`.
+#[test]
+fn id_equality_is_structural_equality() {
+    let mut rng = StdRng::seed_from_u64(0xEC41);
+    let mut interner = Interner::new();
+    for _ in 0..CASES {
+        let phi = gen_phi(&mut rng);
+        let psi = gen_phi(&mut rng);
+        let phi_id = interner.intern(&phi);
+        let psi_id = interner.intern(&psi);
+        assert_eq!(
+            phi_id == psi_id,
+            simplify(&phi) == simplify(&psi),
+            "phi = {phi}, psi = {psi}"
+        );
+        // Hash-consing: re-interning an already canonical formula is a no-op
+        // on the arena and yields the same id.
+        let before = interner.len();
+        assert_eq!(interner.intern(&phi), phi_id);
+        assert_eq!(interner.len(), before);
+    }
+}
+
+/// Resolving a set of interned formulas reproduces the structural ordering of
+/// the simplified originals — the solver's `BTreeSet<Formula>` results are
+/// ordered identically whether or not the engine interned along the way.
+#[test]
+fn resolution_preserves_structural_ordering() {
+    let mut rng = StdRng::seed_from_u64(0x04D3);
+    for _ in 0..CASES / 8 {
+        let mut interner = Interner::new();
+        let formulas: Vec<Formula> = (0..8).map(|_| gen_phi(&mut rng)).collect();
+        let ids: Vec<_> = formulas.iter().map(|phi| interner.intern(phi)).collect();
+        let via_interner: std::collections::BTreeSet<Formula> =
+            ids.iter().map(|&id| interner.resolve(id)).collect();
+        let via_simplify: std::collections::BTreeSet<Formula> =
+            formulas.iter().map(simplify).collect();
+        assert_eq!(via_interner, via_simplify);
+        // Pairwise comparisons agree as well (ordering, not just set shape).
+        let resolved: Vec<Formula> = formulas
+            .iter()
+            .map(|phi| {
+                let id = interner.intern(phi);
+                interner.resolve(id)
+            })
+            .collect();
+        for i in 0..formulas.len() {
+            for j in 0..formulas.len() {
+                assert_eq!(
+                    resolved[i].cmp(&resolved[j]),
+                    simplify(&formulas[i]).cmp(&simplify(&formulas[j])),
+                    "i = {}, j = {}",
+                    formulas[i],
+                    formulas[j]
+                );
+            }
+        }
+    }
+}
+
+/// Canonicalisation through the interner never changes the finite-trace
+/// semantics.
+#[test]
+fn interning_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x5E4A);
+    let mut interner = Interner::new();
+    for _ in 0..CASES {
+        let phi = gen_phi(&mut rng);
+        let trace = gen_trace(&mut rng, 8);
+        let id = interner.intern(&phi);
+        let resolved = interner.resolve(id);
+        assert_eq!(
+            evaluate(&trace, &phi),
+            evaluate(&trace, &resolved),
+            "phi = {phi}, resolved = {resolved}"
+        );
+    }
+}
+
+/// The interned single-observation progression agrees with the general
+/// segment progression on one-element traces for random formulas.
+#[test]
+fn progress_one_agrees_with_progress() {
+    let mut rng = StdRng::seed_from_u64(0x9407);
+    let mut interner = Interner::new();
+    for _ in 0..CASES {
+        let phi = gen_phi(&mut rng);
+        let state = gen_state(&mut rng);
+        let time = rng.gen_range(0u64..6);
+        let next = time + rng.gen_range(0u64..8);
+        let id = interner.intern(&phi);
+        let one = interner.progress_one(&state, time, id, next);
+        let trace = TimedTrace::new(vec![state.clone()], vec![time]).unwrap();
+        let full = interner.progress(&trace, id, next);
+        assert_eq!(
+            one, full,
+            "phi = {phi}, state = {state}, t = {time}, next = {next}"
+        );
+    }
+}
+
+/// The interned gap progression agrees with the `Formula`-level one.
+#[test]
+fn progress_gap_agrees_with_formula_level() {
+    let mut rng = StdRng::seed_from_u64(0x6A90);
+    let mut interner = Interner::new();
+    for _ in 0..CASES {
+        let phi = gen_phi(&mut rng);
+        let elapsed = rng.gen_range(0u64..12);
+        let id = interner.intern(&phi);
+        let interned = interner.progress_gap(id, elapsed);
+        assert_eq!(
+            interner.resolve(interned),
+            rvmtl_mtl::progress_gap(&simplify(&phi), elapsed),
+            "phi = {phi}, elapsed = {elapsed}"
+        );
+    }
+}

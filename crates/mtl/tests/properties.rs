@@ -1,178 +1,152 @@
-//! Property-based tests for the MTL layer.
+//! Property-based tests for the MTL layer, driven by a deterministic local
+//! PRNG (the build environment is offline, so `proptest` is unavailable; each
+//! test runs a fixed number of seeded random cases instead). Case generators
+//! are shared across suites in [`rvmtl_mtl::testgen`].
 //!
 //! The central property is the defining equation of formula progression
 //! (Def. 3 of the paper): evaluating a formula on a full trace is the same as
 //! evaluating the progressed formula on the unobserved suffix.
 
-use proptest::prelude::*;
-use rvmtl_mtl::{evaluate, parse, progress, simplify, Formula, Interval, State, TimedTrace};
+use rvmtl_mtl::testgen::{gen_formula, gen_trace, GenConfig};
+use rvmtl_mtl::{evaluate, parse, progress, simplify, Formula, Interval};
+use rvmtl_prng::StdRng;
 
-const PROPS: [&str; 3] = ["p", "q", "r"];
+const CASES: usize = 256;
 
-fn arb_state() -> impl Strategy<Value = State> {
-    proptest::collection::vec(proptest::bool::ANY, PROPS.len()).prop_map(|bits| {
-        PROPS
-            .iter()
-            .zip(bits)
-            .filter(|(_, b)| *b)
-            .map(|(p, _)| *p)
-            .collect()
-    })
+fn gen_phi(rng: &mut StdRng) -> Formula {
+    gen_formula(rng, &GenConfig::default())
 }
 
-fn arb_trace(max_len: usize) -> impl Strategy<Value = TimedTrace> {
-    proptest::collection::vec((arb_state(), 0u64..4), 1..=max_len).prop_map(|steps| {
-        let mut trace = TimedTrace::empty();
-        let mut t = 0;
-        for (state, gap) in steps {
-            t += gap;
-            trace.push(state, t).expect("monotone by construction");
+/// Def. 3: (α.α′, τ̄.τ̄′) ⊨F φ  ⟺  (α′, τ̄′) ⊨F Pr(α, τ̄, φ) when the
+/// residuals are anchored at the suffix's first timestamp.
+#[test]
+fn progression_is_sound_and_complete() {
+    let mut rng = StdRng::seed_from_u64(0xDEF3);
+    for _ in 0..CASES {
+        let full = gen_trace(&mut rng, 8);
+        let phi = gen_phi(&mut rng);
+        if full.len() < 2 {
+            continue;
         }
-        trace
-    })
-}
-
-fn arb_interval() -> impl Strategy<Value = Interval> {
-    (0u64..6, 1u64..10, proptest::bool::ANY).prop_map(|(start, len, unbounded)| {
-        if unbounded {
-            Interval::unbounded(start)
-        } else {
-            Interval::bounded(start, start + len)
-        }
-    })
-}
-
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        Just(Formula::True),
-        Just(Formula::False),
-        (0..PROPS.len()).prop_map(|i| Formula::atom(PROPS[i])),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Formula::not),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
-            (arb_interval(), inner.clone()).prop_map(|(i, a)| Formula::eventually(i, a)),
-            (arb_interval(), inner.clone()).prop_map(|(i, a)| Formula::always(i, a)),
-            (inner.clone(), arb_interval(), inner).prop_map(|(a, i, b)| Formula::until(a, i, b)),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Def. 3: (α.α′, τ̄.τ̄′) ⊨F φ  ⟺  (α′, τ̄′) ⊨F Pr(α, τ̄, φ) when the
-    /// residuals are anchored at the suffix's first timestamp.
-    #[test]
-    fn progression_is_sound_and_complete(
-        full in arb_trace(8),
-        phi in arb_formula(),
-        split_frac in 0.0f64..1.0,
-    ) {
-        let split = 1 + ((full.len() - 1) as f64 * split_frac) as usize;
-        prop_assume!(split < full.len());
+        let split = rng.gen_range(1usize..full.len());
         let prefix = full.prefix(split);
         let suffix = full.suffix(split);
         let anchor = suffix.first_time().unwrap();
         let rewritten = progress(&prefix, &phi, anchor);
-        prop_assert_eq!(
+        assert_eq!(
             evaluate(&full, &phi),
             evaluate(&suffix, &rewritten),
-            "phi = {}, rewritten = {}, prefix = {}, suffix = {}",
-            phi, rewritten, prefix, suffix
+            "phi = {phi}, rewritten = {rewritten}, prefix = {prefix}, suffix = {suffix}"
         );
     }
+}
 
-    /// Progressing over the whole trace with the residual anchored past the
-    /// last timestamp yields a constant verdict for formulas whose temporal
-    /// horizon is bounded, and that verdict agrees with direct evaluation
-    /// whenever it is constant.
-    #[test]
-    fn progression_over_full_trace_agrees_with_evaluation(
-        trace in arb_trace(8),
-        phi in arb_formula(),
-    ) {
+/// Progressing over the whole trace with the residual anchored past the last
+/// timestamp yields a constant verdict for formulas whose temporal horizon is
+/// bounded, and that verdict agrees with direct evaluation when constant.
+#[test]
+fn progression_over_full_trace_agrees_with_evaluation() {
+    let mut rng = StdRng::seed_from_u64(0xF0F0);
+    for _ in 0..CASES {
+        let trace = gen_trace(&mut rng, 8);
+        let phi = gen_phi(&mut rng);
         let anchor = trace.last_time().unwrap();
         let result = progress(&trace, &phi, anchor);
         if let Some(verdict) = result.as_bool() {
-            prop_assert_eq!(verdict, evaluate(&trace, &phi), "phi = {}", phi);
+            assert_eq!(verdict, evaluate(&trace, &phi), "phi = {phi}");
         }
     }
+}
 
-    /// Simplification preserves the finite-trace semantics.
-    #[test]
-    fn simplification_preserves_semantics(
-        trace in arb_trace(8),
-        phi in arb_formula(),
-    ) {
+/// Simplification preserves the finite-trace semantics and never grows the
+/// formula.
+#[test]
+fn simplification_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x51A1);
+    for _ in 0..CASES {
+        let trace = gen_trace(&mut rng, 8);
+        let phi = gen_phi(&mut rng);
         let simplified = simplify(&phi);
-        prop_assert_eq!(
+        assert_eq!(
             evaluate(&trace, &phi),
             evaluate(&trace, &simplified),
-            "phi = {}, simplified = {}", phi, simplified
+            "phi = {phi}, simplified = {simplified}"
         );
-        prop_assert!(simplified.size() <= phi.size());
+        assert!(simplified.size() <= phi.size());
     }
+}
 
-    /// Simplification is idempotent (canonical forms stay canonical).
-    #[test]
-    fn simplification_is_idempotent(phi in arb_formula()) {
+/// Simplification is idempotent (canonical forms stay canonical).
+#[test]
+fn simplification_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0x1DE4);
+    for _ in 0..CASES {
+        let phi = gen_phi(&mut rng);
         let once = simplify(&phi);
         let twice = simplify(&once);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "phi = {phi}");
     }
+}
 
-    /// The core-grammar translation (∧, →, ◇, □ eliminated) preserves the
-    /// finite-trace semantics.
-    #[test]
-    fn core_translation_preserves_semantics(
-        trace in arb_trace(6),
-        phi in arb_formula(),
-    ) {
-        prop_assert_eq!(evaluate(&trace, &phi), evaluate(&trace, &phi.to_core()));
+/// The core-grammar translation (∧, →, ◇, □ eliminated) preserves the
+/// finite-trace semantics.
+#[test]
+fn core_translation_preserves_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xC04E);
+    for _ in 0..CASES {
+        let trace = gen_trace(&mut rng, 6);
+        let phi = gen_phi(&mut rng);
+        assert_eq!(
+            evaluate(&trace, &phi),
+            evaluate(&trace, &phi.to_core()),
+            "phi = {phi}"
+        );
     }
+}
 
-    /// Display → parse round-trips syntactically.
-    #[test]
-    fn display_parse_roundtrip(phi in arb_formula()) {
+/// Display → parse round-trips syntactically.
+#[test]
+fn display_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x9A45);
+    for _ in 0..CASES {
+        let phi = gen_phi(&mut rng);
         let text = phi.to_string();
         let reparsed = parse(&text).unwrap();
-        prop_assert_eq!(phi, reparsed, "text = {}", text);
+        assert_eq!(phi, reparsed, "text = {text}");
     }
+}
 
-    /// Interval algebra: shifting down never grows the interval, and
-    /// membership after shifting corresponds to membership before.
-    #[test]
-    fn interval_shift_down_membership(
-        start in 0u64..20,
-        len in 0u64..20,
-        delay in 0u64..30,
-        t in 0u64..60,
-    ) {
+/// Interval algebra: membership after shifting down corresponds to membership
+/// before.
+#[test]
+fn interval_shift_down_membership() {
+    let mut rng = StdRng::seed_from_u64(0x1247);
+    for _ in 0..CASES {
+        let start = rng.gen_range(0u64..20);
+        let len = rng.gen_range(0u64..20);
+        let delay = rng.gen_range(0u64..30);
+        let t = rng.gen_range(0u64..60);
         let i = Interval::bounded(start, start + len);
         let shifted = i.shift_down(delay);
-        // Points reachable in the future (t ≥ 0 after the delay) correspond.
         if i.contains(t + delay) {
-            prop_assert!(shifted.contains(t));
+            assert!(shifted.contains(t));
         }
         if shifted.contains(t) && t + delay >= start {
-            prop_assert!(i.contains(t + delay) || i.start() > t + delay);
+            assert!(i.contains(t + delay) || i.start() > t + delay);
         }
     }
+}
 
-    /// Evaluation at a later position only depends on the suffix.
-    #[test]
-    fn evaluation_is_suffix_local(
-        trace in arb_trace(8),
-        phi in arb_formula(),
-        idx_frac in 0.0f64..1.0,
-    ) {
-        let i = ((trace.len() - 1) as f64 * idx_frac) as usize;
+/// Evaluation at a later position only depends on the suffix.
+#[test]
+fn evaluation_is_suffix_local() {
+    let mut rng = StdRng::seed_from_u64(0x5FF1);
+    for _ in 0..CASES {
+        let trace = gen_trace(&mut rng, 8);
+        let phi = gen_phi(&mut rng);
+        let i = rng.gen_range(0usize..trace.len());
         let suffix = trace.suffix(i);
-        prop_assert_eq!(
+        assert_eq!(
             rvmtl_mtl::evaluate_at(&trace, i, &phi),
             evaluate(&suffix, &phi)
         );

@@ -16,6 +16,51 @@
 //! The engine is exact: its verdict sets coincide with brute-force
 //! enumeration of all traces (`rvmtl_distrib::all_verdicts`), which is
 //! verified by differential and property-based tests.
+//!
+//! # Engine design: memo keys and the formula interner
+//!
+//! The search is a DFS over `(cut, pending time, pending formula)` nodes; the
+//! memo table is consulted once per node visit, so the cost of building and
+//! hashing the key — and of taking a progression step — *is* the cost of the
+//! solver. Three representation choices keep all of it O(1)-shaped:
+//!
+//! 1. **Formulas are hash-consed** in an [`rvmtl_mtl::Interner`] owned by the
+//!    engine for the lifetime of one query. Every distinct canonical formula
+//!    is stored once and named by a 4-byte [`rvmtl_mtl::FormulaId`]; clone is
+//!    a copy, equality is an integer compare, and the id doubles as a perfect
+//!    hash. Progression steps run inside the arena
+//!    ([`rvmtl_mtl::Interner::progress_one`] /
+//!    [`rvmtl_mtl::Interner::progress_gap`]) and the arena's smart
+//!    constructors canonicalise on the fly, so simplification-equivalent
+//!    rewrites deduplicate by construction — the memo never sees two names
+//!    for the same pending obligation.
+//!
+//! 2. **Cuts are ranked into a `u128`.** A cut of a fixed computation is a
+//!    vector of per-process event counts; the engine assigns each process a
+//!    mixed-radix stride (`stride[p] = Π_{q<p} (n_q + 1)`) and identifies the
+//!    cut with `Σ counts[p]·stride[p]` — a bijection onto `0..Π(n_p+1)`.
+//!    Extending a cut by one event of process `p` is `rank + stride[p]`, so
+//!    ranks are maintained incrementally and no per-node `Vec` key is ever
+//!    materialised. When the lattice exceeds `u128::MAX` points (hundreds of
+//!    mostly-idle processes), ranking falls back to interning the count
+//!    vectors of the cuts actually visited, which stay dense. The memo key is
+//!    the packed triple `(u128 cut rank, u64 pending time, FormulaId)` hashed
+//!    with the Fx multiply-xor hasher ([`rvmtl_mtl::hashing`]).
+//!
+//! 3. **Single-pass accumulation.** Each node's result set (the distinct
+//!    rewritten formulas reachable below it) is assembled while its children
+//!    are explored for the first time: every recursive call receives the
+//!    parent's sink and deposits its contribution directly. Progression
+//!    (`step`) therefore runs exactly once per `(node, event, t)` edge —
+//!    there is no second "re-derive by re-walking children" pass — and a node
+//!    abandoned by an early stop (solution limit, verdict witness) caches
+//!    nothing, keeping the memo free of partial sets. Per-cut derived data
+//!    (`enabled()`, `frontier_state()`) is cached by cut rank and shared by
+//!    all formulas and time assignments passing through the cut.
+//!
+//! The search-shape counters ([`SolverStats`]) are pinned on a Fig. 3-style
+//! scenario in `tests/regression.rs`; `BENCH_1.json` at the repository root
+//! tracks the resulting throughput on the Fig. 5a workload.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

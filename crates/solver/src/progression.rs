@@ -14,10 +14,37 @@
 //! (`Pr(α.α′, φ) ≡ Pr(α′, Pr(α, φ))`), the search returns the exact set of
 //! rewritten formulas (and hence verdicts) that the explicit enumeration of
 //! `Tr(E, ⇝)` would produce, without materialising the traces.
+//!
+//! # Hot-path design
+//!
+//! The search spends its entire budget on memo lookups and progression steps,
+//! so both are kept O(1)-shaped:
+//!
+//! * **Formulas are hash-consed.** The engine owns an [`Interner`] and carries
+//!   [`FormulaId`]s (4-byte copies with id-equality and id-hashing) instead of
+//!   `Formula` trees; progression steps go through
+//!   [`Interner::progress_one`] / [`Interner::progress_gap`].
+//! * **Cuts are ranked.** A cut is a vector of per-process counts; the engine
+//!   maps it to a single `u128` *rank* via mixed-radix strides
+//!   (`rank = Σ counts[p]·stride[p]`, `stride[p] = Π_{q<p}(n_q+1)`), updated
+//!   incrementally by `+stride[p]` when the search appends an event of
+//!   process `p`. The memo key is the packed `(u128, u64, FormulaId)` triple —
+//!   fixed-size, no allocation, O(1) hash/eq. Lattices too large even for
+//!   `u128` fall back to interning the count vectors of visited cuts (see
+//!   [`CutRanker`]).
+//! * **Single-pass accumulation.** Each node's contribution set is assembled
+//!   while its children are first explored (every child hands its results to
+//!   the parent's sink), so no second walk over the children — and no second
+//!   round of progression calls — is needed to populate the memo.
+//! * **Per-cut caches.** `cut.enabled()` and `cut.frontier_state()` are
+//!   computed once per cut rank and shared across all time steps and pending
+//!   formulas that visit the cut.
 
-use rvmtl_distrib::{Cut, DistributedComputation};
-use rvmtl_mtl::{evaluate, progress, progress_gap, Formula, TimedTrace};
-use std::collections::{BTreeSet, HashMap};
+use rvmtl_distrib::{Cut, DistributedComputation, EventId};
+use rvmtl_mtl::hashing::FxHashMap;
+use rvmtl_mtl::{evaluate, Formula, FormulaId, Interner, State, TimedTrace};
+use std::collections::BTreeSet;
+use std::rc::Rc;
 
 /// Counters describing the work performed by a query — useful for the
 /// scalability experiments and for regression-testing the memoisation.
@@ -97,21 +124,9 @@ impl<'a> ProgressionQuery<'a> {
     /// base time, returning every distinct rewritten formula the segment's
     /// traces can produce.
     pub fn distinct_progressions(&self, phi: &Formula) -> ProgressionResult {
-        let mut engine = Engine {
-            comp: self.comp,
-            next_anchor: self.next_anchor,
-            limit: self.limit,
-            memo: HashMap::new(),
-            feasibility: HashMap::new(),
-            stats: SolverStats::default(),
-            found: BTreeSet::new(),
-        };
-        let initial_cut = Cut::empty(self.comp.process_count());
-        engine.explore(&initial_cut, self.comp.base_time(), phi);
-        ProgressionResult {
-            formulas: engine.found,
-            stats: engine.stats,
-        }
+        let mut engine = Engine::new(self.comp, self.next_anchor, self.limit);
+        engine.run(phi, &mut |_, _| false);
+        engine.into_result()
     }
 }
 
@@ -141,117 +156,241 @@ pub fn possible_verdicts(comp: &DistributedComputation, phi: &Formula) -> BTreeS
 /// Returns `true` if some trace of the computation yields the verdict
 /// `target`; stops searching as soon as a witness is found.
 pub fn exists_verdict(comp: &DistributedComputation, phi: &Formula, target: bool) -> bool {
-    // Search with a small limit repeatedly is not necessary: verdicts are a
-    // projection of the rewritten formulas, so search all of them but stop as
-    // soon as one with the requested verdict appears.
+    // Verdicts are a projection of the rewritten formulas, so search all of
+    // them but stop as soon as one with the requested verdict appears.
     let anchor = comp.max_local_time() + comp.epsilon();
-    let mut engine = Engine {
-        comp,
-        next_anchor: anchor,
-        limit: usize::MAX,
-        memo: HashMap::new(),
-        feasibility: HashMap::new(),
-        stats: SolverStats::default(),
-        found: BTreeSet::new(),
-    };
-    engine.explore_until(
-        &Cut::empty(comp.process_count()),
-        comp.base_time(),
-        phi,
-        &mut |formula| finalize(formula) == target,
-    )
+    let mut engine = Engine::new(comp, anchor, usize::MAX);
+    engine.run(phi, &mut |interner, id| interner.eval_empty(id) == target)
+}
+
+/// Memo key of a search node: `(cut rank, last assigned time, pending
+/// formula)`. Fixed-size, allocation-free, O(1) hash and equality.
+type NodeKey = (u128, u64, FormulaId);
+
+/// Assigns every cut of one computation a unique `u128` rank.
+///
+/// The fast path ranks a cut by its mixed-radix value over the per-process
+/// event counts (`rank = Σ counts[p]·stride[p]`), maintained incrementally by
+/// `+stride[p]` as the search appends events. When the lattice has more than
+/// `u128::MAX` points (hundreds of mostly-idle processes — the lattice is
+/// astronomically larger than anything the search will visit, which prunes
+/// through time windows), ranks fall back to interning the count vectors of
+/// the cuts actually reached, which stay dense.
+enum CutRanker {
+    Strides(Vec<u128>),
+    Interned(FxHashMap<Box<[usize]>, u128>),
+}
+
+impl CutRanker {
+    fn new(comp: &DistributedComputation) -> Self {
+        let mut strides = Vec::with_capacity(comp.process_count());
+        let mut acc: u128 = 1;
+        for p in 0..comp.process_count() {
+            strides.push(acc);
+            let radix = comp.events_of(p.into()).len() as u128 + 1;
+            acc = match acc.checked_mul(radix) {
+                Some(next) => next,
+                None => return CutRanker::Interned(FxHashMap::default()),
+            };
+        }
+        CutRanker::Strides(strides)
+    }
+
+    /// The rank of the empty cut. In the interned mode rank 0 is reserved for
+    /// it: the empty cut is never produced by `child` (every child contains at
+    /// least one event), and `child` assigns ids starting at 1.
+    fn root(&mut self) -> u128 {
+        0
+    }
+
+    /// The rank of `next_cut`, reached from a cut of rank `parent` by one
+    /// event of `process`.
+    fn child(&mut self, parent: u128, next_cut: &Cut, process: usize) -> u128 {
+        match self {
+            CutRanker::Strides(strides) => parent + strides[process],
+            CutRanker::Interned(ids) => {
+                // Ids start at 1; 0 names the empty cut (see `root`).
+                let next = ids.len() as u128 + 1;
+                *ids.entry(next_cut.counts().into()).or_insert(next)
+            }
+        }
+    }
 }
 
 struct Engine<'a> {
     comp: &'a DistributedComputation,
     next_anchor: u64,
     limit: usize,
-    memo: HashMap<(Vec<usize>, u64, Formula), BTreeSet<Formula>>,
-    feasibility: HashMap<(Vec<usize>, u64), bool>,
+    /// Hash-consed formula arena; all pending formulas live here for the
+    /// lifetime of the query.
+    interner: Interner,
+    /// Maps cuts to unique ranks (see [`CutRanker`]).
+    ranker: CutRanker,
+    memo: FxHashMap<NodeKey, Rc<BTreeSet<FormulaId>>>,
+    feasibility: FxHashMap<(u128, u64), bool>,
+    /// `cut.enabled()` per cut rank.
+    enabled_cache: FxHashMap<u128, Rc<[EventId]>>,
+    /// `cut.frontier_state()` per cut rank.
+    frontier_cache: FxHashMap<u128, Rc<State>>,
     stats: SolverStats,
-    found: BTreeSet<Formula>,
+    found: BTreeSet<FormulaId>,
 }
 
+/// Early-stop predicate over found formulas; receives the interner so it can
+/// inspect (e.g. finalize) the formula without resolving it to a tree.
+type StopFn<'s> = dyn FnMut(&Interner, FormulaId) -> bool + 's;
+
 impl<'a> Engine<'a> {
+    fn new(comp: &'a DistributedComputation, next_anchor: u64, limit: usize) -> Self {
+        Engine {
+            comp,
+            next_anchor,
+            limit,
+            interner: Interner::new(),
+            ranker: CutRanker::new(comp),
+            memo: FxHashMap::default(),
+            feasibility: FxHashMap::default(),
+            enabled_cache: FxHashMap::default(),
+            frontier_cache: FxHashMap::default(),
+            stats: SolverStats::default(),
+            found: BTreeSet::new(),
+        }
+    }
+
+    /// Explores the full search space for `phi`. Returns `true` if `stop`
+    /// accepted a formula (or the limit was reached) before exhaustion.
+    fn run(&mut self, phi: &Formula, stop: &mut StopFn<'_>) -> bool {
+        let psi = self.interner.intern(phi);
+        let initial_cut = Cut::empty(self.comp.process_count());
+        let root = self.ranker.root();
+        let mut sink = BTreeSet::new();
+        self.explore(
+            &initial_cut,
+            root,
+            self.comp.base_time(),
+            psi,
+            stop,
+            &mut sink,
+        )
+    }
+
+    fn into_result(self) -> ProgressionResult {
+        let formulas = self
+            .found
+            .iter()
+            .map(|&id| self.interner.resolve(id))
+            .collect();
+        ProgressionResult {
+            formulas,
+            stats: self.stats,
+        }
+    }
+
+    /// The events that can consistently extend the cut, computed once per cut
+    /// rank.
+    fn enabled(&mut self, cut: &Cut, rank: u128) -> Rc<[EventId]> {
+        if let Some(cached) = self.enabled_cache.get(&rank) {
+            return Rc::clone(cached);
+        }
+        let enabled: Rc<[EventId]> = cut.enabled(self.comp).into();
+        self.enabled_cache.insert(rank, Rc::clone(&enabled));
+        enabled
+    }
+
+    /// The frontier state of the cut, computed once per cut rank.
+    fn frontier(&mut self, cut: &Cut, rank: u128) -> Rc<State> {
+        if let Some(cached) = self.frontier_cache.get(&rank) {
+            return Rc::clone(cached);
+        }
+        let state = Rc::new(cut.frontier_state(self.comp));
+        self.frontier_cache.insert(rank, Rc::clone(&state));
+        state
+    }
+
     /// Returns `true` if the remaining events of `cut` can be scheduled with
     /// monotone times starting at `pending_time` (every event within its ±ε
     /// window). Used to close branches whose pending formula has already
     /// collapsed to a constant: the constant only counts as a solution if the
     /// cut sequence can actually be completed.
-    fn can_complete(&mut self, cut: &Cut, pending_time: u64) -> bool {
+    fn can_complete(&mut self, cut: &Cut, rank: u128, pending_time: u64) -> bool {
         if cut.is_full(self.comp) {
             return true;
         }
-        let key = (cut.counts().to_vec(), pending_time);
+        let key = (rank, pending_time);
         if let Some(&cached) = self.feasibility.get(&key) {
             return cached;
         }
         let mut feasible = false;
-        'outer: for event in cut.enabled(self.comp) {
+        let enabled = self.enabled(cut, rank);
+        for &event in enabled.iter() {
             let (lo, hi) = self.comp.time_window(event);
             let lo = lo.max(pending_time);
             if lo > hi {
                 continue;
             }
             let next_cut = cut.extended(self.comp, event);
+            let next_rank = self
+                .ranker
+                .child(rank, &next_cut, self.comp.event(event).process.0);
             // Scheduling the event as early as possible dominates any later
             // choice for feasibility purposes.
-            if self.can_complete(&next_cut, lo) {
+            if self.can_complete(&next_cut, next_rank, lo) {
                 feasible = true;
-                break 'outer;
+                break;
             }
         }
         self.feasibility.insert(key, feasible);
         feasible
     }
-    /// The pending-position state of a search node: the frontier state of the
-    /// cut, which will be progressed once the time of the *next* event (or the
-    /// next segment's anchor) is known.
-    fn pending_state(&self, cut: &Cut) -> rvmtl_mtl::State {
-        cut.frontier_state(self.comp)
-    }
-
-    fn single(&self, state: rvmtl_mtl::State, time: u64) -> TimedTrace {
-        TimedTrace::new(vec![state], vec![time]).expect("single observation is monotone")
-    }
 
     /// Progression of the pending formula when one more observation (or the
     /// end of the segment) arrives at time `next_time`.
-    fn step(&self, cut: &Cut, pending_time: u64, psi: &Formula, next_time: u64) -> Formula {
+    fn step(
+        &mut self,
+        cut: &Cut,
+        rank: u128,
+        pending_time: u64,
+        psi: FormulaId,
+        next_time: u64,
+    ) -> FormulaId {
         if cut.size() == 0 {
             // No observation is pending yet: only time has passed since the
             // segment's base.
-            progress_gap(psi, next_time.saturating_sub(self.comp.base_time()))
+            self.interner
+                .progress_gap(psi, next_time.saturating_sub(self.comp.base_time()))
         } else {
-            let trace = self.single(self.pending_state(cut), pending_time);
-            progress(&trace, psi, next_time)
+            let state = self.frontier(cut, rank);
+            self.interner
+                .progress_one(&state, pending_time, psi, next_time)
         }
     }
 
-    fn explore(&mut self, cut: &Cut, pending_time: u64, psi: &Formula) {
-        let _ = self.explore_until(cut, pending_time, psi, &mut |_| false);
-    }
-
-    /// Explores the search space rooted at the given node, inserting every
-    /// final rewritten formula into `self.found`. Returns `true` (and stops)
-    /// as soon as `stop` accepts one of the found formulas or the configured
-    /// limit is reached.
-    fn explore_until(
+    /// Explores the search space rooted at the given node. Every final
+    /// rewritten formula of the subtree is inserted into `self.found` and into
+    /// the caller's `sink` (the parent node's contribution set, assembled in
+    /// this same pass — this is what makes the search single-pass). Returns
+    /// `true` (and stops) as soon as `stop` accepts one of the found formulas
+    /// or the configured limit is reached; a node abandoned early caches
+    /// nothing, so the memo only ever holds complete contribution sets.
+    fn explore(
         &mut self,
         cut: &Cut,
+        rank: u128,
         pending_time: u64,
-        psi: &Formula,
-        stop: &mut dyn FnMut(&Formula) -> bool,
+        psi: FormulaId,
+        stop: &mut StopFn<'_>,
+        sink: &mut BTreeSet<FormulaId>,
     ) -> bool {
         if self.found.len() >= self.limit {
             return true;
         }
-        let key = (cut.counts().to_vec(), pending_time, psi.clone());
+        let key: NodeKey = (rank, pending_time, psi);
         if let Some(cached) = self.memo.get(&key) {
             self.stats.memo_hits += 1;
-            let cached = cached.clone();
-            for f in cached {
-                let hit = stop(&f);
+            let cached = Rc::clone(cached);
+            sink.extend(cached.iter().copied());
+            for &f in cached.iter() {
+                let hit = stop(&self.interner, f);
                 self.found.insert(f);
                 if hit || self.found.len() >= self.limit {
                     return true;
@@ -260,72 +399,59 @@ impl<'a> Engine<'a> {
             return false;
         }
         self.stats.explored_states += 1;
-        let mut local: BTreeSet<Formula> = BTreeSet::new();
+        let mut local: BTreeSet<FormulaId> = BTreeSet::new();
         let mut stopped = false;
 
-        if psi.is_constant() && self.can_complete(cut, pending_time) {
+        if psi.is_constant() && self.can_complete(cut, rank, pending_time) {
             // The verdict can no longer change: every feasible extension
             // produces the same rewritten formula.
             self.stats.constant_cutoffs += 1;
-            local.insert(psi.clone());
+            local.insert(psi);
         } else if psi.is_constant() {
             // Dead branch: the remaining events cannot be scheduled, so this
             // partial interleaving corresponds to no trace at all.
         } else if cut.is_full(self.comp) {
             self.stats.completed_sequences += 1;
-            let final_formula = self.step(cut, pending_time, psi, self.next_anchor);
+            let final_formula = self.step(cut, rank, pending_time, psi, self.next_anchor);
             local.insert(final_formula);
         } else {
-            'outer: for event in cut.enabled(self.comp) {
+            let enabled = self.enabled(cut, rank);
+            'outer: for &event in enabled.iter() {
                 let (lo, hi) = self.comp.time_window(event);
                 let lo = lo.max(pending_time);
                 if lo > hi {
                     continue;
                 }
                 let next_cut = cut.extended(self.comp, event);
+                let next_rank =
+                    self.ranker
+                        .child(rank, &next_cut, self.comp.event(event).process.0);
                 for t in lo..=hi {
-                    let advanced = self.step(cut, pending_time, psi, t);
-                    stopped |= self.explore_until(&next_cut, t, &advanced, stop);
-                    // Collect what this subtree contributed so the memo entry
-                    // for this node is complete even on early exit paths.
+                    // One progression step per (node, event, t) edge; the
+                    // child's results land directly in `local`.
+                    let advanced = self.step(cut, rank, pending_time, psi, t);
+                    stopped |= self.explore(&next_cut, next_rank, t, advanced, stop, &mut local);
                     if stopped {
                         break 'outer;
                     }
                 }
             }
-            // The formulas found below this node are not tracked separately
-            // from `self.found`; recompute the local set only when the node
-            // completed without an early stop (memoisation must not cache
-            // partial results).
             if stopped {
+                // Partial exploration: surface what was found but do not
+                // memoise an incomplete set.
+                sink.extend(local.iter().copied());
                 return true;
-            }
-            // Re-derive this node's contribution by re-walking its children
-            // through the memo (cheap: every child is memoised now).
-            for event in cut.enabled(self.comp) {
-                let (lo, hi) = self.comp.time_window(event);
-                let lo = lo.max(pending_time);
-                if lo > hi {
-                    continue;
-                }
-                let next_cut = cut.extended(self.comp, event);
-                for t in lo..=hi {
-                    let advanced = self.step(cut, pending_time, psi, t);
-                    let child_key = (next_cut.counts().to_vec(), t, advanced);
-                    if let Some(childset) = self.memo.get(&child_key) {
-                        local.extend(childset.iter().cloned());
-                    }
-                }
             }
         }
 
-        for f in &local {
-            if stop(f) {
+        for &f in &local {
+            if stop(&self.interner, f) {
                 stopped = true;
             }
-            self.found.insert(f.clone());
+            self.found.insert(f);
         }
-        self.memo.insert(key, local);
+        sink.extend(local.iter().copied());
+        self.memo.insert(key, Rc::new(local));
         stopped || self.found.len() >= self.limit
     }
 }
@@ -465,7 +591,11 @@ mod tests {
         let comp = b.build().unwrap();
         let phi = parse("G[0,20) (p | q)").unwrap();
         let result = ProgressionQuery::new(&comp, 30).distinct_progressions(&phi);
-        assert!(result.stats.memo_hits > 0, "expected memo hits: {:?}", result.stats);
+        assert!(
+            result.stats.memo_hits > 0,
+            "expected memo hits: {:?}",
+            result.stats
+        );
         assert!(result.stats.explored_states > 0);
     }
 

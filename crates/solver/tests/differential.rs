@@ -1,98 +1,66 @@
 //! Differential and property-based tests: the solver's symbolic verdict sets
 //! must coincide with brute-force enumeration of all traces of the
-//! computation, for random computations and random formulas.
+//! computation, for random computations and random formulas (seeded local
+//! PRNG; case generators shared via `rvmtl_mtl::testgen` /
+//! `rvmtl_distrib::testgen`).
 
-use proptest::prelude::*;
-use rvmtl_distrib::{all_verdicts, ComputationBuilder, DistributedComputation};
-use rvmtl_mtl::{Formula, Interval, State};
+use rvmtl_distrib::all_verdicts;
+use rvmtl_distrib::testgen::gen_computation;
+use rvmtl_mtl::testgen::{gen_formula, GenConfig};
+use rvmtl_mtl::Formula;
+use rvmtl_prng::StdRng;
 use rvmtl_solver::possible_verdicts;
 
-const PROPS: [&str; 3] = ["p", "q", "r"];
+const CASES: usize = 64;
 
-#[derive(Debug, Clone)]
-struct RandomComputation {
-    epsilon: u64,
-    /// Per process: (gap to previous event, state bits).
-    events: Vec<Vec<(u64, [bool; 3])>>,
+/// Small intervals keep the brute-force oracle tractable.
+fn gen_phi(rng: &mut StdRng) -> Formula {
+    let cfg = GenConfig {
+        max_depth: 2,
+        interval_start_max: 4,
+        interval_len_max: 8,
+        ..GenConfig::default()
+    };
+    gen_formula(rng, &cfg)
 }
 
-fn build(rc: &RandomComputation) -> DistributedComputation {
-    let mut b = ComputationBuilder::new(rc.events.len().max(1), rc.epsilon);
-    for (p, events) in rc.events.iter().enumerate() {
-        let mut t = 0;
-        for (gap, bits) in events {
-            t += 1 + gap;
-            let state: State = PROPS
-                .iter()
-                .zip(bits)
-                .filter(|(_, b)| **b)
-                .map(|(name, _)| *name)
-                .collect();
-            b.event(p, t, state);
-        }
-    }
-    b.build().expect("generated computations are valid")
-}
-
-fn arb_computation() -> impl Strategy<Value = RandomComputation> {
-    let event = (0u64..3, proptest::array::uniform3(proptest::bool::ANY));
-    let process = proptest::collection::vec(event, 0..4);
-    (1u64..4, proptest::collection::vec(process, 1..3))
-        .prop_map(|(epsilon, events)| RandomComputation { epsilon, events })
-}
-
-fn arb_interval() -> impl Strategy<Value = Interval> {
-    (0u64..4, 1u64..8, proptest::bool::ANY).prop_map(|(s, l, unbounded)| {
-        if unbounded {
-            Interval::unbounded(s)
-        } else {
-            Interval::bounded(s, s + l)
-        }
-    })
-}
-
-fn arb_formula() -> impl Strategy<Value = Formula> {
-    let leaf = prop_oneof![
-        (0..PROPS.len()).prop_map(|i| Formula::atom(PROPS[i])),
-        Just(Formula::True),
-    ];
-    leaf.prop_recursive(2, 12, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(Formula::not),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
-            (arb_interval(), inner.clone()).prop_map(|(i, a)| Formula::eventually(i, a)),
-            (arb_interval(), inner.clone()).prop_map(|(i, a)| Formula::always(i, a)),
-            (inner.clone(), arb_interval(), inner).prop_map(|(a, i, b)| Formula::until(a, i, b)),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The solver's verdict set equals the brute-force oracle's on random
-    /// computations and formulas.
-    #[test]
-    fn solver_matches_bruteforce(rc in arb_computation(), phi in arb_formula()) {
-        let comp = build(&rc);
+/// The solver's verdict set equals the brute-force oracle's on random
+/// computations and formulas.
+#[test]
+fn solver_matches_bruteforce() {
+    let mut rng = StdRng::seed_from_u64(0xD1FF);
+    let mut checked = 0;
+    while checked < CASES {
+        let comp = gen_computation(&mut rng);
+        let phi = gen_phi(&mut rng);
         // Keep the oracle tractable.
-        prop_assume!(comp.event_count() <= 6);
+        if comp.event_count() > 6 {
+            continue;
+        }
+        checked += 1;
         let expected = all_verdicts(&comp, &phi);
         let actual = possible_verdicts(&comp, &phi);
-        prop_assert_eq!(actual, expected, "formula {}", phi);
+        assert_eq!(actual, expected, "formula {phi}");
     }
+}
 
-    /// Verdict sets are never empty and only contain booleans consistent with
-    /// negation: verdicts(¬φ) is the element-wise negation of verdicts(φ).
-    #[test]
-    fn negation_flips_verdicts(rc in arb_computation(), phi in arb_formula()) {
-        let comp = build(&rc);
-        prop_assume!(comp.event_count() <= 6);
+/// Verdict sets are never empty and consistent with negation: verdicts(¬φ)
+/// is the element-wise negation of verdicts(φ).
+#[test]
+fn negation_flips_verdicts() {
+    let mut rng = StdRng::seed_from_u64(0x0E64);
+    let mut checked = 0;
+    while checked < CASES {
+        let comp = gen_computation(&mut rng);
+        let phi = gen_phi(&mut rng);
+        if comp.event_count() > 6 {
+            continue;
+        }
+        checked += 1;
         let pos = possible_verdicts(&comp, &phi);
         let neg = possible_verdicts(&comp, &Formula::not(phi.clone()));
-        prop_assert!(!pos.is_empty());
+        assert!(!pos.is_empty());
         let flipped: std::collections::BTreeSet<bool> = pos.iter().map(|v| !v).collect();
-        prop_assert_eq!(neg, flipped, "formula {}", phi);
+        assert_eq!(neg, flipped, "formula {phi}");
     }
 }

@@ -1,0 +1,101 @@
+//! Search-shape regression tests: the single-pass, hash-consed engine must
+//! explore exactly the same state space as the reference two-pass engine.
+//!
+//! These tests pin `explored_states` / `memo_hits` / `completed_sequences` on
+//! a fixed Fig. 3-style scenario. If a change to the engine alters any of the
+//! pinned numbers, it changed the search semantics (not just its speed) — that
+//! may be intentional (e.g. a stronger pruning rule), but it must be a
+//! conscious decision: re-derive the numbers, check the differential tests
+//! still pass, and update the pins.
+
+use rvmtl_distrib::{ComputationBuilder, DistributedComputation};
+use rvmtl_mtl::{parse, state};
+use rvmtl_solver::ProgressionQuery;
+
+/// The computation of Fig. 3: two processes, ε = 2, four events.
+fn fig3() -> DistributedComputation {
+    let mut b = ComputationBuilder::new(2, 2);
+    b.event(0, 1, state!["a"]);
+    b.event(0, 4, state![]);
+    b.event(1, 2, state!["a"]);
+    b.event(1, 5, state!["b"]);
+    b.build().unwrap()
+}
+
+#[test]
+fn fig3_until_search_shape_is_pinned() {
+    let comp = fig3();
+    let phi = parse("a U[0,6) b").unwrap();
+    let result = ProgressionQuery::new(&comp, 8).distinct_progressions(&phi);
+    assert_eq!(
+        result.formulas.len(),
+        2,
+        "two distinguishable trace classes"
+    );
+    assert_eq!(result.stats.explored_states, 25, "{:?}", result.stats);
+    assert_eq!(result.stats.memo_hits, 32, "{:?}", result.stats);
+    assert_eq!(result.stats.completed_sequences, 2, "{:?}", result.stats);
+    assert_eq!(result.stats.constant_cutoffs, 4, "{:?}", result.stats);
+}
+
+#[test]
+fn fig3_eventually_search_shape_is_pinned() {
+    let comp = fig3();
+    let phi = parse("F[0,6) b").unwrap();
+    let result = ProgressionQuery::new(&comp, 8).distinct_progressions(&phi);
+    assert_eq!(result.formulas.len(), 2);
+    assert_eq!(result.stats.explored_states, 24, "{:?}", result.stats);
+    assert_eq!(result.stats.memo_hits, 33, "{:?}", result.stats);
+    assert_eq!(result.stats.completed_sequences, 2, "{:?}", result.stats);
+}
+
+#[test]
+fn fig3_always_search_shape_is_pinned() {
+    let comp = fig3();
+    let phi = parse("G[0,10) (a | b)").unwrap();
+    let result = ProgressionQuery::new(&comp, 8).distinct_progressions(&phi);
+    assert_eq!(result.formulas.len(), 2);
+    assert_eq!(result.stats.explored_states, 23, "{:?}", result.stats);
+    assert_eq!(result.stats.memo_hits, 34, "{:?}", result.stats);
+    assert_eq!(result.stats.completed_sequences, 3, "{:?}", result.stats);
+}
+
+/// Every memo hit must stand for a state that the engine did *not* re-expand:
+/// with memoisation disabled there is no such thing, so explored states must
+/// strictly dominate the memoised run's. (Indirect check that the single-pass
+/// rewrite kept the memo effective — the explored count stays well below the
+/// number of search edges.)
+#[test]
+fn memoisation_carries_real_weight_on_fig3() {
+    let comp = fig3();
+    let phi = parse("a U[0,6) b").unwrap();
+    let result = ProgressionQuery::new(&comp, 8).distinct_progressions(&phi);
+    assert!(
+        result.stats.memo_hits > result.stats.explored_states,
+        "memo hits should dominate on the skew-heavy Fig. 3 lattice: {:?}",
+        result.stats
+    );
+}
+
+/// Many mostly-idle processes: the cut lattice has 2^n points for n
+/// single-event processes, overflowing any fixed-width rank for large n —
+/// but time-window pruning keeps the actual search linear. The engine must
+/// handle both the u128 stride path (n = 70) and the interned-rank fallback
+/// (n = 140) instead of rejecting the computation outright.
+#[test]
+fn huge_sparse_lattices_are_searchable() {
+    for n in [70u64, 140] {
+        let mut b = ComputationBuilder::new(n as usize, 1);
+        for p in 0..n {
+            b.event(p as usize, 1 + 10 * p, state!["tick"]);
+        }
+        let comp = b.build().unwrap();
+        let phi = parse("G[0,2000) tick").unwrap();
+        let verdicts = rvmtl_solver::possible_verdicts(&comp, &phi);
+        assert_eq!(
+            verdicts,
+            std::collections::BTreeSet::from([true]),
+            "n = {n}"
+        );
+    }
+}

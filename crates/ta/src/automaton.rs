@@ -7,8 +7,7 @@
 //! fixed ticks and fires enabled edges, producing one observable event per
 //! fired edge on the owning process.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use rvmtl_prng::StdRng;
 use std::collections::BTreeMap;
 
 /// A guard over the automaton's own clock `x` and the network's shared
@@ -196,7 +195,8 @@ impl Network {
                 self.vars.insert(name, *value);
             }
             Effect::SetVarToSelf(name) => {
-                self.vars.insert(name, self.automata[automaton].id as i64 + 1);
+                self.vars
+                    .insert(name, self.automata[automaton].id as i64 + 1);
             }
             Effect::Both(a, b) => {
                 self.apply_effect(automaton, a);
@@ -283,7 +283,6 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn toggler(id: usize) -> Automaton {
         Automaton {

@@ -231,8 +231,7 @@ pub fn gossip(people: usize) -> Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rvmtl_prng::StdRng;
 
     #[test]
     fn train_gate_has_one_gate_and_mutual_exclusion_on_bridge() {
@@ -241,9 +240,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..500 {
             net.step(1, &mut rng);
-            let crossing = (0..3)
-                .filter(|&i| net.location_of(i) == "Cross")
-                .count();
+            let crossing = (0..3).filter(|&i| net.location_of(i) == "Cross").count();
             assert!(crossing <= 1, "two trains on the bridge");
         }
     }

@@ -53,7 +53,10 @@ pub fn phi4(processes: usize, bound: u64) -> Formula {
     Formula::always_untimed(Formula::and_all((0..processes).map(|i| {
         Formula::implies(
             Formula::atom(format!("P[{i}].req")),
-            Formula::eventually(Interval::bounded(0, bound), Formula::atom(format!("P[{i}].cs"))),
+            Formula::eventually(
+                Interval::bounded(0, bound),
+                Formula::atom(format!("P[{i}].cs")),
+            ),
         )
     })))
 }

@@ -9,10 +9,9 @@
 //! parameters of Fig. 5.
 
 use crate::models::Model;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rvmtl_distrib::{ComputationBuilder, DistributedComputation};
 use rvmtl_mtl::State;
+use rvmtl_prng::StdRng;
 
 /// Parameters of a synthetic workload (the defaults match the paper's:
 /// ε = 15 ms, 2 processes, 2 s of computation, 10 events/s per process).
@@ -71,7 +70,13 @@ pub fn generate(model: Model, config: &TraceConfig) -> DistributedComputation {
     // Per-process clock offsets within (-ε, ε).
     let eps = config.epsilon_ms as i64;
     let offsets: Vec<i64> = (0..automata_count)
-        .map(|_| if eps <= 1 { 0 } else { rng.gen_range(-(eps - 1)..eps) })
+        .map(|_| {
+            if eps <= 1 {
+                0
+            } else {
+                rng.gen_range(-(eps - 1)..eps)
+            }
+        })
         .collect();
 
     // Knowledge matrix for the gossip model: knows[i][j] = i knows j's secret.
@@ -97,6 +102,7 @@ pub fn generate(model: Model, config: &TraceConfig) -> DistributedComputation {
         // both parties' secrets.
         if model == Model::Gossip && firings.len() == 2 {
             let (a, b) = (firings[0].automaton, firings[1].automaton);
+            #[allow(clippy::needless_range_loop)] // j indexes two distinct rows at once
             for j in 0..automata_count {
                 let merged = knows[a][j] || knows[b][j];
                 knows[a][j] = merged;
@@ -142,13 +148,7 @@ mod tests {
         let a = generate(Model::Fischer, &cfg);
         let b = generate(Model::Fischer, &cfg);
         assert_eq!(a.event_count(), b.event_count());
-        let different = generate(
-            Model::Fischer,
-            &TraceConfig {
-                seed: 7,
-                ..cfg
-            },
-        );
+        let different = generate(Model::Fischer, &TraceConfig { seed: 7, ..cfg });
         // Different seeds are allowed to coincide but almost never do for the
         // event timestamps; just check both are valid computations.
         assert!(different.event_count() > 0);

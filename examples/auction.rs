@@ -18,11 +18,18 @@ fn main() {
         println!("  {event}");
     }
     let verdicts = monitor
-        .run(&run.to_computation(epsilon), &specs::auction::liveness(delta))
+        .run(
+            &run.to_computation(epsilon),
+            &specs::auction::liveness(delta),
+        )
         .verdicts;
     println!("liveness verdicts : {verdicts}");
-    println!("alice payoff {: >4}, bob payoff {: >4}, carol payoff {: >4}",
-        run.payoff("alice"), run.payoff("bob"), run.payoff("carol"));
+    println!(
+        "alice payoff {: >4}, bob payoff {: >4}, carol payoff {: >4}",
+        run.payoff("alice"),
+        run.payoff("bob"),
+        run.payoff("carol")
+    );
     assert!(verdicts.may_be_satisfied());
 
     println!("\n== cheating auctioneer (both secrets released) ==");
@@ -31,8 +38,12 @@ fn main() {
     cheat.actions[3] = ActionChoice::OnTime; // Bob challenges
     let run = auction.execute(&cheat);
     let computation = run.to_computation(epsilon);
-    let liveness = monitor.run(&computation, &specs::auction::liveness(delta)).verdicts;
-    let bob_ok = monitor.run(&computation, &specs::auction::bob_conform(delta)).verdicts;
+    let liveness = monitor
+        .run(&computation, &specs::auction::liveness(delta))
+        .verdicts;
+    let bob_ok = monitor
+        .run(&computation, &specs::auction::bob_conform(delta))
+        .verdicts;
     println!("liveness verdicts    : {liveness} (the auction aborts)");
     println!("bob-conform verdicts : {bob_ok}");
     println!(

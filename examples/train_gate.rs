@@ -26,7 +26,10 @@ fn main() {
     let monitor = Monitor::new(MonitorConfig::with_segments(10));
     let phi2 = specs::phi2(config.processes);
     let report = monitor.run(&computation, &phi2);
-    println!("phi2 (gate stays occupied until the approaching train crosses): {}", report.verdicts);
+    println!(
+        "phi2 (gate stays occupied until the approaching train crosses): {}",
+        report.verdicts
+    );
 
     println!("\n== Fischer's protocol ==");
     let computation = generate(Model::Fischer, &config);
@@ -35,8 +38,14 @@ fn main() {
     let phi4 = specs::phi4(config.processes, 60);
     let mutual_exclusion = monitor.run(&computation, &phi3);
     let responsiveness = monitor.run(&computation, &phi4);
-    println!("phi3 (mutual exclusion)          : {}", mutual_exclusion.verdicts);
-    println!("phi4 (request answered in time)  : {}", responsiveness.verdicts);
+    println!(
+        "phi3 (mutual exclusion)          : {}",
+        mutual_exclusion.verdicts
+    );
+    println!(
+        "phi4 (request answered in time)  : {}",
+        responsiveness.verdicts
+    );
     // Fischer's protocol guarantees mutual exclusion regardless of the
     // interleaving, so the verdict must be unambiguously ⊤.
     assert!(mutual_exclusion.verdicts.definitely_satisfied());

@@ -20,13 +20,17 @@ fn main() {
     }
     let computation = conforming.to_computation(epsilon);
     let liveness = Monitor::with_defaults().run(&computation, &specs::two_party::liveness(delta));
-    let conform = Monitor::with_defaults().run(&computation, &specs::two_party::alice_conform(delta));
+    let conform =
+        Monitor::with_defaults().run(&computation, &specs::two_party::alice_conform(delta));
     println!("liveness verdicts      : {}", liveness.verdicts);
     println!("alice-conform verdicts : {}", conform.verdicts);
     println!(
         "alice payoff           : {} (safety holds: {})",
         conforming.payoff("alice"),
-        specs::safety_holds(conform.verdicts.may_be_satisfied(), conforming.payoff("alice"))
+        specs::safety_holds(
+            conform.verdicts.may_be_satisfied(),
+            conforming.payoff("alice")
+        )
     );
     assert!(liveness.verdicts.definitely_satisfied());
 
@@ -44,7 +48,10 @@ fn main() {
     let execution = protocol.execute(&attack);
     let computation = execution.to_computation(epsilon);
     let liveness = Monitor::with_defaults().run(&computation, &specs::two_party::liveness(delta));
-    println!("liveness verdicts : {} (violated as expected)", liveness.verdicts);
+    println!(
+        "liveness verdicts : {} (violated as expected)",
+        liveness.verdicts
+    );
     println!(
         "alice payoff      : {} — hedged by Bob's premium: {}",
         execution.payoff("alice"),

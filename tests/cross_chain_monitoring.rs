@@ -1,7 +1,9 @@
 //! Workspace-level integration tests: chain → distrib → solver → monitor
 //! pipelines over the cross-chain protocols.
 
-use rvmtl::chain::{specs, StepChoice, ThreePartyScenario, ThreePartySwap, TwoPartyScenario, TwoPartySwap};
+use rvmtl::chain::{
+    specs, StepChoice, ThreePartyScenario, ThreePartySwap, TwoPartyScenario, TwoPartySwap,
+};
 use rvmtl::monitor::{Monitor, MonitorConfig};
 
 const DELTA: u64 = 50;
@@ -35,7 +37,10 @@ fn late_step_violates_liveness_but_not_safety() {
     let liveness = Monitor::with_defaults()
         .run(&comp, &specs::two_party::liveness(DELTA))
         .verdicts;
-    assert!(liveness.may_be_violated(), "late escrow must break liveness: {liveness}");
+    assert!(
+        liveness.may_be_violated(),
+        "late escrow must break liveness: {liveness}"
+    );
     assert!(
         specs::safety_holds(true, exec.payoff("alice")),
         "alice payoff {}",
@@ -60,8 +65,8 @@ fn abandoned_swap_keeps_conforming_alice_hedged() {
     let conform = Monitor::with_defaults()
         .run(&comp, &specs::two_party::alice_conform(DELTA))
         .verdicts;
-    let escrow_refunded =
-        exec.has_event("apr", "asset_escrowed", "alice") && exec.has_event("apr", "asset_refunded", "alice");
+    let escrow_refunded = exec.has_event("apr", "asset_escrowed", "alice")
+        && exec.has_event("apr", "asset_refunded", "alice");
     assert!(escrow_refunded);
     assert!(specs::hedged_compensation_holds(
         conform.may_be_satisfied(),
@@ -77,7 +82,9 @@ fn segmentation_choices_agree_on_conforming_three_party_swap() {
     let comp = exec.to_computation(EPSILON);
     let phi = specs::three_party::liveness(DELTA);
     let unsegmented = Monitor::with_defaults().run(&comp, &phi).verdicts;
-    let paper_style = Monitor::new(MonitorConfig::with_segments(2)).run(&comp, &phi).verdicts;
+    let paper_style = Monitor::new(MonitorConfig::with_segments(2))
+        .run(&comp, &phi)
+        .verdicts;
     assert!(unsegmented.definitely_satisfied());
     assert!(paper_style.definitely_satisfied());
 }
@@ -106,7 +113,10 @@ fn ambiguous_verdicts_appear_when_epsilon_approaches_delta() {
     let sloppy = Monitor::with_defaults()
         .run(&exec.to_computation(small_delta), &phi)
         .verdicts;
-    assert!(!precise.is_ambiguous(), "ε ≪ Δ should give one verdict: {precise}");
+    assert!(
+        !precise.is_ambiguous(),
+        "ε ≪ Δ should give one verdict: {precise}"
+    );
     assert!(
         sloppy.is_ambiguous(),
         "ε ≈ Δ should make the verdict ambiguous: {sloppy}"

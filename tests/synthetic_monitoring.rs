@@ -36,7 +36,11 @@ fn train_gate_never_hosts_two_trains_on_the_bridge() {
     )
     .unwrap();
     let report = Monitor::new(MonitorConfig::with_segments(8)).run(&comp, &phi);
-    assert!(report.verdicts.definitely_satisfied(), "{}", report.verdicts);
+    assert!(
+        report.verdicts.definitely_satisfied(),
+        "{}",
+        report.verdicts
+    );
 }
 
 #[test]
