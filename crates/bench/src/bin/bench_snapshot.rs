@@ -1,25 +1,71 @@
-//! Machine-readable performance snapshot of the Fig. 5a synthetic workload.
+//! Machine-readable performance snapshot of the paper's synthetic workloads.
 //!
 //! Prints a JSON object with wall time, explored solver states, and the
 //! states-per-second throughput for each formula of the Fig. 5a sweep plus an
-//! aggregate. The repository keeps the output of this tool in `BENCH_1.json`
-//! so perf-focused PRs have a hard before/after number:
+//! aggregate, and — with `--sweeps` — the ε sweep of Fig. 5b/5c and the
+//! length sweep of Fig. 5d, the two axes the time-interval abstraction is
+//! meant to flatten. The repository keeps outputs of this tool in
+//! `BENCH_1.json` / `BENCH_2.json` so perf-focused PRs have hard before/after
+//! numbers:
 //!
 //! ```text
-//! cargo run --release --bin bench_snapshot -- [label] > snapshot.json
+//! cargo run --release --bin bench_snapshot -- [label] [--sweeps] > snapshot.json
 //! ```
+//!
+//! Without `--sweeps` only the (fast) Fig. 5a series runs. CI smokes the full
+//! `--sweeps` mode (output discarded) so the sweep code paths cannot bitrot;
+//! the whole sweep stays in the low seconds because the sub-millisecond
+//! points amortise their timing blocks over many iterations.
 
 use rvmtl_bench::{default_trace_config, formula, synthetic_computation, DEFAULT_SEGMENTS};
 use rvmtl_monitor::Monitor;
 use rvmtl_monitor::MonitorConfig;
 use std::time::Instant;
 
+/// Measurement of monitoring `phi` over `comp`: returns
+/// `(explored_states, seconds per run)`.
+///
+/// Sub-millisecond workloads are timed as blocks of enough iterations to
+/// reach ~25 ms per block (best of 5 blocks, divided by the iteration
+/// count), so scheduler noise and timer resolution do not dominate the
+/// per-run figure.
+fn measure_best(
+    comp: &rvmtl_distrib::DistributedComputation,
+    phi: &rvmtl_mtl::Formula,
+    segments: usize,
+) -> (usize, f64) {
+    let monitor = Monitor::new(MonitorConfig::with_segments(segments));
+    // One warm-up run yields the (deterministic) state count and calibrates
+    // the block size.
+    let started = Instant::now();
+    let states = monitor.run(comp, phi).explored_states();
+    let once = started.elapsed().as_secs_f64().max(1e-7);
+    let iters = ((0.025 / once) as usize).clamp(1, 10_000);
+    let mut best_secs = f64::MAX;
+    for _ in 0..5 {
+        let started = Instant::now();
+        for _ in 0..iters {
+            let _ = monitor.run(comp, phi);
+        }
+        let secs = started.elapsed().as_secs_f64() / iters as f64;
+        if secs < best_secs {
+            best_secs = secs;
+        }
+    }
+    (states, best_secs)
+}
+
 fn main() {
-    let label = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sweeps = args.iter().any(|a| a == "--sweeps");
+    let label = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "snapshot".into())
         .replace('\\', "\\\\")
         .replace('"', "\\\"");
+
     // The Fig. 5a defaults, doubled in length so the measurement rises well
     // above scheduler noise.
     let mut cfg = default_trace_config();
@@ -31,20 +77,7 @@ fn main() {
     for index in [1usize, 3, 4, 6] {
         let comp = synthetic_computation(index, &cfg);
         let phi = formula(index, cfg.processes);
-        let monitor = Monitor::new(MonitorConfig::with_segments(DEFAULT_SEGMENTS));
-        // Warm-up, then best-of-3 to shed scheduler noise.
-        let _ = monitor.run(&comp, &phi);
-        let mut best_secs = f64::MAX;
-        let mut states = 0usize;
-        for _ in 0..3 {
-            let started = Instant::now();
-            let report = monitor.run(&comp, &phi);
-            let secs = started.elapsed().as_secs_f64();
-            if secs < best_secs {
-                best_secs = secs;
-                states = report.explored_states();
-            }
-        }
+        let (states, best_secs) = measure_best(&comp, &phi, DEFAULT_SEGMENTS);
         total_states += states;
         total_secs += best_secs;
         rows.push(format!(
@@ -60,12 +93,92 @@ fn main() {
         ));
     }
 
+    // The ε sweep of Fig. 5b (phi4, g = 7 — the steepest baseline series):
+    // the axis on which the per-tick engine blew up linearly.
+    let mut epsilon_rows = Vec::new();
+    if sweeps {
+        let phi = formula(4, 2);
+        for epsilon in [1u64, 2, 3, 4, 5, 6] {
+            let mut cfg = default_trace_config();
+            cfg.epsilon_ms = epsilon;
+            let comp = synthetic_computation(4, &cfg);
+            let (states, best_secs) = measure_best(&comp, &phi, 7);
+            epsilon_rows.push(format!(
+                concat!(
+                    "    {{\"epsilon\": {}, \"explored_states\": {}, \"wall_ms\": {:.3}, ",
+                    "\"states_per_sec\": {:.0}}}"
+                ),
+                epsilon,
+                states,
+                best_secs * 1000.0,
+                states as f64 / best_secs
+            ));
+        }
+    }
+
+    // The ε saturation sweep: a Fig. 3-sized computation under skew bounds
+    // far beyond the formula's temporal horizon (6). The per-tick engine grew
+    // linearly in ε forever; the interval abstraction must go flat once every
+    // window is wider than the horizon.
+    let mut saturation_rows = Vec::new();
+    if sweeps {
+        let phi = rvmtl_mtl::parse("a U[0,6) b").expect("fixed formula parses");
+        for epsilon in [1u64, 2, 4, 8, 16, 32, 64] {
+            let mut b = rvmtl_distrib::ComputationBuilder::new(2, epsilon);
+            b.event(0, 1, rvmtl_mtl::state!["a"]);
+            b.event(0, 4, rvmtl_mtl::state![]);
+            b.event(1, 2, rvmtl_mtl::state!["a"]);
+            b.event(1, 5, rvmtl_mtl::state!["b"]);
+            let comp = b.build().expect("fixed computation is valid");
+            let (states, best_secs) = measure_best(&comp, &phi, 1);
+            saturation_rows.push(format!(
+                "    {{\"epsilon\": {}, \"explored_states\": {}, \"wall_ms\": {:.3}}}",
+                epsilon,
+                states,
+                best_secs * 1000.0,
+            ));
+        }
+    }
+
+    // The length sweep of Fig. 5d (phi4, |P| = 2, g = 15).
+    let mut length_rows = Vec::new();
+    if sweeps {
+        let phi = formula(4, 2);
+        for length in [100u64, 200, 300, 400, 500] {
+            let mut cfg = default_trace_config();
+            cfg.duration_ms = length;
+            let comp = synthetic_computation(4, &cfg);
+            let (states, best_secs) = measure_best(&comp, &phi, DEFAULT_SEGMENTS);
+            length_rows.push(format!(
+                concat!(
+                    "    {{\"length\": {}, \"events\": {}, \"explored_states\": {}, ",
+                    "\"wall_ms\": {:.3}}}"
+                ),
+                length,
+                comp.event_count(),
+                states,
+                best_secs * 1000.0,
+            ));
+        }
+    }
+
     println!("{{");
     println!("  \"label\": \"{label}\",");
     println!("  \"workload\": \"fig5a synthetic (g = {DEFAULT_SEGMENTS})\",");
     println!("  \"series\": [");
     println!("{}", rows.join(",\n"));
     println!("  ],");
+    if sweeps {
+        println!("  \"epsilon_sweep\": [");
+        println!("{}", epsilon_rows.join(",\n"));
+        println!("  ],");
+        println!("  \"epsilon_saturation\": [");
+        println!("{}", saturation_rows.join(",\n"));
+        println!("  ],");
+        println!("  \"length_sweep\": [");
+        println!("{}", length_rows.join(",\n"));
+        println!("  ],");
+    }
     println!("  \"total_explored_states\": {total_states},");
     println!("  \"total_wall_ms\": {:.3},", total_secs * 1000.0);
     println!(

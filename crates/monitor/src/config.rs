@@ -90,8 +90,19 @@ impl MonitorConfig {
     }
 
     /// Bounds the number of distinct solutions kept per segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is 0 — the monitor must keep at least one rewritten
+    /// formula per segment to stay sound (same contract as
+    /// `ProgressionQuery::with_limit` and `OnlineMonitor::with_limit`; a zero
+    /// limit used to be silently clamped to 1, which masked caller bugs).
     pub fn max_solutions(mut self, limit: usize) -> Self {
-        self.max_solutions_per_segment = Some(limit.max(1));
+        assert!(
+            limit > 0,
+            "MonitorConfig::max_solutions: the solution limit must be at least 1"
+        );
+        self.max_solutions_per_segment = Some(limit);
         self
     }
 }
@@ -120,5 +131,11 @@ mod tests {
         let overlap = MonitorConfig::with_frequency(2.0).overlap();
         assert_eq!(overlap.mode, SegmentationMode::Overlap);
         assert_eq!(MonitorConfig::default(), MonitorConfig::unsegmented());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least 1")]
+    fn zero_max_solutions_panics() {
+        let _ = MonitorConfig::unsegmented().max_solutions(0);
     }
 }

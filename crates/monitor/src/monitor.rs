@@ -4,8 +4,8 @@
 
 use crate::{MonitorConfig, VerdictSet};
 use rvmtl_distrib::{segment, DistributedComputation};
-use rvmtl_mtl::Formula;
-use rvmtl_solver::{finalize, ProgressionQuery, SolverStats};
+use rvmtl_mtl::{Formula, FormulaId, Interner};
+use rvmtl_solver::{ProgressionQuery, SegmentSolver, SolverStats};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -56,9 +56,21 @@ impl MonitorReport {
 ///
 /// The pending formulas are always anchored at the base time of the next
 /// expected segment.
+///
+/// # Query-spanning formula arena
+///
+/// The monitor owns a single [`Interner`] for its whole lifetime: the pending
+/// set is a set of [`FormulaId`]s, every segment is progressed through one
+/// shared [`SegmentSolver`] (so all pending formulas of a segment reuse the
+/// same memo table and per-cut caches), and the stable parts of the
+/// specification are interned exactly once instead of once per segment per
+/// pending formula. Final verdicts are computed directly on the ids via
+/// [`Interner::eval_empty`] — no formula tree or empty trace is materialised.
 #[derive(Debug, Clone)]
 pub struct OnlineMonitor {
-    pending: BTreeSet<Formula>,
+    /// The arena every pending formula lives in, alive across segments.
+    interner: Interner,
+    pending: BTreeSet<FormulaId>,
     parallel: bool,
     limit: Option<usize>,
     stats: SolverStats,
@@ -68,8 +80,11 @@ impl OnlineMonitor {
     /// Starts monitoring `phi` (anchored at the base time of the first
     /// segment that will be observed).
     pub fn new(phi: Formula) -> Self {
+        let mut interner = Interner::new();
+        let root = interner.intern(&phi);
         OnlineMonitor {
-            pending: BTreeSet::from([phi]),
+            interner,
+            pending: BTreeSet::from([root]),
             parallel: false,
             limit: None,
             stats: SolverStats::default(),
@@ -84,14 +99,35 @@ impl OnlineMonitor {
 
     /// Bounds the number of distinct rewritten formulas kept per pending
     /// formula per segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is `Some(0)` — the monitor must keep at least one
+    /// rewritten formula per pending formula to stay sound (validated here so
+    /// the failure points at the misuse site, not at the first
+    /// [`OnlineMonitor::observe_segment`] call where the solver would reject
+    /// it).
     pub fn with_limit(mut self, limit: Option<usize>) -> Self {
+        assert!(
+            limit != Some(0),
+            "OnlineMonitor::with_limit: the solution limit must be at least 1"
+        );
         self.limit = limit;
         self
     }
 
-    /// The formulas whose verdicts are still open.
-    pub fn pending(&self) -> &BTreeSet<Formula> {
-        &self.pending
+    /// The formulas whose verdicts are still open, resolved out of the
+    /// monitor's arena.
+    pub fn pending(&self) -> BTreeSet<Formula> {
+        self.pending
+            .iter()
+            .map(|&id| self.interner.resolve(id))
+            .collect()
+    }
+
+    /// Number of formulas whose verdicts are still open.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
     }
 
     /// Aggregated solver statistics since the monitor was created.
@@ -104,29 +140,42 @@ impl OnlineMonitor {
     /// the segment that will be observed next (or any time at or after the end
     /// of this segment if it is the last one).
     pub fn observe_segment(&mut self, seg: &DistributedComputation, next_anchor: u64) {
-        let pending: Vec<Formula> = self.pending.iter().cloned().collect();
-        let limit = self.limit;
-        let run_one = |phi: &Formula| {
-            let mut query = ProgressionQuery::new(seg, next_anchor);
-            if let Some(l) = limit {
-                query = query.with_limit(l);
-            }
-            query.distinct_progressions(phi)
-        };
-
-        let results: Vec<_> = if self.parallel && pending.len() > 1 {
-            crate::par::par_map(&pending, run_one)
-        } else {
-            pending.iter().map(run_one).collect()
-        };
-
         let mut next = BTreeSet::new();
-        for result in results {
-            self.stats.explored_states += result.stats.explored_states;
-            self.stats.memo_hits += result.stats.memo_hits;
-            self.stats.completed_sequences += result.stats.completed_sequences;
-            self.stats.constant_cutoffs += result.stats.constant_cutoffs;
-            next.extend(result.formulas);
+        if self.parallel && self.pending.len() > 1 {
+            // The solver engine works on one arena single-threadedly, so the
+            // parallel path hands every worker its own short-lived arena
+            // (inside `ProgressionQuery`) and re-interns the results into the
+            // monitor's.
+            let pending: Vec<Formula> = self
+                .pending
+                .iter()
+                .map(|&id| self.interner.resolve(id))
+                .collect();
+            let limit = self.limit;
+            let results = crate::par::par_map(&pending, |phi| {
+                let mut query = ProgressionQuery::new(seg, next_anchor);
+                if let Some(l) = limit {
+                    query = query.with_limit(l);
+                }
+                query.distinct_progressions(phi)
+            });
+            for result in results {
+                self.stats.absorb(&result.stats);
+                for f in &result.formulas {
+                    next.insert(self.interner.intern(f));
+                }
+            }
+        } else {
+            let pending: Vec<FormulaId> = self.pending.iter().copied().collect();
+            let mut solver = SegmentSolver::new(seg, next_anchor, &mut self.interner);
+            if let Some(l) = self.limit {
+                solver = solver.with_limit(l);
+            }
+            for psi in pending {
+                let result = solver.progress(psi);
+                self.stats.absorb(&result.stats);
+                next.extend(result.formulas);
+            }
         }
         self.pending = next;
     }
@@ -135,14 +184,15 @@ impl OnlineMonitor {
     /// collapsed to a constant, inconclusive entries (with the remaining
     /// obligation) for the others.
     pub fn current_verdicts(&self) -> VerdictSet {
-        VerdictSet::from_formulas(self.pending.iter())
+        let resolved = self.pending();
+        VerdictSet::from_formulas(resolved.iter())
     }
 
     /// Ends the computation: every remaining obligation is closed against the
-    /// empty future (finite-trace semantics) and the final verdict set is
-    /// returned.
+    /// empty future (finite-trace semantics, evaluated directly on the
+    /// interned ids) and the final verdict set is returned.
     pub fn finish(&self) -> VerdictSet {
-        VerdictSet::from_bools(self.pending.iter().map(finalize))
+        VerdictSet::from_bools(self.pending.iter().map(|&id| self.interner.eval_empty(id)))
     }
 }
 
@@ -207,7 +257,7 @@ impl Monitor {
                 .get(i + 1)
                 .map(|next| next.base_time())
                 .unwrap_or(final_anchor);
-            let pending_in = online.pending().len();
+            let pending_in = online.pending_count();
             let before = online.stats();
             let seg_started = Instant::now();
             online.observe_segment(seg, next_anchor);
@@ -216,19 +266,14 @@ impl Monitor {
                 index: i,
                 events: seg.event_count(),
                 pending_in,
-                pending_out: online.pending().len(),
-                solver_stats: SolverStats {
-                    explored_states: after.explored_states - before.explored_states,
-                    memo_hits: after.memo_hits - before.memo_hits,
-                    completed_sequences: after.completed_sequences - before.completed_sequences,
-                    constant_cutoffs: after.constant_cutoffs - before.constant_cutoffs,
-                },
+                pending_out: online.pending_count(),
+                solver_stats: after.delta_since(&before),
                 elapsed: seg_started.elapsed(),
             });
         }
         MonitorReport {
             verdicts: online.finish(),
-            pending: online.pending().clone(),
+            pending: online.pending(),
             segments: reports,
             elapsed: started.elapsed(),
         }
@@ -361,6 +406,12 @@ mod tests {
         let final_verdicts = online.finish();
         assert!(final_verdicts.may_be_satisfied());
         assert!(final_verdicts.may_be_violated());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be at least 1")]
+    fn zero_solution_limit_panics_at_the_builder() {
+        let _ = OnlineMonitor::new(parse("F[0,5) p").unwrap()).with_limit(Some(0));
     }
 
     #[test]

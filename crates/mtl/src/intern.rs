@@ -91,11 +91,38 @@ pub enum Node {
     Always(Interval, FormulaId),
 }
 
+/// A reference to an interned [`State`] (see [`Interner::intern_state`]).
+/// Cheap to copy, compare and hash; meaningful only together with the
+/// interner that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateKey(u32);
+
+impl StateKey {
+    /// The raw index (useful for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// The formula arena. See the module documentation.
 #[derive(Debug, Clone, Default)]
 pub struct Interner {
     nodes: Vec<Node>,
     ids: FxHashMap<Node, FormulaId>,
+    /// Per-node temporal horizon (see [`Interner::temporal_horizon`]),
+    /// computed once at interning time — children are always interned before
+    /// their parents, so one bottom-up step per node suffices.
+    horizons: Vec<u64>,
+    /// Interned observation states (see [`Interner::intern_state`]).
+    states: Vec<State>,
+    state_ids: FxHashMap<State, StateKey>,
+    /// Memoised single-observation progressions, keyed by
+    /// `(state, formula, min(elapsed, temporal_horizon))` — the elapsed time
+    /// is clamped at the horizon because progression is elapsed-independent
+    /// beyond it (see [`Interner::temporal_horizon`]).
+    one_cache: FxHashMap<(StateKey, FormulaId, u64), FormulaId>,
+    /// Memoised gap progressions, keyed like `one_cache` without the state.
+    gap_cache: FxHashMap<(FormulaId, u64), FormulaId>,
 }
 
 impl Interner {
@@ -104,6 +131,11 @@ impl Interner {
         let mut interner = Interner {
             nodes: Vec::with_capacity(64),
             ids: FxHashMap::default(),
+            horizons: Vec::with_capacity(64),
+            states: Vec::new(),
+            state_ids: FxHashMap::default(),
+            one_cache: FxHashMap::default(),
+            gap_cache: FxHashMap::default(),
         };
         let t = interner.insert(Node::True);
         let f = interner.insert(Node::False);
@@ -137,9 +169,66 @@ impl Interner {
             return id;
         }
         let id = FormulaId(u32::try_from(self.nodes.len()).expect("interner overflow"));
+        let horizon = self.horizon_of(&node);
         self.nodes.push(node.clone());
+        self.horizons.push(horizon);
         self.ids.insert(node, id);
         id
+    }
+
+    /// The temporal horizon of a node, from its (already interned) children.
+    /// A bounded interval `[s, e)` contributes `e`; an unbounded `[s, ∞)`
+    /// contributes `s` (the delay after which its start saturates at 0).
+    fn horizon_of(&self, node: &Node) -> u64 {
+        fn endpoint(i: &Interval) -> u64 {
+            i.end().unwrap_or(i.start())
+        }
+        match node {
+            Node::True | Node::False | Node::Atom(_) => 0,
+            Node::Not(a) => self.horizons[a.index()],
+            Node::And(children) | Node::Or(children) => children
+                .iter()
+                .map(|c| self.horizons[c.index()])
+                .max()
+                .unwrap_or(0),
+            Node::Implies(a, b) => self.horizons[a.index()].max(self.horizons[b.index()]),
+            Node::Eventually(i, a) | Node::Always(i, a) => {
+                endpoint(i).max(self.horizons[a.index()])
+            }
+            Node::Until(a, i, b) => endpoint(i)
+                .max(self.horizons[a.index()])
+                .max(self.horizons[b.index()]),
+        }
+    }
+
+    /// The *temporal horizon* of `id`: the largest interval endpoint occurring
+    /// anywhere in the formula (the exclusive end `e` of a bounded interval
+    /// `[s, e)`, the start `s` of an unbounded `[s, ∞)`).
+    ///
+    /// Two facts about progression follow from the horizon `T`, and the
+    /// interval-splitting entry points ([`Interner::progress_one_over`],
+    /// [`Interner::progress_gap_over`]) are built on them:
+    ///
+    /// 1. **Stability.** For any elapsed time `Δ ≥ T`, the progressions
+    ///    [`Interner::progress_one`] and [`Interner::progress_gap`] no longer
+    ///    depend on `Δ`: every bounded interval has fully elapsed (the
+    ///    operator resolves to its observed part) and every unbounded start
+    ///    has saturated at 0.
+    /// 2. **Time invariance.** `T == 0` means every live interval in the
+    ///    formula is `[0, ∞)`, so progression never depends on elapsed time at
+    ///    *any* depth, and the property is preserved by progression. A
+    ///    time-invariant pending formula rewrites identically along a trace
+    ///    regardless of when its observations occur — only their order
+    ///    matters.
+    pub fn temporal_horizon(&self, id: FormulaId) -> u64 {
+        self.horizons[id.index()]
+    }
+
+    /// Returns `true` if progression of `id` is independent of elapsed time
+    /// (see [`Interner::temporal_horizon`]; equivalent to
+    /// `temporal_horizon(id) == 0`). Boolean constants are time-invariant.
+    pub fn is_time_invariant(&self, id: FormulaId) -> bool {
+        self.horizons[id.index()] == 0
     }
 
     // ------------------------------------------------------------------
@@ -582,6 +671,307 @@ impl Interner {
         }
     }
 
+    /// Interns an observation state, so repeated progressions against the
+    /// same state can be memoised on a 4-byte key (the solver observes the
+    /// same cut frontiers over and over across its search).
+    pub fn intern_state(&mut self, state: &State) -> StateKey {
+        if let Some(&key) = self.state_ids.get(state) {
+            return key;
+        }
+        let key = StateKey(u32::try_from(self.states.len()).expect("state interner overflow"));
+        self.states.push(state.clone());
+        self.state_ids.insert(state.clone(), key);
+        key
+    }
+
+    /// Memoised [`Interner::progress_one`] over an interned state: the result
+    /// of progressing `id` across a single observation of state `key` with
+    /// `elapsed` time units between the observation and the next anchor.
+    ///
+    /// `progress_one(state, time, id, next)` depends on its two time
+    /// arguments only through `next − time`, and beyond the formula's
+    /// [temporal horizon](Interner::temporal_horizon) not even on that — so
+    /// the memo key clamps the elapsed time at the horizon and one cache
+    /// entry serves every tick of the stable tail of any window, across all
+    /// segments the interner lives through. The memoisation is applied at
+    /// *every* recursion level, so structurally shared subformulas (e.g. the
+    /// per-process obligations of a replicated specification, or the stable
+    /// core of a `□`-residual) are progressed once per `(state, elapsed)`
+    /// no matter how many pending formulas contain them.
+    pub fn progress_one_cached(&mut self, key: StateKey, id: FormulaId, elapsed: u64) -> FormulaId {
+        // Clamping is sound per node: for `elapsed ≥ temporal_horizon(id)`
+        // every bounded interval in `id` has elapsed and every unbounded
+        // start has saturated, so the result equals the horizon's.
+        let clamped = elapsed.min(self.temporal_horizon(id));
+        if let Some(&f) = self.one_cache.get(&(key, id, clamped)) {
+            return f;
+        }
+        let f = match self.node(id).clone() {
+            Node::True => FormulaId::TRUE,
+            Node::False => FormulaId::FALSE,
+            Node::Atom(p) => {
+                if self.states[key.index()].holds_prop(&p) {
+                    FormulaId::TRUE
+                } else {
+                    FormulaId::FALSE
+                }
+            }
+            Node::Not(a) => {
+                let a = self.progress_one_cached(key, a, clamped);
+                self.mk_not(a)
+            }
+            Node::And(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_one_cached(key, c, clamped))
+                    .collect();
+                self.mk_and_all(parts)
+            }
+            Node::Or(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_one_cached(key, c, clamped))
+                    .collect();
+                self.mk_or_all(parts)
+            }
+            Node::Implies(a, b) => {
+                let a = self.progress_one_cached(key, a, clamped);
+                let b = self.progress_one_cached(key, b, clamped);
+                self.mk_implies(a, b)
+            }
+            Node::Eventually(interval, a) => {
+                let observed = if interval.contains(0) {
+                    self.progress_one_cached(key, a, clamped)
+                } else {
+                    FormulaId::FALSE
+                };
+                if interval.elapsed_by(clamped) {
+                    observed
+                } else {
+                    let residual = self.mk_eventually(interval.shift_down(clamped), a);
+                    self.mk_or(observed, residual)
+                }
+            }
+            Node::Always(interval, a) => {
+                let observed = if interval.contains(0) {
+                    self.progress_one_cached(key, a, clamped)
+                } else {
+                    FormulaId::TRUE
+                };
+                if interval.elapsed_by(clamped) {
+                    observed
+                } else {
+                    let residual = self.mk_always(interval.shift_down(clamped), a);
+                    self.mk_and(observed, residual)
+                }
+            }
+            Node::Until(a, interval, b) => {
+                let pre = if interval.start() > 0 {
+                    self.progress_one_cached(key, a, clamped)
+                } else {
+                    FormulaId::TRUE
+                };
+                let observed_witness = if interval.contains(0) {
+                    self.progress_one_cached(key, b, clamped)
+                } else {
+                    FormulaId::FALSE
+                };
+                let future_witness = if interval.elapsed_by(clamped) {
+                    FormulaId::FALSE
+                } else {
+                    let all_a = self.progress_one_cached(key, a, clamped);
+                    let residual = self.mk_until(a, interval.shift_down(clamped), b);
+                    self.mk_and(all_a, residual)
+                };
+                let witness = self.mk_or(observed_witness, future_witness);
+                self.mk_and(pre, witness)
+            }
+        };
+        self.one_cache.insert((key, id, clamped), f);
+        f
+    }
+
+    /// Memoised [`Interner::progress_gap`] (same per-node elapsed-clamping
+    /// memo as [`Interner::progress_one_cached`]).
+    pub fn progress_gap_cached(&mut self, id: FormulaId, elapsed: u64) -> FormulaId {
+        let clamped = elapsed.min(self.temporal_horizon(id));
+        if clamped == 0 {
+            // A zero gap is the identity, and a time-invariant formula is a
+            // fixpoint of every gap.
+            return id;
+        }
+        if let Some(&f) = self.gap_cache.get(&(id, clamped)) {
+            return f;
+        }
+        let f = match self.node(id).clone() {
+            Node::True | Node::False | Node::Atom(_) => id,
+            Node::Not(a) => {
+                let a = self.progress_gap_cached(a, clamped);
+                self.mk_not(a)
+            }
+            Node::And(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_gap_cached(c, clamped))
+                    .collect();
+                self.mk_and_all(parts)
+            }
+            Node::Or(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_gap_cached(c, clamped))
+                    .collect();
+                self.mk_or_all(parts)
+            }
+            Node::Implies(a, b) => {
+                let a = self.progress_gap_cached(a, clamped);
+                let b = self.progress_gap_cached(b, clamped);
+                self.mk_implies(a, b)
+            }
+            Node::Eventually(i, a) => {
+                if i.elapsed_by(clamped) {
+                    FormulaId::FALSE
+                } else {
+                    self.mk_eventually(i.shift_down(clamped), a)
+                }
+            }
+            Node::Always(i, a) => {
+                if i.elapsed_by(clamped) {
+                    FormulaId::TRUE
+                } else {
+                    self.mk_always(i.shift_down(clamped), a)
+                }
+            }
+            Node::Until(a, i, b) => {
+                if i.elapsed_by(clamped) {
+                    FormulaId::FALSE
+                } else {
+                    self.mk_until(a, i.shift_down(clamped), b)
+                }
+            }
+        };
+        self.gap_cache.insert((id, clamped), f);
+        f
+    }
+
+    /// Interval-splitting progression: partitions the occurrence-time window
+    /// `[lo, hi]` (inclusive) of the *next* observation into maximal ranges on
+    /// which [`Interner::progress_one`] yields one and the same residual, and
+    /// returns the `(range, residual)` pairs in increasing time order.
+    ///
+    /// The pending formula `id` is anchored at `time` and the observation
+    /// being consumed is `state` at `time`; each returned triple
+    /// `(a, b, psi)` states that `progress_one(state, time, id, t) == psi` for
+    /// every `t ∈ [a, b]`.
+    ///
+    /// Two mechanisms bound the number of progression calls by
+    /// `min(hi − lo, temporal_horizon(id)) + 1` instead of `hi − lo + 1`:
+    ///
+    /// * beyond the stability threshold `time + temporal_horizon(id)` the
+    ///   residual no longer depends on `t`, so the entire tail of the window
+    ///   is resolved with a single progression call;
+    /// * below the threshold, adjacent time points whose residuals coincide
+    ///   are merged — but only when the shared residual is *time-invariant*
+    ///   ([`Interner::is_time_invariant`]), because only then is the caller
+    ///   entitled to treat the range as one search node (a time-invariant
+    ///   residual rewrites identically no matter when later observations
+    ///   occur, so its reachable rewrite set from pending time `t` shrinks
+    ///   monotonically in `t` and the whole range is subsumed by its earliest
+    ///   point). Equal residuals that still contain live bounded intervals
+    ///   are emitted as separate singleton ranges.
+    ///
+    /// The same invariant-only merge rule applies to the stable tail: a
+    /// non-invariant tail residual (a bounded operator nested under an
+    /// unbounded one) is returned as one multi-point range — saving the
+    /// per-tick progression calls — and the caller must still treat each time
+    /// point of that range as a distinct search state.
+    pub fn progress_one_over(
+        &mut self,
+        state: &State,
+        time: u64,
+        id: FormulaId,
+        lo: u64,
+        hi: u64,
+    ) -> Vec<(u64, u64, FormulaId)> {
+        let key = self.intern_state(state);
+        self.progress_one_over_keyed(key, time, id, lo, hi)
+    }
+
+    /// [`Interner::progress_one_over`] for a pre-interned observation state —
+    /// the solver interns each cut frontier once and reuses the key across
+    /// every window explored at that cut.
+    pub fn progress_one_over_keyed(
+        &mut self,
+        key: StateKey,
+        time: u64,
+        id: FormulaId,
+        lo: u64,
+        hi: u64,
+    ) -> Vec<(u64, u64, FormulaId)> {
+        self.progress_over_with(
+            lo,
+            hi,
+            time.saturating_add(self.temporal_horizon(id)),
+            |s, t| s.progress_one_cached(key, id, t.saturating_sub(time)),
+        )
+    }
+
+    /// Interval-splitting counterpart of [`Interner::progress_gap`]: partitions
+    /// the window `[lo, hi]` of the next anchor time into maximal ranges on
+    /// which `progress_gap(id, t − base)` is constant. `base` is the anchor
+    /// time of `id`. Same contract and merge rules as
+    /// [`Interner::progress_one_over`].
+    pub fn progress_gap_over(
+        &mut self,
+        id: FormulaId,
+        base: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Vec<(u64, u64, FormulaId)> {
+        self.progress_over_with(
+            lo,
+            hi,
+            base.saturating_add(self.temporal_horizon(id)),
+            |s, t| s.progress_gap_cached(id, t.saturating_sub(base)),
+        )
+    }
+
+    /// Shared splitting loop: walks `t` over `[lo, hi]`, calling `step` once
+    /// per time point below `stable_from` and once for the whole tail at or
+    /// beyond it, merging adjacent equal residuals when they are
+    /// time-invariant.
+    fn progress_over_with(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        stable_from: u64,
+        mut step: impl FnMut(&mut Self, u64) -> FormulaId,
+    ) -> Vec<(u64, u64, FormulaId)> {
+        debug_assert!(lo <= hi, "window [{lo}, {hi}] is empty");
+        let mut out: Vec<(u64, u64, FormulaId)> = Vec::new();
+        let mut t = lo;
+        while t <= hi {
+            let f = step(self, t);
+            let stable = t >= stable_from;
+            let upper = if stable { hi } else { t };
+            match out.last_mut() {
+                // Extend the previous range only when the residual is the
+                // same *and* time-invariant (see `progress_one_over`).
+                Some((_, end, prev))
+                    if *prev == f && *end + 1 == t && self.is_time_invariant(f) =>
+                {
+                    *end = upper;
+                }
+                _ => out.push((t, upper, f)),
+            }
+            if stable {
+                break;
+            }
+            t += 1;
+        }
+        out
+    }
+
     /// Progression over an observation gap of `elapsed` time units — the
     /// interned counterpart of [`crate::progress_gap`].
     pub fn progress_gap(&mut self, id: FormulaId, elapsed: u64) -> FormulaId {
@@ -752,6 +1142,118 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn temporal_horizon_is_the_largest_interval_endpoint() {
+        let mut interner = Interner::new();
+        let cases = [
+            ("true", 0),
+            ("p", 0),
+            ("!p & (q | r)", 0),
+            ("F[0,5) p", 5),
+            ("G[2,9) p", 9),
+            ("p U[0,6) q", 6),
+            ("(F[0,3) p) & (G[0,11) q)", 11),
+            ("F[0,inf) p", 0),
+            ("F[4,inf) p", 4),
+            ("F[0,inf) (F[0,3) p)", 3),
+            ("G[0,inf) (p U[1,7) q)", 7),
+        ];
+        for (text, expected) in cases {
+            let id = interner.intern(&crate::parse(text).unwrap());
+            assert_eq!(interner.temporal_horizon(id), expected, "horizon of {text}");
+            assert_eq!(interner.is_time_invariant(id), expected == 0, "{text}");
+        }
+    }
+
+    #[test]
+    fn progress_one_over_matches_per_tick_progression() {
+        let mut interner = Interner::new();
+        let formulas = [
+            "a U[0,8) b",
+            "F[2,6) a",
+            "G[0,4) (a | b)",
+            "!a U[2,9) (a & b)",
+            "F[0,inf) (F[0,3) b)",
+            "(F[0,5) a) | (G[1,inf) b)",
+        ];
+        let states = [state!["a"], state!["b"], state![], state!["a", "b"]];
+        for text in formulas {
+            let phi = crate::parse(text).unwrap();
+            for s in &states {
+                for time in [0u64, 3] {
+                    for (lo, hi) in [(time, time + 25), (time + 2, time + 14)] {
+                        let id = interner.intern(&phi);
+                        let splits = interner.progress_one_over(s, time, id, lo, hi);
+                        // The ranges tile [lo, hi] exactly, in order.
+                        let mut expected_start = lo;
+                        for &(a, b, f) in &splits {
+                            assert_eq!(a, expected_start, "{text} at {s}");
+                            assert!(b >= a && b <= hi);
+                            expected_start = b + 1;
+                            // Every point of the range progresses to the
+                            // range's residual.
+                            for t in a..=b {
+                                assert_eq!(
+                                    interner.progress_one(s, time, id, t),
+                                    f,
+                                    "{text}, state {s}, time {time}, t = {t}"
+                                );
+                            }
+                            // Multi-point ranges below the stability threshold
+                            // must carry a time-invariant residual.
+                            if b > a && b < time + interner.temporal_horizon(id) {
+                                assert!(interner.is_time_invariant(f), "{text} range [{a},{b}]");
+                            }
+                        }
+                        assert_eq!(
+                            expected_start,
+                            hi + 1,
+                            "{text}: ranges must cover the window"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn progress_gap_over_matches_per_tick_gap() {
+        let mut interner = Interner::new();
+        for text in [
+            "F[0,5) p",
+            "p U[2,9) q",
+            "G[0,inf) p",
+            "F[3,inf) (G[0,4) q)",
+        ] {
+            let phi = crate::parse(text).unwrap();
+            let id = interner.intern(&phi);
+            let base = 4u64;
+            let splits = interner.progress_gap_over(id, base, base, base + 20);
+            let mut expected_start = base;
+            for &(a, b, f) in &splits {
+                assert_eq!(a, expected_start, "{text}");
+                expected_start = b + 1;
+                for t in a..=b {
+                    assert_eq!(interner.progress_gap(id, t - base), f, "{text}, t = {t}");
+                }
+            }
+            assert_eq!(expected_start, base + 21, "{text}");
+        }
+    }
+
+    #[test]
+    fn stable_tail_collapses_to_one_range() {
+        let mut interner = Interner::new();
+        let id = interner.intern(&crate::parse("F[0,6) b").unwrap());
+        // Anchored at 0, window [0, 100]: per-tick residuals up to the
+        // horizon, then one range for the entire elapsed tail.
+        let splits = interner.progress_one_over(&state![], 0, id, 0, 100);
+        let (a, b, f) = *splits.last().unwrap();
+        assert_eq!((a, b), (6, 100), "tail of {splits:?}");
+        assert_eq!(f, FormulaId::FALSE);
+        assert!(splits.len() <= 7);
     }
 
     #[test]

@@ -59,7 +59,7 @@ mod trace;
 pub use atom::Prop;
 pub use eval::{evaluate, evaluate_at, evaluate_from};
 pub use formula::Formula;
-pub use intern::{FormulaId, Interner, Node};
+pub use intern::{FormulaId, Interner, Node, StateKey};
 pub use interval::Interval;
 pub use parser::{parse, ParseError};
 pub use progress::{progress, progress_default, progress_gap};

@@ -128,6 +128,66 @@ fn progress_one_agrees_with_progress() {
     }
 }
 
+/// The memoised progressions (per-node caches keyed by
+/// `(state, formula, min(elapsed, temporal_horizon))`) agree with the
+/// uncached walks for random formulas — i.e. the horizon clamp and the
+/// recursion-level memoisation never change a result, only its cost.
+#[test]
+fn cached_progressions_agree_with_uncached() {
+    let mut rng = StdRng::seed_from_u64(0xCAC4);
+    let mut interner = Interner::new();
+    for _ in 0..CASES {
+        let phi = gen_phi(&mut rng);
+        let state = gen_state(&mut rng);
+        let elapsed = rng.gen_range(0u64..24);
+        let id = interner.intern(&phi);
+        let key = interner.intern_state(&state);
+        assert_eq!(
+            interner.progress_one_cached(key, id, elapsed),
+            interner.progress_one(&state, 0, id, elapsed),
+            "phi = {phi}, state = {state}, elapsed = {elapsed}"
+        );
+        assert_eq!(
+            interner.progress_gap_cached(id, elapsed),
+            interner.progress_gap(id, elapsed),
+            "phi = {phi}, elapsed = {elapsed}"
+        );
+    }
+}
+
+/// The interval-splitting progression tiles the window exactly, and every
+/// point of every range progresses to the range's residual (the contract the
+/// solver's range collapse is built on), for random formulas, states and
+/// windows.
+#[test]
+fn progress_one_over_tiles_windows_for_random_formulas() {
+    let mut rng = StdRng::seed_from_u64(0x0E12);
+    let mut interner = Interner::new();
+    for _ in 0..CASES {
+        let phi = gen_phi(&mut rng);
+        let state = gen_state(&mut rng);
+        let time = rng.gen_range(0u64..4);
+        let lo = time + rng.gen_range(0u64..4);
+        let hi = lo + rng.gen_range(0u64..30);
+        let id = interner.intern(&phi);
+        let splits = interner.progress_one_over(&state, time, id, lo, hi);
+        let mut expected = lo;
+        for &(a, b, f) in &splits {
+            assert_eq!(a, expected, "phi = {phi}");
+            assert!(b >= a && b <= hi, "phi = {phi}");
+            expected = b + 1;
+            for t in a..=b {
+                assert_eq!(
+                    interner.progress_one(&state, time, id, t),
+                    f,
+                    "phi = {phi}, state = {state}, time = {time}, t = {t}"
+                );
+            }
+        }
+        assert_eq!(expected, hi + 1, "phi = {phi}: ranges must tile [lo, hi]");
+    }
+}
+
 /// The interned gap progression agrees with the `Formula`-level one.
 #[test]
 fn progress_gap_agrees_with_formula_level() {

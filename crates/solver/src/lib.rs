@@ -6,10 +6,13 @@
 //! (consistent-cut sequences × bounded-skew time assignments) can rewrite the
 //! formula, and therefore every verdict the segment can justify.
 //!
-//! Two interfaces are provided:
+//! Three interfaces are provided:
 //!
+//! * [`SegmentSolver`] — the monitor-facing API: one solver per segment,
+//!   shared by every pending formula, working on [`rvmtl_mtl::FormulaId`]s in
+//!   a caller-owned query-spanning [`rvmtl_mtl::Interner`];
 //! * [`ProgressionQuery`] / [`distinct_progressions`] / [`possible_verdicts`] —
-//!   the direct query API used by the monitor crate;
+//!   the self-contained query API over `Formula` trees;
 //! * [`SolverInstance`] — an incremental check/block/model loop mirroring how
 //!   the paper drives Z3 with blocking clauses (Fig. 5e).
 //!
@@ -17,25 +20,48 @@
 //! enumeration of all traces (`rvmtl_distrib::all_verdicts`), which is
 //! verified by differential and property-based tests.
 //!
-//! # Engine design: memo keys and the formula interner
+//! # Engine design: interval nodes, memo keys and the formula interner
 //!
 //! The search is a DFS over `(cut, pending time, pending formula)` nodes; the
 //! memo table is consulted once per node visit, so the cost of building and
 //! hashing the key — and of taking a progression step — *is* the cost of the
-//! solver. Three representation choices keep all of it O(1)-shaped:
+//! solver. Four representation choices keep all of it O(1)-shaped:
 //!
-//! 1. **Formulas are hash-consed** in an [`rvmtl_mtl::Interner`] owned by the
-//!    engine for the lifetime of one query. Every distinct canonical formula
-//!    is stored once and named by a 4-byte [`rvmtl_mtl::FormulaId`]; clone is
-//!    a copy, equality is an integer compare, and the id doubles as a perfect
-//!    hash. Progression steps run inside the arena
-//!    ([`rvmtl_mtl::Interner::progress_one`] /
-//!    [`rvmtl_mtl::Interner::progress_gap`]) and the arena's smart
-//!    constructors canonicalise on the fly, so simplification-equivalent
-//!    rewrites deduplicate by construction — the memo never sees two names
-//!    for the same pending obligation.
+//! 1. **Formulas are hash-consed** in an [`rvmtl_mtl::Interner`] *borrowed
+//!    from the caller*: [`SegmentSolver`] shares one arena across every
+//!    pending formula of a segment, and the monitor keeps that arena alive
+//!    across all segments of a query, so the stable parts of the
+//!    specification are interned exactly once. Every distinct canonical
+//!    formula is stored once and named by a 4-byte [`rvmtl_mtl::FormulaId`];
+//!    clone is a copy, equality is an integer compare, and the id doubles as
+//!    a perfect hash. The arena's smart constructors canonicalise on the fly,
+//!    so simplification-equivalent rewrites deduplicate by construction — the
+//!    memo never sees two names for the same pending obligation.
 //!
-//! 2. **Cuts are ranked into a `u128`.** A cut of a fixed computation is a
+//! 2. **Time is explored per residual, not per tick.** The admissible
+//!    occurrence window `[lo, hi]` of an enabled event (width `2ε + 1`) is
+//!    partitioned by [`rvmtl_mtl::Interner::progress_one_over`] into maximal
+//!    *residual-constant ranges* — at most
+//!    `min(hi − lo, temporal_horizon(ψ)) + 1` of them, where the
+//!    [temporal horizon](rvmtl_mtl::Interner::temporal_horizon) is the
+//!    largest interval endpoint in the pending formula — and the search
+//!    recurses once per range. A range whose residual is *time-invariant*
+//!    (horizon 0: every live interval is `[0, ∞)`, so progression never
+//!    again depends on timing) collapses to a single child at the range's
+//!    earliest time: the reachable rewrite set of a time-invariant pending
+//!    formula shrinks monotonically in the pending time, so the union over
+//!    the range equals the contribution of its infimum. This is what turns
+//!    the ε axis from a linear branching factor into a bounded one — beyond
+//!    `ε ≈ horizon` the explored-state count saturates (see the
+//!    `epsilon_saturation` series of `BENCH_2.json` and
+//!    `tests/regression.rs::explored_states_saturate_in_epsilon`).
+//!    Progression steps themselves are memoised per node of the formula DAG,
+//!    keyed `(frontier state, subformula, min(elapsed, horizon))`
+//!    ([`rvmtl_mtl::Interner::progress_one_cached`]), so structurally shared
+//!    obligations are progressed once per `(state, elapsed)` across the whole
+//!    query.
+//!
+//! 3. **Cuts are ranked into a `u128`.** A cut of a fixed computation is a
 //!    vector of per-process event counts; the engine assigns each process a
 //!    mixed-radix stride (`stride[p] = Π_{q<p} (n_q + 1)`) and identifies the
 //!    cut with `Σ counts[p]·stride[p]` — a bijection onto `0..Π(n_p+1)`.
@@ -44,23 +70,29 @@
 //!    materialised. When the lattice exceeds `u128::MAX` points (hundreds of
 //!    mostly-idle processes), ranking falls back to interning the count
 //!    vectors of the cuts actually visited, which stay dense. The memo key is
-//!    the packed triple `(u128 cut rank, u64 pending time, FormulaId)` hashed
-//!    with the Fx multiply-xor hasher ([`rvmtl_mtl::hashing`]).
+//!    the packed triple `(u128 cut rank, u64 canonical pending time,
+//!    FormulaId)` hashed with the Fx multiply-xor hasher
+//!    ([`rvmtl_mtl::hashing`]) — a time *range* is represented by its
+//!    canonical infimum, so range nodes and singleton nodes share one
+//!    fixed-size key space and memo hits fire across differently-shaped
+//!    parents.
 //!
-//! 3. **Single-pass accumulation.** Each node's result set (the distinct
+//! 4. **Single-pass accumulation.** Each node's result set (the distinct
 //!    rewritten formulas reachable below it) is assembled while its children
 //!    are explored for the first time: every recursive call receives the
 //!    parent's sink and deposits its contribution directly. Progression
-//!    (`step`) therefore runs exactly once per `(node, event, t)` edge —
-//!    there is no second "re-derive by re-walking children" pass — and a node
+//!    therefore runs once per `(node, event, residual-range)` edge — there is
+//!    no second "re-derive by re-walking children" pass — and a node
 //!    abandoned by an early stop (solution limit, verdict witness) caches
 //!    nothing, keeping the memo free of partial sets. Per-cut derived data
-//!    (`enabled()`, `frontier_state()`) is cached by cut rank and shared by
-//!    all formulas and time assignments passing through the cut.
+//!    (`enabled()`, the interned frontier state) is cached by cut rank and
+//!    shared by all formulas and time assignments passing through the cut.
 //!
-//! The search-shape counters ([`SolverStats`]) are pinned on a Fig. 3-style
-//! scenario in `tests/regression.rs`; `BENCH_1.json` at the repository root
-//! tracks the resulting throughput on the Fig. 5a workload.
+//! The search-shape counters ([`SolverStats`], including the
+//! interval-abstraction counters `time_splits` and `merged_time_points`) are
+//! pinned on Fig. 3-style scenarios in `tests/regression.rs`; `BENCH_1.json`
+//! and `BENCH_2.json` at the repository root track the resulting throughput
+//! on the Fig. 5a workload and the ε/length sweeps.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -70,6 +102,6 @@ mod progression;
 
 pub use instance::{CheckResult, Model, SolverInstance};
 pub use progression::{
-    distinct_progressions, exists_verdict, finalize, possible_verdicts, ProgressionQuery,
-    ProgressionResult, SolverStats,
+    distinct_progressions, exists_verdict, finalize, possible_verdicts, InternedProgression,
+    ProgressionQuery, ProgressionResult, SegmentSolver, SolverStats,
 };

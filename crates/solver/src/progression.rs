@@ -20,10 +20,22 @@
 //! The search spends its entire budget on memo lookups and progression steps,
 //! so both are kept O(1)-shaped:
 //!
-//! * **Formulas are hash-consed.** The engine owns an [`Interner`] and carries
-//!   [`FormulaId`]s (4-byte copies with id-equality and id-hashing) instead of
-//!   `Formula` trees; progression steps go through
-//!   [`Interner::progress_one`] / [`Interner::progress_gap`].
+//! * **Formulas are hash-consed.** The engine borrows a caller-supplied
+//!   [`Interner`] (the monitor keeps one alive for the whole query, across
+//!   segments) and carries [`FormulaId`]s (4-byte copies with id-equality and
+//!   id-hashing) instead of `Formula` trees; progression steps go through
+//!   [`Interner::progress_one_over`] / [`Interner::progress_gap_over`].
+//! * **Time is explored per residual, not per tick.** An event admissible in
+//!   the window `[lo, hi]` is *not* branched on once per occurrence time:
+//!   [`Interner::progress_one_over`] partitions the window into maximal
+//!   ranges with one residual each (at most `temporal_horizon + 1` of them,
+//!   independent of ε), and the search recurses once per range. A range whose
+//!   residual is time-invariant collapses to its earliest point — the
+//!   canonical representative of the whole range, because the reachable
+//!   rewrite set of a time-invariant pending formula shrinks monotonically in
+//!   the pending time — so the memo key can stay a fixed-size
+//!   `(cut rank, canonical time, FormulaId)` triple and still deduplicate
+//!   entire time ranges.
 //! * **Cuts are ranked.** A cut is a vector of per-process counts; the engine
 //!   maps it to a single `u128` *rank* via mixed-radix strides
 //!   (`rank = Σ counts[p]·stride[p]`, `stride[p] = Π_{q<p}(n_q+1)`), updated
@@ -42,7 +54,7 @@
 
 use rvmtl_distrib::{Cut, DistributedComputation, EventId};
 use rvmtl_mtl::hashing::FxHashMap;
-use rvmtl_mtl::{evaluate, Formula, FormulaId, Interner, State, TimedTrace};
+use rvmtl_mtl::{evaluate, Formula, FormulaId, Interner, StateKey, TimedTrace};
 use std::collections::BTreeSet;
 use std::rc::Rc;
 
@@ -59,6 +71,40 @@ pub struct SolverStats {
     /// Number of branches cut off early because the pending formula had
     /// already collapsed to a constant verdict.
     pub constant_cutoffs: usize,
+    /// Number of residual-constant time ranges produced by the
+    /// interval-splitting progression (one per `(node, event, residual)`
+    /// instead of one per `(node, event, tick)`).
+    pub time_splits: usize,
+    /// Number of admissible occurrence times that were *not* explored as
+    /// separate search states because their range collapsed to its canonical
+    /// earliest point (the per-tick engine would have explored each of them).
+    pub merged_time_points: usize,
+}
+
+impl SolverStats {
+    /// Adds the counters of `other` into `self` (used by the monitor to
+    /// aggregate per-segment statistics).
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.explored_states += other.explored_states;
+        self.memo_hits += other.memo_hits;
+        self.completed_sequences += other.completed_sequences;
+        self.constant_cutoffs += other.constant_cutoffs;
+        self.time_splits += other.time_splits;
+        self.merged_time_points += other.merged_time_points;
+    }
+
+    /// The element-wise difference `self − other` (used to carve the stats of
+    /// one query out of a solver's cumulative counters).
+    pub fn delta_since(&self, other: &SolverStats) -> SolverStats {
+        SolverStats {
+            explored_states: self.explored_states - other.explored_states,
+            memo_hits: self.memo_hits - other.memo_hits,
+            completed_sequences: self.completed_sequences - other.completed_sequences,
+            constant_cutoffs: self.constant_cutoffs - other.constant_cutoffs,
+            time_splits: self.time_splits - other.time_splits,
+            merged_time_points: self.merged_time_points - other.merged_time_points,
+        }
+    }
 }
 
 /// The result of a progression query on one segment: the set of distinct
@@ -115,8 +161,19 @@ impl<'a> ProgressionQuery<'a> {
     /// Limits the number of distinct rewritten formulas to search for; the
     /// query returns as soon as the limit is reached. This mirrors the paper's
     /// repeated SMT invocations with blocked verdicts (Fig. 5e).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is 0. A progression query always produces at least
+    /// one rewritten formula on a feasible segment, so a zero limit cannot
+    /// mean anything except a caller bug — it used to be silently clamped to
+    /// 1, which masked such bugs.
     pub fn with_limit(mut self, limit: usize) -> Self {
-        self.limit = limit.max(1);
+        assert!(
+            limit > 0,
+            "ProgressionQuery::with_limit: the solution limit must be at least 1"
+        );
+        self.limit = limit;
         self
     }
 
@@ -124,9 +181,87 @@ impl<'a> ProgressionQuery<'a> {
     /// base time, returning every distinct rewritten formula the segment's
     /// traces can produce.
     pub fn distinct_progressions(&self, phi: &Formula) -> ProgressionResult {
-        let mut engine = Engine::new(self.comp, self.next_anchor, self.limit);
-        engine.run(phi, &mut |_, _| false);
-        engine.into_result()
+        let mut interner = Interner::new();
+        let psi = interner.intern(phi);
+        let mut engine = Engine::new(self.comp, self.next_anchor, self.limit, &mut interner);
+        engine.run(psi, &mut |_, _| false);
+        let (found, stats) = engine.into_parts();
+        ProgressionResult {
+            formulas: found.iter().map(|&id| interner.resolve(id)).collect(),
+            stats,
+        }
+    }
+}
+
+/// The result of progressing one interned pending formula through a
+/// [`SegmentSolver`]: the distinct rewritten formulas as ids in the shared
+/// interner, plus the statistics of this query alone.
+#[derive(Debug, Clone)]
+pub struct InternedProgression {
+    /// The distinct rewritten formulas, interned in the solver's shared arena.
+    pub formulas: BTreeSet<FormulaId>,
+    /// Work counters of this query (not cumulative across queries).
+    pub stats: SolverStats,
+}
+
+/// A solver for one segment shared by *all* pending formulas of that segment,
+/// working directly on [`FormulaId`]s in a caller-owned [`Interner`].
+///
+/// This is the monitor-facing entry point: the memo table, the feasibility
+/// cache and the per-cut `enabled`/`frontier` caches are built once per
+/// segment and reused by every pending formula progressed through it (memo
+/// entries are keyed by the pending formula, so entries produced for one
+/// formula are directly reusable by another that rewrites into the same
+/// obligation). The interner outlives the solver — the monitor keeps one
+/// arena alive across all segments of a query, so the stable parts of the
+/// specification are interned exactly once.
+pub struct SegmentSolver<'a, 'i> {
+    engine: Engine<'a, 'i>,
+}
+
+impl<'a, 'i> SegmentSolver<'a, 'i> {
+    /// Creates a solver for `comp` anchoring residuals at `next_anchor`,
+    /// interning formulas in the caller's `interner`.
+    pub fn new(
+        comp: &'a DistributedComputation,
+        next_anchor: u64,
+        interner: &'i mut Interner,
+    ) -> Self {
+        SegmentSolver {
+            engine: Engine::new(comp, next_anchor, usize::MAX, interner),
+        }
+    }
+
+    /// Limits the number of distinct rewritten formulas per
+    /// [`SegmentSolver::progress`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is 0 (see [`ProgressionQuery::with_limit`]).
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        assert!(
+            limit > 0,
+            "SegmentSolver::with_limit: the solution limit must be at least 1"
+        );
+        self.engine.limit = limit;
+        self
+    }
+
+    /// Progresses one pending formula over the segment, returning the distinct
+    /// rewritten formulas as interner ids.
+    pub fn progress(&mut self, psi: FormulaId) -> InternedProgression {
+        let before = self.engine.stats;
+        self.engine.found.clear();
+        self.engine.run(psi, &mut |_, _| false);
+        InternedProgression {
+            formulas: std::mem::take(&mut self.engine.found),
+            stats: self.engine.stats.delta_since(&before),
+        }
+    }
+
+    /// Cumulative statistics over every query run through this solver.
+    pub fn stats(&self) -> SolverStats {
+        self.engine.stats
     }
 }
 
@@ -159,12 +294,19 @@ pub fn exists_verdict(comp: &DistributedComputation, phi: &Formula, target: bool
     // Verdicts are a projection of the rewritten formulas, so search all of
     // them but stop as soon as one with the requested verdict appears.
     let anchor = comp.max_local_time() + comp.epsilon();
-    let mut engine = Engine::new(comp, anchor, usize::MAX);
-    engine.run(phi, &mut |interner, id| interner.eval_empty(id) == target)
+    let mut interner = Interner::new();
+    let psi = interner.intern(phi);
+    let mut engine = Engine::new(comp, anchor, usize::MAX, &mut interner);
+    engine.run(psi, &mut |interner, id| interner.eval_empty(id) == target)
 }
 
-/// Memo key of a search node: `(cut rank, last assigned time, pending
+/// Memo key of a search node: `(cut rank, canonical pending time, pending
 /// formula)`. Fixed-size, allocation-free, O(1) hash and equality.
+///
+/// A node stands for every admissible pending time of a *range* when the
+/// pending formula is time-invariant; the canonical representative of such a
+/// range is its earliest time (see [`Engine::explore`]), so plain singleton
+/// keys double as range keys without widening the memo entry.
 type NodeKey = (u128, u64, FormulaId);
 
 /// Assigns every cut of one computation a unique `u128` rank.
@@ -217,21 +359,25 @@ impl CutRanker {
     }
 }
 
-struct Engine<'a> {
+struct Engine<'a, 'i> {
     comp: &'a DistributedComputation,
     next_anchor: u64,
     limit: usize,
-    /// Hash-consed formula arena; all pending formulas live here for the
-    /// lifetime of the query.
-    interner: Interner,
+    /// Hash-consed formula arena, borrowed from the caller so it can span
+    /// several segments (and every pending formula of each).
+    interner: &'i mut Interner,
     /// Maps cuts to unique ranks (see [`CutRanker`]).
     ranker: CutRanker,
-    memo: FxHashMap<NodeKey, Rc<BTreeSet<FormulaId>>>,
+    /// Contribution sets per node, stored as sorted deduplicated slices (the
+    /// sets are tiny for most nodes; a flat slice beats a tree set on both
+    /// build and replay).
+    memo: FxHashMap<NodeKey, Rc<[FormulaId]>>,
     feasibility: FxHashMap<(u128, u64), bool>,
     /// `cut.enabled()` per cut rank.
     enabled_cache: FxHashMap<u128, Rc<[EventId]>>,
-    /// `cut.frontier_state()` per cut rank.
-    frontier_cache: FxHashMap<u128, Rc<State>>,
+    /// `cut.frontier_state()` per cut rank, pre-interned in the formula arena
+    /// so progressions against it are memoised on a 4-byte key.
+    frontier_cache: FxHashMap<u128, StateKey>,
     stats: SolverStats,
     found: BTreeSet<FormulaId>,
 }
@@ -240,13 +386,18 @@ struct Engine<'a> {
 /// inspect (e.g. finalize) the formula without resolving it to a tree.
 type StopFn<'s> = dyn FnMut(&Interner, FormulaId) -> bool + 's;
 
-impl<'a> Engine<'a> {
-    fn new(comp: &'a DistributedComputation, next_anchor: u64, limit: usize) -> Self {
+impl<'a, 'i> Engine<'a, 'i> {
+    fn new(
+        comp: &'a DistributedComputation,
+        next_anchor: u64,
+        limit: usize,
+        interner: &'i mut Interner,
+    ) -> Self {
         Engine {
             comp,
             next_anchor,
             limit,
-            interner: Interner::new(),
+            interner,
             ranker: CutRanker::new(comp),
             memo: FxHashMap::default(),
             feasibility: FxHashMap::default(),
@@ -257,13 +408,12 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Explores the full search space for `phi`. Returns `true` if `stop`
+    /// Explores the full search space for `psi`. Returns `true` if `stop`
     /// accepted a formula (or the limit was reached) before exhaustion.
-    fn run(&mut self, phi: &Formula, stop: &mut StopFn<'_>) -> bool {
-        let psi = self.interner.intern(phi);
+    fn run(&mut self, psi: FormulaId, stop: &mut StopFn<'_>) -> bool {
         let initial_cut = Cut::empty(self.comp.process_count());
         let root = self.ranker.root();
-        let mut sink = BTreeSet::new();
+        let mut sink = Vec::new();
         self.explore(
             &initial_cut,
             root,
@@ -274,16 +424,8 @@ impl<'a> Engine<'a> {
         )
     }
 
-    fn into_result(self) -> ProgressionResult {
-        let formulas = self
-            .found
-            .iter()
-            .map(|&id| self.interner.resolve(id))
-            .collect();
-        ProgressionResult {
-            formulas,
-            stats: self.stats,
-        }
+    fn into_parts(self) -> (BTreeSet<FormulaId>, SolverStats) {
+        (self.found, self.stats)
     }
 
     /// The events that can consistently extend the cut, computed once per cut
@@ -297,14 +439,15 @@ impl<'a> Engine<'a> {
         enabled
     }
 
-    /// The frontier state of the cut, computed once per cut rank.
-    fn frontier(&mut self, cut: &Cut, rank: u128) -> Rc<State> {
-        if let Some(cached) = self.frontier_cache.get(&rank) {
-            return Rc::clone(cached);
+    /// The frontier state of the cut, computed and interned once per cut
+    /// rank.
+    fn frontier(&mut self, cut: &Cut, rank: u128) -> StateKey {
+        if let Some(&cached) = self.frontier_cache.get(&rank) {
+            return cached;
         }
-        let state = Rc::new(cut.frontier_state(self.comp));
-        self.frontier_cache.insert(rank, Rc::clone(&state));
-        state
+        let key = self.interner.intern_state(&cut.frontier_state(self.comp));
+        self.frontier_cache.insert(rank, key);
+        key
     }
 
     /// Returns `true` if the remaining events of `cut` can be scheduled with
@@ -357,11 +500,11 @@ impl<'a> Engine<'a> {
             // No observation is pending yet: only time has passed since the
             // segment's base.
             self.interner
-                .progress_gap(psi, next_time.saturating_sub(self.comp.base_time()))
+                .progress_gap_cached(psi, next_time.saturating_sub(self.comp.base_time()))
         } else {
-            let state = self.frontier(cut, rank);
+            let key = self.frontier(cut, rank);
             self.interner
-                .progress_one(&state, pending_time, psi, next_time)
+                .progress_one_cached(key, psi, next_time.saturating_sub(pending_time))
         }
     }
 
@@ -372,6 +515,26 @@ impl<'a> Engine<'a> {
     /// `true` (and stops) as soon as `stop` accepts one of the found formulas
     /// or the configured limit is reached; a node abandoned early caches
     /// nothing, so the memo only ever holds complete contribution sets.
+    ///
+    /// # Time-interval abstraction
+    ///
+    /// The admissible occurrence times of an enabled event are *not* branched
+    /// on one tick at a time. The window is partitioned by
+    /// [`Interner::progress_one_over`] into maximal residual-constant ranges,
+    /// and each range contributes:
+    ///
+    /// * **one** child node at the range's earliest time when the residual is
+    ///   time-invariant ([`Interner::is_time_invariant`]). This is sound and
+    ///   complete because a time-invariant pending formula rewrites the same
+    ///   way along every schedule regardless of timing, so the set of final
+    ///   formulas reachable from pending time `t` is exactly the set of
+    ///   event schedules completable with monotone in-window times `≥ t` —
+    ///   which shrinks monotonically in `t`. The union over a range therefore
+    ///   equals the contribution of its infimum, which becomes the range's
+    ///   canonical memo representative.
+    /// * one child node per tick otherwise (the residual still holds a live
+    ///   bounded interval, so different pending times genuinely differ) —
+    ///   but the residual itself is computed once per range, not per tick.
     fn explore(
         &mut self,
         cut: &Cut,
@@ -379,7 +542,7 @@ impl<'a> Engine<'a> {
         pending_time: u64,
         psi: FormulaId,
         stop: &mut StopFn<'_>,
-        sink: &mut BTreeSet<FormulaId>,
+        sink: &mut Vec<FormulaId>,
     ) -> bool {
         if self.found.len() >= self.limit {
             return true;
@@ -390,7 +553,7 @@ impl<'a> Engine<'a> {
             let cached = Rc::clone(cached);
             sink.extend(cached.iter().copied());
             for &f in cached.iter() {
-                let hit = stop(&self.interner, f);
+                let hit = stop(self.interner, f);
                 self.found.insert(f);
                 if hit || self.found.len() >= self.limit {
                     return true;
@@ -399,21 +562,21 @@ impl<'a> Engine<'a> {
             return false;
         }
         self.stats.explored_states += 1;
-        let mut local: BTreeSet<FormulaId> = BTreeSet::new();
+        let mut local: Vec<FormulaId> = Vec::new();
         let mut stopped = false;
 
         if psi.is_constant() && self.can_complete(cut, rank, pending_time) {
             // The verdict can no longer change: every feasible extension
             // produces the same rewritten formula.
             self.stats.constant_cutoffs += 1;
-            local.insert(psi);
+            local.push(psi);
         } else if psi.is_constant() {
             // Dead branch: the remaining events cannot be scheduled, so this
             // partial interleaving corresponds to no trace at all.
         } else if cut.is_full(self.comp) {
             self.stats.completed_sequences += 1;
             let final_formula = self.step(cut, rank, pending_time, psi, self.next_anchor);
-            local.insert(final_formula);
+            local.push(final_formula);
         } else {
             let enabled = self.enabled(cut, rank);
             'outer: for &event in enabled.iter() {
@@ -426,13 +589,37 @@ impl<'a> Engine<'a> {
                 let next_rank =
                     self.ranker
                         .child(rank, &next_cut, self.comp.event(event).process.0);
-                for t in lo..=hi {
-                    // One progression step per (node, event, t) edge; the
-                    // child's results land directly in `local`.
-                    let advanced = self.step(cut, rank, pending_time, psi, t);
-                    stopped |= self.explore(&next_cut, next_rank, t, advanced, stop, &mut local);
-                    if stopped {
-                        break 'outer;
+                // One progression call per distinct residual of the window,
+                // not one per admissible tick.
+                let splits = if cut.size() == 0 {
+                    // No observation is pending yet: only time has passed
+                    // since the segment's base.
+                    self.interner
+                        .progress_gap_over(psi, self.comp.base_time(), lo, hi)
+                } else {
+                    let key = self.frontier(cut, rank);
+                    self.interner
+                        .progress_one_over_keyed(key, pending_time, psi, lo, hi)
+                };
+                self.stats.time_splits += splits.len();
+                for (a, b, advanced) in splits {
+                    if self.interner.is_time_invariant(advanced) {
+                        // The whole range is subsumed by its earliest time
+                        // (see the method documentation).
+                        self.stats.merged_time_points += (b - a) as usize;
+                        stopped |=
+                            self.explore(&next_cut, next_rank, a, advanced, stop, &mut local);
+                        if stopped {
+                            break 'outer;
+                        }
+                    } else {
+                        for t in a..=b {
+                            stopped |=
+                                self.explore(&next_cut, next_rank, t, advanced, stop, &mut local);
+                            if stopped {
+                                break 'outer;
+                            }
+                        }
                     }
                 }
             }
@@ -444,14 +631,18 @@ impl<'a> Engine<'a> {
             }
         }
 
+        // Children of different events/time ranges may have contributed the
+        // same rewritten formula; canonicalise once per node.
+        local.sort_unstable();
+        local.dedup();
         for &f in &local {
-            if stop(&self.interner, f) {
+            if stop(self.interner, f) {
                 stopped = true;
             }
             self.found.insert(f);
         }
         sink.extend(local.iter().copied());
-        self.memo.insert(key, Rc::new(local));
+        self.memo.insert(key, local.into());
         stopped || self.found.len() >= self.limit
     }
 }

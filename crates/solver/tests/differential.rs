@@ -44,6 +44,49 @@ fn solver_matches_bruteforce() {
     }
 }
 
+/// The interval-abstracted engine must preserve verdict sets across the whole
+/// ε axis (the paper's Fig. 5b sweep): as ε grows, ever larger parts of each
+/// event's occurrence window collapse into a single search node, and this
+/// test pins that the collapse never merges time points that brute-force
+/// enumeration distinguishes.
+///
+/// Computations are generated with a *fixed* ε so the sweep covers every
+/// value in 1..=8 (the shared `gen_computation` draws ε ∈ 1..4 only, which
+/// never exercises the saturated regime where whole windows merge).
+#[test]
+fn interval_abstraction_matches_bruteforce_across_epsilon() {
+    let mut rng = StdRng::seed_from_u64(0xE125);
+    for epsilon in 1u64..=8 {
+        for _ in 0..12 {
+            // The generator is capped at 2 processes × 2 events by
+            // construction, keeping the oracle tractable even at ε = 8,
+            // where a single event can have a 17-tick window.
+            let processes = rng.gen_range(1usize..3);
+            let mut b = rvmtl_distrib::ComputationBuilder::new(processes, epsilon);
+            for p in 0..processes {
+                let events = rng.gen_range(0usize..3);
+                let mut t = 0;
+                for _ in 0..events {
+                    t += 1 + rng.gen_range(0u64..3);
+                    let state: rvmtl_mtl::State = rvmtl_mtl::testgen::PROPS
+                        .iter()
+                        .filter(|_| rng.gen_bool())
+                        .copied()
+                        .collect();
+                    b.event(p, t, state);
+                }
+            }
+            let comp = b.build().expect("generated computations are valid");
+            let phi = gen_phi(&mut rng);
+            assert_eq!(
+                possible_verdicts(&comp, &phi),
+                all_verdicts(&comp, &phi),
+                "formula {phi}, ε = {epsilon}"
+            );
+        }
+    }
+}
+
 /// Verdict sets are never empty and consistent with negation: verdicts(¬φ)
 /// is the element-wise negation of verdicts(φ).
 #[test]

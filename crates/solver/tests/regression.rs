@@ -1,12 +1,13 @@
-//! Search-shape regression tests: the single-pass, hash-consed engine must
-//! explore exactly the same state space as the reference two-pass engine.
+//! Search-shape regression tests: the interval-splitting, hash-consed engine
+//! explores one node per *residual-constant time range*, not one per tick.
 //!
-//! These tests pin `explored_states` / `memo_hits` / `completed_sequences` on
-//! a fixed Fig. 3-style scenario. If a change to the engine alters any of the
-//! pinned numbers, it changed the search semantics (not just its speed) — that
-//! may be intentional (e.g. a stronger pruning rule), but it must be a
-//! conscious decision: re-derive the numbers, check the differential tests
-//! still pass, and update the pins.
+//! These tests pin `explored_states` / `memo_hits` / `completed_sequences` —
+//! and the interval-abstraction counters `time_splits` /
+//! `merged_time_points` — on fixed Fig. 3-style scenarios. If a change to the
+//! engine alters any of the pinned numbers, it changed the search semantics
+//! (not just its speed) — that may be intentional (e.g. a stronger pruning
+//! rule), but it must be a conscious decision: re-derive the numbers, check
+//! the differential tests still pass, and update the pins.
 
 use rvmtl_distrib::{ComputationBuilder, DistributedComputation};
 use rvmtl_mtl::{parse, state};
@@ -14,7 +15,12 @@ use rvmtl_solver::ProgressionQuery;
 
 /// The computation of Fig. 3: two processes, ε = 2, four events.
 fn fig3() -> DistributedComputation {
-    let mut b = ComputationBuilder::new(2, 2);
+    fig3_eps(2)
+}
+
+/// Fig. 3 with a configurable clock-skew bound.
+fn fig3_eps(epsilon: u64) -> DistributedComputation {
+    let mut b = ComputationBuilder::new(2, epsilon);
     b.event(0, 1, state!["a"]);
     b.event(0, 4, state![]);
     b.event(1, 2, state!["a"]);
@@ -33,9 +39,11 @@ fn fig3_until_search_shape_is_pinned() {
         "two distinguishable trace classes"
     );
     assert_eq!(result.stats.explored_states, 25, "{:?}", result.stats);
-    assert_eq!(result.stats.memo_hits, 32, "{:?}", result.stats);
+    assert_eq!(result.stats.memo_hits, 31, "{:?}", result.stats);
     assert_eq!(result.stats.completed_sequences, 2, "{:?}", result.stats);
     assert_eq!(result.stats.constant_cutoffs, 4, "{:?}", result.stats);
+    assert_eq!(result.stats.time_splits, 55, "{:?}", result.stats);
+    assert_eq!(result.stats.merged_time_points, 1, "{:?}", result.stats);
 }
 
 #[test]
@@ -45,8 +53,10 @@ fn fig3_eventually_search_shape_is_pinned() {
     let result = ProgressionQuery::new(&comp, 8).distinct_progressions(&phi);
     assert_eq!(result.formulas.len(), 2);
     assert_eq!(result.stats.explored_states, 24, "{:?}", result.stats);
-    assert_eq!(result.stats.memo_hits, 33, "{:?}", result.stats);
+    assert_eq!(result.stats.memo_hits, 32, "{:?}", result.stats);
     assert_eq!(result.stats.completed_sequences, 2, "{:?}", result.stats);
+    assert_eq!(result.stats.time_splits, 55, "{:?}", result.stats);
+    assert_eq!(result.stats.merged_time_points, 1, "{:?}", result.stats);
 }
 
 #[test]
@@ -58,6 +68,8 @@ fn fig3_always_search_shape_is_pinned() {
     assert_eq!(result.stats.explored_states, 23, "{:?}", result.stats);
     assert_eq!(result.stats.memo_hits, 34, "{:?}", result.stats);
     assert_eq!(result.stats.completed_sequences, 3, "{:?}", result.stats);
+    assert_eq!(result.stats.time_splits, 56, "{:?}", result.stats);
+    assert_eq!(result.stats.merged_time_points, 0, "{:?}", result.stats);
 }
 
 /// Every memo hit must stand for a state that the engine did *not* re-expand:
@@ -74,6 +86,34 @@ fn memoisation_carries_real_weight_on_fig3() {
         result.stats.memo_hits > result.stats.explored_states,
         "memo hits should dominate on the skew-heavy Fig. 3 lattice: {:?}",
         result.stats
+    );
+}
+
+/// The whole point of the time-interval abstraction (ISSUE 2, Fig. 5b/5c of
+/// the paper): the explored-state count must *saturate* once ε exceeds the
+/// formula's temporal horizon, instead of growing linearly with the window
+/// width as the per-tick engine did. The skipped ticks are accounted for in
+/// `merged_time_points`, which keeps growing with ε.
+#[test]
+fn explored_states_saturate_in_epsilon() {
+    let phi = parse("a U[0,6) b").unwrap();
+    let run = |eps: u64| {
+        let comp = fig3_eps(eps);
+        ProgressionQuery::new(&comp, 5 + eps)
+            .distinct_progressions(&phi)
+            .stats
+    };
+    let at8 = run(8);
+    let at32 = run(32);
+    let at64 = run(64);
+    assert_eq!(
+        at8.explored_states, at64.explored_states,
+        "explored states must be flat in ε beyond the formula horizon: {at8:?} vs {at64:?}"
+    );
+    assert_eq!(at8.explored_states, 75, "{at8:?}");
+    assert!(
+        at32.merged_time_points < at64.merged_time_points,
+        "the widening windows must be absorbed by range merging: {at32:?} vs {at64:?}"
     );
 }
 
@@ -98,4 +138,13 @@ fn huge_sparse_lattices_are_searchable() {
             "n = {n}"
         );
     }
+}
+
+/// A zero solution limit is a caller bug, not a request for an empty search;
+/// it used to be silently clamped to 1.
+#[test]
+#[should_panic(expected = "must be at least 1")]
+fn zero_limit_panics() {
+    let comp = fig3();
+    let _ = ProgressionQuery::new(&comp, 8).with_limit(0);
 }
