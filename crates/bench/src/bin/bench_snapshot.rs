@@ -1,25 +1,32 @@
-//! Machine-readable performance snapshot of the paper's synthetic workloads.
+//! Machine-readable performance snapshot of the paper's workloads.
 //!
 //! Prints a JSON object with wall time, explored solver states, and the
 //! states-per-second throughput for each formula of the Fig. 5a sweep plus an
-//! aggregate, and — with `--sweeps` — the ε sweep of Fig. 5b/5c and the
-//! length sweep of Fig. 5d, the two axes the time-interval abstraction is
-//! meant to flatten. The repository keeps outputs of this tool in
-//! `BENCH_1.json` / `BENCH_2.json` so perf-focused PRs have hard before/after
-//! numbers:
+//! aggregate, and — with `--sweeps` — the ε sweep of Fig. 5b/5c, the length
+//! sweep of Fig. 5d, the Fig. 6 cross-chain protocol lattices (two-party /
+//! three-party swap and auction scenario sets), and the streaming-pipeline
+//! sweep comparing the batch monitor against the `rvmtl-runtime`
+//! [`StreamMonitor`] (sequential and pipelined) on long multi-query
+//! computations. The repository keeps outputs of this tool in
+//! `BENCH_1.json` / `BENCH_2.json` / `BENCH_3.json` so perf-focused PRs have
+//! hard before/after numbers:
 //!
 //! ```text
 //! cargo run --release --bin bench_snapshot -- [label] [--sweeps] > snapshot.json
 //! ```
 //!
-//! Without `--sweeps` only the (fast) Fig. 5a series runs. CI smokes the full
-//! `--sweeps` mode (output discarded) so the sweep code paths cannot bitrot;
-//! the whole sweep stays in the low seconds because the sub-millisecond
-//! points amortise their timing blocks over many iterations.
+//! Without `--sweeps` only the (fast) Fig. 5a series runs; `--protocols`
+//! additionally runs just the protocol series (the CI smoke). CI smokes both
+//! modes (output discarded) so no sweep code path can bitrot.
 
-use rvmtl_bench::{default_trace_config, formula, synthetic_computation, DEFAULT_SEGMENTS};
+use rvmtl_bench::{
+    blockchain_workloads, default_trace_config, formula, synthetic_computation, BLOCKCHAIN_DELTA,
+    BLOCKCHAIN_EPSILON, DEFAULT_SEGMENTS,
+};
+use rvmtl_distrib::EventId;
 use rvmtl_monitor::Monitor;
 use rvmtl_monitor::MonitorConfig;
+use rvmtl_runtime::{StreamConfig, StreamMonitor};
 use std::time::Instant;
 
 /// Measurement of monitoring `phi` over `comp`: returns
@@ -55,9 +62,59 @@ fn measure_best(
     (states, best_secs)
 }
 
+/// Wall time of one full streaming run (feed every event in global time
+/// order, then finish), best of `rounds`.
+fn measure_stream(
+    comp: &rvmtl_distrib::DistributedComputation,
+    formulas: &[rvmtl_mtl::Formula],
+    config: &StreamConfig,
+    rounds: usize,
+) -> f64 {
+    let mut events: Vec<EventId> = (0..comp.event_count()).map(EventId).collect();
+    events.sort_by_key(|&id| (comp.event(id).local_time, comp.event(id).process.0));
+    let mut best = f64::MAX;
+    for _ in 0..rounds {
+        let started = Instant::now();
+        let mut monitor = StreamMonitor::new(comp.process_count(), comp.epsilon(), config.clone());
+        for phi in formulas {
+            monitor.add_query(phi);
+        }
+        for &id in &events {
+            let e = comp.event(id);
+            monitor
+                .observe(e.process.0, e.local_time, e.state.clone())
+                .expect("benchmark events are stream-legal");
+        }
+        let _ = monitor.finish();
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Wall time of the batch reference on the same queries (one `Monitor::run`
+/// per formula — the pre-runtime serving path), best of `rounds`.
+fn measure_batch(
+    comp: &rvmtl_distrib::DistributedComputation,
+    formulas: &[rvmtl_mtl::Formula],
+    segments: usize,
+    rounds: usize,
+) -> f64 {
+    let monitor = Monitor::new(MonitorConfig::with_segments(segments));
+    let mut best = f64::MAX;
+    for _ in 0..rounds {
+        let started = Instant::now();
+        for phi in formulas {
+            let _ = monitor.run(comp, phi);
+        }
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    best
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sweeps = args.iter().any(|a| a == "--sweeps");
+    let protocols = sweeps || args.iter().any(|a| a == "--protocols");
     let label = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -162,8 +219,82 @@ fn main() {
         }
     }
 
+    // The Fig. 6 cross-chain protocol workloads (two-party / three-party
+    // swap, auction scenario sets): tracked here so regressions on the
+    // protocol lattices are pinned instead of only observable through the
+    // unpinned `fig6_blockchain` bench bin.
+    let mut protocol_rows = Vec::new();
+    if protocols {
+        for (name, segments, comp, phi) in
+            blockchain_workloads(BLOCKCHAIN_DELTA, BLOCKCHAIN_EPSILON)
+        {
+            let (states, best_secs) = measure_best(&comp, &phi, segments.max(1));
+            protocol_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"segments\": {}, \"events\": {}, ",
+                    "\"explored_states\": {}, \"wall_ms\": {:.3}}}"
+                ),
+                name.replace('"', "\\\""),
+                segments.max(1),
+                comp.event_count(),
+                states,
+                best_secs * 1000.0,
+            ));
+        }
+    }
+
+    // The streaming-pipeline sweep: long multi-query computations through the
+    // batch monitor (one run per query — the pre-runtime serving path), the
+    // streaming runtime's sequential path (shared per-segment solver across
+    // queries), and its pipelined path. `workers` documents the measurement
+    // host; on a single-core container the pipelined column measures
+    // scheduling overhead, not speedup.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut pipeline_rows = Vec::new();
+    if sweeps {
+        let formulas = [formula(3, 2), formula(4, 2)];
+        for length in [200u64, 400, 800] {
+            let mut cfg = default_trace_config();
+            cfg.duration_ms = length;
+            // A skew bound above the default keeps every segment's search
+            // non-trivial, so the sweep measures solver work, not ingestion.
+            cfg.epsilon_ms = 3;
+            let comp = synthetic_computation(4, &cfg);
+            let duration = comp.duration().max(1);
+            let segment_length = (duration / DEFAULT_SEGMENTS as u64).max(1);
+            let batch = measure_batch(&comp, &formulas, DEFAULT_SEGMENTS, 3);
+            let stream_seq =
+                measure_stream(&comp, &formulas, &StreamConfig::new(segment_length), 3);
+            // At least two workers so the pipeline machinery itself is
+            // measured even on a single-core host (oversubscribed there).
+            let stream_pipe = measure_stream(
+                &comp,
+                &formulas,
+                &StreamConfig::new(segment_length)
+                    .pipelined(Some(workers.max(2)))
+                    .flush_depth(4),
+                3,
+            );
+            pipeline_rows.push(format!(
+                concat!(
+                    "    {{\"length\": {}, \"events\": {}, \"queries\": {}, ",
+                    "\"batch_ms\": {:.3}, \"stream_seq_ms\": {:.3}, \"stream_pipe_ms\": {:.3}}}"
+                ),
+                length,
+                comp.event_count(),
+                formulas.len(),
+                batch * 1000.0,
+                stream_seq * 1000.0,
+                stream_pipe * 1000.0,
+            ));
+        }
+    }
+
     println!("{{");
     println!("  \"label\": \"{label}\",");
+    println!("  \"available_parallelism\": {workers},");
     println!("  \"workload\": \"fig5a synthetic (g = {DEFAULT_SEGMENTS})\",");
     println!("  \"series\": [");
     println!("{}", rows.join(",\n"));
@@ -177,6 +308,16 @@ fn main() {
         println!("  ],");
         println!("  \"length_sweep\": [");
         println!("{}", length_rows.join(",\n"));
+        println!("  ],");
+    }
+    if protocols {
+        println!("  \"fig6_protocols\": [");
+        println!("{}", protocol_rows.join(",\n"));
+        println!("  ],");
+    }
+    if sweeps {
+        println!("  \"pipeline_sweep\": [");
+        println!("{}", pipeline_rows.join(",\n"));
         println!("  ],");
     }
     println!("  \"total_explored_states\": {total_states},");

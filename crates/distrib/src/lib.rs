@@ -42,6 +42,7 @@ mod event;
 mod hb;
 mod interleave;
 mod segment;
+mod stream;
 pub mod testgen;
 
 pub use computation::{ComputationBuilder, ComputationError, DistributedComputation};
@@ -52,4 +53,7 @@ pub use interleave::{
     all_verdicts, enumerate_linearizations, enumerate_traces, enumerate_traces_bounded,
     TraceLimitExceeded, DEFAULT_TRACE_LIMIT,
 };
-pub use segment::{boundary_events, segment, segments_for_frequency, SegmentationMode};
+pub use segment::{
+    boundary_events, segment, segment_at_boundaries, segments_for_frequency, SegmentationMode,
+};
+pub use stream::{IncrementalSegmenter, StreamError};

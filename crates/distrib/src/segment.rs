@@ -48,6 +48,33 @@ pub fn segment(
     let boundaries: Vec<u64> = (0..=segments as u64)
         .map(|j| base + (j * length) / segments as u64)
         .collect();
+    segment_at_boundaries(comp, &boundaries, mode)
+}
+
+/// Splits `comp` at an explicit, non-decreasing list of boundary points.
+///
+/// `boundaries` holds the *g + 1* fence posts of *g* segments: the first
+/// entry is the base time of the first segment and the last entry is the end
+/// of the computation (the final segment is closed on the right so the last
+/// event is kept). [`segment`] delegates here with evenly spaced boundaries;
+/// the incremental segmenter of [`crate::IncrementalSegmenter`] produces
+/// exactly this partition one segment at a time, which is what the streaming
+/// differential tests pin.
+///
+/// # Panics
+///
+/// Panics if fewer than two boundary points are given.
+pub fn segment_at_boundaries(
+    comp: &DistributedComputation,
+    boundaries: &[u64],
+    mode: SegmentationMode,
+) -> Vec<DistributedComputation> {
+    assert!(
+        boundaries.len() >= 2,
+        "at least two boundary points (one segment) are required"
+    );
+    let base = comp.base_time();
+    let segments = boundaries.len() - 1;
     let mut out = Vec::with_capacity(segments);
     for j in 1..=segments {
         let lo = boundaries[j - 1];

@@ -1,0 +1,504 @@
+//! Incremental segmentation of live per-process event streams.
+//!
+//! The batch segmenter ([`crate::segment`]) chops a *complete* computation at
+//! a list of boundary points. Online monitoring sees the computation arrive
+//! as per-process streams instead: each process delivers its events in
+//! non-decreasing local-time order, but the streams interleave arbitrarily at
+//! the monitor (any *skew-legal* interleaving). [`IncrementalSegmenter`]
+//! reproduces the batch partition one segment at a time:
+//!
+//! * **Watermark rule.** The watermark is `min_p clock_p − ε`, where
+//!   `clock_p` is the largest local time heard from process `p` (through an
+//!   event or an explicit [`IncrementalSegmenter::heartbeat`]) and `ε` is the
+//!   skew bound. A segment `[lo, hi)` is *closed* — it can never receive
+//!   another event — once the watermark reaches `hi`: per-process order
+//!   guarantees no process can still produce an event before its own clock,
+//!   so `min_p clock_p ≥ hi` already seals the segment, and the additional
+//!   `− ε` margin keeps every event that could still be *concurrent* with the
+//!   segment's boundary inside the open window (the same `ε`-margin the
+//!   paper's overlapping `seg_j` windows re-examine). A process that has
+//!   never reported holds the watermark at the base time — use heartbeats to
+//!   drive segmentation forward through idle processes.
+//! * **Boundary rules.** Closed segments are built exactly as
+//!   [`crate::segment_at_boundaries`] builds them: base time `lo`, horizon
+//!   `hi` for non-final segments (disjoint mode), carried per-process initial
+//!   states from the last event before `lo`, parent `ε`. The differential
+//!   test in this module pins byte-for-byte agreement with the batch
+//!   segmenter on the same boundary list.
+//!
+//! Only [`SegmentationMode::Disjoint`] partitions are produced (the monitor's
+//! default; overlap mode re-examines events of a *known* complete
+//! computation, which has no streaming counterpart). Message edges are not
+//! part of the streaming interface: the protocols the runtime monitors
+//! communicate through on-chain events, and the `± ε` windows already order
+//! everything the specifications observe.
+
+use crate::{ComputationBuilder, DistributedComputation, ProcessId, SegmentationMode};
+use rvmtl_mtl::State;
+use std::fmt;
+
+/// Error produced when a stream observation is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// An event's local time is lower than an earlier local time of the same
+    /// process (per-process streams must be non-decreasing).
+    OutOfOrder {
+        /// The offending process.
+        process: ProcessId,
+        /// The largest local time heard from the process so far.
+        previous: u64,
+        /// The offending event's local time.
+        time: u64,
+    },
+    /// A process index at or beyond the declared process count.
+    UnknownProcess(ProcessId),
+    /// The stream was already finished.
+    Finished,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::OutOfOrder {
+                process,
+                previous,
+                time,
+            } => write!(
+                f,
+                "{process} must deliver events in non-decreasing local-time order ({time} after {previous})"
+            ),
+            StreamError::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            StreamError::Finished => write!(f, "stream already finished"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Watermark-driven incremental segmentation; see the module documentation.
+#[derive(Debug, Clone)]
+pub struct IncrementalSegmenter {
+    process_count: usize,
+    epsilon: u64,
+    segment_length: u64,
+    /// Base time of the currently open segment (the last closed boundary).
+    open_base: u64,
+    /// Largest local time heard per process (`None` until it first reports).
+    clocks: Vec<Option<u64>>,
+    /// Carried initial state per process: the state established by its last
+    /// event strictly before `open_base`.
+    carried: Vec<State>,
+    /// Buffered events of the open window, per process in arrival order.
+    buffered: Vec<Vec<(u64, State)>>,
+    /// Largest event local time seen anywhere.
+    max_event_time: u64,
+    any_event: bool,
+    finished: bool,
+}
+
+impl IncrementalSegmenter {
+    /// Starts segmenting a stream over `process_count` processes with skew
+    /// bound `epsilon`, chopping at multiples of `segment_length` from time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_length` is 0 or `process_count` is 0.
+    pub fn new(process_count: usize, epsilon: u64, segment_length: u64) -> Self {
+        Self::with_base_time(process_count, epsilon, segment_length, 0)
+    }
+
+    /// [`IncrementalSegmenter::new`] with segment boundaries anchored at
+    /// `base_time` instead of 0.
+    pub fn with_base_time(
+        process_count: usize,
+        epsilon: u64,
+        segment_length: u64,
+        base_time: u64,
+    ) -> Self {
+        assert!(segment_length > 0, "segment length must be at least 1");
+        assert!(process_count > 0, "at least one process is required");
+        IncrementalSegmenter {
+            process_count,
+            epsilon,
+            segment_length,
+            open_base: base_time,
+            clocks: vec![None; process_count],
+            carried: vec![State::empty(); process_count],
+            buffered: vec![Vec::new(); process_count],
+            max_event_time: base_time,
+            any_event: false,
+            finished: false,
+        }
+    }
+
+    /// Number of processes of the stream.
+    pub fn process_count(&self) -> usize {
+        self.process_count
+    }
+
+    /// The skew bound `ε`.
+    pub fn epsilon(&self) -> u64 {
+        self.epsilon
+    }
+
+    /// Base time of the currently open segment.
+    pub fn open_base(&self) -> u64 {
+        self.open_base
+    }
+
+    /// Sets the carried-over initial local state of a process — the state it
+    /// had established before the stream began (the streaming counterpart of
+    /// [`ComputationBuilder::initial_state`], threaded into every segment's
+    /// carried frontier until the process's first event replaces it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is unknown or the stream has already started
+    /// (any event or heartbeat heard): initial states are part of the
+    /// stream's starting frontier, not something to rewrite mid-flight.
+    pub fn initial_state(&mut self, process: usize, state: State) {
+        assert!(
+            process < self.process_count,
+            "unknown process {process} (stream has {} processes)",
+            self.process_count
+        );
+        assert!(
+            self.clocks.iter().all(Option::is_none) && !self.finished,
+            "initial states must be set before the stream starts"
+        );
+        self.carried[process] = state;
+    }
+
+    /// Largest event local time seen so far (or the base time).
+    pub fn max_event_time(&self) -> u64 {
+        self.max_event_time
+    }
+
+    /// The current watermark `min_p clock_p − ε`, or `None` while some
+    /// process has never reported.
+    pub fn watermark(&self) -> Option<u64> {
+        self.clocks
+            .iter()
+            .map(|c| c.map(|t| t.saturating_sub(self.epsilon)))
+            .min()
+            .flatten()
+    }
+
+    fn check(&mut self, process: usize, time: u64) -> Result<ProcessId, StreamError> {
+        if self.finished {
+            return Err(StreamError::Finished);
+        }
+        let p = ProcessId(process);
+        if process >= self.process_count {
+            return Err(StreamError::UnknownProcess(p));
+        }
+        if let Some(previous) = self.clocks[process] {
+            if time < previous {
+                return Err(StreamError::OutOfOrder {
+                    process: p,
+                    previous,
+                    time,
+                });
+            }
+        }
+        Ok(p)
+    }
+
+    /// Ingests one event: `process` established local state `state` at local
+    /// time `time`. Returns the segments this observation closed (usually
+    /// none, occasionally one or more when the watermark jumps).
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamError`]; a rejected observation leaves the segmenter
+    /// unchanged.
+    pub fn observe(
+        &mut self,
+        process: usize,
+        time: u64,
+        state: State,
+    ) -> Result<Vec<DistributedComputation>, StreamError> {
+        self.check(process, time)?;
+        self.clocks[process] = Some(time);
+        self.buffered[process].push((time, state));
+        self.max_event_time = self.max_event_time.max(time);
+        self.any_event = true;
+        Ok(self.drain_closed())
+    }
+
+    /// Advances a process's local clock without an event (a liveness beacon:
+    /// silent processes otherwise pin the watermark forever).
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamError`].
+    pub fn heartbeat(
+        &mut self,
+        process: usize,
+        time: u64,
+    ) -> Result<Vec<DistributedComputation>, StreamError> {
+        self.check(process, time)?;
+        self.clocks[process] = Some(time);
+        Ok(self.drain_closed())
+    }
+
+    /// Closes every segment the current watermark seals.
+    fn drain_closed(&mut self) -> Vec<DistributedComputation> {
+        let Some(watermark) = self.watermark() else {
+            return Vec::new();
+        };
+        let mut closed = Vec::new();
+        // Strictly below the watermark: when the watermark lands exactly on a
+        // boundary the window stays open, so a stream that ends right there
+        // still produces the batch segmenter's closed-right final segment.
+        while self.open_base + self.segment_length < watermark {
+            let hi = self.open_base + self.segment_length;
+            closed.push(self.close_segment(hi, false));
+        }
+        closed
+    }
+
+    /// Ends the stream: the remaining buffered events are chopped at the
+    /// remaining scheduled boundaries — non-final segments while a full
+    /// window fits strictly before the last event — and the tail becomes the
+    /// final segment (closed on the right, no horizon), mirroring the batch
+    /// segmenter's final-segment rule. The segmenter rejects further input
+    /// afterwards.
+    pub fn finish(&mut self) -> Vec<DistributedComputation> {
+        if self.finished {
+            return Vec::new();
+        }
+        self.finished = true;
+        let end = self.max_event_time.max(self.open_base);
+        let mut out = Vec::new();
+        while self.open_base + self.segment_length < end {
+            let hi = self.open_base + self.segment_length;
+            out.push(self.close_segment(hi, false));
+        }
+        out.push(self.close_segment(end, true));
+        out
+    }
+
+    /// Builds the segment `[self.open_base, hi)` (`[.., hi]` when `last`)
+    /// with the batch segmenter's boundary rules and advances the window.
+    fn close_segment(&mut self, hi: u64, last: bool) -> DistributedComputation {
+        let lo = self.open_base;
+        let mut builder = ComputationBuilder::new(self.process_count, self.epsilon);
+        builder.base_time(lo);
+        if !last {
+            // Disjoint mode: a non-final segment's events cannot be scheduled
+            // past the point at which the next segment takes over.
+            builder.horizon(hi);
+        }
+        for p in 0..self.process_count {
+            builder.initial_state(p, self.carried[p].clone());
+        }
+        let in_segment = |t: u64| if last { t <= hi } else { t < hi };
+        for p in 0..self.process_count {
+            let events = std::mem::take(&mut self.buffered[p]);
+            let mut keep = Vec::with_capacity(events.len());
+            for (t, state) in events {
+                if in_segment(t) {
+                    // The carried state for the *next* segment is the last
+                    // local state established strictly before its base `hi`.
+                    if t < hi {
+                        self.carried[p] = state.clone();
+                    }
+                    builder.event(p, t, state);
+                } else {
+                    keep.push((t, state));
+                }
+            }
+            self.buffered[p] = keep;
+        }
+        self.open_base = hi;
+        builder
+            .build()
+            .expect("per-process order was validated on ingestion")
+    }
+
+    /// The segmentation mode this segmenter reproduces.
+    pub fn mode(&self) -> SegmentationMode {
+        SegmentationMode::Disjoint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{segment_at_boundaries, EventId};
+    use rvmtl_mtl::state;
+
+    /// Structural equality of computations through their public accessors
+    /// (the type deliberately does not implement `PartialEq`).
+    fn assert_same(a: &DistributedComputation, b: &DistributedComputation, context: &str) {
+        assert_eq!(a.process_count(), b.process_count(), "{context}: processes");
+        assert_eq!(a.epsilon(), b.epsilon(), "{context}: epsilon");
+        assert_eq!(a.base_time(), b.base_time(), "{context}: base time");
+        assert_eq!(a.horizon(), b.horizon(), "{context}: horizon");
+        assert_eq!(a.event_count(), b.event_count(), "{context}: event count");
+        for p in 0..a.process_count() {
+            let pa = a.events_of(ProcessId(p));
+            let pb = b.events_of(ProcessId(p));
+            assert_eq!(pa.len(), pb.len(), "{context}: events of process {p}");
+            for (&ea, &eb) in pa.iter().zip(pb) {
+                assert_eq!(
+                    a.event(ea).local_time,
+                    b.event(eb).local_time,
+                    "{context}: event times of process {p}"
+                );
+                assert_eq!(
+                    a.event(ea).state,
+                    b.event(eb).state,
+                    "{context}: event states of process {p}"
+                );
+            }
+            assert_eq!(
+                a.initial_state(ProcessId(p)),
+                b.initial_state(ProcessId(p)),
+                "{context}: carried state of process {p}"
+            );
+        }
+    }
+
+    fn feed_batch(
+        comp: &DistributedComputation,
+        segment_length: u64,
+    ) -> Vec<DistributedComputation> {
+        let mut segmenter =
+            IncrementalSegmenter::new(comp.process_count(), comp.epsilon(), segment_length);
+        // Deliver in global local-time order (a skew-legal interleaving).
+        let mut events: Vec<EventId> = (0..comp.event_count()).map(EventId).collect();
+        events.sort_by_key(|&id| (comp.event(id).local_time, comp.event(id).process.0));
+        let mut out = Vec::new();
+        for id in events {
+            let e = comp.event(id);
+            out.extend(
+                segmenter
+                    .observe(e.process.0, e.local_time, e.state.clone())
+                    .expect("valid stream"),
+            );
+        }
+        out.extend(segmenter.finish());
+        out
+    }
+
+    fn expected_boundaries(comp: &DistributedComputation, segment_length: u64) -> Vec<u64> {
+        let end = comp.max_local_time().max(comp.base_time());
+        let mut boundaries = vec![comp.base_time()];
+        let mut b = comp.base_time();
+        while b + segment_length < end {
+            b += segment_length;
+            boundaries.push(b);
+        }
+        boundaries.push(end);
+        boundaries
+    }
+
+    fn sample(epsilon: u64) -> DistributedComputation {
+        let mut b = ComputationBuilder::new(2, epsilon);
+        for t in 1..=10u64 {
+            b.event(0, t, state![format!("a{t}").as_str()]);
+            b.event(1, t, state![format!("b{t}").as_str()]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn streaming_partition_matches_batch_segmenter() {
+        for epsilon in [0u64, 1, 2, 3] {
+            for segment_length in [2u64, 3, 4, 7, 20] {
+                let comp = sample(epsilon);
+                let streamed = feed_batch(&comp, segment_length);
+                let boundaries = expected_boundaries(&comp, segment_length);
+                let batch = segment_at_boundaries(&comp, &boundaries, SegmentationMode::Disjoint);
+                assert_eq!(
+                    streamed.len(),
+                    batch.len(),
+                    "ε = {epsilon}, L = {segment_length}"
+                );
+                for (i, (s, b)) in streamed.iter().zip(&batch).enumerate() {
+                    assert_same(
+                        s,
+                        b,
+                        &format!("ε = {epsilon}, L = {segment_length}, segment {i}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn watermark_respects_epsilon_and_silent_processes() {
+        let mut seg = IncrementalSegmenter::new(2, 2, 5);
+        assert_eq!(seg.watermark(), None);
+        seg.observe(0, 10, state!["x"]).unwrap();
+        // Process 1 has not reported: nothing closes.
+        assert_eq!(seg.watermark(), None);
+        let closed = seg.heartbeat(1, 9).unwrap();
+        // Watermark = min(10, 9) − ε = 7: the first window [0, 5) is sealed.
+        assert_eq!(seg.watermark(), Some(7));
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].base_time(), 0);
+        assert_eq!(closed[0].horizon(), Some(5));
+        assert_eq!(closed[0].event_count(), 0);
+        assert_eq!(seg.open_base(), 5);
+    }
+
+    #[test]
+    fn closed_segments_never_receive_events() {
+        let mut seg = IncrementalSegmenter::new(2, 1, 4);
+        seg.observe(0, 3, state!["a"]).unwrap();
+        let closed = seg.observe(1, 6, state!["b"]).unwrap();
+        assert_eq!(closed.len(), 0); // watermark = 3 - 1 = 2 < 4
+        let closed = seg.observe(0, 8, state!["c"]).unwrap();
+        // Watermark = min(8, 6) − 1 = 5 ≥ 4: [0, 4) closes with the event at 3.
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].event_count(), 1);
+        // A later event of process 1 at time 5 is still legal (≥ its clock 6
+        // would be required... so 5 is out of order) — but an event at 6 in
+        // the open window is accepted.
+        assert!(matches!(
+            seg.observe(1, 5, state!["late"]),
+            Err(StreamError::OutOfOrder { .. })
+        ));
+        seg.observe(1, 6, state!["ok"]).unwrap();
+    }
+
+    #[test]
+    fn carried_states_cross_boundaries() {
+        let mut seg = IncrementalSegmenter::new(1, 0, 5);
+        seg.observe(0, 1, state!["first"]).unwrap();
+        seg.observe(0, 4, state!["second"]).unwrap();
+        let mut segs = seg.observe(0, 12, state!["third"]).unwrap();
+        segs.extend(seg.finish());
+        assert_eq!(segs.len(), 3); // [0,5), [5,10), [10,12]
+        assert!(segs[1].initial_state(ProcessId(0)).holds("second"));
+        assert!(segs[2].initial_state(ProcessId(0)).holds("second"));
+        assert_eq!(segs[2].horizon(), None);
+        assert_eq!(segs[2].event_count(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_input_and_finish_is_terminal() {
+        let mut seg = IncrementalSegmenter::new(1, 1, 5);
+        assert!(matches!(
+            seg.observe(3, 1, state![]),
+            Err(StreamError::UnknownProcess(_))
+        ));
+        seg.observe(0, 4, state!["x"]).unwrap();
+        let tail = seg.finish();
+        assert_eq!(tail.len(), 1);
+        assert!(seg.finish().is_empty());
+        assert!(matches!(
+            seg.observe(0, 9, state![]),
+            Err(StreamError::Finished)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "segment length")]
+    fn zero_segment_length_panics() {
+        let _ = IncrementalSegmenter::new(1, 1, 0);
+    }
+}

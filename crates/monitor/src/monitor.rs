@@ -4,8 +4,8 @@
 
 use crate::{MonitorConfig, VerdictSet};
 use rvmtl_distrib::{segment, DistributedComputation};
-use rvmtl_mtl::{Formula, FormulaId, Interner};
-use rvmtl_solver::{ProgressionQuery, SegmentSolver, SolverStats};
+use rvmtl_mtl::{Formula, FormulaId, Interner, ShardedInterner};
+use rvmtl_solver::{SegmentSolver, SolverStats};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -51,6 +51,39 @@ impl MonitorReport {
     }
 }
 
+/// The query-spanning formula arena of an [`OnlineMonitor`]: an exclusive
+/// [`Interner`] in sequential mode, a [`ShardedInterner`] shared by the
+/// worker threads in parallel mode. Both implement
+/// [`rvmtl_mtl::ArenaOps`], so one [`SegmentSolver`] code path serves both.
+#[derive(Debug, Clone)]
+enum QueryArena {
+    Plain(Interner),
+    Sharded(ShardedInterner),
+}
+
+impl QueryArena {
+    fn intern(&mut self, phi: &Formula) -> FormulaId {
+        match self {
+            QueryArena::Plain(interner) => interner.intern(phi),
+            QueryArena::Sharded(arena) => arena.intern(phi),
+        }
+    }
+
+    fn resolve(&self, id: FormulaId) -> Formula {
+        match self {
+            QueryArena::Plain(interner) => interner.resolve(id),
+            QueryArena::Sharded(arena) => arena.resolve(id),
+        }
+    }
+
+    fn eval_empty(&self, id: FormulaId) -> bool {
+        match self {
+            QueryArena::Plain(interner) => interner.eval_empty(id),
+            QueryArena::Sharded(arena) => arena.eval_empty(id),
+        }
+    }
+}
+
 /// An online monitor: feed segments as they are observed, query the verdicts
 /// so far, and close the monitor when the computation ends.
 ///
@@ -59,19 +92,25 @@ impl MonitorReport {
 ///
 /// # Query-spanning formula arena
 ///
-/// The monitor owns a single [`Interner`] for its whole lifetime: the pending
-/// set is a set of [`FormulaId`]s, every segment is progressed through one
-/// shared [`SegmentSolver`] (so all pending formulas of a segment reuse the
-/// same memo table and per-cut caches), and the stable parts of the
+/// The monitor owns a single arena for its whole lifetime: the pending set is
+/// a set of [`FormulaId`]s, every segment is progressed through
+/// [`SegmentSolver`]s over that arena, and the stable parts of the
 /// specification are interned exactly once instead of once per segment per
-/// pending formula. Final verdicts are computed directly on the ids via
-/// [`Interner::eval_empty`] — no formula tree or empty trace is materialised.
+/// pending formula. Final verdicts are computed directly on the ids — no
+/// formula tree or empty trace is materialised.
+///
+/// In sequential mode the arena is an exclusive [`Interner`] and all pending
+/// formulas of a segment share one solver (memo table and per-cut caches
+/// included). In parallel mode ([`OnlineMonitor::parallel`]) the arena is a
+/// [`ShardedInterner`]: worker threads progress the pending formulas
+/// concurrently through shared handles, interning and hitting the arena's
+/// progression caches in place — the query-spanning arena is shared, not
+/// rebuilt per formula (per-*segment* solver memo tables stay worker-local).
 #[derive(Debug, Clone)]
 pub struct OnlineMonitor {
     /// The arena every pending formula lives in, alive across segments.
-    interner: Interner,
+    arena: QueryArena,
     pending: BTreeSet<FormulaId>,
-    parallel: bool,
     limit: Option<usize>,
     stats: SolverStats,
 }
@@ -80,20 +119,34 @@ impl OnlineMonitor {
     /// Starts monitoring `phi` (anchored at the base time of the first
     /// segment that will be observed).
     pub fn new(phi: Formula) -> Self {
-        let mut interner = Interner::new();
-        let root = interner.intern(&phi);
+        let mut arena = QueryArena::Plain(Interner::new());
+        let root = arena.intern(&phi);
         OnlineMonitor {
-            interner,
+            arena,
             pending: BTreeSet::from([root]),
-            parallel: false,
             limit: None,
             stats: SolverStats::default(),
         }
     }
 
-    /// Enables parallel evaluation of pending formulas.
+    /// Enables (or disables) parallel evaluation of pending formulas,
+    /// switching the query arena between its exclusive and its sharded
+    /// representation (pending obligations are carried over).
     pub fn parallel(mut self, enabled: bool) -> Self {
-        self.parallel = enabled;
+        let already = matches!(self.arena, QueryArena::Sharded(_));
+        if enabled != already {
+            let resolved: Vec<Formula> = self
+                .pending
+                .iter()
+                .map(|&id| self.arena.resolve(id))
+                .collect();
+            self.arena = if enabled {
+                QueryArena::Sharded(ShardedInterner::new())
+            } else {
+                QueryArena::Plain(Interner::new())
+            };
+            self.pending = resolved.iter().map(|phi| self.arena.intern(phi)).collect();
+        }
         self
     }
 
@@ -121,7 +174,7 @@ impl OnlineMonitor {
     pub fn pending(&self) -> BTreeSet<Formula> {
         self.pending
             .iter()
-            .map(|&id| self.interner.resolve(id))
+            .map(|&id| self.arena.resolve(id))
             .collect()
     }
 
@@ -139,42 +192,41 @@ impl OnlineMonitor {
     /// Residual obligations are re-anchored at `next_anchor`, the base time of
     /// the segment that will be observed next (or any time at or after the end
     /// of this segment if it is the last one).
+    ///
+    /// Both arena representations flow through the same [`SegmentSolver`]
+    /// code path; the parallel mode fans the pending formulas out over worker
+    /// threads that share the sharded query-spanning arena (and therefore its
+    /// `one_cache`/`gap_cache` memoised progressions) through `&` handles.
     pub fn observe_segment(&mut self, seg: &DistributedComputation, next_anchor: u64) {
+        let pending: Vec<FormulaId> = self.pending.iter().copied().collect();
+        let limit = self.limit;
         let mut next = BTreeSet::new();
-        if self.parallel && self.pending.len() > 1 {
-            // The solver engine works on one arena single-threadedly, so the
-            // parallel path hands every worker its own short-lived arena
-            // (inside `ProgressionQuery`) and re-interns the results into the
-            // monitor's.
-            let pending: Vec<Formula> = self
-                .pending
-                .iter()
-                .map(|&id| self.interner.resolve(id))
-                .collect();
-            let limit = self.limit;
-            let results = crate::par::par_map(&pending, |phi| {
-                let mut query = ProgressionQuery::new(seg, next_anchor);
+        match &mut self.arena {
+            QueryArena::Plain(interner) => {
+                let mut solver = SegmentSolver::new(seg, next_anchor, interner);
                 if let Some(l) = limit {
-                    query = query.with_limit(l);
+                    solver = solver.with_limit(l);
                 }
-                query.distinct_progressions(phi)
-            });
-            for result in results {
-                self.stats.absorb(&result.stats);
-                for f in &result.formulas {
-                    next.insert(self.interner.intern(f));
+                for psi in pending {
+                    let result = solver.progress(psi);
+                    self.stats.absorb(&result.stats);
+                    next.extend(result.formulas);
                 }
             }
-        } else {
-            let pending: Vec<FormulaId> = self.pending.iter().copied().collect();
-            let mut solver = SegmentSolver::new(seg, next_anchor, &mut self.interner);
-            if let Some(l) = self.limit {
-                solver = solver.with_limit(l);
-            }
-            for psi in pending {
-                let result = solver.progress(psi);
-                self.stats.absorb(&result.stats);
-                next.extend(result.formulas);
+            QueryArena::Sharded(arena) => {
+                let arena: &ShardedInterner = arena;
+                let results = crate::par::par_map(&pending, |&psi| {
+                    let mut handle = arena;
+                    let mut solver = SegmentSolver::new(seg, next_anchor, &mut handle);
+                    if let Some(l) = limit {
+                        solver = solver.with_limit(l);
+                    }
+                    solver.progress(psi)
+                });
+                for result in results {
+                    self.stats.absorb(&result.stats);
+                    next.extend(result.formulas);
+                }
             }
         }
         self.pending = next;
@@ -192,7 +244,7 @@ impl OnlineMonitor {
     /// empty future (finite-trace semantics, evaluated directly on the
     /// interned ids) and the final verdict set is returned.
     pub fn finish(&self) -> VerdictSet {
-        VerdictSet::from_bools(self.pending.iter().map(|&id| self.interner.eval_empty(id)))
+        VerdictSet::from_bools(self.pending.iter().map(|&id| self.arena.eval_empty(id)))
     }
 }
 

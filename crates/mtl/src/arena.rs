@@ -1,0 +1,408 @@
+//! The formula-arena abstraction: one trait, two implementations.
+//!
+//! The solver engine and the monitors are written against [`ArenaOps`], the
+//! common interface of the single-threaded [`crate::Interner`] and the
+//! lock-per-shard [`crate::ShardedInterner`]. The trait has two layers:
+//!
+//! * **Required methods** — node storage, canonicalising smart constructors,
+//!   state interning and the two progression caches. Each arena implements
+//!   these natively (plain vectors and maps for `Interner`, sharded
+//!   `Mutex`-protected tables for `ShardedInterner`).
+//! * **Provided methods** — the *algorithms*: memoised single-observation and
+//!   gap progression, interval-splitting progression over occurrence windows,
+//!   empty-future evaluation, and conversion to/from the plain [`Formula`]
+//!   tree. These are written once, here, on top of the required methods, so
+//!   the sequential and the concurrent arena cannot diverge semantically —
+//!   `intern_properties.rs` additionally pins their agreement on random
+//!   formulas.
+//!
+//! The provided algorithms mirror the documented contracts of the inherent
+//! [`crate::Interner`] methods of the same names (see `intern.rs` for the
+//! soundness arguments: horizon clamping, invariant-only range merging, the
+//! stable tail); the interner's inherent methods delegate here.
+
+use crate::{Formula, FormulaId, Interval, Node, Prop, State, StateKey};
+
+/// Operations every formula arena provides; see the module documentation.
+///
+/// The provided methods implement progression, evaluation and conversion
+/// generically; implementors only supply storage, canonicalising constructors
+/// and caches. The trait is not object-safe (the interval-splitting helpers
+/// take closures); it is used via monomorphisation only.
+pub trait ArenaOps {
+    /// The node named by `id` (a clone — nodes are small, and the concurrent
+    /// arena cannot hand out references across its shard locks).
+    fn node(&self, id: FormulaId) -> Node;
+
+    /// Returns `true` if the interned state `key` satisfies the proposition.
+    fn state_holds(&self, key: StateKey, p: &Prop) -> bool;
+
+    /// The temporal horizon of `id` (see [`crate::Interner::temporal_horizon`]).
+    fn temporal_horizon(&self, id: FormulaId) -> u64;
+
+    /// Interns an observation state (see [`crate::Interner::intern_state`]).
+    fn intern_state(&mut self, state: &State) -> StateKey;
+
+    /// Interns an atomic proposition.
+    fn mk_atom(&mut self, p: Prop) -> FormulaId;
+    /// Smart negation.
+    fn mk_not(&mut self, a: FormulaId) -> FormulaId;
+    /// Smart n-ary conjunction.
+    fn mk_and_all(&mut self, parts: Vec<FormulaId>) -> FormulaId;
+    /// Smart n-ary disjunction.
+    fn mk_or_all(&mut self, parts: Vec<FormulaId>) -> FormulaId;
+    /// Smart implication.
+    fn mk_implies(&mut self, a: FormulaId, b: FormulaId) -> FormulaId;
+    /// Smart timed until.
+    fn mk_until(&mut self, a: FormulaId, i: Interval, b: FormulaId) -> FormulaId;
+    /// Smart timed eventually.
+    fn mk_eventually(&mut self, i: Interval, a: FormulaId) -> FormulaId;
+    /// Smart timed always.
+    fn mk_always(&mut self, i: Interval, a: FormulaId) -> FormulaId;
+
+    /// Looks up a memoised single-observation progression.
+    fn one_cache_get(&self, key: &(StateKey, FormulaId, u64)) -> Option<FormulaId>;
+    /// Memoises a single-observation progression.
+    fn one_cache_put(&mut self, key: (StateKey, FormulaId, u64), value: FormulaId);
+    /// Looks up a memoised gap progression.
+    fn gap_cache_get(&self, key: &(FormulaId, u64)) -> Option<FormulaId>;
+    /// Memoises a gap progression.
+    fn gap_cache_put(&mut self, key: (FormulaId, u64), value: FormulaId);
+
+    /// Smart binary conjunction.
+    fn mk_and(&mut self, a: FormulaId, b: FormulaId) -> FormulaId {
+        self.mk_and_all(vec![a, b])
+    }
+
+    /// Smart binary disjunction.
+    fn mk_or(&mut self, a: FormulaId, b: FormulaId) -> FormulaId {
+        self.mk_or_all(vec![a, b])
+    }
+
+    /// Returns `true` if progression of `id` is independent of elapsed time
+    /// (see [`crate::Interner::temporal_horizon`]).
+    fn is_time_invariant(&self, id: FormulaId) -> bool {
+        self.temporal_horizon(id) == 0
+    }
+
+    /// Memoised single-observation progression over an interned state (see
+    /// [`crate::Interner::progress_one_cached`] for the full contract and the
+    /// horizon-clamping argument).
+    fn progress_one_cached(&mut self, key: StateKey, id: FormulaId, elapsed: u64) -> FormulaId {
+        // Clamping is sound per node: for `elapsed ≥ temporal_horizon(id)`
+        // every bounded interval in `id` has elapsed and every unbounded
+        // start has saturated, so the result equals the horizon's.
+        let clamped = elapsed.min(self.temporal_horizon(id));
+        if let Some(f) = self.one_cache_get(&(key, id, clamped)) {
+            return f;
+        }
+        let f = match self.node(id) {
+            Node::True => FormulaId::TRUE,
+            Node::False => FormulaId::FALSE,
+            Node::Atom(p) => {
+                if self.state_holds(key, &p) {
+                    FormulaId::TRUE
+                } else {
+                    FormulaId::FALSE
+                }
+            }
+            Node::Not(a) => {
+                let a = self.progress_one_cached(key, a, clamped);
+                self.mk_not(a)
+            }
+            Node::And(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_one_cached(key, c, clamped))
+                    .collect();
+                self.mk_and_all(parts)
+            }
+            Node::Or(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_one_cached(key, c, clamped))
+                    .collect();
+                self.mk_or_all(parts)
+            }
+            Node::Implies(a, b) => {
+                let a = self.progress_one_cached(key, a, clamped);
+                let b = self.progress_one_cached(key, b, clamped);
+                self.mk_implies(a, b)
+            }
+            Node::Eventually(interval, a) => {
+                let observed = if interval.contains(0) {
+                    self.progress_one_cached(key, a, clamped)
+                } else {
+                    FormulaId::FALSE
+                };
+                if interval.elapsed_by(clamped) {
+                    observed
+                } else {
+                    let residual = self.mk_eventually(interval.shift_down(clamped), a);
+                    self.mk_or(observed, residual)
+                }
+            }
+            Node::Always(interval, a) => {
+                let observed = if interval.contains(0) {
+                    self.progress_one_cached(key, a, clamped)
+                } else {
+                    FormulaId::TRUE
+                };
+                if interval.elapsed_by(clamped) {
+                    observed
+                } else {
+                    let residual = self.mk_always(interval.shift_down(clamped), a);
+                    self.mk_and(observed, residual)
+                }
+            }
+            Node::Until(a, interval, b) => {
+                let pre = if interval.start() > 0 {
+                    self.progress_one_cached(key, a, clamped)
+                } else {
+                    FormulaId::TRUE
+                };
+                let observed_witness = if interval.contains(0) {
+                    self.progress_one_cached(key, b, clamped)
+                } else {
+                    FormulaId::FALSE
+                };
+                let future_witness = if interval.elapsed_by(clamped) {
+                    FormulaId::FALSE
+                } else {
+                    let all_a = self.progress_one_cached(key, a, clamped);
+                    let residual = self.mk_until(a, interval.shift_down(clamped), b);
+                    self.mk_and(all_a, residual)
+                };
+                let witness = self.mk_or(observed_witness, future_witness);
+                self.mk_and(pre, witness)
+            }
+        };
+        self.one_cache_put((key, id, clamped), f);
+        f
+    }
+
+    /// Memoised gap progression (see [`crate::Interner::progress_gap_cached`]).
+    fn progress_gap_cached(&mut self, id: FormulaId, elapsed: u64) -> FormulaId {
+        let clamped = elapsed.min(self.temporal_horizon(id));
+        if clamped == 0 {
+            // A zero gap is the identity, and a time-invariant formula is a
+            // fixpoint of every gap.
+            return id;
+        }
+        if let Some(f) = self.gap_cache_get(&(id, clamped)) {
+            return f;
+        }
+        let f = match self.node(id) {
+            Node::True | Node::False | Node::Atom(_) => id,
+            Node::Not(a) => {
+                let a = self.progress_gap_cached(a, clamped);
+                self.mk_not(a)
+            }
+            Node::And(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_gap_cached(c, clamped))
+                    .collect();
+                self.mk_and_all(parts)
+            }
+            Node::Or(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.progress_gap_cached(c, clamped))
+                    .collect();
+                self.mk_or_all(parts)
+            }
+            Node::Implies(a, b) => {
+                let a = self.progress_gap_cached(a, clamped);
+                let b = self.progress_gap_cached(b, clamped);
+                self.mk_implies(a, b)
+            }
+            Node::Eventually(i, a) => {
+                if i.elapsed_by(clamped) {
+                    FormulaId::FALSE
+                } else {
+                    self.mk_eventually(i.shift_down(clamped), a)
+                }
+            }
+            Node::Always(i, a) => {
+                if i.elapsed_by(clamped) {
+                    FormulaId::TRUE
+                } else {
+                    self.mk_always(i.shift_down(clamped), a)
+                }
+            }
+            Node::Until(a, i, b) => {
+                if i.elapsed_by(clamped) {
+                    FormulaId::FALSE
+                } else {
+                    self.mk_until(a, i.shift_down(clamped), b)
+                }
+            }
+        };
+        self.gap_cache_put((id, clamped), f);
+        f
+    }
+
+    /// Interval-splitting progression over a pre-interned observation state
+    /// (see [`crate::Interner::progress_one_over`] for the contract: the
+    /// returned ranges tile `[lo, hi]`, multi-point ranges below the stability
+    /// threshold carry time-invariant residuals).
+    fn progress_one_over_keyed(
+        &mut self,
+        key: StateKey,
+        time: u64,
+        id: FormulaId,
+        lo: u64,
+        hi: u64,
+    ) -> Vec<(u64, u64, FormulaId)> {
+        progress_over_with(
+            self,
+            lo,
+            hi,
+            time.saturating_add(self.temporal_horizon(id)),
+            |arena, t| arena.progress_one_cached(key, id, t.saturating_sub(time)),
+        )
+    }
+
+    /// Interval-splitting gap progression (see
+    /// [`crate::Interner::progress_gap_over`]).
+    fn progress_gap_over(
+        &mut self,
+        id: FormulaId,
+        base: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Vec<(u64, u64, FormulaId)> {
+        progress_over_with(
+            self,
+            lo,
+            hi,
+            base.saturating_add(self.temporal_horizon(id)),
+            |arena, t| arena.progress_gap_cached(id, t.saturating_sub(base)),
+        )
+    }
+
+    /// Closes a formula against the empty future (see
+    /// [`crate::Interner::eval_empty`]).
+    fn eval_empty(&self, id: FormulaId) -> bool {
+        match self.node(id) {
+            Node::True => true,
+            Node::False => false,
+            Node::Atom(_) => false,
+            Node::Not(a) => !self.eval_empty(a),
+            Node::And(children) => children.iter().all(|&c| self.eval_empty(c)),
+            Node::Or(children) => children.iter().any(|&c| self.eval_empty(c)),
+            Node::Implies(a, b) => !self.eval_empty(a) || self.eval_empty(b),
+            Node::Eventually(..) | Node::Until(..) => false,
+            Node::Always(..) => true,
+        }
+    }
+
+    /// Interns a formula tree, canonicalising through the smart constructors.
+    fn intern(&mut self, phi: &Formula) -> FormulaId {
+        match phi {
+            Formula::True => FormulaId::TRUE,
+            Formula::False => FormulaId::FALSE,
+            Formula::Atom(p) => self.mk_atom(p.clone()),
+            Formula::Not(a) => {
+                let a = self.intern(a);
+                self.mk_not(a)
+            }
+            Formula::And(a, b) => {
+                let a = self.intern(a);
+                let b = self.intern(b);
+                self.mk_and(a, b)
+            }
+            Formula::Or(a, b) => {
+                let a = self.intern(a);
+                let b = self.intern(b);
+                self.mk_or(a, b)
+            }
+            Formula::Implies(a, b) => {
+                let a = self.intern(a);
+                let b = self.intern(b);
+                self.mk_implies(a, b)
+            }
+            Formula::Until(a, i, b) => {
+                let a = self.intern(a);
+                let b = self.intern(b);
+                self.mk_until(a, *i, b)
+            }
+            Formula::Eventually(i, a) => {
+                let a = self.intern(a);
+                self.mk_eventually(*i, a)
+            }
+            Formula::Always(i, a) => {
+                let a = self.intern(a);
+                self.mk_always(*i, a)
+            }
+        }
+    }
+
+    /// Rebuilds the plain formula tree named by `id` (same canonical shape as
+    /// [`crate::Interner::resolve`]: n-ary operands re-sorted structurally, so
+    /// resolutions agree across arenas with different id assignments).
+    fn resolve(&self, id: FormulaId) -> Formula {
+        match self.node(id) {
+            Node::True => Formula::True,
+            Node::False => Formula::False,
+            Node::Atom(p) => Formula::Atom(p),
+            Node::Not(a) => Formula::not(self.resolve(a)),
+            Node::And(children) => resolve_nary(self, &children, true),
+            Node::Or(children) => resolve_nary(self, &children, false),
+            Node::Implies(a, b) => Formula::implies(self.resolve(a), self.resolve(b)),
+            Node::Until(a, i, b) => Formula::until(self.resolve(a), i, self.resolve(b)),
+            Node::Eventually(i, a) => Formula::eventually(i, self.resolve(a)),
+            Node::Always(i, a) => Formula::always(i, self.resolve(a)),
+        }
+    }
+}
+
+fn resolve_nary<A: ArenaOps + ?Sized>(arena: &A, children: &[FormulaId], conj: bool) -> Formula {
+    let mut resolved: Vec<Formula> = children.iter().map(|&c| arena.resolve(c)).collect();
+    resolved.sort();
+    let mut iter = resolved.into_iter();
+    let first = iter.next().expect("n-ary nodes have at least two operands");
+    iter.fold(first, |acc, f| {
+        if conj {
+            Formula::and(acc, f)
+        } else {
+            Formula::or(acc, f)
+        }
+    })
+}
+
+/// Shared splitting loop: walks `t` over `[lo, hi]`, calling `step` once per
+/// time point below `stable_from` and once for the whole tail at or beyond
+/// it, merging adjacent equal residuals when they are time-invariant (see
+/// [`crate::Interner::progress_one_over`] for why the merge is restricted to
+/// invariant residuals).
+fn progress_over_with<A: ArenaOps + ?Sized>(
+    arena: &mut A,
+    lo: u64,
+    hi: u64,
+    stable_from: u64,
+    mut step: impl FnMut(&mut A, u64) -> FormulaId,
+) -> Vec<(u64, u64, FormulaId)> {
+    debug_assert!(lo <= hi, "window [{lo}, {hi}] is empty");
+    let mut out: Vec<(u64, u64, FormulaId)> = Vec::new();
+    let mut t = lo;
+    while t <= hi {
+        let f = step(arena, t);
+        let stable = t >= stable_from;
+        let upper = if stable { hi } else { t };
+        match out.last_mut() {
+            // Extend the previous range only when the residual is the same
+            // *and* time-invariant.
+            Some((_, end, prev)) if *prev == f && *end + 1 == t && arena.is_time_invariant(f) => {
+                *end = upper;
+            }
+            _ => out.push((t, upper, f)),
+        }
+        if stable {
+            break;
+        }
+        t += 1;
+    }
+    out
+}

@@ -57,8 +57,23 @@ impl FormulaId {
     }
 
     /// The raw index (useful for dense side tables).
+    ///
+    /// Only dense for ids produced by an [`Interner`]; the ids of a
+    /// [`crate::ShardedInterner`] pack a shard number into the low bits and
+    /// are sparse in this index space.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds an id from its raw representation (crate-internal: used by the
+    /// sharded arena's packed ids and by compaction).
+    pub(crate) fn from_raw(raw: u32) -> Self {
+        FormulaId(raw)
+    }
+
+    /// The raw representation (crate-internal).
+    pub(crate) fn raw(self) -> u32 {
+        self.0
     }
 }
 
@@ -98,9 +113,20 @@ pub enum Node {
 pub struct StateKey(u32);
 
 impl StateKey {
-    /// The raw index (useful for dense side tables).
+    /// The raw index (useful for dense side tables). Only dense for keys
+    /// produced by an [`Interner`] (see [`FormulaId::index`]).
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Builds a key from its raw representation (crate-internal).
+    pub(crate) fn from_raw(raw: u32) -> Self {
+        StateKey(raw)
+    }
+
+    /// The raw representation (crate-internal).
+    pub(crate) fn raw(self) -> u32 {
+        self.0
     }
 }
 
@@ -699,159 +725,15 @@ impl Interner {
     /// core of a `□`-residual) are progressed once per `(state, elapsed)`
     /// no matter how many pending formulas contain them.
     pub fn progress_one_cached(&mut self, key: StateKey, id: FormulaId, elapsed: u64) -> FormulaId {
-        // Clamping is sound per node: for `elapsed ≥ temporal_horizon(id)`
-        // every bounded interval in `id` has elapsed and every unbounded
-        // start has saturated, so the result equals the horizon's.
-        let clamped = elapsed.min(self.temporal_horizon(id));
-        if let Some(&f) = self.one_cache.get(&(key, id, clamped)) {
-            return f;
-        }
-        let f = match self.node(id).clone() {
-            Node::True => FormulaId::TRUE,
-            Node::False => FormulaId::FALSE,
-            Node::Atom(p) => {
-                if self.states[key.index()].holds_prop(&p) {
-                    FormulaId::TRUE
-                } else {
-                    FormulaId::FALSE
-                }
-            }
-            Node::Not(a) => {
-                let a = self.progress_one_cached(key, a, clamped);
-                self.mk_not(a)
-            }
-            Node::And(children) => {
-                let parts: Vec<FormulaId> = children
-                    .iter()
-                    .map(|&c| self.progress_one_cached(key, c, clamped))
-                    .collect();
-                self.mk_and_all(parts)
-            }
-            Node::Or(children) => {
-                let parts: Vec<FormulaId> = children
-                    .iter()
-                    .map(|&c| self.progress_one_cached(key, c, clamped))
-                    .collect();
-                self.mk_or_all(parts)
-            }
-            Node::Implies(a, b) => {
-                let a = self.progress_one_cached(key, a, clamped);
-                let b = self.progress_one_cached(key, b, clamped);
-                self.mk_implies(a, b)
-            }
-            Node::Eventually(interval, a) => {
-                let observed = if interval.contains(0) {
-                    self.progress_one_cached(key, a, clamped)
-                } else {
-                    FormulaId::FALSE
-                };
-                if interval.elapsed_by(clamped) {
-                    observed
-                } else {
-                    let residual = self.mk_eventually(interval.shift_down(clamped), a);
-                    self.mk_or(observed, residual)
-                }
-            }
-            Node::Always(interval, a) => {
-                let observed = if interval.contains(0) {
-                    self.progress_one_cached(key, a, clamped)
-                } else {
-                    FormulaId::TRUE
-                };
-                if interval.elapsed_by(clamped) {
-                    observed
-                } else {
-                    let residual = self.mk_always(interval.shift_down(clamped), a);
-                    self.mk_and(observed, residual)
-                }
-            }
-            Node::Until(a, interval, b) => {
-                let pre = if interval.start() > 0 {
-                    self.progress_one_cached(key, a, clamped)
-                } else {
-                    FormulaId::TRUE
-                };
-                let observed_witness = if interval.contains(0) {
-                    self.progress_one_cached(key, b, clamped)
-                } else {
-                    FormulaId::FALSE
-                };
-                let future_witness = if interval.elapsed_by(clamped) {
-                    FormulaId::FALSE
-                } else {
-                    let all_a = self.progress_one_cached(key, a, clamped);
-                    let residual = self.mk_until(a, interval.shift_down(clamped), b);
-                    self.mk_and(all_a, residual)
-                };
-                let witness = self.mk_or(observed_witness, future_witness);
-                self.mk_and(pre, witness)
-            }
-        };
-        self.one_cache.insert((key, id, clamped), f);
-        f
+        // The algorithm lives in `ArenaOps` so the sequential and sharded
+        // arenas share one implementation.
+        <Self as crate::ArenaOps>::progress_one_cached(self, key, id, elapsed)
     }
 
     /// Memoised [`Interner::progress_gap`] (same per-node elapsed-clamping
     /// memo as [`Interner::progress_one_cached`]).
     pub fn progress_gap_cached(&mut self, id: FormulaId, elapsed: u64) -> FormulaId {
-        let clamped = elapsed.min(self.temporal_horizon(id));
-        if clamped == 0 {
-            // A zero gap is the identity, and a time-invariant formula is a
-            // fixpoint of every gap.
-            return id;
-        }
-        if let Some(&f) = self.gap_cache.get(&(id, clamped)) {
-            return f;
-        }
-        let f = match self.node(id).clone() {
-            Node::True | Node::False | Node::Atom(_) => id,
-            Node::Not(a) => {
-                let a = self.progress_gap_cached(a, clamped);
-                self.mk_not(a)
-            }
-            Node::And(children) => {
-                let parts: Vec<FormulaId> = children
-                    .iter()
-                    .map(|&c| self.progress_gap_cached(c, clamped))
-                    .collect();
-                self.mk_and_all(parts)
-            }
-            Node::Or(children) => {
-                let parts: Vec<FormulaId> = children
-                    .iter()
-                    .map(|&c| self.progress_gap_cached(c, clamped))
-                    .collect();
-                self.mk_or_all(parts)
-            }
-            Node::Implies(a, b) => {
-                let a = self.progress_gap_cached(a, clamped);
-                let b = self.progress_gap_cached(b, clamped);
-                self.mk_implies(a, b)
-            }
-            Node::Eventually(i, a) => {
-                if i.elapsed_by(clamped) {
-                    FormulaId::FALSE
-                } else {
-                    self.mk_eventually(i.shift_down(clamped), a)
-                }
-            }
-            Node::Always(i, a) => {
-                if i.elapsed_by(clamped) {
-                    FormulaId::TRUE
-                } else {
-                    self.mk_always(i.shift_down(clamped), a)
-                }
-            }
-            Node::Until(a, i, b) => {
-                if i.elapsed_by(clamped) {
-                    FormulaId::FALSE
-                } else {
-                    self.mk_until(a, i.shift_down(clamped), b)
-                }
-            }
-        };
-        self.gap_cache.insert((id, clamped), f);
-        f
+        <Self as crate::ArenaOps>::progress_gap_cached(self, id, elapsed)
     }
 
     /// Interval-splitting progression: partitions the occurrence-time window
@@ -908,12 +790,7 @@ impl Interner {
         lo: u64,
         hi: u64,
     ) -> Vec<(u64, u64, FormulaId)> {
-        self.progress_over_with(
-            lo,
-            hi,
-            time.saturating_add(self.temporal_horizon(id)),
-            |s, t| s.progress_one_cached(key, id, t.saturating_sub(time)),
-        )
+        <Self as crate::ArenaOps>::progress_one_over_keyed(self, key, time, id, lo, hi)
     }
 
     /// Interval-splitting counterpart of [`Interner::progress_gap`]: partitions
@@ -928,48 +805,7 @@ impl Interner {
         lo: u64,
         hi: u64,
     ) -> Vec<(u64, u64, FormulaId)> {
-        self.progress_over_with(
-            lo,
-            hi,
-            base.saturating_add(self.temporal_horizon(id)),
-            |s, t| s.progress_gap_cached(id, t.saturating_sub(base)),
-        )
-    }
-
-    /// Shared splitting loop: walks `t` over `[lo, hi]`, calling `step` once
-    /// per time point below `stable_from` and once for the whole tail at or
-    /// beyond it, merging adjacent equal residuals when they are
-    /// time-invariant.
-    fn progress_over_with(
-        &mut self,
-        lo: u64,
-        hi: u64,
-        stable_from: u64,
-        mut step: impl FnMut(&mut Self, u64) -> FormulaId,
-    ) -> Vec<(u64, u64, FormulaId)> {
-        debug_assert!(lo <= hi, "window [{lo}, {hi}] is empty");
-        let mut out: Vec<(u64, u64, FormulaId)> = Vec::new();
-        let mut t = lo;
-        while t <= hi {
-            let f = step(self, t);
-            let stable = t >= stable_from;
-            let upper = if stable { hi } else { t };
-            match out.last_mut() {
-                // Extend the previous range only when the residual is the
-                // same *and* time-invariant (see `progress_one_over`).
-                Some((_, end, prev))
-                    if *prev == f && *end + 1 == t && self.is_time_invariant(f) =>
-                {
-                    *end = upper;
-                }
-                _ => out.push((t, upper, f)),
-            }
-            if stable {
-                break;
-            }
-            t += 1;
-        }
-        out
+        <Self as crate::ArenaOps>::progress_gap_over(self, id, base, lo, hi)
     }
 
     /// Progression over an observation gap of `elapsed` time units — the
@@ -1043,6 +879,274 @@ impl Interner {
             Node::Eventually(..) | Node::Until(..) => false,
             Node::Always(..) => true,
         }
+    }
+
+    /// Current memory footprint of the arena, in table entries.
+    pub fn memory(&self) -> ArenaMemory {
+        ArenaMemory {
+            nodes: self.nodes.len(),
+            states: self.states.len(),
+            one_cache_entries: self.one_cache.len(),
+            gap_cache_entries: self.gap_cache.len(),
+        }
+    }
+
+    /// Epoch compaction: mark-and-renumber garbage collection over the arena.
+    ///
+    /// Keeps exactly the nodes reachable from `roots` (plus the two boolean
+    /// constants), renumbers them densely in their original order — so
+    /// children keep smaller ids than parents and the sorted operand lists of
+    /// n-ary nodes stay sorted — and drops everything else: dead nodes, the
+    /// observation states no surviving cache entry refers to, and every
+    /// `one_cache`/`gap_cache` entry whose key *or* value formula died (the
+    /// caches are weak: they never keep a formula alive, and a dropped entry
+    /// is simply recomputed on the next miss).
+    ///
+    /// Returns the remapping from old to new ids; every id handed out before
+    /// the call (pending sets, memo keys, …) is invalidated and must either
+    /// be translated through the remap or discarded. [`FormulaId::TRUE`] and
+    /// [`FormulaId::FALSE`] are stable across compactions.
+    pub fn compact(&mut self, roots: impl IntoIterator<Item = FormulaId>) -> FormulaRemap {
+        // Mark.
+        let mut live = vec![false; self.nodes.len()];
+        live[FormulaId::TRUE.index()] = true;
+        live[FormulaId::FALSE.index()] = true;
+        let mut stack: Vec<FormulaId> = roots.into_iter().collect();
+        while let Some(id) = stack.pop() {
+            if live[id.index()] {
+                continue;
+            }
+            live[id.index()] = true;
+            match &self.nodes[id.index()] {
+                Node::True | Node::False | Node::Atom(_) => {}
+                Node::Not(a) => stack.push(*a),
+                Node::And(children) | Node::Or(children) => stack.extend(children.iter().copied()),
+                Node::Implies(a, b) | Node::Until(a, _, b) => {
+                    stack.push(*a);
+                    stack.push(*b);
+                }
+                Node::Eventually(_, a) | Node::Always(_, a) => stack.push(*a),
+            }
+        }
+
+        // Renumber nodes in original order; children are always interned
+        // before their parents, so one forward pass remaps every child.
+        let mut map: Vec<Option<FormulaId>> = vec![None; self.nodes.len()];
+        let mut nodes: Vec<Node> = Vec::with_capacity(live.iter().filter(|&&l| l).count());
+        let mut horizons: Vec<u64> = Vec::with_capacity(nodes.capacity());
+        let remap_children = |ids: &[FormulaId], map: &[Option<FormulaId>]| -> Box<[FormulaId]> {
+            ids.iter()
+                .map(|c| map[c.index()].expect("children are marked with their parents"))
+                .collect()
+        };
+        for (index, node) in self.nodes.iter().enumerate() {
+            if !live[index] {
+                continue;
+            }
+            let new_id = FormulaId::from_raw(u32::try_from(nodes.len()).expect("shrinking"));
+            let remapped = match node {
+                Node::True => Node::True,
+                Node::False => Node::False,
+                Node::Atom(p) => Node::Atom(p.clone()),
+                Node::Not(a) => Node::Not(map[a.index()].expect("marked")),
+                Node::And(children) => Node::And(remap_children(children, &map)),
+                Node::Or(children) => Node::Or(remap_children(children, &map)),
+                Node::Implies(a, b) => Node::Implies(
+                    map[a.index()].expect("marked"),
+                    map[b.index()].expect("marked"),
+                ),
+                Node::Until(a, i, b) => Node::Until(
+                    map[a.index()].expect("marked"),
+                    *i,
+                    map[b.index()].expect("marked"),
+                ),
+                Node::Eventually(i, a) => Node::Eventually(*i, map[a.index()].expect("marked")),
+                Node::Always(i, a) => Node::Always(*i, map[a.index()].expect("marked")),
+            };
+            nodes.push(remapped);
+            horizons.push(self.horizons[index]);
+            map[index] = Some(new_id);
+        }
+        let ids: FxHashMap<Node, FormulaId> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), FormulaId::from_raw(i as u32)))
+            .collect();
+
+        // Surviving cache entries: both endpoints must have survived. Collect
+        // the states those entries still refer to, renumber them, drop the
+        // rest.
+        let mut state_live = vec![false; self.states.len()];
+        let retained_one: Vec<((StateKey, FormulaId, u64), FormulaId)> = self
+            .one_cache
+            .iter()
+            .filter_map(|(&(s, f, e), &v)| {
+                let f = map[f.index()]?;
+                let v = map[v.index()]?;
+                state_live[s.index()] = true;
+                Some(((s, f, e), v))
+            })
+            .collect();
+        let mut state_map: Vec<Option<StateKey>> = vec![None; self.states.len()];
+        let mut states: Vec<State> = Vec::new();
+        for (index, state) in self.states.iter().enumerate() {
+            if state_live[index] {
+                state_map[index] = Some(StateKey::from_raw(states.len() as u32));
+                states.push(state.clone());
+            }
+        }
+        let state_ids: FxHashMap<State, StateKey> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), StateKey::from_raw(i as u32)))
+            .collect();
+        let one_cache: FxHashMap<(StateKey, FormulaId, u64), FormulaId> = retained_one
+            .into_iter()
+            .map(|((s, f, e), v)| ((state_map[s.index()].expect("marked above"), f, e), v))
+            .collect();
+        let gap_cache: FxHashMap<(FormulaId, u64), FormulaId> = self
+            .gap_cache
+            .iter()
+            .filter_map(|(&(f, e), &v)| Some(((map[f.index()]?, e), map[v.index()]?)))
+            .collect();
+
+        self.nodes = nodes;
+        self.ids = ids;
+        self.horizons = horizons;
+        self.states = states;
+        self.state_ids = state_ids;
+        self.one_cache = one_cache;
+        self.gap_cache = gap_cache;
+        FormulaRemap { map }
+    }
+}
+
+/// Memory footprint of an arena, in table entries (see [`Interner::memory`]
+/// and [`crate::ShardedInterner::memory`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaMemory {
+    /// Number of interned formula nodes.
+    pub nodes: usize,
+    /// Number of interned observation states.
+    pub states: usize,
+    /// Number of memoised single-observation progressions.
+    pub one_cache_entries: usize,
+    /// Number of memoised gap progressions.
+    pub gap_cache_entries: usize,
+}
+
+impl ArenaMemory {
+    /// Total number of table entries (the figure the GC pin tests bound).
+    pub fn total_entries(&self) -> usize {
+        self.nodes + self.states + self.one_cache_entries + self.gap_cache_entries
+    }
+}
+
+/// The old-id → new-id translation produced by [`Interner::compact`].
+#[derive(Debug, Clone)]
+pub struct FormulaRemap {
+    map: Vec<Option<FormulaId>>,
+}
+
+impl FormulaRemap {
+    /// The new id of `old`, or `None` if the node was collected.
+    pub fn get(&self, old: FormulaId) -> Option<FormulaId> {
+        self.map.get(old.index()).copied().flatten()
+    }
+
+    /// The new id of a formula that was passed as a compaction root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` was not live at compaction time.
+    pub fn remap(&self, old: FormulaId) -> FormulaId {
+        self.get(old)
+            .expect("FormulaRemap::remap: id was collected — pass it as a root to compact()")
+    }
+
+    /// Number of nodes that survived the compaction.
+    pub fn retained(&self) -> usize {
+        self.map.iter().filter(|m| m.is_some()).count()
+    }
+}
+
+impl crate::ArenaOps for Interner {
+    fn node(&self, id: FormulaId) -> Node {
+        self.nodes[id.index()].clone()
+    }
+
+    fn state_holds(&self, key: StateKey, p: &crate::Prop) -> bool {
+        self.states[key.index()].holds_prop(p)
+    }
+
+    fn temporal_horizon(&self, id: FormulaId) -> u64 {
+        Interner::temporal_horizon(self, id)
+    }
+
+    fn intern_state(&mut self, state: &State) -> StateKey {
+        Interner::intern_state(self, state)
+    }
+
+    fn mk_atom(&mut self, p: crate::Prop) -> FormulaId {
+        Interner::mk_atom(self, p)
+    }
+
+    fn mk_not(&mut self, a: FormulaId) -> FormulaId {
+        Interner::mk_not(self, a)
+    }
+
+    fn mk_and_all(&mut self, parts: Vec<FormulaId>) -> FormulaId {
+        Interner::mk_and_all(self, parts)
+    }
+
+    fn mk_or_all(&mut self, parts: Vec<FormulaId>) -> FormulaId {
+        Interner::mk_or_all(self, parts)
+    }
+
+    fn mk_implies(&mut self, a: FormulaId, b: FormulaId) -> FormulaId {
+        Interner::mk_implies(self, a, b)
+    }
+
+    fn mk_until(&mut self, a: FormulaId, i: Interval, b: FormulaId) -> FormulaId {
+        Interner::mk_until(self, a, i, b)
+    }
+
+    fn mk_eventually(&mut self, i: Interval, a: FormulaId) -> FormulaId {
+        Interner::mk_eventually(self, i, a)
+    }
+
+    fn mk_always(&mut self, i: Interval, a: FormulaId) -> FormulaId {
+        Interner::mk_always(self, i, a)
+    }
+
+    fn one_cache_get(&self, key: &(StateKey, FormulaId, u64)) -> Option<FormulaId> {
+        self.one_cache.get(key).copied()
+    }
+
+    fn one_cache_put(&mut self, key: (StateKey, FormulaId, u64), value: FormulaId) {
+        self.one_cache.insert(key, value);
+    }
+
+    fn gap_cache_get(&self, key: &(FormulaId, u64)) -> Option<FormulaId> {
+        self.gap_cache.get(key).copied()
+    }
+
+    fn gap_cache_put(&mut self, key: (FormulaId, u64), value: FormulaId) {
+        self.gap_cache.insert(key, value);
+    }
+
+    // The inherent implementations of these two stay authoritative (they
+    // avoid the per-node clone of the generic defaults).
+    fn eval_empty(&self, id: FormulaId) -> bool {
+        Interner::eval_empty(self, id)
+    }
+
+    fn resolve(&self, id: FormulaId) -> Formula {
+        Interner::resolve(self, id)
+    }
+
+    fn intern(&mut self, phi: &Formula) -> FormulaId {
+        Interner::intern(self, phi)
     }
 }
 
@@ -1254,6 +1358,81 @@ mod tests {
         assert_eq!((a, b), (6, 100), "tail of {splits:?}");
         assert_eq!(f, FormulaId::FALSE);
         assert!(splits.len() <= 7);
+    }
+
+    #[test]
+    fn compact_keeps_roots_and_drops_garbage() {
+        let mut interner = Interner::new();
+        let keep = interner.intern(&crate::parse("a U[0,8) b").unwrap());
+        let drop_me = interner.intern(&crate::parse("F[0,5) (c & d)").unwrap());
+        let before = interner.memory();
+        let remap = interner.compact([keep]);
+        let after = interner.memory();
+        assert!(after.nodes < before.nodes, "{before:?} -> {after:?}");
+        let new_keep = remap.remap(keep);
+        assert_eq!(
+            interner.resolve(new_keep),
+            crate::parse("a U[0,8) b").map(|f| simplify(&f)).unwrap()
+        );
+        assert!(remap.get(drop_me).is_none() || drop_me.index() >= interner.len());
+        // Constants survive with stable ids.
+        assert_eq!(remap.remap(FormulaId::TRUE), FormulaId::TRUE);
+        assert_eq!(remap.remap(FormulaId::FALSE), FormulaId::FALSE);
+        // The arena still works after compaction: re-interning the kept
+        // formula is a no-op, new formulas get fresh ids.
+        assert_eq!(
+            interner.intern(&crate::parse("a U[0,8) b").unwrap()),
+            new_keep
+        );
+        let fresh = interner.intern(&crate::parse("G[0,3) z").unwrap());
+        assert!(interner.len() > new_keep.index());
+        assert!(fresh.index() < interner.len());
+    }
+
+    #[test]
+    fn compact_preserves_progression_results() {
+        let mut interner = Interner::new();
+        let phi = crate::parse("!a U[2,9) (a & b)").unwrap();
+        let id = interner.intern(&phi);
+        // Warm the caches.
+        let key = interner.intern_state(&state!["a"]);
+        let warm = interner.progress_one_cached(key, id, 3);
+        let remap = interner.compact([id, warm]);
+        let id2 = remap.remap(id);
+        // Progressing through the compacted arena gives the same formula.
+        let key2 = interner.intern_state(&state!["a"]);
+        let after = interner.progress_one_cached(key2, id2, 3);
+        let mut reference = Interner::new();
+        let rid = reference.intern(&phi);
+        let rkey = reference.intern_state(&state!["a"]);
+        let rres = reference.progress_one_cached(rkey, rid, 3);
+        assert_eq!(interner.resolve(after), reference.resolve(rres));
+        // Cache entries whose endpoints survived were carried over.
+        assert_eq!(interner.resolve(remap.remap(warm)), interner.resolve(after));
+    }
+
+    #[test]
+    fn compact_bounds_memory_under_churn() {
+        let mut interner = Interner::new();
+        let root = interner.intern(&crate::parse("G[0,inf) (a -> F[0,6) b)").unwrap());
+        let mut live = root;
+        let mut peak_after_gc = 0usize;
+        for round in 0..50u64 {
+            // Churn: throwaway formulas plus cache warming.
+            for k in 0..10u64 {
+                let text = format!("F[0,{}) (p{} & q{})", 3 + (round + k) % 7, k, round % 5);
+                let _ = interner.intern(&crate::parse(&text).unwrap());
+            }
+            let key = interner.intern_state(&state!["a"]);
+            live = interner.progress_one_cached(key, live, 1 + round % 3);
+            let remap = interner.compact([live]);
+            live = remap.remap(live);
+            peak_after_gc = peak_after_gc.max(interner.memory().total_entries());
+        }
+        assert!(
+            peak_after_gc < 200,
+            "post-GC footprint must stay bounded, got {peak_after_gc}"
+        );
     }
 
     #[test]

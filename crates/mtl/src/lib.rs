@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod arena;
 mod atom;
 mod eval;
 mod formula;
@@ -51,18 +52,21 @@ mod intern;
 mod interval;
 mod parser;
 mod progress;
+mod sharded;
 mod simplify;
 mod state;
 pub mod testgen;
 mod trace;
 
+pub use arena::ArenaOps;
 pub use atom::Prop;
 pub use eval::{evaluate, evaluate_at, evaluate_from};
 pub use formula::Formula;
-pub use intern::{FormulaId, Interner, Node, StateKey};
+pub use intern::{ArenaMemory, FormulaId, FormulaRemap, Interner, Node, StateKey};
 pub use interval::Interval;
 pub use parser::{parse, ParseError};
 pub use progress::{progress, progress_default, progress_gap};
+pub use sharded::ShardedInterner;
 pub use simplify::simplify;
 pub use state::State;
 pub use trace::{TimedTrace, TraceError};

@@ -1,0 +1,655 @@
+//! A lock-per-shard concurrent formula arena.
+//!
+//! [`ShardedInterner`] is the concurrent counterpart of [`Interner`]: the
+//! same hash-consing invariant (one node per distinct canonical formula), the
+//! same canonicalising smart constructors, and the same progression caches —
+//! but every table is split into [`SHARDS`] shards, each behind its own
+//! `Mutex`, so worker threads can intern nodes and hit the `one_cache` /
+//! `gap_cache` concurrently. This is what lets the parallel monitoring paths
+//! share one *query-spanning* arena (and its memoised progressions) instead
+//! of rebuilding a throwaway interner per formula.
+//!
+//! # Id packing
+//!
+//! A node is assigned to the shard named by the hash of its canonical form,
+//! and its [`FormulaId`] packs the shard into the low [`SHARD_BITS`] bits and
+//! the index within the shard into the high bits. Ids are therefore *sparse*
+//! in [`FormulaId::index`] space (unlike the dense ids of [`Interner`]), but
+//! remain 4-byte copies with id-equality. The two boolean constants keep
+//! their universal ids: `TRUE` is slot 0 of shard 0 and `FALSE` is slot 0 of
+//! shard 1, so `FormulaId::TRUE`/`FormulaId::FALSE` mean the same thing in
+//! every arena. [`StateKey`]s are packed the same way.
+//!
+//! # Locking discipline
+//!
+//! Every operation locks **at most one shard at a time** and never recurses
+//! while holding a lock: cross-shard data (children's nodes, horizons) is
+//! read — shard by shard — *before* the target shard is locked, so the lock
+//! graph is trivially acyclic. Races are benign by idempotence: two threads
+//! interning the same node serialise on its (single) home shard, and two
+//! threads racing a cache miss compute the same canonical result.
+//!
+//! # Determinism
+//!
+//! *Which* raw id a formula receives depends on thread interleaving (slot
+//! indices are handed out in arrival order), but everything observable is
+//! canonical: node identity within the arena, [`ArenaOps::resolve`] (which
+//! re-sorts n-ary operands structurally), verdicts, and formula *sets*
+//! resolved out of the arena are interleaving-independent. The agreement with
+//! the sequential [`Interner`] is pinned by `tests/intern_properties.rs`.
+
+use crate::hashing::{FxHashMap, FxHasher};
+use crate::intern::ArenaMemory;
+use crate::{ArenaOps, Formula, FormulaId, Interval, Node, Prop, State, StateKey};
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// Number of bits of a packed id that name the shard.
+pub const SHARD_BITS: u32 = 4;
+/// Number of shards (`2^SHARD_BITS`).
+pub const SHARDS: usize = 1 << SHARD_BITS;
+
+/// One shard: a miniature interner plus its slice of the caches.
+#[derive(Debug, Default)]
+struct Shard {
+    nodes: Vec<Node>,
+    ids: FxHashMap<Node, u32>,
+    horizons: Vec<u64>,
+    states: Vec<State>,
+    state_ids: FxHashMap<State, u32>,
+    one_cache: FxHashMap<(StateKey, FormulaId, u64), FormulaId>,
+    gap_cache: FxHashMap<(FormulaId, u64), FormulaId>,
+}
+
+/// The concurrent formula arena. See the module documentation.
+#[derive(Debug)]
+pub struct ShardedInterner {
+    shards: Vec<Mutex<Shard>>,
+}
+
+impl Default for ShardedInterner {
+    fn default() -> Self {
+        ShardedInterner::new()
+    }
+}
+
+impl Clone for ShardedInterner {
+    fn clone(&self) -> Self {
+        ShardedInterner {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| {
+                    let s = s.lock().expect("shard poisoned");
+                    Mutex::new(Shard {
+                        nodes: s.nodes.clone(),
+                        ids: s.ids.clone(),
+                        horizons: s.horizons.clone(),
+                        states: s.states.clone(),
+                        state_ids: s.state_ids.clone(),
+                        one_cache: s.one_cache.clone(),
+                        gap_cache: s.gap_cache.clone(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+fn pack(shard: usize, local: u32) -> u32 {
+    debug_assert!(local <= u32::MAX >> SHARD_BITS, "shard overflow");
+    (local << SHARD_BITS) | shard as u32
+}
+
+fn unpack(raw: u32) -> (usize, usize) {
+    (
+        (raw & (SHARDS as u32 - 1)) as usize,
+        (raw >> SHARD_BITS) as usize,
+    )
+}
+
+fn shard_of<T: Hash>(value: &T) -> usize {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    (hasher.finish() as usize) & (SHARDS - 1)
+}
+
+impl ShardedInterner {
+    /// Creates an arena holding only the two boolean constants.
+    pub fn new() -> Self {
+        let interner = ShardedInterner {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+        };
+        // The constants live at fixed slots so their universal ids hold:
+        // TRUE = raw 0 = (shard 0, slot 0), FALSE = raw 1 = (shard 1, slot 0).
+        {
+            let mut s0 = interner.shards[0].lock().expect("fresh shard");
+            s0.nodes.push(Node::True);
+            s0.horizons.push(0);
+            s0.ids.insert(Node::True, 0);
+        }
+        {
+            let mut s1 = interner.shards[1].lock().expect("fresh shard");
+            s1.nodes.push(Node::False);
+            s1.horizons.push(0);
+            s1.ids.insert(Node::False, 0);
+        }
+        debug_assert_eq!(pack(0, 0), FormulaId::TRUE.raw());
+        debug_assert_eq!(pack(1, 0), FormulaId::FALSE.raw());
+        interner
+    }
+
+    fn lock(&self, shard: usize) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[shard].lock().expect("shard poisoned")
+    }
+
+    /// Number of distinct formulas interned so far (sums the shards; a moment
+    ///-in-time figure under concurrent use).
+    pub fn len(&self) -> usize {
+        (0..SHARDS).map(|i| self.lock(i).nodes.len()).sum()
+    }
+
+    /// Always `false`: a fresh arena holds the two constants.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current memory footprint across all shards, in table entries.
+    pub fn memory(&self) -> ArenaMemory {
+        let mut memory = ArenaMemory::default();
+        for i in 0..SHARDS {
+            let s = self.lock(i);
+            memory.nodes += s.nodes.len();
+            memory.states += s.states.len();
+            memory.one_cache_entries += s.one_cache.len();
+            memory.gap_cache_entries += s.gap_cache.len();
+        }
+        memory
+    }
+
+    /// Drops every node, state and cache entry except the two constants —
+    /// the epoch reset of the streaming runtime's GC: all previously issued
+    /// ids (other than the constants) are invalidated.
+    pub fn clear(&mut self) {
+        *self = ShardedInterner::new();
+    }
+
+    /// The node named by `id` (a clone; the shard lock cannot be held across
+    /// the caller's use).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not come from this arena.
+    pub fn node(&self, id: FormulaId) -> Node {
+        let (shard, local) = unpack(id.raw());
+        self.lock(shard).nodes[local].clone()
+    }
+
+    /// The temporal horizon of `id` (see [`Interner::temporal_horizon`](crate::Interner::temporal_horizon)).
+    pub fn temporal_horizon(&self, id: FormulaId) -> u64 {
+        let (shard, local) = unpack(id.raw());
+        self.lock(shard).horizons[local]
+    }
+
+    /// Returns `true` if the interned state satisfies the proposition.
+    pub fn state_holds(&self, key: StateKey, p: &Prop) -> bool {
+        let (shard, local) = unpack(key.raw());
+        self.lock(shard).states[local].holds_prop(p)
+    }
+
+    /// Interns an observation state (see [`Interner::intern_state`](crate::Interner::intern_state)).
+    pub fn intern_state(&self, state: &State) -> StateKey {
+        let shard = shard_of(state);
+        let mut s = self.lock(shard);
+        if let Some(&local) = s.state_ids.get(state) {
+            return StateKey::from_raw(pack(shard, local));
+        }
+        let local = u32::try_from(s.states.len()).expect("state shard overflow");
+        assert!(
+            local <= u32::MAX >> SHARD_BITS,
+            "sharded state interner overflow (shard {shard})"
+        );
+        s.states.push(state.clone());
+        s.state_ids.insert(state.clone(), local);
+        StateKey::from_raw(pack(shard, local))
+    }
+
+    /// The horizon of a node from its (already interned) children; reads the
+    /// children's shards, so it must be called with no shard lock held.
+    fn horizon_of(&self, node: &Node) -> u64 {
+        fn endpoint(i: &Interval) -> u64 {
+            i.end().unwrap_or(i.start())
+        }
+        match node {
+            Node::True | Node::False | Node::Atom(_) => 0,
+            Node::Not(a) => self.temporal_horizon(*a),
+            Node::And(children) | Node::Or(children) => children
+                .iter()
+                .map(|&c| self.temporal_horizon(c))
+                .max()
+                .unwrap_or(0),
+            Node::Implies(a, b) => self.temporal_horizon(*a).max(self.temporal_horizon(*b)),
+            Node::Eventually(i, a) | Node::Always(i, a) => {
+                endpoint(i).max(self.temporal_horizon(*a))
+            }
+            Node::Until(a, i, b) => endpoint(i)
+                .max(self.temporal_horizon(*a))
+                .max(self.temporal_horizon(*b)),
+        }
+    }
+
+    fn insert(&self, node: Node) -> FormulaId {
+        debug_assert!(
+            !matches!(node, Node::True | Node::False),
+            "constants are pre-seeded and folded by the smart constructors"
+        );
+        // Horizon first: it reads the children's shards, and no lock may be
+        // held while it does.
+        let horizon = self.horizon_of(&node);
+        let shard = shard_of(&node);
+        let mut s = self.lock(shard);
+        if let Some(&local) = s.ids.get(&node) {
+            return FormulaId::from_raw(pack(shard, local));
+        }
+        let local = u32::try_from(s.nodes.len()).expect("shard overflow");
+        assert!(
+            local <= u32::MAX >> SHARD_BITS,
+            "sharded interner overflow (shard {shard})"
+        );
+        s.nodes.push(node.clone());
+        s.horizons.push(horizon);
+        s.ids.insert(node, local);
+        FormulaId::from_raw(pack(shard, local))
+    }
+
+    /// Interns an atomic proposition.
+    pub fn mk_atom(&self, p: Prop) -> FormulaId {
+        self.insert(Node::Atom(p))
+    }
+
+    /// Smart negation (same canonicalisation as [`Interner::mk_not`](crate::Interner::mk_not)).
+    pub fn mk_not(&self, a: FormulaId) -> FormulaId {
+        match a {
+            FormulaId::TRUE => FormulaId::FALSE,
+            FormulaId::FALSE => FormulaId::TRUE,
+            _ => match self.node(a) {
+                Node::Not(inner) => inner,
+                _ => self.insert(Node::Not(a)),
+            },
+        }
+    }
+
+    /// Smart binary conjunction.
+    pub fn mk_and(&self, a: FormulaId, b: FormulaId) -> FormulaId {
+        self.mk_and_all(vec![a, b])
+    }
+
+    /// Smart binary disjunction.
+    pub fn mk_or(&self, a: FormulaId, b: FormulaId) -> FormulaId {
+        self.mk_or_all(vec![a, b])
+    }
+
+    /// Smart n-ary conjunction (same canonicalisation as
+    /// [`Interner::mk_and_all`](crate::Interner::mk_and_all)).
+    pub fn mk_and_all(&self, parts: Vec<FormulaId>) -> FormulaId {
+        self.mk_nary(parts, true)
+    }
+
+    /// Smart n-ary disjunction.
+    pub fn mk_or_all(&self, parts: Vec<FormulaId>) -> FormulaId {
+        self.mk_nary(parts, false)
+    }
+
+    fn mk_nary(&self, parts: Vec<FormulaId>, conjunction: bool) -> FormulaId {
+        let (absorbing, neutral) = if conjunction {
+            (FormulaId::FALSE, FormulaId::TRUE)
+        } else {
+            (FormulaId::TRUE, FormulaId::FALSE)
+        };
+        let mut operands: Vec<FormulaId> = Vec::new();
+        for part in parts {
+            if part == absorbing {
+                return absorbing;
+            }
+            if part == neutral {
+                continue;
+            }
+            // Flatten one level: nested n-ary nodes of the same kind cannot
+            // occur as children of each other, so this keeps the set flat.
+            match (conjunction, self.node(part)) {
+                (true, Node::And(children)) | (false, Node::Or(children)) => {
+                    operands.extend(children.iter().copied());
+                }
+                _ => operands.push(part),
+            }
+        }
+        operands.sort_unstable();
+        operands.dedup();
+        // Complementary-literal collapse: φ and ¬φ together absorb.
+        for &op in &operands {
+            if let Node::Not(inner) = self.node(op) {
+                if operands.binary_search(&inner).is_ok() {
+                    return absorbing;
+                }
+            }
+        }
+        match operands.len() {
+            0 => neutral,
+            1 => operands[0],
+            _ => {
+                let node = if conjunction {
+                    Node::And(operands.into_boxed_slice())
+                } else {
+                    Node::Or(operands.into_boxed_slice())
+                };
+                self.insert(node)
+            }
+        }
+    }
+
+    /// Smart implication.
+    pub fn mk_implies(&self, a: FormulaId, b: FormulaId) -> FormulaId {
+        match (a, b) {
+            (FormulaId::TRUE, _) => b,
+            (FormulaId::FALSE, _) => FormulaId::TRUE,
+            (_, FormulaId::TRUE) => FormulaId::TRUE,
+            (_, FormulaId::FALSE) => self.mk_not(a),
+            _ if a == b => FormulaId::TRUE,
+            _ => self.insert(Node::Implies(a, b)),
+        }
+    }
+
+    /// Smart timed until.
+    pub fn mk_until(&self, a: FormulaId, i: Interval, b: FormulaId) -> FormulaId {
+        if i.is_empty() || b == FormulaId::FALSE {
+            return FormulaId::FALSE;
+        }
+        self.insert(Node::Until(a, i, b))
+    }
+
+    /// Smart timed eventually.
+    pub fn mk_eventually(&self, i: Interval, a: FormulaId) -> FormulaId {
+        if i.is_empty() || a == FormulaId::FALSE {
+            return FormulaId::FALSE;
+        }
+        self.insert(Node::Eventually(i, a))
+    }
+
+    /// Smart timed always.
+    pub fn mk_always(&self, i: Interval, a: FormulaId) -> FormulaId {
+        if i.is_empty() || a == FormulaId::TRUE {
+            return FormulaId::TRUE;
+        }
+        self.insert(Node::Always(i, a))
+    }
+
+    fn one_cache_get(&self, key: &(StateKey, FormulaId, u64)) -> Option<FormulaId> {
+        let (shard, _) = unpack(key.1.raw());
+        self.lock(shard).one_cache.get(key).copied()
+    }
+
+    fn one_cache_put(&self, key: (StateKey, FormulaId, u64), value: FormulaId) {
+        let (shard, _) = unpack(key.1.raw());
+        self.lock(shard).one_cache.insert(key, value);
+    }
+
+    fn gap_cache_get(&self, key: &(FormulaId, u64)) -> Option<FormulaId> {
+        let (shard, _) = unpack(key.0.raw());
+        self.lock(shard).gap_cache.get(key).copied()
+    }
+
+    fn gap_cache_put(&self, key: (FormulaId, u64), value: FormulaId) {
+        let (shard, _) = unpack(key.0.raw());
+        self.lock(shard).gap_cache.insert(key, value);
+    }
+}
+
+/// The [`ArenaOps`] algorithms run directly on the concurrent arena. This
+/// impl allows `&mut ShardedInterner` call sites (e.g. the sequential parts
+/// of a monitor that owns one); use the impl on `&ShardedInterner` to hand
+/// *shared* handles to worker threads.
+impl ArenaOps for ShardedInterner {
+    fn node(&self, id: FormulaId) -> Node {
+        ShardedInterner::node(self, id)
+    }
+
+    fn state_holds(&self, key: StateKey, p: &Prop) -> bool {
+        ShardedInterner::state_holds(self, key, p)
+    }
+
+    fn temporal_horizon(&self, id: FormulaId) -> u64 {
+        ShardedInterner::temporal_horizon(self, id)
+    }
+
+    fn intern_state(&mut self, state: &State) -> StateKey {
+        ShardedInterner::intern_state(self, state)
+    }
+
+    fn mk_atom(&mut self, p: Prop) -> FormulaId {
+        ShardedInterner::mk_atom(self, p)
+    }
+
+    fn mk_not(&mut self, a: FormulaId) -> FormulaId {
+        ShardedInterner::mk_not(self, a)
+    }
+
+    fn mk_and_all(&mut self, parts: Vec<FormulaId>) -> FormulaId {
+        ShardedInterner::mk_and_all(self, parts)
+    }
+
+    fn mk_or_all(&mut self, parts: Vec<FormulaId>) -> FormulaId {
+        ShardedInterner::mk_or_all(self, parts)
+    }
+
+    fn mk_implies(&mut self, a: FormulaId, b: FormulaId) -> FormulaId {
+        ShardedInterner::mk_implies(self, a, b)
+    }
+
+    fn mk_until(&mut self, a: FormulaId, i: Interval, b: FormulaId) -> FormulaId {
+        ShardedInterner::mk_until(self, a, i, b)
+    }
+
+    fn mk_eventually(&mut self, i: Interval, a: FormulaId) -> FormulaId {
+        ShardedInterner::mk_eventually(self, i, a)
+    }
+
+    fn mk_always(&mut self, i: Interval, a: FormulaId) -> FormulaId {
+        ShardedInterner::mk_always(self, i, a)
+    }
+
+    fn one_cache_get(&self, key: &(StateKey, FormulaId, u64)) -> Option<FormulaId> {
+        ShardedInterner::one_cache_get(self, key)
+    }
+
+    fn one_cache_put(&mut self, key: (StateKey, FormulaId, u64), value: FormulaId) {
+        ShardedInterner::one_cache_put(self, key, value)
+    }
+
+    fn gap_cache_get(&self, key: &(FormulaId, u64)) -> Option<FormulaId> {
+        ShardedInterner::gap_cache_get(self, key)
+    }
+
+    fn gap_cache_put(&mut self, key: (FormulaId, u64), value: FormulaId) {
+        ShardedInterner::gap_cache_put(self, key, value)
+    }
+}
+
+/// Shared-handle impl: lets any number of worker threads drive the arena
+/// through `&ShardedInterner` handles (each handle satisfies the `&mut self`
+/// contract of [`ArenaOps`] while the arena itself is only shared).
+impl ArenaOps for &ShardedInterner {
+    fn node(&self, id: FormulaId) -> Node {
+        ShardedInterner::node(self, id)
+    }
+
+    fn state_holds(&self, key: StateKey, p: &Prop) -> bool {
+        ShardedInterner::state_holds(self, key, p)
+    }
+
+    fn temporal_horizon(&self, id: FormulaId) -> u64 {
+        ShardedInterner::temporal_horizon(self, id)
+    }
+
+    fn intern_state(&mut self, state: &State) -> StateKey {
+        ShardedInterner::intern_state(self, state)
+    }
+
+    fn mk_atom(&mut self, p: Prop) -> FormulaId {
+        ShardedInterner::mk_atom(self, p)
+    }
+
+    fn mk_not(&mut self, a: FormulaId) -> FormulaId {
+        ShardedInterner::mk_not(self, a)
+    }
+
+    fn mk_and_all(&mut self, parts: Vec<FormulaId>) -> FormulaId {
+        ShardedInterner::mk_and_all(self, parts)
+    }
+
+    fn mk_or_all(&mut self, parts: Vec<FormulaId>) -> FormulaId {
+        ShardedInterner::mk_or_all(self, parts)
+    }
+
+    fn mk_implies(&mut self, a: FormulaId, b: FormulaId) -> FormulaId {
+        ShardedInterner::mk_implies(self, a, b)
+    }
+
+    fn mk_until(&mut self, a: FormulaId, i: Interval, b: FormulaId) -> FormulaId {
+        ShardedInterner::mk_until(self, a, i, b)
+    }
+
+    fn mk_eventually(&mut self, i: Interval, a: FormulaId) -> FormulaId {
+        ShardedInterner::mk_eventually(self, i, a)
+    }
+
+    fn mk_always(&mut self, i: Interval, a: FormulaId) -> FormulaId {
+        ShardedInterner::mk_always(self, i, a)
+    }
+
+    fn one_cache_get(&self, key: &(StateKey, FormulaId, u64)) -> Option<FormulaId> {
+        ShardedInterner::one_cache_get(self, key)
+    }
+
+    fn one_cache_put(&mut self, key: (StateKey, FormulaId, u64), value: FormulaId) {
+        ShardedInterner::one_cache_put(self, key, value)
+    }
+
+    fn gap_cache_get(&self, key: &(FormulaId, u64)) -> Option<FormulaId> {
+        ShardedInterner::gap_cache_get(self, key)
+    }
+
+    fn gap_cache_put(&mut self, key: (FormulaId, u64), value: FormulaId) {
+        ShardedInterner::gap_cache_put(self, key, value)
+    }
+}
+
+impl ShardedInterner {
+    /// Interns a formula tree (see [`ArenaOps::intern`]; provided inherently
+    /// so shared handles can intern without importing the trait).
+    pub fn intern(&self, phi: &Formula) -> FormulaId {
+        let mut handle = self;
+        ArenaOps::intern(&mut handle, phi)
+    }
+
+    /// Rebuilds the plain formula tree named by `id` (see
+    /// [`ArenaOps::resolve`]).
+    pub fn resolve(&self, id: FormulaId) -> Formula {
+        let handle = self;
+        ArenaOps::resolve(&handle, id)
+    }
+
+    /// Closes a formula against the empty future (see
+    /// [`ArenaOps::eval_empty`]).
+    pub fn eval_empty(&self, id: FormulaId) -> bool {
+        let handle = self;
+        ArenaOps::eval_empty(&handle, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, state, Interner};
+
+    #[test]
+    fn constants_keep_universal_ids() {
+        let arena = ShardedInterner::new();
+        assert_eq!(arena.intern(&Formula::True), FormulaId::TRUE);
+        assert_eq!(arena.intern(&Formula::False), FormulaId::FALSE);
+        assert!(matches!(arena.node(FormulaId::TRUE), Node::True));
+        assert!(matches!(arena.node(FormulaId::FALSE), Node::False));
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn hash_consing_across_threads() {
+        let arena = ShardedInterner::new();
+        let phi = parse("(F[0,5) p) & (q U[1,8) r)").unwrap();
+        let ids: Vec<FormulaId> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4).map(|_| scope.spawn(|| arena.intern(&phi))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        let again = arena.intern(&phi);
+        assert_eq!(again, ids[0]);
+    }
+
+    #[test]
+    fn agrees_with_sequential_interner() {
+        let mut plain = Interner::new();
+        let arena = ShardedInterner::new();
+        for text in [
+            "a U[0,8) b",
+            "F[2,6) a",
+            "G[0,4) (a | b)",
+            "!a U[2,9) (a & b)",
+            "(F[0,5) a) | (G[1,inf) b)",
+            "a -> (b & !a)",
+        ] {
+            let phi = parse(text).unwrap();
+            let plain_id = plain.intern(&phi);
+            let sharded_id = arena.intern(&phi);
+            assert_eq!(plain.resolve(plain_id), arena.resolve(sharded_id), "{text}");
+            assert_eq!(
+                plain.temporal_horizon(plain_id),
+                arena.temporal_horizon(sharded_id),
+                "{text}"
+            );
+            assert_eq!(
+                plain.eval_empty(plain_id),
+                arena.eval_empty(sharded_id),
+                "{text}"
+            );
+            // Progression agrees too (resolved structurally).
+            for s in [state!["a"], state!["b"], state![]] {
+                for elapsed in [0u64, 1, 3, 10] {
+                    let key_p = plain.intern_state(&s);
+                    let key_s = arena.intern_state(&s);
+                    let mut handle = &arena;
+                    let via_plain = plain.progress_one_cached(key_p, plain_id, elapsed);
+                    let via_sharded =
+                        ArenaOps::progress_one_cached(&mut handle, key_s, sharded_id, elapsed);
+                    assert_eq!(
+                        plain.resolve(via_plain),
+                        arena.resolve(via_sharded),
+                        "{text}, state {s}, elapsed {elapsed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clear_resets_to_constants() {
+        let mut arena = ShardedInterner::new();
+        let id = arena.intern(&parse("F[0,5) p").unwrap());
+        assert!(arena.len() > 2);
+        arena.clear();
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.memory().nodes, 2);
+        // Old non-constant ids are invalid now; re-interning works.
+        let again = arena.intern(&parse("F[0,5) p").unwrap());
+        let _ = id;
+        assert!(matches!(arena.node(again), Node::Eventually(..)));
+    }
+}

@@ -4,7 +4,7 @@
 //! arena must actually cons — structurally equal formulas share one id.
 
 use rvmtl_mtl::testgen::{gen_formula, gen_state, gen_trace, GenConfig};
-use rvmtl_mtl::{evaluate, simplify, Formula, Interner, TimedTrace};
+use rvmtl_mtl::{evaluate, simplify, ArenaOps, Formula, Interner, ShardedInterner, TimedTrace};
 use rvmtl_prng::StdRng;
 
 const CASES: usize = 256;
@@ -185,6 +185,59 @@ fn progress_one_over_tiles_windows_for_random_formulas() {
             }
         }
         assert_eq!(expected, hi + 1, "phi = {phi}: ranges must tile [lo, hi]");
+    }
+}
+
+/// The sharded concurrent arena and the sequential interner agree on every
+/// observable: canonical resolution, temporal horizons, empty-future
+/// evaluation, and memoised progressions (resolved structurally, since the
+/// two arenas assign different raw ids). This is the divergence guard for
+/// the independently implemented canonicalising constructors of
+/// `ShardedInterner`.
+#[test]
+fn sharded_arena_agrees_with_sequential_interner() {
+    let mut rng = StdRng::seed_from_u64(0x54A2);
+    let mut plain = Interner::new();
+    let sharded = ShardedInterner::new();
+    for _ in 0..CASES {
+        let phi = gen_phi(&mut rng);
+        let plain_id = plain.intern(&phi);
+        let sharded_id = sharded.intern(&phi);
+        assert_eq!(
+            plain.resolve(plain_id),
+            sharded.resolve(sharded_id),
+            "phi = {phi}"
+        );
+        assert_eq!(
+            plain.temporal_horizon(plain_id),
+            ArenaOps::temporal_horizon(&&sharded, sharded_id),
+            "phi = {phi}"
+        );
+        assert_eq!(
+            plain.eval_empty(plain_id),
+            sharded.eval_empty(sharded_id),
+            "phi = {phi}"
+        );
+        let state = gen_state(&mut rng);
+        let elapsed = rng.gen_range(0u64..16);
+        let plain_key = plain.intern_state(&state);
+        let mut handle = &sharded;
+        let sharded_key = ArenaOps::intern_state(&mut handle, &state);
+        let via_plain = plain.progress_one_cached(plain_key, plain_id, elapsed);
+        let via_sharded =
+            ArenaOps::progress_one_cached(&mut handle, sharded_key, sharded_id, elapsed);
+        assert_eq!(
+            plain.resolve(via_plain),
+            sharded.resolve(via_sharded),
+            "progress_one: phi = {phi}, state = {state}, elapsed = {elapsed}"
+        );
+        let gap_plain = plain.progress_gap_cached(plain_id, elapsed);
+        let gap_sharded = ArenaOps::progress_gap_cached(&mut handle, sharded_id, elapsed);
+        assert_eq!(
+            plain.resolve(gap_plain),
+            sharded.resolve(gap_sharded),
+            "progress_gap: phi = {phi}, elapsed = {elapsed}"
+        );
     }
 }
 

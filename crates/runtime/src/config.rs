@@ -1,0 +1,138 @@
+//! Configuration of the streaming runtime.
+
+/// Configuration of a [`crate::StreamMonitor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Nominal segment length in local-time units: segment boundaries fall on
+    /// multiples of this from the base time.
+    pub segment_length: u64,
+    /// Base (anchor) time of the stream: the first segment starts here and
+    /// every query is anchored here. Defaults to 0.
+    pub base_time: u64,
+    /// Process queued closed segments through the pipelined worker pool
+    /// (requires `workers > 1` to take effect; the sequential path is used
+    /// otherwise).
+    pub pipeline: bool,
+    /// Worker-thread count for the pipelined path. `None` uses
+    /// [`std::thread::available_parallelism`].
+    pub workers: Option<usize>,
+    /// Number of closed segments to buffer before processing them as one
+    /// pipelined batch. Deeper buffers expose more segment-level parallelism
+    /// at the cost of verdict latency. Defaults to 1 (process as soon as a
+    /// segment closes).
+    pub flush_depth: usize,
+    /// Upper bound on distinct rewritten formulas kept per pending formula
+    /// per segment (`None` = unbounded; see
+    /// [`rvmtl_monitor::MonitorConfig::max_solutions_per_segment`]).
+    ///
+    /// Note: under the pipelined path a bound makes the *choice* of kept
+    /// rewrites scheduling-dependent (the set of verdicts found is still
+    /// sound, but which `limit` representatives survive may vary run to
+    /// run); exhaustive (unbounded) runs are fully deterministic.
+    pub max_solutions_per_segment: Option<usize>,
+    /// Compact the query-spanning arena every this many processed segments
+    /// (the GC epoch; 0 disables compaction). Defaults to 32.
+    pub gc_interval: usize,
+}
+
+impl StreamConfig {
+    /// A configuration with the given segment length and defaults everywhere
+    /// else (sequential processing, GC every 32 segments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment_length` is 0.
+    pub fn new(segment_length: u64) -> Self {
+        assert!(segment_length > 0, "segment length must be at least 1");
+        StreamConfig {
+            segment_length,
+            base_time: 0,
+            pipeline: false,
+            workers: None,
+            flush_depth: 1,
+            max_solutions_per_segment: None,
+            gc_interval: 32,
+        }
+    }
+
+    /// Enables the pipelined worker pool with the given thread count
+    /// (`None` = [`std::thread::available_parallelism`]).
+    pub fn pipelined(mut self, workers: Option<usize>) -> Self {
+        self.pipeline = true;
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the closed-segment buffer depth.
+    pub fn flush_depth(mut self, depth: usize) -> Self {
+        self.flush_depth = depth.max(1);
+        self
+    }
+
+    /// Sets the GC epoch length (0 disables compaction).
+    pub fn gc_interval(mut self, interval: usize) -> Self {
+        self.gc_interval = interval;
+        self
+    }
+
+    /// Bounds the number of distinct rewritten formulas kept per pending
+    /// formula per segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is 0 (same contract as
+    /// [`rvmtl_monitor::MonitorConfig::max_solutions`]).
+    pub fn max_solutions(mut self, limit: usize) -> Self {
+        assert!(
+            limit > 0,
+            "StreamConfig::max_solutions: the solution limit must be at least 1"
+        );
+        self.max_solutions_per_segment = Some(limit);
+        self
+    }
+
+    /// The effective worker count of the pipelined path.
+    pub fn effective_workers(&self) -> usize {
+        self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let cfg = StreamConfig::new(10);
+        assert_eq!(cfg.segment_length, 10);
+        assert!(!cfg.pipeline);
+        assert_eq!(cfg.flush_depth, 1);
+        assert_eq!(cfg.gc_interval, 32);
+        let cfg = cfg
+            .pipelined(Some(4))
+            .flush_depth(8)
+            .gc_interval(0)
+            .max_solutions(2);
+        assert!(cfg.pipeline);
+        assert_eq!(cfg.effective_workers(), 4);
+        assert_eq!(cfg.flush_depth, 8);
+        assert_eq!(cfg.gc_interval, 0);
+        assert_eq!(cfg.max_solutions_per_segment, Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "segment length")]
+    fn zero_length_panics() {
+        let _ = StreamConfig::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_limit_panics() {
+        let _ = StreamConfig::new(5).max_solutions(0);
+    }
+}

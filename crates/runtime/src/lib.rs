@@ -1,0 +1,92 @@
+//! Streaming monitoring runtime: online verification of live per-process
+//! event streams, at production cadence.
+//!
+//! The paper's monitor (Sec. V-C) consumes a *complete* distributed
+//! computation. Its target deployment — live cross-chain protocols — instead
+//! delivers one event stream per process under an ε-skew bound, and a
+//! monitoring service watches many specifications at once, indefinitely.
+//! This crate turns the batch monitor into that service. Architecture, in
+//! stream order:
+//!
+//! # 1. Incremental segmentation (the watermark rule)
+//!
+//! Events enter a [`rvmtl_distrib::IncrementalSegmenter`]: per-process
+//! streams in non-decreasing local-time order, interleaved arbitrarily
+//! across processes. The *watermark* is `min_p clock_p − ε` over the largest
+//! local time heard from each process (events or
+//! [`StreamMonitor::heartbeat`] beacons). A segment `[lo, hi)` closes — is
+//! guaranteed to never receive another event — once the watermark passes
+//! `hi`; it is then materialised with exactly the batch segmenter's boundary
+//! rules (base time `lo`, horizon `hi`, carried per-process frontier
+//! states), so the stream-produced partition is byte-for-byte the partition
+//! [`rvmtl_distrib::segment_at_boundaries`] would produce, and the verdicts
+//! are *identical* to batch monitoring — the differential suite in
+//! `tests/differential.rs` pins this on the synthetic corpus and the
+//! protocol drivers.
+//!
+//! # 2. Pipelined segment stages
+//!
+//! Closed segments buffer up to the configured flush depth and are processed
+//! as one batch by a pool of scoped worker threads (`std::thread::scope`).
+//! The unit of work is one `(query, segment, pending formula)` triple, so
+//! segment `k + 1` starts progressing each rewritten formula **as soon as
+//! stage `k` emits it** — there is no barrier between segments, and idle
+//! cores pick up whatever stage has work. Per-`(segment, query)` dedup sets
+//! keep the pending-set semantics identical to the sequential union.
+//!
+//! # 3. One arena, shared — ids remapped at stage boundaries
+//!
+//! Workers intern rewritten formulas into one
+//! [`rvmtl_mtl::ShardedInterner`] — the arena is split into hash-addressed
+//! shards, each behind its own lock, so worker threads intern and hit the
+//! `one_cache`/`gap_cache` progression memos concurrently instead of
+//! rebuilding a throwaway interner per formula (the pre-runtime parallel
+//! path's design, deleted with this crate). Between batches the pending ids
+//! are remapped into the exclusive query-spanning [`rvmtl_mtl::Interner`]
+//! (structural re-interning; both arenas hash-cons, so this is a lookup per
+//! node) where they live between stages and across the monitor's lifetime.
+//!
+//! # 4. GC epochs (bounded memory forever)
+//!
+//! Every `gc_interval` processed segments the runtime runs
+//! [`rvmtl_mtl::Interner::compact`]: a mark-and-renumber pass over the dense
+//! `u32` formula ids rooted at the live pending sets. Dead nodes, dead
+//! observation states and progression-cache entries with a dead endpoint are
+//! reclaimed; surviving entries keep their warmth. The worker arena is reset
+//! on the same epochs. Long-running monitoring therefore holds a bounded
+//! arena regardless of stream length — pinned by the GC tests.
+//!
+//! # Multi-query front end
+//!
+//! [`StreamMonitor::add_query`] multiplexes any number of formulas over one
+//! stream: segmentation, solver per-segment caches (sequential path), the
+//! shared worker arena (pipelined path) and GC epochs are all shared;
+//! pending sets and verdicts stay per-query.
+//!
+//! # Example
+//!
+//! ```
+//! use rvmtl_mtl::{parse, state};
+//! use rvmtl_runtime::{StreamConfig, StreamMonitor};
+//!
+//! let mut monitor = StreamMonitor::new(2, 1, StreamConfig::new(5));
+//! let q = monitor.add_query(&parse("!apr.redeem(bob) U[0,8) ban.redeem(alice)")?);
+//! monitor.observe(0, 1, state!["apr.escrow(alice)"])?;
+//! monitor.observe(1, 2, state!["ban.escrow(bob)"])?;
+//! monitor.observe(1, 5, state!["ban.redeem(alice)"])?;
+//! monitor.observe(0, 6, state!["apr.redeem(bob)"])?;
+//! let report = monitor.finish();
+//! assert!(report.verdicts[q.index()].may_be_satisfied());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod monitor;
+mod pipeline;
+
+pub use config::StreamConfig;
+pub use monitor::{QueryId, StreamMonitor, StreamReport};
+pub use rvmtl_distrib::StreamError;

@@ -1,0 +1,482 @@
+//! The streaming monitor: multi-query online verification of live
+//! per-process event streams.
+
+use crate::pipeline::run_pipeline;
+use crate::StreamConfig;
+use rvmtl_distrib::{DistributedComputation, IncrementalSegmenter, StreamError};
+use rvmtl_monitor::VerdictSet;
+use rvmtl_mtl::{ArenaMemory, Formula, FormulaId, Interner, ShardedInterner, State};
+use rvmtl_solver::{SegmentSolver, SolverStats};
+use std::collections::{BTreeSet, VecDeque};
+
+/// Handle to one query multiplexed over a [`StreamMonitor`]'s stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct QueryId(usize);
+
+impl QueryId {
+    /// The query's index (dense, in registration order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A closed segment awaiting processing, with the anchor time of its residual
+/// obligations (the base time of the next segment, or `end + ε` for the final
+/// one).
+struct QueuedSegment {
+    comp: DistributedComputation,
+    next_anchor: u64,
+}
+
+struct QueryState {
+    /// The original specification (kept for reporting).
+    root: Formula,
+    /// Pending rewritten formulas, as ids in the query-spanning arena.
+    pending: BTreeSet<FormulaId>,
+}
+
+/// The final report of a finished stream.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Final verdict set per query, indexed by [`QueryId::index`].
+    pub verdicts: Vec<VerdictSet>,
+    /// Rewritten formulas pending after the last segment, per query, before
+    /// finalisation (the same quantity as
+    /// [`rvmtl_monitor::MonitorReport::pending`]).
+    pub pending: Vec<std::collections::BTreeSet<Formula>>,
+    /// Number of segments processed.
+    pub segments: usize,
+    /// Aggregated solver statistics.
+    pub stats: SolverStats,
+    /// Post-run footprint of the query-spanning arena.
+    pub memory: ArenaMemory,
+    /// Number of GC epochs that ran.
+    pub gc_runs: usize,
+}
+
+/// A streaming monitoring engine: ingests per-process event streams, closes
+/// segments by the watermark rule, runs closed segments through sequential or
+/// pipelined solver stages, and multiplexes any number of MTL queries over
+/// one shared segmentation.
+///
+/// See the crate documentation for the architecture (watermark rule, pipeline
+/// stages, GC epochs). The verdict sets produced are identical to running the
+/// batch [`rvmtl_monitor::Monitor`] over the completed computation with the
+/// same segment boundaries — pinned by the differential test suite.
+pub struct StreamMonitor {
+    config: StreamConfig,
+    segmenter: IncrementalSegmenter,
+    /// The query-spanning arena every pending formula lives in between
+    /// stages; compacted at GC epochs.
+    arena: Interner,
+    /// The worker arena of the pipelined path, shared (with its progression
+    /// caches) across every worker, segment, and query of an epoch; reset at
+    /// GC epochs.
+    shared: ShardedInterner,
+    queries: Vec<QueryState>,
+    queue: VecDeque<QueuedSegment>,
+    segments_processed: usize,
+    since_gc: usize,
+    gc_runs: usize,
+    stats: SolverStats,
+}
+
+impl StreamMonitor {
+    /// Creates a monitor for a stream over `process_count` processes with
+    /// skew bound `epsilon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `process_count` is 0 (via the segmenter).
+    pub fn new(process_count: usize, epsilon: u64, config: StreamConfig) -> Self {
+        let segmenter = IncrementalSegmenter::with_base_time(
+            process_count,
+            epsilon,
+            config.segment_length,
+            config.base_time,
+        );
+        StreamMonitor {
+            config,
+            segmenter,
+            arena: Interner::new(),
+            shared: ShardedInterner::new(),
+            queries: Vec::new(),
+            queue: VecDeque::new(),
+            segments_processed: 0,
+            since_gc: 0,
+            gc_runs: 0,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Registers a query, anchored at the stream's base time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment has already been processed or queued — all queries
+    /// of a stream share its segmentation from the first boundary on, so they
+    /// must be registered before monitoring starts.
+    pub fn add_query(&mut self, phi: &Formula) -> QueryId {
+        assert!(
+            self.segments_processed == 0 && self.queue.is_empty(),
+            "StreamMonitor::add_query: queries must be registered before the first segment closes"
+        );
+        let root = self.arena.intern(phi);
+        self.queries.push(QueryState {
+            root: phi.clone(),
+            pending: BTreeSet::from([root]),
+        });
+        QueryId(self.queries.len() - 1)
+    }
+
+    /// Sets the carried-over initial local state of a process — the state it
+    /// had established before the stream began (see
+    /// [`IncrementalSegmenter::initial_state`]; the batch monitor picks the
+    /// same information up from
+    /// [`rvmtl_distrib::ComputationBuilder::initial_state`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is unknown or the stream has already started.
+    pub fn initial_state(&mut self, process: usize, state: State) {
+        self.segmenter.initial_state(process, state);
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The specification a query was registered with.
+    pub fn query(&self, id: QueryId) -> &Formula {
+        &self.queries[id.0].root
+    }
+
+    /// Ingests one event of `process` at local `time` establishing `state`,
+    /// processing any segments this closes (subject to the configured flush
+    /// depth).
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamError`]; a rejected event leaves the monitor unchanged.
+    pub fn observe(&mut self, process: usize, time: u64, state: State) -> Result<(), StreamError> {
+        let closed = self.segmenter.observe(process, time, state)?;
+        self.enqueue(closed);
+        Ok(())
+    }
+
+    /// Advances a process's local clock without an event (drives the
+    /// watermark through idle processes).
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamError`].
+    pub fn heartbeat(&mut self, process: usize, time: u64) -> Result<(), StreamError> {
+        let closed = self.segmenter.heartbeat(process, time)?;
+        self.enqueue(closed);
+        Ok(())
+    }
+
+    fn enqueue(&mut self, closed: Vec<DistributedComputation>) {
+        for comp in closed {
+            // A watermark-closed segment is never final: its residuals are
+            // anchored at the next segment's base, which is its own horizon.
+            let next_anchor = comp
+                .horizon()
+                .expect("watermark-closed segments carry their end boundary");
+            self.queue.push_back(QueuedSegment { comp, next_anchor });
+        }
+        if self.queue.len() >= self.config.flush_depth {
+            self.process_queue();
+        }
+    }
+
+    /// Processes every queued closed segment now, regardless of the flush
+    /// depth (useful before reading [`StreamMonitor::current_verdicts`]).
+    pub fn drain(&mut self) {
+        self.process_queue();
+    }
+
+    /// Number of segments processed so far.
+    pub fn segments_processed(&self) -> usize {
+        self.segments_processed
+    }
+
+    /// Number of closed segments waiting to be processed.
+    pub fn segments_queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The segmenter's current watermark (see
+    /// [`IncrementalSegmenter::watermark`]).
+    pub fn watermark(&self) -> Option<u64> {
+        self.segmenter.watermark()
+    }
+
+    /// Aggregated solver statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Footprint of the query-spanning arena (the quantity the GC bounds).
+    pub fn memory(&self) -> ArenaMemory {
+        self.arena.memory()
+    }
+
+    /// Number of GC epochs that have run.
+    pub fn gc_runs(&self) -> usize {
+        self.gc_runs
+    }
+
+    /// Number of open obligations of a query (over the *processed* prefix of
+    /// the stream).
+    pub fn pending_count(&self, id: QueryId) -> usize {
+        self.queries[id.0].pending.len()
+    }
+
+    /// The current verdict set of a query over the processed prefix:
+    /// conclusive verdicts for formulas that have collapsed to a constant,
+    /// inconclusive entries (with the remaining obligation) otherwise. Call
+    /// [`StreamMonitor::drain`] first to fold in queued segments.
+    pub fn current_verdicts(&self, id: QueryId) -> VerdictSet {
+        let resolved: BTreeSet<Formula> = self.queries[id.0]
+            .pending
+            .iter()
+            .map(|&f| self.arena.resolve(f))
+            .collect();
+        VerdictSet::from_formulas(resolved.iter())
+    }
+
+    /// Ends the stream: remaining buffered events are segmented out, every
+    /// queued segment is processed, and each query's remaining obligations
+    /// are closed against the empty future.
+    pub fn finish(mut self) -> StreamReport {
+        let mut tail = self.segmenter.finish();
+        let final_anchor = self.segmenter.max_event_time() + self.segmenter.epsilon();
+        if let Some(last) = tail.pop() {
+            for comp in tail {
+                let next_anchor = comp
+                    .horizon()
+                    .expect("non-final segments carry their end boundary");
+                self.queue.push_back(QueuedSegment { comp, next_anchor });
+            }
+            self.queue.push_back(QueuedSegment {
+                comp: last,
+                next_anchor: final_anchor,
+            });
+        }
+        self.process_queue();
+        let verdicts = self
+            .queries
+            .iter()
+            .map(|q| VerdictSet::from_bools(q.pending.iter().map(|&f| self.arena.eval_empty(f))))
+            .collect();
+        let pending = self
+            .queries
+            .iter()
+            .map(|q| q.pending.iter().map(|&f| self.arena.resolve(f)).collect())
+            .collect();
+        StreamReport {
+            verdicts,
+            pending,
+            segments: self.segments_processed,
+            stats: self.stats,
+            memory: self.arena.memory(),
+            gc_runs: self.gc_runs,
+        }
+    }
+
+    fn process_queue(&mut self) {
+        if self.queue.is_empty() || self.queries.is_empty() {
+            self.segments_processed += self.queue.len();
+            self.queue.clear();
+            return;
+        }
+        let batch: Vec<QueuedSegment> = self.queue.drain(..).collect();
+        let processed = batch.len();
+        let workers = self.config.effective_workers();
+        if self.config.pipeline && workers > 1 {
+            self.process_pipelined(batch, workers);
+        } else {
+            self.process_sequential(batch);
+        }
+        self.segments_processed += processed;
+        self.since_gc += processed;
+        if self.config.gc_interval > 0 && self.since_gc >= self.config.gc_interval {
+            self.collect_garbage();
+        }
+    }
+
+    /// Sequential stage execution: one [`SegmentSolver`] per segment, shared
+    /// by every pending formula of every query (cross-query memo sharing).
+    fn process_sequential(&mut self, batch: Vec<QueuedSegment>) {
+        for QueuedSegment { comp, next_anchor } in batch {
+            let mut solver = SegmentSolver::new(&comp, next_anchor, &mut self.arena);
+            if let Some(l) = self.config.max_solutions_per_segment {
+                solver = solver.with_limit(l);
+            }
+            for query in &mut self.queries {
+                let pending = std::mem::take(&mut query.pending);
+                for psi in pending {
+                    let result = solver.progress(psi);
+                    self.stats.absorb(&result.stats);
+                    query.pending.extend(result.formulas);
+                }
+            }
+        }
+    }
+
+    /// Pipelined stage execution over the shared sharded arena; pending ids
+    /// are remapped between the query-spanning arena and the worker arena at
+    /// the batch boundaries (structural re-interning — cheap, since both
+    /// arenas hash-cons).
+    fn process_pipelined(&mut self, batch: Vec<QueuedSegment>, workers: usize) {
+        let segments: Vec<(DistributedComputation, u64)> =
+            batch.into_iter().map(|s| (s.comp, s.next_anchor)).collect();
+        let seeds: Vec<Vec<FormulaId>> = self
+            .queries
+            .iter()
+            .map(|q| {
+                q.pending
+                    .iter()
+                    .map(|&psi| self.shared.intern(&self.arena.resolve(psi)))
+                    .collect()
+            })
+            .collect();
+        let (outs, stats) = run_pipeline(
+            &segments,
+            &seeds,
+            &self.shared,
+            workers,
+            self.config.max_solutions_per_segment,
+        );
+        self.stats.absorb(&stats);
+        for (query, out) in self.queries.iter_mut().zip(outs) {
+            query.pending = out
+                .into_iter()
+                .map(|psi| self.arena.intern(&self.shared.resolve(psi)))
+                .collect();
+        }
+    }
+
+    /// One GC epoch: mark-and-renumber the query-spanning arena over the live
+    /// pending sets and reset the worker arena (its caches re-warm from the
+    /// live formulas on the next batch).
+    fn collect_garbage(&mut self) {
+        let roots: Vec<FormulaId> = self
+            .queries
+            .iter()
+            .flat_map(|q| q.pending.iter().copied())
+            .collect();
+        let remap = self.arena.compact(roots);
+        for query in &mut self.queries {
+            query.pending = query.pending.iter().map(|&f| remap.remap(f)).collect();
+        }
+        self.shared.clear();
+        self.since_gc = 0;
+        self.gc_runs += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvmtl_mtl::{parse, state};
+
+    #[test]
+    fn single_query_single_segment_stream() {
+        let mut monitor = StreamMonitor::new(1, 1, StreamConfig::new(100));
+        let q = monitor.add_query(&parse("req -> F[0,5) cs").unwrap());
+        monitor.observe(0, 1, state!["req"]).unwrap();
+        monitor.observe(0, 3, state!["cs"]).unwrap();
+        let report = monitor.finish();
+        assert!(report.verdicts[q.index()].definitely_satisfied());
+        assert_eq!(report.segments, 1);
+    }
+
+    #[test]
+    fn verdicts_visible_as_segments_close() {
+        let mut monitor = StreamMonitor::new(1, 0, StreamConfig::new(4));
+        let q = monitor.add_query(&parse("F[0,20) done").unwrap());
+        monitor.observe(0, 1, state!["work"]).unwrap();
+        monitor.observe(0, 6, state!["work"]).unwrap();
+        assert!(monitor.segments_processed() >= 1);
+        let midway = monitor.current_verdicts(q);
+        assert!(!midway.pending_formulas().is_empty(), "{midway}");
+        monitor.observe(0, 9, state!["done"]).unwrap();
+        let report = monitor.finish();
+        assert!(report.verdicts[q.index()].definitely_satisfied());
+    }
+
+    #[test]
+    fn multi_query_shares_the_stream() {
+        let mut monitor = StreamMonitor::new(2, 1, StreamConfig::new(5));
+        let q_live = monitor.add_query(&parse("F[0,12) b.ack").unwrap());
+        let q_safe = monitor.add_query(&parse("G[0,12) !a.err").unwrap());
+        monitor.observe(0, 2, state!["a.req"]).unwrap();
+        monitor.observe(1, 4, state!["b.ack"]).unwrap();
+        monitor.observe(0, 11, state!["a.done"]).unwrap();
+        monitor.heartbeat(1, 11).unwrap();
+        let report = monitor.finish();
+        assert!(report.verdicts[q_live.index()].definitely_satisfied());
+        assert!(report.verdicts[q_safe.index()].definitely_satisfied());
+        assert_eq!(report.verdicts.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first segment closes")]
+    fn late_query_registration_panics() {
+        let mut monitor = StreamMonitor::new(1, 0, StreamConfig::new(2));
+        monitor.add_query(&parse("F[0,9) p").unwrap());
+        monitor.observe(0, 1, state![]).unwrap();
+        monitor.observe(0, 7, state![]).unwrap();
+        assert!(monitor.segments_processed() > 0);
+        monitor.add_query(&parse("G[0,3) q").unwrap());
+    }
+
+    #[test]
+    fn gc_epochs_bound_arena_memory() {
+        let mut config = StreamConfig::new(3).gc_interval(4);
+        config.flush_depth = 1;
+        let mut monitor = StreamMonitor::new(1, 0, config);
+        let q = monitor.add_query(&parse("G[0,inf) (tick -> F[0,6) tock)").unwrap());
+        let mut no_gc_peak = 0usize;
+        for round in 0..120u64 {
+            let t = 1 + round * 2;
+            let label = if round % 2 == 0 { "tick" } else { "tock" };
+            monitor.observe(0, t, state![label]).unwrap();
+            no_gc_peak = no_gc_peak.max(monitor.memory().total_entries());
+        }
+        assert!(monitor.gc_runs() > 10, "GC must have cycled");
+        let report = monitor.finish();
+        assert!(
+            report.memory.total_entries() < 100,
+            "post-GC arena footprint must stay small: {:?}",
+            report.memory
+        );
+        assert!(!report.verdicts[q.index()].is_empty());
+    }
+
+    #[test]
+    fn pipelined_matches_sequential_midstream() {
+        let events: Vec<(usize, u64, rvmtl_mtl::State)> = (0..30u64)
+            .map(|k| {
+                let label = if k % 3 == 0 { "a" } else { "b" };
+                ((k % 2) as usize, 1 + k, state![label])
+            })
+            .collect();
+        let phi = parse("G[0,inf) (a -> F[0,4) b)").unwrap();
+        let run = |config: StreamConfig| {
+            let mut monitor = StreamMonitor::new(2, 1, config);
+            let q = monitor.add_query(&phi);
+            for (p, t, s) in &events {
+                monitor.observe(*p, *t, s.clone()).unwrap();
+            }
+            let report = monitor.finish();
+            report.verdicts[q.index()].clone()
+        };
+        let sequential = run(StreamConfig::new(4));
+        let pipelined = run(StreamConfig::new(4).pipelined(Some(3)).flush_depth(4));
+        assert_eq!(sequential, pipelined);
+    }
+}

@@ -1,0 +1,188 @@
+//! The pipelined segment-stage executor.
+//!
+//! A *batch* of consecutive closed segments is processed by a pool of scoped
+//! worker threads sharing one work queue. The unit of work is one `(query,
+//! segment, pending formula)` triple: a worker progresses the formula through
+//! a [`SegmentSolver`] over the batch's shared [`ShardedInterner`] and
+//! enqueues each distinct rewritten formula *immediately* as a work item for
+//! the next segment — segment `k + 1` starts progressing a formula as soon as
+//! stage `k` emits it, while other formulas (of any query) are still inside
+//! stage `k`. There is no barrier between stages; the only synchronisation
+//! points are the shared queue, the per-`(segment, query)` dedup sets that
+//! keep the pending *sets* identical to the sequential union semantics, and
+//! the output sets of the last segment of the batch.
+//!
+//! Worker-local state stays worker-local: each item gets its own solver (memo
+//! table, feasibility and per-cut caches), while the arena — nodes, states
+//! and the `one_cache`/`gap_cache` progression memos, which carry most of the
+//! cross-segment reuse — is shared by every worker through `&` handles.
+
+use rvmtl_distrib::DistributedComputation;
+use rvmtl_mtl::{FormulaId, ShardedInterner};
+use rvmtl_solver::{SegmentSolver, SolverStats};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// One unit of work: progress `psi` (of `query`) over `segment`.
+struct Item {
+    query: usize,
+    segment: usize,
+    psi: FormulaId,
+}
+
+struct PipelineState {
+    queue: Mutex<VecDeque<Item>>,
+    ready: Condvar,
+    /// Items queued or being processed; workers exit when it reaches zero.
+    open: AtomicUsize,
+    /// Per-`(segment, query)` dedup: a formula is progressed through a
+    /// segment once, no matter how many stage-`k` branches emitted it.
+    seen: Vec<Vec<Mutex<BTreeSet<FormulaId>>>>,
+    /// Per-query pending set leaving the batch's last segment.
+    outs: Vec<Mutex<BTreeSet<FormulaId>>>,
+    stats: Mutex<SolverStats>,
+}
+
+/// Runs `seeds` (per-query pending formulas, interned in `shared`) through
+/// the pipeline of `segments` (each with its residual anchor) on `workers`
+/// threads. Returns the per-query pending sets after the last segment and
+/// the aggregated solver statistics.
+pub(crate) fn run_pipeline(
+    segments: &[(DistributedComputation, u64)],
+    seeds: &[Vec<FormulaId>],
+    shared: &ShardedInterner,
+    workers: usize,
+    limit: Option<usize>,
+) -> (Vec<BTreeSet<FormulaId>>, SolverStats) {
+    assert!(!segments.is_empty(), "a pipeline batch needs segments");
+    let state = PipelineState {
+        queue: Mutex::new(VecDeque::new()),
+        ready: Condvar::new(),
+        open: AtomicUsize::new(0),
+        seen: (0..segments.len())
+            .map(|_| {
+                (0..seeds.len())
+                    .map(|_| Mutex::new(BTreeSet::new()))
+                    .collect()
+            })
+            .collect(),
+        outs: (0..seeds.len())
+            .map(|_| Mutex::new(BTreeSet::new()))
+            .collect(),
+        stats: Mutex::new(SolverStats::default()),
+    };
+    {
+        let mut queue = state.queue.lock().expect("fresh queue");
+        for (query, pending) in seeds.iter().enumerate() {
+            let mut seen = state.seen[0][query].lock().expect("fresh seen set");
+            for &psi in pending {
+                if seen.insert(psi) {
+                    state.open.fetch_add(1, Ordering::AcqRel);
+                    queue.push_back(Item {
+                        query,
+                        segment: 0,
+                        psi,
+                    });
+                }
+            }
+        }
+    }
+
+    let workers = workers.max(1);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| worker(&state, segments, shared, limit)));
+        }
+        for handle in handles {
+            handle.join().expect("pipeline worker panicked");
+        }
+    });
+
+    let outs = state
+        .outs
+        .into_iter()
+        .map(|set| set.into_inner().expect("worker poisoned an output set"))
+        .collect();
+    let stats = state.stats.into_inner().expect("worker poisoned the stats");
+    (outs, stats)
+}
+
+fn worker(
+    state: &PipelineState,
+    segments: &[(DistributedComputation, u64)],
+    shared: &ShardedInterner,
+    limit: Option<usize>,
+) {
+    loop {
+        let item = {
+            let mut queue = state.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(item) = queue.pop_front() {
+                    break Some(item);
+                }
+                if state.open.load(Ordering::Acquire) == 0 {
+                    break None;
+                }
+                queue = state.ready.wait(queue).expect("queue poisoned");
+            }
+        };
+        let Some(item) = item else {
+            // Everything drained: wake any sibling still waiting.
+            state.ready.notify_all();
+            return;
+        };
+
+        let (segment, anchor) = &segments[item.segment];
+        let mut handle = shared;
+        let mut solver = SegmentSolver::new(segment, *anchor, &mut handle);
+        if let Some(l) = limit {
+            solver = solver.with_limit(l);
+        }
+        let result = solver.progress(item.psi);
+        state
+            .stats
+            .lock()
+            .expect("stats poisoned")
+            .absorb(&result.stats);
+
+        let next_segment = item.segment + 1;
+        if next_segment < segments.len() {
+            // Hand each fresh rewrite to the next stage immediately.
+            let fresh: Vec<FormulaId> = {
+                let mut seen = state.seen[next_segment][item.query]
+                    .lock()
+                    .expect("seen set poisoned");
+                result
+                    .formulas
+                    .into_iter()
+                    .filter(|&psi| seen.insert(psi))
+                    .collect()
+            };
+            if !fresh.is_empty() {
+                let mut queue = state.queue.lock().expect("queue poisoned");
+                for psi in fresh {
+                    state.open.fetch_add(1, Ordering::AcqRel);
+                    queue.push_back(Item {
+                        query: item.query,
+                        segment: next_segment,
+                        psi,
+                    });
+                }
+                drop(queue);
+                state.ready.notify_all();
+            }
+        } else {
+            state.outs[item.query]
+                .lock()
+                .expect("output set poisoned")
+                .extend(result.formulas);
+        }
+
+        if state.open.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last open item: release every waiting sibling.
+            state.ready.notify_all();
+        }
+    }
+}

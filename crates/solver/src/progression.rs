@@ -54,7 +54,7 @@
 
 use rvmtl_distrib::{Cut, DistributedComputation, EventId};
 use rvmtl_mtl::hashing::FxHashMap;
-use rvmtl_mtl::{evaluate, Formula, FormulaId, Interner, StateKey, TimedTrace};
+use rvmtl_mtl::{evaluate, ArenaOps, Formula, FormulaId, Interner, StateKey, TimedTrace};
 use std::collections::BTreeSet;
 use std::rc::Rc;
 
@@ -205,28 +205,30 @@ pub struct InternedProgression {
 }
 
 /// A solver for one segment shared by *all* pending formulas of that segment,
-/// working directly on [`FormulaId`]s in a caller-owned [`Interner`].
+/// working directly on [`FormulaId`]s in a caller-owned arena.
 ///
 /// This is the monitor-facing entry point: the memo table, the feasibility
 /// cache and the per-cut `enabled`/`frontier` caches are built once per
 /// segment and reused by every pending formula progressed through it (memo
 /// entries are keyed by the pending formula, so entries produced for one
 /// formula are directly reusable by another that rewrites into the same
-/// obligation). The interner outlives the solver — the monitor keeps one
-/// arena alive across all segments of a query, so the stable parts of the
+/// obligation). The arena outlives the solver — the monitor keeps one arena
+/// alive across all segments of a query, so the stable parts of the
 /// specification are interned exactly once.
-pub struct SegmentSolver<'a, 'i> {
-    engine: Engine<'a, 'i>,
+///
+/// The solver is generic over [`ArenaOps`]: the sequential monitor path hands
+/// it an exclusive `&mut Interner`, while parallel paths hand each worker a
+/// shared `&ShardedInterner` handle — one solver code path for both (the
+/// worker-local memo tables stay private to the solver; only the arena and
+/// its progression caches are shared).
+pub struct SegmentSolver<'a, 'i, A: ArenaOps = Interner> {
+    engine: Engine<'a, 'i, A>,
 }
 
-impl<'a, 'i> SegmentSolver<'a, 'i> {
+impl<'a, 'i, A: ArenaOps> SegmentSolver<'a, 'i, A> {
     /// Creates a solver for `comp` anchoring residuals at `next_anchor`,
-    /// interning formulas in the caller's `interner`.
-    pub fn new(
-        comp: &'a DistributedComputation,
-        next_anchor: u64,
-        interner: &'i mut Interner,
-    ) -> Self {
+    /// interning formulas in the caller's arena.
+    pub fn new(comp: &'a DistributedComputation, next_anchor: u64, interner: &'i mut A) -> Self {
         SegmentSolver {
             engine: Engine::new(comp, next_anchor, usize::MAX, interner),
         }
@@ -359,13 +361,13 @@ impl CutRanker {
     }
 }
 
-struct Engine<'a, 'i> {
+struct Engine<'a, 'i, A: ArenaOps> {
     comp: &'a DistributedComputation,
     next_anchor: u64,
     limit: usize,
     /// Hash-consed formula arena, borrowed from the caller so it can span
     /// several segments (and every pending formula of each).
-    interner: &'i mut Interner,
+    interner: &'i mut A,
     /// Maps cuts to unique ranks (see [`CutRanker`]).
     ranker: CutRanker,
     /// Contribution sets per node, stored as sorted deduplicated slices (the
@@ -382,16 +384,16 @@ struct Engine<'a, 'i> {
     found: BTreeSet<FormulaId>,
 }
 
-/// Early-stop predicate over found formulas; receives the interner so it can
+/// Early-stop predicate over found formulas; receives the arena so it can
 /// inspect (e.g. finalize) the formula without resolving it to a tree.
-type StopFn<'s> = dyn FnMut(&Interner, FormulaId) -> bool + 's;
+type StopFn<'s, A> = dyn FnMut(&A, FormulaId) -> bool + 's;
 
-impl<'a, 'i> Engine<'a, 'i> {
+impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
     fn new(
         comp: &'a DistributedComputation,
         next_anchor: u64,
         limit: usize,
-        interner: &'i mut Interner,
+        interner: &'i mut A,
     ) -> Self {
         Engine {
             comp,
@@ -410,7 +412,7 @@ impl<'a, 'i> Engine<'a, 'i> {
 
     /// Explores the full search space for `psi`. Returns `true` if `stop`
     /// accepted a formula (or the limit was reached) before exhaustion.
-    fn run(&mut self, psi: FormulaId, stop: &mut StopFn<'_>) -> bool {
+    fn run(&mut self, psi: FormulaId, stop: &mut StopFn<'_, A>) -> bool {
         let initial_cut = Cut::empty(self.comp.process_count());
         let root = self.ranker.root();
         let mut sink = Vec::new();
@@ -541,7 +543,7 @@ impl<'a, 'i> Engine<'a, 'i> {
         rank: u128,
         pending_time: u64,
         psi: FormulaId,
-        stop: &mut StopFn<'_>,
+        stop: &mut StopFn<'_, A>,
         sink: &mut Vec<FormulaId>,
     ) -> bool {
         if self.found.len() >= self.limit {

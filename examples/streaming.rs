@@ -1,0 +1,83 @@
+//! Live monitoring of a hedged two-party swap from its event stream.
+//!
+//! The batch examples replay a *finished* protocol run; this one watches it
+//! happen. The two chains' logs are merged into one skew-legal stream and fed
+//! to a [`StreamMonitor`] event by event; the watermark closes segments as
+//! the chains' clocks advance, and the monitor prints each query's verdict
+//! state whenever a segment is folded in — exactly what a verification
+//! service attached to live chain RPC feeds would do.
+//!
+//! ```text
+//! cargo run --example streaming
+//! ```
+
+use rvmtl::chain::{specs, TwoPartyScenario, TwoPartySwap};
+use rvmtl::distrib::EventId;
+use rvmtl::runtime::{StreamConfig, StreamMonitor};
+
+const DELTA: u64 = 50;
+const EPSILON: u64 = 3;
+
+fn main() {
+    // Execute the conforming swap and convert its per-chain logs into a
+    // 2-process computation — the replayable stand-in for two live chains.
+    let exec = TwoPartySwap::new(DELTA).execute(&TwoPartyScenario::conforming());
+    let comp = exec.to_computation(EPSILON);
+
+    let mut monitor = StreamMonitor::new(comp.process_count(), EPSILON, StreamConfig::new(70));
+    let queries = [
+        ("liveness", specs::two_party::liveness(DELTA)),
+        ("alice conforms", specs::two_party::alice_conform(DELTA)),
+        ("bob conforms", specs::two_party::bob_conform(DELTA)),
+    ];
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|(name, phi)| (*name, monitor.add_query(phi)))
+        .collect();
+
+    // Merge the chains' events into arrival order (local time, chain).
+    let mut events: Vec<EventId> = (0..comp.event_count()).map(EventId).collect();
+    events.sort_by_key(|&id| (comp.event(id).local_time, comp.event(id).process.0));
+
+    println!(
+        "streaming {} events (segment length 70, ε = {EPSILON}):\n",
+        events.len()
+    );
+    let mut seen_segments = 0;
+    for id in events {
+        let e = comp.event(id);
+        println!("  [chain {} @ t={}] {}", e.process.0, e.local_time, e.state);
+        monitor
+            .observe(e.process.0, e.local_time, e.state.clone())
+            .expect("chain logs are stream-legal");
+        if monitor.segments_processed() > seen_segments {
+            seen_segments = monitor.segments_processed();
+            println!(
+                "\n  -- segment {seen_segments} closed (watermark {:?}) --",
+                monitor.watermark()
+            );
+            for (name, q) in &handles {
+                println!("     {name:<15} {}", monitor.current_verdicts(*q));
+            }
+            println!();
+        }
+    }
+
+    println!("\nstream ended; closing remaining obligations:");
+    let report = monitor.finish();
+    for (name, q) in &handles {
+        println!("  {name:<15} {}", report.verdicts[q.index()]);
+    }
+    println!(
+        "\n{} segments, {} solver states, arena footprint {} entries, {} GC epochs",
+        report.segments,
+        report.stats.explored_states,
+        report.memory.total_entries(),
+        report.gc_runs
+    );
+
+    // The arithmetic halves of the safety specs, straight off the ledgers.
+    for party in ["alice", "bob"] {
+        println!("  payoff({party}) = {}", exec.payoff(party));
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`distrib`] | `rvmtl-distrib` | events, happened-before, cuts, segmentation |
 //! | [`solver`] | `rvmtl-solver` | the SMT-style decision engine |
 //! | [`monitor`] | `rvmtl-monitor` | the distributed monitor (the paper's contribution) |
+//! | [`runtime`] | `rvmtl-runtime` | streaming runtime: live streams, pipelined segments, GC |
 //! | [`chain`] | `rvmtl-chain` | mock blockchains and the cross-chain protocols |
 //! | [`ta`] | `rvmtl-ta` | timed-automata models and synthetic traces |
 //!
@@ -64,6 +65,13 @@ pub mod solver {
 /// The distributed runtime monitor (re-export of `rvmtl-monitor`).
 pub mod monitor {
     pub use rvmtl_monitor::*;
+}
+
+/// The streaming monitoring runtime: incremental segmentation, pipelined
+/// segment stages, multi-query front end, arena GC (re-export of
+/// `rvmtl-runtime`).
+pub mod runtime {
+    pub use rvmtl_runtime::*;
 }
 
 /// Mock blockchains and cross-chain protocols (re-export of `rvmtl-chain`).
