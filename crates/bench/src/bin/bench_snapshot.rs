@@ -197,6 +197,37 @@ fn main() {
         }
     }
 
+    // The dense-workload ε sweep: a *delayed-window* formula (`a U[6,12) b`,
+    // temporal horizon 12, live window width 6) over a dense two-process
+    // lattice (one event per tick, clustered at the window). Residuals of
+    // the delayed window are exact time-translates of each other while the
+    // window has not opened, so a shift-normal engine's branching saturates
+    // once every event window covers the *open* region — at an ε around the
+    // window's width, strictly below the horizon. A per-tick or
+    // invariant-only engine keeps branching on the pre-window ticks too and
+    // only goes flat once ε reaches the full horizon.
+    let mut dense_rows = Vec::new();
+    if sweeps {
+        let phi = rvmtl_mtl::parse("a U[6,12) b").expect("fixed formula parses");
+        for epsilon in [1u64, 2, 3, 4, 5, 6, 8, 10, 12, 16, 32, 64] {
+            let mut b = rvmtl_distrib::ComputationBuilder::new(2, epsilon);
+            b.event(0, 6, rvmtl_mtl::state!["a"]);
+            b.event(0, 8, rvmtl_mtl::state!["a"]);
+            b.event(0, 10, rvmtl_mtl::state!["a"]);
+            b.event(1, 7, rvmtl_mtl::state!["a"]);
+            b.event(1, 9, rvmtl_mtl::state!["a"]);
+            b.event(1, 11, rvmtl_mtl::state!["b"]);
+            let comp = b.build().expect("fixed computation is valid");
+            let (states, best_secs) = measure_best(&comp, &phi, 1);
+            dense_rows.push(format!(
+                "    {{\"epsilon\": {}, \"explored_states\": {}, \"wall_ms\": {:.3}}}",
+                epsilon,
+                states,
+                best_secs * 1000.0,
+            ));
+        }
+    }
+
     // The length sweep of Fig. 5d (phi4, |P| = 2, g = 15).
     let mut length_rows = Vec::new();
     if sweeps {
@@ -305,6 +336,9 @@ fn main() {
         println!("  ],");
         println!("  \"epsilon_saturation\": [");
         println!("{}", saturation_rows.join(",\n"));
+        println!("  ],");
+        println!("  \"epsilon_dense\": [");
+        println!("{}", dense_rows.join(",\n"));
         println!("  ],");
         println!("  \"length_sweep\": [");
         println!("{}", length_rows.join(",\n"));

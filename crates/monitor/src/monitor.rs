@@ -4,7 +4,7 @@
 
 use crate::{MonitorConfig, VerdictSet};
 use rvmtl_distrib::{segment, DistributedComputation};
-use rvmtl_mtl::{Formula, FormulaId, Interner, ShardedInterner};
+use rvmtl_mtl::{ArenaOps, Formula, FormulaId, Interner, ShardedInterner, ShiftedId};
 use rvmtl_solver::{SegmentSolver, SolverStats};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
@@ -57,7 +57,7 @@ impl MonitorReport {
 /// [`rvmtl_mtl::ArenaOps`], so one [`SegmentSolver`] code path serves both.
 #[derive(Debug, Clone)]
 enum QueryArena {
-    Plain(Interner),
+    Plain(Box<Interner>),
     Sharded(ShardedInterner),
 }
 
@@ -69,17 +69,31 @@ impl QueryArena {
         }
     }
 
-    fn resolve(&self, id: FormulaId) -> Formula {
+    /// Shift-normal decomposition of an id (see [`ArenaOps::normalize`]).
+    fn normalize(&self, id: FormulaId) -> ShiftedId {
         match self {
-            QueryArena::Plain(interner) => interner.resolve(id),
-            QueryArena::Sharded(arena) => arena.resolve(id),
+            QueryArena::Plain(interner) => ArenaOps::normalize(&**interner, id),
+            QueryArena::Sharded(arena) => ArenaOps::normalize(arena, id),
         }
     }
 
-    fn eval_empty(&self, id: FormulaId) -> bool {
+    /// Resolves a shift-normal pending obligation to a plain formula tree
+    /// without materialising the translated node.
+    fn resolve_shifted(&self, s: ShiftedId) -> Formula {
         match self {
-            QueryArena::Plain(interner) => interner.eval_empty(id),
-            QueryArena::Sharded(arena) => arena.eval_empty(id),
+            QueryArena::Plain(interner) => ArenaOps::resolve_shifted(&**interner, s),
+            QueryArena::Sharded(arena) => ArenaOps::resolve_shifted(arena, s),
+        }
+    }
+
+    /// Empty-future verdict of a shift-normal pending obligation. Resolves
+    /// through the shift for free: translation changes interval anchors, not
+    /// operator kinds, and `eval_empty` only looks at the kinds — so the
+    /// canonical residual's verdict is the obligation's.
+    fn eval_empty_shifted(&self, s: ShiftedId) -> bool {
+        match self {
+            QueryArena::Plain(interner) => interner.eval_empty(s.id),
+            QueryArena::Sharded(arena) => arena.eval_empty(s.id),
         }
     }
 }
@@ -110,7 +124,10 @@ impl QueryArena {
 pub struct OnlineMonitor {
     /// The arena every pending formula lives in, alive across segments.
     arena: QueryArena,
-    pending: BTreeSet<FormulaId>,
+    /// Pending obligations in shift-normal form: two obligations that are
+    /// exact time-translates of each other share one arena node and differ
+    /// only in the shift word of their [`ShiftedId`].
+    pending: BTreeSet<ShiftedId>,
     limit: Option<usize>,
     stats: SolverStats,
 }
@@ -119,8 +136,9 @@ impl OnlineMonitor {
     /// Starts monitoring `phi` (anchored at the base time of the first
     /// segment that will be observed).
     pub fn new(phi: Formula) -> Self {
-        let mut arena = QueryArena::Plain(Interner::new());
+        let mut arena = QueryArena::Plain(Box::new(Interner::new()));
         let root = arena.intern(&phi);
+        let root = arena.normalize(root);
         OnlineMonitor {
             arena,
             pending: BTreeSet::from([root]),
@@ -138,14 +156,20 @@ impl OnlineMonitor {
             let resolved: Vec<Formula> = self
                 .pending
                 .iter()
-                .map(|&id| self.arena.resolve(id))
+                .map(|&s| self.arena.resolve_shifted(s))
                 .collect();
             self.arena = if enabled {
                 QueryArena::Sharded(ShardedInterner::new())
             } else {
-                QueryArena::Plain(Interner::new())
+                QueryArena::Plain(Box::new(Interner::new()))
             };
-            self.pending = resolved.iter().map(|phi| self.arena.intern(phi)).collect();
+            self.pending = resolved
+                .iter()
+                .map(|phi| {
+                    let id = self.arena.intern(phi);
+                    self.arena.normalize(id)
+                })
+                .collect();
         }
         self
     }
@@ -174,7 +198,7 @@ impl OnlineMonitor {
     pub fn pending(&self) -> BTreeSet<Formula> {
         self.pending
             .iter()
-            .map(|&id| self.arena.resolve(id))
+            .map(|&s| self.arena.resolve_shifted(s))
             .collect()
     }
 
@@ -198,16 +222,24 @@ impl OnlineMonitor {
     /// threads that share the sharded query-spanning arena (and therefore its
     /// `one_cache`/`gap_cache` memoised progressions) through `&` handles.
     pub fn observe_segment(&mut self, seg: &DistributedComputation, next_anchor: u64) {
-        let pending: Vec<FormulaId> = self.pending.iter().copied().collect();
+        let pending: Vec<ShiftedId> = self.pending.iter().copied().collect();
         let limit = self.limit;
-        let mut next = BTreeSet::new();
+        let mut next: BTreeSet<FormulaId> = BTreeSet::new();
         match &mut self.arena {
             QueryArena::Plain(interner) => {
-                let mut solver = SegmentSolver::new(seg, next_anchor, interner);
+                // Materialise the shift-normal pendings before the solver
+                // borrows the arena. The materialised translate is the same
+                // hash-consed node the pre-shift-normal pending set held, so
+                // this costs no arena growth over the old representation.
+                let seeds: Vec<FormulaId> = pending
+                    .iter()
+                    .map(|&s| ArenaOps::materialize(&mut **interner, s))
+                    .collect();
+                let mut solver = SegmentSolver::new(seg, next_anchor, &mut **interner);
                 if let Some(l) = limit {
                     solver = solver.with_limit(l);
                 }
-                for psi in pending {
+                for psi in seeds {
                     let result = solver.progress(psi);
                     self.stats.absorb(&result.stats);
                     next.extend(result.formulas);
@@ -215,7 +247,14 @@ impl OnlineMonitor {
             }
             QueryArena::Sharded(arena) => {
                 let arena: &ShardedInterner = arena;
-                let results = crate::par::par_map(&pending, |&psi| {
+                let seeds: Vec<FormulaId> = pending
+                    .iter()
+                    .map(|&s| {
+                        let mut handle = arena;
+                        ArenaOps::materialize(&mut handle, s)
+                    })
+                    .collect();
+                let results = crate::par::par_map(&seeds, |&psi| {
                     let mut handle = arena;
                     let mut solver = SegmentSolver::new(seg, next_anchor, &mut handle);
                     if let Some(l) = limit {
@@ -229,7 +268,10 @@ impl OnlineMonitor {
                 }
             }
         }
-        self.pending = next;
+        self.pending = next
+            .into_iter()
+            .map(|id| self.arena.normalize(id))
+            .collect();
     }
 
     /// The current verdict set: conclusive verdicts for formulas that have
@@ -244,7 +286,11 @@ impl OnlineMonitor {
     /// empty future (finite-trace semantics, evaluated directly on the
     /// interned ids) and the final verdict set is returned.
     pub fn finish(&self) -> VerdictSet {
-        VerdictSet::from_bools(self.pending.iter().map(|&id| self.arena.eval_empty(id)))
+        VerdictSet::from_bools(
+            self.pending
+                .iter()
+                .map(|&s| self.arena.eval_empty_shifted(s)),
+        )
     }
 }
 

@@ -21,7 +21,38 @@
 //! soundness arguments: horizon clamping, invariant-only range merging, the
 //! stable tail); the interner's inherent methods delegate here.
 
-use crate::{Formula, FormulaId, Interval, Node, Prop, State, StateKey};
+use crate::{Formula, FormulaId, Interval, Node, Prop, ShiftedId, State, StateKey};
+
+/// How the residuals of a [`SplitRange`] vary across the range; see
+/// [`crate::Interner::progress_one_over`] for the full contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeKind {
+    /// Every time point of the range yields the range's residual.
+    Uniform,
+    /// The residual at `lo + k` is `translate_down(residual, k)`: the range
+    /// sweeps one shift-normal zone (canonical residual constant, shift
+    /// decrementing per tick and staying ≥ 1). A caller performing a
+    /// union-of-contributions search may collapse the range to its earliest
+    /// point, exactly as for a time-invariant `Uniform` range.
+    Translated,
+}
+
+/// One maximal range of an interval-splitting progression
+/// ([`crate::Interner::progress_one_over`] /
+/// [`crate::Interner::progress_gap_over`]): the occurrence times `[lo, hi]`
+/// (inclusive) together with the residual at `lo` and the law giving the
+/// residuals of the remaining points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitRange {
+    /// Earliest occurrence time of the range.
+    pub lo: u64,
+    /// Latest occurrence time of the range (inclusive).
+    pub hi: u64,
+    /// The residual at `lo`.
+    pub residual: FormulaId,
+    /// How the residuals of the later points relate to `residual`.
+    pub kind: RangeKind,
+}
 
 /// Operations every formula arena provides; see the module documentation.
 ///
@@ -39,6 +70,15 @@ pub trait ArenaOps {
 
     /// The temporal horizon of `id` (see [`crate::Interner::temporal_horizon`]).
     fn temporal_horizon(&self, id: FormulaId) -> u64;
+
+    /// The shift slack of `id` (see [`crate::Interner::shift_slack`]):
+    /// `u64::MAX` for propositional formulas, otherwise the largest exact
+    /// downward translation of the top-level intervals.
+    fn shift_slack(&self, id: FormulaId) -> u64;
+
+    /// The canonical shift-normal residual of `id` (see
+    /// [`crate::Interner::shift_canon`]).
+    fn shift_canon(&self, id: FormulaId) -> FormulaId;
 
     /// Interns an observation state (see [`crate::Interner::intern_state`]).
     fn intern_state(&mut self, state: &State) -> StateKey;
@@ -60,14 +100,18 @@ pub trait ArenaOps {
     /// Smart timed always.
     fn mk_always(&mut self, i: Interval, a: FormulaId) -> FormulaId;
 
-    /// Looks up a memoised single-observation progression.
-    fn one_cache_get(&self, key: &(StateKey, FormulaId, u64)) -> Option<FormulaId>;
+    /// Looks up a memoised single-observation progression. The key is
+    /// shift-relative: `(state, canonical residual, elapsed − shift,
+    /// shifted?)` — see [`ArenaOps::progress_one_cached`].
+    fn one_cache_get(&self, key: &(StateKey, FormulaId, i64, bool)) -> Option<FormulaId>;
     /// Memoises a single-observation progression.
-    fn one_cache_put(&mut self, key: (StateKey, FormulaId, u64), value: FormulaId);
-    /// Looks up a memoised gap progression.
-    fn gap_cache_get(&self, key: &(FormulaId, u64)) -> Option<FormulaId>;
+    fn one_cache_put(&mut self, key: (StateKey, FormulaId, i64, bool), value: FormulaId);
+    /// Looks up a memoised gap progression (shift-relative key
+    /// `(canonical residual, elapsed − shift)`; see
+    /// [`ArenaOps::progress_gap_cached`]).
+    fn gap_cache_get(&self, key: &(FormulaId, i64)) -> Option<FormulaId>;
     /// Memoises a gap progression.
-    fn gap_cache_put(&mut self, key: (FormulaId, u64), value: FormulaId);
+    fn gap_cache_put(&mut self, key: (FormulaId, i64), value: FormulaId);
 
     /// Smart binary conjunction.
     fn mk_and(&mut self, a: FormulaId, b: FormulaId) -> FormulaId {
@@ -85,17 +129,194 @@ pub trait ArenaOps {
         self.temporal_horizon(id) == 0
     }
 
+    /// Shifts every top-level temporal interval of `id` up by `delta` —
+    /// the exact inverse of [`ArenaOps::translate_down`] on its domain.
+    /// Propositional formulas are fixed points; subformulas *under* a
+    /// temporal operator are untouched (their anchor is the operator's
+    /// window, which moves as a whole).
+    fn translate_up(&mut self, id: FormulaId, delta: u64) -> FormulaId {
+        if delta == 0 || self.shift_slack(id) == u64::MAX {
+            return id;
+        }
+        match self.node(id) {
+            Node::True | Node::False | Node::Atom(_) => id,
+            Node::Not(a) => {
+                let a = self.translate_up(a, delta);
+                self.mk_not(a)
+            }
+            Node::And(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.translate_up(c, delta))
+                    .collect();
+                self.mk_and_all(parts)
+            }
+            Node::Or(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.translate_up(c, delta))
+                    .collect();
+                self.mk_or_all(parts)
+            }
+            Node::Implies(a, b) => {
+                let a = self.translate_up(a, delta);
+                let b = self.translate_up(b, delta);
+                self.mk_implies(a, b)
+            }
+            Node::Eventually(i, a) => self.mk_eventually(i.shift_up(delta), a),
+            Node::Always(i, a) => self.mk_always(i.shift_up(delta), a),
+            Node::Until(a, i, b) => self.mk_until(a, i.shift_up(delta), b),
+        }
+    }
+
+    /// Translates every top-level temporal interval of `id` down by `delta`,
+    /// exactly — `delta` must not exceed [`ArenaOps::shift_slack`], so no
+    /// endpoint clamps and [`ArenaOps::translate_up`] inverts the move.
+    /// Equals `progress_gap(id, delta)` on that domain (a gap shorter than
+    /// the slack elapses no window, it only slides them).
+    fn translate_down(&mut self, id: FormulaId, delta: u64) -> FormulaId {
+        debug_assert!(
+            delta <= self.shift_slack(id),
+            "translate_down past the shift slack is not exact"
+        );
+        if delta == 0 || self.shift_slack(id) == u64::MAX {
+            return id;
+        }
+        match self.node(id) {
+            Node::True | Node::False | Node::Atom(_) => id,
+            Node::Not(a) => {
+                let a = self.translate_down(a, delta);
+                self.mk_not(a)
+            }
+            Node::And(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.translate_down(c, delta))
+                    .collect();
+                self.mk_and_all(parts)
+            }
+            Node::Or(children) => {
+                let parts: Vec<FormulaId> = children
+                    .iter()
+                    .map(|&c| self.translate_down(c, delta))
+                    .collect();
+                self.mk_or_all(parts)
+            }
+            Node::Implies(a, b) => {
+                let a = self.translate_down(a, delta);
+                let b = self.translate_down(b, delta);
+                self.mk_implies(a, b)
+            }
+            Node::Eventually(i, a) => self.mk_eventually(i.translate_down(delta), a),
+            Node::Always(i, a) => self.mk_always(i.translate_down(delta), a),
+            Node::Until(a, i, b) => self.mk_until(a, i.translate_down(delta), b),
+        }
+    }
+
+    /// Decomposes `id` into its shift-normal form `(shift, canonical
+    /// residual)`: the greatest common offset of the top-level intervals is
+    /// factored out. Formulas with slack 0 (a window already open, or an
+    /// `Until` with a non-invariant left argument) and propositional formulas
+    /// are their own canonical form with shift 0.
+    fn normalize(&self, id: FormulaId) -> ShiftedId {
+        let slack = self.shift_slack(id);
+        if slack == 0 || slack == u64::MAX {
+            ShiftedId::unshifted(id)
+        } else {
+            ShiftedId {
+                shift: slack,
+                id: self.shift_canon(id),
+            }
+        }
+    }
+
+    /// Rebuilds the plain id of a shift-normal pair
+    /// (`translate_up(s.id, s.shift)`) — the inverse of
+    /// [`ArenaOps::normalize`].
+    fn materialize(&mut self, s: ShiftedId) -> FormulaId {
+        self.translate_up(s.id, s.shift)
+    }
+
+    /// Resolves a shift-normal pair to a plain [`Formula`] tree without
+    /// materialising the translated node in the arena. Produces exactly
+    /// `resolve(materialize(s))`: top-level intervals are shifted up *before*
+    /// the structural re-sort of n-ary operands.
+    fn resolve_shifted(&self, s: ShiftedId) -> Formula {
+        fn go<A: ArenaOps + ?Sized>(arena: &A, id: FormulaId, delta: u64) -> Formula {
+            if delta == 0 || arena.shift_slack(id) == u64::MAX {
+                return arena.resolve(id);
+            }
+            match arena.node(id) {
+                Node::True | Node::False | Node::Atom(_) => arena.resolve(id),
+                Node::Not(a) => Formula::not(go(arena, a, delta)),
+                Node::And(children) => fold_nary(
+                    children.iter().map(|&c| go(arena, c, delta)).collect(),
+                    true,
+                ),
+                Node::Or(children) => fold_nary(
+                    children.iter().map(|&c| go(arena, c, delta)).collect(),
+                    false,
+                ),
+                Node::Implies(a, b) => Formula::implies(go(arena, a, delta), go(arena, b, delta)),
+                Node::Eventually(i, a) => Formula::eventually(i.shift_up(delta), arena.resolve(a)),
+                Node::Always(i, a) => Formula::always(i.shift_up(delta), arena.resolve(a)),
+                Node::Until(a, i, b) => {
+                    Formula::until(arena.resolve(a), i.shift_up(delta), arena.resolve(b))
+                }
+            }
+        }
+        go(self, s.id, s.shift)
+    }
+
     /// Memoised single-observation progression over an interned state (see
-    /// [`crate::Interner::progress_one_cached`] for the full contract and the
-    /// horizon-clamping argument).
+    /// [`crate::Interner::progress_one_cached`] for the original contract and
+    /// the horizon-clamping argument).
+    ///
+    /// # Shift-relative memoisation
+    ///
+    /// For a formula with shift slack σ ≥ 1 the progression at elapsed time
+    /// Δ depends only on the *canonical residual* and the relative time
+    /// Δ − σ — for every Δ, not only while the window is still closed. Two
+    /// translates `S_{σ₁}c`, `S_{σ₂}c` (σᵢ ≥ 1) compared at matching
+    /// relative times Δᵢ − σᵢ behave identically at each constructor: a
+    /// top-level window `[s+σᵢ, e+σᵢ)` never contains the observation point
+    /// 0 (s + σᵢ ≥ 1), so the observed parts of `◇`/`□`/`U` are closed
+    /// (`⊥`/`⊤`) in *both* members regardless of Δ, an `U`'s left obligation
+    /// is time-invariant by the slack definition (its progression ignores
+    /// Δ), and the residual windows land at `tops − Δ = canonical tops −
+    /// (Δ − σ)` with clamping that also depends only on Δ − σ. (For
+    /// Δ ≥ σ the result does mention open-window residuals such as
+    /// `observed ∨ F[0, e−(Δ−σ)) …` — produced by the *residual* clause, not
+    /// the observation, and still a function of Δ − σ alone.) The
+    /// memo key is therefore `(state, canon, Δ − σ, shifted=true)` and one
+    /// entry serves the obligation at *every* absolute time it is
+    /// re-encountered — across windows, segments and queries. Slack-0
+    /// formulas (window open: the observation participates) keep direct
+    /// `(state, id, min(Δ, horizon), shifted=false)` entries; the flag keeps
+    /// the two regimes of one canonical residual apart. The relative time of
+    /// shifted entries is clamped at the canonical residual's horizon, which
+    /// is at least the member's own stability threshold minus its shift.
     fn progress_one_cached(&mut self, key: StateKey, id: FormulaId, elapsed: u64) -> FormulaId {
+        let slack = self.shift_slack(id);
+        let cache_key = if slack >= 1 && slack != u64::MAX {
+            let canon = self.shift_canon(id);
+            let rel = (elapsed as i64 - slack as i64).min(self.temporal_horizon(canon) as i64);
+            (key, canon, rel, true)
+        } else {
+            (
+                key,
+                id,
+                elapsed.min(self.temporal_horizon(id)) as i64,
+                false,
+            )
+        };
+        if let Some(f) = self.one_cache_get(&cache_key) {
+            return f;
+        }
         // Clamping is sound per node: for `elapsed ≥ temporal_horizon(id)`
         // every bounded interval in `id` has elapsed and every unbounded
         // start has saturated, so the result equals the horizon's.
         let clamped = elapsed.min(self.temporal_horizon(id));
-        if let Some(f) = self.one_cache_get(&(key, id, clamped)) {
-            return f;
-        }
         let f = match self.node(id) {
             Node::True => FormulaId::TRUE,
             Node::False => FormulaId::FALSE,
@@ -177,11 +398,15 @@ pub trait ArenaOps {
                 self.mk_and(pre, witness)
             }
         };
-        self.one_cache_put((key, id, clamped), f);
+        self.one_cache_put(cache_key, f);
         f
     }
 
-    /// Memoised gap progression (see [`crate::Interner::progress_gap_cached`]).
+    /// Memoised gap progression (see [`crate::Interner::progress_gap_cached`]),
+    /// keyed shift-relative like [`ArenaOps::progress_one_cached`] — without a
+    /// regime flag, because a gap consumes no observation: `gap(S_σ c, Δ)`
+    /// equals `gap(c, Δ − σ)` for `Δ ≥ σ` and the pure translate
+    /// `S_{σ−Δ} c` for `Δ ≤ σ` (negative relative times in the key).
     fn progress_gap_cached(&mut self, id: FormulaId, elapsed: u64) -> FormulaId {
         let clamped = elapsed.min(self.temporal_horizon(id));
         if clamped == 0 {
@@ -189,7 +414,26 @@ pub trait ArenaOps {
             // fixpoint of every gap.
             return id;
         }
-        if let Some(f) = self.gap_cache_get(&(id, clamped)) {
+        let slack = self.shift_slack(id);
+        // Non-invariant formulas (horizon > 0) always have a finite slack:
+        // slack == MAX means no top-level temporal operator at all.
+        let cache_key = if slack >= 1 {
+            let canon = self.shift_canon(id);
+            (
+                canon,
+                (elapsed as i64 - slack as i64).min(self.temporal_horizon(canon) as i64),
+            )
+        } else {
+            (id, clamped as i64)
+        };
+        if let Some(f) = self.gap_cache_get(&cache_key) {
+            return f;
+        }
+        if elapsed < slack {
+            // The gap is shorter than the slack: no window elapses, they all
+            // slide — the result is the exact translate.
+            let f = self.translate_down(id, elapsed);
+            self.gap_cache_put(cache_key, f);
             return f;
         }
         let f = match self.node(id) {
@@ -239,14 +483,15 @@ pub trait ArenaOps {
                 }
             }
         };
-        self.gap_cache_put((id, clamped), f);
+        self.gap_cache_put(cache_key, f);
         f
     }
 
     /// Interval-splitting progression over a pre-interned observation state
     /// (see [`crate::Interner::progress_one_over`] for the contract: the
-    /// returned ranges tile `[lo, hi]`, multi-point ranges below the stability
-    /// threshold carry time-invariant residuals).
+    /// returned ranges tile `[lo, hi]`; multi-point ranges below the
+    /// stability threshold carry time-invariant residuals or sweep one
+    /// shift-normal zone).
     fn progress_one_over_keyed(
         &mut self,
         key: StateKey,
@@ -254,7 +499,7 @@ pub trait ArenaOps {
         id: FormulaId,
         lo: u64,
         hi: u64,
-    ) -> Vec<(u64, u64, FormulaId)> {
+    ) -> Vec<SplitRange> {
         progress_over_with(
             self,
             lo,
@@ -266,13 +511,7 @@ pub trait ArenaOps {
 
     /// Interval-splitting gap progression (see
     /// [`crate::Interner::progress_gap_over`]).
-    fn progress_gap_over(
-        &mut self,
-        id: FormulaId,
-        base: u64,
-        lo: u64,
-        hi: u64,
-    ) -> Vec<(u64, u64, FormulaId)> {
+    fn progress_gap_over(&mut self, id: FormulaId, base: u64, lo: u64, hi: u64) -> Vec<SplitRange> {
         progress_over_with(
             self,
             lo,
@@ -359,7 +598,12 @@ pub trait ArenaOps {
 }
 
 fn resolve_nary<A: ArenaOps + ?Sized>(arena: &A, children: &[FormulaId], conj: bool) -> Formula {
-    let mut resolved: Vec<Formula> = children.iter().map(|&c| arena.resolve(c)).collect();
+    fold_nary(children.iter().map(|&c| arena.resolve(c)).collect(), conj)
+}
+
+/// Left-associates resolved n-ary operands in structural order (the shape
+/// [`crate::simplify`] produces).
+fn fold_nary(mut resolved: Vec<Formula>, conj: bool) -> Formula {
     resolved.sort();
     let mut iter = resolved.into_iter();
     let first = iter.next().expect("n-ary nodes have at least two operands");
@@ -374,35 +618,76 @@ fn resolve_nary<A: ArenaOps + ?Sized>(arena: &A, children: &[FormulaId], conj: b
 
 /// Shared splitting loop: walks `t` over `[lo, hi]`, calling `step` once per
 /// time point below `stable_from` and once for the whole tail at or beyond
-/// it, merging adjacent equal residuals when they are time-invariant (see
-/// [`crate::Interner::progress_one_over`] for why the merge is restricted to
-/// invariant residuals).
+/// it, merging adjacent residuals into one range when they are equal and
+/// time-invariant (`Uniform`) or exact unit translates of one another with
+/// shifts staying ≥ 1 (`Translated`) — see
+/// [`crate::Interner::progress_one_over`] for why exactly these merges are
+/// sound for a union-of-contributions caller.
 fn progress_over_with<A: ArenaOps + ?Sized>(
     arena: &mut A,
     lo: u64,
     hi: u64,
     stable_from: u64,
     mut step: impl FnMut(&mut A, u64) -> FormulaId,
-) -> Vec<(u64, u64, FormulaId)> {
+) -> Vec<SplitRange> {
     debug_assert!(lo <= hi, "window [{lo}, {hi}] is empty");
-    let mut out: Vec<(u64, u64, FormulaId)> = Vec::new();
+    // `prev` is the step result at `t − 1` (the residual of the previous
+    // tick, which for a `Translated` range differs from the range's stored
+    // `residual`).
+    let mut out: Vec<SplitRange> = Vec::new();
+    let mut prev: Option<FormulaId> = None;
     let mut t = lo;
     while t <= hi {
         let f = step(arena, t);
         let stable = t >= stable_from;
         let upper = if stable { hi } else { t };
-        match out.last_mut() {
-            // Extend the previous range only when the residual is the same
-            // *and* time-invariant.
-            Some((_, end, prev)) if *prev == f && *end + 1 == t && arena.is_time_invariant(f) => {
-                *end = upper;
+        let extended = match out.last_mut() {
+            Some(r) if r.hi + 1 == t => {
+                if prev == Some(f) && r.kind == RangeKind::Uniform && arena.is_time_invariant(f) {
+                    r.hi = upper;
+                    true
+                } else if !stable
+                    && (r.kind == RangeKind::Translated || r.lo == r.hi)
+                    && prev.is_some_and(|p| is_unit_translate(arena, p, f))
+                {
+                    // The previous residual is the exact one-tick-later
+                    // translate of this one: keep sweeping the zone. The
+                    // check requires the *new* member's shift ≥ 1, so the
+                    // shift-0 member (window opening) always starts its own
+                    // range.
+                    r.kind = RangeKind::Translated;
+                    r.hi = t;
+                    true
+                } else {
+                    false
+                }
             }
-            _ => out.push((t, upper, f)),
+            _ => false,
+        };
+        if !extended {
+            out.push(SplitRange {
+                lo: t,
+                hi: upper,
+                residual: f,
+                kind: RangeKind::Uniform,
+            });
         }
+        prev = Some(f);
         if stable {
             break;
         }
         t += 1;
     }
     out
+}
+
+/// Returns `true` if `prev` is the exact unit translate `S₁ f` of `f` and
+/// `f` itself still has shift slack ≥ 1 — the condition under which a range
+/// ending in `prev` may absorb `f` as a [`RangeKind::Translated`] member.
+fn is_unit_translate<A: ArenaOps + ?Sized>(arena: &A, prev: FormulaId, f: FormulaId) -> bool {
+    let slack_f = arena.shift_slack(f);
+    slack_f >= 1
+        && slack_f != u64::MAX
+        && arena.shift_slack(prev) == slack_f + 1
+        && arena.shift_canon(prev) == arena.shift_canon(f)
 }

@@ -26,10 +26,42 @@
 //! An [`Interner`] is a plain value, not a global: the solver keeps one per
 //! query, and the `Formula`-level entry points of this crate create a
 //! short-lived one per call. Memory grows with the number of distinct
-//! formulas ever interned and is released when the interner is dropped.
+//! formulas ever interned and is released when the interner is dropped;
+//! [`Interner::compact`] renumbers the live part.
+//!
+//! # Shift-normal form
+//!
+//! On top of hash-consing, the arena maintains a zone-style *shift-normal*
+//! decomposition: alongside horizon tables, every node carries its
+//! [shift slack](Interner::shift_slack) — the greatest common offset that
+//! can be factored out of its top-level live intervals exactly — and its
+//! [canonical residual](Interner::shift_canon), the node with that offset
+//! removed. A formula thus resolves to a `(shift, canonical id)` pair
+//! ([`ShiftedId`], via [`crate::ArenaOps::normalize`]), and two pending
+//! obligations that are exact time-translates of each other share one arena
+//! node. The invariant buys a memo-key contract used throughout the solver
+//! and the runtime:
+//!
+//! * the progression caches are keyed *shift-relative* —
+//!   `(state, canonical id, elapsed − shift)` — because a translate's
+//!   progression at matching relative times is literally the same id while
+//!   the first window has not opened (shift ≥ 1), so one entry serves the
+//!   obligation at every absolute time it recurs;
+//! * interval-splitting progression emits [`RangeKind::Translated`](crate::RangeKind)
+//!   ranges sweeping one zone per tick, which a union-of-contributions
+//!   search collapses to the earliest tick;
+//! * [`Interner::compact`] keeps a live node's canonical residual alive with
+//!   it, so decomposition tables never dangle and a cache entry survives
+//!   exactly when its canonical endpoints do.
+//!
+//! The slack is deliberately conservative where translation would be
+//! unsound: an `Until` whose left argument is not time-invariant gets slack
+//! 0 (the left obligation is evaluated at observations before the window
+//! opens, anchoring the node absolutely), as does any node whose window has
+//! already opened.
 
 use crate::hashing::FxHashMap;
-use crate::{Formula, Interval, Prop, State, TimedTrace};
+use crate::{Formula, Interval, Prop, SplitRange, State, TimedTrace};
 
 /// A reference to an interned formula. Cheap to copy, compare and hash;
 /// meaningful only together with the [`Interner`] that produced it.
@@ -106,6 +138,39 @@ pub enum Node {
     Always(Interval, FormulaId),
 }
 
+/// A formula in *shift-normal* decomposition: the pair `(shift, id)` names
+/// the formula obtained by shifting every top-level temporal interval of the
+/// canonical residual `id` up by `shift` time units.
+///
+/// Two pending obligations that are exact time-translates of each other (the
+/// same residual shape anchored at different absolute times — ubiquitous
+/// under clock-skew windows, where one obligation is progressed against every
+/// admissible delivery time) decompose to the *same* canonical `id` and
+/// differ only in the `shift` word. The arena therefore stores one node per
+/// translate class, the progression caches hit at every translate (see
+/// [`crate::ArenaOps::progress_one_cached`]), and monitor pending sets /
+/// GC root sets shrink to canonical residuals plus offsets.
+///
+/// Produced by [`crate::ArenaOps::normalize`]; turned back into a plain id by
+/// [`crate::ArenaOps::materialize`]. For formulas that admit no exact
+/// translation (`shift_slack` 0) and for time-invariant formulas the shift is
+/// 0 and `id` is the formula itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShiftedId {
+    /// Offset of the first live window: every top-level temporal interval of
+    /// the denoted formula starts `shift` units after `id`'s.
+    pub shift: u64,
+    /// The canonical (shift-normal) residual.
+    pub id: FormulaId,
+}
+
+impl ShiftedId {
+    /// The decomposition of a formula that is its own canonical form.
+    pub fn unshifted(id: FormulaId) -> Self {
+        ShiftedId { shift: 0, id }
+    }
+}
+
 /// A reference to an interned [`State`] (see [`Interner::intern_state`]).
 /// Cheap to copy, compare and hash; meaningful only together with the
 /// interner that produced it.
@@ -139,16 +204,34 @@ pub struct Interner {
     /// computed once at interning time — children are always interned before
     /// their parents, so one bottom-up step per node suffices.
     horizons: Vec<u64>,
+    /// Per-node shift slack (see [`Interner::shift_slack`]), computed
+    /// bottom-up at interning time like the horizons.
+    slacks: Vec<u64>,
+    /// Per-node canonical residual (see [`Interner::shift_canon`]): the node
+    /// with its shift slack factored out of every top-level interval, interned
+    /// eagerly so the decomposition is an O(1) table lookup.
+    canons: Vec<FormulaId>,
     /// Interned observation states (see [`Interner::intern_state`]).
     states: Vec<State>,
     state_ids: FxHashMap<State, StateKey>,
-    /// Memoised single-observation progressions, keyed by
-    /// `(state, formula, min(elapsed, temporal_horizon))` — the elapsed time
-    /// is clamped at the horizon because progression is elapsed-independent
-    /// beyond it (see [`Interner::temporal_horizon`]).
-    one_cache: FxHashMap<(StateKey, FormulaId, u64), FormulaId>,
-    /// Memoised gap progressions, keyed like `one_cache` without the state.
-    gap_cache: FxHashMap<(FormulaId, u64), FormulaId>,
+    /// Memoised single-observation progressions, keyed *shift-relative*:
+    /// `(state, canonical residual, elapsed − shift, shifted?)`. A formula
+    /// with shift slack σ ≥ 1 shares one entry with every exact translate of
+    /// its canonical residual (the progression result is literally the same
+    /// id at matching relative elapsed time — see
+    /// [`crate::ArenaOps::progress_one_cached`]); formulas with slack 0 keep
+    /// direct `(state, formula, min(elapsed, horizon))` entries, flagged so
+    /// they never collide with the shifted entries of the same canonical id
+    /// (the observation participates in an open window only for the slack-0
+    /// member). The relative elapsed time is clamped at the canonical
+    /// residual's horizon (progression is elapsed-independent beyond it).
+    one_cache: FxHashMap<(StateKey, FormulaId, i64, bool), FormulaId>,
+    /// Memoised gap progressions, keyed `(canonical residual, elapsed −
+    /// shift)`. Gap progression has no slack-0 asymmetry (no observation is
+    /// consumed), so shifted and direct entries share one keyspace; negative
+    /// relative times denote pure translations (`gap(S_σ c, Δ) = S_{σ−Δ} c`
+    /// for `Δ ≤ σ`).
+    gap_cache: FxHashMap<(FormulaId, i64), FormulaId>,
 }
 
 impl Interner {
@@ -158,6 +241,8 @@ impl Interner {
             nodes: Vec::with_capacity(64),
             ids: FxHashMap::default(),
             horizons: Vec::with_capacity(64),
+            slacks: Vec::with_capacity(64),
+            canons: Vec::with_capacity(64),
             states: Vec::new(),
             state_ids: FxHashMap::default(),
             one_cache: FxHashMap::default(),
@@ -196,10 +281,51 @@ impl Interner {
         }
         let id = FormulaId(u32::try_from(self.nodes.len()).expect("interner overflow"));
         let horizon = self.horizon_of(&node);
+        let slack = self.slack_of(&node);
         self.nodes.push(node.clone());
         self.horizons.push(horizon);
+        self.slacks.push(slack);
+        // Every node starts as its own canonical form; a node with a positive
+        // finite slack immediately factors the common offset out. The
+        // canonical residual is interned through the same smart constructors
+        // (recursively — its own slack is 0, so the recursion is one level
+        // deep per distinct translate class).
+        self.canons.push(id);
         self.ids.insert(node, id);
+        if slack > 0 && slack < u64::MAX {
+            let canon = <Self as crate::ArenaOps>::translate_down(self, id, slack);
+            self.canons[id.index()] = canon;
+        }
         id
+    }
+
+    /// The shift slack of a node, from its (already interned) children: the
+    /// largest exact downward time-translation of all top-level intervals.
+    /// `u64::MAX` means the node has no top-level temporal operator (it is
+    /// translation-*invariant*, not translatable). An `Until` whose left
+    /// argument is not time-invariant admits no translation at all: the left
+    /// obligation is evaluated at every observation *before* the window
+    /// opens, anchoring the node absolutely (see
+    /// [`Interner::shift_slack`]).
+    fn slack_of(&self, node: &Node) -> u64 {
+        match node {
+            Node::True | Node::False | Node::Atom(_) => u64::MAX,
+            Node::Not(a) => self.slacks[a.index()],
+            Node::And(children) | Node::Or(children) => children
+                .iter()
+                .map(|c| self.slacks[c.index()])
+                .min()
+                .unwrap_or(u64::MAX),
+            Node::Implies(a, b) => self.slacks[a.index()].min(self.slacks[b.index()]),
+            Node::Eventually(i, _) | Node::Always(i, _) => i.translation_slack(),
+            Node::Until(a, i, _) => {
+                if self.horizons[a.index()] == 0 {
+                    i.translation_slack()
+                } else {
+                    0
+                }
+            }
+        }
     }
 
     /// The temporal horizon of a node, from its (already interned) children.
@@ -255,6 +381,42 @@ impl Interner {
     /// `temporal_horizon(id) == 0`). Boolean constants are time-invariant.
     pub fn is_time_invariant(&self, id: FormulaId) -> bool {
         self.horizons[id.index()] == 0
+    }
+
+    /// The *shift slack* of `id`: the largest `δ` for which translating every
+    /// top-level temporal interval down by `δ` is exact (no endpoint clamps at
+    /// zero) **and** gap/single-observation progression commutes with the
+    /// translation, so `id` and its translate do identical future work at
+    /// matching relative times. Concretely:
+    ///
+    /// * propositional formulas (no temporal operator reachable through
+    ///   boolean connectives) have slack `u64::MAX` — they are translation
+    ///   *invariant*;
+    /// * `◇_I`/`□_I` contribute `I.start()` (their subformula is only ever
+    ///   evaluated once the window has opened, at which point all translates
+    ///   of a zone have progressed to the same absolute residual);
+    /// * `U_I` contributes `I.start()` when its left argument is
+    ///   time-invariant and `0` otherwise — the left obligation is progressed
+    ///   at every observation *before* the window opens, and a non-invariant
+    ///   left argument would anchor those progressions at absolute times;
+    /// * boolean connectives take the minimum of their operands.
+    ///
+    /// The slack is the `shift` of [`crate::ArenaOps::normalize`] and the
+    /// soundness bound of every shift-relative memoisation in this crate and
+    /// the solver: two formulas with the same [`Interner::shift_canon`] and
+    /// slacks ≥ 1 are exact time-translates whose progressions coincide at
+    /// matching relative elapsed times.
+    pub fn shift_slack(&self, id: FormulaId) -> u64 {
+        self.slacks[id.index()]
+    }
+
+    /// The canonical shift-normal residual of `id`: `id` with
+    /// [`Interner::shift_slack`] factored out of every top-level interval
+    /// (`id` itself when the slack is 0 or `u64::MAX`). Two formulas are
+    /// exact time-translates of each other iff they share a canonical
+    /// residual.
+    pub fn shift_canon(&self, id: FormulaId) -> FormulaId {
+        self.canons[id.index()]
     }
 
     // ------------------------------------------------------------------
@@ -737,14 +899,21 @@ impl Interner {
     }
 
     /// Interval-splitting progression: partitions the occurrence-time window
-    /// `[lo, hi]` (inclusive) of the *next* observation into maximal ranges on
-    /// which [`Interner::progress_one`] yields one and the same residual, and
-    /// returns the `(range, residual)` pairs in increasing time order.
+    /// `[lo, hi]` (inclusive) of the *next* observation into maximal
+    /// [`SplitRange`]s — ranges whose residuals the caller may treat as one
+    /// search node — and returns them in increasing time order.
     ///
     /// The pending formula `id` is anchored at `time` and the observation
-    /// being consumed is `state` at `time`; each returned triple
-    /// `(a, b, psi)` states that `progress_one(state, time, id, t) == psi` for
-    /// every `t ∈ [a, b]`.
+    /// being consumed is `state` at `time`. Each returned range `[a, b]`
+    /// carries the residual at its earliest point `a` and a
+    /// [`crate::RangeKind`] describing the rest of the range:
+    ///
+    /// * [`crate::RangeKind::Uniform`] — `progress_one(state, time, id, t)` is the
+    ///   same formula at every `t ∈ [a, b]`;
+    /// * [`crate::RangeKind::Translated`] — the residual at `a + k` is the exact
+    ///   time-translate `translate_down(residual, k)`: the range sweeps one
+    ///   shift-normal zone ([`Interner::shift_canon`] constant, shift
+    ///   decrementing per tick, never reaching 0 inside the range).
     ///
     /// Two mechanisms bound the number of progression calls by
     /// `min(hi − lo, temporal_horizon(id)) + 1` instead of `hi − lo + 1`:
@@ -752,21 +921,26 @@ impl Interner {
     /// * beyond the stability threshold `time + temporal_horizon(id)` the
     ///   residual no longer depends on `t`, so the entire tail of the window
     ///   is resolved with a single progression call;
-    /// * below the threshold, adjacent time points whose residuals coincide
-    ///   are merged — but only when the shared residual is *time-invariant*
-    ///   ([`Interner::is_time_invariant`]), because only then is the caller
-    ///   entitled to treat the range as one search node (a time-invariant
-    ///   residual rewrites identically no matter when later observations
-    ///   occur, so its reachable rewrite set from pending time `t` shrinks
-    ///   monotonically in `t` and the whole range is subsumed by its earliest
-    ///   point). Equal residuals that still contain live bounded intervals
-    ///   are emitted as separate singleton ranges.
+    /// * below the threshold, adjacent time points merge into one range when
+    ///   the shared residual is *time-invariant*
+    ///   ([`Interner::is_time_invariant`]) or when consecutive residuals are
+    ///   exact unit translates of each other with shifts that stay ≥ 1. In
+    ///   both cases the caller is entitled to collapse the range to its
+    ///   earliest point: the reachable rewrite set from pending time `t`
+    ///   within one zone shrinks monotonically in `t` (later members can only
+    ///   schedule a subset of the event times available to earlier ones,
+    ///   while the residuals produced at matching absolute times coincide),
+    ///   so the union over the range equals the contribution of its infimum.
+    ///   The shift-0 member of a zone (the tick at which the window opens) is
+    ///   never merged into the translated range: from that tick on the
+    ///   observation falls *inside* the window and the progression changes
+    ///   shape.
     ///
-    /// The same invariant-only merge rule applies to the stable tail: a
+    /// The invariant-only uniform rule still applies to the stable tail: a
     /// non-invariant tail residual (a bounded operator nested under an
-    /// unbounded one) is returned as one multi-point range — saving the
-    /// per-tick progression calls — and the caller must still treat each time
-    /// point of that range as a distinct search state.
+    /// unbounded one) is returned as one multi-point `Uniform` range — saving
+    /// the per-tick progression calls — and the caller must still treat each
+    /// time point of that range as a distinct search state.
     pub fn progress_one_over(
         &mut self,
         state: &State,
@@ -774,7 +948,7 @@ impl Interner {
         id: FormulaId,
         lo: u64,
         hi: u64,
-    ) -> Vec<(u64, u64, FormulaId)> {
+    ) -> Vec<SplitRange> {
         let key = self.intern_state(state);
         self.progress_one_over_keyed(key, time, id, lo, hi)
     }
@@ -789,14 +963,14 @@ impl Interner {
         id: FormulaId,
         lo: u64,
         hi: u64,
-    ) -> Vec<(u64, u64, FormulaId)> {
+    ) -> Vec<SplitRange> {
         <Self as crate::ArenaOps>::progress_one_over_keyed(self, key, time, id, lo, hi)
     }
 
     /// Interval-splitting counterpart of [`Interner::progress_gap`]: partitions
     /// the window `[lo, hi]` of the next anchor time into maximal ranges on
-    /// which `progress_gap(id, t − base)` is constant. `base` is the anchor
-    /// time of `id`. Same contract and merge rules as
+    /// which `progress_gap(id, t − base)` is constant or translate-swept.
+    /// `base` is the anchor time of `id`. Same contract and merge rules as
     /// [`Interner::progress_one_over`].
     pub fn progress_gap_over(
         &mut self,
@@ -804,7 +978,7 @@ impl Interner {
         base: u64,
         lo: u64,
         hi: u64,
-    ) -> Vec<(u64, u64, FormulaId)> {
+    ) -> Vec<SplitRange> {
         <Self as crate::ArenaOps>::progress_gap_over(self, id, base, lo, hi)
     }
 
@@ -902,6 +1076,13 @@ impl Interner {
     /// caches are weak: they never keep a formula alive, and a dropped entry
     /// is simply recomputed on the next miss).
     ///
+    /// Reachability includes the *shift-normal closure*: a live node keeps
+    /// its canonical residual ([`Interner::shift_canon`]) alive, so the
+    /// decomposition tables stay total and the shift-relative cache entries —
+    /// which are keyed by canonical ids — survive exactly when their
+    /// canonical endpoints do. Cache entries referring to canonical residuals
+    /// of *dead* formulas are dropped with them.
+    ///
     /// Returns the remapping from old to new ids; every id handed out before
     /// the call (pending sets, memo keys, …) is invalidated and must either
     /// be translated through the remap or discarded. [`FormulaId::TRUE`] and
@@ -917,6 +1098,10 @@ impl Interner {
                 continue;
             }
             live[id.index()] = true;
+            // Shift-normal closure: the canonical residual survives with its
+            // translate (it is pushed, not just marked, so its own children
+            // are marked too).
+            stack.push(self.canons[id.index()]);
             match &self.nodes[id.index()] {
                 Node::True | Node::False | Node::Atom(_) => {}
                 Node::Not(a) => stack.push(*a),
@@ -934,6 +1119,8 @@ impl Interner {
         let mut map: Vec<Option<FormulaId>> = vec![None; self.nodes.len()];
         let mut nodes: Vec<Node> = Vec::with_capacity(live.iter().filter(|&&l| l).count());
         let mut horizons: Vec<u64> = Vec::with_capacity(nodes.capacity());
+        let mut slacks: Vec<u64> = Vec::with_capacity(nodes.capacity());
+        let mut canon_olds: Vec<FormulaId> = Vec::with_capacity(nodes.capacity());
         let remap_children = |ids: &[FormulaId], map: &[Option<FormulaId>]| -> Box<[FormulaId]> {
             ids.iter()
                 .map(|c| map[c.index()].expect("children are marked with their parents"))
@@ -965,6 +1152,8 @@ impl Interner {
             };
             nodes.push(remapped);
             horizons.push(self.horizons[index]);
+            slacks.push(self.slacks[index]);
+            canon_olds.push(self.canons[index]);
             map[index] = Some(new_id);
         }
         let ids: FxHashMap<Node, FormulaId> = nodes
@@ -972,19 +1161,27 @@ impl Interner {
             .enumerate()
             .map(|(i, n)| (n.clone(), FormulaId::from_raw(i as u32)))
             .collect();
+        // Canonical residuals were marked with their translates, so the
+        // decomposition table remaps totally.
+        let canons: Vec<FormulaId> = canon_olds
+            .into_iter()
+            .map(|c| map[c.index()].expect("canonical residuals are marked with their translates"))
+            .collect();
 
-        // Surviving cache entries: both endpoints must have survived. Collect
-        // the states those entries still refer to, renumber them, drop the
-        // rest.
+        // Surviving cache entries: both endpoints must have survived — for
+        // the shift-relative keys the key endpoint *is* the canonical
+        // residual, so an entry lives exactly as long as its canonical
+        // endpoints. Collect the states those entries still refer to,
+        // renumber them, drop the rest.
         let mut state_live = vec![false; self.states.len()];
-        let retained_one: Vec<((StateKey, FormulaId, u64), FormulaId)> = self
+        let retained_one: Vec<((StateKey, FormulaId, i64, bool), FormulaId)> = self
             .one_cache
             .iter()
-            .filter_map(|(&(s, f, e), &v)| {
+            .filter_map(|(&(s, f, e, shifted), &v)| {
                 let f = map[f.index()]?;
                 let v = map[v.index()]?;
                 state_live[s.index()] = true;
-                Some(((s, f, e), v))
+                Some(((s, f, e, shifted), v))
             })
             .collect();
         let mut state_map: Vec<Option<StateKey>> = vec![None; self.states.len()];
@@ -1000,11 +1197,16 @@ impl Interner {
             .enumerate()
             .map(|(i, s)| (s.clone(), StateKey::from_raw(i as u32)))
             .collect();
-        let one_cache: FxHashMap<(StateKey, FormulaId, u64), FormulaId> = retained_one
+        let one_cache: FxHashMap<(StateKey, FormulaId, i64, bool), FormulaId> = retained_one
             .into_iter()
-            .map(|((s, f, e), v)| ((state_map[s.index()].expect("marked above"), f, e), v))
+            .map(|((s, f, e, shifted), v)| {
+                (
+                    (state_map[s.index()].expect("marked above"), f, e, shifted),
+                    v,
+                )
+            })
             .collect();
-        let gap_cache: FxHashMap<(FormulaId, u64), FormulaId> = self
+        let gap_cache: FxHashMap<(FormulaId, i64), FormulaId> = self
             .gap_cache
             .iter()
             .filter_map(|(&(f, e), &v)| Some(((map[f.index()]?, e), map[v.index()]?)))
@@ -1013,6 +1215,8 @@ impl Interner {
         self.nodes = nodes;
         self.ids = ids;
         self.horizons = horizons;
+        self.slacks = slacks;
+        self.canons = canons;
         self.states = states;
         self.state_ids = state_ids;
         self.one_cache = one_cache;
@@ -1083,6 +1287,14 @@ impl crate::ArenaOps for Interner {
         Interner::temporal_horizon(self, id)
     }
 
+    fn shift_slack(&self, id: FormulaId) -> u64 {
+        Interner::shift_slack(self, id)
+    }
+
+    fn shift_canon(&self, id: FormulaId) -> FormulaId {
+        Interner::shift_canon(self, id)
+    }
+
     fn intern_state(&mut self, state: &State) -> StateKey {
         Interner::intern_state(self, state)
     }
@@ -1119,19 +1331,19 @@ impl crate::ArenaOps for Interner {
         Interner::mk_always(self, i, a)
     }
 
-    fn one_cache_get(&self, key: &(StateKey, FormulaId, u64)) -> Option<FormulaId> {
+    fn one_cache_get(&self, key: &(StateKey, FormulaId, i64, bool)) -> Option<FormulaId> {
         self.one_cache.get(key).copied()
     }
 
-    fn one_cache_put(&mut self, key: (StateKey, FormulaId, u64), value: FormulaId) {
+    fn one_cache_put(&mut self, key: (StateKey, FormulaId, i64, bool), value: FormulaId) {
         self.one_cache.insert(key, value);
     }
 
-    fn gap_cache_get(&self, key: &(FormulaId, u64)) -> Option<FormulaId> {
+    fn gap_cache_get(&self, key: &(FormulaId, i64)) -> Option<FormulaId> {
         self.gap_cache.get(key).copied()
     }
 
-    fn gap_cache_put(&mut self, key: (FormulaId, u64), value: FormulaId) {
+    fn gap_cache_put(&mut self, key: (FormulaId, i64), value: FormulaId) {
         self.gap_cache.insert(key, value);
     }
 
@@ -1271,6 +1483,16 @@ mod tests {
         }
     }
 
+    /// The residual a [`SplitRange`] asserts for time point `t`.
+    fn residual_at(interner: &mut Interner, r: &crate::SplitRange, t: u64) -> FormulaId {
+        match r.kind {
+            crate::RangeKind::Uniform => r.residual,
+            crate::RangeKind::Translated => {
+                <Interner as crate::ArenaOps>::translate_down(interner, r.residual, t - r.lo)
+            }
+        }
+    }
+
     #[test]
     fn progress_one_over_matches_per_tick_progression() {
         let mut interner = Interner::new();
@@ -1281,6 +1503,8 @@ mod tests {
             "!a U[2,9) (a & b)",
             "F[0,inf) (F[0,3) b)",
             "(F[0,5) a) | (G[1,inf) b)",
+            "a U[6,12) b",
+            "(F[3,7) a) & (F[5,11) b)",
         ];
         let states = [state!["a"], state!["b"], state![], state!["a", "b"]];
         for text in formulas {
@@ -1292,23 +1516,40 @@ mod tests {
                         let splits = interner.progress_one_over(s, time, id, lo, hi);
                         // The ranges tile [lo, hi] exactly, in order.
                         let mut expected_start = lo;
-                        for &(a, b, f) in &splits {
-                            assert_eq!(a, expected_start, "{text} at {s}");
-                            assert!(b >= a && b <= hi);
-                            expected_start = b + 1;
+                        for r in &splits {
+                            assert_eq!(r.lo, expected_start, "{text} at {s}");
+                            assert!(r.hi >= r.lo && r.hi <= hi);
+                            expected_start = r.hi + 1;
                             // Every point of the range progresses to the
-                            // range's residual.
-                            for t in a..=b {
+                            // residual the range's kind asserts for it.
+                            for t in r.lo..=r.hi {
+                                let expected = residual_at(&mut interner, r, t);
                                 assert_eq!(
                                     interner.progress_one(s, time, id, t),
-                                    f,
-                                    "{text}, state {s}, time {time}, t = {t}"
+                                    expected,
+                                    "{text}, state {s}, time {time}, t = {t}, {r:?}"
                                 );
                             }
-                            // Multi-point ranges below the stability threshold
-                            // must carry a time-invariant residual.
-                            if b > a && b < time + interner.temporal_horizon(id) {
-                                assert!(interner.is_time_invariant(f), "{text} range [{a},{b}]");
+                            // Multi-point uniform ranges below the stability
+                            // threshold must carry a time-invariant residual;
+                            // translated ranges must sweep shifts ≥ 1 (the
+                            // shift-0 member opens its own range).
+                            match r.kind {
+                                crate::RangeKind::Uniform => {
+                                    if r.hi > r.lo && r.hi < time + interner.temporal_horizon(id) {
+                                        assert!(
+                                            interner.is_time_invariant(r.residual),
+                                            "{text} range {r:?}"
+                                        );
+                                    }
+                                }
+                                crate::RangeKind::Translated => {
+                                    assert!(r.hi > r.lo, "{text}: singleton translated range");
+                                    assert!(
+                                        interner.shift_slack(r.residual) > r.hi - r.lo,
+                                        "{text} range {r:?}: members must keep shift ≥ 1"
+                                    );
+                                }
                             }
                         }
                         assert_eq!(
@@ -1330,17 +1571,23 @@ mod tests {
             "p U[2,9) q",
             "G[0,inf) p",
             "F[3,inf) (G[0,4) q)",
+            "p U[6,12) q",
         ] {
             let phi = crate::parse(text).unwrap();
             let id = interner.intern(&phi);
             let base = 4u64;
             let splits = interner.progress_gap_over(id, base, base, base + 20);
             let mut expected_start = base;
-            for &(a, b, f) in &splits {
-                assert_eq!(a, expected_start, "{text}");
-                expected_start = b + 1;
-                for t in a..=b {
-                    assert_eq!(interner.progress_gap(id, t - base), f, "{text}, t = {t}");
+            for r in &splits {
+                assert_eq!(r.lo, expected_start, "{text}");
+                expected_start = r.hi + 1;
+                for t in r.lo..=r.hi {
+                    let expected = residual_at(&mut interner, r, t);
+                    assert_eq!(
+                        interner.progress_gap(id, t - base),
+                        expected,
+                        "{text}, t = {t}"
+                    );
                 }
             }
             assert_eq!(expected_start, base + 21, "{text}");
@@ -1354,10 +1601,86 @@ mod tests {
         // Anchored at 0, window [0, 100]: per-tick residuals up to the
         // horizon, then one range for the entire elapsed tail.
         let splits = interner.progress_one_over(&state![], 0, id, 0, 100);
-        let (a, b, f) = *splits.last().unwrap();
-        assert_eq!((a, b), (6, 100), "tail of {splits:?}");
-        assert_eq!(f, FormulaId::FALSE);
+        let r = *splits.last().unwrap();
+        assert_eq!((r.lo, r.hi), (6, 100), "tail of {splits:?}");
+        assert_eq!(r.residual, FormulaId::FALSE);
         assert!(splits.len() <= 7);
+    }
+
+    #[test]
+    fn delayed_window_collapses_to_translated_range() {
+        let mut interner = Interner::new();
+        let id = interner.intern(&crate::parse("F[6,12) b").unwrap());
+        // Anchored at 0: while the window has not opened (occurrence times
+        // 1..=5) the residuals F[5,11), F[4,10), … are exact translates of
+        // one canonical residual and merge into one translated range; the
+        // shift-0 member (the window opening at 6) starts its own range.
+        let splits = interner.progress_one_over(&state![], 0, id, 0, 20);
+        let translated: Vec<_> = splits
+            .iter()
+            .filter(|r| r.kind == crate::RangeKind::Translated)
+            .collect();
+        assert_eq!(translated.len(), 1, "{splits:?}");
+        assert_eq!((translated[0].lo, translated[0].hi), (0, 5), "{splits:?}");
+        assert_eq!(
+            interner.shift_canon(translated[0].residual),
+            interner.intern(&crate::parse("F[0,6) b").unwrap()),
+            "the zone's canonical residual is the unshifted window"
+        );
+        // In-window times (6..=11) split per tick (their residuals are not
+        // translates — the window is open and shrinking), the elapsed tail
+        // (12..) is one uniform range.
+        assert!(splits.len() <= 2 + 6 + 1, "{splits:?}");
+    }
+
+    #[test]
+    fn normalize_materialize_roundtrips() {
+        let mut interner = Interner::new();
+        use crate::ArenaOps;
+        for text in [
+            "F[6,12) b",
+            "a U[3,9) b",
+            "(F[2,6) a) & (F[4,10) b)",
+            "p & (F[3,5) q)",
+            "G[0,inf) p",
+            "a | b",
+            "F[0,4) x",
+            "!(G[2,8) y)",
+        ] {
+            let id = interner.intern(&crate::parse(text).unwrap());
+            let s = interner.normalize(id);
+            assert_eq!(
+                interner.materialize(s),
+                id,
+                "{text}: materialize must invert normalize"
+            );
+            assert_eq!(
+                interner.resolve_shifted(s),
+                interner.resolve(id),
+                "{text}: resolve_shifted must agree with resolve"
+            );
+            assert_eq!(
+                interner.eval_empty(s.id),
+                interner.eval_empty(id),
+                "{text}: eval_empty is translation-invariant"
+            );
+            // The canonical residual is a fixpoint of normalisation.
+            let again = interner.normalize(s.id);
+            assert_eq!(again.shift, 0, "{text}");
+            assert_eq!(again.id, s.id, "{text}");
+        }
+        // Translates share one canonical residual.
+        let a = interner.intern(&crate::parse("F[6,12) b").unwrap());
+        let b = interner.intern(&crate::parse("F[2,8) b").unwrap());
+        assert_eq!(interner.shift_canon(a), interner.shift_canon(b));
+        assert_eq!(interner.shift_slack(a), 6);
+        assert_eq!(interner.shift_slack(b), 2);
+        // An until with a non-invariant left argument admits no translation:
+        // its left obligation is progressed at observations before the
+        // window opens, anchoring it absolutely.
+        let anchored = interner.intern(&crate::parse("(F[0,4) a) U[3,9) b").unwrap());
+        assert_eq!(interner.shift_slack(anchored), 0);
+        assert_eq!(interner.shift_canon(anchored), anchored);
     }
 
     #[test]

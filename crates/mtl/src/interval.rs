@@ -114,6 +114,37 @@ impl Interval {
         }
     }
 
+    /// Exact translation towards zero: `[s, e) − δ = [s − δ, e − δ)` with the
+    /// precondition `δ ≤ s`, so — unlike [`Interval::shift_down`] — no endpoint
+    /// is clamped and the result is a faithful time-translate of the interval
+    /// ([`Interval::shift_up`] inverts it). This is the interval-level move of
+    /// the arena's shift-normal form: a temporal node is stored with the
+    /// greatest common offset of its live intervals factored out, and
+    /// `translate_down`/`shift_up` carry intervals between a formula and its
+    /// canonical residual.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `delay > start`; the translation would not
+    /// be exact.
+    pub fn translate_down(&self, delay: u64) -> Self {
+        debug_assert!(
+            delay <= self.start,
+            "translate_down({delay}) of {self} is not exact"
+        );
+        Interval {
+            start: self.start - delay,
+            end: self.end.map(|e| e - delay),
+        }
+    }
+
+    /// The largest exact [`Interval::translate_down`] the interval admits:
+    /// its start. Translating by more would clamp and lose the shift-normal
+    /// invariant.
+    pub fn translation_slack(&self) -> u64 {
+        self.start
+    }
+
     /// Returns `true` if every point of the interval is strictly below `t`,
     /// i.e. the interval has fully elapsed once `t` time units have passed.
     pub fn elapsed_by(&self, t: u64) -> bool {
@@ -237,6 +268,28 @@ mod tests {
     fn shift_up_then_down_roundtrips() {
         let i = Interval::bounded(3, 7);
         assert_eq!(i.shift_up(5).shift_down(5), i);
+    }
+
+    #[test]
+    fn translate_down_is_exact_and_inverts_shift_up() {
+        let i = Interval::bounded(3, 7);
+        assert_eq!(i.translation_slack(), 3);
+        assert_eq!(i.translate_down(3), Interval::bounded(0, 4));
+        assert_eq!(i.translate_down(3).shift_up(3), i);
+        let u = Interval::unbounded(5);
+        assert_eq!(u.translate_down(2), Interval::unbounded(3));
+        assert_eq!(u.translate_down(2).shift_up(2), u);
+        // Within the slack, translate_down agrees with shift_down.
+        for d in 0..=3 {
+            assert_eq!(i.translate_down(d), i.shift_down(d));
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not exact")]
+    fn translate_past_the_slack_panics() {
+        let _ = Interval::bounded(3, 7).translate_down(4);
     }
 
     #[test]

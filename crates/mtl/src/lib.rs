@@ -58,11 +58,11 @@ mod state;
 pub mod testgen;
 mod trace;
 
-pub use arena::ArenaOps;
+pub use arena::{ArenaOps, RangeKind, SplitRange};
 pub use atom::Prop;
 pub use eval::{evaluate, evaluate_at, evaluate_from};
 pub use formula::Formula;
-pub use intern::{ArenaMemory, FormulaId, FormulaRemap, Interner, Node, StateKey};
+pub use intern::{ArenaMemory, FormulaId, FormulaRemap, Interner, Node, ShiftedId, StateKey};
 pub use interval::Interval;
 pub use parser::{parse, ParseError};
 pub use progress::{progress, progress_default, progress_gap};

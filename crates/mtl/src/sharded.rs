@@ -55,10 +55,15 @@ struct Shard {
     nodes: Vec<Node>,
     ids: FxHashMap<Node, u32>,
     horizons: Vec<u64>,
+    /// Per-node shift slack (see [`crate::Interner::shift_slack`]).
+    slacks: Vec<u64>,
+    /// Per-node canonical shift-normal residual (see
+    /// [`crate::Interner::shift_canon`]); may live in a different shard.
+    canons: Vec<FormulaId>,
     states: Vec<State>,
     state_ids: FxHashMap<State, u32>,
-    one_cache: FxHashMap<(StateKey, FormulaId, u64), FormulaId>,
-    gap_cache: FxHashMap<(FormulaId, u64), FormulaId>,
+    one_cache: FxHashMap<(StateKey, FormulaId, i64, bool), FormulaId>,
+    gap_cache: FxHashMap<(FormulaId, i64), FormulaId>,
 }
 
 /// The concurrent formula arena. See the module documentation.
@@ -85,6 +90,8 @@ impl Clone for ShardedInterner {
                         nodes: s.nodes.clone(),
                         ids: s.ids.clone(),
                         horizons: s.horizons.clone(),
+                        slacks: s.slacks.clone(),
+                        canons: s.canons.clone(),
                         states: s.states.clone(),
                         state_ids: s.state_ids.clone(),
                         one_cache: s.one_cache.clone(),
@@ -126,12 +133,16 @@ impl ShardedInterner {
             let mut s0 = interner.shards[0].lock().expect("fresh shard");
             s0.nodes.push(Node::True);
             s0.horizons.push(0);
+            s0.slacks.push(u64::MAX);
+            s0.canons.push(FormulaId::TRUE);
             s0.ids.insert(Node::True, 0);
         }
         {
             let mut s1 = interner.shards[1].lock().expect("fresh shard");
             s1.nodes.push(Node::False);
             s1.horizons.push(0);
+            s1.slacks.push(u64::MAX);
+            s1.canons.push(FormulaId::FALSE);
             s1.ids.insert(Node::False, 0);
         }
         debug_assert_eq!(pack(0, 0), FormulaId::TRUE.raw());
@@ -191,6 +202,19 @@ impl ShardedInterner {
         self.lock(shard).horizons[local]
     }
 
+    /// The shift slack of `id` (see [`Interner::shift_slack`](crate::Interner::shift_slack)).
+    pub fn shift_slack(&self, id: FormulaId) -> u64 {
+        let (shard, local) = unpack(id.raw());
+        self.lock(shard).slacks[local]
+    }
+
+    /// The canonical shift-normal residual of `id` (see
+    /// [`Interner::shift_canon`](crate::Interner::shift_canon)).
+    pub fn shift_canon(&self, id: FormulaId) -> FormulaId {
+        let (shard, local) = unpack(id.raw());
+        self.lock(shard).canons[local]
+    }
+
     /// Returns `true` if the interned state satisfies the proposition.
     pub fn state_holds(&self, key: StateKey, p: &Prop) -> bool {
         let (shard, local) = unpack(key.raw());
@@ -238,15 +262,97 @@ impl ShardedInterner {
         }
     }
 
+    /// The shift slack of a node from its (already interned) children —
+    /// mirror of the sequential interner's rule; reads other shards, so it
+    /// must be called with no shard lock held.
+    fn slack_of(&self, node: &Node) -> u64 {
+        match node {
+            Node::True | Node::False | Node::Atom(_) => u64::MAX,
+            Node::Not(a) => self.shift_slack(*a),
+            Node::And(children) | Node::Or(children) => children
+                .iter()
+                .map(|&c| self.shift_slack(c))
+                .min()
+                .unwrap_or(u64::MAX),
+            Node::Implies(a, b) => self.shift_slack(*a).min(self.shift_slack(*b)),
+            Node::Eventually(i, _) | Node::Always(i, _) => i.translation_slack(),
+            Node::Until(a, i, _) => {
+                if self.temporal_horizon(*a) == 0 {
+                    i.translation_slack()
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// Builds the exact downward translate of a (possibly not yet interned)
+    /// node; the smart constructors lock shards transiently, so no lock may
+    /// be held here.
+    fn translate_down_node(&self, node: &Node, delta: u64) -> FormulaId {
+        match node {
+            Node::True | Node::False | Node::Atom(_) => {
+                unreachable!("propositional nodes have slack MAX and are their own canonical form")
+            }
+            Node::Not(a) => {
+                let a = self.translate_down_id(*a, delta);
+                self.mk_not(a)
+            }
+            Node::And(children) => {
+                let parts = children
+                    .iter()
+                    .map(|&c| self.translate_down_id(c, delta))
+                    .collect();
+                self.mk_and_all(parts)
+            }
+            Node::Or(children) => {
+                let parts = children
+                    .iter()
+                    .map(|&c| self.translate_down_id(c, delta))
+                    .collect();
+                self.mk_or_all(parts)
+            }
+            Node::Implies(a, b) => {
+                let a = self.translate_down_id(*a, delta);
+                let b = self.translate_down_id(*b, delta);
+                self.mk_implies(a, b)
+            }
+            Node::Eventually(i, a) => self.mk_eventually(i.translate_down(delta), *a),
+            Node::Always(i, a) => self.mk_always(i.translate_down(delta), *a),
+            Node::Until(a, i, b) => self.mk_until(*a, i.translate_down(delta), *b),
+        }
+    }
+
+    fn translate_down_id(&self, id: FormulaId, delta: u64) -> FormulaId {
+        // Interned children go through the shared trait algorithm so the two
+        // arenas cannot diverge; only the not-yet-interned top node needs the
+        // node-level variant above.
+        let mut handle = self;
+        ArenaOps::translate_down(&mut handle, id, delta)
+    }
+
     fn insert(&self, node: Node) -> FormulaId {
         debug_assert!(
             !matches!(node, Node::True | Node::False),
             "constants are pre-seeded and folded by the smart constructors"
         );
-        // Horizon first: it reads the children's shards, and no lock may be
-        // held while it does.
-        let horizon = self.horizon_of(&node);
         let shard = shard_of(&node);
+        // Fast path: the node is already interned (canonical-residual
+        // construction below is not free, so look before computing).
+        if let Some(&local) = self.lock(shard).ids.get(&node) {
+            return FormulaId::from_raw(pack(shard, local));
+        }
+        // Bottom-up tables and the canonical residual read (and, for the
+        // canon, populate) other shards — no lock may be held while they do.
+        // Races are benign: two threads computing the same node derive the
+        // same canonical id and serialise on the home shard below.
+        let horizon = self.horizon_of(&node);
+        let slack = self.slack_of(&node);
+        let canon = if slack > 0 && slack < u64::MAX {
+            Some(self.translate_down_node(&node, slack))
+        } else {
+            None
+        };
         let mut s = self.lock(shard);
         if let Some(&local) = s.ids.get(&node) {
             return FormulaId::from_raw(pack(shard, local));
@@ -256,10 +362,13 @@ impl ShardedInterner {
             local <= u32::MAX >> SHARD_BITS,
             "sharded interner overflow (shard {shard})"
         );
+        let id = FormulaId::from_raw(pack(shard, local));
         s.nodes.push(node.clone());
         s.horizons.push(horizon);
+        s.slacks.push(slack);
+        s.canons.push(canon.unwrap_or(id));
         s.ids.insert(node, local);
-        FormulaId::from_raw(pack(shard, local))
+        id
     }
 
     /// Interns an atomic proposition.
@@ -383,22 +492,22 @@ impl ShardedInterner {
         self.insert(Node::Always(i, a))
     }
 
-    fn one_cache_get(&self, key: &(StateKey, FormulaId, u64)) -> Option<FormulaId> {
+    fn one_cache_get(&self, key: &(StateKey, FormulaId, i64, bool)) -> Option<FormulaId> {
         let (shard, _) = unpack(key.1.raw());
         self.lock(shard).one_cache.get(key).copied()
     }
 
-    fn one_cache_put(&self, key: (StateKey, FormulaId, u64), value: FormulaId) {
+    fn one_cache_put(&self, key: (StateKey, FormulaId, i64, bool), value: FormulaId) {
         let (shard, _) = unpack(key.1.raw());
         self.lock(shard).one_cache.insert(key, value);
     }
 
-    fn gap_cache_get(&self, key: &(FormulaId, u64)) -> Option<FormulaId> {
+    fn gap_cache_get(&self, key: &(FormulaId, i64)) -> Option<FormulaId> {
         let (shard, _) = unpack(key.0.raw());
         self.lock(shard).gap_cache.get(key).copied()
     }
 
-    fn gap_cache_put(&self, key: (FormulaId, u64), value: FormulaId) {
+    fn gap_cache_put(&self, key: (FormulaId, i64), value: FormulaId) {
         let (shard, _) = unpack(key.0.raw());
         self.lock(shard).gap_cache.insert(key, value);
     }
@@ -421,6 +530,14 @@ impl ArenaOps for ShardedInterner {
         ShardedInterner::temporal_horizon(self, id)
     }
 
+    fn shift_slack(&self, id: FormulaId) -> u64 {
+        ShardedInterner::shift_slack(self, id)
+    }
+
+    fn shift_canon(&self, id: FormulaId) -> FormulaId {
+        ShardedInterner::shift_canon(self, id)
+    }
+
     fn intern_state(&mut self, state: &State) -> StateKey {
         ShardedInterner::intern_state(self, state)
     }
@@ -457,19 +574,19 @@ impl ArenaOps for ShardedInterner {
         ShardedInterner::mk_always(self, i, a)
     }
 
-    fn one_cache_get(&self, key: &(StateKey, FormulaId, u64)) -> Option<FormulaId> {
+    fn one_cache_get(&self, key: &(StateKey, FormulaId, i64, bool)) -> Option<FormulaId> {
         ShardedInterner::one_cache_get(self, key)
     }
 
-    fn one_cache_put(&mut self, key: (StateKey, FormulaId, u64), value: FormulaId) {
+    fn one_cache_put(&mut self, key: (StateKey, FormulaId, i64, bool), value: FormulaId) {
         ShardedInterner::one_cache_put(self, key, value)
     }
 
-    fn gap_cache_get(&self, key: &(FormulaId, u64)) -> Option<FormulaId> {
+    fn gap_cache_get(&self, key: &(FormulaId, i64)) -> Option<FormulaId> {
         ShardedInterner::gap_cache_get(self, key)
     }
 
-    fn gap_cache_put(&mut self, key: (FormulaId, u64), value: FormulaId) {
+    fn gap_cache_put(&mut self, key: (FormulaId, i64), value: FormulaId) {
         ShardedInterner::gap_cache_put(self, key, value)
     }
 }
@@ -490,6 +607,14 @@ impl ArenaOps for &ShardedInterner {
         ShardedInterner::temporal_horizon(self, id)
     }
 
+    fn shift_slack(&self, id: FormulaId) -> u64 {
+        ShardedInterner::shift_slack(self, id)
+    }
+
+    fn shift_canon(&self, id: FormulaId) -> FormulaId {
+        ShardedInterner::shift_canon(self, id)
+    }
+
     fn intern_state(&mut self, state: &State) -> StateKey {
         ShardedInterner::intern_state(self, state)
     }
@@ -526,19 +651,19 @@ impl ArenaOps for &ShardedInterner {
         ShardedInterner::mk_always(self, i, a)
     }
 
-    fn one_cache_get(&self, key: &(StateKey, FormulaId, u64)) -> Option<FormulaId> {
+    fn one_cache_get(&self, key: &(StateKey, FormulaId, i64, bool)) -> Option<FormulaId> {
         ShardedInterner::one_cache_get(self, key)
     }
 
-    fn one_cache_put(&mut self, key: (StateKey, FormulaId, u64), value: FormulaId) {
+    fn one_cache_put(&mut self, key: (StateKey, FormulaId, i64, bool), value: FormulaId) {
         ShardedInterner::one_cache_put(self, key, value)
     }
 
-    fn gap_cache_get(&self, key: &(FormulaId, u64)) -> Option<FormulaId> {
+    fn gap_cache_get(&self, key: &(FormulaId, i64)) -> Option<FormulaId> {
         ShardedInterner::gap_cache_get(self, key)
     }
 
-    fn gap_cache_put(&mut self, key: (FormulaId, u64), value: FormulaId) {
+    fn gap_cache_put(&mut self, key: (FormulaId, i64), value: FormulaId) {
         ShardedInterner::gap_cache_put(self, key, value)
     }
 }

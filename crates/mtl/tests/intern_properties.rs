@@ -156,9 +156,10 @@ fn cached_progressions_agree_with_uncached() {
 }
 
 /// The interval-splitting progression tiles the window exactly, and every
-/// point of every range progresses to the range's residual (the contract the
-/// solver's range collapse is built on), for random formulas, states and
-/// windows.
+/// point of every range progresses to the residual the range's kind asserts
+/// for it — the range's own residual for `Uniform` ranges, its per-tick
+/// downward translate for `Translated` ones (the contract the solver's range
+/// collapse is built on) — for random formulas, states and windows.
 #[test]
 fn progress_one_over_tiles_windows_for_random_formulas() {
     let mut rng = StdRng::seed_from_u64(0x0E12);
@@ -172,19 +173,85 @@ fn progress_one_over_tiles_windows_for_random_formulas() {
         let id = interner.intern(&phi);
         let splits = interner.progress_one_over(&state, time, id, lo, hi);
         let mut expected = lo;
-        for &(a, b, f) in &splits {
-            assert_eq!(a, expected, "phi = {phi}");
-            assert!(b >= a && b <= hi, "phi = {phi}");
-            expected = b + 1;
-            for t in a..=b {
+        for r in &splits {
+            assert_eq!(r.lo, expected, "phi = {phi}");
+            assert!(r.hi >= r.lo && r.hi <= hi, "phi = {phi}");
+            expected = r.hi + 1;
+            for t in r.lo..=r.hi {
+                let asserted = match r.kind {
+                    rvmtl_mtl::RangeKind::Uniform => r.residual,
+                    rvmtl_mtl::RangeKind::Translated => {
+                        ArenaOps::translate_down(&mut interner, r.residual, t - r.lo)
+                    }
+                };
                 assert_eq!(
                     interner.progress_one(&state, time, id, t),
-                    f,
-                    "phi = {phi}, state = {state}, time = {time}, t = {t}"
+                    asserted,
+                    "phi = {phi}, state = {state}, time = {time}, t = {t}, {r:?}"
                 );
             }
         }
         assert_eq!(expected, hi + 1, "phi = {phi}: ranges must tile [lo, hi]");
+    }
+}
+
+/// Shift-normal decomposition properties on random formulas: materialize
+/// inverts normalize, translates of a formula share its canonical residual,
+/// translation commutes with gap progression inside the slack, and
+/// `resolve_shifted` agrees with materialising then resolving.
+#[test]
+fn shift_normal_decomposition_roundtrips_for_random_formulas() {
+    let mut rng = StdRng::seed_from_u64(0x5417);
+    let mut interner = Interner::new();
+    for _ in 0..CASES {
+        let phi = gen_phi(&mut rng);
+        let id = interner.intern(&phi);
+        let s = interner.normalize(id);
+        assert_eq!(
+            ArenaOps::materialize(&mut interner, s),
+            id,
+            "phi = {phi}: materialize must invert normalize"
+        );
+        assert_eq!(
+            interner.resolve_shifted(s),
+            interner.resolve(id),
+            "phi = {phi}"
+        );
+        assert_eq!(
+            interner.eval_empty(s.id),
+            interner.eval_empty(id),
+            "phi = {phi}: eval_empty resolves through the shift"
+        );
+        let slack = interner.shift_slack(id);
+        if slack > 0 && slack != u64::MAX {
+            // The canonical residual is a gap progression by the slack, and
+            // every shorter gap is the corresponding exact translate sharing
+            // the same canonical residual.
+            assert_eq!(
+                interner.progress_gap(id, slack),
+                s.id,
+                "phi = {phi}: canon must equal the slack-length gap"
+            );
+            let delta = rng.gen_range(0u64..slack.min(8) + 1).min(slack);
+            let translated = interner.progress_gap(id, delta);
+            assert_eq!(
+                ArenaOps::translate_down(&mut interner, id, delta),
+                translated,
+                "phi = {phi}, delta = {delta}"
+            );
+            if delta < slack {
+                assert_eq!(
+                    interner.shift_canon(translated),
+                    s.id,
+                    "phi = {phi}, delta = {delta}: translates share one canonical residual"
+                );
+                assert_eq!(
+                    interner.shift_slack(translated),
+                    slack - delta,
+                    "phi = {phi}"
+                );
+            }
+        }
     }
 }
 
@@ -256,5 +323,103 @@ fn progress_gap_agrees_with_formula_level() {
             rvmtl_mtl::progress_gap(&simplify(&phi), elapsed),
             "phi = {phi}, elapsed = {elapsed}"
         );
+    }
+}
+
+/// Compaction under shift-normal decompositions: for random live sets, after
+/// a `compact` (1) every live id's canonical residual survived and remapped
+/// consistently (the canon of the remapped id is the remapped canon), (2)
+/// shift-relative cache entries survived exactly when their canonical
+/// endpoints did — warmed progressions replay identically through the
+/// compacted arena, and (3) a shifted pending set roots the GC at canonical
+/// residuals only and still materialises/resolves correctly afterwards.
+#[test]
+fn compact_is_sound_under_shift_decompositions() {
+    let mut rng = StdRng::seed_from_u64(0xC04C);
+    for _ in 0..CASES / 8 {
+        let mut interner = Interner::new();
+        // A mix of live and garbage formulas, biased toward delayed windows
+        // so nontrivial (shift, canon) pairs arise.
+        let live: Vec<rvmtl_mtl::FormulaId> = (0..6)
+            .map(|_| {
+                let phi = gen_phi(&mut rng);
+                let shift = rng.gen_range(0u64..7);
+                let id = interner.intern(&phi);
+                // Translate up: a delayed-window variant of the formula.
+                ArenaOps::translate_up(&mut interner, id, shift)
+            })
+            .collect();
+        for _ in 0..6 {
+            let garbage = gen_phi(&mut rng);
+            let _ = interner.intern(&garbage);
+        }
+        // Warm the shift-relative caches.
+        let state = gen_state(&mut rng);
+        let key = interner.intern_state(&state);
+        let warmed: Vec<(
+            rvmtl_mtl::FormulaId,
+            u64,
+            rvmtl_mtl::FormulaId,
+            rvmtl_mtl::FormulaId,
+        )> = live
+            .iter()
+            .map(|&id| {
+                let elapsed = rng.gen_range(0u64..16);
+                let one = interner.progress_one_cached(key, id, elapsed);
+                let gap = interner.progress_gap_cached(id, elapsed);
+                (id, elapsed, one, gap)
+            })
+            .collect();
+        // Root the GC the way the monitors do: canonical residuals of the
+        // live decompositions plus the warmed results.
+        let decomps: Vec<rvmtl_mtl::ShiftedId> =
+            live.iter().map(|&id| interner.normalize(id)).collect();
+        let mut roots: Vec<rvmtl_mtl::FormulaId> = decomps.iter().map(|s| s.id).collect();
+        roots.extend(warmed.iter().flat_map(|&(_, _, one, gap)| [one, gap]));
+        let remap = interner.compact(roots);
+        for (s, &old_id) in decomps.iter().zip(&live) {
+            let new_canon = remap.remap(s.id);
+            // Materialising the remapped decomposition reproduces the
+            // formula, and its tables are consistent.
+            let rebuilt = ArenaOps::materialize(
+                &mut interner,
+                rvmtl_mtl::ShiftedId {
+                    shift: s.shift,
+                    id: new_canon,
+                },
+            );
+            assert_eq!(
+                interner.resolve(rebuilt),
+                interner.resolve_shifted(rvmtl_mtl::ShiftedId {
+                    shift: s.shift,
+                    id: new_canon,
+                }),
+            );
+            assert_eq!(interner.shift_canon(rebuilt), new_canon);
+            if let Some(new_id) = remap.get(old_id) {
+                // If the translate itself survived, its canon remapped with
+                // it — the decomposition tables never dangle.
+                assert_eq!(interner.shift_canon(new_id), new_canon);
+                assert_eq!(rebuilt, new_id);
+            }
+        }
+        // Warmed progressions replay identically through the compacted
+        // arena (surviving cache entries must agree with recomputation).
+        let key2 = interner.intern_state(&state);
+        for (old_id, elapsed, one, gap) in warmed {
+            let Some(new_id) = remap.get(old_id) else {
+                continue;
+            };
+            assert_eq!(
+                interner.progress_one_cached(key2, new_id, elapsed),
+                remap.remap(one),
+                "elapsed = {elapsed}"
+            );
+            assert_eq!(
+                interner.progress_gap_cached(new_id, elapsed),
+                remap.remap(gap),
+                "elapsed = {elapsed}"
+            );
+        }
     }
 }

@@ -21,6 +21,16 @@ pub struct StreamConfig {
     /// at the cost of verdict latency. Defaults to 1 (process as soon as a
     /// segment closes).
     pub flush_depth: usize,
+    /// Hard bound on the closed-segment queue (backpressure): when an
+    /// [`crate::StreamMonitor::observe`] or
+    /// [`crate::StreamMonitor::heartbeat`] call would leave this many
+    /// segments queued, the queue is drained synchronously inside that call
+    /// even if the flush depth has not been reached — a watermark jump over
+    /// an idle period can close arbitrarily many segments at once, and
+    /// without a bound the queue (and its buffered events) would grow without
+    /// limit. `None` (the default) bounds the queue by the flush depth
+    /// alone.
+    pub max_queued_segments: Option<usize>,
     /// Upper bound on distinct rewritten formulas kept per pending formula
     /// per segment (`None` = unbounded; see
     /// [`rvmtl_monitor::MonitorConfig::max_solutions_per_segment`]).
@@ -50,6 +60,7 @@ impl StreamConfig {
             pipeline: false,
             workers: None,
             flush_depth: 1,
+            max_queued_segments: None,
             max_solutions_per_segment: None,
             gc_interval: 32,
         }
@@ -66,6 +77,23 @@ impl StreamConfig {
     /// Sets the closed-segment buffer depth.
     pub fn flush_depth(mut self, depth: usize) -> Self {
         self.flush_depth = depth.max(1);
+        self
+    }
+
+    /// Bounds the closed-segment queue: `observe`/`heartbeat` drain
+    /// synchronously once this many segments are queued, regardless of the
+    /// flush depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is 0 (a closed segment must be queueable at least
+    /// until the ingestion call that closed it returns).
+    pub fn max_queued_segments(mut self, bound: usize) -> Self {
+        assert!(
+            bound > 0,
+            "StreamConfig::max_queued_segments: the bound must be at least 1"
+        );
+        self.max_queued_segments = Some(bound);
         self
     }
 

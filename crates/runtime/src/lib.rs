@@ -32,7 +32,15 @@
 //! segment `k + 1` starts progressing each rewritten formula **as soon as
 //! stage `k` emits it** — there is no barrier between segments, and idle
 //! cores pick up whatever stage has work. Per-`(segment, query)` dedup sets
-//! keep the pending-set semantics identical to the sequential union.
+//! keep the pending-set semantics identical to the sequential union; a
+//! per-segment result cache additionally collapses *cross-query* duplicates
+//! (several queries carrying the same canonical pending obligation solve
+//! the segment once), and the solver's per-segment memo/feasibility caches
+//! ([`rvmtl_solver::SegmentCaches`]) are handed from work item to work item
+//! instead of being rebuilt per formula. A query registered mid-stream
+//! ([`StreamMonitor::add_query`] after segments closed) is re-anchored at
+//! the current watermark boundary and enters the pipeline at that
+//! boundary's stage.
 //!
 //! # 3. One arena, shared — ids remapped at stage boundaries
 //!
@@ -46,15 +54,28 @@
 //! (structural re-interning; both arenas hash-cons, so this is a lookup per
 //! node) where they live between stages and across the monitor's lifetime.
 //!
+//! Pending sets are held in *shift-normal form*
+//! ([`rvmtl_mtl::ShiftedId`]): an obligation is stored as its canonical
+//! residual plus a time offset, so obligations that are exact
+//! time-translates of each other — across segments and across queries —
+//! share one arena node, and the solver's zone-canonical memoisation fires
+//! across the whole stream. Finalisation resolves through the shift
+//! (empty-future verdicts depend only on operator kinds, which translation
+//! preserves).
+//!
 //! # 4. GC epochs (bounded memory forever)
 //!
 //! Every `gc_interval` processed segments the runtime runs
 //! [`rvmtl_mtl::Interner::compact`]: a mark-and-renumber pass over the dense
-//! `u32` formula ids rooted at the live pending sets. Dead nodes, dead
-//! observation states and progression-cache entries with a dead endpoint are
-//! reclaimed; surviving entries keep their warmth. The worker arena is reset
-//! on the same epochs. Long-running monitoring therefore holds a bounded
-//! arena regardless of stream length — pinned by the GC tests.
+//! `u32` formula ids rooted at the *canonical residuals* of the live pending
+//! sets (their materialised translates are rebuilt on demand). Dead nodes,
+//! dead observation states and progression-cache entries with a dead
+//! endpoint are reclaimed; surviving entries keep their warmth. The worker
+//! arena is reset on the same epochs. Long-running monitoring therefore
+//! holds a bounded arena regardless of stream length — pinned by the GC
+//! tests. Backpressure on the closed-segment queue
+//! ([`StreamConfig::max_queued_segments`]) bounds the ingestion side the
+//! same way.
 //!
 //! # Multi-query front end
 //!

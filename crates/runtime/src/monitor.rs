@@ -5,7 +5,9 @@ use crate::pipeline::run_pipeline;
 use crate::StreamConfig;
 use rvmtl_distrib::{DistributedComputation, IncrementalSegmenter, StreamError};
 use rvmtl_monitor::VerdictSet;
-use rvmtl_mtl::{ArenaMemory, Formula, FormulaId, Interner, ShardedInterner, State};
+use rvmtl_mtl::{
+    ArenaMemory, ArenaOps, Formula, FormulaId, Interner, ShardedInterner, ShiftedId, State,
+};
 use rvmtl_solver::{SegmentSolver, SolverStats};
 use std::collections::{BTreeSet, VecDeque};
 
@@ -31,8 +33,17 @@ struct QueuedSegment {
 struct QueryState {
     /// The original specification (kept for reporting).
     root: Formula,
-    /// Pending rewritten formulas, as ids in the query-spanning arena.
-    pending: BTreeSet<FormulaId>,
+    /// Pending rewritten formulas in shift-normal form over the
+    /// query-spanning arena: obligations that are exact time-translates of
+    /// each other — within one query or across queries — share one arena
+    /// node and differ only in the shift word.
+    pending: BTreeSet<ShiftedId>,
+    /// Boundary at which the query entered the stream: it participates in
+    /// segments whose base time is at or after this. Queries registered
+    /// before monitoring started are anchored at the stream's base time;
+    /// queries added mid-stream are re-anchored at the boundary following
+    /// every segment closed so far.
+    anchored_at: u64,
 }
 
 /// The final report of a finished stream.
@@ -109,22 +120,22 @@ impl StreamMonitor {
         }
     }
 
-    /// Registers a query, anchored at the stream's base time.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a segment has already been processed or queued — all queries
-    /// of a stream share its segmentation from the first boundary on, so they
-    /// must be registered before monitoring starts.
+    /// Registers a query. A query added before monitoring starts is anchored
+    /// at the stream's base time; a query added *after* segments have closed
+    /// is re-anchored at the current watermark boundary — the base of the
+    /// segment currently open — and participates in every segment from that
+    /// boundary on (its timing intervals are measured from the boundary, and
+    /// events before it are invisible to it). Closed-but-unprocessed
+    /// segments in the queue always predate the boundary, so a late query is
+    /// never progressed through a segment it did not observe.
     pub fn add_query(&mut self, phi: &Formula) -> QueryId {
-        assert!(
-            self.segments_processed == 0 && self.queue.is_empty(),
-            "StreamMonitor::add_query: queries must be registered before the first segment closes"
-        );
+        let anchored_at = self.segmenter.open_base();
         let root = self.arena.intern(phi);
+        let root = ArenaOps::normalize(&self.arena, root);
         self.queries.push(QueryState {
             root: phi.clone(),
             pending: BTreeSet::from([root]),
+            anchored_at,
         });
         QueryId(self.queries.len() - 1)
     }
@@ -186,7 +197,11 @@ impl StreamMonitor {
                 .expect("watermark-closed segments carry their end boundary");
             self.queue.push_back(QueuedSegment { comp, next_anchor });
         }
-        if self.queue.len() >= self.config.flush_depth {
+        let over_bound = self
+            .config
+            .max_queued_segments
+            .is_some_and(|bound| self.queue.len() >= bound);
+        if self.queue.len() >= self.config.flush_depth || over_bound {
             self.process_queue();
         }
     }
@@ -242,7 +257,7 @@ impl StreamMonitor {
         let resolved: BTreeSet<Formula> = self.queries[id.0]
             .pending
             .iter()
-            .map(|&f| self.arena.resolve(f))
+            .map(|&s| ArenaOps::resolve_shifted(&self.arena, s))
             .collect();
         VerdictSet::from_formulas(resolved.iter())
     }
@@ -266,15 +281,23 @@ impl StreamMonitor {
             });
         }
         self.process_queue();
+        // `eval_empty` resolves through the shift for free: translation
+        // moves interval anchors, never operator kinds, and the empty-future
+        // verdict depends only on the kinds.
         let verdicts = self
             .queries
             .iter()
-            .map(|q| VerdictSet::from_bools(q.pending.iter().map(|&f| self.arena.eval_empty(f))))
+            .map(|q| VerdictSet::from_bools(q.pending.iter().map(|&s| self.arena.eval_empty(s.id))))
             .collect();
         let pending = self
             .queries
             .iter()
-            .map(|q| q.pending.iter().map(|&f| self.arena.resolve(f)).collect())
+            .map(|q| {
+                q.pending
+                    .iter()
+                    .map(|&s| ArenaOps::resolve_shifted(&self.arena, s))
+                    .collect()
+            })
             .collect();
         StreamReport {
             verdicts,
@@ -309,18 +332,49 @@ impl StreamMonitor {
 
     /// Sequential stage execution: one [`SegmentSolver`] per segment, shared
     /// by every pending formula of every query (cross-query memo sharing).
+    /// Queries anchored after a segment's base skip it.
     fn process_sequential(&mut self, batch: Vec<QueuedSegment>) {
         for QueuedSegment { comp, next_anchor } in batch {
+            // Materialise the shift-normal pendings before the solver
+            // borrows the arena exclusively.
+            let seeds: Vec<Option<Vec<FormulaId>>> = self
+                .queries
+                .iter()
+                .map(|query| {
+                    (comp.base_time() >= query.anchored_at).then(|| {
+                        query
+                            .pending
+                            .iter()
+                            .map(|&s| ArenaOps::materialize(&mut self.arena, s))
+                            .collect()
+                    })
+                })
+                .collect();
             let mut solver = SegmentSolver::new(&comp, next_anchor, &mut self.arena);
             if let Some(l) = self.config.max_solutions_per_segment {
                 solver = solver.with_limit(l);
             }
-            for query in &mut self.queries {
-                let pending = std::mem::take(&mut query.pending);
-                for psi in pending {
+            let mut outs: Vec<Option<BTreeSet<FormulaId>>> = Vec::with_capacity(seeds.len());
+            for seed in seeds {
+                let Some(seed) = seed else {
+                    outs.push(None);
+                    continue;
+                };
+                let mut out = BTreeSet::new();
+                for psi in seed {
                     let result = solver.progress(psi);
                     self.stats.absorb(&result.stats);
-                    query.pending.extend(result.formulas);
+                    out.extend(result.formulas);
+                }
+                outs.push(Some(out));
+            }
+            drop(solver);
+            for (query, out) in self.queries.iter_mut().zip(outs) {
+                if let Some(out) = out {
+                    query.pending = out
+                        .into_iter()
+                        .map(|id| ArenaOps::normalize(&self.arena, id))
+                        .collect();
                 }
             }
         }
@@ -329,32 +383,62 @@ impl StreamMonitor {
     /// Pipelined stage execution over the shared sharded arena; pending ids
     /// are remapped between the query-spanning arena and the worker arena at
     /// the batch boundaries (structural re-interning — cheap, since both
-    /// arenas hash-cons).
+    /// arenas hash-cons). A query anchored mid-batch enters the pipeline at
+    /// the first segment of its boundary; identical pending formulas of
+    /// different queries solve once per segment (the pipeline's result cache
+    /// collapses the duplicate work items shift-normal pendings expose).
     fn process_pipelined(&mut self, batch: Vec<QueuedSegment>, workers: usize) {
         let segments: Vec<(DistributedComputation, u64)> =
             batch.into_iter().map(|s| (s.comp, s.next_anchor)).collect();
-        let seeds: Vec<Vec<FormulaId>> = self
+        let entries: Vec<usize> = self
             .queries
             .iter()
             .map(|q| {
+                segments
+                    .iter()
+                    .position(|(comp, _)| comp.base_time() >= q.anchored_at)
+                    .unwrap_or(segments.len())
+            })
+            .collect();
+        let seeds: Vec<Vec<FormulaId>> = self
+            .queries
+            .iter()
+            .zip(&entries)
+            .map(|(q, &entry)| {
+                if entry >= segments.len() {
+                    // The query saw no segment of this batch: its pending set
+                    // passes through untouched, so nothing is re-interned
+                    // into the worker arena for it.
+                    return Vec::new();
+                }
                 q.pending
                     .iter()
-                    .map(|&psi| self.shared.intern(&self.arena.resolve(psi)))
+                    .map(|&s| {
+                        self.shared
+                            .intern(&ArenaOps::resolve_shifted(&self.arena, s))
+                    })
                     .collect()
             })
             .collect();
         let (outs, stats) = run_pipeline(
             &segments,
             &seeds,
+            &entries,
             &self.shared,
             workers,
             self.config.max_solutions_per_segment,
         );
         self.stats.absorb(&stats);
-        for (query, out) in self.queries.iter_mut().zip(outs) {
+        for ((query, out), entry) in self.queries.iter_mut().zip(outs).zip(&entries) {
+            if *entry >= segments.len() {
+                continue; // The query saw no segment of this batch.
+            }
             query.pending = out
                 .into_iter()
-                .map(|psi| self.arena.intern(&self.shared.resolve(psi)))
+                .map(|psi| {
+                    let id = self.arena.intern(&self.shared.resolve(psi));
+                    ArenaOps::normalize(&self.arena, id)
+                })
                 .collect();
         }
     }
@@ -363,14 +447,24 @@ impl StreamMonitor {
     /// pending sets and reset the worker arena (its caches re-warm from the
     /// live formulas on the next batch).
     fn collect_garbage(&mut self) {
+        // Shift-normal pendings root the GC at canonical residuals only:
+        // translates of one obligation cost one root, and the materialised
+        // translate nodes of past segments are reclaimed here.
         let roots: Vec<FormulaId> = self
             .queries
             .iter()
-            .flat_map(|q| q.pending.iter().copied())
+            .flat_map(|q| q.pending.iter().map(|s| s.id))
             .collect();
         let remap = self.arena.compact(roots);
         for query in &mut self.queries {
-            query.pending = query.pending.iter().map(|&f| remap.remap(f)).collect();
+            query.pending = query
+                .pending
+                .iter()
+                .map(|&s| ShiftedId {
+                    shift: s.shift,
+                    id: remap.remap(s.id),
+                })
+                .collect();
         }
         self.shared.clear();
         self.since_gc = 0;
@@ -424,14 +518,84 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "before the first segment closes")]
-    fn late_query_registration_panics() {
-        let mut monitor = StreamMonitor::new(1, 0, StreamConfig::new(2));
-        monitor.add_query(&parse("F[0,9) p").unwrap());
-        monitor.observe(0, 1, state![]).unwrap();
-        monitor.observe(0, 7, state![]).unwrap();
-        assert!(monitor.segments_processed() > 0);
-        monitor.add_query(&parse("G[0,3) q").unwrap());
+    fn late_query_is_reanchored_at_the_watermark_boundary() {
+        // Register a second query after a segment has closed: it must behave
+        // exactly like the same query on a fresh stream anchored at the
+        // boundary and fed the events from the boundary on.
+        let mut monitor = StreamMonitor::new(1, 0, StreamConfig::new(4));
+        let q_early = monitor.add_query(&parse("F[0,20) done").unwrap());
+        monitor.observe(0, 1, state!["work"]).unwrap();
+        monitor.observe(0, 7, state!["work"]).unwrap();
+        assert!(monitor.segments_processed() >= 1);
+        let q_late = monitor.add_query(&parse("F[0,10) done").unwrap());
+        monitor.observe(0, 9, state!["work"]).unwrap();
+        monitor.observe(0, 11, state!["done"]).unwrap();
+        let report = monitor.finish();
+
+        let mut config = StreamConfig::new(4);
+        config.base_time = 4; // the boundary the late query was anchored at
+        let mut reference = StreamMonitor::new(1, 0, config);
+        let q_ref = reference.add_query(&parse("F[0,10) done").unwrap());
+        for (t, s) in [(7, "work"), (9, "work"), (11, "done")] {
+            reference.observe(0, t, state![s]).unwrap();
+        }
+        let expected = reference.finish();
+        assert_eq!(
+            report.verdicts[q_late.index()],
+            expected.verdicts[q_ref.index()]
+        );
+        assert!(report.verdicts[q_early.index()].definitely_satisfied());
+    }
+
+    #[test]
+    fn late_query_skips_queued_pre_registration_segments() {
+        // With a deep flush buffer, segments closed *before* the late
+        // registration are still queued when the query arrives; they must
+        // not be fed to it, on either execution path.
+        let run = |config: StreamConfig| {
+            let mut monitor = StreamMonitor::new(1, 0, config);
+            let q_early = monitor.add_query(&parse("G[0,inf) (a -> F[0,6) b)").unwrap());
+            for t in [1u64, 3, 5, 9] {
+                let label = if t % 2 == 1 { "a" } else { "b" };
+                monitor.observe(0, t, state![label]).unwrap();
+            }
+            let q_late = monitor.add_query(&parse("F[0,30) b").unwrap());
+            for t in [11u64, 13, 15, 17, 19, 21] {
+                let label = if t == 15 { "b" } else { "a" };
+                monitor.observe(0, t, state![label]).unwrap();
+            }
+            let report = monitor.finish();
+            (
+                report.verdicts[q_early.index()].clone(),
+                report.verdicts[q_late.index()].clone(),
+            )
+        };
+        let sequential = run(StreamConfig::new(3).flush_depth(64));
+        let pipelined = run(StreamConfig::new(3).pipelined(Some(3)).flush_depth(64));
+        assert_eq!(sequential, pipelined);
+        assert!(sequential.1.definitely_satisfied(), "{sequential:?}");
+    }
+
+    #[test]
+    fn queued_segments_are_bounded_by_backpressure() {
+        // A flush depth far above the bound: the queue must drain through
+        // the backpressure bound instead.
+        let mut config = StreamConfig::new(2).flush_depth(1_000_000);
+        config = config.max_queued_segments(2);
+        let mut monitor = StreamMonitor::new(1, 0, config);
+        let q = monitor.add_query(&parse("G[0,inf) (tick -> F[0,4) tock)").unwrap());
+        for round in 0..40u64 {
+            let label = if round % 2 == 0 { "tick" } else { "tock" };
+            monitor.observe(0, 1 + round * 2, state![label]).unwrap();
+            assert!(
+                monitor.segments_queued() <= 2,
+                "queue exceeded the bound at round {round}: {}",
+                monitor.segments_queued()
+            );
+        }
+        assert!(monitor.segments_processed() > 10);
+        let report = monitor.finish();
+        assert!(!report.verdicts[q.index()].is_empty());
     }
 
     #[test]

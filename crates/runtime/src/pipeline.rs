@@ -9,17 +9,38 @@
 //! stage `k` emits it, while other formulas (of any query) are still inside
 //! stage `k`. There is no barrier between stages; the only synchronisation
 //! points are the shared queue, the per-`(segment, query)` dedup sets that
-//! keep the pending *sets* identical to the sequential union semantics, and
-//! the output sets of the last segment of the batch.
+//! keep the pending *sets* identical to the sequential union semantics, the
+//! per-segment cache slots, and the output sets of the last segment of the
+//! batch. A query registered mid-stream enters the pipeline at its anchor
+//! boundary's segment instead of stage 0.
 //!
-//! Worker-local state stays worker-local: each item gets its own solver (memo
-//! table, feasibility and per-cut caches), while the arena — nodes, states
-//! and the `one_cache`/`gap_cache` progression memos, which carry most of the
+//! Two levels of cross-item sharing keep the per-item cost down:
+//!
+//! * **Per-segment result cache.** Work items are deduplicated per
+//!   `(segment, canonical pending formula)` *across queries*: when several
+//!   queries carry the same pending obligation (common once shift-normal
+//!   pendings collapse time-translates to shared canonical residuals), the
+//!   segment is solved once and the later items replay the cached result
+//!   set. Statistics are accounted once per distinct item: a replay (or the
+//!   loser of two workers racing the same item past the cache miss) adds
+//!   nothing.
+//! * **Per-segment solver caches.** The solver's memo/feasibility/per-cut
+//!   caches ([`SegmentCaches`]) live in one slot per segment: a worker takes
+//!   the slot, continues from it, and merges it back, so consecutive work
+//!   items of a segment stop rebuilding the memo from scratch — previously
+//!   the main single-thread regression of the pipelined path against the
+//!   sequential one. Two workers racing the same segment simply build
+//!   independent caches and merge afterwards (memo entries are complete,
+//!   deterministic contribution sets keyed by mixed-radix cut ranks).
+//!
+//! Remaining worker-local state is genuinely per-item; the arena — nodes,
+//! states and the `one_cache`/`gap_cache` progression memos, which carry the
 //! cross-segment reuse — is shared by every worker through `&` handles.
 
 use rvmtl_distrib::DistributedComputation;
+use rvmtl_mtl::hashing::FxHashMap;
 use rvmtl_mtl::{FormulaId, ShardedInterner};
-use rvmtl_solver::{SegmentSolver, SolverStats};
+use rvmtl_solver::{SegmentCaches, SegmentSolver, SolverStats};
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -37,8 +58,15 @@ struct PipelineState {
     /// Items queued or being processed; workers exit when it reaches zero.
     open: AtomicUsize,
     /// Per-`(segment, query)` dedup: a formula is progressed through a
-    /// segment once, no matter how many stage-`k` branches emitted it.
+    /// segment once per query, no matter how many stage-`k` branches emitted
+    /// it.
     seen: Vec<Vec<Mutex<BTreeSet<FormulaId>>>>,
+    /// Per-segment cross-query result cache: pending formula → rewritten
+    /// set. The second and later queries carrying the same pending formula
+    /// replay the first query's solve.
+    results: Vec<Mutex<FxHashMap<FormulaId, BTreeSet<FormulaId>>>>,
+    /// Per-segment solver caches, passed from work item to work item.
+    caches: Vec<Mutex<Option<SegmentCaches>>>,
     /// Per-query pending set leaving the batch's last segment.
     outs: Vec<Mutex<BTreeSet<FormulaId>>>,
     stats: Mutex<SolverStats>,
@@ -46,16 +74,21 @@ struct PipelineState {
 
 /// Runs `seeds` (per-query pending formulas, interned in `shared`) through
 /// the pipeline of `segments` (each with its residual anchor) on `workers`
-/// threads. Returns the per-query pending sets after the last segment and
-/// the aggregated solver statistics.
+/// threads. `entries[q]` is the segment index at which query `q` enters the
+/// pipeline (`segments.len()` for a query that saw no segment of this batch —
+/// its output set is its seed set, returned untouched). Returns the
+/// per-query pending sets after the last segment and the aggregated solver
+/// statistics.
 pub(crate) fn run_pipeline(
     segments: &[(DistributedComputation, u64)],
     seeds: &[Vec<FormulaId>],
+    entries: &[usize],
     shared: &ShardedInterner,
     workers: usize,
     limit: Option<usize>,
 ) -> (Vec<BTreeSet<FormulaId>>, SolverStats) {
     assert!(!segments.is_empty(), "a pipeline batch needs segments");
+    assert_eq!(seeds.len(), entries.len(), "one entry stage per query");
     let state = PipelineState {
         queue: Mutex::new(VecDeque::new()),
         ready: Condvar::new(),
@@ -67,6 +100,10 @@ pub(crate) fn run_pipeline(
                     .collect()
             })
             .collect(),
+        results: (0..segments.len())
+            .map(|_| Mutex::new(FxHashMap::default()))
+            .collect(),
+        caches: (0..segments.len()).map(|_| Mutex::new(None)).collect(),
         outs: (0..seeds.len())
             .map(|_| Mutex::new(BTreeSet::new()))
             .collect(),
@@ -75,13 +112,23 @@ pub(crate) fn run_pipeline(
     {
         let mut queue = state.queue.lock().expect("fresh queue");
         for (query, pending) in seeds.iter().enumerate() {
-            let mut seen = state.seen[0][query].lock().expect("fresh seen set");
+            let entry = entries[query];
+            if entry >= segments.len() {
+                // The query entered after every segment of this batch: its
+                // pending set passes through unchanged.
+                state.outs[query]
+                    .lock()
+                    .expect("fresh output set")
+                    .extend(pending.iter().copied());
+                continue;
+            }
+            let mut seen = state.seen[entry][query].lock().expect("fresh seen set");
             for &psi in pending {
                 if seen.insert(psi) {
                     state.open.fetch_add(1, Ordering::AcqRel);
                     queue.push_back(Item {
                         query,
-                        segment: 0,
+                        segment: entry,
                         psi,
                     });
                 }
@@ -109,6 +156,65 @@ pub(crate) fn run_pipeline(
     (outs, stats)
 }
 
+/// Solves one work item, replaying the per-segment result cache when another
+/// query already solved the same pending formula, and carrying the segment's
+/// solver caches across items otherwise.
+fn solve_item(
+    state: &PipelineState,
+    segments: &[(DistributedComputation, u64)],
+    shared: &ShardedInterner,
+    limit: Option<usize>,
+    item: &Item,
+) -> BTreeSet<FormulaId> {
+    if let Some(cached) = state.results[item.segment]
+        .lock()
+        .expect("result cache poisoned")
+        .get(&item.psi)
+    {
+        return cached.clone();
+    }
+    let (segment, anchor) = &segments[item.segment];
+    let caches = state.caches[item.segment]
+        .lock()
+        .expect("cache slot poisoned")
+        .take()
+        .unwrap_or_else(|| SegmentCaches::new(segment));
+    let mut handle = shared;
+    let mut solver = SegmentSolver::with_caches(segment, *anchor, &mut handle, caches);
+    if let Some(l) = limit {
+        solver = solver.with_limit(l);
+    }
+    let result = solver.progress(item.psi);
+    let caches = solver.into_caches();
+    {
+        let mut slot = state.caches[item.segment]
+            .lock()
+            .expect("cache slot poisoned");
+        match slot.as_mut() {
+            Some(existing) => existing.absorb(caches),
+            None => *slot = Some(caches),
+        }
+    }
+    // Publish result and stats atomically: two workers may race the same
+    // (segment, formula) item past the lookup above and both solve it (the
+    // duplicate search is benign — results are deterministic), but only the
+    // one that first publishes accounts its statistics, so the aggregated
+    // counters stay those of one solve per distinct item.
+    let won = state.results[item.segment]
+        .lock()
+        .expect("result cache poisoned")
+        .insert(item.psi, result.formulas.clone())
+        .is_none();
+    if won {
+        state
+            .stats
+            .lock()
+            .expect("stats poisoned")
+            .absorb(&result.stats);
+    }
+    result.formulas
+}
+
 fn worker(
     state: &PipelineState,
     segments: &[(DistributedComputation, u64)],
@@ -134,18 +240,7 @@ fn worker(
             return;
         };
 
-        let (segment, anchor) = &segments[item.segment];
-        let mut handle = shared;
-        let mut solver = SegmentSolver::new(segment, *anchor, &mut handle);
-        if let Some(l) = limit {
-            solver = solver.with_limit(l);
-        }
-        let result = solver.progress(item.psi);
-        state
-            .stats
-            .lock()
-            .expect("stats poisoned")
-            .absorb(&result.stats);
+        let formulas = solve_item(state, segments, shared, limit, &item);
 
         let next_segment = item.segment + 1;
         if next_segment < segments.len() {
@@ -154,8 +249,7 @@ fn worker(
                 let mut seen = state.seen[next_segment][item.query]
                     .lock()
                     .expect("seen set poisoned");
-                result
-                    .formulas
+                formulas
                     .into_iter()
                     .filter(|&psi| seen.insert(psi))
                     .collect()
@@ -177,7 +271,7 @@ fn worker(
             state.outs[item.query]
                 .lock()
                 .expect("output set poisoned")
-                .extend(result.formulas);
+                .extend(formulas);
         }
 
         if state.open.fetch_sub(1, Ordering::AcqRel) == 1 {

@@ -277,3 +277,30 @@ fn auction_protocol_streaming_equals_batch() {
     ];
     assert_stream_equals_batch(&comp, &formulas, "auction conforming");
 }
+
+/// Delayed-window formulas — the regime where shift-normal pendings carry
+/// nonzero shifts and the engine's zone canonicalisation fires — through
+/// every streaming path (sequential, pipelined, GC-every-segment) and
+/// delivery order. The GC path in particular pins that compaction keeps the
+/// canonical residuals of shifted pendings alive and remaps their
+/// decompositions soundly mid-stream.
+#[test]
+fn delayed_window_streaming_equals_batch() {
+    use rvmtl_distrib::ComputationBuilder;
+    use rvmtl_mtl::{parse, state};
+    let mut b = ComputationBuilder::new(2, 2);
+    b.event(0, 6, state!["a"]);
+    b.event(0, 8, state!["a"]);
+    b.event(0, 10, state!["a"]);
+    b.event(1, 7, state!["a"]);
+    b.event(1, 9, state!["a"]);
+    b.event(1, 12, state!["b"]);
+    let comp = b.build().unwrap();
+    let formulas = [
+        parse("a U[6,12) b").unwrap(),
+        parse("F[4,10) b").unwrap(),
+        parse("(F[2,6) a) & (F[5,11) b)").unwrap(),
+        parse("G[3,9) (a | b)").unwrap(),
+    ];
+    assert_stream_equals_batch(&comp, &formulas, "delayed windows");
+}

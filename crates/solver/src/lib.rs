@@ -85,14 +85,70 @@
 //!    no second "re-derive by re-walking children" pass — and a node
 //!    abandoned by an early stop (solution limit, verdict witness) caches
 //!    nothing, keeping the memo free of partial sets. Per-cut derived data
-//!    (`enabled()`, the interned frontier state) is cached by cut rank and
-//!    shared by all formulas and time assignments passing through the cut.
+//!    (`enabled()`, the interned frontier state, the earliest enabled window
+//!    start) is cached by cut rank and shared by all formulas and time
+//!    assignments passing through the cut; the whole bundle is extractable
+//!    as [`SegmentCaches`] so several solvers of one segment (the streaming
+//!    runtime's pipeline work items) continue from each other's tables.
+//!
+//! # Shift-normal zones
+//!
+//! The interval abstraction of point 2 collapses a time range only when its
+//! residual is fully time-invariant. The arena's *shift-normal form*
+//! ([`rvmtl_mtl::Interner::shift_slack`] /
+//! [`rvmtl_mtl::ArenaOps::normalize`]) extends the collapse to residuals
+//! that still carry live bounded windows, as long as those windows have not
+//! *opened*: two pending formulas that are exact time-translates of each
+//! other (same canonical residual, shifts ≥ 1) do identical future work at
+//! matching absolute times, because no observation can fall inside a window
+//! that only opens later — the zone/region construction of timed-automata
+//! tooling, transplanted onto progression. The engine exploits the
+//! equivalence in three places:
+//!
+//! * **Translated ranges.** [`rvmtl_mtl::Interner::progress_one_over`]
+//!   merges consecutive occurrence-time ticks whose residuals are exact unit
+//!   translates of one another into a single
+//!   [`rvmtl_mtl::RangeKind::Translated`] range, and the search collapses it
+//!   to its earliest tick exactly like an invariant range: within one zone,
+//!   a later pending time can only schedule a subset of the event times
+//!   available to an earlier one while producing identical residuals at
+//!   matching absolute times, so the contributions nest and the union over
+//!   the range equals its infimum's. Per-event branching is thereby bounded
+//!   by the live window *width* (open-region ticks) instead of the temporal
+//!   horizon — on delayed-window formulas the ε-saturation point drops
+//!   strictly below the horizon (`BENCH_4.json`, `epsilon_dense`;
+//!   `tests/regression.rs::explored_states_saturate_below_the_horizon_on_delayed_windows`).
+//! * **Zone-canonical memo keys.** Before the memo lookup, a node whose
+//!   pending time lies below every enabled window start is rewritten to its
+//!   zone representative: the pending time advances to that bound (capped at
+//!   `shift slack − 1`, keeping the first window strictly future) and the
+//!   pending formula is translated down in step. Translates of one
+//!   obligation reached at different absolute times — across parents,
+//!   events, and pending formulas — therefore share one `(rank, time, id)`
+//!   memo entry: a memo entry earned at one absolute time is a hit at every
+//!   translate. The rewrite count is reported as
+//!   [`SolverStats::shift_normalized_nodes`].
+//! * **Shift-relative progression caches.** The arena's
+//!   `one_cache`/`gap_cache` are keyed `(canonical residual, elapsed −
+//!   shift)` ([`rvmtl_mtl::ArenaOps::progress_one_cached`]), so the
+//!   progression *results* feeding the search are likewise computed once per
+//!   zone, not once per absolute anchor — and survive GC compaction exactly
+//!   when their canonical endpoints do.
+//!
+//! The soundness boundary of the whole construction is the shift slack's
+//! definition: an `Until` whose left argument is not time-invariant has
+//! slack 0 (its left obligation is progressed at observations *before* the
+//! window opens, anchoring it absolutely), the shift-0 member of a zone is
+//! never merged with its translates (its window is open: the observation
+//! participates), and differential suites pin verdict equality against
+//! brute-force enumeration across ε sweeps biased to delayed windows.
 //!
 //! The search-shape counters ([`SolverStats`], including the
-//! interval-abstraction counters `time_splits` and `merged_time_points`) are
-//! pinned on Fig. 3-style scenarios in `tests/regression.rs`; `BENCH_1.json`
-//! and `BENCH_2.json` at the repository root track the resulting throughput
-//! on the Fig. 5a workload and the ε/length sweeps.
+//! interval-abstraction counters `time_splits` / `merged_time_points` and
+//! the zone counter `shift_normalized_nodes`) are pinned on Fig. 3-style
+//! scenarios in `tests/regression.rs`; `BENCH_1.json` … `BENCH_4.json` at
+//! the repository root track the resulting throughput on the Fig. 5a
+//! workload and the ε/length/dense sweeps.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -103,5 +159,5 @@ mod progression;
 pub use instance::{CheckResult, Model, SolverInstance};
 pub use progression::{
     distinct_progressions, exists_verdict, finalize, possible_verdicts, InternedProgression,
-    ProgressionQuery, ProgressionResult, SegmentSolver, SolverStats,
+    ProgressionQuery, ProgressionResult, SegmentCaches, SegmentSolver, SolverStats,
 };

@@ -54,9 +54,11 @@
 
 use rvmtl_distrib::{Cut, DistributedComputation, EventId};
 use rvmtl_mtl::hashing::FxHashMap;
-use rvmtl_mtl::{evaluate, ArenaOps, Formula, FormulaId, Interner, StateKey, TimedTrace};
+use rvmtl_mtl::{
+    evaluate, ArenaOps, Formula, FormulaId, Interner, RangeKind, StateKey, TimedTrace,
+};
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Counters describing the work performed by a query — useful for the
 /// scalability experiments and for regression-testing the memoisation.
@@ -78,7 +80,14 @@ pub struct SolverStats {
     /// Number of admissible occurrence times that were *not* explored as
     /// separate search states because their range collapsed to its canonical
     /// earliest point (the per-tick engine would have explored each of them).
+    /// Counts both time-invariant uniform ranges and shift-normal translated
+    /// ranges.
     pub merged_time_points: usize,
+    /// Number of search nodes that were rewritten to their shift-normal zone
+    /// representative before the memo lookup (pending time advanced toward
+    /// the first live window, pending formula translated down in step), so a
+    /// memo entry earned at one absolute time is a hit at every translate.
+    pub shift_normalized_nodes: usize,
 }
 
 impl SolverStats {
@@ -91,6 +100,7 @@ impl SolverStats {
         self.constant_cutoffs += other.constant_cutoffs;
         self.time_splits += other.time_splits;
         self.merged_time_points += other.merged_time_points;
+        self.shift_normalized_nodes += other.shift_normalized_nodes;
     }
 
     /// The element-wise difference `self − other` (used to carve the stats of
@@ -103,6 +113,7 @@ impl SolverStats {
             constant_cutoffs: self.constant_cutoffs - other.constant_cutoffs,
             time_splits: self.time_splits - other.time_splits,
             merged_time_points: self.merged_time_points - other.merged_time_points,
+            shift_normalized_nodes: self.shift_normalized_nodes - other.shift_normalized_nodes,
         }
     }
 }
@@ -234,6 +245,27 @@ impl<'a, 'i, A: ArenaOps> SegmentSolver<'a, 'i, A> {
         }
     }
 
+    /// [`SegmentSolver::new`] continuing from the caches of an earlier solver
+    /// of the *same* segment over the *same* arena (see [`SegmentCaches`]).
+    /// The pipeline workers of the streaming runtime use this to stop
+    /// rebuilding the memo per `(query, segment, formula)` work item.
+    pub fn with_caches(
+        comp: &'a DistributedComputation,
+        next_anchor: u64,
+        interner: &'i mut A,
+        caches: SegmentCaches,
+    ) -> Self {
+        SegmentSolver {
+            engine: Engine::with_caches(comp, next_anchor, usize::MAX, interner, caches),
+        }
+    }
+
+    /// Extracts the per-segment caches for reuse by a later solver of the
+    /// same segment.
+    pub fn into_caches(self) -> SegmentCaches {
+        self.engine.caches
+    }
+
     /// Limits the number of distinct rewritten formulas per
     /// [`SegmentSolver::progress`] call.
     ///
@@ -306,10 +338,86 @@ pub fn exists_verdict(comp: &DistributedComputation, phi: &Formula, target: bool
 /// formula)`. Fixed-size, allocation-free, O(1) hash and equality.
 ///
 /// A node stands for every admissible pending time of a *range* when the
-/// pending formula is time-invariant; the canonical representative of such a
-/// range is its earliest time (see [`Engine::explore`]), so plain singleton
-/// keys double as range keys without widening the memo entry.
+/// pending formula is time-invariant or the range sweeps one shift-normal
+/// zone; the canonical representative of such a range is its earliest time
+/// (see [`Engine::explore`]). Nodes are additionally rewritten to their
+/// *zone representative* before the lookup (see [`Engine::canonical_node`]):
+/// while every live window lies strictly in the future, the pending time is
+/// advanced toward the window anchor and the pending formula translated down
+/// in step, so translates of one obligation encountered at different
+/// absolute times share a single memo entry.
 type NodeKey = (u128, u64, FormulaId);
+
+/// The per-segment solver caches: the search memo, the feasibility cache,
+/// the per-cut `enabled`/`frontier`/earliest-window caches and the cut
+/// ranker.
+///
+/// Extracted from the engine so callers that progress *many* pending
+/// formulas through the same segment — most importantly the streaming
+/// runtime's pipeline workers, which receive one `(query, segment, formula)`
+/// work item at a time — can carry the caches from one [`SegmentSolver`] to
+/// the next with [`SegmentSolver::with_caches`] /
+/// [`SegmentSolver::into_caches`] instead of rebuilding them per work item.
+/// All contained state is deterministic for a given computation (memo
+/// entries are complete contribution sets, ranks are mixed-radix), so two
+/// instances built independently can be merged with
+/// [`SegmentCaches::absorb`].
+pub struct SegmentCaches {
+    /// Maps cuts to unique ranks (see [`CutRanker`]).
+    ranker: CutRanker,
+    /// Contribution sets per node, stored as sorted deduplicated boxed
+    /// slices (the sets are tiny for most nodes; a flat slice beats a tree
+    /// set on both build and replay, and `Box` keeps the caches `Send` so
+    /// pipeline workers can hand them around).
+    memo: FxHashMap<NodeKey, Box<[FormulaId]>>,
+    feasibility: FxHashMap<(u128, u64), bool>,
+    /// `cut.enabled()` per cut rank.
+    enabled_cache: FxHashMap<u128, Arc<[EventId]>>,
+    /// `cut.frontier_state()` per cut rank, pre-interned in the formula arena
+    /// so progressions against it are memoised on a 4-byte key.
+    frontier_cache: FxHashMap<u128, StateKey>,
+    /// Earliest admissible window start over the enabled events, per cut
+    /// rank — the bound up to which a node's pending time can be advanced
+    /// without changing its children (see [`Engine::canonical_node`]).
+    min_lo_cache: FxHashMap<u128, u64>,
+}
+
+impl SegmentCaches {
+    /// Fresh caches for one segment.
+    pub fn new(comp: &DistributedComputation) -> Self {
+        SegmentCaches {
+            ranker: CutRanker::new(comp),
+            memo: FxHashMap::default(),
+            feasibility: FxHashMap::default(),
+            enabled_cache: FxHashMap::default(),
+            frontier_cache: FxHashMap::default(),
+            min_lo_cache: FxHashMap::default(),
+        }
+    }
+
+    /// Merges another instance built for the *same segment over the same
+    /// arena* into this one. With mixed-radix ranks every key is globally
+    /// deterministic, so the union is exact; in the interned-rank fallback
+    /// (astronomically large lattices) the two instances may have assigned
+    /// ranks differently and `other` is discarded instead.
+    pub fn absorb(&mut self, other: SegmentCaches) {
+        if !matches!(self.ranker, CutRanker::Strides(_))
+            || !matches!(other.ranker, CutRanker::Strides(_))
+        {
+            return;
+        }
+        self.memo.extend(other.memo);
+        self.feasibility.extend(other.feasibility);
+        self.enabled_cache.extend(other.enabled_cache);
+        self.frontier_cache.extend(other.frontier_cache);
+        self.min_lo_cache.extend(other.min_lo_cache);
+    }
+
+    /// Number of memoised search nodes (diagnostic).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+}
 
 /// Assigns every cut of one computation a unique `u128` rank.
 ///
@@ -368,18 +476,9 @@ struct Engine<'a, 'i, A: ArenaOps> {
     /// Hash-consed formula arena, borrowed from the caller so it can span
     /// several segments (and every pending formula of each).
     interner: &'i mut A,
-    /// Maps cuts to unique ranks (see [`CutRanker`]).
-    ranker: CutRanker,
-    /// Contribution sets per node, stored as sorted deduplicated slices (the
-    /// sets are tiny for most nodes; a flat slice beats a tree set on both
-    /// build and replay).
-    memo: FxHashMap<NodeKey, Rc<[FormulaId]>>,
-    feasibility: FxHashMap<(u128, u64), bool>,
-    /// `cut.enabled()` per cut rank.
-    enabled_cache: FxHashMap<u128, Rc<[EventId]>>,
-    /// `cut.frontier_state()` per cut rank, pre-interned in the formula arena
-    /// so progressions against it are memoised on a 4-byte key.
-    frontier_cache: FxHashMap<u128, StateKey>,
+    /// The per-segment caches (memo, feasibility, per-cut tables, ranker) —
+    /// extractable so callers can share them across solvers of one segment.
+    caches: SegmentCaches,
     stats: SolverStats,
     found: BTreeSet<FormulaId>,
 }
@@ -395,16 +494,22 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
         limit: usize,
         interner: &'i mut A,
     ) -> Self {
+        Engine::with_caches(comp, next_anchor, limit, interner, SegmentCaches::new(comp))
+    }
+
+    fn with_caches(
+        comp: &'a DistributedComputation,
+        next_anchor: u64,
+        limit: usize,
+        interner: &'i mut A,
+        caches: SegmentCaches,
+    ) -> Self {
         Engine {
             comp,
             next_anchor,
             limit,
             interner,
-            ranker: CutRanker::new(comp),
-            memo: FxHashMap::default(),
-            feasibility: FxHashMap::default(),
-            enabled_cache: FxHashMap::default(),
-            frontier_cache: FxHashMap::default(),
+            caches,
             stats: SolverStats::default(),
             found: BTreeSet::new(),
         }
@@ -414,7 +519,7 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
     /// accepted a formula (or the limit was reached) before exhaustion.
     fn run(&mut self, psi: FormulaId, stop: &mut StopFn<'_, A>) -> bool {
         let initial_cut = Cut::empty(self.comp.process_count());
-        let root = self.ranker.root();
+        let root = self.caches.ranker.root();
         let mut sink = Vec::new();
         self.explore(
             &initial_cut,
@@ -432,24 +537,108 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
 
     /// The events that can consistently extend the cut, computed once per cut
     /// rank.
-    fn enabled(&mut self, cut: &Cut, rank: u128) -> Rc<[EventId]> {
-        if let Some(cached) = self.enabled_cache.get(&rank) {
-            return Rc::clone(cached);
+    fn enabled(&mut self, cut: &Cut, rank: u128) -> Arc<[EventId]> {
+        if let Some(cached) = self.caches.enabled_cache.get(&rank) {
+            return Arc::clone(cached);
         }
-        let enabled: Rc<[EventId]> = cut.enabled(self.comp).into();
-        self.enabled_cache.insert(rank, Rc::clone(&enabled));
+        let enabled: Arc<[EventId]> = cut.enabled(self.comp).into();
+        self.caches.enabled_cache.insert(rank, Arc::clone(&enabled));
         enabled
     }
 
     /// The frontier state of the cut, computed and interned once per cut
     /// rank.
     fn frontier(&mut self, cut: &Cut, rank: u128) -> StateKey {
-        if let Some(&cached) = self.frontier_cache.get(&rank) {
+        if let Some(&cached) = self.caches.frontier_cache.get(&rank) {
             return cached;
         }
         let key = self.interner.intern_state(&cut.frontier_state(self.comp));
-        self.frontier_cache.insert(rank, key);
+        self.caches.frontier_cache.insert(rank, key);
         key
+    }
+
+    /// The earliest admissible window start over the cut's enabled events,
+    /// computed once per cut rank. A node whose pending time lies below this
+    /// bound schedules its next event in exactly the same time range as a
+    /// node at the bound — pending time only matters once it *clips* a
+    /// window.
+    fn min_enabled_lo(&mut self, cut: &Cut, rank: u128) -> u64 {
+        if let Some(&cached) = self.caches.min_lo_cache.get(&rank) {
+            return cached;
+        }
+        let enabled = self.enabled(cut, rank);
+        let min_lo = enabled
+            .iter()
+            .map(|&event| self.comp.time_window(event).0)
+            .min()
+            .unwrap_or(0);
+        self.caches.min_lo_cache.insert(rank, min_lo);
+        min_lo
+    }
+
+    /// Rewrites a search node to its *shift-normal zone representative*
+    /// before memo lookup and exploration. Sound whenever advancing the
+    /// pending time does not change the node's subtree:
+    ///
+    /// * the pending time may advance up to [`Engine::min_enabled_lo`] —
+    ///   below that bound it clips no event window, so the children (event,
+    ///   occurrence-time) pairs are unchanged;
+    /// * a time-invariant pending formula is unaffected by the advance (its
+    ///   progressions ignore elapsed time), so the node at the bound is
+    ///   *equal* to the original;
+    /// * a pending formula with shift slack σ ≥ 1 is translated down in step
+    ///   with the advance (capped at σ − 1, so the first window stays
+    ///   strictly in the future and the observation keeps falling outside
+    ///   it): by the translation lemma of
+    ///   [`rvmtl_mtl::Interner::shift_slack`] the progressions of the
+    ///   translated pair coincide with the original's at every matching
+    ///   absolute time.
+    ///
+    /// Two obligations that are time-translates of each other therefore meet
+    /// in one memo entry keyed by their common zone representative — a memo
+    /// entry earned at one absolute time is a hit at every translate.
+    fn canonical_node(
+        &mut self,
+        cut: &Cut,
+        rank: u128,
+        pending_time: u64,
+        psi: FormulaId,
+    ) -> (u64, FormulaId) {
+        // Cheap early-out for the common case: a formula with an open window
+        // (slack 0) and time-dependent progression admits no rewrite at all —
+        // skip the per-cut bound lookup entirely.
+        let invariant = self.interner.is_time_invariant(psi);
+        let slack = if invariant {
+            u64::MAX
+        } else {
+            self.interner.shift_slack(psi)
+        };
+        if !invariant && (slack == 0 || slack == u64::MAX) {
+            return (pending_time, psi);
+        }
+        let bound = if cut.is_full(self.comp) {
+            // No events left: only the final anchor remains, and the step to
+            // it tolerates any pending time up to the anchor.
+            self.next_anchor
+        } else {
+            self.min_enabled_lo(cut, rank)
+        };
+        if pending_time >= bound {
+            return (pending_time, psi);
+        }
+        if invariant {
+            self.stats.shift_normalized_nodes += 1;
+            return (bound, psi);
+        }
+        let canonical_time = bound.min(pending_time.saturating_add(slack - 1));
+        if canonical_time == pending_time {
+            return (pending_time, psi);
+        }
+        let translated = self
+            .interner
+            .translate_down(psi, canonical_time - pending_time);
+        self.stats.shift_normalized_nodes += 1;
+        (canonical_time, translated)
     }
 
     /// Returns `true` if the remaining events of `cut` can be scheduled with
@@ -462,7 +651,7 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
             return true;
         }
         let key = (rank, pending_time);
-        if let Some(&cached) = self.feasibility.get(&key) {
+        if let Some(&cached) = self.caches.feasibility.get(&key) {
             return cached;
         }
         let mut feasible = false;
@@ -474,9 +663,10 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
                 continue;
             }
             let next_cut = cut.extended(self.comp, event);
-            let next_rank = self
-                .ranker
-                .child(rank, &next_cut, self.comp.event(event).process.0);
+            let next_rank =
+                self.caches
+                    .ranker
+                    .child(rank, &next_cut, self.comp.event(event).process.0);
             // Scheduling the event as early as possible dominates any later
             // choice for feasibility purposes.
             if self.can_complete(&next_cut, next_rank, lo) {
@@ -484,12 +674,16 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
                 break;
             }
         }
-        self.feasibility.insert(key, feasible);
+        self.caches.feasibility.insert(key, feasible);
         feasible
     }
 
     /// Progression of the pending formula when one more observation (or the
-    /// end of the segment) arrives at time `next_time`.
+    /// end of the segment) arrives at time `next_time`. The pending formula
+    /// is anchored at `pending_time` (for the empty cut that is the
+    /// segment's base, possibly advanced by the zone canonicalisation — the
+    /// formula was translated down in step, so the gap is measured from the
+    /// canonical anchor).
     fn step(
         &mut self,
         cut: &Cut,
@@ -500,9 +694,9 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
     ) -> FormulaId {
         if cut.size() == 0 {
             // No observation is pending yet: only time has passed since the
-            // segment's base.
+            // formula's anchor.
             self.interner
-                .progress_gap_cached(psi, next_time.saturating_sub(self.comp.base_time()))
+                .progress_gap_cached(psi, next_time.saturating_sub(pending_time))
         } else {
             let key = self.frontier(cut, rank);
             self.interner
@@ -518,11 +712,11 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
     /// or the configured limit is reached; a node abandoned early caches
     /// nothing, so the memo only ever holds complete contribution sets.
     ///
-    /// # Time-interval abstraction
+    /// # Time-interval abstraction and shift-normal zones
     ///
     /// The admissible occurrence times of an enabled event are *not* branched
     /// on one tick at a time. The window is partitioned by
-    /// [`Interner::progress_one_over`] into maximal residual-constant ranges,
+    /// [`Interner::progress_one_over`] into maximal [`rvmtl_mtl::SplitRange`]s,
     /// and each range contributes:
     ///
     /// * **one** child node at the range's earliest time when the residual is
@@ -534,9 +728,20 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
     ///   which shrinks monotonically in `t`. The union over a range therefore
     ///   equals the contribution of its infimum, which becomes the range's
     ///   canonical memo representative.
+    /// * **one** child node at the earliest time of a
+    ///   [`RangeKind::Translated`] range — the ticks of such a range sweep
+    ///   one shift-normal zone (the residuals are exact time-translates with
+    ///   a common window anchor and shifts ≥ 1), so later members schedule a
+    ///   subset of the event times available to the earliest one while
+    ///   producing identical residuals at matching absolute times: their
+    ///   contributions nest, and the union over the range again equals the
+    ///   contribution of its infimum. This is what caps the per-event
+    ///   branching at the live window *width* (plus the open-window ticks)
+    ///   instead of the full temporal horizon — the ε-saturation point of a
+    ///   delayed-window formula drops below its horizon.
     /// * one child node per tick otherwise (the residual still holds a live
-    ///   bounded interval, so different pending times genuinely differ) —
-    ///   but the residual itself is computed once per range, not per tick.
+    ///   open bounded interval, so different pending times genuinely differ)
+    ///   — but the residual itself is computed once per range, not per tick.
     fn explore(
         &mut self,
         cut: &Cut,
@@ -549,15 +754,20 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
         if self.found.len() >= self.limit {
             return true;
         }
+        // Rewrite to the zone representative first: translates of one
+        // obligation share a single memo entry and a single subtree.
+        let (pending_time, psi) = self.canonical_node(cut, rank, pending_time, psi);
         let key: NodeKey = (rank, pending_time, psi);
-        if let Some(cached) = self.memo.get(&key) {
+        if let Some(cached) = self.caches.memo.get(&key) {
             self.stats.memo_hits += 1;
-            let cached = Rc::clone(cached);
             sink.extend(cached.iter().copied());
+            // Field-disjoint borrows: the cached slice lives in
+            // `self.caches`, the replay touches only `found`/`interner`.
+            let (found, interner, limit) = (&mut self.found, &mut *self.interner, self.limit);
             for &f in cached.iter() {
-                let hit = stop(self.interner, f);
-                self.found.insert(f);
-                if hit || self.found.len() >= self.limit {
+                let hit = stop(interner, f);
+                found.insert(f);
+                if hit || found.len() >= limit {
                     return true;
                 }
             }
@@ -589,35 +799,49 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
                 }
                 let next_cut = cut.extended(self.comp, event);
                 let next_rank =
-                    self.ranker
+                    self.caches
+                        .ranker
                         .child(rank, &next_cut, self.comp.event(event).process.0);
                 // One progression call per distinct residual of the window,
                 // not one per admissible tick.
                 let splits = if cut.size() == 0 {
                     // No observation is pending yet: only time has passed
-                    // since the segment's base.
-                    self.interner
-                        .progress_gap_over(psi, self.comp.base_time(), lo, hi)
+                    // since the formula's (canonical) anchor.
+                    self.interner.progress_gap_over(psi, pending_time, lo, hi)
                 } else {
                     let key = self.frontier(cut, rank);
                     self.interner
                         .progress_one_over_keyed(key, pending_time, psi, lo, hi)
                 };
                 self.stats.time_splits += splits.len();
-                for (a, b, advanced) in splits {
-                    if self.interner.is_time_invariant(advanced) {
+                for range in splits {
+                    let collapse = range.kind == RangeKind::Translated
+                        || self.interner.is_time_invariant(range.residual);
+                    if collapse {
                         // The whole range is subsumed by its earliest time
                         // (see the method documentation).
-                        self.stats.merged_time_points += (b - a) as usize;
-                        stopped |=
-                            self.explore(&next_cut, next_rank, a, advanced, stop, &mut local);
+                        self.stats.merged_time_points += (range.hi - range.lo) as usize;
+                        stopped |= self.explore(
+                            &next_cut,
+                            next_rank,
+                            range.lo,
+                            range.residual,
+                            stop,
+                            &mut local,
+                        );
                         if stopped {
                             break 'outer;
                         }
                     } else {
-                        for t in a..=b {
-                            stopped |=
-                                self.explore(&next_cut, next_rank, t, advanced, stop, &mut local);
+                        for t in range.lo..=range.hi {
+                            stopped |= self.explore(
+                                &next_cut,
+                                next_rank,
+                                t,
+                                range.residual,
+                                stop,
+                                &mut local,
+                            );
                             if stopped {
                                 break 'outer;
                             }
@@ -644,7 +868,7 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
             self.found.insert(f);
         }
         sink.extend(local.iter().copied());
-        self.memo.insert(key, local.into());
+        self.caches.memo.insert(key, local.into());
         stopped || self.found.len() >= self.limit
     }
 }

@@ -107,3 +107,63 @@ fn negation_flips_verdicts() {
         assert_eq!(neg, flipped, "formula {phi}");
     }
 }
+
+/// The shift-normal engine on *delayed-window* formulas — windows starting
+/// strictly after the anchor, whose pre-window residuals are exact
+/// time-translates of one canonical residual — must preserve verdict sets
+/// across the whole ε axis. This is the regime where the zone
+/// canonicalisation (translated-range collapse, shift-relative memo keys)
+/// actually fires, so the sweep additionally asserts that it fired: plain
+/// per-formula agreement alone could pass with the machinery disabled.
+#[test]
+fn delayed_window_verdicts_match_bruteforce_across_epsilon() {
+    use rvmtl_solver::ProgressionQuery;
+    let mut rng = StdRng::seed_from_u64(0x5F1D);
+    let mut normalized_nodes = 0usize;
+    for epsilon in 1u64..=8 {
+        for _ in 0..10 {
+            let processes = rng.gen_range(1usize..3);
+            let mut b = rvmtl_distrib::ComputationBuilder::new(processes, epsilon);
+            for p in 0..processes {
+                let events = rng.gen_range(0usize..3);
+                let mut t = 0;
+                for _ in 0..events {
+                    t += 1 + rng.gen_range(0u64..3);
+                    let state: rvmtl_mtl::State = rvmtl_mtl::testgen::PROPS
+                        .iter()
+                        .filter(|_| rng.gen_bool())
+                        .copied()
+                        .collect();
+                    b.event(p, t, state);
+                }
+            }
+            let comp = b.build().expect("generated computations are valid");
+            // Bias every top-level window away from zero: translate the
+            // generated formula's live intervals up by a random offset.
+            let cfg = GenConfig {
+                max_depth: 2,
+                interval_start_max: 3,
+                interval_len_max: 6,
+                unbounded_intervals: false,
+            };
+            let base = gen_formula(&mut rng, &cfg);
+            let shift = rng.gen_range(1u64..8);
+            let mut interner = rvmtl_mtl::Interner::new();
+            let id = interner.intern(&base);
+            let shifted = rvmtl_mtl::ArenaOps::translate_up(&mut interner, id, shift);
+            let phi = rvmtl_mtl::ArenaOps::resolve(&interner, shifted);
+            let anchor = comp.max_local_time() + comp.epsilon();
+            let result = ProgressionQuery::new(&comp, anchor).distinct_progressions(&phi);
+            normalized_nodes += result.stats.shift_normalized_nodes;
+            assert_eq!(
+                result.verdicts(),
+                all_verdicts(&comp, &phi),
+                "formula {phi}, ε = {epsilon}"
+            );
+        }
+    }
+    assert!(
+        normalized_nodes > 0,
+        "the sweep never exercised the shift-normal canonicalisation"
+    );
+}
