@@ -1,27 +1,38 @@
-//! Machine-readable performance snapshot of the paper's workloads.
+//! Machine-readable performance snapshot of the paper's workloads, and the
+//! CI search-shape regression gate.
 //!
 //! Prints a JSON object with wall time, explored solver states, and the
 //! states-per-second throughput for each formula of the Fig. 5a sweep plus an
 //! aggregate, and — with `--sweeps` — the ε sweep of Fig. 5b/5c, the length
-//! sweep of Fig. 5d, the Fig. 6 cross-chain protocol lattices (two-party /
-//! three-party swap and auction scenario sets), and the streaming-pipeline
-//! sweep comparing the batch monitor against the `rvmtl-runtime`
-//! [`StreamMonitor`] (sequential and pipelined) on long multi-query
-//! computations. The repository keeps outputs of this tool in
-//! `BENCH_1.json` / `BENCH_2.json` / `BENCH_3.json` so perf-focused PRs have
-//! hard before/after numbers:
+//! sweep of Fig. 5d, the shift-free tax sweep (per-state cost on formulas
+//! with no translatable structure), the Fig. 6 cross-chain protocol lattices
+//! (two-party / three-party swap and auction scenario sets), and the
+//! streaming-pipeline sweep comparing the batch monitor against the
+//! `rvmtl-runtime` [`StreamMonitor`] (sequential and pipelined) on long
+//! multi-query computations. The repository keeps outputs of this tool in
+//! `BENCH_1.json` … `BENCH_5.json` so perf-focused PRs have hard
+//! before/after numbers:
 //!
 //! ```text
 //! cargo run --release --bin bench_snapshot -- [label] [--sweeps] > snapshot.json
 //! ```
 //!
 //! Without `--sweeps` only the (fast) Fig. 5a series runs; `--protocols`
-//! additionally runs just the protocol series (the CI smoke). CI smokes both
-//! modes (output discarded) so no sweep code path can bitrot.
+//! additionally runs just the protocol series (the CI smoke). Every sweep
+//! also emits a one-line summary (state counts + throughput) to *stderr*, so
+//! CI logs retain the headline numbers even when stdout is discarded.
+//!
+//! Two further modes drive the CI regression gate over the
+//! machine-independent search-shape counters (see [`rvmtl_bench::pins`]):
+//!
+//! ```text
+//! bench_snapshot --check [BENCH_PINS.json]        # exit 1 on counter drift
+//! bench_snapshot --write-pins [BENCH_PINS.json]   # regenerate the budget
+//! ```
 
 use rvmtl_bench::{
-    blockchain_workloads, default_trace_config, formula, synthetic_computation, BLOCKCHAIN_DELTA,
-    BLOCKCHAIN_EPSILON, DEFAULT_SEGMENTS,
+    blockchain_workloads, default_trace_config, formula, pins, sweep_monitor, sweep_points,
+    synthetic_computation, BLOCKCHAIN_DELTA, BLOCKCHAIN_EPSILON, DEFAULT_SEGMENTS,
 };
 use rvmtl_distrib::EventId;
 use rvmtl_monitor::Monitor;
@@ -41,7 +52,7 @@ fn measure_best(
     phi: &rvmtl_mtl::Formula,
     segments: usize,
 ) -> (usize, f64) {
-    let monitor = Monitor::new(MonitorConfig::with_segments(segments));
+    let monitor = sweep_monitor(segments);
     // One warm-up run yields the (deterministic) state count and calibrates
     // the block size.
     let started = Instant::now();
@@ -111,8 +122,80 @@ fn measure_batch(
     best
 }
 
+/// The argument following `flag` (if any, and not itself a flag), or the
+/// default pins path.
+fn path_after(args: &[String], flag: &str) -> String {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_PINS.json".into())
+}
+
+/// `--check`: compare the current machine-independent counters of every
+/// sweep against the committed budget file; any drift fails the process.
+fn run_check(path: &str) -> ! {
+    // Fail fast on a bad path or malformed budget before spending the
+    // collection run.
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("[bench] cannot read pin budget {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let pinned = match pins::parse_pins(&text) {
+        Ok(pinned) => pinned,
+        Err(e) => {
+            eprintln!("[bench] cannot parse pin budget {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("[bench] collecting search-shape counters for the pin check …");
+    let current = pins::flatten(&pins::pin_rows());
+    let drift = pins::diff_pins(&current, &pinned);
+    if drift.is_empty() {
+        eprintln!(
+            "[bench] search-shape counters match {path} ({} pinned values across {} sweep points)",
+            pinned.len(),
+            pinned.len() / 6
+        );
+        std::process::exit(0);
+    }
+    eprintln!(
+        "[bench] search-shape drift against {path} ({} of {} values):",
+        drift.len(),
+        pinned.len().max(current.len())
+    );
+    for line in &drift {
+        eprintln!("[bench]   {line}");
+    }
+    eprintln!(
+        "[bench] if the change is intentional, regenerate the budget with \
+         `cargo run --release --bin bench_snapshot -- --write-pins {path}` \
+         and commit the diff"
+    );
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check") {
+        run_check(&path_after(&args, "--check"));
+    }
+    if args.iter().any(|a| a == "--write-pins") {
+        let path = path_after(&args, "--write-pins");
+        eprintln!("[bench] collecting search-shape counters for {path} …");
+        let entries = pins::flatten(&pins::pin_rows());
+        std::fs::write(&path, pins::format_pins(&entries)).expect("write pin budget");
+        eprintln!(
+            "[bench] wrote {} pinned values ({} sweep points) to {path}",
+            entries.len(),
+            entries.len() / 6
+        );
+        return;
+    }
     let sweeps = args.iter().any(|a| a == "--sweeps");
     let protocols = sweeps || args.iter().any(|a| a == "--protocols");
     let label = args
@@ -123,131 +206,127 @@ fn main() {
         .replace('\\', "\\\\")
         .replace('"', "\\\"");
 
-    // The Fig. 5a defaults, doubled in length so the measurement rises well
-    // above scheduler noise.
-    let mut cfg = default_trace_config();
-    cfg.duration_ms *= 2;
-
+    // All deterministic sweep points come from the single shared producer —
+    // the same membership the `--check`/`--write-pins` gate collects, so a
+    // sweep cannot be timed without being pinned or vice versa. Sweep
+    // rationale lives with the fixtures in `rvmtl_bench`:
+    //
+    // * `fig5a` — the headline series, duration doubled above scheduler
+    //   noise (always measured, even without `--sweeps`);
+    // * `epsilon_sweep` — Fig. 5b, the axis the per-tick engine blew up on;
+    // * `epsilon_saturation` — must go flat once ε exceeds the horizon;
+    // * `epsilon_dense` — delayed-window formula, must go flat *below* the
+    //   horizon (the shift-normal zone signature);
+    // * `length_sweep` — Fig. 5d;
+    // * `shift_free` — all windows at zero, the watermark never trips;
+    //   `ns_per_state` is the figure the before/after comparison in
+    //   `BENCH_5.json` tracks (explored-state counts are pinned unchanged by
+    //   the `--check` gate, so the per-state cost ratio *is* the
+    //   shift-normal tax).
     let mut rows = Vec::new();
+    let mut epsilon_rows = Vec::new();
+    let mut saturation_rows = Vec::new();
+    let mut dense_rows = Vec::new();
+    let mut length_rows = Vec::new();
+    let mut shift_free_rows = Vec::new();
     let mut total_states = 0usize;
     let mut total_secs = 0f64;
-    for index in [1usize, 3, 4, 6] {
-        let comp = synthetic_computation(index, &cfg);
-        let phi = formula(index, cfg.processes);
-        let (states, best_secs) = measure_best(&comp, &phi, DEFAULT_SEGMENTS);
-        total_states += states;
-        total_secs += best_secs;
-        rows.push(format!(
-            concat!(
-                "    {{\"formula\": \"phi{}\", \"events\": {}, \"explored_states\": {}, ",
-                "\"wall_ms\": {:.3}, \"states_per_sec\": {:.0}}}"
-            ),
-            index,
-            comp.event_count(),
-            states,
-            best_secs * 1000.0,
-            states as f64 / best_secs
-        ));
-    }
-
-    // The ε sweep of Fig. 5b (phi4, g = 7 — the steepest baseline series):
-    // the axis on which the per-tick engine blew up linearly.
-    let mut epsilon_rows = Vec::new();
-    if sweeps {
-        let phi = formula(4, 2);
-        for epsilon in [1u64, 2, 3, 4, 5, 6] {
-            let mut cfg = default_trace_config();
-            cfg.epsilon_ms = epsilon;
-            let comp = synthetic_computation(4, &cfg);
-            let (states, best_secs) = measure_best(&comp, &phi, 7);
-            epsilon_rows.push(format!(
+    let mut summary: Vec<(&'static str, usize, f64)> = Vec::new();
+    for p in sweep_points() {
+        if !sweeps && p.sweep != "fig5a" {
+            continue;
+        }
+        let (states, best_secs) = measure_best(&p.comp, &p.phi, p.segments);
+        match summary.last_mut() {
+            Some(row) if row.0 == p.sweep => {
+                row.1 += states;
+                row.2 += best_secs;
+            }
+            _ => summary.push((p.sweep, states, best_secs)),
+        }
+        let events = p.comp.event_count();
+        match p.sweep {
+            "fig5a" => {
+                total_states += states;
+                total_secs += best_secs;
+                rows.push(format!(
+                    concat!(
+                        "    {{\"formula\": \"{}\", \"events\": {}, \"explored_states\": {}, ",
+                        "\"wall_ms\": {:.3}, \"states_per_sec\": {:.0}}}"
+                    ),
+                    p.point,
+                    events,
+                    states,
+                    best_secs * 1000.0,
+                    states as f64 / best_secs
+                ));
+            }
+            "epsilon_sweep" => epsilon_rows.push(format!(
                 concat!(
                     "    {{\"epsilon\": {}, \"explored_states\": {}, \"wall_ms\": {:.3}, ",
                     "\"states_per_sec\": {:.0}}}"
                 ),
-                epsilon,
+                p.x,
                 states,
                 best_secs * 1000.0,
                 states as f64 / best_secs
-            ));
-        }
-    }
-
-    // The ε saturation sweep: a Fig. 3-sized computation under skew bounds
-    // far beyond the formula's temporal horizon (6). The per-tick engine grew
-    // linearly in ε forever; the interval abstraction must go flat once every
-    // window is wider than the horizon.
-    let mut saturation_rows = Vec::new();
-    if sweeps {
-        let phi = rvmtl_mtl::parse("a U[0,6) b").expect("fixed formula parses");
-        for epsilon in [1u64, 2, 4, 8, 16, 32, 64] {
-            let mut b = rvmtl_distrib::ComputationBuilder::new(2, epsilon);
-            b.event(0, 1, rvmtl_mtl::state!["a"]);
-            b.event(0, 4, rvmtl_mtl::state![]);
-            b.event(1, 2, rvmtl_mtl::state!["a"]);
-            b.event(1, 5, rvmtl_mtl::state!["b"]);
-            let comp = b.build().expect("fixed computation is valid");
-            let (states, best_secs) = measure_best(&comp, &phi, 1);
-            saturation_rows.push(format!(
+            )),
+            "epsilon_saturation" => saturation_rows.push(format!(
                 "    {{\"epsilon\": {}, \"explored_states\": {}, \"wall_ms\": {:.3}}}",
-                epsilon,
+                p.x,
                 states,
                 best_secs * 1000.0,
-            ));
-        }
-    }
-
-    // The dense-workload ε sweep: a *delayed-window* formula (`a U[6,12) b`,
-    // temporal horizon 12, live window width 6) over a dense two-process
-    // lattice (one event per tick, clustered at the window). Residuals of
-    // the delayed window are exact time-translates of each other while the
-    // window has not opened, so a shift-normal engine's branching saturates
-    // once every event window covers the *open* region — at an ε around the
-    // window's width, strictly below the horizon. A per-tick or
-    // invariant-only engine keeps branching on the pre-window ticks too and
-    // only goes flat once ε reaches the full horizon.
-    let mut dense_rows = Vec::new();
-    if sweeps {
-        let phi = rvmtl_mtl::parse("a U[6,12) b").expect("fixed formula parses");
-        for epsilon in [1u64, 2, 3, 4, 5, 6, 8, 10, 12, 16, 32, 64] {
-            let mut b = rvmtl_distrib::ComputationBuilder::new(2, epsilon);
-            b.event(0, 6, rvmtl_mtl::state!["a"]);
-            b.event(0, 8, rvmtl_mtl::state!["a"]);
-            b.event(0, 10, rvmtl_mtl::state!["a"]);
-            b.event(1, 7, rvmtl_mtl::state!["a"]);
-            b.event(1, 9, rvmtl_mtl::state!["a"]);
-            b.event(1, 11, rvmtl_mtl::state!["b"]);
-            let comp = b.build().expect("fixed computation is valid");
-            let (states, best_secs) = measure_best(&comp, &phi, 1);
-            dense_rows.push(format!(
+            )),
+            "epsilon_dense" => dense_rows.push(format!(
                 "    {{\"epsilon\": {}, \"explored_states\": {}, \"wall_ms\": {:.3}}}",
-                epsilon,
+                p.x,
                 states,
                 best_secs * 1000.0,
-            ));
-        }
-    }
-
-    // The length sweep of Fig. 5d (phi4, |P| = 2, g = 15).
-    let mut length_rows = Vec::new();
-    if sweeps {
-        let phi = formula(4, 2);
-        for length in [100u64, 200, 300, 400, 500] {
-            let mut cfg = default_trace_config();
-            cfg.duration_ms = length;
-            let comp = synthetic_computation(4, &cfg);
-            let (states, best_secs) = measure_best(&comp, &phi, DEFAULT_SEGMENTS);
-            length_rows.push(format!(
+            )),
+            "length_sweep" => length_rows.push(format!(
                 concat!(
                     "    {{\"length\": {}, \"events\": {}, \"explored_states\": {}, ",
                     "\"wall_ms\": {:.3}}}"
                 ),
-                length,
-                comp.event_count(),
+                p.x,
+                events,
                 states,
                 best_secs * 1000.0,
-            ));
+            )),
+            "shift_free" => shift_free_rows.push(format!(
+                concat!(
+                    "    {{\"workload\": \"{}\", \"events\": {}, \"explored_states\": {}, ",
+                    "\"wall_ms\": {:.3}, \"states_per_sec\": {:.0}, \"ns_per_state\": {:.1}}}"
+                ),
+                p.point,
+                events,
+                states,
+                best_secs * 1000.0,
+                states as f64 / best_secs,
+                best_secs * 1e9 / states as f64,
+            )),
+            other => unreachable!("unhandled sweep {other} — add a row format for it"),
         }
+    }
+    let point_count = |sweep: &str| -> usize {
+        match sweep {
+            "fig5a" => rows.len(),
+            "epsilon_sweep" => epsilon_rows.len(),
+            "epsilon_saturation" => saturation_rows.len(),
+            "epsilon_dense" => dense_rows.len(),
+            "length_sweep" => length_rows.len(),
+            _ => shift_free_rows.len(),
+        }
+    };
+    for (sweep, states, secs) in &summary {
+        eprintln!(
+            "[bench] {}: {} points, {} states, {:.3} ms, {:.0} states/s",
+            sweep,
+            point_count(sweep),
+            states,
+            secs * 1000.0,
+            *states as f64 / secs
+        );
     }
 
     // The Fig. 6 cross-chain protocol workloads (two-party / three-party
@@ -256,10 +335,14 @@ fn main() {
     // unpinned `fig6_blockchain` bench bin.
     let mut protocol_rows = Vec::new();
     if protocols {
+        let (mut sweep_states, mut sweep_secs, mut count) = (0usize, 0f64, 0usize);
         for (name, segments, comp, phi) in
             blockchain_workloads(BLOCKCHAIN_DELTA, BLOCKCHAIN_EPSILON)
         {
             let (states, best_secs) = measure_best(&comp, &phi, segments.max(1));
+            sweep_states += states;
+            sweep_secs += best_secs;
+            count += 1;
             protocol_rows.push(format!(
                 concat!(
                     "    {{\"workload\": \"{}\", \"segments\": {}, \"events\": {}, ",
@@ -272,6 +355,13 @@ fn main() {
                 best_secs * 1000.0,
             ));
         }
+        eprintln!(
+            "[bench] fig6_protocols: {} workloads, {} states, {:.3} ms, {:.0} states/s",
+            count,
+            sweep_states,
+            sweep_secs * 1000.0,
+            sweep_states as f64 / sweep_secs
+        );
     }
 
     // The streaming-pipeline sweep: long multi-query computations through the
@@ -320,6 +410,16 @@ fn main() {
                 stream_seq * 1000.0,
                 stream_pipe * 1000.0,
             ));
+            eprintln!(
+                concat!(
+                    "[bench] pipeline_sweep len {}: batch {:.3} ms, ",
+                    "stream_seq {:.3} ms, stream_pipe {:.3} ms"
+                ),
+                length,
+                batch * 1000.0,
+                stream_seq * 1000.0,
+                stream_pipe * 1000.0
+            );
         }
     }
 
@@ -342,6 +442,9 @@ fn main() {
         println!("  ],");
         println!("  \"length_sweep\": [");
         println!("{}", length_rows.join(",\n"));
+        println!("  ],");
+        println!("  \"shift_free\": [");
+        println!("{}", shift_free_rows.join(",\n"));
         println!("  ],");
     }
     if protocols {

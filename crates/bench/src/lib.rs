@@ -12,11 +12,13 @@
 use rvmtl_chain::{
     Auction, AuctionScenario, ThreePartyScenario, ThreePartySwap, TwoPartyScenario, TwoPartySwap,
 };
-use rvmtl_distrib::DistributedComputation;
+use rvmtl_distrib::{ComputationBuilder, DistributedComputation};
 use rvmtl_monitor::{Monitor, MonitorConfig, VerdictSet};
-use rvmtl_mtl::Formula;
+use rvmtl_mtl::{state, Formula};
 use rvmtl_ta::{generate, specs, Model, TraceConfig};
 use std::time::{Duration, Instant};
+
+pub mod pins;
 
 /// One measured point of an experiment series.
 #[derive(Debug, Clone)]
@@ -111,11 +113,7 @@ pub fn measure(
     phi: &Formula,
     segments: usize,
 ) -> Sample {
-    let monitor = Monitor::new(if segments <= 1 {
-        MonitorConfig::unsegmented()
-    } else {
-        MonitorConfig::with_segments(segments)
-    });
+    let monitor = sweep_monitor(segments);
     let started = Instant::now();
     let report = monitor.run(comp, phi);
     Sample {
@@ -215,6 +213,206 @@ pub fn blockchain_workloads(
     out
 }
 
+/// The formula indices of the Fig. 5a series. Shared by
+/// `bench_snapshot --sweeps` and the `BENCH_PINS.json` counter collection so
+/// the timing sweep and the CI gate cannot drift apart (the same applies to
+/// every grid constant below).
+pub const FIG5A_INDICES: [usize; 4] = [1, 3, 4, 6];
+
+/// The ε grid of the Fig. 5b sweep (phi4).
+pub const EPSILON_SWEEP_GRID: [u64; 6] = [1, 2, 3, 4, 5, 6];
+
+/// The segment count of the Fig. 5b sweep.
+pub const EPSILON_SWEEP_SEGMENTS: usize = 7;
+
+/// The ε grid of the saturation sweep (Fig. 3 fixture, `a U[0,6) b`).
+pub const SATURATION_GRID: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// The ε grid of the dense delayed-window sweep (`a U[6,12) b`).
+pub const DENSE_GRID: [u64; 12] = [1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 32, 64];
+
+/// The duration grid of the Fig. 5d length sweep.
+pub const LENGTH_GRID: [u64; 5] = [100, 200, 300, 400, 500];
+
+/// The trace config of the Fig. 5a series: the defaults with the duration
+/// doubled, so the measurement rises well above scheduler noise.
+pub fn fig5a_config() -> TraceConfig {
+    let mut cfg = default_trace_config();
+    cfg.duration_ms *= 2;
+    cfg
+}
+
+/// One sweep point of the deterministic benchmark suite: sweep name, point
+/// name, the swept parameter value, the workload, and the segment count.
+pub struct SweepPoint {
+    /// Sweep the point belongs to (`fig5a`, `epsilon_sweep`, …).
+    pub sweep: &'static str,
+    /// Point name within the sweep (`phi4`, `eps3`, `len200`, …).
+    pub point: String,
+    /// The swept parameter value (formula index, ε, duration).
+    pub x: u64,
+    /// The computation to monitor.
+    pub comp: DistributedComputation,
+    /// The formula to monitor.
+    pub phi: Formula,
+    /// Segment count for the monitor.
+    pub segments: usize,
+}
+
+/// Every point of the deterministic sweeps (`fig5a`, `epsilon_sweep`,
+/// `epsilon_saturation`, `epsilon_dense`, `length_sweep`, `shift_free`) in
+/// sweep-then-grid order. This is the **single source of sweep membership**:
+/// `bench_snapshot --sweeps` times exactly these points and `pins::pin_rows`
+/// pins exactly these points (plus the separately shared
+/// [`blockchain_workloads`]), so a sweep added here is automatically both
+/// measured and gated — it cannot join one side and silently skip the other.
+/// The wall-clock-only pipeline sweep is not a deterministic point and stays
+/// in `bench_snapshot`.
+pub fn sweep_points() -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    let cfg = fig5a_config();
+    for index in FIG5A_INDICES {
+        out.push(SweepPoint {
+            sweep: "fig5a",
+            point: format!("phi{index}"),
+            x: index as u64,
+            comp: synthetic_computation(index, &cfg),
+            phi: formula(index, cfg.processes),
+            segments: DEFAULT_SEGMENTS,
+        });
+    }
+    for epsilon in EPSILON_SWEEP_GRID {
+        let mut cfg = default_trace_config();
+        cfg.epsilon_ms = epsilon;
+        out.push(SweepPoint {
+            sweep: "epsilon_sweep",
+            point: format!("eps{epsilon}"),
+            x: epsilon,
+            comp: synthetic_computation(4, &cfg),
+            phi: formula(4, 2),
+            segments: EPSILON_SWEEP_SEGMENTS,
+        });
+    }
+    for epsilon in SATURATION_GRID {
+        out.push(SweepPoint {
+            sweep: "epsilon_saturation",
+            point: format!("eps{epsilon}"),
+            x: epsilon,
+            comp: saturation_computation(epsilon),
+            phi: rvmtl_mtl::parse("a U[0,6) b").expect("fixed formula parses"),
+            segments: 1,
+        });
+    }
+    for epsilon in DENSE_GRID {
+        out.push(SweepPoint {
+            sweep: "epsilon_dense",
+            point: format!("eps{epsilon}"),
+            x: epsilon,
+            comp: dense_computation(epsilon),
+            phi: rvmtl_mtl::parse("a U[6,12) b").expect("fixed formula parses"),
+            segments: 1,
+        });
+    }
+    for length in LENGTH_GRID {
+        let mut cfg = default_trace_config();
+        cfg.duration_ms = length;
+        out.push(SweepPoint {
+            sweep: "length_sweep",
+            point: format!("len{length}"),
+            x: length,
+            comp: synthetic_computation(4, &cfg),
+            phi: formula(4, 2),
+            segments: DEFAULT_SEGMENTS,
+        });
+    }
+    for (name, comp, phi, segments) in shift_free_workloads() {
+        out.push(SweepPoint {
+            sweep: "shift_free",
+            point: name.to_string(),
+            x: 0,
+            comp,
+            phi,
+            segments,
+        });
+    }
+    out
+}
+
+/// The monitor used by every sweep measurement and counter collection: one
+/// construction rule shared by `bench_snapshot` and `pins`, so the two can
+/// never run the same workload under different segmentation.
+pub fn sweep_monitor(segments: usize) -> Monitor {
+    Monitor::new(if segments <= 1 {
+        MonitorConfig::unsegmented()
+    } else {
+        MonitorConfig::with_segments(segments)
+    })
+}
+
+/// The Fig. 3-style fixture behind the ε-saturation sweep and the solver's
+/// regression pins: two processes, four events, configurable skew bound.
+/// Shared by `bench_snapshot --sweeps` and the `BENCH_PINS.json` counter
+/// collection so the timing sweep and the CI gate cannot drift apart.
+pub fn saturation_computation(epsilon: u64) -> DistributedComputation {
+    let mut b = ComputationBuilder::new(2, epsilon);
+    b.event(0, 1, state!["a"]);
+    b.event(0, 4, state![]);
+    b.event(1, 2, state!["a"]);
+    b.event(1, 5, state!["b"]);
+    b.build().expect("fixed computation is valid")
+}
+
+/// The dense two-process delayed-window fixture of the `epsilon_dense` sweep
+/// (one event every tick, clustered at the `a U[6,12) b` window). Shared by
+/// the snapshot harness and the pins collection.
+pub fn dense_computation(epsilon: u64) -> DistributedComputation {
+    let mut b = ComputationBuilder::new(2, epsilon);
+    b.event(0, 6, state!["a"]);
+    b.event(0, 8, state!["a"]);
+    b.event(0, 10, state!["a"]);
+    b.event(1, 7, state!["a"]);
+    b.event(1, 9, state!["a"]);
+    b.event(1, 11, state!["b"]);
+    b.build().expect("fixed computation is valid")
+}
+
+/// The shift-free tax workloads: specifications whose windows all start at
+/// zero, so the arena's shift watermark never trips and the whole zone
+/// machinery must cost nothing. Each returns
+/// `(name, computation, formula, segments)`; the ε values are raised above
+/// the defaults so the solver explores enough states for a stable per-state
+/// cost figure.
+pub fn shift_free_workloads() -> Vec<(&'static str, DistributedComputation, Formula, usize)> {
+    let mut out = Vec::new();
+    let mut cfg = default_trace_config();
+    cfg.epsilon_ms = 3;
+    out.push((
+        "phi4_eps3",
+        synthetic_computation(4, &cfg),
+        formula(4, cfg.processes),
+        DEFAULT_SEGMENTS,
+    ));
+    out.push((
+        "phi1_eps3",
+        synthetic_computation(1, &cfg),
+        formula(1, cfg.processes),
+        DEFAULT_SEGMENTS,
+    ));
+    out.push((
+        "until_eps16",
+        saturation_computation(16),
+        rvmtl_mtl::parse("a U[0,6) b").expect("fixed formula parses"),
+        1,
+    ));
+    out.push((
+        "always_eps16",
+        saturation_computation(16),
+        rvmtl_mtl::parse("G[0,10) (a | b)").expect("fixed formula parses"),
+        1,
+    ));
+    out
+}
+
 /// The Δ used for the blockchain experiments, expressed in the coarse time
 /// unit (the paper's Δ = 500 ms).
 pub const BLOCKCHAIN_DELTA: u64 = 50;
@@ -262,6 +460,18 @@ mod tests {
         assert!(label.contains("conforming"));
         let sample = measure(label.clone(), 0.0, comp, phi, *segments);
         assert!(sample.verdicts.may_be_satisfied());
+    }
+
+    #[test]
+    fn shift_free_workloads_never_trip_the_watermark() {
+        for (name, _comp, phi, _segments) in shift_free_workloads() {
+            let mut interner = rvmtl_mtl::Interner::new();
+            let _ = interner.intern(&phi);
+            assert!(
+                !interner.ever_shifted(),
+                "{name}: a shift-free workload must not trip the arena watermark"
+            );
+        }
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //! soundness arguments: horizon clamping, invariant-only range merging, the
 //! stable tail); the interner's inherent methods delegate here.
 
-use crate::{Formula, FormulaId, Interval, Node, Prop, ShiftedId, State, StateKey};
+use crate::{
+    Formula, FormulaId, GapKey, Interval, Node, NodeKind, NodeMeta, OneKey, Prop, ShiftedId, State,
+    StateKey,
+};
 
 /// How the residuals of a [`SplitRange`] vary across the range; see
 /// [`crate::Interner::progress_one_over`] for the full contract.
@@ -68,17 +71,19 @@ pub trait ArenaOps {
     /// Returns `true` if the interned state `key` satisfies the proposition.
     fn state_holds(&self, key: StateKey, p: &Prop) -> bool;
 
-    /// The temporal horizon of `id` (see [`crate::Interner::temporal_horizon`]).
-    fn temporal_horizon(&self, id: FormulaId) -> u64;
+    /// The fused metadata record of `id` — kind tag, temporal horizon, shift
+    /// slack and canonical residual in **one** indexed read (see
+    /// [`crate::NodeMeta`]). This is the only per-node metadata primitive;
+    /// [`ArenaOps::temporal_horizon`] and friends are projections of it, so
+    /// hot paths that need several properties should call this once and
+    /// project locally.
+    fn node_meta(&self, id: FormulaId) -> NodeMeta;
 
-    /// The shift slack of `id` (see [`crate::Interner::shift_slack`]):
-    /// `u64::MAX` for propositional formulas, otherwise the largest exact
-    /// downward translation of the top-level intervals.
-    fn shift_slack(&self, id: FormulaId) -> u64;
-
-    /// The canonical shift-normal residual of `id` (see
-    /// [`crate::Interner::shift_canon`]).
-    fn shift_canon(&self, id: FormulaId) -> FormulaId;
+    /// The arena-level shift watermark (see [`crate::Interner::ever_shifted`]):
+    /// `false` while no node with a nonzero finite shift slack has ever been
+    /// interned, in which case shift-normal decomposition is the identity on
+    /// every id of this arena and callers skip the zone machinery wholesale.
+    fn ever_shifted(&self) -> bool;
 
     /// Interns an observation state (see [`crate::Interner::intern_state`]).
     fn intern_state(&mut self, state: &State) -> StateKey;
@@ -100,18 +105,18 @@ pub trait ArenaOps {
     /// Smart timed always.
     fn mk_always(&mut self, i: Interval, a: FormulaId) -> FormulaId;
 
-    /// Looks up a memoised single-observation progression. The key is
-    /// shift-relative: `(state, canonical residual, elapsed − shift,
-    /// shifted?)` — see [`ArenaOps::progress_one_cached`].
-    fn one_cache_get(&self, key: &(StateKey, FormulaId, i64, bool)) -> Option<FormulaId>;
+    /// Looks up a memoised single-observation progression. The key is the
+    /// packed shift-relative scalar `(state, canonical residual, elapsed −
+    /// shift, shifted?)` — see [`ArenaOps::progress_one_cached`].
+    fn one_cache_get(&self, key: OneKey) -> Option<FormulaId>;
     /// Memoises a single-observation progression.
-    fn one_cache_put(&mut self, key: (StateKey, FormulaId, i64, bool), value: FormulaId);
-    /// Looks up a memoised gap progression (shift-relative key
+    fn one_cache_put(&mut self, key: OneKey, value: FormulaId);
+    /// Looks up a memoised gap progression (packed shift-relative key
     /// `(canonical residual, elapsed − shift)`; see
     /// [`ArenaOps::progress_gap_cached`]).
-    fn gap_cache_get(&self, key: &(FormulaId, i64)) -> Option<FormulaId>;
+    fn gap_cache_get(&self, key: GapKey) -> Option<FormulaId>;
     /// Memoises a gap progression.
-    fn gap_cache_put(&mut self, key: (FormulaId, i64), value: FormulaId);
+    fn gap_cache_put(&mut self, key: GapKey, value: FormulaId);
 
     /// Smart binary conjunction.
     fn mk_and(&mut self, a: FormulaId, b: FormulaId) -> FormulaId {
@@ -123,10 +128,31 @@ pub trait ArenaOps {
         self.mk_or_all(vec![a, b])
     }
 
+    /// The temporal horizon of `id` (see [`crate::Interner::temporal_horizon`];
+    /// a projection of [`ArenaOps::node_meta`]).
+    fn temporal_horizon(&self, id: FormulaId) -> u64 {
+        self.node_meta(id).horizon
+    }
+
+    /// The shift slack of `id` (see [`crate::Interner::shift_slack`]):
+    /// `u64::MAX` for propositional formulas, otherwise the largest exact
+    /// downward translation of the top-level intervals. A projection of
+    /// [`ArenaOps::node_meta`].
+    fn shift_slack(&self, id: FormulaId) -> u64 {
+        self.node_meta(id).slack
+    }
+
+    /// The canonical shift-normal residual of `id` (see
+    /// [`crate::Interner::shift_canon`]; a projection of
+    /// [`ArenaOps::node_meta`]).
+    fn shift_canon(&self, id: FormulaId) -> FormulaId {
+        self.node_meta(id).canon
+    }
+
     /// Returns `true` if progression of `id` is independent of elapsed time
     /// (see [`crate::Interner::temporal_horizon`]).
     fn is_time_invariant(&self, id: FormulaId) -> bool {
-        self.temporal_horizon(id) == 0
+        self.node_meta(id).horizon == 0
     }
 
     /// Shifts every top-level temporal interval of `id` up by `delta` —
@@ -219,14 +245,19 @@ pub trait ArenaOps {
     /// `Until` with a non-invariant left argument) and propositional formulas
     /// are their own canonical form with shift 0.
     fn normalize(&self, id: FormulaId) -> ShiftedId {
-        let slack = self.shift_slack(id);
-        if slack == 0 || slack == u64::MAX {
-            ShiftedId::unshifted(id)
-        } else {
+        // Shift-free arenas (watermark down) have no decomposable node at
+        // all: skip even the metadata read.
+        if !self.ever_shifted() {
+            return ShiftedId::unshifted(id);
+        }
+        let meta = self.node_meta(id);
+        if meta.is_translatable() {
             ShiftedId {
-                shift: slack,
-                id: self.shift_canon(id),
+                shift: meta.slack,
+                id: meta.canon,
             }
+        } else {
+            ShiftedId::unshifted(id)
         }
     }
 
@@ -297,26 +328,25 @@ pub trait ArenaOps {
     /// shifted entries is clamped at the canonical residual's horizon, which
     /// is at least the member's own stability threshold minus its shift.
     fn progress_one_cached(&mut self, key: StateKey, id: FormulaId, elapsed: u64) -> FormulaId {
-        let slack = self.shift_slack(id);
-        let cache_key = if slack >= 1 && slack != u64::MAX {
-            let canon = self.shift_canon(id);
-            let rel = (elapsed as i64 - slack as i64).min(self.temporal_horizon(canon) as i64);
-            (key, canon, rel, true)
-        } else {
-            (
-                key,
-                id,
-                elapsed.min(self.temporal_horizon(id)) as i64,
-                false,
-            )
-        };
-        if let Some(f) = self.one_cache_get(&cache_key) {
-            return f;
-        }
+        // One fused metadata read serves the slack branch, the horizon clamp
+        // and the canonical id. A shift-free node (slack 0 or MAX — the only
+        // possibility while the arena watermark is down) takes the direct-key
+        // path with no further table traffic.
+        let meta = self.node_meta(id);
         // Clamping is sound per node: for `elapsed ≥ temporal_horizon(id)`
         // every bounded interval in `id` has elapsed and every unbounded
         // start has saturated, so the result equals the horizon's.
-        let clamped = elapsed.min(self.temporal_horizon(id));
+        let clamped = elapsed.min(meta.horizon);
+        let cache_key = if meta.is_translatable() {
+            let canon_horizon = self.node_meta(meta.canon).horizon;
+            let rel = (elapsed as i64 - meta.slack as i64).min(canon_horizon as i64);
+            OneKey::pack(key, meta.canon, rel, true)
+        } else {
+            OneKey::pack(key, id, clamped as i64, false)
+        };
+        if let Some(f) = self.one_cache_get(cache_key) {
+            return f;
+        }
         let f = match self.node(id) {
             Node::True => FormulaId::TRUE,
             Node::False => FormulaId::FALSE,
@@ -408,25 +438,26 @@ pub trait ArenaOps {
     /// equals `gap(c, Δ − σ)` for `Δ ≥ σ` and the pure translate
     /// `S_{σ−Δ} c` for `Δ ≤ σ` (negative relative times in the key).
     fn progress_gap_cached(&mut self, id: FormulaId, elapsed: u64) -> FormulaId {
-        let clamped = elapsed.min(self.temporal_horizon(id));
+        let meta = self.node_meta(id);
+        let clamped = elapsed.min(meta.horizon);
         if clamped == 0 {
             // A zero gap is the identity, and a time-invariant formula is a
             // fixpoint of every gap.
             return id;
         }
-        let slack = self.shift_slack(id);
+        let slack = meta.slack;
         // Non-invariant formulas (horizon > 0) always have a finite slack:
         // slack == MAX means no top-level temporal operator at all.
         let cache_key = if slack >= 1 {
-            let canon = self.shift_canon(id);
-            (
-                canon,
-                (elapsed as i64 - slack as i64).min(self.temporal_horizon(canon) as i64),
+            let canon_horizon = self.node_meta(meta.canon).horizon;
+            GapKey::pack(
+                meta.canon,
+                (elapsed as i64 - slack as i64).min(canon_horizon as i64),
             )
         } else {
-            (id, clamped as i64)
+            GapKey::pack(id, clamped as i64)
         };
-        if let Some(f) = self.gap_cache_get(&cache_key) {
+        if let Some(f) = self.gap_cache_get(cache_key) {
             return f;
         }
         if elapsed < slack {
@@ -522,18 +553,23 @@ pub trait ArenaOps {
     }
 
     /// Closes a formula against the empty future (see
-    /// [`crate::Interner::eval_empty`]).
+    /// [`crate::Interner::eval_empty`]). Leaf-deciding kinds (constants,
+    /// atoms, temporal operators) are classified from the metadata kind tag
+    /// alone — no node clone; only boolean connectives fetch the node for its
+    /// children.
     fn eval_empty(&self, id: FormulaId) -> bool {
-        match self.node(id) {
-            Node::True => true,
-            Node::False => false,
-            Node::Atom(_) => false,
-            Node::Not(a) => !self.eval_empty(a),
-            Node::And(children) => children.iter().all(|&c| self.eval_empty(c)),
-            Node::Or(children) => children.iter().any(|&c| self.eval_empty(c)),
-            Node::Implies(a, b) => !self.eval_empty(a) || self.eval_empty(b),
-            Node::Eventually(..) | Node::Until(..) => false,
-            Node::Always(..) => true,
+        match self.node_meta(id).kind {
+            NodeKind::True | NodeKind::Always => true,
+            NodeKind::False | NodeKind::Atom | NodeKind::Eventually | NodeKind::Until => false,
+            NodeKind::Not | NodeKind::And | NodeKind::Or | NodeKind::Implies => {
+                match self.node(id) {
+                    Node::Not(a) => !self.eval_empty(a),
+                    Node::And(children) => children.iter().all(|&c| self.eval_empty(c)),
+                    Node::Or(children) => children.iter().any(|&c| self.eval_empty(c)),
+                    Node::Implies(a, b) => !self.eval_empty(a) || self.eval_empty(b),
+                    _ => unreachable!("kind tag agrees with the node"),
+                }
+            }
         }
     }
 
@@ -685,9 +721,10 @@ fn progress_over_with<A: ArenaOps + ?Sized>(
 /// `f` itself still has shift slack ≥ 1 — the condition under which a range
 /// ending in `prev` may absorb `f` as a [`RangeKind::Translated`] member.
 fn is_unit_translate<A: ArenaOps + ?Sized>(arena: &A, prev: FormulaId, f: FormulaId) -> bool {
-    let slack_f = arena.shift_slack(f);
-    slack_f >= 1
-        && slack_f != u64::MAX
-        && arena.shift_slack(prev) == slack_f + 1
-        && arena.shift_canon(prev) == arena.shift_canon(f)
+    let mf = arena.node_meta(f);
+    if !mf.is_translatable() {
+        return false;
+    }
+    let mp = arena.node_meta(prev);
+    mp.slack == mf.slack + 1 && mp.canon == mf.canon
 }

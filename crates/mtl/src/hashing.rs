@@ -62,6 +62,14 @@ impl Hasher for FxHasher {
     fn write_usize(&mut self, n: usize) {
         self.add_to_hash(n as u64);
     }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        // The packed progression-cache keys are single u128 scalars; hash
+        // them as two words instead of routing through the byte-slice path.
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
 }
 
 /// A `HashMap` keyed with [`FxHasher`].

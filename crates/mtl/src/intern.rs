@@ -59,6 +59,29 @@
 //! 0 (the left obligation is evaluated at observations before the window
 //! opens, anchoring the node absolutely), as does any node whose window has
 //! already opened.
+//!
+//! # Metadata layout and the shift-free fast path
+//!
+//! All per-node derived data lives in **one** dense side table of fused
+//! [`NodeMeta`] records — kind tag, temporal horizon, shift slack and
+//! canonical residual id in a single entry — so the hot-path sequence "read
+//! the slack, branch, read the horizon, read the canon" costs one indexed
+//! load instead of three parallel-`Vec` lookups ([`Interner::node_meta`]).
+//! The progression caches are keyed by packed scalars ([`OneKey`],
+//! [`GapKey`]): the logical `(state, canon, elapsed − shift, shifted?)` and
+//! `(canon, elapsed − shift)` tuples are folded into one `u128` each, which
+//! hashes as two words and compares as one integer.
+//!
+//! On top of that, the arena keeps a **shift watermark**
+//! ([`Interner::ever_shifted`]): `false` until the first node with a nonzero
+//! finite slack is interned. Formulas whose windows all start at zero (the
+//! common phi4-style specifications) never trip it, and while it is down the
+//! zone machinery is provably inert — every slack is 0 or `u64::MAX`, so
+//! [`crate::ArenaOps::normalize`] short-circuits to the identity, cache keys
+//! degrade to the direct `(state, id, min(elapsed, horizon))` form, and the
+//! solver skips its pre-memo zone rewrite wholesale. The watermark is
+//! monotone during forward operation and recomputed by [`Interner::compact`]
+//! (it may drop back to `false` when GC collects the last shifted node).
 
 use crate::hashing::FxHashMap;
 use crate::{Formula, Interval, Prop, SplitRange, State, TimedTrace};
@@ -138,6 +161,184 @@ pub enum Node {
     Always(Interval, FormulaId),
 }
 
+/// The operator kind of an interned [`Node`], stored in [`NodeMeta`] so hot
+/// paths can classify a node from the fused metadata record without cloning
+/// the node itself (an `And`/`Or` clone copies its boxed operand slice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum NodeKind {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// An atomic proposition.
+    Atom,
+    /// Negation.
+    Not,
+    /// N-ary conjunction.
+    And,
+    /// N-ary disjunction.
+    Or,
+    /// Implication.
+    Implies,
+    /// Timed until.
+    Until,
+    /// Timed eventually.
+    Eventually,
+    /// Timed always.
+    Always,
+}
+
+impl NodeKind {
+    /// The kind tag of a node.
+    pub fn of(node: &Node) -> NodeKind {
+        match node {
+            Node::True => NodeKind::True,
+            Node::False => NodeKind::False,
+            Node::Atom(_) => NodeKind::Atom,
+            Node::Not(_) => NodeKind::Not,
+            Node::And(_) => NodeKind::And,
+            Node::Or(_) => NodeKind::Or,
+            Node::Implies(..) => NodeKind::Implies,
+            Node::Until(..) => NodeKind::Until,
+            Node::Eventually(..) => NodeKind::Eventually,
+            Node::Always(..) => NodeKind::Always,
+        }
+    }
+}
+
+/// The fused per-node metadata record: everything the progression and solver
+/// hot paths need to know about a node *besides* its children, packed into
+/// one dense table entry so classifying a node costs a single indexed read.
+///
+/// Before this record existed the arena kept three parallel `Vec`s
+/// (`horizons`, `slacks`, `canons`) and the hot paths paid one bounds-checked
+/// indexed load — usually a cache miss each — per queried property. Fusing
+/// them means the common sequence "read the slack, branch, read the horizon,
+/// read the canon" touches one table slot instead of three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeMeta {
+    /// The temporal horizon (see [`Interner::temporal_horizon`]).
+    pub horizon: u64,
+    /// The shift slack (see [`Interner::shift_slack`]); `u64::MAX` for
+    /// propositional (translation-invariant) formulas.
+    pub slack: u64,
+    /// The canonical shift-normal residual (see [`Interner::shift_canon`]);
+    /// the node itself when the slack is 0 or `u64::MAX`.
+    pub canon: FormulaId,
+    /// The operator kind of the node.
+    pub kind: NodeKind,
+}
+
+impl NodeMeta {
+    /// Returns `true` if progression of the node is independent of elapsed
+    /// time (horizon 0).
+    pub fn is_time_invariant(self) -> bool {
+        self.horizon == 0
+    }
+
+    /// Returns `true` if the node decomposes into a nonzero shift plus a
+    /// canonical residual (slack in `1..u64::MAX`) — the only nodes for which
+    /// `canon` differs from the node itself.
+    pub fn is_translatable(self) -> bool {
+        self.slack >= 1 && self.slack != u64::MAX
+    }
+}
+
+/// Packed key of the memoised single-observation progressions
+/// ([`crate::ArenaOps::progress_one_cached`]): the logical tuple
+/// `(state, formula, relative elapsed, shifted-flag)` packed into one `u128`
+/// scalar — `state` in bits 96..128, `formula` in bits 64..96, the flag in
+/// bit 63 and the zig-zag-coded relative time in bits 0..63. One scalar
+/// hashes as two words and compares as one integer, where the unpacked
+/// 4-tuple hashed four fields and compared field by field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OneKey(u128);
+
+/// Zig-zag encoding of a signed relative time (sign folded into bit 0 so
+/// small magnitudes stay small).
+#[inline]
+fn zigzag(rel: i64) -> u64 {
+    (rel.wrapping_shl(1) ^ (rel >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+impl OneKey {
+    /// Packs a cache key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel ≥ 2^62` or `rel < −2^62` (the exact range of the
+    /// 63-bit zig-zag payload; the asymmetry is the usual two's-complement
+    /// one). Relative elapsed times are bounded by temporal horizons and
+    /// shift slacks, i.e. by interval endpoints of the monitored formulas;
+    /// endpoints near 2^62 time units are not meaningful inputs.
+    pub fn pack(state: StateKey, formula: FormulaId, rel: i64, shifted: bool) -> OneKey {
+        let z = zigzag(rel);
+        assert!(
+            z >> 63 == 0,
+            "relative elapsed time {rel} overflows the packed progression-cache key"
+        );
+        OneKey(
+            ((state.raw() as u128) << 96)
+                | ((formula.raw() as u128) << 64)
+                | ((shifted as u128) << 63)
+                | z as u128,
+        )
+    }
+
+    /// The interned observation state of the key.
+    pub fn state(self) -> StateKey {
+        StateKey::from_raw((self.0 >> 96) as u32)
+    }
+
+    /// The formula endpoint of the key (the canonical residual for shifted
+    /// entries, the formula itself for direct ones).
+    pub fn formula(self) -> FormulaId {
+        FormulaId::from_raw((self.0 >> 64) as u32)
+    }
+
+    /// The relative elapsed time (`elapsed − shift` for shifted entries,
+    /// horizon-clamped elapsed for direct ones).
+    pub fn rel(self) -> i64 {
+        unzigzag(self.0 as u64 & (u64::MAX >> 1))
+    }
+
+    /// Returns `true` for a shift-relative entry.
+    pub fn shifted(self) -> bool {
+        (self.0 >> 63) & 1 == 1
+    }
+}
+
+/// Packed key of the memoised gap progressions
+/// ([`crate::ArenaOps::progress_gap_cached`]): the logical pair
+/// `(formula, relative elapsed)` as one `u128` — formula in bits 64..96,
+/// zig-zag-coded relative time in bits 0..64 (the full 64-bit code, so no
+/// range restriction applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GapKey(u128);
+
+impl GapKey {
+    /// Packs a cache key.
+    pub fn pack(formula: FormulaId, rel: i64) -> GapKey {
+        GapKey(((formula.raw() as u128) << 64) | zigzag(rel) as u128)
+    }
+
+    /// The formula endpoint of the key.
+    pub fn formula(self) -> FormulaId {
+        FormulaId::from_raw((self.0 >> 64) as u32)
+    }
+
+    /// The relative elapsed time.
+    pub fn rel(self) -> i64 {
+        unzigzag(self.0 as u64)
+    }
+}
+
 /// A formula in *shift-normal* decomposition: the pair `(shift, id)` names
 /// the formula obtained by shifting every top-level temporal interval of the
 /// canonical residual `id` up by `shift` time units.
@@ -200,38 +401,42 @@ impl StateKey {
 pub struct Interner {
     nodes: Vec<Node>,
     ids: FxHashMap<Node, FormulaId>,
-    /// Per-node temporal horizon (see [`Interner::temporal_horizon`]),
-    /// computed once at interning time — children are always interned before
-    /// their parents, so one bottom-up step per node suffices.
-    horizons: Vec<u64>,
-    /// Per-node shift slack (see [`Interner::shift_slack`]), computed
-    /// bottom-up at interning time like the horizons.
-    slacks: Vec<u64>,
-    /// Per-node canonical residual (see [`Interner::shift_canon`]): the node
-    /// with its shift slack factored out of every top-level interval, interned
-    /// eagerly so the decomposition is an O(1) table lookup.
-    canons: Vec<FormulaId>,
+    /// The fused per-node metadata records ([`NodeMeta`]: kind tag, temporal
+    /// horizon, shift slack, canonical residual), computed once at interning
+    /// time — children are always interned before their parents, so one
+    /// bottom-up step per node suffices. One indexed read serves every
+    /// metadata query of the hot paths.
+    metas: Vec<NodeMeta>,
+    /// Arena-level shift watermark: `true` once any node with a nonzero
+    /// finite shift slack has been interned. While `false` the whole zone
+    /// machinery is provably inert — every slack is 0 or `u64::MAX`, so
+    /// [`crate::ArenaOps::normalize`] is the identity, the progression
+    /// caches use direct keys only, and the solver skips its pre-memo zone
+    /// rewrite. Recomputed by [`Interner::compact`] from the surviving nodes
+    /// (the watermark may drop back to `false` when GC collects the last
+    /// shifted node).
+    ever_shifted: bool,
     /// Interned observation states (see [`Interner::intern_state`]).
     states: Vec<State>,
     state_ids: FxHashMap<State, StateKey>,
     /// Memoised single-observation progressions, keyed *shift-relative*:
-    /// `(state, canonical residual, elapsed − shift, shifted?)`. A formula
-    /// with shift slack σ ≥ 1 shares one entry with every exact translate of
-    /// its canonical residual (the progression result is literally the same
-    /// id at matching relative elapsed time — see
-    /// [`crate::ArenaOps::progress_one_cached`]); formulas with slack 0 keep
-    /// direct `(state, formula, min(elapsed, horizon))` entries, flagged so
-    /// they never collide with the shifted entries of the same canonical id
-    /// (the observation participates in an open window only for the slack-0
-    /// member). The relative elapsed time is clamped at the canonical
+    /// `(state, canonical residual, elapsed − shift, shifted?)` packed into a
+    /// [`OneKey`] scalar. A formula with shift slack σ ≥ 1 shares one entry
+    /// with every exact translate of its canonical residual (the progression
+    /// result is literally the same id at matching relative elapsed time —
+    /// see [`crate::ArenaOps::progress_one_cached`]); formulas with slack 0
+    /// keep direct `(state, formula, min(elapsed, horizon))` entries, flagged
+    /// so they never collide with the shifted entries of the same canonical
+    /// id (the observation participates in an open window only for the
+    /// slack-0 member). The relative elapsed time is clamped at the canonical
     /// residual's horizon (progression is elapsed-independent beyond it).
-    one_cache: FxHashMap<(StateKey, FormulaId, i64, bool), FormulaId>,
+    one_cache: FxHashMap<OneKey, FormulaId>,
     /// Memoised gap progressions, keyed `(canonical residual, elapsed −
-    /// shift)`. Gap progression has no slack-0 asymmetry (no observation is
-    /// consumed), so shifted and direct entries share one keyspace; negative
-    /// relative times denote pure translations (`gap(S_σ c, Δ) = S_{σ−Δ} c`
-    /// for `Δ ≤ σ`).
-    gap_cache: FxHashMap<(FormulaId, i64), FormulaId>,
+    /// shift)` packed into a [`GapKey`] scalar. Gap progression has no
+    /// slack-0 asymmetry (no observation is consumed), so shifted and direct
+    /// entries share one keyspace; negative relative times denote pure
+    /// translations (`gap(S_σ c, Δ) = S_{σ−Δ} c` for `Δ ≤ σ`).
+    gap_cache: FxHashMap<GapKey, FormulaId>,
 }
 
 impl Interner {
@@ -240,9 +445,8 @@ impl Interner {
         let mut interner = Interner {
             nodes: Vec::with_capacity(64),
             ids: FxHashMap::default(),
-            horizons: Vec::with_capacity(64),
-            slacks: Vec::with_capacity(64),
-            canons: Vec::with_capacity(64),
+            metas: Vec::with_capacity(64),
+            ever_shifted: false,
             states: Vec::new(),
             state_ids: FxHashMap::default(),
             one_cache: FxHashMap::default(),
@@ -280,76 +484,77 @@ impl Interner {
             return id;
         }
         let id = FormulaId(u32::try_from(self.nodes.len()).expect("interner overflow"));
-        let horizon = self.horizon_of(&node);
-        let slack = self.slack_of(&node);
-        self.nodes.push(node.clone());
-        self.horizons.push(horizon);
-        self.slacks.push(slack);
+        let (horizon, slack) = self.meta_of(&node);
         // Every node starts as its own canonical form; a node with a positive
         // finite slack immediately factors the common offset out. The
         // canonical residual is interned through the same smart constructors
         // (recursively — its own slack is 0, so the recursion is one level
         // deep per distinct translate class).
-        self.canons.push(id);
+        let kind = NodeKind::of(&node);
+        self.nodes.push(node.clone());
+        self.metas.push(NodeMeta {
+            horizon,
+            slack,
+            canon: id,
+            kind,
+        });
         self.ids.insert(node, id);
         if slack > 0 && slack < u64::MAX {
+            self.ever_shifted = true;
             let canon = <Self as crate::ArenaOps>::translate_down(self, id, slack);
-            self.canons[id.index()] = canon;
+            self.metas[id.index()].canon = canon;
         }
         id
     }
 
-    /// The shift slack of a node, from its (already interned) children: the
-    /// largest exact downward time-translation of all top-level intervals.
-    /// `u64::MAX` means the node has no top-level temporal operator (it is
-    /// translation-*invariant*, not translatable). An `Until` whose left
-    /// argument is not time-invariant admits no translation at all: the left
-    /// obligation is evaluated at every observation *before* the window
-    /// opens, anchoring the node absolutely (see
-    /// [`Interner::shift_slack`]).
-    fn slack_of(&self, node: &Node) -> u64 {
-        match node {
-            Node::True | Node::False | Node::Atom(_) => u64::MAX,
-            Node::Not(a) => self.slacks[a.index()],
-            Node::And(children) | Node::Or(children) => children
-                .iter()
-                .map(|c| self.slacks[c.index()])
-                .min()
-                .unwrap_or(u64::MAX),
-            Node::Implies(a, b) => self.slacks[a.index()].min(self.slacks[b.index()]),
-            Node::Eventually(i, _) | Node::Always(i, _) => i.translation_slack(),
-            Node::Until(a, i, _) => {
-                if self.horizons[a.index()] == 0 {
-                    i.translation_slack()
-                } else {
-                    0
-                }
-            }
-        }
-    }
-
-    /// The temporal horizon of a node, from its (already interned) children.
-    /// A bounded interval `[s, e)` contributes `e`; an unbounded `[s, ∞)`
-    /// contributes `s` (the delay after which its start saturates at 0).
-    fn horizon_of(&self, node: &Node) -> u64 {
+    /// The temporal horizon and shift slack of a node, from its (already
+    /// interned) children, in one pass over their fused metadata records.
+    ///
+    /// Horizon: a bounded interval `[s, e)` contributes `e`; an unbounded
+    /// `[s, ∞)` contributes `s` (the delay after which its start saturates at
+    /// 0); boolean connectives take the maximum of their operands.
+    ///
+    /// Slack: the largest exact downward time-translation of all top-level
+    /// intervals. `u64::MAX` means the node has no top-level temporal
+    /// operator (it is translation-*invariant*, not translatable). An
+    /// `Until` whose left argument is not time-invariant admits no
+    /// translation at all: the left obligation is evaluated at every
+    /// observation *before* the window opens, anchoring the node absolutely
+    /// (see [`Interner::shift_slack`]); boolean connectives take the minimum
+    /// of their operands.
+    fn meta_of(&self, node: &Node) -> (u64, u64) {
         fn endpoint(i: &Interval) -> u64 {
             i.end().unwrap_or(i.start())
         }
+        let meta = |id: &FormulaId| self.metas[id.index()];
         match node {
-            Node::True | Node::False | Node::Atom(_) => 0,
-            Node::Not(a) => self.horizons[a.index()],
-            Node::And(children) | Node::Or(children) => children
-                .iter()
-                .map(|c| self.horizons[c.index()])
-                .max()
-                .unwrap_or(0),
-            Node::Implies(a, b) => self.horizons[a.index()].max(self.horizons[b.index()]),
-            Node::Eventually(i, a) | Node::Always(i, a) => {
-                endpoint(i).max(self.horizons[a.index()])
+            Node::True | Node::False | Node::Atom(_) => (0, u64::MAX),
+            Node::Not(a) => {
+                let m = meta(a);
+                (m.horizon, m.slack)
             }
-            Node::Until(a, i, b) => endpoint(i)
-                .max(self.horizons[a.index()])
-                .max(self.horizons[b.index()]),
+            Node::And(children) | Node::Or(children) => {
+                children.iter().fold((0, u64::MAX), |(h, s), c| {
+                    let m = meta(c);
+                    (h.max(m.horizon), s.min(m.slack))
+                })
+            }
+            Node::Implies(a, b) => {
+                let (ma, mb) = (meta(a), meta(b));
+                (ma.horizon.max(mb.horizon), ma.slack.min(mb.slack))
+            }
+            Node::Eventually(i, a) | Node::Always(i, a) => {
+                (endpoint(i).max(meta(a).horizon), i.translation_slack())
+            }
+            Node::Until(a, i, b) => {
+                let (ma, mb) = (meta(a), meta(b));
+                let slack = if ma.horizon == 0 {
+                    i.translation_slack()
+                } else {
+                    0
+                };
+                (endpoint(i).max(ma.horizon).max(mb.horizon), slack)
+            }
         }
     }
 
@@ -373,14 +578,30 @@ impl Interner {
     ///    regardless of when its observations occur — only their order
     ///    matters.
     pub fn temporal_horizon(&self, id: FormulaId) -> u64 {
-        self.horizons[id.index()]
+        self.metas[id.index()].horizon
     }
 
     /// Returns `true` if progression of `id` is independent of elapsed time
     /// (see [`Interner::temporal_horizon`]; equivalent to
     /// `temporal_horizon(id) == 0`). Boolean constants are time-invariant.
     pub fn is_time_invariant(&self, id: FormulaId) -> bool {
-        self.horizons[id.index()] == 0
+        self.metas[id.index()].horizon == 0
+    }
+
+    /// The fused metadata record of `id` — kind tag, temporal horizon, shift
+    /// slack and canonical residual in one indexed read (see [`NodeMeta`]).
+    pub fn node_meta(&self, id: FormulaId) -> NodeMeta {
+        self.metas[id.index()]
+    }
+
+    /// The arena-level shift watermark: `true` once any node with a nonzero
+    /// finite shift slack has been interned. While `false`, shift-normal
+    /// decomposition is the identity on every id of this arena and the
+    /// zone machinery (normalisation, representative rewriting, shift-
+    /// relative cache keys) is skipped wholesale by its consumers.
+    /// [`Interner::compact`] recomputes the flag from the surviving nodes.
+    pub fn ever_shifted(&self) -> bool {
+        self.ever_shifted
     }
 
     /// The *shift slack* of `id`: the largest `δ` for which translating every
@@ -407,7 +628,7 @@ impl Interner {
     /// slacks ≥ 1 are exact time-translates whose progressions coincide at
     /// matching relative elapsed times.
     pub fn shift_slack(&self, id: FormulaId) -> u64 {
-        self.slacks[id.index()]
+        self.metas[id.index()].slack
     }
 
     /// The canonical shift-normal residual of `id`: `id` with
@@ -416,7 +637,7 @@ impl Interner {
     /// exact time-translates of each other iff they share a canonical
     /// residual.
     pub fn shift_canon(&self, id: FormulaId) -> FormulaId {
-        self.canons[id.index()]
+        self.metas[id.index()].canon
     }
 
     // ------------------------------------------------------------------
@@ -1101,7 +1322,7 @@ impl Interner {
             // Shift-normal closure: the canonical residual survives with its
             // translate (it is pushed, not just marked, so its own children
             // are marked too).
-            stack.push(self.canons[id.index()]);
+            stack.push(self.metas[id.index()].canon);
             match &self.nodes[id.index()] {
                 Node::True | Node::False | Node::Atom(_) => {}
                 Node::Not(a) => stack.push(*a),
@@ -1118,9 +1339,7 @@ impl Interner {
         // before their parents, so one forward pass remaps every child.
         let mut map: Vec<Option<FormulaId>> = vec![None; self.nodes.len()];
         let mut nodes: Vec<Node> = Vec::with_capacity(live.iter().filter(|&&l| l).count());
-        let mut horizons: Vec<u64> = Vec::with_capacity(nodes.capacity());
-        let mut slacks: Vec<u64> = Vec::with_capacity(nodes.capacity());
-        let mut canon_olds: Vec<FormulaId> = Vec::with_capacity(nodes.capacity());
+        let mut meta_olds: Vec<NodeMeta> = Vec::with_capacity(nodes.capacity());
         let remap_children = |ids: &[FormulaId], map: &[Option<FormulaId>]| -> Box<[FormulaId]> {
             ids.iter()
                 .map(|c| map[c.index()].expect("children are marked with their parents"))
@@ -1151,9 +1370,7 @@ impl Interner {
                 Node::Always(i, a) => Node::Always(*i, map[a.index()].expect("marked")),
             };
             nodes.push(remapped);
-            horizons.push(self.horizons[index]);
-            slacks.push(self.slacks[index]);
-            canon_olds.push(self.canons[index]);
+            meta_olds.push(self.metas[index]);
             map[index] = Some(new_id);
         }
         let ids: FxHashMap<Node, FormulaId> = nodes
@@ -1163,9 +1380,13 @@ impl Interner {
             .collect();
         // Canonical residuals were marked with their translates, so the
         // decomposition table remaps totally.
-        let canons: Vec<FormulaId> = canon_olds
+        let metas: Vec<NodeMeta> = meta_olds
             .into_iter()
-            .map(|c| map[c.index()].expect("canonical residuals are marked with their translates"))
+            .map(|m| NodeMeta {
+                canon: map[m.canon.index()]
+                    .expect("canonical residuals are marked with their translates"),
+                ..m
+            })
             .collect();
 
         // Surviving cache entries: both endpoints must have survived — for
@@ -1174,14 +1395,14 @@ impl Interner {
         // endpoints. Collect the states those entries still refer to,
         // renumber them, drop the rest.
         let mut state_live = vec![false; self.states.len()];
-        let retained_one: Vec<((StateKey, FormulaId, i64, bool), FormulaId)> = self
+        let retained_one: Vec<(OneKey, FormulaId, FormulaId)> = self
             .one_cache
             .iter()
-            .filter_map(|(&(s, f, e, shifted), &v)| {
-                let f = map[f.index()]?;
+            .filter_map(|(&k, &v)| {
+                let f = map[k.formula().index()]?;
                 let v = map[v.index()]?;
-                state_live[s.index()] = true;
-                Some(((s, f, e, shifted), v))
+                state_live[k.state().index()] = true;
+                Some((k, f, v))
             })
             .collect();
         let mut state_map: Vec<Option<StateKey>> = vec![None; self.states.len()];
@@ -1197,26 +1418,30 @@ impl Interner {
             .enumerate()
             .map(|(i, s)| (s.clone(), StateKey::from_raw(i as u32)))
             .collect();
-        let one_cache: FxHashMap<(StateKey, FormulaId, i64, bool), FormulaId> = retained_one
+        let one_cache: FxHashMap<OneKey, FormulaId> = retained_one
             .into_iter()
-            .map(|((s, f, e, shifted), v)| {
-                (
-                    (state_map[s.index()].expect("marked above"), f, e, shifted),
-                    v,
-                )
+            .map(|(k, f, v)| {
+                let s = state_map[k.state().index()].expect("marked above");
+                (OneKey::pack(s, f, k.rel(), k.shifted()), v)
             })
             .collect();
-        let gap_cache: FxHashMap<(FormulaId, i64), FormulaId> = self
+        let gap_cache: FxHashMap<GapKey, FormulaId> = self
             .gap_cache
             .iter()
-            .filter_map(|(&(f, e), &v)| Some(((map[f.index()]?, e), map[v.index()]?)))
+            .filter_map(|(&k, &v)| {
+                Some((
+                    GapKey::pack(map[k.formula().index()]?, k.rel()),
+                    map[v.index()]?,
+                ))
+            })
             .collect();
 
         self.nodes = nodes;
         self.ids = ids;
-        self.horizons = horizons;
-        self.slacks = slacks;
-        self.canons = canons;
+        self.metas = metas;
+        // The watermark may drop: if GC collected the last nonzero-slack
+        // node, the arena is shift-free again and every fast path re-arms.
+        self.ever_shifted = self.metas.iter().any(|m| m.is_translatable());
         self.states = states;
         self.state_ids = state_ids;
         self.one_cache = one_cache;
@@ -1283,16 +1508,12 @@ impl crate::ArenaOps for Interner {
         self.states[key.index()].holds_prop(p)
     }
 
-    fn temporal_horizon(&self, id: FormulaId) -> u64 {
-        Interner::temporal_horizon(self, id)
+    fn node_meta(&self, id: FormulaId) -> NodeMeta {
+        Interner::node_meta(self, id)
     }
 
-    fn shift_slack(&self, id: FormulaId) -> u64 {
-        Interner::shift_slack(self, id)
-    }
-
-    fn shift_canon(&self, id: FormulaId) -> FormulaId {
-        Interner::shift_canon(self, id)
+    fn ever_shifted(&self) -> bool {
+        Interner::ever_shifted(self)
     }
 
     fn intern_state(&mut self, state: &State) -> StateKey {
@@ -1331,19 +1552,19 @@ impl crate::ArenaOps for Interner {
         Interner::mk_always(self, i, a)
     }
 
-    fn one_cache_get(&self, key: &(StateKey, FormulaId, i64, bool)) -> Option<FormulaId> {
-        self.one_cache.get(key).copied()
+    fn one_cache_get(&self, key: OneKey) -> Option<FormulaId> {
+        self.one_cache.get(&key).copied()
     }
 
-    fn one_cache_put(&mut self, key: (StateKey, FormulaId, i64, bool), value: FormulaId) {
+    fn one_cache_put(&mut self, key: OneKey, value: FormulaId) {
         self.one_cache.insert(key, value);
     }
 
-    fn gap_cache_get(&self, key: &(FormulaId, i64)) -> Option<FormulaId> {
-        self.gap_cache.get(key).copied()
+    fn gap_cache_get(&self, key: GapKey) -> Option<FormulaId> {
+        self.gap_cache.get(&key).copied()
     }
 
-    fn gap_cache_put(&mut self, key: (FormulaId, i64), value: FormulaId) {
+    fn gap_cache_put(&mut self, key: GapKey, value: FormulaId) {
         self.gap_cache.insert(key, value);
     }
 
@@ -1756,6 +1977,57 @@ mod tests {
             peak_after_gc < 200,
             "post-GC footprint must stay bounded, got {peak_after_gc}"
         );
+    }
+
+    #[test]
+    fn packed_cache_keys_roundtrip() {
+        for state in [0u32, 1, 7, u32::MAX] {
+            for formula in [0u32, 2, 0x89AB_CDEF, u32::MAX] {
+                for rel in [
+                    0i64,
+                    1,
+                    -1,
+                    63,
+                    -64,
+                    i32::MAX as i64,
+                    -(1 << 40),
+                    (1 << 62) - 1,
+                    -(1 << 62),
+                ] {
+                    for shifted in [false, true] {
+                        let key = OneKey::pack(
+                            StateKey::from_raw(state),
+                            FormulaId::from_raw(formula),
+                            rel,
+                            shifted,
+                        );
+                        assert_eq!(key.state().raw(), state);
+                        assert_eq!(key.formula().raw(), formula);
+                        assert_eq!(key.rel(), rel);
+                        assert_eq!(key.shifted(), shifted);
+                    }
+                    let gap = GapKey::pack(FormulaId::from_raw(formula), rel);
+                    assert_eq!(gap.formula().raw(), formula);
+                    assert_eq!(gap.rel(), rel);
+                }
+            }
+        }
+        // The extreme 64-bit relative times stay representable in GapKey
+        // (full zig-zag), and distinct tuples pack to distinct keys.
+        for rel in [i64::MAX, i64::MIN] {
+            let gap = GapKey::pack(FormulaId::TRUE, rel);
+            assert_eq!(gap.rel(), rel);
+        }
+        let a = OneKey::pack(StateKey::from_raw(1), FormulaId::from_raw(2), 3, false);
+        let b = OneKey::pack(StateKey::from_raw(1), FormulaId::from_raw(2), 3, true);
+        let c = OneKey::pack(StateKey::from_raw(1), FormulaId::from_raw(2), -3, false);
+        assert!(a != b && a != c && b != c);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the packed progression-cache key")]
+    fn one_key_rejects_unrepresentable_relative_times() {
+        let _ = OneKey::pack(StateKey::from_raw(0), FormulaId::TRUE, 1 << 62, false);
     }
 
     #[test]

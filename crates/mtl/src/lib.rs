@@ -62,7 +62,10 @@ pub use arena::{ArenaOps, RangeKind, SplitRange};
 pub use atom::Prop;
 pub use eval::{evaluate, evaluate_at, evaluate_from};
 pub use formula::Formula;
-pub use intern::{ArenaMemory, FormulaId, FormulaRemap, Interner, Node, ShiftedId, StateKey};
+pub use intern::{
+    ArenaMemory, FormulaId, FormulaRemap, GapKey, Interner, Node, NodeKind, NodeMeta, OneKey,
+    ShiftedId, StateKey,
+};
 pub use interval::Interval;
 pub use parser::{parse, ParseError};
 pub use progress::{progress, progress_default, progress_gap};

@@ -40,8 +40,12 @@
 
 use crate::hashing::{FxHashMap, FxHasher};
 use crate::intern::ArenaMemory;
-use crate::{ArenaOps, Formula, FormulaId, Interval, Node, Prop, State, StateKey};
+use crate::{
+    ArenaOps, Formula, FormulaId, GapKey, Interval, Node, NodeKind, NodeMeta, OneKey, Prop, State,
+    StateKey,
+};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// Number of bits of a packed id that name the shard.
@@ -54,22 +58,33 @@ pub const SHARDS: usize = 1 << SHARD_BITS;
 struct Shard {
     nodes: Vec<Node>,
     ids: FxHashMap<Node, u32>,
-    horizons: Vec<u64>,
-    /// Per-node shift slack (see [`crate::Interner::shift_slack`]).
-    slacks: Vec<u64>,
-    /// Per-node canonical shift-normal residual (see
-    /// [`crate::Interner::shift_canon`]); may live in a different shard.
-    canons: Vec<FormulaId>,
+    /// Fused per-node metadata records (see [`crate::NodeMeta`]): kind tag,
+    /// horizon, shift slack and canonical residual (which may live in a
+    /// different shard) in one slot-indexed read under the shard lock.
+    metas: Vec<NodeMeta>,
     states: Vec<State>,
     state_ids: FxHashMap<State, u32>,
-    one_cache: FxHashMap<(StateKey, FormulaId, i64, bool), FormulaId>,
-    gap_cache: FxHashMap<(FormulaId, i64), FormulaId>,
+    one_cache: FxHashMap<OneKey, FormulaId>,
+    gap_cache: FxHashMap<GapKey, FormulaId>,
 }
 
 /// The concurrent formula arena. See the module documentation.
 #[derive(Debug)]
 pub struct ShardedInterner {
     shards: Vec<Mutex<Shard>>,
+    /// Arena-level shift watermark (see [`crate::Interner::ever_shifted`]),
+    /// **monotone under concurrent interning**: it is raised with a release
+    /// store *before* the nonzero-slack node is published into its home
+    /// shard, so any thread that can observe the node's id (which requires a
+    /// synchronising handoff from the interning thread) also observes the
+    /// raised watermark with the acquire load in
+    /// [`ShardedInterner::ever_shifted`]. A thread racing ahead of the
+    /// handoff may still read `false` and take the direct-key fast path for
+    /// ids it already holds — harmless: those ids have slack 0 or `MAX`, and
+    /// direct/shifted cache entries are disjoint by the key flag, so the two
+    /// regimes never alias. Reset only by [`ShardedInterner::clear`] (the
+    /// epoch GC), which invalidates all ids anyway.
+    ever_shifted: AtomicBool,
 }
 
 impl Default for ShardedInterner {
@@ -89,9 +104,7 @@ impl Clone for ShardedInterner {
                     Mutex::new(Shard {
                         nodes: s.nodes.clone(),
                         ids: s.ids.clone(),
-                        horizons: s.horizons.clone(),
-                        slacks: s.slacks.clone(),
-                        canons: s.canons.clone(),
+                        metas: s.metas.clone(),
                         states: s.states.clone(),
                         state_ids: s.state_ids.clone(),
                         one_cache: s.one_cache.clone(),
@@ -99,6 +112,7 @@ impl Clone for ShardedInterner {
                     })
                 })
                 .collect(),
+            ever_shifted: AtomicBool::new(self.ever_shifted.load(Ordering::Acquire)),
         }
     }
 }
@@ -126,23 +140,30 @@ impl ShardedInterner {
     pub fn new() -> Self {
         let interner = ShardedInterner {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            ever_shifted: AtomicBool::new(false),
         };
         // The constants live at fixed slots so their universal ids hold:
         // TRUE = raw 0 = (shard 0, slot 0), FALSE = raw 1 = (shard 1, slot 0).
         {
             let mut s0 = interner.shards[0].lock().expect("fresh shard");
             s0.nodes.push(Node::True);
-            s0.horizons.push(0);
-            s0.slacks.push(u64::MAX);
-            s0.canons.push(FormulaId::TRUE);
+            s0.metas.push(NodeMeta {
+                horizon: 0,
+                slack: u64::MAX,
+                canon: FormulaId::TRUE,
+                kind: NodeKind::True,
+            });
             s0.ids.insert(Node::True, 0);
         }
         {
             let mut s1 = interner.shards[1].lock().expect("fresh shard");
             s1.nodes.push(Node::False);
-            s1.horizons.push(0);
-            s1.slacks.push(u64::MAX);
-            s1.canons.push(FormulaId::FALSE);
+            s1.metas.push(NodeMeta {
+                horizon: 0,
+                slack: u64::MAX,
+                canon: FormulaId::FALSE,
+                kind: NodeKind::False,
+            });
             s1.ids.insert(Node::False, 0);
         }
         debug_assert_eq!(pack(0, 0), FormulaId::TRUE.raw());
@@ -180,7 +201,10 @@ impl ShardedInterner {
 
     /// Drops every node, state and cache entry except the two constants —
     /// the epoch reset of the streaming runtime's GC: all previously issued
-    /// ids (other than the constants) are invalidated.
+    /// ids (other than the constants) are invalidated. The shift watermark
+    /// ([`ShardedInterner::ever_shifted`]) resets with the arena, so a new
+    /// epoch re-arms the shift-free fast paths until a nonzero-slack node is
+    /// interned again.
     pub fn clear(&mut self) {
         *self = ShardedInterner::new();
     }
@@ -196,23 +220,35 @@ impl ShardedInterner {
         self.lock(shard).nodes[local].clone()
     }
 
+    /// The fused metadata record of `id` (see
+    /// [`Interner::node_meta`](crate::Interner::node_meta)) — one shard lock
+    /// and one indexed read serve every metadata query.
+    pub fn node_meta(&self, id: FormulaId) -> NodeMeta {
+        let (shard, local) = unpack(id.raw());
+        self.lock(shard).metas[local]
+    }
+
+    /// The arena-level shift watermark (see
+    /// [`Interner::ever_shifted`](crate::Interner::ever_shifted)); monotone
+    /// under concurrent interning — see the field documentation.
+    pub fn ever_shifted(&self) -> bool {
+        self.ever_shifted.load(Ordering::Acquire)
+    }
+
     /// The temporal horizon of `id` (see [`Interner::temporal_horizon`](crate::Interner::temporal_horizon)).
     pub fn temporal_horizon(&self, id: FormulaId) -> u64 {
-        let (shard, local) = unpack(id.raw());
-        self.lock(shard).horizons[local]
+        self.node_meta(id).horizon
     }
 
     /// The shift slack of `id` (see [`Interner::shift_slack`](crate::Interner::shift_slack)).
     pub fn shift_slack(&self, id: FormulaId) -> u64 {
-        let (shard, local) = unpack(id.raw());
-        self.lock(shard).slacks[local]
+        self.node_meta(id).slack
     }
 
     /// The canonical shift-normal residual of `id` (see
     /// [`Interner::shift_canon`](crate::Interner::shift_canon)).
     pub fn shift_canon(&self, id: FormulaId) -> FormulaId {
-        let (shard, local) = unpack(id.raw());
-        self.lock(shard).canons[local]
+        self.node_meta(id).canon
     }
 
     /// Returns `true` if the interned state satisfies the proposition.
@@ -238,50 +274,43 @@ impl ShardedInterner {
         StateKey::from_raw(pack(shard, local))
     }
 
-    /// The horizon of a node from its (already interned) children; reads the
-    /// children's shards, so it must be called with no shard lock held.
-    fn horizon_of(&self, node: &Node) -> u64 {
+    /// The temporal horizon and shift slack of a node from its (already
+    /// interned) children — mirror of the sequential interner's fused rule,
+    /// computed in **one** pass over the children (one shard lock per child
+    /// instead of the two the split horizon/slack walks used to take).
+    /// Reads the children's shards, so it must be called with no lock held.
+    fn meta_of(&self, node: &Node) -> (u64, u64) {
         fn endpoint(i: &Interval) -> u64 {
             i.end().unwrap_or(i.start())
         }
         match node {
-            Node::True | Node::False | Node::Atom(_) => 0,
-            Node::Not(a) => self.temporal_horizon(*a),
-            Node::And(children) | Node::Or(children) => children
-                .iter()
-                .map(|&c| self.temporal_horizon(c))
-                .max()
-                .unwrap_or(0),
-            Node::Implies(a, b) => self.temporal_horizon(*a).max(self.temporal_horizon(*b)),
-            Node::Eventually(i, a) | Node::Always(i, a) => {
-                endpoint(i).max(self.temporal_horizon(*a))
+            Node::True | Node::False | Node::Atom(_) => (0, u64::MAX),
+            Node::Not(a) => {
+                let m = self.node_meta(*a);
+                (m.horizon, m.slack)
             }
-            Node::Until(a, i, b) => endpoint(i)
-                .max(self.temporal_horizon(*a))
-                .max(self.temporal_horizon(*b)),
-        }
-    }
-
-    /// The shift slack of a node from its (already interned) children —
-    /// mirror of the sequential interner's rule; reads other shards, so it
-    /// must be called with no shard lock held.
-    fn slack_of(&self, node: &Node) -> u64 {
-        match node {
-            Node::True | Node::False | Node::Atom(_) => u64::MAX,
-            Node::Not(a) => self.shift_slack(*a),
-            Node::And(children) | Node::Or(children) => children
-                .iter()
-                .map(|&c| self.shift_slack(c))
-                .min()
-                .unwrap_or(u64::MAX),
-            Node::Implies(a, b) => self.shift_slack(*a).min(self.shift_slack(*b)),
-            Node::Eventually(i, _) | Node::Always(i, _) => i.translation_slack(),
-            Node::Until(a, i, _) => {
-                if self.temporal_horizon(*a) == 0 {
+            Node::And(children) | Node::Or(children) => {
+                children.iter().fold((0, u64::MAX), |(h, s), c| {
+                    let m = self.node_meta(*c);
+                    (h.max(m.horizon), s.min(m.slack))
+                })
+            }
+            Node::Implies(a, b) => {
+                let (ma, mb) = (self.node_meta(*a), self.node_meta(*b));
+                (ma.horizon.max(mb.horizon), ma.slack.min(mb.slack))
+            }
+            Node::Eventually(i, a) | Node::Always(i, a) => (
+                endpoint(i).max(self.node_meta(*a).horizon),
+                i.translation_slack(),
+            ),
+            Node::Until(a, i, b) => {
+                let (ma, mb) = (self.node_meta(*a), self.node_meta(*b));
+                let slack = if ma.horizon == 0 {
                     i.translation_slack()
                 } else {
                     0
-                }
+                };
+                (endpoint(i).max(ma.horizon).max(mb.horizon), slack)
             }
         }
     }
@@ -342,17 +371,21 @@ impl ShardedInterner {
         if let Some(&local) = self.lock(shard).ids.get(&node) {
             return FormulaId::from_raw(pack(shard, local));
         }
-        // Bottom-up tables and the canonical residual read (and, for the
+        // Bottom-up metadata and the canonical residual read (and, for the
         // canon, populate) other shards — no lock may be held while they do.
         // Races are benign: two threads computing the same node derive the
         // same canonical id and serialise on the home shard below.
-        let horizon = self.horizon_of(&node);
-        let slack = self.slack_of(&node);
+        let (horizon, slack) = self.meta_of(&node);
         let canon = if slack > 0 && slack < u64::MAX {
+            // Raise the watermark *before* the node becomes observable: any
+            // thread that receives this node's id through a synchronising
+            // handoff also sees the raised flag (see the field docs).
+            self.ever_shifted.store(true, Ordering::Release);
             Some(self.translate_down_node(&node, slack))
         } else {
             None
         };
+        let kind = NodeKind::of(&node);
         let mut s = self.lock(shard);
         if let Some(&local) = s.ids.get(&node) {
             return FormulaId::from_raw(pack(shard, local));
@@ -364,9 +397,12 @@ impl ShardedInterner {
         );
         let id = FormulaId::from_raw(pack(shard, local));
         s.nodes.push(node.clone());
-        s.horizons.push(horizon);
-        s.slacks.push(slack);
-        s.canons.push(canon.unwrap_or(id));
+        s.metas.push(NodeMeta {
+            horizon,
+            slack,
+            canon: canon.unwrap_or(id),
+            kind,
+        });
         s.ids.insert(node, local);
         id
     }
@@ -492,23 +528,23 @@ impl ShardedInterner {
         self.insert(Node::Always(i, a))
     }
 
-    fn one_cache_get(&self, key: &(StateKey, FormulaId, i64, bool)) -> Option<FormulaId> {
-        let (shard, _) = unpack(key.1.raw());
-        self.lock(shard).one_cache.get(key).copied()
+    fn one_cache_get(&self, key: OneKey) -> Option<FormulaId> {
+        let (shard, _) = unpack(key.formula().raw());
+        self.lock(shard).one_cache.get(&key).copied()
     }
 
-    fn one_cache_put(&self, key: (StateKey, FormulaId, i64, bool), value: FormulaId) {
-        let (shard, _) = unpack(key.1.raw());
+    fn one_cache_put(&self, key: OneKey, value: FormulaId) {
+        let (shard, _) = unpack(key.formula().raw());
         self.lock(shard).one_cache.insert(key, value);
     }
 
-    fn gap_cache_get(&self, key: &(FormulaId, i64)) -> Option<FormulaId> {
-        let (shard, _) = unpack(key.0.raw());
-        self.lock(shard).gap_cache.get(key).copied()
+    fn gap_cache_get(&self, key: GapKey) -> Option<FormulaId> {
+        let (shard, _) = unpack(key.formula().raw());
+        self.lock(shard).gap_cache.get(&key).copied()
     }
 
-    fn gap_cache_put(&self, key: (FormulaId, i64), value: FormulaId) {
-        let (shard, _) = unpack(key.0.raw());
+    fn gap_cache_put(&self, key: GapKey, value: FormulaId) {
+        let (shard, _) = unpack(key.formula().raw());
         self.lock(shard).gap_cache.insert(key, value);
     }
 }
@@ -526,16 +562,12 @@ impl ArenaOps for ShardedInterner {
         ShardedInterner::state_holds(self, key, p)
     }
 
-    fn temporal_horizon(&self, id: FormulaId) -> u64 {
-        ShardedInterner::temporal_horizon(self, id)
+    fn node_meta(&self, id: FormulaId) -> NodeMeta {
+        ShardedInterner::node_meta(self, id)
     }
 
-    fn shift_slack(&self, id: FormulaId) -> u64 {
-        ShardedInterner::shift_slack(self, id)
-    }
-
-    fn shift_canon(&self, id: FormulaId) -> FormulaId {
-        ShardedInterner::shift_canon(self, id)
+    fn ever_shifted(&self) -> bool {
+        ShardedInterner::ever_shifted(self)
     }
 
     fn intern_state(&mut self, state: &State) -> StateKey {
@@ -574,19 +606,19 @@ impl ArenaOps for ShardedInterner {
         ShardedInterner::mk_always(self, i, a)
     }
 
-    fn one_cache_get(&self, key: &(StateKey, FormulaId, i64, bool)) -> Option<FormulaId> {
+    fn one_cache_get(&self, key: OneKey) -> Option<FormulaId> {
         ShardedInterner::one_cache_get(self, key)
     }
 
-    fn one_cache_put(&mut self, key: (StateKey, FormulaId, i64, bool), value: FormulaId) {
+    fn one_cache_put(&mut self, key: OneKey, value: FormulaId) {
         ShardedInterner::one_cache_put(self, key, value)
     }
 
-    fn gap_cache_get(&self, key: &(FormulaId, i64)) -> Option<FormulaId> {
+    fn gap_cache_get(&self, key: GapKey) -> Option<FormulaId> {
         ShardedInterner::gap_cache_get(self, key)
     }
 
-    fn gap_cache_put(&mut self, key: (FormulaId, i64), value: FormulaId) {
+    fn gap_cache_put(&mut self, key: GapKey, value: FormulaId) {
         ShardedInterner::gap_cache_put(self, key, value)
     }
 }
@@ -603,16 +635,12 @@ impl ArenaOps for &ShardedInterner {
         ShardedInterner::state_holds(self, key, p)
     }
 
-    fn temporal_horizon(&self, id: FormulaId) -> u64 {
-        ShardedInterner::temporal_horizon(self, id)
+    fn node_meta(&self, id: FormulaId) -> NodeMeta {
+        ShardedInterner::node_meta(self, id)
     }
 
-    fn shift_slack(&self, id: FormulaId) -> u64 {
-        ShardedInterner::shift_slack(self, id)
-    }
-
-    fn shift_canon(&self, id: FormulaId) -> FormulaId {
-        ShardedInterner::shift_canon(self, id)
+    fn ever_shifted(&self) -> bool {
+        ShardedInterner::ever_shifted(self)
     }
 
     fn intern_state(&mut self, state: &State) -> StateKey {
@@ -651,19 +679,19 @@ impl ArenaOps for &ShardedInterner {
         ShardedInterner::mk_always(self, i, a)
     }
 
-    fn one_cache_get(&self, key: &(StateKey, FormulaId, i64, bool)) -> Option<FormulaId> {
+    fn one_cache_get(&self, key: OneKey) -> Option<FormulaId> {
         ShardedInterner::one_cache_get(self, key)
     }
 
-    fn one_cache_put(&mut self, key: (StateKey, FormulaId, i64, bool), value: FormulaId) {
+    fn one_cache_put(&mut self, key: OneKey, value: FormulaId) {
         ShardedInterner::one_cache_put(self, key, value)
     }
 
-    fn gap_cache_get(&self, key: &(FormulaId, i64)) -> Option<FormulaId> {
+    fn gap_cache_get(&self, key: GapKey) -> Option<FormulaId> {
         ShardedInterner::gap_cache_get(self, key)
     }
 
-    fn gap_cache_put(&mut self, key: (FormulaId, i64), value: FormulaId) {
+    fn gap_cache_put(&mut self, key: GapKey, value: FormulaId) {
         ShardedInterner::gap_cache_put(self, key, value)
     }
 }

@@ -423,3 +423,120 @@ fn compact_is_sound_under_shift_decompositions() {
         }
     }
 }
+
+/// The arena-level shift watermark (`ever_shifted`): down on a fresh arena,
+/// unmoved by shift-free interning (every window starting at zero — where
+/// `normalize` must be the identity), raised by the *first* nonzero-slack
+/// node, and recomputed soundly by `compact` — it stays up while a shifted
+/// node survives and re-arms (drops) once GC collects the last one, after
+/// which decomposition is the identity again.
+#[test]
+fn shift_watermark_flips_once_and_tracks_compaction() {
+    let mut interner = Interner::new();
+    assert!(!interner.ever_shifted(), "fresh arena");
+    let shift_free = [
+        "a U[0,8) b",
+        "G[0,4) (a | b)",
+        "F[0,6) (p & q)",
+        "p -> (q U[0,3) r)",
+        "G[0,inf) p",
+        "!p & q",
+    ];
+    let mut free_ids = Vec::new();
+    for text in shift_free {
+        free_ids.push(interner.intern(&rvmtl_mtl::parse(text).unwrap()));
+        assert!(
+            !interner.ever_shifted(),
+            "{text} must not trip the watermark"
+        );
+    }
+    // While the watermark is down every decomposition is the identity.
+    for &id in &free_ids {
+        let s = interner.normalize(id);
+        assert_eq!((s.shift, s.id), (0, id));
+    }
+    // The first delayed window flips it …
+    let shifted = interner.intern(&rvmtl_mtl::parse("F[6,12) b").unwrap());
+    assert!(interner.ever_shifted());
+    let s = interner.normalize(shifted);
+    assert_eq!(s.shift, 6);
+    // … and it is monotone under further interning of either kind.
+    let _ = interner.intern(&rvmtl_mtl::parse("x U[0,2) y").unwrap());
+    assert!(interner.ever_shifted());
+
+    // Compaction keeping the shifted node keeps the watermark up (its canon
+    // survives with it and the decomposition still works).
+    let remap = interner.compact([shifted, free_ids[0]]);
+    assert!(interner.ever_shifted());
+    let shifted2 = remap.remap(shifted);
+    let s2 = interner.normalize(shifted2);
+    assert_eq!(s2.shift, 6);
+    assert_eq!(
+        interner.resolve_shifted(s2),
+        rvmtl_mtl::parse("F[6,12) b").map(|f| simplify(&f)).unwrap()
+    );
+
+    // Compaction dropping every shifted node re-arms the fast path: the
+    // watermark drops and normalisation is the identity again.
+    let keep = remap.remap(free_ids[0]);
+    let remap2 = interner.compact([keep]);
+    assert!(
+        !interner.ever_shifted(),
+        "GC collected the last shifted node"
+    );
+    let keep2 = remap2.remap(keep);
+    let s3 = interner.normalize(keep2);
+    assert_eq!((s3.shift, s3.id), (0, keep2));
+    // The re-armed arena still progresses correctly and can trip again.
+    let key = interner.intern_state(&gen_state(&mut StdRng::seed_from_u64(7)));
+    let _ = interner.progress_one_cached(key, keep2, 3);
+    let again = interner.intern(&rvmtl_mtl::parse("G[2,9) z").unwrap());
+    assert!(interner.ever_shifted());
+    assert_eq!(interner.normalize(again).shift, 2);
+}
+
+/// The sharded arena's watermark mirrors the sequential one: down on a fresh
+/// arena, unmoved by shift-free interning, raised by the first nonzero-slack
+/// node — including under concurrent interning from several threads — and
+/// reset by `clear` (the sharded epoch GC), after which the fast path
+/// re-arms.
+#[test]
+fn sharded_watermark_is_monotone_and_resets_with_clear() {
+    let mut arena = ShardedInterner::new();
+    assert!(!arena.ever_shifted());
+    let free = arena.intern(&rvmtl_mtl::parse("a U[0,8) b").unwrap());
+    assert!(!arena.ever_shifted());
+    let s = ArenaOps::normalize(&&arena, free);
+    assert_eq!((s.shift, s.id), (0, free));
+
+    // Concurrent interning: every thread interning a delayed-window formula
+    // observes the watermark up on its own id immediately afterwards
+    // (raise-before-publish).
+    std::thread::scope(|scope| {
+        for k in 0..4u64 {
+            let arena = &arena;
+            scope.spawn(move || {
+                let text = format!("F[{},{}) p{k}", 3 + k, 9 + k);
+                let id = arena.intern(&rvmtl_mtl::parse(&text).unwrap());
+                assert!(arena.ever_shifted(), "{text}");
+                let s = ArenaOps::normalize(&arena, id);
+                assert_eq!(s.shift, 3 + k, "{text}");
+                assert_eq!(
+                    arena.resolve(ArenaOps::materialize(&mut &*arena, s)),
+                    arena.resolve(id),
+                    "{text}"
+                );
+            });
+        }
+    });
+    assert!(arena.ever_shifted());
+
+    // The epoch reset drops everything, including the watermark.
+    arena.clear();
+    assert!(!arena.ever_shifted());
+    let free2 = arena.intern(&rvmtl_mtl::parse("a U[0,8) b").unwrap());
+    assert_eq!(ArenaOps::normalize(&&arena, free2).shift, 0);
+    let tripped = arena.intern(&rvmtl_mtl::parse("F[4,7) q").unwrap());
+    assert!(arena.ever_shifted());
+    assert_eq!(ArenaOps::normalize(&&arena, tripped).shift, 4);
+}

@@ -143,6 +143,33 @@
 //! participates), and differential suites pin verdict equality against
 //! brute-force enumeration across ε sweeps biased to delayed windows.
 //!
+//! # Fused node metadata and the shift-free fast path
+//!
+//! The zone machinery must not tax formulas that have no translatable
+//! structure (every window starting at zero — the common phi4-style
+//! specification). Two representation choices erase that tax:
+//!
+//! * **Fused metadata records.** Everything the engine asks about a pending
+//!   formula besides its children — kind tag, temporal horizon, shift slack,
+//!   canonical residual — lives in one dense [`rvmtl_mtl::NodeMeta`] table
+//!   entry ([`rvmtl_mtl::ArenaOps::node_meta`]). The pre-memo rewrite and
+//!   the range-collapse checks issue a single indexed read where the PR 4
+//!   engine walked three parallel side tables, and the progression caches
+//!   are keyed by packed `u128` scalars ([`rvmtl_mtl::OneKey`] /
+//!   [`rvmtl_mtl::GapKey`]) that hash as two words and compare as one
+//!   integer instead of field-by-field tuples.
+//! * **The arena shift watermark.** An arena that has never interned a
+//!   nonzero-finite-slack node reports
+//!   [`rvmtl_mtl::ArenaOps::ever_shifted`]` == false`, and every consumer
+//!   short-circuits: `normalize` is the identity, cache keys stay in the
+//!   direct PR 2 form, and the engine's pre-memo zone rewrite reduces
+//!   to the time-invariant advance — provably the only rewrite a shift-free
+//!   arena admits, so search shapes (and the pinned explored-state counts)
+//!   are bit-identical with the watermark up or down; the
+//!   `shift_free_fast_path` property suite asserts exactly that, and the CI
+//!   `bench_snapshot --check` gate pins the counters of every sweep against
+//!   `BENCH_PINS.json`.
+//!
 //! The search-shape counters ([`SolverStats`], including the
 //! interval-abstraction counters `time_splits` / `merged_time_points` and
 //! the zone counter `shift_normalized_nodes`) are pinned on Fig. 3-style

@@ -597,6 +597,19 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
     /// Two obligations that are time-translates of each other therefore meet
     /// in one memo entry keyed by their common zone representative — a memo
     /// entry earned at one absolute time is a hit at every translate.
+    ///
+    /// # Shift-free fast path
+    ///
+    /// When the arena's shift watermark ([`ArenaOps::ever_shifted`]) is down
+    /// — no node with a nonzero finite slack was ever interned, the common
+    /// case for specifications whose windows all start at zero — every
+    /// pending formula provably has slack 0 or `u64::MAX`, so the only
+    /// rewrite this method can ever perform is the time-invariant advance.
+    /// The fast path decides that from the fused metadata record alone and
+    /// skips the zone branching wholesale; by construction it returns exactly
+    /// what the general path would, so search shapes (and the pinned
+    /// explored-state counts) are bit-identical with the watermark up or
+    /// down.
     fn canonical_node(
         &mut self,
         cut: &Cut,
@@ -604,16 +617,20 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
         pending_time: u64,
         psi: FormulaId,
     ) -> (u64, FormulaId) {
-        // Cheap early-out for the common case: a formula with an open window
-        // (slack 0) and time-dependent progression admits no rewrite at all —
-        // skip the per-cut bound lookup entirely.
-        let invariant = self.interner.is_time_invariant(psi);
-        let slack = if invariant {
-            u64::MAX
-        } else {
-            self.interner.shift_slack(psi)
-        };
-        if !invariant && (slack == 0 || slack == u64::MAX) {
+        // One fused read serves the invariance check and the slack branch.
+        let meta = self.interner.node_meta(psi);
+        let invariant = meta.horizon == 0;
+        if !self.interner.ever_shifted() {
+            // Shift-free arena: slack is 0 (open window — no rewrite) or MAX
+            // (propositional, hence invariant). Only the invariant advance
+            // below can apply.
+            if !invariant {
+                return (pending_time, psi);
+            }
+        } else if !invariant && (meta.slack == 0 || meta.slack == u64::MAX) {
+            // Cheap early-out for the common case: a formula with an open
+            // window (slack 0) and time-dependent progression admits no
+            // rewrite at all — skip the per-cut bound lookup entirely.
             return (pending_time, psi);
         }
         let bound = if cut.is_full(self.comp) {
@@ -630,7 +647,7 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
             self.stats.shift_normalized_nodes += 1;
             return (bound, psi);
         }
-        let canonical_time = bound.min(pending_time.saturating_add(slack - 1));
+        let canonical_time = bound.min(pending_time.saturating_add(meta.slack - 1));
         if canonical_time == pending_time {
             return (pending_time, psi);
         }
