@@ -153,13 +153,12 @@ fn run_check(path: &str) -> ! {
         }
     };
     eprintln!("[bench] collecting search-shape counters for the pin check …");
-    let current = pins::flatten(&pins::pin_rows());
+    let current = pins::all_entries();
     let drift = pins::diff_pins(&current, &pinned);
     if drift.is_empty() {
         eprintln!(
-            "[bench] search-shape counters match {path} ({} pinned values across {} sweep points)",
+            "[bench] search-shape counters match {path} ({} pinned values)",
             pinned.len(),
-            pinned.len() / 6
         );
         std::process::exit(0);
     }
@@ -187,13 +186,9 @@ fn main() {
     if args.iter().any(|a| a == "--write-pins") {
         let path = path_after(&args, "--write-pins");
         eprintln!("[bench] collecting search-shape counters for {path} …");
-        let entries = pins::flatten(&pins::pin_rows());
+        let entries = pins::all_entries();
         std::fs::write(&path, pins::format_pins(&entries)).expect("write pin budget");
-        eprintln!(
-            "[bench] wrote {} pinned values ({} sweep points) to {path}",
-            entries.len(),
-            entries.len() / 6
-        );
+        eprintln!("[bench] wrote {} pinned values to {path}", entries.len());
         return;
     }
     let sweeps = args.iter().any(|a| a == "--sweeps");
@@ -364,6 +359,46 @@ fn main() {
         );
     }
 
+    // The fault-storm sweep: every adversarial-ingestion scenario of
+    // `fault_storm_cases` streamed through the sequential runtime. The
+    // counters (rejections, absorbed duplicates, shed events, explored
+    // states) are deterministic and pinned by the `--check` gate; only the
+    // wall clock is measured here.
+    let mut fault_rows = Vec::new();
+    if sweeps {
+        let (mut sweep_states, mut sweep_secs, mut count) = (0usize, 0f64, 0usize);
+        for case in rvmtl_bench::fault_storm_cases() {
+            let started = Instant::now();
+            let (report, faulted) = rvmtl_bench::run_fault_storm_case(&case);
+            let secs = started.elapsed().as_secs_f64();
+            sweep_states += report.stats.explored_states;
+            sweep_secs += secs;
+            count += 1;
+            let h = report.health;
+            fault_rows.push(format!(
+                concat!(
+                    "    {{\"case\": \"{}\", \"arrivals\": {}, \"explored_states\": {}, ",
+                    "\"rejected\": {}, \"deduped\": {}, \"dropped\": {}, ",
+                    "\"late_beyond_epsilon\": {}, \"wall_ms\": {:.3}}}"
+                ),
+                case.name,
+                faulted.arrivals.len(),
+                report.stats.explored_states,
+                h.rejected,
+                h.deduped,
+                h.dropped,
+                h.late_beyond_epsilon,
+                secs * 1000.0,
+            ));
+        }
+        eprintln!(
+            "[bench] fault_storm: {} cases, {} states, {:.3} ms",
+            count,
+            sweep_states,
+            sweep_secs * 1000.0,
+        );
+    }
+
     // The streaming-pipeline sweep: long multi-query computations through the
     // batch monitor (one run per query — the pre-runtime serving path), the
     // streaming runtime's sequential path (shared per-segment solver across
@@ -453,6 +488,9 @@ fn main() {
         println!("  ],");
     }
     if sweeps {
+        println!("  \"fault_storm\": [");
+        println!("{}", fault_rows.join(",\n"));
+        println!("  ],");
         println!("  \"pipeline_sweep\": [");
         println!("{}", pipeline_rows.join(",\n"));
         println!("  ],");

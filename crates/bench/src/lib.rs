@@ -12,9 +12,13 @@
 use rvmtl_chain::{
     Auction, AuctionScenario, ThreePartyScenario, ThreePartySwap, TwoPartyScenario, TwoPartySwap,
 };
-use rvmtl_distrib::{ComputationBuilder, DistributedComputation};
+use rvmtl_distrib::{
+    ComputationBuilder, DistributedComputation, FaultConfig, FaultInjector, FaultPolicy,
+    FaultedStream, StreamEvent,
+};
 use rvmtl_monitor::{Monitor, MonitorConfig, VerdictSet};
 use rvmtl_mtl::{state, Formula};
+use rvmtl_runtime::{StreamConfig, StreamMonitor, StreamReport};
 use rvmtl_ta::{generate, specs, Model, TraceConfig};
 use std::time::{Duration, Instant};
 
@@ -418,6 +422,100 @@ pub fn shift_free_workloads() -> Vec<(&'static str, DistributedComputation, Form
 pub const BLOCKCHAIN_DELTA: u64 = 50;
 /// Default clock skew bound for the blockchain experiments.
 pub const BLOCKCHAIN_EPSILON: u64 = 3;
+
+/// One scenario of the `fault_storm` sweep: a fault mix, the ingestion
+/// policy it is absorbed under, and the injection seed. Membership is shared
+/// by `bench_snapshot --sweeps` (wall clock) and [`pins::fault_entries`]
+/// (counter gate), like every other sweep.
+pub struct FaultStormCase {
+    /// Pin-key / row name of the case.
+    pub name: &'static str,
+    /// The ingestion policy the monitor runs under.
+    pub policy: FaultPolicy,
+    /// The injected fault mix.
+    pub faults: FaultConfig,
+    /// Seed of the deterministic injection.
+    pub seed: u64,
+}
+
+/// The fault-storm scenario grid: the clean baseline under `Strict`, a
+/// duplicate-heavy feed under `Dedup`, a lossy reordered feed under
+/// `BestEffort`, and the full storm under both `Strict` (reject-and-count)
+/// and `BestEffort` (shed-and-count).
+pub fn fault_storm_cases() -> Vec<FaultStormCase> {
+    vec![
+        FaultStormCase {
+            name: "clean_strict",
+            policy: FaultPolicy::Strict,
+            faults: FaultConfig::none(),
+            seed: 0xFA01,
+        },
+        FaultStormCase {
+            name: "dup_dedup",
+            policy: FaultPolicy::Dedup,
+            faults: FaultConfig::duplicates(0.3),
+            seed: 0xFA02,
+        },
+        FaultStormCase {
+            name: "lossy_best_effort",
+            policy: FaultPolicy::BestEffort,
+            faults: FaultConfig {
+                drop_rate: 0.15,
+                duplicate_rate: 0.0,
+                delay_rate: 0.2,
+                max_delay_slots: 4,
+            },
+            seed: 0xFA03,
+        },
+        FaultStormCase {
+            name: "storm_strict",
+            policy: FaultPolicy::Strict,
+            faults: FaultConfig::storm(),
+            seed: 0xFA04,
+        },
+        FaultStormCase {
+            name: "storm_best_effort",
+            policy: FaultPolicy::BestEffort,
+            faults: FaultConfig::storm(),
+            seed: 0xFA04,
+        },
+    ]
+}
+
+/// The workload every fault-storm case streams: the phi4/Fischer synthetic
+/// trace at a fault-sweep-sized duration, one query.
+pub fn fault_storm_workload() -> (DistributedComputation, Formula) {
+    let mut cfg = default_trace_config();
+    cfg.duration_ms = 120;
+    (synthetic_computation(4, &cfg), formula(4, cfg.processes))
+}
+
+/// Runs one fault-storm case on the sequential streaming path: injects the
+/// case's faults into the canonical clean schedule and feeds every arrival,
+/// counting rejections instead of stopping on them (under `Strict` a faulted
+/// arrival *should* error; the deterministic reject-and-continue feed is the
+/// scenario being measured). Returns the stream report and the injection
+/// record — both pure functions of the case, which is what makes the
+/// `fault_storm` pins machine-independent.
+pub fn run_fault_storm_case(case: &FaultStormCase) -> (StreamReport, FaultedStream) {
+    let (comp, phi) = fault_storm_workload();
+    let clean = StreamEvent::schedule_of(&comp);
+    let faulted = FaultInjector::new(case.seed, case.faults).inject(&clean);
+    let segment_length = (comp.duration().max(1) / DEFAULT_SEGMENTS as u64).max(1);
+    let mut monitor = StreamMonitor::new(
+        comp.process_count(),
+        comp.epsilon(),
+        StreamConfig::new(segment_length).fault_policy(case.policy),
+    );
+    monitor.add_query(&phi);
+    for e in faulted.events() {
+        // Rejections are part of the scenario (counted in the report's
+        // health); acceptance is asserted only for the policies that promise
+        // it, by the runtime's own differential suite.
+        let _ = monitor.observe(e.process, e.time, e.state.clone());
+    }
+    (monitor.finish(), faulted)
+}
 
 #[cfg(test)]
 mod tests {

@@ -106,6 +106,54 @@ pub fn pin_rows() -> Vec<PinRow> {
     rows
 }
 
+/// The `fault_storm` pin entries: every [`crate::fault_storm_cases`]
+/// scenario run once on the sequential streaming path, flattened into the
+/// solver's search-shape counters, the verdict code, and the runtime health
+/// counters (rejections, absorbed duplicates, shed events). Injection is
+/// seeded and ingestion is sequential, so every value is a pure function of
+/// the workload — the same machine-independence contract as [`pin_rows`].
+pub fn fault_entries() -> Vec<(String, u64)> {
+    let mut entries = Vec::new();
+    for case in crate::fault_storm_cases() {
+        let (report, _faulted) = crate::run_fault_storm_case(&case);
+        let key = format!("fault_storm/{}", case.name);
+        let s = &report.stats;
+        entries.push((format!("{key}/explored_states"), s.explored_states as u64));
+        entries.push((format!("{key}/memo_hits"), s.memo_hits as u64));
+        entries.push((format!("{key}/time_splits"), s.time_splits as u64));
+        entries.push((
+            format!("{key}/merged_time_points"),
+            s.merged_time_points as u64,
+        ));
+        entries.push((
+            format!("{key}/shift_normalized_nodes"),
+            s.shift_normalized_nodes as u64,
+        ));
+        let v = &report.verdicts[0];
+        let verdicts = v.may_be_satisfied() as u64
+            | (v.may_be_violated() as u64) << 1
+            | (v.iter().any(|x| !x.is_conclusive()) as u64) << 2;
+        entries.push((format!("{key}/verdicts"), verdicts));
+        let h = report.health;
+        entries.push((format!("{key}/rejected"), h.rejected));
+        entries.push((format!("{key}/deduped"), h.deduped));
+        entries.push((format!("{key}/dropped"), h.dropped));
+        entries.push((format!("{key}/late_beyond_epsilon"), h.late_beyond_epsilon));
+    }
+    entries.sort();
+    entries
+}
+
+/// Every gated entry: the batch sweep counters ([`pin_rows`] flattened) plus
+/// the `fault_storm` streaming counters, sorted — exactly what
+/// `bench_snapshot --check` compares and `--write-pins` writes.
+pub fn all_entries() -> Vec<(String, u64)> {
+    let mut entries = flatten(&pin_rows());
+    entries.extend(fault_entries());
+    entries.sort();
+    entries
+}
+
 /// Flattens pin rows into sorted `(key, value)` scalar entries — the unit of
 /// comparison of the CI gate.
 pub fn flatten(rows: &[PinRow]) -> Vec<(String, u64)> {

@@ -1,0 +1,423 @@
+//! Deterministic fault injection for adversarial ingestion testing.
+//!
+//! A [`FaultInjector`] wraps a clean event schedule (any skew-legal delivery
+//! order of a computation's events) and applies per-event faults — drops,
+//! exact duplications, and arrival delays that reorder events beyond their
+//! per-process frontier — from a seeded [`StdRng`] stream, so every faulted
+//! schedule is a pure function of `(clean schedule, seed, rates)` and a
+//! failing test can report the seed that reproduces it.
+//!
+//! The injected faults are exactly the regimes the segmenter's
+//! [`crate::FaultPolicy`] defines semantics for:
+//!
+//! * a **dropped** event never reaches the monitor;
+//! * a **duplicated** event arrives twice back to back (the redelivery an
+//!   at-least-once transport produces), so the original is still buffered in
+//!   the open window when its duplicate arrives;
+//! * a **delayed** event is pushed back by a bounded number of arrival
+//!   slots, which makes it arrive behind its process frontier (out of order)
+//!   or — when the watermark outran it — beyond the closed boundary (late
+//!   beyond `ε`).
+//!
+//! [`FaultedStream::surviving`] computes the clean sub-stream a
+//! [`crate::FaultPolicy::BestEffort`] monitor effectively observes, which is
+//! what the differential tests compare degraded verdicts against.
+
+use crate::{DistributedComputation, EventId};
+use rvmtl_mtl::State;
+use rvmtl_prng::StdRng;
+
+/// One observation of a per-process stream, in monitor arrival order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamEvent {
+    /// The reporting process.
+    pub process: usize,
+    /// The event's local time.
+    pub time: u64,
+    /// The local state the event establishes.
+    pub state: State,
+}
+
+impl StreamEvent {
+    /// The canonical clean schedule of a complete computation: its events in
+    /// global `(local time, process)` order — the same merge the
+    /// differential suites stream.
+    pub fn schedule_of(comp: &DistributedComputation) -> Vec<StreamEvent> {
+        let mut ids: Vec<EventId> = (0..comp.event_count()).map(EventId).collect();
+        ids.sort_by_key(|&id| (comp.event(id).local_time, comp.event(id).process.0));
+        ids.into_iter()
+            .map(|id| {
+                let e = comp.event(id);
+                StreamEvent {
+                    process: e.process.0,
+                    time: e.local_time,
+                    state: e.state.clone(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-event fault probabilities. The three fates are mutually exclusive per
+/// event; their rates must sum to at most 1 (the remainder is clean
+/// delivery).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability an event is dropped entirely.
+    pub drop_rate: f64,
+    /// Probability an event is delivered twice back to back.
+    pub duplicate_rate: f64,
+    /// Probability an event's arrival is delayed.
+    pub delay_rate: f64,
+    /// A delayed event is pushed back by a uniform `1..=max_delay_slots`
+    /// arrival slots.
+    pub max_delay_slots: usize,
+}
+
+impl FaultConfig {
+    /// No faults at all (the clean schedule passes through unchanged).
+    pub fn none() -> Self {
+        FaultConfig {
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay_slots: 0,
+        }
+    }
+
+    /// Duplication only, at the given rate.
+    pub fn duplicates(rate: f64) -> Self {
+        FaultConfig {
+            duplicate_rate: rate,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Drops only, at the given rate.
+    pub fn drops(rate: f64) -> Self {
+        FaultConfig {
+            drop_rate: rate,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Delays only, at the given rate, up to `max_delay_slots` arrival slots.
+    pub fn delays(rate: f64, max_delay_slots: usize) -> Self {
+        FaultConfig {
+            delay_rate: rate,
+            max_delay_slots,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// The full storm: every fault kind at once (drop 10%, duplicate 15%,
+    /// delay 15% by up to 6 slots).
+    pub fn storm() -> Self {
+        FaultConfig {
+            drop_rate: 0.10,
+            duplicate_rate: 0.15,
+            delay_rate: 0.15,
+            max_delay_slots: 6,
+        }
+    }
+}
+
+/// The fate the injector assigned to one clean event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The event never arrives.
+    Dropped,
+    /// The event arrives twice back to back.
+    Duplicated,
+    /// The event arrives this many arrival slots later than scheduled.
+    Delayed {
+        /// Number of arrival slots the event was pushed back by.
+        slots: usize,
+    },
+}
+
+/// One delivery of the faulted schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arrival {
+    /// The delivered observation.
+    pub event: StreamEvent,
+    /// Index of the clean event this delivery originates from (duplicates
+    /// share their original's index).
+    pub source: usize,
+    /// `true` for the redundant second delivery of a duplicated event.
+    pub duplicate: bool,
+}
+
+/// A faulted delivery schedule with its full fault record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultedStream {
+    /// The seed the schedule was generated from (report this on failure).
+    pub seed: u64,
+    /// The deliveries, in arrival order.
+    pub arrivals: Vec<Arrival>,
+    /// Every fault applied, as `(clean event index, fault)`.
+    pub faults: Vec<(usize, FaultKind)>,
+    /// Number of dropped events.
+    pub dropped: u64,
+    /// Number of duplicated events (each contributes one extra arrival).
+    pub duplicated: u64,
+    /// Number of delayed events.
+    pub delayed: u64,
+}
+
+impl FaultedStream {
+    /// The delivered observations, in arrival order.
+    pub fn events(&self) -> impl Iterator<Item = &StreamEvent> {
+        self.arrivals.iter().map(|a| &a.event)
+    }
+
+    /// The clean sub-stream a [`crate::FaultPolicy::BestEffort`] monitor
+    /// effectively observes: duplicates are absorbed, and every non-duplicate
+    /// arrival behind its process frontier is dropped (whether the monitor
+    /// counts it as reordered or as late beyond `ε` depends on the watermark,
+    /// but either way it does not survive). Relies on the clean schedule
+    /// having strictly increasing per-process times, which
+    /// [`FaultInjector::inject`] asserts.
+    pub fn surviving(&self) -> Vec<StreamEvent> {
+        let mut clocks: Vec<Option<u64>> = Vec::new();
+        let mut out = Vec::new();
+        for arrival in &self.arrivals {
+            if arrival.duplicate {
+                continue;
+            }
+            let p = arrival.event.process;
+            if clocks.len() <= p {
+                clocks.resize(p + 1, None);
+            }
+            if clocks[p].is_some_and(|c| arrival.event.time < c) {
+                continue;
+            }
+            clocks[p] = Some(arrival.event.time);
+            out.push(arrival.event.clone());
+        }
+        out
+    }
+}
+
+/// A deterministic, seeded fault injector; see the module documentation.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    seed: u64,
+    config: FaultConfig,
+}
+
+impl FaultInjector {
+    /// Creates an injector whose output is a pure function of `seed` and
+    /// `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]` or the rates sum above 1.
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        let rates = [config.drop_rate, config.duplicate_rate, config.delay_rate];
+        assert!(
+            rates.iter().all(|r| (0.0..=1.0).contains(r)),
+            "fault rates must lie in [0, 1]"
+        );
+        assert!(
+            rates.iter().sum::<f64>() <= 1.0,
+            "fault rates must sum to at most 1"
+        );
+        FaultInjector { seed, config }
+    }
+
+    /// The seed this injector was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Applies the fault schedule to a clean delivery order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clean` does not have strictly increasing local times per
+    /// process (the invariant [`FaultedStream::surviving`] relies on; every
+    /// driver and generator in this workspace satisfies it).
+    pub fn inject(&self, clean: &[StreamEvent]) -> FaultedStream {
+        let mut frontier: Vec<Option<u64>> = Vec::new();
+        for e in clean {
+            if frontier.len() <= e.process {
+                frontier.resize(e.process + 1, None);
+            }
+            assert!(
+                frontier[e.process].is_none_or(|t| e.time > t),
+                "clean schedules must have strictly increasing per-process times"
+            );
+            frontier[e.process] = Some(e.time);
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = FaultedStream {
+            seed: self.seed,
+            arrivals: Vec::with_capacity(clean.len()),
+            faults: Vec::new(),
+            dropped: 0,
+            duplicated: 0,
+            delayed: 0,
+        };
+        // Delayed events waiting for their due slot: `(due clean index, arrival)`.
+        let mut held: Vec<(usize, Arrival)> = Vec::new();
+        for (index, event) in clean.iter().enumerate() {
+            // Release everything due at this slot first, in insertion order.
+            let mut still_held = Vec::with_capacity(held.len());
+            for (due, arrival) in held {
+                if due <= index {
+                    out.arrivals.push(arrival);
+                } else {
+                    still_held.push((due, arrival));
+                }
+            }
+            held = still_held;
+
+            let arrival = Arrival {
+                event: event.clone(),
+                source: index,
+                duplicate: false,
+            };
+            let roll = rng.gen_f64();
+            if roll < self.config.drop_rate {
+                out.faults.push((index, FaultKind::Dropped));
+                out.dropped += 1;
+            } else if roll < self.config.drop_rate + self.config.duplicate_rate {
+                out.faults.push((index, FaultKind::Duplicated));
+                out.duplicated += 1;
+                out.arrivals.push(arrival.clone());
+                out.arrivals.push(Arrival {
+                    duplicate: true,
+                    ..arrival
+                });
+            } else if roll
+                < self.config.drop_rate + self.config.duplicate_rate + self.config.delay_rate
+                && self.config.max_delay_slots > 0
+            {
+                let slots = rng.gen_range(1..self.config.max_delay_slots as u64 + 1) as usize;
+                out.faults.push((index, FaultKind::Delayed { slots }));
+                out.delayed += 1;
+                held.push((index + slots, arrival));
+            } else {
+                out.arrivals.push(arrival);
+            }
+        }
+        // Flush the tail of the delay queue in due order (stable on ties).
+        held.sort_by_key(|&(due, _)| due);
+        out.arrivals.extend(held.into_iter().map(|(_, a)| a));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testgen::gen_computation;
+    use rvmtl_mtl::state;
+
+    fn clean_sample() -> Vec<StreamEvent> {
+        (0..12u64)
+            .map(|k| StreamEvent {
+                process: (k % 2) as usize,
+                time: 1 + k,
+                state: state![if k % 3 == 0 { "a" } else { "b" }],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let clean = clean_sample();
+        let a = FaultInjector::new(42, FaultConfig::storm()).inject(&clean);
+        let b = FaultInjector::new(42, FaultConfig::storm()).inject(&clean);
+        assert_eq!(a, b);
+        let c = FaultInjector::new(43, FaultConfig::storm()).inject(&clean);
+        assert_ne!(a.arrivals, c.arrivals);
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn no_faults_passes_the_schedule_through() {
+        let clean = clean_sample();
+        let faulted = FaultInjector::new(7, FaultConfig::none()).inject(&clean);
+        let delivered: Vec<StreamEvent> = faulted.events().cloned().collect();
+        assert_eq!(delivered, clean);
+        assert!(faulted.faults.is_empty());
+        assert_eq!(faulted.surviving(), clean);
+    }
+
+    #[test]
+    fn duplicates_arrive_back_to_back_and_are_counted() {
+        let clean = clean_sample();
+        let faulted = FaultInjector::new(5, FaultConfig::duplicates(0.5)).inject(&clean);
+        assert!(faulted.duplicated > 0, "rate 0.5 over 12 events must fire");
+        assert_eq!(
+            faulted.arrivals.len(),
+            clean.len() + faulted.duplicated as usize
+        );
+        for pair in faulted.arrivals.windows(2) {
+            if pair[1].duplicate {
+                // The redundant delivery immediately follows its original.
+                assert_eq!(pair[0].source, pair[1].source);
+                assert!(!pair[0].duplicate);
+                assert_eq!(pair[0].event, pair[1].event);
+            }
+        }
+        // Duplicates never survive a best-effort ingestion.
+        assert_eq!(faulted.surviving(), clean);
+    }
+
+    #[test]
+    fn delays_reorder_and_surviving_respects_the_frontier() {
+        // Delay every event of a two-process stream by one slot: each
+        // process's events leapfrog, so some arrivals land behind their
+        // frontier and must not survive.
+        let clean = clean_sample();
+        let faulted = FaultInjector::new(11, FaultConfig::delays(1.0, 1)).inject(&clean);
+        assert_eq!(faulted.delayed as usize, clean.len());
+        assert_eq!(faulted.arrivals.len(), clean.len());
+        let surviving = faulted.surviving();
+        // Survivors are a subsequence of the clean schedule per process, in
+        // strictly increasing time order.
+        let mut clocks: Vec<Option<u64>> = vec![None; 2];
+        for e in &surviving {
+            assert!(clocks[e.process].is_none_or(|c| e.time > c));
+            clocks[e.process] = Some(e.time);
+        }
+        assert!(surviving.len() <= clean.len());
+    }
+
+    #[test]
+    fn storm_counts_are_consistent() {
+        let mut rng = rvmtl_prng::StdRng::seed_from_u64(0xFA);
+        for _ in 0..10 {
+            let comp = gen_computation(&mut rng);
+            let clean = StreamEvent::schedule_of(&comp);
+            let faulted = FaultInjector::new(rng.next_u64(), FaultConfig::storm()).inject(&clean);
+            assert_eq!(
+                faulted.arrivals.len() as u64,
+                clean.len() as u64 - faulted.dropped + faulted.duplicated
+            );
+            assert_eq!(
+                faulted.faults.len() as u64,
+                faulted.dropped + faulted.duplicated + faulted.delayed
+            );
+            assert!(faulted.surviving().len() as u64 <= clean.len() as u64 - faulted.dropped);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to at most 1")]
+    fn overfull_rates_panic() {
+        let _ = FaultInjector::new(
+            1,
+            FaultConfig {
+                drop_rate: 0.6,
+                duplicate_rate: 0.6,
+                delay_rate: 0.0,
+                max_delay_slots: 0,
+            },
+        );
+    }
+}

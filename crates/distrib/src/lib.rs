@@ -39,6 +39,7 @@
 mod computation;
 mod cuts;
 mod event;
+mod fault;
 mod hb;
 mod interleave;
 mod segment;
@@ -48,6 +49,7 @@ pub mod testgen;
 pub use computation::{ComputationBuilder, ComputationError, DistributedComputation};
 pub use cuts::Cut;
 pub use event::{Event, EventId, ProcessId};
+pub use fault::{Arrival, FaultConfig, FaultInjector, FaultKind, FaultedStream, StreamEvent};
 pub use hb::HbRelation;
 pub use interleave::{
     all_verdicts, enumerate_linearizations, enumerate_traces, enumerate_traces_bounded,
@@ -56,4 +58,4 @@ pub use interleave::{
 pub use segment::{
     boundary_events, segment, segment_at_boundaries, segments_for_frequency, SegmentationMode,
 };
-pub use stream::{IncrementalSegmenter, StreamError};
+pub use stream::{FaultCounters, FaultPolicy, IncrementalSegmenter, StreamError};

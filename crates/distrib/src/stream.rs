@@ -32,6 +32,13 @@
 //! part of the streaming interface: the protocols the runtime monitors
 //! communicate through on-chain events, and the `± ε` windows already order
 //! everything the specifications observe.
+//!
+//! Real delivery is not always well-behaved: a [`FaultPolicy`] selects what
+//! the segmenter does with duplicated, conflicting, out-of-order, or
+//! late-beyond-ε observations — reject ([`FaultPolicy::Strict`]), absorb
+//! exact duplicates ([`FaultPolicy::Dedup`]), or additionally drop late and
+//! reordered events ([`FaultPolicy::BestEffort`]) — and every absorbed fault
+//! is counted on [`FaultCounters`] so callers can label the degradation.
 
 use crate::{ComputationBuilder, DistributedComputation, ProcessId, SegmentationMode};
 use rvmtl_mtl::State;
@@ -39,6 +46,7 @@ use std::fmt;
 
 /// Error produced when a stream observation is rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum StreamError {
     /// An event's local time is lower than an earlier local time of the same
     /// process (per-process streams must be non-decreasing).
@@ -54,6 +62,35 @@ pub enum StreamError {
     UnknownProcess(ProcessId),
     /// The stream was already finished.
     Finished,
+    /// An exact redelivery: the same process already has a buffered event at
+    /// this local time with this state. Rejected under
+    /// [`FaultPolicy::Strict`], absorbed (and counted) by the other policies.
+    Duplicate {
+        /// The redelivering process.
+        process: ProcessId,
+        /// The redelivered event's local time.
+        time: u64,
+    },
+    /// The same process and local time as an already-ingested event but a
+    /// *different* state — corrupted redelivery, never absorbed by any
+    /// fault-tolerant policy.
+    ConflictingState {
+        /// The offending process.
+        process: ProcessId,
+        /// The contested local time.
+        time: u64,
+    },
+    /// The event predates the base of the currently open segment: the window
+    /// it belonged to was already sealed by the watermark, so it is late
+    /// beyond the `ε` margin and cannot be placed anywhere.
+    BeyondClosedBoundary {
+        /// The offending process.
+        process: ProcessId,
+        /// The offending event's local time.
+        time: u64,
+        /// The base of the open segment (the last closed boundary).
+        boundary: u64,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -69,11 +106,94 @@ impl fmt::Display for StreamError {
             ),
             StreamError::UnknownProcess(p) => write!(f, "unknown process {p}"),
             StreamError::Finished => write!(f, "stream already finished"),
+            StreamError::Duplicate { process, time } => {
+                write!(f, "exact duplicate of {process}'s event at time {time}")
+            }
+            StreamError::ConflictingState { process, time } => write!(
+                f,
+                "conflicting state for {process} at time {time} (same instant, different state)"
+            ),
+            StreamError::BeyondClosedBoundary {
+                process,
+                time,
+                boundary,
+            } => write!(
+                f,
+                "{process}'s event at time {time} predates the closed boundary {boundary}"
+            ),
         }
     }
 }
 
 impl std::error::Error for StreamError {}
+
+/// How a segmenter treats faulty observations — duplicated, conflicting,
+/// out-of-order, or late-beyond-the-closed-boundary events.
+///
+/// See the fault-semantics table in the `rvmtl-runtime` crate documentation
+/// for the full policy × fault matrix. Whatever a policy absorbs instead of
+/// rejecting is counted on [`FaultCounters`], so degradation is always
+/// visible to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Every fault is rejected with the matching [`StreamError`] and leaves
+    /// the segmenter unchanged (the default). Same-instant events with
+    /// *different* states remain legal simultaneity, exactly as the batch
+    /// [`ComputationBuilder`] accepts them.
+    #[default]
+    Strict,
+    /// Exact duplicates (same process, local time, and state as a buffered
+    /// event) are absorbed silently and counted; a same-instant event with a
+    /// different state is rejected as [`StreamError::ConflictingState`];
+    /// everything else behaves as [`FaultPolicy::Strict`].
+    Dedup,
+    /// [`FaultPolicy::Dedup`], plus events behind the per-process frontier
+    /// are dropped and counted instead of erroring, and events beyond the
+    /// closed watermark boundary are dropped and counted as late beyond `ε`.
+    /// Conflicting states are still always an error.
+    BestEffort,
+}
+
+/// Counts of faults a segmenter absorbed (rather than rejected) under its
+/// [`FaultPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCounters {
+    /// Exact duplicates absorbed under `Dedup` / `BestEffort`.
+    pub deduped: u64,
+    /// Events behind the per-process frontier dropped under `BestEffort`.
+    pub dropped: u64,
+    /// Events beyond the closed watermark boundary dropped under
+    /// `BestEffort`.
+    pub late_beyond_epsilon: u64,
+}
+
+impl FaultCounters {
+    /// Total number of absorbed faults.
+    pub fn total(&self) -> u64 {
+        self.deduped + self.dropped + self.late_beyond_epsilon
+    }
+
+    /// Returns `true` if no fault has been absorbed.
+    pub fn is_zero(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// The counters accumulated since `before` was captured.
+    pub fn delta_since(&self, before: &FaultCounters) -> FaultCounters {
+        FaultCounters {
+            deduped: self.deduped - before.deduped,
+            dropped: self.dropped - before.dropped,
+            late_beyond_epsilon: self.late_beyond_epsilon - before.late_beyond_epsilon,
+        }
+    }
+
+    /// Adds `delta` into these counters.
+    pub fn absorb(&mut self, delta: &FaultCounters) {
+        self.deduped += delta.deduped;
+        self.dropped += delta.dropped;
+        self.late_beyond_epsilon += delta.late_beyond_epsilon;
+    }
+}
 
 /// Watermark-driven incremental segmentation; see the module documentation.
 #[derive(Debug, Clone)]
@@ -94,6 +214,17 @@ pub struct IncrementalSegmenter {
     max_event_time: u64,
     any_event: bool,
     finished: bool,
+    policy: FaultPolicy,
+    faults: FaultCounters,
+}
+
+/// Outcome of admission control for one observation.
+enum Admission {
+    /// Buffer the event / advance the clock.
+    Accept,
+    /// The policy absorbed a fault; the observation is a no-op (only the
+    /// fault counters advanced).
+    Absorb,
 }
 
 impl IncrementalSegmenter {
@@ -128,7 +259,26 @@ impl IncrementalSegmenter {
             max_event_time: base_time,
             any_event: false,
             finished: false,
+            policy: FaultPolicy::Strict,
+            faults: FaultCounters::default(),
         }
+    }
+
+    /// Selects the [`FaultPolicy`] for faulty observations (the default is
+    /// [`FaultPolicy::Strict`]).
+    pub fn with_policy(mut self, policy: FaultPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The active fault policy.
+    pub fn policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    /// Counters of the faults this segmenter has absorbed under its policy.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
     }
 
     /// Number of processes of the stream.
@@ -184,7 +334,9 @@ impl IncrementalSegmenter {
             .flatten()
     }
 
-    fn check(&mut self, process: usize, time: u64) -> Result<ProcessId, StreamError> {
+    /// The admission checks shared by events and heartbeats: stream liveness
+    /// and process bounds.
+    fn admit_common(&self, process: usize) -> Result<ProcessId, StreamError> {
         if self.finished {
             return Err(StreamError::Finished);
         }
@@ -192,16 +344,104 @@ impl IncrementalSegmenter {
         if process >= self.process_count {
             return Err(StreamError::UnknownProcess(p));
         }
+        Ok(p)
+    }
+
+    /// Admission control for one event under the active policy.
+    fn admit_event(
+        &mut self,
+        process: usize,
+        time: u64,
+        state: &State,
+    ) -> Result<Admission, StreamError> {
+        let p = self.admit_common(process)?;
+        if time < self.open_base {
+            // The window the event belonged to was sealed by the watermark:
+            // it is late beyond the ε margin and cannot be placed anywhere.
+            return if self.policy == FaultPolicy::BestEffort {
+                self.faults.late_beyond_epsilon += 1;
+                Ok(Admission::Absorb)
+            } else {
+                Err(StreamError::BeyondClosedBoundary {
+                    process: p,
+                    time,
+                    boundary: self.open_base,
+                })
+            };
+        }
+        let Some(previous) = self.clocks[process] else {
+            return Ok(Admission::Accept);
+        };
+        if time > previous {
+            return Ok(Admission::Accept);
+        }
+        // The replay regime (`time ≤ previous`) is the only place duplicates,
+        // conflicts, and reordering can hide, so the clean fast path above
+        // never pays for the buffer scan. The buffer holds the open window's
+        // events in non-decreasing time order; everything at `time` sits in
+        // one contiguous run.
+        let events = &self.buffered[process];
+        let start = events.partition_point(|&(t, _)| t < time);
+        let at_time = &events[start..][..events[start..]
+            .iter()
+            .take_while(|&&(t, _)| t == time)
+            .count()];
+        if at_time.iter().any(|(_, s)| s == state) {
+            return if self.policy == FaultPolicy::Strict {
+                Err(StreamError::Duplicate { process: p, time })
+            } else {
+                self.faults.deduped += 1;
+                Ok(Admission::Absorb)
+            };
+        }
+        if time == previous {
+            // Same-instant, different state. `Strict` trusts the stream —
+            // two distinct facts at one instant are legal simultaneity,
+            // exactly as the batch builder accepts them; the fault-absorbing
+            // policies treat a distinct state at an already-seen instant as
+            // corrupted redelivery (never absorbed).
+            return if self.policy == FaultPolicy::Strict || at_time.is_empty() {
+                Ok(Admission::Accept)
+            } else {
+                Err(StreamError::ConflictingState { process: p, time })
+            };
+        }
+        // time < previous: behind the process frontier.
+        if !at_time.is_empty() && self.policy != FaultPolicy::Strict {
+            return Err(StreamError::ConflictingState { process: p, time });
+        }
+        if self.policy == FaultPolicy::BestEffort {
+            self.faults.dropped += 1;
+            Ok(Admission::Absorb)
+        } else {
+            Err(StreamError::OutOfOrder {
+                process: p,
+                previous,
+                time,
+            })
+        }
+    }
+
+    /// Admission control for one heartbeat under the active policy.
+    fn admit_heartbeat(&mut self, process: usize, time: u64) -> Result<Admission, StreamError> {
+        let p = self.admit_common(process)?;
         if let Some(previous) = self.clocks[process] {
             if time < previous {
-                return Err(StreamError::OutOfOrder {
-                    process: p,
-                    previous,
-                    time,
-                });
+                // A stale liveness beacon carries no state: `BestEffort`
+                // ignores it without touching the fault counters (nothing
+                // observable was lost), the other policies reject it.
+                return if self.policy == FaultPolicy::BestEffort {
+                    Ok(Admission::Absorb)
+                } else {
+                    Err(StreamError::OutOfOrder {
+                        process: p,
+                        previous,
+                        time,
+                    })
+                };
             }
         }
-        Ok(p)
+        Ok(Admission::Accept)
     }
 
     /// Ingests one event: `process` established local state `state` at local
@@ -211,19 +451,25 @@ impl IncrementalSegmenter {
     /// # Errors
     ///
     /// See [`StreamError`]; a rejected observation leaves the segmenter
-    /// unchanged.
+    /// unchanged. Under a fault-absorbing [`FaultPolicy`] an absorbed fault
+    /// also leaves the stream state unchanged and only advances
+    /// [`IncrementalSegmenter::fault_counters`].
     pub fn observe(
         &mut self,
         process: usize,
         time: u64,
         state: State,
     ) -> Result<Vec<DistributedComputation>, StreamError> {
-        self.check(process, time)?;
-        self.clocks[process] = Some(time);
-        self.buffered[process].push((time, state));
-        self.max_event_time = self.max_event_time.max(time);
-        self.any_event = true;
-        Ok(self.drain_closed())
+        match self.admit_event(process, time, &state)? {
+            Admission::Absorb => Ok(Vec::new()),
+            Admission::Accept => {
+                self.clocks[process] = Some(time);
+                self.buffered[process].push((time, state));
+                self.max_event_time = self.max_event_time.max(time);
+                self.any_event = true;
+                Ok(self.drain_closed())
+            }
+        }
     }
 
     /// Advances a process's local clock without an event (a liveness beacon:
@@ -237,9 +483,13 @@ impl IncrementalSegmenter {
         process: usize,
         time: u64,
     ) -> Result<Vec<DistributedComputation>, StreamError> {
-        self.check(process, time)?;
-        self.clocks[process] = Some(time);
-        Ok(self.drain_closed())
+        match self.admit_heartbeat(process, time)? {
+            Admission::Absorb => Ok(Vec::new()),
+            Admission::Accept => {
+                self.clocks[process] = Some(time);
+                Ok(self.drain_closed())
+            }
+        }
     }
 
     /// Closes every segment the current watermark seals.
@@ -500,5 +750,184 @@ mod tests {
     #[should_panic(expected = "segment length")]
     fn zero_segment_length_panics() {
         let _ = IncrementalSegmenter::new(1, 1, 0);
+    }
+
+    #[test]
+    fn stream_error_display_covers_every_variant() {
+        let cases: Vec<(StreamError, &[&str])> = vec![
+            (
+                StreamError::OutOfOrder {
+                    process: ProcessId(1),
+                    previous: 9,
+                    time: 4,
+                },
+                &["non-decreasing", "4", "9"],
+            ),
+            (
+                StreamError::UnknownProcess(ProcessId(7)),
+                &["unknown process"],
+            ),
+            (StreamError::Finished, &["finished"]),
+            (
+                StreamError::Duplicate {
+                    process: ProcessId(0),
+                    time: 6,
+                },
+                &["duplicate", "6"],
+            ),
+            (
+                StreamError::ConflictingState {
+                    process: ProcessId(2),
+                    time: 5,
+                },
+                &["conflicting state", "5"],
+            ),
+            (
+                StreamError::BeyondClosedBoundary {
+                    process: ProcessId(1),
+                    time: 3,
+                    boundary: 8,
+                },
+                &["closed boundary", "3", "8"],
+            ),
+        ];
+        for (error, needles) in cases {
+            let rendered = error.to_string();
+            for needle in needles {
+                assert!(
+                    rendered.contains(needle),
+                    "{error:?} must render {needle:?}, got {rendered:?}"
+                );
+            }
+            // The Error impl round-trips through the Display text.
+            let boxed: Box<dyn std::error::Error> = Box::new(error);
+            assert_eq!(boxed.to_string(), rendered);
+        }
+    }
+
+    #[test]
+    fn heartbeat_rejects_unknown_process_and_finished_stream() {
+        let mut seg = IncrementalSegmenter::new(2, 0, 5);
+        assert!(matches!(
+            seg.heartbeat(5, 1),
+            Err(StreamError::UnknownProcess(ProcessId(5)))
+        ));
+        seg.observe(0, 2, state!["x"]).unwrap();
+        seg.finish();
+        assert!(matches!(seg.heartbeat(0, 3), Err(StreamError::Finished)));
+        assert!(matches!(
+            seg.observe(0, 3, state!["x"]),
+            Err(StreamError::Finished)
+        ));
+    }
+
+    #[test]
+    fn strict_rejects_duplicates_and_beyond_boundary_with_dedicated_errors() {
+        let mut seg = IncrementalSegmenter::new(2, 1, 4);
+        seg.observe(0, 3, state!["a"]).unwrap();
+        // Exact redelivery of the buffered event.
+        assert_eq!(
+            seg.observe(0, 3, state!["a"]).unwrap_err(),
+            StreamError::Duplicate {
+                process: ProcessId(0),
+                time: 3
+            }
+        );
+        // Same instant, different state: legal simultaneity under Strict.
+        seg.observe(0, 3, state!["also"]).unwrap();
+        // Close [0, 4) so the boundary check has something to guard.
+        seg.observe(0, 8, state!["b"]).unwrap();
+        let closed = seg.observe(1, 6, state!["c"]).unwrap();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(seg.open_base(), 4);
+        assert_eq!(
+            seg.observe(1, 2, state!["late"]).unwrap_err(),
+            StreamError::BeyondClosedBoundary {
+                process: ProcessId(1),
+                time: 2,
+                boundary: 4
+            }
+        );
+        // Strict absorbed nothing.
+        assert!(seg.fault_counters().is_zero());
+    }
+
+    #[test]
+    fn dedup_absorbs_exact_duplicates_and_rejects_conflicts() {
+        let mut seg = IncrementalSegmenter::new(1, 0, 10).with_policy(FaultPolicy::Dedup);
+        assert_eq!(seg.policy(), FaultPolicy::Dedup);
+        seg.observe(0, 2, state!["a"]).unwrap();
+        seg.observe(0, 5, state!["b"]).unwrap();
+        // Exact duplicates — of the frontier event and of an older buffered
+        // event — are absorbed silently and counted.
+        assert!(seg.observe(0, 5, state!["b"]).unwrap().is_empty());
+        assert!(seg.observe(0, 2, state!["a"]).unwrap().is_empty());
+        assert_eq!(seg.fault_counters().deduped, 2);
+        // A different state at an already-seen instant is corruption.
+        assert_eq!(
+            seg.observe(0, 5, state!["x"]).unwrap_err(),
+            StreamError::ConflictingState {
+                process: ProcessId(0),
+                time: 5
+            }
+        );
+        // Reordering (no duplicate involved) still errors under Dedup.
+        assert!(matches!(
+            seg.observe(0, 4, state!["y"]),
+            Err(StreamError::OutOfOrder { .. })
+        ));
+        assert_eq!(seg.fault_counters().total(), 2);
+    }
+
+    #[test]
+    fn best_effort_drops_and_counts_instead_of_erroring() {
+        let mut seg = IncrementalSegmenter::new(2, 1, 4).with_policy(FaultPolicy::BestEffort);
+        seg.observe(0, 3, state!["a"]).unwrap();
+        seg.observe(0, 8, state!["b"]).unwrap();
+        let closed = seg.observe(1, 6, state!["c"]).unwrap();
+        assert_eq!(closed.len(), 1);
+        assert_eq!(seg.open_base(), 4);
+        // Behind the frontier but inside the open window: dropped.
+        assert!(seg.observe(1, 5, state!["reordered"]).unwrap().is_empty());
+        // Beyond the closed boundary: dropped as late beyond ε.
+        assert!(seg.observe(1, 2, state!["late"]).unwrap().is_empty());
+        // Exact duplicate: absorbed.
+        assert!(seg.observe(0, 8, state!["b"]).unwrap().is_empty());
+        // Conflicting state is never absorbed.
+        assert_eq!(
+            seg.observe(0, 8, state!["x"]).unwrap_err(),
+            StreamError::ConflictingState {
+                process: ProcessId(0),
+                time: 8
+            }
+        );
+        let counters = seg.fault_counters();
+        assert_eq!(counters.dropped, 1);
+        assert_eq!(counters.late_beyond_epsilon, 1);
+        assert_eq!(counters.deduped, 1);
+        assert_eq!(counters.total(), 3);
+        // Absorbed faults left the stream state untouched: the segments the
+        // survivors produce are exactly those of the clean sub-stream.
+        let mut clean = IncrementalSegmenter::new(2, 1, 4);
+        clean.observe(0, 3, state!["a"]).unwrap();
+        clean.observe(0, 8, state!["b"]).unwrap();
+        clean.observe(1, 6, state!["c"]).unwrap();
+        assert_eq!(seg.finish().len(), clean.finish().len());
+    }
+
+    #[test]
+    fn best_effort_ignores_stale_heartbeats_without_counting() {
+        let mut seg = IncrementalSegmenter::new(1, 0, 5).with_policy(FaultPolicy::BestEffort);
+        seg.heartbeat(0, 9).unwrap();
+        assert!(seg.heartbeat(0, 4).unwrap().is_empty());
+        assert_eq!(seg.watermark(), Some(9));
+        assert!(seg.fault_counters().is_zero());
+        // The same stale beacon is an error under the rejecting policies.
+        let mut strict = IncrementalSegmenter::new(1, 0, 5);
+        strict.heartbeat(0, 9).unwrap();
+        assert!(matches!(
+            strict.heartbeat(0, 4),
+            Err(StreamError::OutOfOrder { .. })
+        ));
     }
 }

@@ -51,4 +51,4 @@ mod verdict;
 pub use baseline::{naive_verdicts, naive_verdicts_bounded};
 pub use config::{MonitorConfig, Segmentation};
 pub use monitor::{Monitor, MonitorReport, OnlineMonitor, SegmentReport};
-pub use verdict::{Verdict, VerdictSet};
+pub use verdict::{Integrity, Verdict, VerdictSet};

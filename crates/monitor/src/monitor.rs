@@ -2,7 +2,7 @@
 //! segment the computation, progress every pending formula through the solver
 //! for each segment, and report the set of verdicts.
 
-use crate::{MonitorConfig, VerdictSet};
+use crate::{Integrity, MonitorConfig, VerdictSet};
 use rvmtl_distrib::{segment, DistributedComputation};
 use rvmtl_mtl::{ArenaOps, Formula, FormulaId, Interner, ShardedInterner, ShiftedId};
 use rvmtl_solver::{SegmentSolver, SolverStats};
@@ -39,6 +39,11 @@ pub struct MonitorReport {
     pub segments: Vec<SegmentReport>,
     /// Total wall-clock monitoring time.
     pub elapsed: Duration,
+    /// Provenance of the verdicts. The batch monitor consumes a validated
+    /// complete computation — no fault can be absorbed and no work item lost
+    /// — so this is always [`Integrity::Exact`]; the field gives batch and
+    /// streaming reports one shared provenance vocabulary.
+    pub integrity: Integrity,
 }
 
 impl MonitorReport {
@@ -374,6 +379,7 @@ impl Monitor {
             pending: online.pending(),
             segments: reports,
             elapsed: started.elapsed(),
+            integrity: Integrity::Exact,
         }
     }
 }

@@ -45,6 +45,81 @@ impl fmt::Display for Verdict {
     }
 }
 
+/// Provenance of a verdict set: whether every observation that could have
+/// influenced it was ingested exactly once, in order, and solved to
+/// completion.
+///
+/// A fault-tolerant ingestion policy may absorb faults (duplicates dropped,
+/// late events discarded) and a panic-isolated worker pool may lose a work
+/// item; both degrade the evidence behind a verdict. The tag makes that
+/// degradation explicit, so a degraded answer is never silently presented as
+/// exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Integrity {
+    /// No fault was absorbed and no work item was lost in any window that
+    /// could have affected this verdict set.
+    #[default]
+    Exact,
+    /// At least one fault was absorbed, or a work item was lost to a panic,
+    /// in a window that could have affected this verdict set.
+    Degraded {
+        /// Events behind their per-process frontier that were dropped.
+        dropped: u64,
+        /// Exact duplicate events that were absorbed.
+        deduped: u64,
+        /// Events beyond the closed segment boundary (late beyond `ε`) that
+        /// were dropped.
+        late_beyond_epsilon: u64,
+        /// Work items lost to a panic (their obligations are reported
+        /// [`Verdict::Inconclusive`]).
+        worker_panics: u64,
+    },
+}
+
+impl Integrity {
+    /// Builds the tag from raw degradation counters, collapsing all-zero
+    /// counters to [`Integrity::Exact`].
+    pub fn from_counters(
+        dropped: u64,
+        deduped: u64,
+        late_beyond_epsilon: u64,
+        worker_panics: u64,
+    ) -> Self {
+        if dropped == 0 && deduped == 0 && late_beyond_epsilon == 0 && worker_panics == 0 {
+            Integrity::Exact
+        } else {
+            Integrity::Degraded {
+                dropped,
+                deduped,
+                late_beyond_epsilon,
+                worker_panics,
+            }
+        }
+    }
+
+    /// Returns `true` for [`Integrity::Exact`].
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Integrity::Exact)
+    }
+}
+
+impl fmt::Display for Integrity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Integrity::Exact => write!(f, "exact"),
+            Integrity::Degraded {
+                dropped,
+                deduped,
+                late_beyond_epsilon,
+                worker_panics,
+            } => write!(
+                f,
+                "degraded (dropped {dropped}, deduped {deduped}, late beyond ε {late_beyond_epsilon}, worker panics {worker_panics})"
+            ),
+        }
+    }
+}
+
 /// The set of verdicts produced by monitoring one computation (or the state of
 /// an online monitor mid-computation).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -214,6 +289,21 @@ mod tests {
         assert_eq!(set.pending_formulas(), vec![&pending]);
         assert!(set.may_be_satisfied());
         assert!(!set.may_be_violated());
+    }
+
+    #[test]
+    fn integrity_collapses_zero_counters_and_renders() {
+        assert_eq!(Integrity::from_counters(0, 0, 0, 0), Integrity::Exact);
+        assert!(Integrity::default().is_exact());
+        let degraded = Integrity::from_counters(1, 2, 3, 4);
+        assert!(!degraded.is_exact());
+        let text = degraded.to_string();
+        for needle in ["degraded", "dropped 1", "deduped 2", "panics 4"] {
+            assert!(text.contains(needle), "{text:?} must contain {needle:?}");
+        }
+        assert_eq!(Integrity::Exact.to_string(), "exact");
+        // Exact orders before any degraded tag (useful for worst-of folds).
+        assert!(Integrity::Exact < degraded);
     }
 
     #[test]

@@ -46,7 +46,7 @@ use crate::{
 };
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Number of bits of a packed id that name the shard.
 pub const SHARD_BITS: u32 = 4;
@@ -100,7 +100,7 @@ impl Clone for ShardedInterner {
                 .shards
                 .iter()
                 .map(|s| {
-                    let s = s.lock().expect("shard poisoned");
+                    let s = s.lock().unwrap_or_else(PoisonError::into_inner);
                     Mutex::new(Shard {
                         nodes: s.nodes.clone(),
                         ids: s.ids.clone(),
@@ -172,7 +172,15 @@ impl ShardedInterner {
     }
 
     fn lock(&self, shard: usize) -> std::sync::MutexGuard<'_, Shard> {
-        self.shards[shard].lock().expect("shard poisoned")
+        // Recover from poisoning instead of propagating it: every critical
+        // section below appends complete entries (node, meta, id) or reads —
+        // a panic between the pushes of one intern cannot be observed because
+        // the id is published only after all three — so a poisoned shard is
+        // still structurally consistent, and panic-isolated callers (the
+        // runtime's worker pool) keep the arena usable after a caught panic.
+        self.shards[shard]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Number of distinct formulas interned so far (sums the shards; a moment

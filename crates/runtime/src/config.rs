@@ -1,5 +1,7 @@
 //! Configuration of the streaming runtime.
 
+use rvmtl_distrib::FaultPolicy;
+
 /// Configuration of a [`crate::StreamMonitor`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamConfig {
@@ -43,6 +45,11 @@ pub struct StreamConfig {
     /// Compact the query-spanning arena every this many processed segments
     /// (the GC epoch; 0 disables compaction). Defaults to 32.
     pub gc_interval: usize,
+    /// What ingestion does with faulty events — duplicates, out-of-order
+    /// arrivals, events beyond the closed boundary (see
+    /// [`FaultPolicy`] and the crate documentation's fault-semantics table).
+    /// Defaults to [`FaultPolicy::Strict`]: every fault is an error.
+    pub fault_policy: FaultPolicy,
 }
 
 impl StreamConfig {
@@ -63,7 +70,15 @@ impl StreamConfig {
             max_queued_segments: None,
             max_solutions_per_segment: None,
             gc_interval: 32,
+            fault_policy: FaultPolicy::Strict,
         }
+    }
+
+    /// Sets the ingestion fault policy (see the crate documentation's
+    /// fault-semantics table).
+    pub fn fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
     }
 
     /// Enables the pipelined worker pool with the given thread count
@@ -140,16 +155,19 @@ mod tests {
         assert!(!cfg.pipeline);
         assert_eq!(cfg.flush_depth, 1);
         assert_eq!(cfg.gc_interval, 32);
+        assert_eq!(cfg.fault_policy, FaultPolicy::Strict);
         let cfg = cfg
             .pipelined(Some(4))
             .flush_depth(8)
             .gc_interval(0)
-            .max_solutions(2);
+            .max_solutions(2)
+            .fault_policy(FaultPolicy::BestEffort);
         assert!(cfg.pipeline);
         assert_eq!(cfg.effective_workers(), 4);
         assert_eq!(cfg.flush_depth, 8);
         assert_eq!(cfg.gc_interval, 0);
         assert_eq!(cfg.max_solutions_per_segment, Some(2));
+        assert_eq!(cfg.fault_policy, FaultPolicy::BestEffort);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! The runtime health surface: one counter per degradation event class.
+
+use std::fmt;
+
+/// Cumulative health counters of a [`crate::StreamMonitor`].
+///
+/// Every way the runtime deviates from the exact, fault-free path is counted
+/// exactly once here, so an operator (or a test) can assert `is_healthy()`
+/// instead of re-deriving the invariants. The per-query slice of the same
+/// information — restricted to the windows that could have affected one
+/// query's verdicts — is the [`crate::Integrity`] tag.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeHealth {
+    /// Events and heartbeats rejected with a [`crate::StreamError`] (the
+    /// caller saw the error; the monitor state was left unchanged).
+    pub rejected: u64,
+    /// Exact duplicate events absorbed under
+    /// [`crate::FaultPolicy::Dedup`] or [`crate::FaultPolicy::BestEffort`].
+    pub deduped: u64,
+    /// Out-of-order events dropped under [`crate::FaultPolicy::BestEffort`].
+    pub dropped: u64,
+    /// Events beyond the closed segment boundary (late beyond `ε`) dropped
+    /// under [`crate::FaultPolicy::BestEffort`].
+    pub late_beyond_epsilon: u64,
+    /// Work items lost to a panicking solver stage; each lost item degrades
+    /// exactly one query.
+    pub worker_panics: u64,
+    /// Times ingestion forced a queue flush because the closed-segment queue
+    /// hit [`crate::StreamConfig::max_queued_segments`] before the configured
+    /// flush depth.
+    pub backpressure_stalls: u64,
+}
+
+impl RuntimeHealth {
+    /// Returns `true` when every counter is zero — the stream so far was
+    /// ingested exactly, in order, and solved to completion without
+    /// backpressure interventions.
+    pub fn is_healthy(&self) -> bool {
+        *self == RuntimeHealth::default()
+    }
+
+    /// Sum of the counters that degrade verdict evidence (everything except
+    /// `rejected` and `backpressure_stalls`, which leave verdicts exact).
+    pub fn degradations(&self) -> u64 {
+        self.deduped + self.dropped + self.late_beyond_epsilon + self.worker_panics
+    }
+}
+
+impl fmt::Display for RuntimeHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rejected {}, deduped {}, dropped {}, late beyond ε {}, worker panics {}, backpressure stalls {}",
+            self.rejected,
+            self.deduped,
+            self.dropped,
+            self.late_beyond_epsilon,
+            self.worker_panics,
+            self.backpressure_stalls
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_is_all_zero_and_degradations_exclude_rejections() {
+        let mut health = RuntimeHealth::default();
+        assert!(health.is_healthy());
+        assert_eq!(health.degradations(), 0);
+        health.rejected = 3;
+        health.backpressure_stalls = 2;
+        assert!(!health.is_healthy());
+        assert_eq!(health.degradations(), 0, "rejections leave verdicts exact");
+        health.deduped = 1;
+        health.dropped = 2;
+        health.late_beyond_epsilon = 3;
+        health.worker_panics = 4;
+        assert_eq!(health.degradations(), 10);
+        let text = health.to_string();
+        for needle in ["rejected 3", "deduped 1", "panics 4", "stalls 2"] {
+            assert!(text.contains(needle), "{text:?} must contain {needle:?}");
+        }
+    }
+}

@@ -77,12 +77,50 @@
 //! ([`StreamConfig::max_queued_segments`]) bounds the ingestion side the
 //! same way.
 //!
+//! # 5. Fault policies and degradation semantics
+//!
+//! Live feeds misbehave: retried deliveries duplicate events, reorderings
+//! surface events late, crashed relayers replay history. The
+//! [`FaultPolicy`] configured via [`StreamConfig::fault_policy`] defines
+//! what ingestion does with each fault class — and every deviation from the
+//! exact path is *counted*, never silent:
+//!
+//! | Fault at ingestion                        | `Strict` (default)      | `Dedup`                  | `BestEffort`                     |
+//! |-------------------------------------------|-------------------------|--------------------------|----------------------------------|
+//! | Exact duplicate of a buffered event       | error (`Duplicate`)     | absorbed, counted        | absorbed, counted                |
+//! | Same process and time, *different* state  | accepted (simultaneity) | error (`ConflictingState`) | error (`ConflictingState`)     |
+//! | Out of order (behind the process frontier)| error (`OutOfOrder`)    | error (`OutOfOrder`)     | dropped, counted                 |
+//! | Before the closed segment boundary        | error (`BeyondClosedBoundary`) | error (`BeyondClosedBoundary`) | dropped, counted (`late_beyond_epsilon`) |
+//! | Unknown process / finished stream         | error                   | error                    | error                            |
+//!
+//! A rejected call leaves the monitor unchanged (and increments
+//! [`RuntimeHealth::rejected`]); an absorbed fault leaves the *stream state*
+//! unchanged but degrades the evidence behind the verdicts of every query
+//! observing that window. The per-query [`Integrity`] tag
+//! ([`StreamReport::integrity`], [`StreamMonitor::current_integrity`]) makes
+//! that explicit: `Exact` unless something was absorbed or lost, `Degraded`
+//! with the exact counters otherwise. Under `Dedup`, a duplicated stream
+//! produces verdicts *identical* to the clean stream; under `BestEffort`,
+//! verdicts equal those of the surviving sub-stream — both pinned by the
+//! fault-injection differential suite in `tests/faults.rs`, driven by the
+//! deterministic seeded [`FaultInjector`].
+//!
+//! Solver stages are *panic-isolated*: each `(query, segment, pending
+//! formula)` work item runs under `catch_unwind` on both execution paths, so
+//! a panicking obligation is lost alone — it is reported as an inconclusive
+//! verdict, its query is tagged `Degraded { worker_panics, .. }`, and every
+//! other obligation and query proceeds exactly. Shared-state locks recover
+//! from poisoning (the guarded structures are consistent at every panic
+//! point); the global [`RuntimeHealth`] surface
+//! ([`StreamMonitor::health`]) counts rejections, absorptions, lost items
+//! and backpressure stalls in one place.
+//!
 //! # Multi-query front end
 //!
 //! [`StreamMonitor::add_query`] multiplexes any number of formulas over one
 //! stream: segmentation, solver per-segment caches (sequential path), the
 //! shared worker arena (pipelined path) and GC epochs are all shared;
-//! pending sets and verdicts stay per-query.
+//! pending sets, verdicts and integrity tags stay per-query.
 //!
 //! # Example
 //!
@@ -103,11 +141,20 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Every lock acquisition and invariant in non-test runtime code must state
+// its recovery story instead of unwrapping: panics are supposed to be
+// *contained* here, not propagated (see section 5 of the crate docs).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod config;
+mod health;
 mod monitor;
 mod pipeline;
 
 pub use config::StreamConfig;
+pub use health::RuntimeHealth;
 pub use monitor::{QueryId, StreamMonitor, StreamReport};
-pub use rvmtl_distrib::StreamError;
+pub use rvmtl_distrib::{
+    FaultConfig, FaultCounters, FaultInjector, FaultPolicy, StreamError, StreamEvent,
+};
+pub use rvmtl_monitor::Integrity;

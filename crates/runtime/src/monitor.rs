@@ -2,14 +2,15 @@
 //! per-process event streams.
 
 use crate::pipeline::run_pipeline;
-use crate::StreamConfig;
-use rvmtl_distrib::{DistributedComputation, IncrementalSegmenter, StreamError};
-use rvmtl_monitor::VerdictSet;
+use crate::{RuntimeHealth, StreamConfig};
+use rvmtl_distrib::{DistributedComputation, FaultCounters, IncrementalSegmenter, StreamError};
+use rvmtl_monitor::{Integrity, Verdict, VerdictSet};
 use rvmtl_mtl::{
     ArenaMemory, ArenaOps, Formula, FormulaId, Interner, ShardedInterner, ShiftedId, State,
 };
 use rvmtl_solver::{SegmentSolver, SolverStats};
 use std::collections::{BTreeSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Handle to one query multiplexed over a [`StreamMonitor`]'s stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -44,6 +45,28 @@ struct QueryState {
     /// queries added mid-stream are re-anchored at the boundary following
     /// every segment closed so far.
     anchored_at: u64,
+    /// Ingestion faults absorbed in windows this query observes (events at or
+    /// after its anchor boundary) — the evidence behind its verdicts is
+    /// degraded by exactly these.
+    faults: FaultCounters,
+    /// Work items of this query lost to a panicking solver stage.
+    panics: u64,
+    /// The obligations those lost items carried, resolved to plain formulas
+    /// (so they survive arena GC) and reported as
+    /// [`Verdict::Inconclusive`] entries.
+    lost: BTreeSet<Formula>,
+}
+
+impl QueryState {
+    /// The integrity tag of this query's verdicts so far.
+    fn integrity(&self) -> Integrity {
+        Integrity::from_counters(
+            self.faults.dropped,
+            self.faults.deduped,
+            self.faults.late_beyond_epsilon,
+            self.panics,
+        )
+    }
 }
 
 /// The final report of a finished stream.
@@ -63,6 +86,12 @@ pub struct StreamReport {
     pub memory: ArenaMemory,
     /// Number of GC epochs that ran.
     pub gc_runs: usize,
+    /// Integrity tag per query, indexed by [`QueryId::index`]:
+    /// [`Integrity::Exact`] unless a fault was absorbed or a work item lost
+    /// in a window the query observes.
+    pub integrity: Vec<Integrity>,
+    /// Final runtime health counters (see [`RuntimeHealth`]).
+    pub health: RuntimeHealth,
 }
 
 /// A streaming monitoring engine: ingests per-process event streams, closes
@@ -90,6 +119,12 @@ pub struct StreamMonitor {
     since_gc: usize,
     gc_runs: usize,
     stats: SolverStats,
+    /// Events and heartbeats rejected with a [`StreamError`].
+    rejected: u64,
+    /// Work items lost to panicking solver stages, across all queries.
+    worker_panics: u64,
+    /// Forced queue flushes triggered by the backpressure bound.
+    backpressure_stalls: u64,
 }
 
 impl StreamMonitor {
@@ -105,7 +140,8 @@ impl StreamMonitor {
             epsilon,
             config.segment_length,
             config.base_time,
-        );
+        )
+        .with_policy(config.fault_policy);
         StreamMonitor {
             config,
             segmenter,
@@ -117,6 +153,9 @@ impl StreamMonitor {
             since_gc: 0,
             gc_runs: 0,
             stats: SolverStats::default(),
+            rejected: 0,
+            worker_panics: 0,
+            backpressure_stalls: 0,
         }
     }
 
@@ -136,6 +175,9 @@ impl StreamMonitor {
             root: phi.clone(),
             pending: BTreeSet::from([root]),
             anchored_at,
+            faults: FaultCounters::default(),
+            panics: 0,
+            lost: BTreeSet::new(),
         });
         QueryId(self.queries.len() - 1)
     }
@@ -171,7 +213,26 @@ impl StreamMonitor {
     ///
     /// See [`StreamError`]; a rejected event leaves the monitor unchanged.
     pub fn observe(&mut self, process: usize, time: u64, state: State) -> Result<(), StreamError> {
-        let closed = self.segmenter.observe(process, time, state)?;
+        let before = self.segmenter.fault_counters();
+        let closed = match self.segmenter.observe(process, time, state) {
+            Ok(closed) => closed,
+            Err(e) => {
+                self.rejected += 1;
+                return Err(e);
+            }
+        };
+        // A fault the policy absorbed in this call degrades the evidence of
+        // every query that observes the event's window — those anchored at or
+        // before the event's time. (Queries anchored later never see the
+        // window, absorbed or not, so their verdicts stay exact.)
+        let delta = self.segmenter.fault_counters().delta_since(&before);
+        if !delta.is_zero() {
+            for query in &mut self.queries {
+                if time >= query.anchored_at {
+                    query.faults.absorb(&delta);
+                }
+            }
+        }
         self.enqueue(closed);
         Ok(())
     }
@@ -183,7 +244,15 @@ impl StreamMonitor {
     ///
     /// See [`StreamError`].
     pub fn heartbeat(&mut self, process: usize, time: u64) -> Result<(), StreamError> {
-        let closed = self.segmenter.heartbeat(process, time)?;
+        // Heartbeats carry no observation, so an absorbed stale heartbeat
+        // (best-effort policy) degrades nothing and is not counted.
+        let closed = match self.segmenter.heartbeat(process, time) {
+            Ok(closed) => closed,
+            Err(e) => {
+                self.rejected += 1;
+                return Err(e);
+            }
+        };
         self.enqueue(closed);
         Ok(())
     }
@@ -192,15 +261,20 @@ impl StreamMonitor {
         for comp in closed {
             // A watermark-closed segment is never final: its residuals are
             // anchored at the next segment's base, which is its own horizon.
-            let next_anchor = comp
-                .horizon()
-                .expect("watermark-closed segments carry their end boundary");
+            let Some(next_anchor) = comp.horizon() else {
+                unreachable!("watermark-closed segments carry their end boundary");
+            };
             self.queue.push_back(QueuedSegment { comp, next_anchor });
         }
         let over_bound = self
             .config
             .max_queued_segments
             .is_some_and(|bound| self.queue.len() >= bound);
+        if over_bound && self.queue.len() < self.config.flush_depth {
+            // The backpressure bound forced this flush before the configured
+            // depth was reached: the ingestion call stalls on the drain.
+            self.backpressure_stalls += 1;
+        }
         if self.queue.len() >= self.config.flush_depth || over_bound {
             self.process_queue();
         }
@@ -243,6 +317,27 @@ impl StreamMonitor {
         self.gc_runs
     }
 
+    /// The runtime health counters so far (see [`RuntimeHealth`]): every
+    /// deviation from the exact fault-free path, counted once.
+    pub fn health(&self) -> RuntimeHealth {
+        let faults = self.segmenter.fault_counters();
+        RuntimeHealth {
+            rejected: self.rejected,
+            deduped: faults.deduped,
+            dropped: faults.dropped,
+            late_beyond_epsilon: faults.late_beyond_epsilon,
+            worker_panics: self.worker_panics,
+            backpressure_stalls: self.backpressure_stalls,
+        }
+    }
+
+    /// The integrity tag of a query's verdicts over the processed prefix:
+    /// [`Integrity::Exact`] unless a fault was absorbed (or a work item lost
+    /// to a panic) in a window the query observes.
+    pub fn current_integrity(&self, id: QueryId) -> Integrity {
+        self.queries[id.0].integrity()
+    }
+
     /// Number of open obligations of a query (over the *processed* prefix of
     /// the stream).
     pub fn pending_count(&self, id: QueryId) -> usize {
@@ -254,12 +349,19 @@ impl StreamMonitor {
     /// inconclusive entries (with the remaining obligation) otherwise. Call
     /// [`StreamMonitor::drain`] first to fold in queued segments.
     pub fn current_verdicts(&self, id: QueryId) -> VerdictSet {
-        let resolved: BTreeSet<Formula> = self.queries[id.0]
+        let query = &self.queries[id.0];
+        let resolved: BTreeSet<Formula> = query
             .pending
             .iter()
             .map(|&s| ArenaOps::resolve_shifted(&self.arena, s))
             .collect();
-        VerdictSet::from_formulas(resolved.iter())
+        let mut verdicts = VerdictSet::from_formulas(resolved.iter());
+        // An obligation lost to a panic can never collapse to a constant: it
+        // stays visibly inconclusive (and the integrity tag says why).
+        for phi in &query.lost {
+            verdicts.insert(Verdict::Inconclusive(phi.clone()));
+        }
+        verdicts
     }
 
     /// Ends the stream: remaining buffered events are segmented out, every
@@ -270,9 +372,9 @@ impl StreamMonitor {
         let final_anchor = self.segmenter.max_event_time() + self.segmenter.epsilon();
         if let Some(last) = tail.pop() {
             for comp in tail {
-                let next_anchor = comp
-                    .horizon()
-                    .expect("non-final segments carry their end boundary");
+                let Some(next_anchor) = comp.horizon() else {
+                    unreachable!("non-final segments carry their end boundary");
+                };
                 self.queue.push_back(QueuedSegment { comp, next_anchor });
             }
             self.queue.push_back(QueuedSegment {
@@ -283,11 +385,20 @@ impl StreamMonitor {
         self.process_queue();
         // `eval_empty` resolves through the shift for free: translation
         // moves interval anchors, never operator kinds, and the empty-future
-        // verdict depends only on the kinds.
+        // verdict depends only on the kinds. An obligation lost to a panic is
+        // *not* closed against the empty future — nothing was solved for it,
+        // so it stays inconclusive in the final report.
         let verdicts = self
             .queries
             .iter()
-            .map(|q| VerdictSet::from_bools(q.pending.iter().map(|&s| self.arena.eval_empty(s.id))))
+            .map(|q| {
+                let mut set =
+                    VerdictSet::from_bools(q.pending.iter().map(|&s| self.arena.eval_empty(s.id)));
+                for phi in &q.lost {
+                    set.insert(Verdict::Inconclusive(phi.clone()));
+                }
+                set
+            })
             .collect();
         let pending = self
             .queries
@@ -299,6 +410,8 @@ impl StreamMonitor {
                     .collect()
             })
             .collect();
+        let integrity = self.queries.iter().map(QueryState::integrity).collect();
+        let health = self.health();
         StreamReport {
             verdicts,
             pending,
@@ -306,6 +419,8 @@ impl StreamMonitor {
             stats: self.stats,
             memory: self.arena.memory(),
             gc_runs: self.gc_runs,
+            integrity,
+            health,
         }
     }
 
@@ -355,16 +470,25 @@ impl StreamMonitor {
                 solver = solver.with_limit(l);
             }
             let mut outs: Vec<Option<BTreeSet<FormulaId>>> = Vec::with_capacity(seeds.len());
-            for seed in seeds {
+            let mut lost: Vec<(usize, FormulaId)> = Vec::new();
+            for (qi, seed) in seeds.into_iter().enumerate() {
                 let Some(seed) = seed else {
                     outs.push(None);
                     continue;
                 };
                 let mut out = BTreeSet::new();
                 for psi in seed {
-                    let result = solver.progress(psi);
-                    self.stats.absorb(&result.stats);
-                    out.extend(result.formulas);
+                    // Isolate the solve exactly like the pipelined path: a
+                    // panicking obligation is lost (recorded below, reported
+                    // inconclusive) while the query's other obligations and
+                    // every other query proceed.
+                    match catch_unwind(AssertUnwindSafe(|| solver.progress(psi))) {
+                        Ok(result) => {
+                            self.stats.absorb(&result.stats);
+                            out.extend(result.formulas);
+                        }
+                        Err(_) => lost.push((qi, psi)),
+                    }
                 }
                 outs.push(Some(out));
             }
@@ -376,6 +500,14 @@ impl StreamMonitor {
                         .map(|id| ArenaOps::normalize(&self.arena, id))
                         .collect();
                 }
+            }
+            // Resolve lost obligations to plain formulas now, while their
+            // ids are still valid (GC may renumber the arena later).
+            for (qi, psi) in lost {
+                let phi = ArenaOps::resolve(&self.arena, psi);
+                self.queries[qi].lost.insert(phi);
+                self.queries[qi].panics += 1;
+                self.worker_panics += 1;
             }
         }
     }
@@ -420,7 +552,7 @@ impl StreamMonitor {
                     .collect()
             })
             .collect();
-        let (outs, stats) = run_pipeline(
+        let outcome = run_pipeline(
             &segments,
             &seeds,
             &entries,
@@ -428,8 +560,16 @@ impl StreamMonitor {
             workers,
             self.config.max_solutions_per_segment,
         );
-        self.stats.absorb(&stats);
-        for ((query, out), entry) in self.queries.iter_mut().zip(outs).zip(&entries) {
+        self.stats.absorb(&outcome.stats);
+        // Resolve lost obligations out of the worker arena *now*: a GC epoch
+        // at the end of this batch clears the worker arena wholesale.
+        for (qi, psi) in outcome.lost {
+            let phi = self.shared.resolve(psi);
+            self.queries[qi].lost.insert(phi);
+            self.queries[qi].panics += 1;
+            self.worker_panics += 1;
+        }
+        for ((query, out), entry) in self.queries.iter_mut().zip(outcome.outs).zip(&entries) {
             if *entry >= segments.len() {
                 continue; // The query saw no segment of this batch.
             }

@@ -42,8 +42,21 @@ use rvmtl_mtl::hashing::FxHashMap;
 use rvmtl_mtl::{FormulaId, ShardedInterner};
 use rvmtl_solver::{SegmentCaches, SegmentSolver, SolverStats};
 use std::collections::{BTreeSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering from poisoning instead of propagating it.
+///
+/// Every mutex in this module guards state that is consistent at each await
+/// point of the holding critical section (sets and maps are only ever grown,
+/// cache slots are take-then-put): a panic inside a critical section cannot
+/// leave a half-updated value behind, so clearing the poison flag is sound.
+/// The panic itself is contained by the per-item [`catch_unwind`] in
+/// [`worker`] and surfaced through [`PipelineOutcome::lost`].
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One unit of work: progress `psi` (of `query`) over `segment`.
 struct Item {
@@ -70,6 +83,20 @@ struct PipelineState {
     /// Per-query pending set leaving the batch's last segment.
     outs: Vec<Mutex<BTreeSet<FormulaId>>>,
     stats: Mutex<SolverStats>,
+    /// `(query, pending formula)` pairs whose solve panicked: the item's
+    /// obligation is lost, its rewrites are never fanned out, and the
+    /// affected query must be reported as degraded.
+    lost: Mutex<Vec<(usize, FormulaId)>>,
+}
+
+/// What a pipeline batch produced: per-query pending sets leaving the last
+/// segment, aggregated solver statistics, and the work items lost to panics.
+pub(crate) struct PipelineOutcome {
+    pub(crate) outs: Vec<BTreeSet<FormulaId>>,
+    pub(crate) stats: SolverStats,
+    /// Obligations whose solve panicked, one `(query, pending formula)` pair
+    /// per lost item. Empty on a healthy run.
+    pub(crate) lost: Vec<(usize, FormulaId)>,
 }
 
 /// Runs `seeds` (per-query pending formulas, interned in `shared`) through
@@ -77,8 +104,8 @@ struct PipelineState {
 /// threads. `entries[q]` is the segment index at which query `q` enters the
 /// pipeline (`segments.len()` for a query that saw no segment of this batch —
 /// its output set is its seed set, returned untouched). Returns the
-/// per-query pending sets after the last segment and the aggregated solver
-/// statistics.
+/// per-query pending sets after the last segment, the aggregated solver
+/// statistics, and any work items lost to panics.
 pub(crate) fn run_pipeline(
     segments: &[(DistributedComputation, u64)],
     seeds: &[Vec<FormulaId>],
@@ -86,7 +113,7 @@ pub(crate) fn run_pipeline(
     shared: &ShardedInterner,
     workers: usize,
     limit: Option<usize>,
-) -> (Vec<BTreeSet<FormulaId>>, SolverStats) {
+) -> PipelineOutcome {
     assert!(!segments.is_empty(), "a pipeline batch needs segments");
     assert_eq!(seeds.len(), entries.len(), "one entry stage per query");
     let state = PipelineState {
@@ -108,21 +135,19 @@ pub(crate) fn run_pipeline(
             .map(|_| Mutex::new(BTreeSet::new()))
             .collect(),
         stats: Mutex::new(SolverStats::default()),
+        lost: Mutex::new(Vec::new()),
     };
     {
-        let mut queue = state.queue.lock().expect("fresh queue");
+        let mut queue = lock_recover(&state.queue);
         for (query, pending) in seeds.iter().enumerate() {
             let entry = entries[query];
             if entry >= segments.len() {
                 // The query entered after every segment of this batch: its
                 // pending set passes through unchanged.
-                state.outs[query]
-                    .lock()
-                    .expect("fresh output set")
-                    .extend(pending.iter().copied());
+                lock_recover(&state.outs[query]).extend(pending.iter().copied());
                 continue;
             }
-            let mut seen = state.seen[entry][query].lock().expect("fresh seen set");
+            let mut seen = lock_recover(&state.seen[entry][query]);
             for &psi in pending {
                 if seen.insert(psi) {
                     state.open.fetch_add(1, Ordering::AcqRel);
@@ -143,17 +168,28 @@ pub(crate) fn run_pipeline(
             handles.push(scope.spawn(|| worker(&state, segments, shared, limit)));
         }
         for handle in handles {
-            handle.join().expect("pipeline worker panicked");
+            // A solve panic is caught *inside* the worker and recorded in
+            // `state.lost`; a join error would mean the queue plumbing itself
+            // panicked. Either way the surviving queries' results are intact,
+            // so the outcome is returned rather than the panic re-raised.
+            let _ = handle.join();
         }
     });
 
     let outs = state
         .outs
         .into_iter()
-        .map(|set| set.into_inner().expect("worker poisoned an output set"))
+        .map(|set| set.into_inner().unwrap_or_else(PoisonError::into_inner))
         .collect();
-    let stats = state.stats.into_inner().expect("worker poisoned the stats");
-    (outs, stats)
+    let stats = state
+        .stats
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    let lost = state
+        .lost
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    PipelineOutcome { outs, stats, lost }
 }
 
 /// Solves one work item, replaying the per-segment result cache when another
@@ -166,17 +202,11 @@ fn solve_item(
     limit: Option<usize>,
     item: &Item,
 ) -> BTreeSet<FormulaId> {
-    if let Some(cached) = state.results[item.segment]
-        .lock()
-        .expect("result cache poisoned")
-        .get(&item.psi)
-    {
+    if let Some(cached) = lock_recover(&state.results[item.segment]).get(&item.psi) {
         return cached.clone();
     }
     let (segment, anchor) = &segments[item.segment];
-    let caches = state.caches[item.segment]
-        .lock()
-        .expect("cache slot poisoned")
+    let caches = lock_recover(&state.caches[item.segment])
         .take()
         .unwrap_or_else(|| SegmentCaches::new(segment));
     let mut handle = shared;
@@ -187,9 +217,7 @@ fn solve_item(
     let result = solver.progress(item.psi);
     let caches = solver.into_caches();
     {
-        let mut slot = state.caches[item.segment]
-            .lock()
-            .expect("cache slot poisoned");
+        let mut slot = lock_recover(&state.caches[item.segment]);
         match slot.as_mut() {
             Some(existing) => existing.absorb(caches),
             None => *slot = Some(caches),
@@ -200,17 +228,11 @@ fn solve_item(
     // duplicate search is benign — results are deterministic), but only the
     // one that first publishes accounts its statistics, so the aggregated
     // counters stay those of one solve per distinct item.
-    let won = state.results[item.segment]
-        .lock()
-        .expect("result cache poisoned")
+    let won = lock_recover(&state.results[item.segment])
         .insert(item.psi, result.formulas.clone())
         .is_none();
     if won {
-        state
-            .stats
-            .lock()
-            .expect("stats poisoned")
-            .absorb(&result.stats);
+        lock_recover(&state.stats).absorb(&result.stats);
     }
     result.formulas
 }
@@ -223,7 +245,7 @@ fn worker(
 ) {
     loop {
         let item = {
-            let mut queue = state.queue.lock().expect("queue poisoned");
+            let mut queue = lock_recover(&state.queue);
             loop {
                 if let Some(item) = queue.pop_front() {
                     break Some(item);
@@ -231,7 +253,10 @@ fn worker(
                 if state.open.load(Ordering::Acquire) == 0 {
                     break None;
                 }
-                queue = state.ready.wait(queue).expect("queue poisoned");
+                queue = state
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         let Some(item) = item else {
@@ -240,22 +265,35 @@ fn worker(
             return;
         };
 
-        let formulas = solve_item(state, segments, shared, limit, &item);
+        // Isolate the solve: a panicking query loses this one item (recorded
+        // in `state.lost`, no rewrites fanned out) while every other item —
+        // including the same query's siblings — proceeds untouched.
+        let solved = catch_unwind(AssertUnwindSafe(|| {
+            solve_item(state, segments, shared, limit, &item)
+        }));
+        let formulas = match solved {
+            Ok(formulas) => formulas,
+            Err(_) => {
+                lock_recover(&state.lost).push((item.query, item.psi));
+                if state.open.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    state.ready.notify_all();
+                }
+                continue;
+            }
+        };
 
         let next_segment = item.segment + 1;
         if next_segment < segments.len() {
             // Hand each fresh rewrite to the next stage immediately.
             let fresh: Vec<FormulaId> = {
-                let mut seen = state.seen[next_segment][item.query]
-                    .lock()
-                    .expect("seen set poisoned");
+                let mut seen = lock_recover(&state.seen[next_segment][item.query]);
                 formulas
                     .into_iter()
                     .filter(|&psi| seen.insert(psi))
                     .collect()
             };
             if !fresh.is_empty() {
-                let mut queue = state.queue.lock().expect("queue poisoned");
+                let mut queue = lock_recover(&state.queue);
                 for psi in fresh {
                     state.open.fetch_add(1, Ordering::AcqRel);
                     queue.push_back(Item {
@@ -268,10 +306,7 @@ fn worker(
                 state.ready.notify_all();
             }
         } else {
-            state.outs[item.query]
-                .lock()
-                .expect("output set poisoned")
-                .extend(formulas);
+            lock_recover(&state.outs[item.query]).extend(formulas);
         }
 
         if state.open.fetch_sub(1, Ordering::AcqRel) == 1 {

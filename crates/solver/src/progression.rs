@@ -284,6 +284,8 @@ impl<'a, 'i, A: ArenaOps> SegmentSolver<'a, 'i, A> {
     /// Progresses one pending formula over the segment, returning the distinct
     /// rewritten formulas as interner ids.
     pub fn progress(&mut self, psi: FormulaId) -> InternedProgression {
+        #[cfg(feature = "test-panic")]
+        self.panic_if_marked(psi);
         let before = self.engine.stats;
         self.engine.found.clear();
         self.engine.run(psi, &mut |_, _| false);
@@ -296,6 +298,20 @@ impl<'a, 'i, A: ArenaOps> SegmentSolver<'a, 'i, A> {
     /// Cumulative statistics over every query run through this solver.
     pub fn stats(&self) -> SolverStats {
         self.engine.stats
+    }
+
+    /// Deterministic failure injection for the `test-panic` feature: a
+    /// pending formula mentioning the reserved `__panic__` atom panics at
+    /// progression entry — crucially *before* any shard of a shared arena is
+    /// locked, so the panic never poisons state other queries depend on —
+    /// letting the runtime's panic-isolation path be driven from tests
+    /// without unsafe hooks or extra dependencies.
+    #[cfg(feature = "test-panic")]
+    fn panic_if_marked(&self, psi: FormulaId) {
+        let phi = ArenaOps::resolve(&*self.engine.interner, psi);
+        if phi.atoms().iter().any(|p| p.name() == "__panic__") {
+            panic!("test-panic: progressing a formula marked with the __panic__ atom");
+        }
     }
 }
 
