@@ -29,6 +29,11 @@
 //! bench_snapshot --check [BENCH_PINS.json]        # exit 1 on counter drift
 //! bench_snapshot --write-pins [BENCH_PINS.json]   # regenerate the budget
 //! ```
+//!
+//! `--checkpoint-smoke` runs the recovery gate alone: every checkpoint
+//! scenario is streamed with serialize-and-restore restarts at GC epochs,
+//! and the process exits non-zero if any restarted run diverges from its
+//! uninterrupted reference (the CI recovery smoke).
 
 use rvmtl_bench::{
     blockchain_workloads, default_trace_config, formula, pins, sweep_monitor, sweep_points,
@@ -178,10 +183,38 @@ fn run_check(path: &str) -> ! {
     std::process::exit(1);
 }
 
+/// `--checkpoint-smoke`: run every checkpoint scenario's
+/// serialize-and-restore harness and fail the process on any divergence
+/// between the restarted run and the uninterrupted reference.
+fn run_checkpoint_smoke() -> ! {
+    let mut failed = false;
+    for case in rvmtl_bench::checkpoint_cases() {
+        let run = rvmtl_bench::run_checkpoint_case(&case);
+        let ok = run.recovered_identical();
+        eprintln!(
+            "[bench] checkpoint-smoke {}: {} restarts, {} snapshot bytes, {}",
+            case.name,
+            run.restarts,
+            run.snapshot_bytes,
+            if ok { "verdict-identical" } else { "DIVERGED" },
+        );
+        failed |= !ok || run.restarts == 0;
+    }
+    if failed {
+        eprintln!("[bench] checkpoint-smoke FAILED: recovery is not verdict-identical");
+        std::process::exit(1);
+    }
+    eprintln!("[bench] checkpoint-smoke passed");
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--check") {
         run_check(&path_after(&args, "--check"));
+    }
+    if args.iter().any(|a| a == "--checkpoint-smoke") {
+        run_checkpoint_smoke();
     }
     if args.iter().any(|a| a == "--write-pins") {
         let path = path_after(&args, "--write-pins");
@@ -399,6 +432,39 @@ fn main() {
         );
     }
 
+    // The checkpoint sweep: every recovery scenario streamed through the
+    // serialize-and-restore harness. Restart counts, snapshot sizes and
+    // recovery identity are deterministic and pinned by the `--check` gate
+    // (and gated alone by `--checkpoint-smoke`); only the wall clock — the
+    // price of snapshotting at every GC epoch — is measured here.
+    let mut checkpoint_rows = Vec::new();
+    if sweeps {
+        let (mut sweep_secs, mut count) = (0f64, 0usize);
+        for case in rvmtl_bench::checkpoint_cases() {
+            let started = Instant::now();
+            let run = rvmtl_bench::run_checkpoint_case(&case);
+            let secs = started.elapsed().as_secs_f64();
+            sweep_secs += secs;
+            count += 1;
+            checkpoint_rows.push(format!(
+                concat!(
+                    "    {{\"case\": \"{}\", \"restarts\": {}, \"snapshot_bytes\": {}, ",
+                    "\"recovered_identical\": {}, \"wall_ms\": {:.3}}}"
+                ),
+                case.name,
+                run.restarts,
+                run.snapshot_bytes,
+                run.recovered_identical(),
+                secs * 1000.0,
+            ));
+        }
+        eprintln!(
+            "[bench] checkpoint_sweep: {} cases, {:.3} ms",
+            count,
+            sweep_secs * 1000.0,
+        );
+    }
+
     // The streaming-pipeline sweep: long multi-query computations through the
     // batch monitor (one run per query — the pre-runtime serving path), the
     // streaming runtime's sequential path (shared per-segment solver across
@@ -490,6 +556,9 @@ fn main() {
     if sweeps {
         println!("  \"fault_storm\": [");
         println!("{}", fault_rows.join(",\n"));
+        println!("  ],");
+        println!("  \"checkpoint_sweep\": [");
+        println!("{}", checkpoint_rows.join(",\n"));
         println!("  ],");
         println!("  \"pipeline_sweep\": [");
         println!("{}", pipeline_rows.join(",\n"));

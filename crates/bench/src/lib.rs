@@ -517,9 +517,148 @@ pub fn run_fault_storm_case(case: &FaultStormCase) -> (StreamReport, FaultedStre
     (monitor.finish(), faulted)
 }
 
+/// One scenario of the `checkpoint` sweep: a delivered schedule (fault mix +
+/// policy + seed, same grammar as [`FaultStormCase`]) streamed with GC every
+/// segment, serializing and restoring the monitor from its own snapshot
+/// every `restart_every` GC epochs. Membership is shared by
+/// `bench_snapshot --sweeps` / `--checkpoint-smoke` (wall clock + recovery
+/// gate) and [`pins::checkpoint_entries`] (counter gate).
+pub struct CheckpointCase {
+    /// Pin-key / row name of the case.
+    pub name: &'static str,
+    /// The ingestion policy the monitor runs under.
+    pub policy: FaultPolicy,
+    /// The injected fault mix.
+    pub faults: FaultConfig,
+    /// Seed of the deterministic injection.
+    pub seed: u64,
+    /// Serialize + restore every this many GC epochs.
+    pub restart_every: usize,
+}
+
+/// The checkpoint scenario grid: a clean `Strict` stream restarted at every
+/// epoch, a duplicate-heavy `Dedup` feed restarted every other epoch, and a
+/// lossy `BestEffort` feed restarted at every epoch — so recovery is
+/// exercised with exact, absorbed and degraded state in the snapshot.
+pub fn checkpoint_cases() -> Vec<CheckpointCase> {
+    vec![
+        CheckpointCase {
+            name: "clean_strict_every_epoch",
+            policy: FaultPolicy::Strict,
+            faults: FaultConfig::none(),
+            seed: 0xCB01,
+            restart_every: 1,
+        },
+        CheckpointCase {
+            name: "dup_dedup_every_2",
+            policy: FaultPolicy::Dedup,
+            faults: FaultConfig::duplicates(0.3),
+            seed: 0xCB02,
+            restart_every: 2,
+        },
+        CheckpointCase {
+            name: "lossy_best_effort_every_epoch",
+            policy: FaultPolicy::BestEffort,
+            faults: FaultConfig {
+                drop_rate: 0.15,
+                duplicate_rate: 0.0,
+                delay_rate: 0.2,
+                max_delay_slots: 4,
+            },
+            seed: 0xCB03,
+            restart_every: 1,
+        },
+    ]
+}
+
+/// Outcome of one checkpoint case: the restarted run, its uninterrupted
+/// reference on the same delivered schedule, and the recovery counters.
+pub struct CheckpointRun {
+    /// Report of the run that was serialized/restored at every boundary.
+    pub report: StreamReport,
+    /// Report of the uninterrupted reference run.
+    pub reference: StreamReport,
+    /// Number of serialize + restore round trips performed.
+    pub restarts: u64,
+    /// Size in bytes of the last snapshot taken (a deterministic function of
+    /// the workload on the sequential path — pinned, so unintended format or
+    /// state-footprint growth shows up as counter drift).
+    pub snapshot_bytes: u64,
+}
+
+impl CheckpointRun {
+    /// `true` when the restarted run is observably identical to the
+    /// uninterrupted one: same verdicts, pending sets and integrity tags.
+    pub fn recovered_identical(&self) -> bool {
+        self.report.verdicts == self.reference.verdicts
+            && self.report.pending == self.reference.pending
+            && self.report.integrity == self.reference.integrity
+    }
+}
+
+/// Runs one checkpoint case on the sequential streaming path (GC every
+/// segment): feeds the case's faulted schedule twice — once uninterrupted,
+/// once serializing the monitor to bytes and restoring it into a fresh one
+/// every `restart_every` GC epochs. Pure function of the case, like
+/// [`run_fault_storm_case`].
+pub fn run_checkpoint_case(case: &CheckpointCase) -> CheckpointRun {
+    let (comp, phi) = fault_storm_workload();
+    let clean = StreamEvent::schedule_of(&comp);
+    let faulted = FaultInjector::new(case.seed, case.faults).inject(&clean);
+    let delivered: Vec<StreamEvent> = faulted.events().cloned().collect();
+    let segment_length = (comp.duration().max(1) / DEFAULT_SEGMENTS as u64).max(1);
+    let config = StreamConfig::new(segment_length)
+        .gc_interval(1)
+        .fault_policy(case.policy);
+
+    let mut reference = StreamMonitor::new(comp.process_count(), comp.epsilon(), config.clone());
+    reference.add_query(&phi);
+    for e in &delivered {
+        let _ = reference.observe(e.process, e.time, e.state.clone());
+    }
+    let reference = reference.finish();
+
+    let mut monitor = StreamMonitor::new(comp.process_count(), comp.epsilon(), config.clone());
+    monitor.add_query(&phi);
+    let mut restarts = 0u64;
+    let mut snapshot_bytes = 0u64;
+    let mut last_restart_gc = 0usize;
+    for e in &delivered {
+        let _ = monitor.observe(e.process, e.time, e.state.clone());
+        if monitor.gc_runs() >= last_restart_gc + case.restart_every {
+            let bytes = monitor.checkpoint_bytes();
+            snapshot_bytes = bytes.len() as u64;
+            monitor = StreamMonitor::restore_from_bytes(&bytes, config.clone())
+                .expect("a freshly written snapshot restores");
+            restarts += 1;
+            last_restart_gc = monitor.gc_runs();
+        }
+    }
+    CheckpointRun {
+        report: monitor.finish(),
+        reference,
+        restarts,
+        snapshot_bytes,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn checkpoint_cases_restart_and_recover_identically() {
+        for case in checkpoint_cases() {
+            let run = run_checkpoint_case(&case);
+            assert!(run.restarts > 0, "{}: the fixture must restart", case.name);
+            assert!(run.snapshot_bytes > 0, "{}", case.name);
+            assert!(
+                run.recovered_identical(),
+                "{}: restarted run diverged from the uninterrupted reference",
+                case.name
+            );
+        }
+    }
 
     #[test]
     fn synthetic_workloads_are_monitorable() {

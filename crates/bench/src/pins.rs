@@ -144,12 +144,45 @@ pub fn fault_entries() -> Vec<(String, u64)> {
     entries
 }
 
+/// The `checkpoint` pin entries: every [`crate::checkpoint_cases`] scenario
+/// run once through the serialize-and-restore harness
+/// ([`crate::run_checkpoint_case`]). Pins the restart count, the snapshot
+/// byte size (format + state-footprint growth shows up as drift), whether
+/// the restarted run stayed observably identical to the uninterrupted
+/// reference (`recovered_identical`, pinned at 1 — a 0 here means recovery
+/// itself broke), and the restarted run's verdict code and absorption
+/// counters. Same machine-independence contract as [`fault_entries`].
+pub fn checkpoint_entries() -> Vec<(String, u64)> {
+    let mut entries = Vec::new();
+    for case in crate::checkpoint_cases() {
+        let run = crate::run_checkpoint_case(&case);
+        let key = format!("checkpoint/{}", case.name);
+        entries.push((format!("{key}/restarts"), run.restarts));
+        entries.push((format!("{key}/snapshot_bytes"), run.snapshot_bytes));
+        entries.push((
+            format!("{key}/recovered_identical"),
+            run.recovered_identical() as u64,
+        ));
+        let v = &run.report.verdicts[0];
+        let verdicts = v.may_be_satisfied() as u64
+            | (v.may_be_violated() as u64) << 1
+            | (v.iter().any(|x| !x.is_conclusive()) as u64) << 2;
+        entries.push((format!("{key}/verdicts"), verdicts));
+        let h = run.report.health;
+        entries.push((format!("{key}/deduped"), h.deduped));
+        entries.push((format!("{key}/dropped"), h.dropped));
+    }
+    entries.sort();
+    entries
+}
+
 /// Every gated entry: the batch sweep counters ([`pin_rows`] flattened) plus
-/// the `fault_storm` streaming counters, sorted — exactly what
-/// `bench_snapshot --check` compares and `--write-pins` writes.
+/// the `fault_storm` and `checkpoint` streaming counters, sorted — exactly
+/// what `bench_snapshot --check` compares and `--write-pins` writes.
 pub fn all_entries() -> Vec<(String, u64)> {
     let mut entries = flatten(&pin_rows());
     entries.extend(fault_entries());
+    entries.extend(checkpoint_entries());
     entries.sort();
     entries
 }

@@ -89,11 +89,16 @@ pub fn enumerate_traces_bounded(
 ///
 /// Panics if the limit is exceeded; use the bounded variant on computations of
 /// unknown size.
+// The panic is this function's documented contract; the bounded variant is
+// the non-panicking API.
+#[allow(clippy::expect_used)]
 pub fn enumerate_traces(comp: &DistributedComputation) -> Vec<TimedTrace> {
     enumerate_traces_bounded(comp, DEFAULT_TRACE_LIMIT)
         .expect("trace enumeration exceeded the default limit")
 }
 
+// Extension times are clamped to `last_time`, so every push is monotone.
+#[allow(clippy::expect_used)]
 fn recurse_traces(
     comp: &DistributedComputation,
     cut: &Cut,

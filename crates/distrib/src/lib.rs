@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod computation;
 mod cuts;
@@ -58,4 +59,7 @@ pub use interleave::{
 pub use segment::{
     boundary_events, segment, segment_at_boundaries, segments_for_frequency, SegmentationMode,
 };
-pub use stream::{FaultCounters, FaultPolicy, IncrementalSegmenter, StreamError};
+pub use stream::{
+    FaultCounters, FaultPolicy, IncrementalSegmenter, InvalidSegmenterState, SegmenterState,
+    StreamError,
+};

@@ -64,6 +64,8 @@ pub fn segment(
 /// # Panics
 ///
 /// Panics if fewer than two boundary points are given.
+// Restricting a valid computation preserves every builder invariant.
+#[allow(clippy::expect_used)]
 pub fn segment_at_boundaries(
     comp: &DistributedComputation,
     boundaries: &[u64],

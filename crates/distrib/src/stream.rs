@@ -218,6 +218,59 @@ pub struct IncrementalSegmenter {
     faults: FaultCounters,
 }
 
+/// A plain-data image of an [`IncrementalSegmenter`], produced by
+/// [`IncrementalSegmenter::export_state`] and consumed by
+/// [`IncrementalSegmenter::from_state`].
+///
+/// Every field is public so checkpoint layers can serialize it with their
+/// own codec; re-import revalidates all invariants, so a corrupted image is
+/// rejected with [`InvalidSegmenterState`] instead of corrupting the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmenterState {
+    /// Number of processes of the stream.
+    pub process_count: usize,
+    /// The skew bound `ε`.
+    pub epsilon: u64,
+    /// Segment length (must be ≥ 1).
+    pub segment_length: u64,
+    /// Base time of the currently open segment.
+    pub open_base: u64,
+    /// Largest local time heard per process.
+    pub clocks: Vec<Option<u64>>,
+    /// Carried initial state per process.
+    pub carried: Vec<State>,
+    /// Buffered open-window events, per process in arrival order.
+    pub buffered: Vec<Vec<(u64, State)>>,
+    /// Largest event local time seen anywhere.
+    pub max_event_time: u64,
+    /// Whether any event has been observed.
+    pub any_event: bool,
+    /// Whether the stream has been finished.
+    pub finished: bool,
+    /// The active fault policy.
+    pub policy: FaultPolicy,
+    /// Faults absorbed so far under the policy.
+    pub faults: FaultCounters,
+}
+
+/// Error rejecting a [`SegmenterState`] whose fields violate the segmenter's
+/// invariants (inconsistent lengths, non-monotone buffers, clock/watermark
+/// disagreements).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct InvalidSegmenterState {
+    /// Human-readable description of the violated invariant.
+    pub reason: String,
+}
+
+impl fmt::Display for InvalidSegmenterState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid segmenter state: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidSegmenterState {}
+
 /// Outcome of admission control for one observation.
 enum Admission {
     /// Buffer the event / advance the clock.
@@ -332,6 +385,114 @@ impl IncrementalSegmenter {
             .map(|c| c.map(|t| t.saturating_sub(self.epsilon)))
             .min()
             .flatten()
+    }
+
+    /// Exports a plain-data image of this segmenter for checkpointing.
+    pub fn export_state(&self) -> SegmenterState {
+        SegmenterState {
+            process_count: self.process_count,
+            epsilon: self.epsilon,
+            segment_length: self.segment_length,
+            open_base: self.open_base,
+            clocks: self.clocks.clone(),
+            carried: self.carried.clone(),
+            buffered: self.buffered.clone(),
+            max_event_time: self.max_event_time,
+            any_event: self.any_event,
+            finished: self.finished,
+            policy: self.policy,
+            faults: self.faults,
+        }
+    }
+
+    /// Rebuilds a segmenter from an exported image, revalidating every
+    /// invariant admission control normally maintains. A tampered or
+    /// corrupted image is rejected with [`InvalidSegmenterState`]; a state
+    /// accepted here behaves exactly as the segmenter that exported it.
+    pub fn from_state(state: SegmenterState) -> Result<Self, InvalidSegmenterState> {
+        fn bad(reason: impl Into<String>) -> InvalidSegmenterState {
+            InvalidSegmenterState {
+                reason: reason.into(),
+            }
+        }
+        if state.process_count == 0 {
+            return Err(bad("at least one process is required"));
+        }
+        if state.segment_length == 0 {
+            return Err(bad("segment length must be at least 1"));
+        }
+        if state.clocks.len() != state.process_count
+            || state.carried.len() != state.process_count
+            || state.buffered.len() != state.process_count
+        {
+            return Err(bad(format!(
+                "per-process tables sized {}/{}/{} for {} processes",
+                state.clocks.len(),
+                state.carried.len(),
+                state.buffered.len(),
+                state.process_count
+            )));
+        }
+        if state.max_event_time < state.open_base && state.any_event {
+            return Err(bad("max_event_time precedes the open segment base"));
+        }
+        let mut saw_event = false;
+        for (p, buf) in state.buffered.iter().enumerate() {
+            let mut prev = None;
+            for &(t, _) in buf {
+                if t < state.open_base {
+                    return Err(bad(format!(
+                        "process {p} buffers an event at {t} before open_base {}",
+                        state.open_base
+                    )));
+                }
+                if prev.is_some_and(|prev| t < prev) {
+                    return Err(bad(format!("process {p} buffer is out of order at {t}")));
+                }
+                if t > state.max_event_time {
+                    return Err(bad(format!(
+                        "process {p} buffers an event at {t} past max_event_time {}",
+                        state.max_event_time
+                    )));
+                }
+                match state.clocks[p] {
+                    Some(clock) if t <= clock => {}
+                    _ => {
+                        return Err(bad(format!(
+                            "process {p} buffers an event at {t} ahead of its clock"
+                        )))
+                    }
+                }
+                prev = Some(t);
+                saw_event = true;
+            }
+        }
+        if saw_event && !state.any_event {
+            return Err(bad("buffered events contradict any_event = false"));
+        }
+        let segmenter = IncrementalSegmenter {
+            process_count: state.process_count,
+            epsilon: state.epsilon,
+            segment_length: state.segment_length,
+            open_base: state.open_base,
+            clocks: state.clocks,
+            carried: state.carried,
+            buffered: state.buffered,
+            max_event_time: state.max_event_time,
+            any_event: state.any_event,
+            finished: state.finished,
+            policy: state.policy,
+            faults: state.faults,
+        };
+        // The drain invariant: the open segment always reaches the watermark
+        // (drain_closed restores it after every observation, so a consistent
+        // image satisfies it too).
+        if let Some(watermark) = segmenter.watermark() {
+            if segmenter.open_base.saturating_add(segmenter.segment_length) < watermark {
+                return Err(bad("open segment lags the watermark"));
+            }
+        }
+        Ok(segmenter)
     }
 
     /// The admission checks shared by events and heartbeats: stream liveness
@@ -531,6 +692,9 @@ impl IncrementalSegmenter {
 
     /// Builds the segment `[self.open_base, hi)` (`[.., hi]` when `last`)
     /// with the batch segmenter's boundary rules and advances the window.
+    // Admission already rejected out-of-order observations, so the builder
+    // revalidation cannot fail.
+    #[allow(clippy::expect_used)]
     fn close_segment(&mut self, hi: u64, last: bool) -> DistributedComputation {
         let lo = self.open_base;
         let mut builder = ComputationBuilder::new(self.process_count, self.epsilon);

@@ -9,6 +9,8 @@ use rvmtl_prng::StdRng;
 /// A small random computation: 1–2 processes, up to 3 events each (gaps of
 /// 1–3 local time units), ε ∈ 1..4, states over [`PROPS`]. Sized so that the
 /// brute-force trace enumeration oracle stays tractable.
+// Generated event times strictly increase per process, so the build holds.
+#[allow(clippy::expect_used)]
 pub fn gen_computation(rng: &mut StdRng) -> DistributedComputation {
     let epsilon = rng.gen_range(1u64..4);
     let processes = rng.gen_range(1usize..3);

@@ -639,6 +639,8 @@ fn resolve_nary<A: ArenaOps + ?Sized>(arena: &A, children: &[FormulaId], conj: b
 
 /// Left-associates resolved n-ary operands in structural order (the shape
 /// [`crate::simplify`] produces).
+// n-ary nodes hold >= 2 operands by the smart-constructor invariant.
+#[allow(clippy::expect_used)]
 fn fold_nary(mut resolved: Vec<Formula>, conj: bool) -> Formula {
     resolved.sort();
     let mut iter = resolved.into_iter();

@@ -30,6 +30,8 @@ impl Hasher for FxHasher {
     }
 
     #[inline]
+    // chunks_exact(8) yields exactly 8-byte slices, so the conversion holds.
+    #[allow(clippy::unwrap_used)]
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {

@@ -479,6 +479,9 @@ impl Interner {
         &self.nodes[id.index()]
     }
 
+    // Overflowing 2^32 interned nodes is unrecoverable by design (ids are
+    // u32 on the wire); aborting beats silently aliasing formulas.
+    #[allow(clippy::expect_used)]
     fn insert(&mut self, node: Node) -> FormulaId {
         if let Some(&id) = self.ids.get(&node) {
             return id;
@@ -837,6 +840,8 @@ impl Interner {
         }
     }
 
+    // n-ary nodes hold >= 2 operands by the smart-constructor invariant.
+    #[allow(clippy::expect_used)]
     fn resolve_nary(&self, children: &[FormulaId], conjunction: bool) -> Formula {
         let mut resolved: Vec<Formula> = children.iter().map(|&c| self.resolve(c)).collect();
         resolved.sort();
@@ -1083,6 +1088,9 @@ impl Interner {
     /// Interns an observation state, so repeated progressions against the
     /// same state can be memoised on a 4-byte key (the solver observes the
     /// same cut frontiers over and over across its search).
+    // Overflowing 2^32 interned states is unrecoverable by design, as for
+    // formula ids in `insert`.
+    #[allow(clippy::expect_used)]
     pub fn intern_state(&mut self, state: &State) -> StateKey {
         if let Some(&key) = self.state_ids.get(state) {
             return key;
@@ -1308,6 +1316,9 @@ impl Interner {
     /// the call (pending sets, memo keys, …) is invalidated and must either
     /// be translated through the remap or discarded. [`FormulaId::TRUE`] and
     /// [`FormulaId::FALSE`] are stable across compactions.
+    // Marking closes over children and canonical residuals, so every index
+    // dereferenced during the sweep was marked by construction.
+    #[allow(clippy::expect_used)]
     pub fn compact(&mut self, roots: impl IntoIterator<Item = FormulaId>) -> FormulaRemap {
         // Mark.
         let mut live = vec![false; self.nodes.len()];
@@ -1477,20 +1488,53 @@ pub struct FormulaRemap {
     map: Vec<Option<FormulaId>>,
 }
 
+/// Error returned by [`FormulaRemap::remap`] when the requested id did not
+/// survive the compaction — it was garbage, not a root or a root's subterm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemapCollected {
+    /// The pre-compaction id that was collected.
+    pub id: FormulaId,
+}
+
+impl std::fmt::Display for RemapCollected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "formula id {:?} was collected — pass it as a root to compact()",
+            self.id
+        )
+    }
+}
+
+impl std::error::Error for RemapCollected {}
+
 impl FormulaRemap {
     /// The new id of `old`, or `None` if the node was collected.
     pub fn get(&self, old: FormulaId) -> Option<FormulaId> {
         self.map.get(old.index()).copied().flatten()
     }
 
-    /// The new id of a formula that was passed as a compaction root.
+    /// The new id of `old`, or [`RemapCollected`] if the node did not
+    /// survive the compaction.
+    pub fn remap(&self, old: FormulaId) -> Result<FormulaId, RemapCollected> {
+        self.get(old).ok_or(RemapCollected { id: old })
+    }
+
+    /// The new id of a formula that was passed as a compaction root, for hot
+    /// paths where liveness holds by construction.
     ///
     /// # Panics
     ///
-    /// Panics if `old` was not live at compaction time.
-    pub fn remap(&self, old: FormulaId) -> FormulaId {
-        self.get(old)
-            .expect("FormulaRemap::remap: id was collected — pass it as a root to compact()")
+    /// Panics if `old` was not live at compaction time — callers must have
+    /// passed it (or an ancestor) as a root to [`Interner::compact`].
+    pub fn remap_unchecked(&self, old: FormulaId) -> FormulaId {
+        match self.get(old) {
+            Some(new) => new,
+            None => panic!(
+                "FormulaRemap::remap_unchecked: {}",
+                RemapCollected { id: old }
+            ),
+        }
     }
 
     /// Number of nodes that survived the compaction.
@@ -1913,15 +1957,15 @@ mod tests {
         let remap = interner.compact([keep]);
         let after = interner.memory();
         assert!(after.nodes < before.nodes, "{before:?} -> {after:?}");
-        let new_keep = remap.remap(keep);
+        let new_keep = remap.remap(keep).unwrap();
         assert_eq!(
             interner.resolve(new_keep),
             crate::parse("a U[0,8) b").map(|f| simplify(&f)).unwrap()
         );
         assert!(remap.get(drop_me).is_none() || drop_me.index() >= interner.len());
         // Constants survive with stable ids.
-        assert_eq!(remap.remap(FormulaId::TRUE), FormulaId::TRUE);
-        assert_eq!(remap.remap(FormulaId::FALSE), FormulaId::FALSE);
+        assert_eq!(remap.remap(FormulaId::TRUE).unwrap(), FormulaId::TRUE);
+        assert_eq!(remap.remap(FormulaId::FALSE).unwrap(), FormulaId::FALSE);
         // The arena still works after compaction: re-interning the kept
         // formula is a no-op, new formulas get fresh ids.
         assert_eq!(
@@ -1942,7 +1986,7 @@ mod tests {
         let key = interner.intern_state(&state!["a"]);
         let warm = interner.progress_one_cached(key, id, 3);
         let remap = interner.compact([id, warm]);
-        let id2 = remap.remap(id);
+        let id2 = remap.remap(id).unwrap();
         // Progressing through the compacted arena gives the same formula.
         let key2 = interner.intern_state(&state!["a"]);
         let after = interner.progress_one_cached(key2, id2, 3);
@@ -1952,7 +1996,10 @@ mod tests {
         let rres = reference.progress_one_cached(rkey, rid, 3);
         assert_eq!(interner.resolve(after), reference.resolve(rres));
         // Cache entries whose endpoints survived were carried over.
-        assert_eq!(interner.resolve(remap.remap(warm)), interner.resolve(after));
+        assert_eq!(
+            interner.resolve(remap.remap(warm).unwrap()),
+            interner.resolve(after)
+        );
     }
 
     #[test]
@@ -1970,7 +2017,7 @@ mod tests {
             let key = interner.intern_state(&state!["a"]);
             live = interner.progress_one_cached(key, live, 1 + round % 3);
             let remap = interner.compact([live]);
-            live = remap.remap(live);
+            live = remap.remap(live).unwrap();
             peak_after_gc = peak_after_gc.max(interner.memory().total_entries());
         }
         assert!(

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod arena;
 mod atom;
@@ -54,6 +55,7 @@ mod parser;
 mod progress;
 mod sharded;
 mod simplify;
+pub mod snapshot;
 mod state;
 pub mod testgen;
 mod trace;
@@ -64,7 +66,7 @@ pub use eval::{evaluate, evaluate_at, evaluate_from};
 pub use formula::Formula;
 pub use intern::{
     ArenaMemory, FormulaId, FormulaRemap, GapKey, Interner, Node, NodeKind, NodeMeta, OneKey,
-    ShiftedId, StateKey,
+    RemapCollected, ShiftedId, StateKey,
 };
 pub use interval::Interval;
 pub use parser::{parse, ParseError};

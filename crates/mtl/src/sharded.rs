@@ -137,6 +137,8 @@ fn shard_of<T: Hash>(value: &T) -> usize {
 
 impl ShardedInterner {
     /// Creates an arena holding only the two boolean constants.
+    // Freshly constructed mutexes cannot be poisoned.
+    #[allow(clippy::expect_used)]
     pub fn new() -> Self {
         let interner = ShardedInterner {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
@@ -266,6 +268,9 @@ impl ShardedInterner {
     }
 
     /// Interns an observation state (see [`Interner::intern_state`](crate::Interner::intern_state)).
+    // Shard overflow is unrecoverable by design (packed u32 keys), as for
+    // the sequential interner.
+    #[allow(clippy::expect_used)]
     pub fn intern_state(&self, state: &State) -> StateKey {
         let shard = shard_of(state);
         let mut s = self.lock(shard);
@@ -368,6 +373,9 @@ impl ShardedInterner {
         ArenaOps::translate_down(&mut handle, id, delta)
     }
 
+    // Shard overflow is unrecoverable by design (packed u32 ids), as for
+    // the sequential interner.
+    #[allow(clippy::expect_used)]
     fn insert(&self, node: Node) -> FormulaId {
         debug_assert!(
             !matches!(node, Node::True | Node::False),

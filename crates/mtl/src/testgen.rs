@@ -45,6 +45,8 @@ pub fn gen_state(rng: &mut StdRng) -> State {
 
 /// A random non-empty timed trace of up to `max_len` observations with
 /// non-decreasing timestamps (gaps of 0–3 time units).
+// Generated timestamps only ever grow, so the trace is monotone.
+#[allow(clippy::expect_used)]
 pub fn gen_trace(rng: &mut StdRng, max_len: usize) -> TimedTrace {
     let len = rng.gen_range(1usize..max_len + 1);
     let mut trace = TimedTrace::empty();

@@ -246,6 +246,8 @@ impl TimedTrace {
 
     /// Returns the sub-trace of observations whose timestamps fall in
     /// `[from, to)` (global times, not offsets).
+    // Filtering preserves monotonicity, so re-validation cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn window(&self, from: u64, to: u64) -> TimedTrace {
         let pairs = self
             .iter()

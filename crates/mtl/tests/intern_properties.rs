@@ -378,7 +378,7 @@ fn compact_is_sound_under_shift_decompositions() {
         roots.extend(warmed.iter().flat_map(|&(_, _, one, gap)| [one, gap]));
         let remap = interner.compact(roots);
         for (s, &old_id) in decomps.iter().zip(&live) {
-            let new_canon = remap.remap(s.id);
+            let new_canon = remap.remap(s.id).unwrap();
             // Materialising the remapped decomposition reproduces the
             // formula, and its tables are consistent.
             let rebuilt = ArenaOps::materialize(
@@ -412,12 +412,12 @@ fn compact_is_sound_under_shift_decompositions() {
             };
             assert_eq!(
                 interner.progress_one_cached(key2, new_id, elapsed),
-                remap.remap(one),
+                remap.remap(one).unwrap(),
                 "elapsed = {elapsed}"
             );
             assert_eq!(
                 interner.progress_gap_cached(new_id, elapsed),
-                remap.remap(gap),
+                remap.remap(gap).unwrap(),
                 "elapsed = {elapsed}"
             );
         }
@@ -468,7 +468,7 @@ fn shift_watermark_flips_once_and_tracks_compaction() {
     // survives with it and the decomposition still works).
     let remap = interner.compact([shifted, free_ids[0]]);
     assert!(interner.ever_shifted());
-    let shifted2 = remap.remap(shifted);
+    let shifted2 = remap.remap(shifted).unwrap();
     let s2 = interner.normalize(shifted2);
     assert_eq!(s2.shift, 6);
     assert_eq!(
@@ -478,13 +478,13 @@ fn shift_watermark_flips_once_and_tracks_compaction() {
 
     // Compaction dropping every shifted node re-arms the fast path: the
     // watermark drops and normalisation is the identity again.
-    let keep = remap.remap(free_ids[0]);
+    let keep = remap.remap(free_ids[0]).unwrap();
     let remap2 = interner.compact([keep]);
     assert!(
         !interner.ever_shifted(),
         "GC collected the last shifted node"
     );
-    let keep2 = remap2.remap(keep);
+    let keep2 = remap2.remap(keep).unwrap();
     let s3 = interner.normalize(keep2);
     assert_eq!((s3.shift, s3.id), (0, keep2));
     // The re-armed arena still progresses correctly and can trip again.

@@ -1,0 +1,604 @@
+//! Epoch checkpoints: the container format, crash-safe file IO, and the
+//! monitor-state codec on top of [`rvmtl_mtl::snapshot`].
+//!
+//! See the crate documentation's "Checkpoint format & recovery semantics"
+//! section for the architecture. This module owns three layers:
+//!
+//! 1. **Envelope** — `magic | version | payload length | CRC-32 | payload`,
+//!    sealed by [`seal`] and opened (with full validation) by [`open`];
+//! 2. **File IO** — [`write_epoch`] writes to a temp file, fsyncs, and
+//!    atomically renames into `epoch-NNNNNNNNNNNN.ckpt`, retaining the
+//!    previous epoch as the fallback; [`epochs_newest_first`] lists what a
+//!    restore may try;
+//! 3. **Monitor image codec** — `encode_monitor` / `decode_monitor`
+//!    serialize the full [`crate::StreamMonitor`] state: segmenter image,
+//!    query-spanning arena, per-query pending sets and fault provenance,
+//!    and the runtime counters.
+//!
+//! Everything here is deliberately infallible on encode and paranoid on
+//! decode: any byte-level damage surfaces as a [`CheckpointError`], never a
+//! panic, and [`crate::StreamMonitor::restore_latest`] falls back to the
+//! previous epoch when the newest is damaged.
+
+use rvmtl_distrib::{FaultCounters, FaultPolicy, SegmenterState};
+use rvmtl_mtl::snapshot::{
+    crc32, decode_arena, decode_formula, decode_state, encode_arena, encode_formula, encode_state,
+    SnapshotError, SnapshotReader, SnapshotWriter,
+};
+use rvmtl_mtl::{Formula, FormulaId, Interner};
+use rvmtl_solver::SolverStats;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// First bytes of every checkpoint file.
+pub const MAGIC: &[u8; 8] = b"RVMTLCKP";
+
+/// Version of the checkpoint container and payload format.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Number of epoch files retained on disk (the newest plus its fallback).
+pub const RETAINED_EPOCHS: usize = 2;
+
+/// Error produced when a checkpoint cannot be written, read, or decoded.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// Filesystem failure while writing or reading an epoch.
+    Io(std::io::Error),
+    /// The file does not start with the checkpoint magic.
+    BadMagic,
+    /// The container version is not one this build understands.
+    UnsupportedVersion(u32),
+    /// The payload checksum does not match — the file was corrupted.
+    ChecksumMismatch {
+        /// Checksum recorded in the container.
+        expected: u32,
+        /// Checksum of the payload as read.
+        found: u32,
+    },
+    /// The file ended before a field's bytes (crash mid-write).
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A structurally invalid payload field.
+    Malformed(String),
+    /// The snapshot is valid but disagrees with the restoring configuration
+    /// (segment length or fault policy): replaying into it would change
+    /// verdicts, so the restore is refused.
+    ConfigMismatch(String),
+    /// No (readable) checkpoint exists in the directory.
+    NoCheckpoint,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint IO error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint format version {v}")
+            }
+            CheckpointError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checkpoint checksum mismatch: expected {expected:#010x}, found {found:#010x}"
+            ),
+            CheckpointError::Truncated { needed, available } => write!(
+                f,
+                "checkpoint truncated: needed {needed} more bytes, {available} available"
+            ),
+            CheckpointError::Malformed(reason) => write!(f, "malformed checkpoint: {reason}"),
+            CheckpointError::ConfigMismatch(reason) => {
+                write!(f, "checkpoint/config mismatch: {reason}")
+            }
+            CheckpointError::NoCheckpoint => write!(f, "no checkpoint found"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for CheckpointError {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Truncated { needed, available } => {
+                CheckpointError::Truncated { needed, available }
+            }
+            SnapshotError::Malformed(reason) => CheckpointError::Malformed(reason),
+            other => CheckpointError::Malformed(other.to_string()),
+        }
+    }
+}
+
+fn malformed(reason: impl Into<String>) -> CheckpointError {
+    CheckpointError::Malformed(reason.into())
+}
+
+// ---------------------------------------------------------------------------
+// Envelope
+// ---------------------------------------------------------------------------
+
+/// Wraps a payload in the checkpoint container:
+/// `magic | version | payload length (u64) | CRC-32 | payload`.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAGIC.len() + 16 + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates the container and returns the checksummed payload.
+pub fn open(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
+    let header = MAGIC.len() + 4 + 8 + 4;
+    if bytes.len() < MAGIC.len() {
+        return Err(CheckpointError::Truncated {
+            needed: header,
+            available: bytes.len(),
+        });
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    if bytes.len() < header {
+        return Err(CheckpointError::Truncated {
+            needed: header,
+            available: bytes.len(),
+        });
+    }
+    let mut word4 = [0u8; 4];
+    word4.copy_from_slice(&bytes[8..12]);
+    let version = u32::from_le_bytes(word4);
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    let mut word8 = [0u8; 8];
+    word8.copy_from_slice(&bytes[12..20]);
+    let len = u64::from_le_bytes(word8);
+    word4.copy_from_slice(&bytes[20..24]);
+    let expected = u32::from_le_bytes(word4);
+    let payload = &bytes[header..];
+    let len = usize::try_from(len).map_err(|_| malformed("payload length exceeds usize"))?;
+    if payload.len() < len {
+        return Err(CheckpointError::Truncated {
+            needed: len,
+            available: payload.len(),
+        });
+    }
+    if payload.len() > len {
+        return Err(malformed(format!(
+            "{} bytes beyond the declared payload",
+            payload.len() - len
+        )));
+    }
+    let found = crc32(payload);
+    if found != expected {
+        return Err(CheckpointError::ChecksumMismatch { expected, found });
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// File IO
+// ---------------------------------------------------------------------------
+
+/// Path of the epoch file for `epoch` inside `dir` (zero-padded so the
+/// lexicographic order of file names is the numeric order of epochs).
+pub fn epoch_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("epoch-{epoch:012}.ckpt"))
+}
+
+fn parse_epoch_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("epoch-")?.strip_suffix(".ckpt")?;
+    if digits.len() != 12 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Epoch numbers present in `dir`, newest first — the order a restore tries
+/// them in. IO errors listing the directory surface; unreadable or foreign
+/// entries are skipped.
+pub fn epochs_newest_first(dir: &Path) -> Result<Vec<u64>, CheckpointError> {
+    let mut epochs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(epoch) = entry.file_name().to_str().and_then(parse_epoch_name) {
+            epochs.push(epoch);
+        }
+    }
+    epochs.sort_unstable_by(|a, b| b.cmp(a));
+    Ok(epochs)
+}
+
+/// Crash-safely writes `bytes` as the epoch-`epoch` checkpoint in `dir`:
+/// write to a temp file, fsync it, atomically rename into place, then fsync
+/// the directory (best-effort) and prune all but the newest
+/// [`RETAINED_EPOCHS`] epochs. A crash at any point leaves either the
+/// previous epoch set or the new one — never a half-written visible file.
+pub fn write_epoch(dir: &Path, epoch: u64, bytes: &[u8]) -> Result<PathBuf, CheckpointError> {
+    fs::create_dir_all(dir)?;
+    let final_path = epoch_path(dir, epoch);
+    let tmp_path = final_path.with_extension("ckpt.tmp");
+    {
+        let mut tmp = fs::File::create(&tmp_path)?;
+        tmp.write_all(bytes)?;
+        tmp.sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    // Make the rename durable. Directory fsync is not supported everywhere;
+    // failure here weakens durability, not consistency, so it is tolerated.
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    // Prune old epochs (best-effort: a leftover file only wastes space).
+    if let Ok(epochs) = epochs_newest_first(dir) {
+        for &old in epochs.iter().skip(RETAINED_EPOCHS) {
+            let _ = fs::remove_file(epoch_path(dir, old));
+        }
+    }
+    Ok(final_path)
+}
+
+// ---------------------------------------------------------------------------
+// Monitor image codec
+// ---------------------------------------------------------------------------
+
+/// Per-query state as captured at a checkpoint.
+pub(crate) struct QueryImage {
+    /// The original specification.
+    pub root: Formula,
+    /// Pending obligations as `(shift, arena snapshot index)` — translated
+    /// through the decode remap table on restore.
+    pub pending: Vec<(u64, u32)>,
+    /// The query's anchor boundary.
+    pub anchored_at: u64,
+    /// Faults absorbed in windows this query observes.
+    pub faults: FaultCounters,
+    /// Work items lost to panicking solver stages.
+    pub panics: u64,
+    /// Obligations those lost items carried.
+    pub lost: Vec<Formula>,
+}
+
+/// Monitor-wide counters as captured at a checkpoint.
+pub(crate) struct MonitorCounters {
+    pub segments_processed: u64,
+    pub gc_runs: u64,
+    pub rejected: u64,
+    pub worker_panics: u64,
+    pub backpressure_stalls: u64,
+    pub checkpoint_failures: u64,
+    pub stats: SolverStats,
+}
+
+/// The decoded image of a checkpointed monitor.
+pub(crate) struct MonitorImage {
+    pub segmenter: SegmenterState,
+    pub arena: Interner,
+    /// Snapshot node index → id in `arena` (remap-on-restore).
+    pub node_map: Vec<FormulaId>,
+    pub queries: Vec<QueryImage>,
+    pub counters: MonitorCounters,
+}
+
+fn encode_policy(w: &mut SnapshotWriter, policy: FaultPolicy) {
+    w.put_u8(match policy {
+        FaultPolicy::Strict => 0,
+        FaultPolicy::Dedup => 1,
+        FaultPolicy::BestEffort => 2,
+    });
+}
+
+fn decode_policy(r: &mut SnapshotReader<'_>) -> Result<FaultPolicy, SnapshotError> {
+    match r.u8()? {
+        0 => Ok(FaultPolicy::Strict),
+        1 => Ok(FaultPolicy::Dedup),
+        2 => Ok(FaultPolicy::BestEffort),
+        other => Err(SnapshotError::Malformed(format!(
+            "fault policy byte {other:#04x}"
+        ))),
+    }
+}
+
+fn encode_fault_counters(w: &mut SnapshotWriter, c: &FaultCounters) {
+    w.put_u64(c.deduped);
+    w.put_u64(c.dropped);
+    w.put_u64(c.late_beyond_epsilon);
+}
+
+fn decode_fault_counters(r: &mut SnapshotReader<'_>) -> Result<FaultCounters, SnapshotError> {
+    Ok(FaultCounters {
+        deduped: r.u64()?,
+        dropped: r.u64()?,
+        late_beyond_epsilon: r.u64()?,
+    })
+}
+
+fn put_usize(w: &mut SnapshotWriter, v: usize) {
+    w.put_u64(v as u64);
+}
+
+fn take_usize(r: &mut SnapshotReader<'_>) -> Result<usize, SnapshotError> {
+    let v = r.u64()?;
+    usize::try_from(v).map_err(|_| SnapshotError::Malformed(format!("counter {v} exceeds usize")))
+}
+
+fn encode_segmenter(w: &mut SnapshotWriter, s: &SegmenterState) {
+    put_usize(w, s.process_count);
+    w.put_u64(s.epsilon);
+    w.put_u64(s.segment_length);
+    w.put_u64(s.open_base);
+    for clock in &s.clocks {
+        match clock {
+            Some(t) => {
+                w.put_bool(true);
+                w.put_u64(*t);
+            }
+            None => w.put_bool(false),
+        }
+    }
+    for state in &s.carried {
+        encode_state(w, state);
+    }
+    for buf in &s.buffered {
+        w.put_len(buf.len());
+        for (t, state) in buf {
+            w.put_u64(*t);
+            encode_state(w, state);
+        }
+    }
+    w.put_u64(s.max_event_time);
+    w.put_bool(s.any_event);
+    w.put_bool(s.finished);
+    encode_policy(w, s.policy);
+    encode_fault_counters(w, &s.faults);
+}
+
+fn decode_segmenter(r: &mut SnapshotReader<'_>) -> Result<SegmenterState, SnapshotError> {
+    let process_count = take_usize(r)?;
+    // One bool byte per process at minimum; rejects absurd counts before any
+    // allocation below.
+    if process_count == 0 || process_count > r.remaining() {
+        return Err(SnapshotError::Malformed(format!(
+            "segmenter claims {process_count} processes"
+        )));
+    }
+    let epsilon = r.u64()?;
+    let segment_length = r.u64()?;
+    let open_base = r.u64()?;
+    let mut clocks = Vec::with_capacity(process_count);
+    for _ in 0..process_count {
+        clocks.push(if r.bool()? { Some(r.u64()?) } else { None });
+    }
+    let mut carried = Vec::with_capacity(process_count);
+    for _ in 0..process_count {
+        carried.push(decode_state(r)?);
+    }
+    let mut buffered = Vec::with_capacity(process_count);
+    for _ in 0..process_count {
+        let count = r.len(12)?;
+        let mut buf = Vec::with_capacity(count);
+        for _ in 0..count {
+            let t = r.u64()?;
+            buf.push((t, decode_state(r)?));
+        }
+        buffered.push(buf);
+    }
+    Ok(SegmenterState {
+        process_count,
+        epsilon,
+        segment_length,
+        open_base,
+        clocks,
+        carried,
+        buffered,
+        max_event_time: r.u64()?,
+        any_event: r.bool()?,
+        finished: r.bool()?,
+        policy: decode_policy(r)?,
+        faults: decode_fault_counters(r)?,
+    })
+}
+
+fn encode_stats(w: &mut SnapshotWriter, stats: &SolverStats) {
+    put_usize(w, stats.explored_states);
+    put_usize(w, stats.memo_hits);
+    put_usize(w, stats.completed_sequences);
+    put_usize(w, stats.constant_cutoffs);
+    put_usize(w, stats.time_splits);
+    put_usize(w, stats.merged_time_points);
+    put_usize(w, stats.shift_normalized_nodes);
+}
+
+fn decode_stats(r: &mut SnapshotReader<'_>) -> Result<SolverStats, SnapshotError> {
+    Ok(SolverStats {
+        explored_states: take_usize(r)?,
+        memo_hits: take_usize(r)?,
+        completed_sequences: take_usize(r)?,
+        constant_cutoffs: take_usize(r)?,
+        time_splits: take_usize(r)?,
+        merged_time_points: take_usize(r)?,
+        shift_normalized_nodes: take_usize(r)?,
+    })
+}
+
+fn encode_query(w: &mut SnapshotWriter, q: &QueryImage) {
+    encode_formula(w, &q.root);
+    w.put_len(q.pending.len());
+    for &(shift, index) in &q.pending {
+        w.put_u64(shift);
+        w.put_u32(index);
+    }
+    w.put_u64(q.anchored_at);
+    encode_fault_counters(w, &q.faults);
+    w.put_u64(q.panics);
+    w.put_len(q.lost.len());
+    for phi in &q.lost {
+        encode_formula(w, phi);
+    }
+}
+
+fn decode_query(
+    r: &mut SnapshotReader<'_>,
+    arena_nodes: usize,
+) -> Result<QueryImage, SnapshotError> {
+    let root = decode_formula(r)?;
+    let count = r.len(12)?;
+    let mut pending = Vec::with_capacity(count);
+    for _ in 0..count {
+        let shift = r.u64()?;
+        let index = r.u32()?;
+        if index as usize >= arena_nodes {
+            return Err(SnapshotError::Malformed(format!(
+                "pending obligation refers to node {index} of a {arena_nodes}-node arena"
+            )));
+        }
+        pending.push((shift, index));
+    }
+    let anchored_at = r.u64()?;
+    let faults = decode_fault_counters(r)?;
+    let panics = r.u64()?;
+    let lost_count = r.len(1)?;
+    let mut lost = Vec::with_capacity(lost_count);
+    for _ in 0..lost_count {
+        lost.push(decode_formula(r)?);
+    }
+    Ok(QueryImage {
+        root,
+        pending,
+        anchored_at,
+        faults,
+        panics,
+        lost,
+    })
+}
+
+/// Serializes the full monitor state into a sealed checkpoint.
+pub(crate) fn encode_monitor(
+    segmenter: &SegmenterState,
+    arena: &Interner,
+    queries: &[QueryImage],
+    counters: &MonitorCounters,
+) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    encode_segmenter(&mut w, segmenter);
+    encode_arena(&mut w, arena);
+    w.put_len(queries.len());
+    for q in queries {
+        encode_query(&mut w, q);
+    }
+    w.put_u64(counters.segments_processed);
+    w.put_u64(counters.gc_runs);
+    w.put_u64(counters.rejected);
+    w.put_u64(counters.worker_panics);
+    w.put_u64(counters.backpressure_stalls);
+    w.put_u64(counters.checkpoint_failures);
+    encode_stats(&mut w, &counters.stats);
+    seal(&w.into_bytes())
+}
+
+/// Opens and decodes a sealed checkpoint into a [`MonitorImage`].
+pub(crate) fn decode_monitor(bytes: &[u8]) -> Result<MonitorImage, CheckpointError> {
+    let payload = open(bytes)?;
+    let mut r = SnapshotReader::new(payload);
+    let segmenter = decode_segmenter(&mut r)?;
+    let (arena, node_map) = decode_arena(&mut r)?;
+    let query_count = r.len(1)?;
+    let mut queries = Vec::with_capacity(query_count);
+    for _ in 0..query_count {
+        queries.push(decode_query(&mut r, node_map.len())?);
+    }
+    let counters = MonitorCounters {
+        segments_processed: r.u64()?,
+        gc_runs: r.u64()?,
+        rejected: r.u64()?,
+        worker_panics: r.u64()?,
+        backpressure_stalls: r.u64()?,
+        checkpoint_failures: r.u64()?,
+        stats: decode_stats(&mut r)?,
+    };
+    r.expect_end()?;
+    Ok(MonitorImage {
+        segmenter,
+        arena,
+        node_map,
+        queries,
+        counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_roundtrip_and_validation() {
+        let payload = b"the payload".to_vec();
+        let sealed = seal(&payload);
+        assert_eq!(open(&sealed).unwrap(), &payload[..]);
+
+        // Bad magic.
+        let mut bad = sealed.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(open(&bad), Err(CheckpointError::BadMagic)));
+
+        // Unsupported version.
+        let mut bad = sealed.clone();
+        bad[8] = 0xFF;
+        assert!(matches!(
+            open(&bad),
+            Err(CheckpointError::UnsupportedVersion(_))
+        ));
+
+        // Flipped payload byte -> checksum mismatch.
+        let mut bad = sealed.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert!(matches!(
+            open(&bad),
+            Err(CheckpointError::ChecksumMismatch { .. })
+        ));
+
+        // Truncation at any prefix is caught by the envelope alone.
+        for cut in 0..sealed.len() {
+            assert!(open(&sealed[..cut]).is_err(), "cut at {cut}");
+        }
+
+        // Trailing garbage is rejected.
+        let mut bad = sealed.clone();
+        bad.push(0);
+        assert!(matches!(open(&bad), Err(CheckpointError::Malformed(_))));
+    }
+
+    #[test]
+    fn epoch_names_sort_numerically() {
+        assert_eq!(parse_epoch_name("epoch-000000000042.ckpt"), Some(42));
+        assert_eq!(parse_epoch_name("epoch-000000000042.ckpt.tmp"), None);
+        assert_eq!(parse_epoch_name("epoch-42.ckpt"), None);
+        assert_eq!(parse_epoch_name("other.ckpt"), None);
+        let dir = Path::new("/tmp");
+        assert!(epoch_path(dir, 7)
+            .to_string_lossy()
+            .ends_with("epoch-000000000007.ckpt"));
+    }
+}

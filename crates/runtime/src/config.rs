@@ -50,6 +50,17 @@ pub struct StreamConfig {
     /// [`FaultPolicy`] and the crate documentation's fault-semantics table).
     /// Defaults to [`FaultPolicy::Strict`]: every fault is an error.
     pub fault_policy: FaultPolicy,
+    /// Write an epoch checkpoint to [`StreamConfig::checkpoint_dir`] every
+    /// this many GC epochs (0, the default, disables automatic
+    /// checkpointing; see the crate documentation's "Checkpoint format &
+    /// recovery semantics" section). Has no effect while `checkpoint_dir`
+    /// is `None`.
+    pub checkpoint_interval: usize,
+    /// Directory automatic epoch checkpoints are written to. `None` (the
+    /// default) disables automatic checkpointing;
+    /// [`crate::StreamMonitor::write_checkpoint`] can still snapshot on
+    /// demand.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
 }
 
 impl StreamConfig {
@@ -71,6 +82,8 @@ impl StreamConfig {
             max_solutions_per_segment: None,
             gc_interval: 32,
             fault_policy: FaultPolicy::Strict,
+            checkpoint_interval: 0,
+            checkpoint_dir: None,
         }
     }
 
@@ -118,6 +131,24 @@ impl StreamConfig {
         self
     }
 
+    /// Enables automatic epoch checkpoints: every `interval` GC epochs a
+    /// crash-safe snapshot is written to `dir` (see
+    /// [`crate::StreamMonitor::restore_latest`] for the recovery side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is 0 — disable checkpointing by not calling
+    /// this builder instead.
+    pub fn checkpoint(mut self, dir: impl Into<std::path::PathBuf>, interval: usize) -> Self {
+        assert!(
+            interval > 0,
+            "StreamConfig::checkpoint: the interval must be at least 1"
+        );
+        self.checkpoint_interval = interval;
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
     /// Bounds the number of distinct rewritten formulas kept per pending
     /// formula per segment.
     ///
@@ -156,18 +187,32 @@ mod tests {
         assert_eq!(cfg.flush_depth, 1);
         assert_eq!(cfg.gc_interval, 32);
         assert_eq!(cfg.fault_policy, FaultPolicy::Strict);
+        assert_eq!(cfg.checkpoint_interval, 0);
+        assert_eq!(cfg.checkpoint_dir, None);
         let cfg = cfg
             .pipelined(Some(4))
             .flush_depth(8)
             .gc_interval(0)
             .max_solutions(2)
-            .fault_policy(FaultPolicy::BestEffort);
+            .fault_policy(FaultPolicy::BestEffort)
+            .checkpoint("/tmp/ckpt", 3);
         assert!(cfg.pipeline);
         assert_eq!(cfg.effective_workers(), 4);
         assert_eq!(cfg.flush_depth, 8);
         assert_eq!(cfg.gc_interval, 0);
         assert_eq!(cfg.max_solutions_per_segment, Some(2));
         assert_eq!(cfg.fault_policy, FaultPolicy::BestEffort);
+        assert_eq!(cfg.checkpoint_interval, 3);
+        assert_eq!(
+            cfg.checkpoint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/ckpt"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be at least 1")]
+    fn zero_checkpoint_interval_panics() {
+        let _ = StreamConfig::new(5).checkpoint("/tmp/ckpt", 0);
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct RuntimeHealth {
     /// hit [`crate::StreamConfig::max_queued_segments`] before the configured
     /// flush depth.
     pub backpressure_stalls: u64,
+    /// Automatic epoch checkpoints that failed to write (the monitor kept
+    /// running; the previous epoch remains the recovery point).
+    pub checkpoint_failures: u64,
 }
 
 impl RuntimeHealth {
@@ -40,7 +43,8 @@ impl RuntimeHealth {
     }
 
     /// Sum of the counters that degrade verdict evidence (everything except
-    /// `rejected` and `backpressure_stalls`, which leave verdicts exact).
+    /// `rejected`, `backpressure_stalls` and `checkpoint_failures`, which
+    /// leave verdicts exact).
     pub fn degradations(&self) -> u64 {
         self.deduped + self.dropped + self.late_beyond_epsilon + self.worker_panics
     }
@@ -50,13 +54,14 @@ impl fmt::Display for RuntimeHealth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rejected {}, deduped {}, dropped {}, late beyond ε {}, worker panics {}, backpressure stalls {}",
+            "rejected {}, deduped {}, dropped {}, late beyond ε {}, worker panics {}, backpressure stalls {}, checkpoint failures {}",
             self.rejected,
             self.deduped,
             self.dropped,
             self.late_beyond_epsilon,
             self.worker_panics,
-            self.backpressure_stalls
+            self.backpressure_stalls,
+            self.checkpoint_failures
         )
     }
 }
@@ -78,9 +83,20 @@ mod tests {
         health.dropped = 2;
         health.late_beyond_epsilon = 3;
         health.worker_panics = 4;
-        assert_eq!(health.degradations(), 10);
+        health.checkpoint_failures = 5;
+        assert_eq!(
+            health.degradations(),
+            10,
+            "checkpoints leave verdicts exact"
+        );
         let text = health.to_string();
-        for needle in ["rejected 3", "deduped 1", "panics 4", "stalls 2"] {
+        for needle in [
+            "rejected 3",
+            "deduped 1",
+            "panics 4",
+            "stalls 2",
+            "checkpoint failures 5",
+        ] {
             assert!(text.contains(needle), "{text:?} must contain {needle:?}");
         }
     }

@@ -115,6 +115,42 @@
 //! ([`StreamMonitor::health`]) counts rejections, absorptions, lost items
 //! and backpressure stalls in one place.
 //!
+//! # 6. Checkpoint format & recovery semantics
+//!
+//! A monitor is a single point of total state loss: without snapshots, a
+//! crash forces replaying the entire stream. Epoch checkpoints bound
+//! recovery independently of stream length. At GC boundaries — where the
+//! segment queue is drained and the arena freshly compacted — the monitor
+//! can serialize its complete state ([`StreamMonitor::checkpoint_bytes`],
+//! [`StreamMonitor::write_checkpoint`], or automatically via
+//! [`StreamConfig::checkpoint`]): the segmenter image (per-process clocks,
+//! carried frontier states, buffered open-window events, watermark inputs,
+//! fault policy and counters), the query-spanning arena (node table, fused
+//! metadata, `ever_shifted` watermark), each query's shift-normal pending
+//! set with its anchor and fault provenance, and the runtime counters.
+//!
+//! The format is a hand-rolled length-prefixed little-endian encoding
+//! ([`rvmtl_mtl::snapshot`]) inside a checksummed container:
+//! `magic | version | payload length | CRC-32 | payload` — versioned so it
+//! can seed the fleet wire format later. **Epoch layout**: files are named
+//! `epoch-NNNNNNNNNNNN.ckpt` (zero-padded segment count, so lexicographic
+//! and numeric order agree) and the newest two epochs are retained.
+//! **Atomicity**: writes go to a temp file, fsync, then atomically rename —
+//! a crash mid-write leaves the previous epoch set intact, never a
+//! half-written visible file. **Restores are paranoid**: magic/version/CRC
+//! validation, every length prefix bounds-checked, arena nodes re-interned
+//! through the canonicalising constructors and cross-checked against the
+//! stored metadata (*remap on restore* — pending ids translate through the
+//! snapshot-index → fresh-id table), segmenter invariants revalidated. A
+//! damaged snapshot yields a [`CheckpointError`], never a panic, and
+//! [`StreamMonitor::restore_latest`] falls back to the previous epoch.
+//! **Replay bound**: a restored monitor resumes at the snapshot's
+//! watermark; only events after the per-process clocks it carries need to
+//! be re-fed (at most one open segment plus `ε` of history per process),
+//! and the restart-differential suite in `tests/checkpoint.rs` pins
+//! restored runs verdict-identical to uninterrupted ones across both
+//! execution paths and all three fault policies.
+//!
 //! # Multi-query front end
 //!
 //! [`StreamMonitor::add_query`] multiplexes any number of formulas over one
@@ -146,11 +182,13 @@
 // *contained* here, not propagated (see section 5 of the crate docs).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod checkpoint;
 mod config;
 mod health;
 mod monitor;
 mod pipeline;
 
+pub use checkpoint::CheckpointError;
 pub use config::StreamConfig;
 pub use health::RuntimeHealth;
 pub use monitor::{QueryId, StreamMonitor, StreamReport};

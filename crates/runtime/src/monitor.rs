@@ -1,6 +1,10 @@
 //! The streaming monitor: multi-query online verification of live
 //! per-process event streams.
 
+use crate::checkpoint::{
+    decode_monitor, encode_monitor, epochs_newest_first, write_epoch, CheckpointError,
+    MonitorCounters, MonitorImage, QueryImage,
+};
 use crate::pipeline::run_pipeline;
 use crate::{RuntimeHealth, StreamConfig};
 use rvmtl_distrib::{DistributedComputation, FaultCounters, IncrementalSegmenter, StreamError};
@@ -11,6 +15,7 @@ use rvmtl_mtl::{
 use rvmtl_solver::{SegmentSolver, SolverStats};
 use std::collections::{BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 
 /// Handle to one query multiplexed over a [`StreamMonitor`]'s stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -125,6 +130,10 @@ pub struct StreamMonitor {
     worker_panics: u64,
     /// Forced queue flushes triggered by the backpressure bound.
     backpressure_stalls: u64,
+    /// Automatic epoch checkpoints that failed to write.
+    checkpoint_failures: u64,
+    /// The error behind the most recent automatic checkpoint failure.
+    last_checkpoint_error: Option<CheckpointError>,
 }
 
 impl StreamMonitor {
@@ -156,6 +165,8 @@ impl StreamMonitor {
             rejected: 0,
             worker_panics: 0,
             backpressure_stalls: 0,
+            checkpoint_failures: 0,
+            last_checkpoint_error: None,
         }
     }
 
@@ -328,7 +339,14 @@ impl StreamMonitor {
             late_beyond_epsilon: faults.late_beyond_epsilon,
             worker_panics: self.worker_panics,
             backpressure_stalls: self.backpressure_stalls,
+            checkpoint_failures: self.checkpoint_failures,
         }
+    }
+
+    /// The error behind the most recent automatic checkpoint failure, if any
+    /// (the count is in [`RuntimeHealth::checkpoint_failures`]).
+    pub fn last_checkpoint_error(&self) -> Option<&CheckpointError> {
+        self.last_checkpoint_error.as_ref()
     }
 
     /// The integrity tag of a query's verdicts over the processed prefix:
@@ -602,13 +620,199 @@ impl StreamMonitor {
                 .iter()
                 .map(|&s| ShiftedId {
                     shift: s.shift,
-                    id: remap.remap(s.id),
+                    // Every pending id was a compaction root above, so it
+                    // survived by construction.
+                    id: remap.remap_unchecked(s.id),
                 })
                 .collect();
         }
         self.shared.clear();
         self.since_gc = 0;
         self.gc_runs += 1;
+        self.maybe_checkpoint();
+    }
+
+    /// Writes the automatic epoch checkpoint when the config asks for one at
+    /// this GC epoch. Failures are absorbed into the health counters: a
+    /// monitor that cannot checkpoint keeps monitoring (the previous epoch
+    /// remains the recovery point).
+    fn maybe_checkpoint(&mut self) {
+        let Some(dir) = self.config.checkpoint_dir.clone() else {
+            return;
+        };
+        if self.config.checkpoint_interval == 0
+            || !self.gc_runs.is_multiple_of(self.config.checkpoint_interval)
+        {
+            return;
+        }
+        // The queue is empty here: automatic checkpoints fire from
+        // `collect_garbage`, which `process_queue` reaches only after
+        // draining the whole batch (the drain-before-snapshot invariant).
+        debug_assert!(self.queue.is_empty());
+        let bytes = self.encode_checkpoint();
+        if let Err(e) = write_epoch(&dir, self.segments_processed as u64, &bytes) {
+            self.checkpoint_failures += 1;
+            self.last_checkpoint_error = Some(e);
+        }
+    }
+
+    /// Serializes the monitor's full state as a sealed checkpoint, draining
+    /// the segment queue first (a queued segment is ingestion work, not
+    /// state: snapshots are taken at processing boundaries only).
+    pub fn checkpoint_bytes(&mut self) -> Vec<u8> {
+        self.process_queue();
+        self.encode_checkpoint()
+    }
+
+    /// Crash-safely writes the current state as an epoch checkpoint in
+    /// `dir` (see [`crate::checkpoint`] semantics: temp file + fsync +
+    /// atomic rename, previous epoch retained), returning the path written.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the filesystem refuses.
+    pub fn write_checkpoint(&mut self, dir: &Path) -> Result<PathBuf, CheckpointError> {
+        let bytes = self.checkpoint_bytes();
+        write_epoch(dir, self.segments_processed as u64, &bytes)
+    }
+
+    /// Restores a monitor from checkpoint bytes, validating the container
+    /// (magic, version, CRC) and every payload invariant. The restored
+    /// monitor continues the stream exactly where the snapshot left it:
+    /// feed it the events after the snapshot's watermark and it produces
+    /// verdicts identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CheckpointError`] except `Io`/`NoCheckpoint`; in particular
+    /// [`CheckpointError::ConfigMismatch`] when `config` disagrees with the
+    /// snapshot on segment length or fault policy (replaying into such a
+    /// monitor would change verdicts).
+    pub fn restore_from_bytes(bytes: &[u8], config: StreamConfig) -> Result<Self, CheckpointError> {
+        let image = decode_monitor(bytes)?;
+        Self::from_image(image, config)
+    }
+
+    /// Restores from the newest readable epoch in `dir`, falling back to
+    /// older retained epochs when the newest is truncated or corrupt (a
+    /// crash mid-write leaves exactly that shape behind).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::NoCheckpoint`] if the directory holds no epoch
+    /// files; otherwise the error of the last (oldest) restore attempt.
+    pub fn restore_latest(dir: &Path, config: StreamConfig) -> Result<Self, CheckpointError> {
+        let epochs = epochs_newest_first(dir)?;
+        let mut last_err = CheckpointError::NoCheckpoint;
+        for epoch in epochs {
+            let path = crate::checkpoint::epoch_path(dir, epoch);
+            let attempt = std::fs::read(&path)
+                .map_err(CheckpointError::from)
+                .and_then(|bytes| Self::restore_from_bytes(&bytes, config.clone()));
+            match attempt {
+                Ok(monitor) => return Ok(monitor),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let queries: Vec<QueryImage> = self
+            .queries
+            .iter()
+            .map(|q| QueryImage {
+                root: q.root.clone(),
+                pending: q
+                    .pending
+                    .iter()
+                    .map(|s| (s.shift, s.id.index() as u32))
+                    .collect(),
+                anchored_at: q.anchored_at,
+                faults: q.faults,
+                panics: q.panics,
+                lost: q.lost.iter().cloned().collect(),
+            })
+            .collect();
+        let counters = MonitorCounters {
+            segments_processed: self.segments_processed as u64,
+            gc_runs: self.gc_runs as u64,
+            rejected: self.rejected,
+            worker_panics: self.worker_panics,
+            backpressure_stalls: self.backpressure_stalls,
+            checkpoint_failures: self.checkpoint_failures,
+            stats: self.stats,
+        };
+        encode_monitor(
+            &self.segmenter.export_state(),
+            &self.arena,
+            &queries,
+            &counters,
+        )
+    }
+
+    fn from_image(image: MonitorImage, config: StreamConfig) -> Result<Self, CheckpointError> {
+        if config.segment_length != image.segmenter.segment_length {
+            return Err(CheckpointError::ConfigMismatch(format!(
+                "snapshot segments are {} time units, config asks for {}",
+                image.segmenter.segment_length, config.segment_length
+            )));
+        }
+        if config.fault_policy != image.segmenter.policy {
+            return Err(CheckpointError::ConfigMismatch(format!(
+                "snapshot used fault policy {:?}, config asks for {:?}",
+                image.segmenter.policy, config.fault_policy
+            )));
+        }
+        let segmenter = IncrementalSegmenter::from_state(image.segmenter)
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        let arena = image.arena;
+        let node_map = image.node_map;
+        let mut queries = Vec::with_capacity(image.queries.len());
+        for q in image.queries {
+            let mut pending = BTreeSet::new();
+            for (shift, index) in q.pending {
+                let id = node_map.get(index as usize).copied().ok_or_else(|| {
+                    CheckpointError::Malformed(format!(
+                        "pending obligation refers to node {index} beyond the snapshot arena"
+                    ))
+                })?;
+                pending.insert(ShiftedId { shift, id });
+            }
+            queries.push(QueryState {
+                root: q.root,
+                pending,
+                anchored_at: q.anchored_at,
+                faults: q.faults,
+                panics: q.panics,
+                lost: q.lost.into_iter().collect(),
+            });
+        }
+        let counters = image.counters;
+        let as_usize = |v: u64, what: &str| {
+            usize::try_from(v)
+                .map_err(|_| CheckpointError::Malformed(format!("{what} {v} exceeds usize")))
+        };
+        Ok(StreamMonitor {
+            config,
+            segmenter,
+            arena,
+            // Restores always target a fresh worker arena: the pipelined
+            // path re-interns pendings structurally per batch, and the old
+            // arena's caches were warmth, not state.
+            shared: ShardedInterner::new(),
+            queries,
+            queue: VecDeque::new(),
+            segments_processed: as_usize(counters.segments_processed, "segment count")?,
+            since_gc: 0,
+            gc_runs: as_usize(counters.gc_runs, "GC epoch count")?,
+            stats: counters.stats,
+            rejected: counters.rejected,
+            worker_panics: counters.worker_panics,
+            backpressure_stalls: counters.backpressure_stalls,
+            checkpoint_failures: counters.checkpoint_failures,
+            last_checkpoint_error: None,
+        })
     }
 }
 
