@@ -34,6 +34,11 @@
 //! scenario is streamed with serialize-and-restore restarts at GC epochs,
 //! and the process exits non-zero if any restarted run diverges from its
 //! uninterrupted reference (the CI recovery smoke).
+//!
+//! `--scrape-check <file>` validates a scraped text exposition (as printed
+//! by `examples/streaming.rs` or [`StreamMonitor::telemetry_text`]): every
+//! line must parse as `name{labels} value` and the core runtime metric
+//! families must be present (the CI telemetry smoke).
 
 use rvmtl_bench::{
     blockchain_workloads, default_trace_config, formula, pins, sweep_monitor, sweep_points,
@@ -208,6 +213,48 @@ fn run_checkpoint_smoke() -> ! {
     std::process::exit(0);
 }
 
+/// `--scrape-check`: parse a scraped text exposition and fail the process on
+/// any malformed line or missing core metric family.
+fn run_scrape_check(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("[bench] cannot read scraped exposition {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let samples = match rvmtl_runtime::parse_exposition(&text) {
+        Ok(samples) => samples,
+        Err(e) => {
+            eprintln!("[bench] scraped exposition {path} does not parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failed = samples.is_empty();
+    if failed {
+        eprintln!("[bench] scraped exposition {path} holds no samples");
+    }
+    for required in [
+        "rvmtl_events_observed_total",
+        "rvmtl_segments_processed_total",
+        "rvmtl_gc_epochs_total",
+        "rvmtl_pending_obligations",
+    ] {
+        if !samples.iter().any(|s| s.name == required) {
+            eprintln!("[bench] scraped exposition {path} is missing {required}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[bench] scraped exposition {path} is well-formed ({} samples)",
+        samples.len()
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--check") {
@@ -215,6 +262,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "--checkpoint-smoke") {
         run_checkpoint_smoke();
+    }
+    if args.iter().any(|a| a == "--scrape-check") {
+        run_scrape_check(&path_after(&args, "--scrape-check"));
     }
     if args.iter().any(|a| a == "--write-pins") {
         let path = path_after(&args, "--write-pins");
@@ -423,6 +473,7 @@ fn main() {
                 h.late_beyond_epsilon,
                 secs * 1000.0,
             ));
+            eprintln!("[bench]   fault_storm {}: health: {}", case.name, h);
         }
         eprintln!(
             "[bench] fault_storm: {} cases, {} states, {:.3} ms",
@@ -457,12 +508,70 @@ fn main() {
                 run.recovered_identical(),
                 secs * 1000.0,
             ));
+            eprintln!(
+                "[bench]   checkpoint {}: health: {}",
+                case.name, run.report.health
+            );
         }
         eprintln!(
             "[bench] checkpoint_sweep: {} cases, {:.3} ms",
             count,
             sweep_secs * 1000.0,
         );
+    }
+
+    // The telemetry sweep: the canonical instrumented workload (the clean
+    // fault-storm schedule with telemetry on). Count-shape metrics are
+    // pinned by the `--check` gate; the timing histograms are wall-clock and
+    // reported here only — the stderr lines put the health counters and the
+    // busiest instruments (where the time went) into every CI log.
+    let mut telemetry_rows = Vec::new();
+    if sweeps {
+        let started = Instant::now();
+        let (report, kinds) = pins::run_telemetry_workload();
+        let secs = started.elapsed().as_secs_f64();
+        let snap = &report.telemetry;
+        eprintln!(
+            "[bench] telemetry: {:.3} ms instrumented, health: {}",
+            secs * 1000.0,
+            report.health
+        );
+        let mut hists: Vec<_> = snap.histograms.iter().filter(|h| h.count > 0).collect();
+        hists.sort_by_key(|h| std::cmp::Reverse((h.sum, h.count)));
+        for h in hists.iter().take(3) {
+            eprintln!(
+                concat!(
+                    "[bench]   {}{}{}{}: count {}, sum {:.3} ms, ",
+                    "p50 {} ns, p90 {} ns, p99 {} ns, max {} ns"
+                ),
+                h.name,
+                if h.labels.is_empty() { "" } else { "{" },
+                h.labels,
+                if h.labels.is_empty() { "" } else { "}" },
+                h.count,
+                h.sum as f64 / 1e6,
+                h.p50,
+                h.p90,
+                h.p99,
+                h.max,
+            );
+        }
+        let flight_events: u64 = kinds.iter().map(|(_, n)| n).sum();
+        telemetry_rows.push(format!(
+            concat!(
+                "    {{\"events_observed\": {}, \"segments_processed\": {}, ",
+                "\"gc_epochs\": {}, \"flight_events\": {}, \"exposition_samples\": {}, ",
+                "\"wall_ms\": {:.3}}}"
+            ),
+            snap.counter("rvmtl_events_observed_total").unwrap_or(0),
+            snap.counter("rvmtl_segments_processed_total").unwrap_or(0),
+            snap.counter("rvmtl_gc_epochs_total").unwrap_or(0),
+            flight_events,
+            rvmtl_runtime::parse_exposition(&snap.to_prometheus())
+                .map(|s| s.len())
+                .unwrap_or(0),
+            secs * 1000.0,
+        ));
     }
 
     // The streaming-pipeline sweep: long multi-query computations through the
@@ -559,6 +668,9 @@ fn main() {
         println!("  ],");
         println!("  \"checkpoint_sweep\": [");
         println!("{}", checkpoint_rows.join(",\n"));
+        println!("  ],");
+        println!("  \"telemetry\": [");
+        println!("{}", telemetry_rows.join(",\n"));
         println!("  ],");
         println!("  \"pipeline_sweep\": [");
         println!("{}", pipeline_rows.join(",\n"));

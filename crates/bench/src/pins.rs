@@ -22,6 +22,7 @@ use crate::{
 };
 use rvmtl_distrib::DistributedComputation;
 use rvmtl_mtl::Formula;
+use rvmtl_runtime::{StreamConfig, StreamEvent, StreamMonitor, StreamReport};
 use rvmtl_solver::SolverStats;
 
 /// The aggregated search-shape counters and verdict code of one sweep point.
@@ -176,13 +177,90 @@ pub fn checkpoint_entries() -> Vec<(String, u64)> {
     entries
 }
 
+/// Runs the canonical telemetry workload: the clean fault-storm schedule
+/// streamed through the sequential path with telemetry enabled and GC every
+/// 4 segments. Returns the final report (whose
+/// [`StreamReport::telemetry`] snapshot carries every instrument) and the
+/// flight recorder's full-lifecycle kind counts — the ring is sized far
+/// above the event count, so nothing is overwritten and the counts are a
+/// pure function of the workload.
+pub fn run_telemetry_workload() -> (StreamReport, Vec<(String, u64)>) {
+    let (comp, phi) = crate::fault_storm_workload();
+    let clean = StreamEvent::schedule_of(&comp);
+    let segment_length = (comp.duration().max(1) / crate::DEFAULT_SEGMENTS as u64).max(1);
+    let config = StreamConfig::new(segment_length)
+        .gc_interval(4)
+        .with_telemetry()
+        .flight_capacity(16_384);
+    let mut monitor = StreamMonitor::new(comp.process_count(), comp.epsilon(), config);
+    monitor.add_query(&phi);
+    for e in &clean {
+        monitor
+            .observe(e.process, e.time, e.state.clone())
+            .expect("the clean schedule is stream-legal");
+    }
+    // The recorder handle shares the ring, so reading it after `finish`
+    // includes the tail segments and the stream-finished marker.
+    let flight = monitor.flight_recorder().clone();
+    let report = monitor.finish();
+    let mut counts: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for kind in flight.kinds() {
+        *counts.entry(kind.name()).or_default() += 1;
+    }
+    let kinds = counts
+        .into_iter()
+        .map(|(name, count)| (name.to_string(), count))
+        .collect();
+    (report, kinds)
+}
+
+/// Builds one `telemetry/...` pin key, folding label pairs (quotes stripped)
+/// into the path so keys stay valid flat-JSON strings.
+fn telemetry_key(class: &str, name: &str, labels: &str) -> String {
+    if labels.is_empty() {
+        format!("telemetry/{class}/{name}")
+    } else {
+        format!("telemetry/{class}/{name}/{}", labels.replace('"', ""))
+    }
+}
+
+/// The `telemetry` pin entries: every *count-shape* metric of the canonical
+/// telemetry workload ([`run_telemetry_workload`]) — bridged counters,
+/// population gauges, and the flight recorder's kind counts. Timing metrics
+/// (`*_nanos*` instruments, histogram summaries) are wall-clock and are
+/// deliberately excluded: they are reported by `bench_snapshot --sweeps`,
+/// never pinned.
+pub fn telemetry_entries() -> Vec<(String, u64)> {
+    let (report, kinds) = run_telemetry_workload();
+    let mut entries = Vec::new();
+    for c in &report.telemetry.counters {
+        if c.name.contains("_nanos") {
+            continue;
+        }
+        entries.push((telemetry_key("counter", &c.name, &c.labels), c.value));
+    }
+    for g in &report.telemetry.gauges {
+        entries.push((
+            telemetry_key("gauge", &g.name, &g.labels),
+            u64::try_from(g.value).unwrap_or(0),
+        ));
+    }
+    for (kind, count) in kinds {
+        entries.push((format!("telemetry/flight/{kind}"), count));
+    }
+    entries.sort();
+    entries
+}
+
 /// Every gated entry: the batch sweep counters ([`pin_rows`] flattened) plus
-/// the `fault_storm` and `checkpoint` streaming counters, sorted — exactly
-/// what `bench_snapshot --check` compares and `--write-pins` writes.
+/// the `fault_storm`, `checkpoint` and `telemetry` streaming counters,
+/// sorted — exactly what `bench_snapshot --check` compares and
+/// `--write-pins` writes.
 pub fn all_entries() -> Vec<(String, u64)> {
     let mut entries = flatten(&pin_rows());
     entries.extend(fault_entries());
     entries.extend(checkpoint_entries());
+    entries.extend(telemetry_entries());
     entries.sort();
     entries
 }

@@ -387,6 +387,27 @@ impl IncrementalSegmenter {
             .flatten()
     }
 
+    /// How far the watermark trails the stream's frontier:
+    /// `max_event_time − watermark`, or the full distance from the open base
+    /// while some process has never reported (no watermark yet). This is the
+    /// telemetry figure for "how much of the stream is still provisional":
+    /// a straggler process shows up here as a growing lag even while events
+    /// keep arriving.
+    pub fn watermark_lag(&self) -> u64 {
+        let frontier = self.max_event_time;
+        match self.watermark() {
+            Some(w) => frontier.saturating_sub(w),
+            None => frontier.saturating_sub(self.open_base),
+        }
+    }
+
+    /// Width of the currently open (not yet closeable) span of local time:
+    /// `max_event_time − open_base`. Grows while events accumulate in the
+    /// open segment and snaps back when the watermark closes it.
+    pub fn open_span(&self) -> u64 {
+        self.max_event_time.saturating_sub(self.open_base)
+    }
+
     /// Exports a plain-data image of this segmenter for checkpointing.
     pub fn export_state(&self) -> SegmenterState {
         SegmenterState {

@@ -85,6 +85,7 @@
 
 use crate::hashing::FxHashMap;
 use crate::{Formula, Interval, Prop, SplitRange, State, TimedTrace};
+use std::cell::Cell;
 
 /// A reference to an interned formula. Cheap to copy, compare and hash;
 /// meaningful only together with the [`Interner`] that produced it.
@@ -431,6 +432,11 @@ pub struct Interner {
     /// slack-0 member). The relative elapsed time is clamped at the canonical
     /// residual's horizon (progression is elapsed-independent beyond it).
     one_cache: FxHashMap<OneKey, FormulaId>,
+    /// Cumulative hit/miss tallies of the two caches (telemetry; preserved
+    /// across [`Interner::compact`]). `Cell` because lookups take `&self` —
+    /// this makes the sequential arena `!Sync`, which it already was in
+    /// spirit: concurrent paths use [`crate::ShardedInterner`].
+    stats: CacheStatCells,
     /// Memoised gap progressions, keyed `(canonical residual, elapsed −
     /// shift)` packed into a [`GapKey`] scalar. Gap progression has no
     /// slack-0 asymmetry (no observation is consumed), so shifted and direct
@@ -451,6 +457,7 @@ impl Interner {
             state_ids: FxHashMap::default(),
             one_cache: FxHashMap::default(),
             gap_cache: FxHashMap::default(),
+            stats: CacheStatCells::default(),
         };
         let t = interner.insert(Node::True);
         let f = interner.insert(Node::False);
@@ -1284,6 +1291,12 @@ impl Interner {
         }
     }
 
+    /// Cumulative progression-cache hit/miss tallies (monotone across
+    /// [`Interner::compact`]; see [`CacheStats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats.snapshot()
+    }
+
     /// Current memory footprint of the arena, in table entries.
     pub fn memory(&self) -> ArenaMemory {
         ArenaMemory {
@@ -1482,6 +1495,68 @@ impl ArenaMemory {
     }
 }
 
+/// Cumulative hit/miss tallies of the two progression caches (see
+/// [`Interner::cache_stats`] and [`crate::ShardedInterner::cache_stats`]).
+///
+/// The tallies are monotone over the arena's lifetime: [`Interner::compact`]
+/// rebuilds the cache tables but leaves the counters in place, so a stream's
+/// figures accumulate across GC epochs. Counting happens inside the four
+/// [`crate::ArenaOps`] cache accessors — the only paths the progression
+/// algorithms probe the caches through — so a lookup is counted exactly once.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Single-observation progression lookups that found an entry.
+    pub one_hits: u64,
+    /// Single-observation progression lookups that missed.
+    pub one_misses: u64,
+    /// Gap progression lookups that found an entry.
+    pub gap_hits: u64,
+    /// Gap progression lookups that missed.
+    pub gap_misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups that hit, across both caches.
+    pub fn hits(&self) -> u64 {
+        self.one_hits + self.gap_hits
+    }
+
+    /// Total lookups that missed, across both caches.
+    pub fn misses(&self) -> u64 {
+        self.one_misses + self.gap_misses
+    }
+
+    /// Total lookups, across both caches.
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+}
+
+/// Interior-mutable tally cells for [`CacheStats`] inside the sequential
+/// [`Interner`] (`Cell` keeps the arena `Clone`; lookups take `&self`).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CacheStatCells {
+    one_hits: Cell<u64>,
+    one_misses: Cell<u64>,
+    gap_hits: Cell<u64>,
+    gap_misses: Cell<u64>,
+}
+
+impl CacheStatCells {
+    fn tally(cell: &Cell<u64>) {
+        cell.set(cell.get().wrapping_add(1));
+    }
+
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            one_hits: self.one_hits.get(),
+            one_misses: self.one_misses.get(),
+            gap_hits: self.gap_hits.get(),
+            gap_misses: self.gap_misses.get(),
+        }
+    }
+}
+
 /// The old-id → new-id translation produced by [`Interner::compact`].
 #[derive(Debug, Clone)]
 pub struct FormulaRemap {
@@ -1597,7 +1672,13 @@ impl crate::ArenaOps for Interner {
     }
 
     fn one_cache_get(&self, key: OneKey) -> Option<FormulaId> {
-        self.one_cache.get(&key).copied()
+        let found = self.one_cache.get(&key).copied();
+        CacheStatCells::tally(if found.is_some() {
+            &self.stats.one_hits
+        } else {
+            &self.stats.one_misses
+        });
+        found
     }
 
     fn one_cache_put(&mut self, key: OneKey, value: FormulaId) {
@@ -1605,7 +1686,13 @@ impl crate::ArenaOps for Interner {
     }
 
     fn gap_cache_get(&self, key: GapKey) -> Option<FormulaId> {
-        self.gap_cache.get(&key).copied()
+        let found = self.gap_cache.get(&key).copied();
+        CacheStatCells::tally(if found.is_some() {
+            &self.stats.gap_hits
+        } else {
+            &self.stats.gap_misses
+        });
+        found
     }
 
     fn gap_cache_put(&mut self, key: GapKey, value: FormulaId) {

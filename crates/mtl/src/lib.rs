@@ -65,8 +65,8 @@ pub use atom::Prop;
 pub use eval::{evaluate, evaluate_at, evaluate_from};
 pub use formula::Formula;
 pub use intern::{
-    ArenaMemory, FormulaId, FormulaRemap, GapKey, Interner, Node, NodeKind, NodeMeta, OneKey,
-    RemapCollected, ShiftedId, StateKey,
+    ArenaMemory, CacheStats, FormulaId, FormulaRemap, GapKey, Interner, Node, NodeKind, NodeMeta,
+    OneKey, RemapCollected, ShiftedId, StateKey,
 };
 pub use interval::Interval;
 pub use parser::{parse, ParseError};

@@ -39,13 +39,13 @@
 //! the sequential [`Interner`] is pinned by `tests/intern_properties.rs`.
 
 use crate::hashing::{FxHashMap, FxHasher};
-use crate::intern::ArenaMemory;
+use crate::intern::{ArenaMemory, CacheStats};
 use crate::{
     ArenaOps, Formula, FormulaId, GapKey, Interval, Node, NodeKind, NodeMeta, OneKey, Prop, State,
     StateKey,
 };
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 /// Number of bits of a packed id that name the shard.
@@ -68,6 +68,32 @@ struct Shard {
     gap_cache: FxHashMap<GapKey, FormulaId>,
 }
 
+/// Cumulative hit/miss tallies of the progression caches, shared across all
+/// shards (relaxed atomics: worker threads tally concurrently; the figures
+/// are telemetry, not synchronisation).
+#[derive(Debug, Default)]
+struct SharedCacheStats {
+    one_hits: AtomicU64,
+    one_misses: AtomicU64,
+    gap_hits: AtomicU64,
+    gap_misses: AtomicU64,
+}
+
+impl SharedCacheStats {
+    fn tally(cell: &AtomicU64) {
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            one_hits: self.one_hits.load(Ordering::Relaxed),
+            one_misses: self.one_misses.load(Ordering::Relaxed),
+            gap_hits: self.gap_hits.load(Ordering::Relaxed),
+            gap_misses: self.gap_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The concurrent formula arena. See the module documentation.
 #[derive(Debug)]
 pub struct ShardedInterner {
@@ -85,6 +111,10 @@ pub struct ShardedInterner {
     /// regimes never alias. Reset only by [`ShardedInterner::clear`] (the
     /// epoch GC), which invalidates all ids anyway.
     ever_shifted: AtomicBool,
+    /// Cumulative cache hit/miss tallies (telemetry; preserved across
+    /// [`ShardedInterner::clear`] so a stream's figures accumulate over GC
+    /// epochs).
+    stats: SharedCacheStats,
 }
 
 impl Default for ShardedInterner {
@@ -113,6 +143,12 @@ impl Clone for ShardedInterner {
                 })
                 .collect(),
             ever_shifted: AtomicBool::new(self.ever_shifted.load(Ordering::Acquire)),
+            stats: SharedCacheStats {
+                one_hits: AtomicU64::new(self.stats.one_hits.load(Ordering::Relaxed)),
+                one_misses: AtomicU64::new(self.stats.one_misses.load(Ordering::Relaxed)),
+                gap_hits: AtomicU64::new(self.stats.gap_hits.load(Ordering::Relaxed)),
+                gap_misses: AtomicU64::new(self.stats.gap_misses.load(Ordering::Relaxed)),
+            },
         }
     }
 }
@@ -143,6 +179,7 @@ impl ShardedInterner {
         let interner = ShardedInterner {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             ever_shifted: AtomicBool::new(false),
+            stats: SharedCacheStats::default(),
         };
         // The constants live at fixed slots so their universal ids hold:
         // TRUE = raw 0 = (shard 0, slot 0), FALSE = raw 1 = (shard 1, slot 0).
@@ -216,7 +253,16 @@ impl ShardedInterner {
     /// epoch re-arms the shift-free fast paths until a nonzero-slack node is
     /// interned again.
     pub fn clear(&mut self) {
+        let stats = std::mem::take(&mut self.stats);
         *self = ShardedInterner::new();
+        self.stats = stats;
+    }
+
+    /// Cumulative progression-cache hit/miss tallies (monotone across
+    /// [`ShardedInterner::clear`]; see [`CacheStats`]). A moment-in-time
+    /// figure under concurrent use.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats.snapshot()
     }
 
     /// The node named by `id` (a clone; the shard lock cannot be held across
@@ -546,7 +592,13 @@ impl ShardedInterner {
 
     fn one_cache_get(&self, key: OneKey) -> Option<FormulaId> {
         let (shard, _) = unpack(key.formula().raw());
-        self.lock(shard).one_cache.get(&key).copied()
+        let found = self.lock(shard).one_cache.get(&key).copied();
+        SharedCacheStats::tally(if found.is_some() {
+            &self.stats.one_hits
+        } else {
+            &self.stats.one_misses
+        });
+        found
     }
 
     fn one_cache_put(&self, key: OneKey, value: FormulaId) {
@@ -556,7 +608,13 @@ impl ShardedInterner {
 
     fn gap_cache_get(&self, key: GapKey) -> Option<FormulaId> {
         let (shard, _) = unpack(key.formula().raw());
-        self.lock(shard).gap_cache.get(&key).copied()
+        let found = self.lock(shard).gap_cache.get(&key).copied();
+        SharedCacheStats::tally(if found.is_some() {
+            &self.stats.gap_hits
+        } else {
+            &self.stats.gap_misses
+        });
+        found
     }
 
     fn gap_cache_put(&self, key: GapKey, value: FormulaId) {

@@ -1,0 +1,362 @@
+//! The pipeline flight recorder: a fixed-capacity ring buffer of timestamped
+//! lifecycle events.
+//!
+//! A metrics registry answers "how much, how often"; the flight recorder
+//! answers "what just happened, in what order" — the last N lifecycle events
+//! of the pipeline (event observed → segment closed → queued → solve start →
+//! solved → GC epoch → checkpoint written), cheap enough to leave on in
+//! production and bounded by construction: the ring is allocated once at
+//! creation and **never reallocates** — when full, the oldest event is
+//! overwritten, keeping a coherent oldest→newest window (monotone,
+//! contiguous sequence numbers).
+//!
+//! Timestamps are microseconds since the recorder was created (wall-clock
+//! spans, not state): two runs of the same stream produce the same *kind
+//! sequence* with different timestamps, which is exactly what the
+//! determinism tests assert.
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Locks the ring, recovering from poisoning: every mutation below is a
+/// single-slot write plus index bumps, consistent at any panic point.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One lifecycle event class, with its logical payload (no timestamps here —
+/// those live on the enclosing [`FlightEvent`], so kind sequences compare
+/// deterministically across runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightKind {
+    /// An event of `process` at local `time` was accepted into the stream.
+    EventObserved {
+        /// Originating process index.
+        process: u32,
+        /// Local timestamp of the event.
+        time: u64,
+    },
+    /// A heartbeat advanced `process`'s clock to `time`.
+    Heartbeat {
+        /// Originating process index.
+        process: u32,
+        /// Local timestamp of the beacon.
+        time: u64,
+    },
+    /// The watermark closed the segment `[base, end)`.
+    SegmentClosed {
+        /// Segment base time.
+        base: u64,
+        /// Segment end boundary.
+        end: u64,
+    },
+    /// A closed segment entered the processing queue at this depth.
+    SegmentQueued {
+        /// Segment base time.
+        base: u64,
+        /// Queue depth after the push.
+        depth: u64,
+    },
+    /// A segment was handed to the solver stage.
+    SolveStart {
+        /// Segment base time.
+        base: u64,
+    },
+    /// A segment's rewrites were folded into every observing query's pending
+    /// set — its verdict contribution is visible from here on.
+    SegmentSolved {
+        /// Segment base time.
+        base: u64,
+    },
+    /// A GC epoch compacted the query-spanning arena.
+    GcEpoch {
+        /// Arena nodes surviving the compaction.
+        retained: u64,
+    },
+    /// An epoch checkpoint was written durably.
+    CheckpointWritten {
+        /// The epoch (processed-segment count) of the snapshot.
+        epoch: u64,
+        /// Serialized size in bytes.
+        bytes: u64,
+    },
+    /// An automatic epoch checkpoint failed to write (the monitor kept
+    /// running).
+    CheckpointFailed,
+    /// The stream was finished and residual obligations closed.
+    StreamFinished,
+}
+
+impl FlightKind {
+    /// Stable snake_case name of the event class (the JSONL `kind` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FlightKind::EventObserved { .. } => "event_observed",
+            FlightKind::Heartbeat { .. } => "heartbeat",
+            FlightKind::SegmentClosed { .. } => "segment_closed",
+            FlightKind::SegmentQueued { .. } => "segment_queued",
+            FlightKind::SolveStart { .. } => "solve_start",
+            FlightKind::SegmentSolved { .. } => "segment_solved",
+            FlightKind::GcEpoch { .. } => "gc_epoch",
+            FlightKind::CheckpointWritten { .. } => "checkpoint_written",
+            FlightKind::CheckpointFailed => "checkpoint_failed",
+            FlightKind::StreamFinished => "stream_finished",
+        }
+    }
+
+    /// The logical payload as JSON object fields (empty for payload-free
+    /// kinds), e.g. `,"base":70,"end":140`.
+    fn json_fields(&self) -> String {
+        match self {
+            FlightKind::EventObserved { process, time }
+            | FlightKind::Heartbeat { process, time } => {
+                format!(",\"process\":{process},\"time\":{time}")
+            }
+            FlightKind::SegmentClosed { base, end } => format!(",\"base\":{base},\"end\":{end}"),
+            FlightKind::SegmentQueued { base, depth } => {
+                format!(",\"base\":{base},\"depth\":{depth}")
+            }
+            FlightKind::SolveStart { base } | FlightKind::SegmentSolved { base } => {
+                format!(",\"base\":{base}")
+            }
+            FlightKind::GcEpoch { retained } => format!(",\"retained\":{retained}"),
+            FlightKind::CheckpointWritten { epoch, bytes } => {
+                format!(",\"epoch\":{epoch},\"bytes\":{bytes}")
+            }
+            FlightKind::CheckpointFailed | FlightKind::StreamFinished => String::new(),
+        }
+    }
+}
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotone sequence number (never reused, survives wraps — the gap
+    /// between the smallest live `seq` and 0 is exactly the overwritten
+    /// prefix).
+    pub seq: u64,
+    /// Microseconds since the recorder was created.
+    pub at_micros: u64,
+    /// What happened.
+    pub kind: FlightKind,
+}
+
+struct Ring {
+    /// The slots; allocated once, len grows to capacity and stays there.
+    slots: Vec<FlightEvent>,
+    /// Index the next event is written to once the ring is full.
+    head: usize,
+    /// Next sequence number.
+    next_seq: u64,
+}
+
+struct RecorderCore {
+    ring: Mutex<Ring>,
+    capacity: usize,
+    epoch: Instant,
+}
+
+/// The bounded flight recorder. Cloning shares the ring; a recorder from
+/// [`FlightRecorder::no_op`] drops every event at a single branch.
+#[derive(Clone)]
+pub struct FlightRecorder(Option<Arc<RecorderCore>>);
+
+impl FlightRecorder {
+    /// A recorder retaining the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 (a zero-slot ring cannot hold a window; use
+    /// [`FlightRecorder::no_op`] to disable recording).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be at least 1");
+        FlightRecorder(Some(Arc::new(RecorderCore {
+            ring: Mutex::new(Ring {
+                slots: Vec::with_capacity(capacity),
+                head: 0,
+                next_seq: 0,
+            }),
+            capacity,
+            epoch: Instant::now(),
+        })))
+    }
+
+    /// A recorder that drops everything.
+    pub fn no_op() -> Self {
+        FlightRecorder(None)
+    }
+
+    /// Whether events are recorded at all.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The fixed slot count (0 for a no-op recorder).
+    pub fn capacity(&self) -> usize {
+        self.0.as_ref().map_or(0, |core| core.capacity)
+    }
+
+    /// The allocated slot capacity of the backing buffer — for asserting the
+    /// no-reallocation invariant (equals [`FlightRecorder::capacity`]
+    /// forever on an enabled recorder).
+    pub fn allocated_capacity(&self) -> usize {
+        self.0
+            .as_ref()
+            .map_or(0, |core| lock_recover(&core.ring).slots.capacity())
+    }
+
+    /// Number of retained events (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.0
+            .as_ref()
+            .map_or(0, |core| lock_recover(&core.ring).slots.len())
+    }
+
+    /// Whether no event has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |core| lock_recover(&core.ring).next_seq)
+    }
+
+    /// Records one event (stamped now).
+    pub fn record(&self, kind: FlightKind) {
+        let Some(core) = &self.0 else {
+            return;
+        };
+        let at_micros = u64::try_from(core.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let mut ring = lock_recover(&core.ring);
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        let event = FlightEvent {
+            seq,
+            at_micros,
+            kind,
+        };
+        if ring.slots.len() < core.capacity {
+            ring.slots.push(event);
+        } else {
+            // Overwrite-on-wrap: `head` is always the *oldest* slot once the
+            // ring is full, so replacing it keeps the window contiguous.
+            let head = ring.head;
+            ring.slots[head] = event;
+            ring.head = (head + 1) % core.capacity;
+        }
+    }
+
+    /// The retained window, oldest → newest.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let Some(core) = &self.0 else {
+            return Vec::new();
+        };
+        let ring = lock_recover(&core.ring);
+        let mut out = Vec::with_capacity(ring.slots.len());
+        out.extend_from_slice(&ring.slots[ring.head..]);
+        out.extend_from_slice(&ring.slots[..ring.head]);
+        out
+    }
+
+    /// The retained kind sequence, oldest → newest (what the determinism
+    /// tests compare — no timestamps).
+    pub fn kinds(&self) -> Vec<FlightKind> {
+        self.events().into_iter().map(|e| e.kind).collect()
+    }
+
+    /// Dumps the retained window as JSON Lines, one event object per line:
+    /// `{"seq":…,"at_micros":…,"kind":"…"[, payload fields]}`.
+    pub fn dump_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in self.events() {
+            let _ = writeln!(
+                out,
+                "{{\"seq\":{},\"at_micros\":{},\"kind\":\"{}\"{}}}",
+                e.seq,
+                e.at_micros,
+                e.kind.name(),
+                e.kind.json_fields()
+            );
+        }
+        out
+    }
+
+    /// Per-segment event-to-verdict latency, derived from the retained
+    /// window: for every segment base whose [`FlightKind::SegmentClosed`]
+    /// *and* [`FlightKind::SegmentSolved`] events are both still in the
+    /// ring, the microseconds between them — the time an event spent between
+    /// "its segment can never change again" and "its verdict contribution is
+    /// visible". Returned oldest → newest by solve time.
+    pub fn segment_latencies_micros(&self) -> Vec<(u64, u64)> {
+        use std::collections::HashMap;
+        let mut closed_at: HashMap<u64, u64> = HashMap::new();
+        let mut out = Vec::new();
+        for e in self.events() {
+            match e.kind {
+                FlightKind::SegmentClosed { base, .. } => {
+                    closed_at.insert(base, e.at_micros);
+                }
+                FlightKind::SegmentSolved { base } => {
+                    if let Some(closed) = closed_at.remove(&base) {
+                        out.push((base, e.at_micros.saturating_sub(closed)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_dumps_jsonl() {
+        let recorder = FlightRecorder::with_capacity(16);
+        recorder.record(FlightKind::SegmentClosed { base: 0, end: 10 });
+        recorder.record(FlightKind::SolveStart { base: 0 });
+        recorder.record(FlightKind::SegmentSolved { base: 0 });
+        assert_eq!(recorder.len(), 3);
+        assert_eq!(recorder.recorded(), 3);
+        let events = recorder.events();
+        assert_eq!(events[0].seq, 0);
+        assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert!(events.windows(2).all(|w| w[0].at_micros <= w[1].at_micros));
+        let dump = recorder.dump_jsonl();
+        assert_eq!(dump.lines().count(), 3);
+        assert!(dump.contains("\"kind\":\"segment_closed\",\"base\":0,\"end\":10"));
+        assert!(dump.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn derives_segment_latencies_from_the_window() {
+        let recorder = FlightRecorder::with_capacity(16);
+        recorder.record(FlightKind::SegmentClosed { base: 0, end: 10 });
+        recorder.record(FlightKind::SegmentClosed { base: 10, end: 20 });
+        recorder.record(FlightKind::SegmentSolved { base: 0 });
+        recorder.record(FlightKind::SegmentSolved { base: 10 });
+        // Unmatched solve (its close was never recorded) is skipped.
+        recorder.record(FlightKind::SegmentSolved { base: 99 });
+        let latencies = recorder.segment_latencies_micros();
+        assert_eq!(latencies.len(), 2);
+        assert_eq!(latencies[0].0, 0);
+        assert_eq!(latencies[1].0, 10);
+    }
+
+    #[test]
+    fn no_op_recorder_drops_everything() {
+        let recorder = FlightRecorder::no_op();
+        recorder.record(FlightKind::StreamFinished);
+        assert!(!recorder.is_enabled());
+        assert!(recorder.is_empty());
+        assert_eq!(recorder.capacity(), 0);
+        assert_eq!(recorder.dump_jsonl(), "");
+        assert!(recorder.segment_latencies_micros().is_empty());
+    }
+}

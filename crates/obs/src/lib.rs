@@ -1,0 +1,57 @@
+//! `rvmtl-obs` — hand-rolled observability primitives for the monitoring
+//! runtime.
+//!
+//! The paper's decentralized MTL monitor is itself an observability tool,
+//! but a monitor an operator cannot observe is a black box: nothing says how
+//! long an event takes to become a verdict, where segments stall, or what
+//! the arena and its caches cost over a stream's lifetime. This crate is the
+//! telemetry layer the runtime instruments itself with — dependency-free by
+//! construction (the offline build container forbids `tracing`/`metrics`,
+//! so the instruments are built directly on std atomics, the same policy as
+//! `rvmtl-prng`). Three pieces:
+//!
+//! * **Metrics registry** ([`Registry`]): monotone [`Counter`]s, [`Gauge`]s
+//!   and log2-bucketed [`Histogram`]s with p50/p90/p99 summaries. All
+//!   recording is lock-free relaxed atomics; registration and snapshotting
+//!   take a mutex. A disabled registry ([`Registry::no_op`]) mints no-op
+//!   handles, so instrumented code compiled against it pays one never-taken
+//!   branch per call site — the runtime's "telemetry off" mode.
+//! * **Span timing** ([`Stopwatch`], [`ScopeTimer`]): wall-clock spans
+//!   feeding histograms; a `ScopeTimer` records on drop and never reads the
+//!   clock when its target histogram is disabled.
+//! * **Flight recorder** ([`FlightRecorder`]): a fixed-capacity,
+//!   never-reallocating ring of timestamped lifecycle events
+//!   ([`FlightKind`]: event observed → segment closed → queued → solve
+//!   start → solved → GC epoch → checkpoint written), with per-segment
+//!   event-to-verdict latency derivation and a JSONL dump.
+//!
+//! Read-side, a [`TelemetrySnapshot`] is the typed view of everything; its
+//! [`TelemetrySnapshot::to_prometheus`] renders text exposition whose every
+//! sample line is `name{labels} value`, machine-validated by
+//! [`parse_exposition`] (the CI telemetry smoke scrapes the streaming
+//! example through exactly that parser).
+//!
+//! The split of responsibilities with the runtime: *count-shape* metrics
+//! (segments closed, GC epochs, cache hits) are bridged from monitor state
+//! into the snapshot at read time — deterministic, available even with
+//! telemetry disabled, and pinned by the CI search-shape budget; *timing*
+//! metrics (histograms, the flight recorder's timestamps) exist only when
+//! telemetry is enabled and are reported, never pinned.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Observability must never take the monitored system down: every lock here
+// recovers from poisoning and every fallible path degrades to "record
+// nothing" instead of unwrapping (same policy as rvmtl-runtime).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod flight;
+mod metrics;
+mod time;
+
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
+pub use metrics::{
+    parse_exposition, Counter, CounterSnapshot, ExpositionSample, Gauge, GaugeSnapshot, Histogram,
+    HistogramSnapshot, Registry, TelemetrySnapshot, HISTOGRAM_BUCKETS,
+};
+pub use time::{ScopeTimer, Stopwatch};

@@ -1,0 +1,740 @@
+//! The atomic metrics registry: monotone counters, gauges, and log2-bucketed
+//! histograms with quantile summaries, snapshotted into a typed
+//! [`TelemetrySnapshot`] and rendered as Prometheus-style text exposition.
+//!
+//! Every instrument is a cheap cloneable handle. A handle minted by an
+//! *enabled* [`Registry`] points at shared atomic storage; a handle minted by
+//! a disabled registry ([`Registry::no_op`]) holds nothing — every recording
+//! method is one null check and returns, so a runtime built against a
+//! disabled registry pays no atomics, no allocation, and no locks on its hot
+//! paths.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a registry mutex, recovering from poisoning: registration lists and
+/// instrument cores are append-only/atomic, so a panicking thread cannot
+/// leave them inconsistent.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Number of log2 histogram buckets: one per possible bit length of a `u64`
+/// sample (0 through 64).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket index of a sample: its bit length (0 for a zero sample), so
+/// bucket `i ≥ 1` holds samples in `[2^(i-1), 2^i)`.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `index` (the value reported for
+/// quantiles that land in it).
+fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+struct CounterCore {
+    name: String,
+    labels: String,
+    value: AtomicU64,
+}
+
+/// A monotone counter. Cloning shares the underlying cell.
+#[derive(Clone)]
+pub struct Counter(Option<Arc<CounterCore>>);
+
+impl Counter {
+    /// A counter that records nothing (what a disabled registry hands out).
+    pub fn no_op() -> Self {
+        Counter(None)
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(core) = &self.0 {
+            core.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op counter).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |core| core.value.load(Ordering::Relaxed))
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+struct GaugeCore {
+    name: String,
+    labels: String,
+    value: AtomicI64,
+}
+
+/// A gauge: a value that can move both ways. Cloning shares the cell.
+#[derive(Clone)]
+pub struct Gauge(Option<Arc<GaugeCore>>);
+
+impl Gauge {
+    /// A gauge that records nothing.
+    pub fn no_op() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        if let Some(core) = &self.0 {
+            core.value.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(core) = &self.0 {
+            core.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op gauge).
+    pub fn get(&self) -> i64 {
+        self.0
+            .as_ref()
+            .map_or(0, |core| core.value.load(Ordering::Relaxed))
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+struct HistogramCore {
+    name: String,
+    labels: String,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log2-bucketed histogram of `u64` samples (durations in nanoseconds,
+/// sizes in entries — dimensionless here, the name carries the unit).
+///
+/// Recording is lock-free: one relaxed fetch-add into the sample's bit-length
+/// bucket plus count/sum/min/max updates. Quantiles are derived at snapshot
+/// time by walking the cumulative bucket counts; a reported quantile is the
+/// *upper bound* of the bucket the rank lands in (clamped to the observed
+/// maximum), so `p99 ≤ 2 × true p99` — log2 resolution, which is what a
+/// latency dashboard needs and all a dependency-free fixed ring can afford.
+#[derive(Clone)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A histogram that records nothing.
+    pub fn no_op() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let Some(core) = &self.0 else {
+            return;
+        };
+        core.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        core.sum.fetch_add(value, Ordering::Relaxed);
+        core.min.fetch_min(value, Ordering::Relaxed);
+        core.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, duration: std::time::Duration) {
+        if self.0.is_some() {
+            self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Number of recorded samples (0 for a no-op histogram).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |core| core.count.load(Ordering::Relaxed))
+    }
+
+    fn snapshot_core(core: &HistogramCore) -> HistogramSnapshot {
+        let count = core.count.load(Ordering::Relaxed);
+        let buckets: Vec<(u64, u64)> = core
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_upper(i), n))
+            })
+            .collect();
+        let max = core.max.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the q-quantile (1-based, ceiling): the smallest bucket
+            // whose cumulative count reaches it.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for &(upper, n) in &buckets {
+                seen += n;
+                if seen >= rank {
+                    return upper.min(max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            name: core.name.clone(),
+            labels: core.labels.clone(),
+            count,
+            sum: core.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                core.min.load(Ordering::Relaxed)
+            },
+            max: if count == 0 { 0 } else { max },
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time value of one counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Metric name (Prometheus-style, e.g. `rvmtl_segments_closed_total`).
+    pub name: String,
+    /// Raw label pairs, e.g. `query="0"` (empty = no labels).
+    pub labels: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// Point-in-time value of one gauge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Raw label pairs (empty = no labels).
+    pub labels: String,
+    /// Gauge value.
+    pub value: i64,
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Raw label pairs (empty = no labels).
+    pub labels: String,
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median estimate (log2 resolution, see [`Histogram`]).
+    pub p50: u64,
+    /// 90th-percentile estimate.
+    pub p90: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Non-empty log2 buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A typed point-in-time view of every registered instrument, plus any
+/// bridged values the caller appends (state-derived counters that live
+/// outside the registry). This is what
+/// `StreamMonitor::telemetry()` returns and what the text exposition is
+/// rendered from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// All counters, registered then bridged, in registration order.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histogram summaries.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Appends a bridged counter value.
+    pub fn push_counter(&mut self, name: impl Into<String>, labels: impl Into<String>, value: u64) {
+        self.counters.push(CounterSnapshot {
+            name: name.into(),
+            labels: labels.into(),
+            value,
+        });
+    }
+
+    /// Appends a bridged gauge value.
+    pub fn push_gauge(&mut self, name: impl Into<String>, labels: impl Into<String>, value: i64) {
+        self.gauges.push(GaugeSnapshot {
+            name: name.into(),
+            labels: labels.into(),
+            value,
+        });
+    }
+
+    /// The value of the first counter with this name (any labels).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The value of the first gauge with this name (any labels).
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The first histogram summary with this name (any labels).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Sum of a counter over all label sets (e.g. a per-query family).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|c| c.name == name)
+            .map(|c| c.value)
+            .sum()
+    }
+
+    /// Renders the snapshot as Prometheus-style text exposition: `# TYPE`
+    /// comment lines plus one `name{labels} value` sample line per metric.
+    /// Histograms render as summaries (`_count`, `_sum`, `_min`, `_max` and
+    /// `quantile=…` sample lines). The output round-trips through
+    /// [`parse_exposition`].
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut last_type: Option<String> = None;
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            if last_type.as_deref() != Some(name) {
+                let _ = writeln!(out, "# TYPE {name} {kind}");
+                last_type = Some(name.to_string());
+            }
+        };
+        for c in &self.counters {
+            type_line(&mut out, &c.name, "counter");
+            let _ = writeln!(out, "{}{} {}", c.name, braced(&c.labels), c.value);
+        }
+        for g in &self.gauges {
+            type_line(&mut out, &g.name, "gauge");
+            let _ = writeln!(out, "{}{} {}", g.name, braced(&g.labels), g.value);
+        }
+        for h in &self.histograms {
+            type_line(&mut out, &h.name, "summary");
+            for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                let labels = if h.labels.is_empty() {
+                    format!("quantile=\"{q}\"")
+                } else {
+                    format!("{},quantile=\"{q}\"", h.labels)
+                };
+                let _ = writeln!(out, "{}{{{labels}}} {v}", h.name);
+            }
+            for (suffix, v) in [
+                ("count", h.count),
+                ("sum", h.sum),
+                ("min", h.min),
+                ("max", h.max),
+            ] {
+                let _ = writeln!(out, "{}_{suffix}{} {v}", h.name, braced(&h.labels));
+            }
+        }
+        out
+    }
+}
+
+/// Wraps non-empty label pairs in braces for a sample line.
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+/// One parsed sample line of a text exposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpositionSample {
+    /// Metric name.
+    pub name: String,
+    /// Raw label pairs (brace contents; empty = no labels).
+    pub labels: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parses (and thereby validates) Prometheus-style text exposition: every
+/// non-comment, non-blank line must be `name{labels} value` (labels
+/// optional), where `name` is `[a-zA-Z_:][a-zA-Z0-9_:]*`, labels are
+/// `key="value"` pairs, and `value` parses as a finite float.
+///
+/// # Errors
+///
+/// The first offending line, quoted with its line number.
+pub fn parse_exposition(text: &str) -> Result<Vec<ExpositionSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |what: &str| format!("line {}: {what}: {line:?}", lineno + 1);
+        // Metric name.
+        let name_end = line
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+            .unwrap_or(line.len());
+        let name = &line[..name_end];
+        if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return Err(bad("expected a metric name"));
+        }
+        let mut rest = &line[name_end..];
+        // Optional label set.
+        let mut labels = "";
+        if let Some(stripped) = rest.strip_prefix('{') {
+            let Some(close) = stripped.find('}') else {
+                return Err(bad("unterminated label set"));
+            };
+            labels = &stripped[..close];
+            for pair in labels.split(',') {
+                let Some((key, value)) = pair.split_once('=') else {
+                    return Err(bad("label pair without '='"));
+                };
+                if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                    return Err(bad("invalid label name"));
+                }
+                if !(value.len() >= 2 && value.starts_with('"') && value.ends_with('"')) {
+                    return Err(bad("label value must be quoted"));
+                }
+            }
+            rest = &stripped[close + 1..];
+        }
+        // Exactly one space, then the value.
+        let Some(value_text) = rest.strip_prefix(' ') else {
+            return Err(bad("expected ' ' before the value"));
+        };
+        let value: f64 = value_text
+            .trim()
+            .parse()
+            .map_err(|_| bad("value is not a number"))?;
+        if !value.is_finite() {
+            return Err(bad("value is not finite"));
+        }
+        samples.push(ExpositionSample {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Vec<Arc<CounterCore>>,
+    gauges: Vec<Arc<GaugeCore>>,
+    histograms: Vec<Arc<HistogramCore>>,
+}
+
+/// The instrument registry. An enabled registry mints live handles and
+/// snapshots them; a disabled one ([`Registry::no_op`]) mints no-op handles,
+/// making every instrumented code path one never-taken branch.
+pub struct Registry {
+    inner: Option<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// An enabled registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Some(Mutex::new(RegistryInner::default())),
+        }
+    }
+
+    /// A disabled registry: every instrument it mints is a no-op and
+    /// [`Registry::snapshot`] is empty.
+    pub fn no_op() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether instruments minted here record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers a counter. `labels` is the raw pair list (e.g.
+    /// `query="3"`), empty for none.
+    pub fn counter(&self, name: &str, labels: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::no_op();
+        };
+        let core = Arc::new(CounterCore {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            value: AtomicU64::new(0),
+        });
+        lock_recover(inner).counters.push(Arc::clone(&core));
+        Counter(Some(core))
+    }
+
+    /// Registers a gauge.
+    pub fn gauge(&self, name: &str, labels: &str) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::no_op();
+        };
+        let core = Arc::new(GaugeCore {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            value: AtomicI64::new(0),
+        });
+        lock_recover(inner).gauges.push(Arc::clone(&core));
+        Gauge(Some(core))
+    }
+
+    /// Registers a histogram.
+    pub fn histogram(&self, name: &str, labels: &str) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::no_op();
+        };
+        let core = Arc::new(HistogramCore {
+            name: name.to_string(),
+            labels: labels.to_string(),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        });
+        lock_recover(inner).histograms.push(Arc::clone(&core));
+        Histogram(Some(core))
+    }
+
+    /// Snapshots every registered instrument, in registration order (empty
+    /// for a disabled registry).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let Some(inner) = &self.inner else {
+            return TelemetrySnapshot::default();
+        };
+        let inner = lock_recover(inner);
+        TelemetrySnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|c| CounterSnapshot {
+                    name: c.name.clone(),
+                    labels: c.labels.clone(),
+                    value: c.value.load(Ordering::Relaxed),
+                })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|g| GaugeSnapshot {
+                    name: g.name.clone(),
+                    labels: g.labels.clone(),
+                    value: g.value.load(Ordering::Relaxed),
+                })
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|h| Histogram::snapshot_core(h))
+                .collect(),
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Every value lands in a bucket whose bound covers it.
+        for v in [0u64, 1, 2, 7, 8, 1023, 1024, u64::MAX] {
+            assert!(v <= bucket_upper(bucket_index(v)), "{v}");
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_record_and_snapshot() {
+        let registry = Registry::new();
+        let c = registry.counter("seen_total", "");
+        let g = registry.gauge("depth", "kind=\"queue\"");
+        c.inc();
+        c.add(4);
+        g.set(7);
+        g.add(-2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("seen_total"), Some(5));
+        assert_eq!(snap.gauge("depth"), Some(5));
+        assert_eq!(snap.gauges[0].labels, "kind=\"queue\"");
+    }
+
+    #[test]
+    fn histogram_quantiles_have_log2_resolution() {
+        let registry = Registry::new();
+        let h = registry.histogram("latency_nanos", "");
+        // 100 samples at 10, 10 at 1000, 1 at 100_000.
+        for _ in 0..100 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        h.record(100_000);
+        let snap = registry.snapshot();
+        let hist = snap.histogram("latency_nanos").unwrap();
+        assert_eq!(hist.count, 111);
+        assert_eq!(hist.sum, 100 * 10 + 10 * 1000 + 100_000);
+        assert_eq!(hist.min, 10);
+        assert_eq!(hist.max, 100_000);
+        // p50 lands in the bucket of 10 ([8,15]); p99 in the bucket of 1000.
+        assert!(hist.p50 >= 10 && hist.p50 < 16, "{}", hist.p50);
+        assert!(hist.p99 >= 1000 && hist.p99 < 2048, "{}", hist.p99);
+        // p50 ≤ p90 ≤ p99 ≤ max always.
+        assert!(hist.p50 <= hist.p90 && hist.p90 <= hist.p99 && hist.p99 <= hist.max);
+    }
+
+    #[test]
+    fn empty_histogram_summarises_to_zeroes() {
+        let registry = Registry::new();
+        let _h = registry.histogram("empty", "");
+        let snap = registry.snapshot();
+        let hist = snap.histogram("empty").unwrap();
+        assert_eq!(
+            (hist.count, hist.sum, hist.min, hist.max, hist.p99),
+            (0, 0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let registry = Registry::no_op();
+        assert!(!registry.is_enabled());
+        let c = registry.counter("x", "");
+        let g = registry.gauge("y", "");
+        let h = registry.histogram("z", "");
+        c.add(10);
+        g.set(5);
+        h.record(123);
+        assert!(!c.is_enabled() && !g.is_enabled() && !h.is_enabled());
+        assert_eq!((c.get(), g.get(), h.count()), (0, 0, 0));
+        assert_eq!(registry.snapshot(), TelemetrySnapshot::default());
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let registry = Registry::new();
+        registry.counter("events_total", "").add(3);
+        registry.gauge("queue_depth", "stage=\"solve\"").set(-2);
+        let h = registry.histogram("solve_nanos", "query=\"0\"");
+        h.record(5);
+        h.record(900);
+        let mut snap = registry.snapshot();
+        snap.push_counter("bridged_total", "", 42);
+        let text = snap.to_prometheus();
+        let samples = parse_exposition(&text).expect("exposition must parse");
+        // 2 counters + 1 gauge + 7 histogram lines (3 quantiles + 4 stats).
+        assert_eq!(samples.len(), 10, "{text}");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "queue_depth" && s.value == -2.0));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "solve_nanos_count" && s.value == 2.0));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "solve_nanos" && s.labels.contains("quantile=\"0.99\"")));
+        assert!(samples.iter().any(|s| s.name == "bridged_total"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "1bad_name 3",
+            "name",
+            "name{unterminated 3",
+            "name{k=v} 3",
+            "name{=\"v\"} 3",
+            "name not_a_number",
+            "name{k=\"v\"} NaN",
+        ] {
+            assert!(parse_exposition(bad).is_err(), "{bad:?} must be rejected");
+        }
+        assert!(parse_exposition("# comment\n\nname{k=\"v\"} 3.5\n").is_ok());
+    }
+
+    #[test]
+    fn counter_total_sums_a_label_family() {
+        let registry = Registry::new();
+        registry.counter("pending", "query=\"0\"").add(2);
+        registry.counter("pending", "query=\"1\"").add(3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("pending"), 5);
+    }
+}

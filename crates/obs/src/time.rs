@@ -1,0 +1,115 @@
+//! Lightweight span timing feeding the histograms: a manual [`Stopwatch`]
+//! and a drop-guard [`ScopeTimer`].
+
+use crate::Histogram;
+use std::time::{Duration, Instant};
+
+/// A manual stopwatch over [`Instant`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed whole nanoseconds (saturating).
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Restarts the stopwatch, returning the lap time.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let lap = now - self.started;
+        self.started = now;
+        lap
+    }
+}
+
+/// Times a scope and records the span into a [`Histogram`] (as nanoseconds)
+/// when dropped. Against a disabled histogram the timer never reads the
+/// clock — construction and drop are each one branch.
+pub struct ScopeTimer {
+    /// `None` when the target histogram is disabled (nothing to record).
+    started: Option<(Instant, Histogram)>,
+}
+
+impl ScopeTimer {
+    /// Starts timing into `histogram` (no-op if the histogram is disabled).
+    pub fn new(histogram: &Histogram) -> Self {
+        ScopeTimer {
+            started: histogram
+                .is_enabled()
+                .then(|| (Instant::now(), histogram.clone())),
+        }
+    }
+
+    /// Stops early and records, consuming the timer.
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    /// Discards the span without recording it.
+    pub fn cancel(mut self) {
+        self.started = None;
+    }
+
+    fn finish(&mut self) {
+        if let Some((started, histogram)) = self.started.take() {
+            histogram.record_duration(started.elapsed());
+        }
+    }
+}
+
+impl Drop for ScopeTimer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn stopwatch_measures_nonzero_monotone_spans() {
+        let mut watch = Stopwatch::start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        let first = watch.elapsed_nanos();
+        let lap = watch.lap();
+        assert!(u64::try_from(lap.as_nanos()).unwrap() >= first);
+    }
+
+    #[test]
+    fn scope_timer_records_on_drop_and_stop() {
+        let registry = Registry::new();
+        let h = registry.histogram("span_nanos", "");
+        {
+            let _t = ScopeTimer::new(&h);
+        }
+        ScopeTimer::new(&h).stop();
+        ScopeTimer::new(&h).cancel();
+        assert_eq!(h.count(), 2, "drop + stop record, cancel does not");
+    }
+
+    #[test]
+    fn scope_timer_against_disabled_histogram_is_inert() {
+        let h = Histogram::no_op();
+        let t = ScopeTimer::new(&h);
+        assert!(t.started.is_none());
+        drop(t);
+        assert_eq!(h.count(), 0);
+    }
+}

@@ -61,6 +61,17 @@ pub struct StreamConfig {
     /// [`crate::StreamMonitor::write_checkpoint`] can still snapshot on
     /// demand.
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Enables the timing telemetry instruments and the flight recorder (see
+    /// the crate documentation's "Observability" section). Off by default:
+    /// with telemetry disabled every instrument is a no-op handle, so the
+    /// hot paths pay one never-taken branch per call site and nothing else.
+    /// Count-shape metrics ([`crate::StreamMonitor::telemetry`]) are derived
+    /// from always-on monitor state and work either way.
+    pub telemetry: bool,
+    /// Capacity of the flight recorder's event ring (allocated once, never
+    /// reallocated; oldest events are overwritten when full). Only consulted
+    /// when [`StreamConfig::telemetry`] is on. Defaults to 1024.
+    pub flight_capacity: usize,
 }
 
 impl StreamConfig {
@@ -84,7 +95,22 @@ impl StreamConfig {
             fault_policy: FaultPolicy::Strict,
             checkpoint_interval: 0,
             checkpoint_dir: None,
+            telemetry: false,
+            flight_capacity: 1024,
         }
+    }
+
+    /// Enables the timing telemetry instruments and the flight recorder.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
+    /// Sets the flight recorder's ring capacity (clamped to at least 1; has
+    /// effect only together with [`StreamConfig::with_telemetry`]).
+    pub fn flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight_capacity = capacity.max(1);
+        self
     }
 
     /// Sets the ingestion fault policy (see the crate documentation's
@@ -189,13 +215,19 @@ mod tests {
         assert_eq!(cfg.fault_policy, FaultPolicy::Strict);
         assert_eq!(cfg.checkpoint_interval, 0);
         assert_eq!(cfg.checkpoint_dir, None);
+        assert!(!cfg.telemetry);
+        assert_eq!(cfg.flight_capacity, 1024);
         let cfg = cfg
             .pipelined(Some(4))
             .flush_depth(8)
             .gc_interval(0)
             .max_solutions(2)
             .fault_policy(FaultPolicy::BestEffort)
-            .checkpoint("/tmp/ckpt", 3);
+            .checkpoint("/tmp/ckpt", 3)
+            .with_telemetry()
+            .flight_capacity(64);
+        assert!(cfg.telemetry);
+        assert_eq!(cfg.flight_capacity, 64);
         assert!(cfg.pipeline);
         assert_eq!(cfg.effective_workers(), 4);
         assert_eq!(cfg.flush_depth, 8);

@@ -32,14 +32,28 @@ pub struct RuntimeHealth {
     /// Automatic epoch checkpoints that failed to write (the monitor kept
     /// running; the previous epoch remains the recovery point).
     pub checkpoint_failures: u64,
+    /// Automatic epoch checkpoints successfully written and fsynced — the
+    /// one *success* counter on this surface: it tells an operator the
+    /// recovery point is actually advancing, not merely that writes aren't
+    /// failing (a monitor that never attempts a checkpoint also has zero
+    /// failures).
+    pub checkpoints_written: u64,
 }
 
 impl RuntimeHealth {
-    /// Returns `true` when every counter is zero — the stream so far was
-    /// ingested exactly, in order, and solved to completion without
-    /// backpressure interventions.
+    /// Returns `true` when every *degradation* counter is zero — the stream
+    /// so far was ingested exactly, in order, and solved to completion
+    /// without backpressure interventions. `checkpoints_written` is a
+    /// success counter and deliberately excluded: a monitor that has safely
+    /// checkpointed ten epochs is healthier, not less healthy.
     pub fn is_healthy(&self) -> bool {
-        *self == RuntimeHealth::default()
+        self.rejected == 0
+            && self.deduped == 0
+            && self.dropped == 0
+            && self.late_beyond_epsilon == 0
+            && self.worker_panics == 0
+            && self.backpressure_stalls == 0
+            && self.checkpoint_failures == 0
     }
 
     /// Sum of the counters that degrade verdict evidence (everything except
@@ -54,14 +68,15 @@ impl fmt::Display for RuntimeHealth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rejected {}, deduped {}, dropped {}, late beyond ε {}, worker panics {}, backpressure stalls {}, checkpoint failures {}",
+            "rejected {}, deduped {}, dropped {}, late beyond ε {}, worker panics {}, backpressure stalls {}, checkpoint failures {}, checkpoints written {}",
             self.rejected,
             self.deduped,
             self.dropped,
             self.late_beyond_epsilon,
             self.worker_panics,
             self.backpressure_stalls,
-            self.checkpoint_failures
+            self.checkpoint_failures,
+            self.checkpoints_written
         )
     }
 }
@@ -75,6 +90,11 @@ mod tests {
         let mut health = RuntimeHealth::default();
         assert!(health.is_healthy());
         assert_eq!(health.degradations(), 0);
+        health.checkpoints_written = 7;
+        assert!(
+            health.is_healthy(),
+            "successful checkpoints are not a degradation"
+        );
         health.rejected = 3;
         health.backpressure_stalls = 2;
         assert!(!health.is_healthy());
@@ -96,6 +116,7 @@ mod tests {
             "panics 4",
             "stalls 2",
             "checkpoint failures 5",
+            "checkpoints written 7",
         ] {
             assert!(text.contains(needle), "{text:?} must contain {needle:?}");
         }

@@ -151,6 +151,46 @@
 //! restored runs verdict-identical to uninterrupted ones across both
 //! execution paths and all three fault policies.
 //!
+//! # 7. Observability (telemetry, flight recorder, exposition)
+//!
+//! A monitoring service is itself a production system, so the runtime
+//! carries its own instrument panel ([`rvmtl_obs`] — dependency-free, built
+//! for this workspace). Two kinds of signal, deliberately separated:
+//!
+//! * **Count-shape metrics** — events observed, segments processed, GC
+//!   epochs, checkpoints written, solver work counters, progression-cache
+//!   hit/miss tallies, arena populations, pending obligations per query.
+//!   These are bridged from always-on monitor state at snapshot time by
+//!   [`StreamMonitor::telemetry`]: they cost nothing extra, work whether or
+//!   not telemetry is enabled, and are **deterministic** — identical across
+//!   the sequential and pipelined execution paths and across
+//!   checkpoint/restore of the same stream, so the bench pin suite pins
+//!   them like any other search-shape figure.
+//! * **Timing instruments** — log2-bucketed histograms (p50/p90/p99) of
+//!   segment solve time, batch solve time, event-to-verdict latency,
+//!   per-query verdict latency, GC pause, checkpoint write time and
+//!   per-work-item wall time, plus pipeline busy/wall counters. These exist
+//!   only under [`StreamConfig::with_telemetry`]; disabled, every
+//!   instrument is a no-op handle and each call site costs one never-taken
+//!   branch (the enabled-path overhead budget is ~2% on the bench
+//!   workloads). Timing values are wall-clock and are never pinned.
+//!
+//! The **flight recorder** ([`StreamMonitor::flight_recorder`]) retains the
+//! last `flight_capacity` lifecycle events — event observed → segment
+//! closed → queued → solve start → solved → GC epoch → checkpoint written —
+//! in a ring allocated once and never reallocated. Events are recorded only
+//! from the monitor's own thread at deterministic points, so the *kind
+//! sequence* is identical across execution paths (timestamps differ);
+//! [`FlightRecorder::dump_jsonl`] dumps the window as JSON Lines and
+//! [`FlightRecorder::segment_latencies_micros`] derives per-segment
+//! close→solved latency from it.
+//!
+//! Everything exports: [`StreamMonitor::telemetry`] returns a typed
+//! [`TelemetrySnapshot`], [`StreamMonitor::telemetry_text`] renders
+//! Prometheus-style text exposition (`name{labels} value`, round-trips
+//! through [`parse_exposition`]), and the final snapshot rides on
+//! [`StreamReport::telemetry`].
+//!
 //! # Multi-query front end
 //!
 //! [`StreamMonitor::add_query`] multiplexes any number of formulas over one
@@ -187,6 +227,7 @@ mod config;
 mod health;
 mod monitor;
 mod pipeline;
+mod telemetry;
 
 pub use checkpoint::CheckpointError;
 pub use config::StreamConfig;
@@ -196,3 +237,7 @@ pub use rvmtl_distrib::{
     FaultConfig, FaultCounters, FaultInjector, FaultPolicy, StreamError, StreamEvent,
 };
 pub use rvmtl_monitor::Integrity;
+pub use rvmtl_obs::{
+    parse_exposition, CounterSnapshot, ExpositionSample, FlightEvent, FlightKind, FlightRecorder,
+    GaugeSnapshot, HistogramSnapshot, TelemetrySnapshot,
+};

@@ -6,16 +6,20 @@ use crate::checkpoint::{
     MonitorCounters, MonitorImage, QueryImage,
 };
 use crate::pipeline::run_pipeline;
+use crate::telemetry::RuntimeMetrics;
 use crate::{RuntimeHealth, StreamConfig};
 use rvmtl_distrib::{DistributedComputation, FaultCounters, IncrementalSegmenter, StreamError};
 use rvmtl_monitor::{Integrity, Verdict, VerdictSet};
 use rvmtl_mtl::{
     ArenaMemory, ArenaOps, Formula, FormulaId, Interner, ShardedInterner, ShiftedId, State,
 };
+use rvmtl_obs::{FlightKind, FlightRecorder, Stopwatch, TelemetrySnapshot};
 use rvmtl_solver::{SegmentSolver, SolverStats};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Handle to one query multiplexed over a [`StreamMonitor`]'s stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -97,6 +101,35 @@ pub struct StreamReport {
     pub integrity: Vec<Integrity>,
     /// Final runtime health counters (see [`RuntimeHealth`]).
     pub health: RuntimeHealth,
+    /// Final telemetry snapshot (count-shape metrics always; timing
+    /// histograms when [`StreamConfig::with_telemetry`] was on) — the same
+    /// view [`StreamMonitor::telemetry`] returns mid-stream.
+    pub telemetry: TelemetrySnapshot,
+    /// The rendered error behind the most recent automatic checkpoint
+    /// failure, if any (the count is in
+    /// [`RuntimeHealth::checkpoint_failures`]).
+    pub last_checkpoint_error: Option<String>,
+}
+
+impl fmt::Display for StreamReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "stream report: {} queries over {} segments, {} GC epochs",
+            self.verdicts.len(),
+            self.segments,
+            self.gc_runs
+        )?;
+        for (index, (verdicts, integrity)) in self.verdicts.iter().zip(&self.integrity).enumerate()
+        {
+            writeln!(f, "  query {index} [{integrity}]: {verdicts}")?;
+        }
+        writeln!(f, "  health: {}", self.health)?;
+        match &self.last_checkpoint_error {
+            Some(error) => writeln!(f, "  last checkpoint error: {error}"),
+            None => writeln!(f, "  last checkpoint error: none"),
+        }
+    }
 }
 
 /// A streaming monitoring engine: ingests per-process event streams, closes
@@ -134,6 +167,26 @@ pub struct StreamMonitor {
     checkpoint_failures: u64,
     /// The error behind the most recent automatic checkpoint failure.
     last_checkpoint_error: Option<CheckpointError>,
+    /// Epoch checkpoints successfully written and fsynced (automatic and
+    /// [`StreamMonitor::write_checkpoint`]). Deliberately *not* part of the
+    /// checkpoint wire format: a restored monitor starts counting from its
+    /// restore point.
+    checkpoints_written: u64,
+    /// Events accepted into the stream (rejected calls are counted in
+    /// `rejected` instead).
+    events_observed: u64,
+    /// Heartbeats accepted.
+    heartbeats: u64,
+    /// Deepest the closed-segment queue ever got.
+    queue_depth_peak: usize,
+    /// Wall-clock close instant per queued segment base, for the
+    /// event-to-verdict and per-query verdict-latency histograms. Populated
+    /// only while telemetry is enabled; entries are consumed when their
+    /// segment is solved.
+    closed_at: HashMap<u64, Instant>,
+    /// The registry-resident timing instruments and the flight recorder
+    /// (all no-ops unless [`StreamConfig::with_telemetry`] was set).
+    metrics: RuntimeMetrics,
 }
 
 impl StreamMonitor {
@@ -151,6 +204,7 @@ impl StreamMonitor {
             config.base_time,
         )
         .with_policy(config.fault_policy);
+        let metrics = RuntimeMetrics::new(config.telemetry, config.flight_capacity);
         StreamMonitor {
             config,
             segmenter,
@@ -167,6 +221,12 @@ impl StreamMonitor {
             backpressure_stalls: 0,
             checkpoint_failures: 0,
             last_checkpoint_error: None,
+            checkpoints_written: 0,
+            events_observed: 0,
+            heartbeats: 0,
+            queue_depth_peak: 0,
+            closed_at: HashMap::new(),
+            metrics,
         }
     }
 
@@ -182,6 +242,7 @@ impl StreamMonitor {
         let anchored_at = self.segmenter.open_base();
         let root = self.arena.intern(phi);
         let root = ArenaOps::normalize(&self.arena, root);
+        self.metrics.register_query();
         self.queries.push(QueryState {
             root: phi.clone(),
             pending: BTreeSet::from([root]),
@@ -244,6 +305,11 @@ impl StreamMonitor {
                 }
             }
         }
+        self.events_observed += 1;
+        self.metrics.flight.record(FlightKind::EventObserved {
+            process: u32::try_from(process).unwrap_or(u32::MAX),
+            time,
+        });
         self.enqueue(closed);
         Ok(())
     }
@@ -264,8 +330,32 @@ impl StreamMonitor {
                 return Err(e);
             }
         };
+        self.heartbeats += 1;
+        self.metrics.flight.record(FlightKind::Heartbeat {
+            process: u32::try_from(process).unwrap_or(u32::MAX),
+            time,
+        });
         self.enqueue(closed);
         Ok(())
+    }
+
+    /// Queues one closed segment, recording its lifecycle events (close
+    /// instant, queue depth) for the telemetry surfaces.
+    fn push_segment(&mut self, comp: DistributedComputation, next_anchor: u64) {
+        let base = comp.base_time();
+        self.metrics.flight.record(FlightKind::SegmentClosed {
+            base,
+            end: comp.horizon().unwrap_or(next_anchor),
+        });
+        if self.metrics.is_enabled() {
+            self.closed_at.insert(base, Instant::now());
+        }
+        self.queue.push_back(QueuedSegment { comp, next_anchor });
+        self.metrics.flight.record(FlightKind::SegmentQueued {
+            base,
+            depth: self.queue.len() as u64,
+        });
+        self.queue_depth_peak = self.queue_depth_peak.max(self.queue.len());
     }
 
     fn enqueue(&mut self, closed: Vec<DistributedComputation>) {
@@ -275,7 +365,7 @@ impl StreamMonitor {
             let Some(next_anchor) = comp.horizon() else {
                 unreachable!("watermark-closed segments carry their end boundary");
             };
-            self.queue.push_back(QueuedSegment { comp, next_anchor });
+            self.push_segment(comp, next_anchor);
         }
         let over_bound = self
             .config
@@ -340,7 +430,152 @@ impl StreamMonitor {
             worker_panics: self.worker_panics,
             backpressure_stalls: self.backpressure_stalls,
             checkpoint_failures: self.checkpoint_failures,
+            checkpoints_written: self.checkpoints_written,
         }
+    }
+
+    /// A point-in-time telemetry snapshot: every registry-resident timing
+    /// instrument (empty unless [`StreamConfig::with_telemetry`] was set)
+    /// plus the count-shape metrics bridged from always-on monitor state —
+    /// those are exact whether or not telemetry is enabled, and being
+    /// state-derived they are deterministic across execution paths (the
+    /// bench pin suite pins them). Instruments are sorted by name so the
+    /// text exposition groups each metric family under one `# TYPE` line.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut snap = self.metrics.registry.snapshot();
+        let faults = self.segmenter.fault_counters();
+        snap.push_counter("rvmtl_events_observed_total", "", self.events_observed);
+        snap.push_counter("rvmtl_heartbeats_total", "", self.heartbeats);
+        snap.push_counter(
+            "rvmtl_segments_processed_total",
+            "",
+            self.segments_processed as u64,
+        );
+        snap.push_counter("rvmtl_gc_epochs_total", "", self.gc_runs as u64);
+        snap.push_counter("rvmtl_events_rejected_total", "", self.rejected);
+        snap.push_counter("rvmtl_events_deduped_total", "", faults.deduped);
+        snap.push_counter("rvmtl_events_dropped_total", "", faults.dropped);
+        snap.push_counter("rvmtl_events_late_total", "", faults.late_beyond_epsilon);
+        snap.push_counter("rvmtl_worker_panics_total", "", self.worker_panics);
+        snap.push_counter(
+            "rvmtl_backpressure_stalls_total",
+            "",
+            self.backpressure_stalls,
+        );
+        snap.push_counter(
+            "rvmtl_checkpoints_written_total",
+            "",
+            self.checkpoints_written,
+        );
+        snap.push_counter(
+            "rvmtl_checkpoint_failures_total",
+            "",
+            self.checkpoint_failures,
+        );
+        for (name, value) in [
+            (
+                "rvmtl_solver_explored_states_total",
+                self.stats.explored_states,
+            ),
+            ("rvmtl_solver_memo_hits_total", self.stats.memo_hits),
+            (
+                "rvmtl_solver_completed_sequences_total",
+                self.stats.completed_sequences,
+            ),
+            (
+                "rvmtl_solver_constant_cutoffs_total",
+                self.stats.constant_cutoffs,
+            ),
+            ("rvmtl_solver_time_splits_total", self.stats.time_splits),
+            (
+                "rvmtl_solver_merged_time_points_total",
+                self.stats.merged_time_points,
+            ),
+            (
+                "rvmtl_solver_shift_normalized_nodes_total",
+                self.stats.shift_normalized_nodes,
+            ),
+        ] {
+            snap.push_counter(name, "", value as u64);
+        }
+        for (arena, stats) in [
+            ("query", self.arena.cache_stats()),
+            ("worker", self.shared.cache_stats()),
+        ] {
+            let labels = format!("arena=\"{arena}\"");
+            snap.push_counter("rvmtl_one_cache_hits_total", &labels, stats.one_hits);
+            snap.push_counter("rvmtl_one_cache_misses_total", &labels, stats.one_misses);
+            snap.push_counter("rvmtl_gap_cache_hits_total", &labels, stats.gap_hits);
+            snap.push_counter("rvmtl_gap_cache_misses_total", &labels, stats.gap_misses);
+        }
+        snap.push_counter(
+            "rvmtl_flight_events_recorded_total",
+            "",
+            self.metrics.flight.recorded(),
+        );
+        snap.push_gauge("rvmtl_queue_depth", "", self.queue.len() as i64);
+        snap.push_gauge("rvmtl_queue_depth_peak", "", self.queue_depth_peak as i64);
+        snap.push_gauge(
+            "rvmtl_watermark_lag",
+            "",
+            i64::try_from(self.segmenter.watermark_lag()).unwrap_or(i64::MAX),
+        );
+        snap.push_gauge(
+            "rvmtl_open_segment_span",
+            "",
+            i64::try_from(self.segmenter.open_span()).unwrap_or(i64::MAX),
+        );
+        for (arena, memory) in [
+            ("query", self.arena.memory()),
+            ("worker", self.shared.memory()),
+        ] {
+            let labels = format!("arena=\"{arena}\"");
+            snap.push_gauge("rvmtl_arena_nodes", &labels, memory.nodes as i64);
+            snap.push_gauge("rvmtl_arena_states", &labels, memory.states as i64);
+            snap.push_gauge(
+                "rvmtl_arena_one_cache_entries",
+                &labels,
+                memory.one_cache_entries as i64,
+            );
+            snap.push_gauge(
+                "rvmtl_arena_gap_cache_entries",
+                &labels,
+                memory.gap_cache_entries as i64,
+            );
+        }
+        for (index, query) in self.queries.iter().enumerate() {
+            snap.push_gauge(
+                "rvmtl_pending_obligations",
+                format!("query=\"{index}\""),
+                query.pending.len() as i64,
+            );
+        }
+        snap.counters
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        snap.gauges
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        snap.histograms
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        snap
+    }
+
+    /// The current telemetry as Prometheus-style text exposition (see
+    /// [`TelemetrySnapshot::to_prometheus`]; validated by
+    /// [`rvmtl_obs::parse_exposition`]).
+    pub fn telemetry_text(&self) -> String {
+        self.telemetry().to_prometheus()
+    }
+
+    /// The lifecycle flight recorder (a no-op recorder with an empty window
+    /// unless [`StreamConfig::with_telemetry`] was set).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.metrics.flight
+    }
+
+    /// The flight recorder's retained window as JSON Lines (empty when
+    /// telemetry is off).
+    pub fn flight_jsonl(&self) -> String {
+        self.metrics.flight.dump_jsonl()
     }
 
     /// The error behind the most recent automatic checkpoint failure, if any
@@ -393,14 +628,12 @@ impl StreamMonitor {
                 let Some(next_anchor) = comp.horizon() else {
                     unreachable!("non-final segments carry their end boundary");
                 };
-                self.queue.push_back(QueuedSegment { comp, next_anchor });
+                self.push_segment(comp, next_anchor);
             }
-            self.queue.push_back(QueuedSegment {
-                comp: last,
-                next_anchor: final_anchor,
-            });
+            self.push_segment(last, final_anchor);
         }
         self.process_queue();
+        self.metrics.flight.record(FlightKind::StreamFinished);
         // `eval_empty` resolves through the shift for free: translation
         // moves interval anchors, never operator kinds, and the empty-future
         // verdict depends only on the kinds. An obligation lost to a panic is
@@ -430,6 +663,8 @@ impl StreamMonitor {
             .collect();
         let integrity = self.queries.iter().map(QueryState::integrity).collect();
         let health = self.health();
+        let telemetry = self.telemetry();
+        let last_checkpoint_error = self.last_checkpoint_error.as_ref().map(|e| e.to_string());
         StreamReport {
             verdicts,
             pending,
@@ -439,22 +674,72 @@ impl StreamMonitor {
             gc_runs: self.gc_runs,
             integrity,
             health,
+            telemetry,
+            last_checkpoint_error,
         }
     }
 
     fn process_queue(&mut self) {
         if self.queue.is_empty() || self.queries.is_empty() {
             self.segments_processed += self.queue.len();
+            for queued in &self.queue {
+                // No query observes these segments; drop their close
+                // instants so the latency map stays bounded.
+                self.closed_at.remove(&queued.comp.base_time());
+            }
             self.queue.clear();
             return;
         }
         let batch: Vec<QueuedSegment> = self.queue.drain(..).collect();
         let processed = batch.len();
+        let bases: Vec<u64> = batch.iter().map(|s| s.comp.base_time()).collect();
+        // Flight events are recorded here, from the monitor's thread, in
+        // batch order — never from workers — so the kind sequence is
+        // identical across the sequential and pipelined paths.
+        for &base in &bases {
+            self.metrics.flight.record(FlightKind::SolveStart { base });
+        }
+        let enabled = self.metrics.is_enabled();
+        let batch_timer = enabled.then(Stopwatch::start);
         let workers = self.config.effective_workers();
         if self.config.pipeline && workers > 1 {
             self.process_pipelined(batch, workers);
         } else {
             self.process_sequential(batch);
+        }
+        let closes: Vec<(u64, Option<Instant>)> = bases
+            .iter()
+            .map(|base| (*base, self.closed_at.remove(base)))
+            .collect();
+        let done = enabled.then(Instant::now);
+        for &(base, closed) in &closes {
+            self.metrics
+                .flight
+                .record(FlightKind::SegmentSolved { base });
+            if let (Some(done), Some(closed)) = (done, closed) {
+                self.metrics
+                    .event_to_verdict
+                    .record_duration(done.duration_since(closed));
+            }
+        }
+        if let Some(done) = done {
+            // Per-query verdict latency: close of the newest batch segment
+            // the query observed → its pending set updated (now).
+            for (index, query) in self.queries.iter().enumerate() {
+                let newest = closes
+                    .iter()
+                    .rev()
+                    .find(|(base, at)| *base >= query.anchored_at && at.is_some())
+                    .and_then(|(_, at)| *at);
+                if let (Some(closed), Some(histogram)) =
+                    (newest, self.metrics.verdict_latency.get(index))
+                {
+                    histogram.record_duration(done.duration_since(closed));
+                }
+            }
+        }
+        if let Some(timer) = batch_timer {
+            self.metrics.batch_solve.record(timer.elapsed_nanos());
         }
         self.segments_processed += processed;
         self.since_gc += processed;
@@ -467,7 +752,9 @@ impl StreamMonitor {
     /// by every pending formula of every query (cross-query memo sharing).
     /// Queries anchored after a segment's base skip it.
     fn process_sequential(&mut self, batch: Vec<QueuedSegment>) {
+        let enabled = self.metrics.is_enabled();
         for QueuedSegment { comp, next_anchor } in batch {
+            let segment_timer = enabled.then(Stopwatch::start);
             // Materialise the shift-normal pendings before the solver
             // borrows the arena exclusively.
             let seeds: Vec<Option<Vec<FormulaId>>> = self
@@ -500,6 +787,7 @@ impl StreamMonitor {
                     // panicking obligation is lost (recorded below, reported
                     // inconclusive) while the query's other obligations and
                     // every other query proceed.
+                    let item_timer = enabled.then(Stopwatch::start);
                     match catch_unwind(AssertUnwindSafe(|| solver.progress(psi))) {
                         Ok(result) => {
                             self.stats.absorb(&result.stats);
@@ -507,10 +795,16 @@ impl StreamMonitor {
                         }
                         Err(_) => lost.push((qi, psi)),
                     }
+                    if let Some(timer) = item_timer {
+                        self.metrics.work_item.record(timer.elapsed_nanos());
+                    }
                 }
                 outs.push(Some(out));
             }
             drop(solver);
+            if let Some(timer) = segment_timer {
+                self.metrics.segment_solve.record(timer.elapsed_nanos());
+            }
             for (query, out) in self.queries.iter_mut().zip(outs) {
                 if let Some(out) = out {
                     query.pending = out
@@ -570,6 +864,7 @@ impl StreamMonitor {
                     .collect()
             })
             .collect();
+        let wall_timer = self.metrics.is_enabled().then(Stopwatch::start);
         let outcome = run_pipeline(
             &segments,
             &seeds,
@@ -577,7 +872,11 @@ impl StreamMonitor {
             &self.shared,
             workers,
             self.config.max_solutions_per_segment,
+            &self.metrics.pipeline_slice(),
         );
+        if let Some(timer) = wall_timer {
+            self.metrics.pipeline_wall.add(timer.elapsed_nanos());
+        }
         self.stats.absorb(&outcome.stats);
         // Resolve lost obligations out of the worker arena *now*: a GC epoch
         // at the end of this batch clears the worker arena wholesale.
@@ -613,6 +912,7 @@ impl StreamMonitor {
             .iter()
             .flat_map(|q| q.pending.iter().map(|s| s.id))
             .collect();
+        let gc_timer = self.metrics.is_enabled().then(Stopwatch::start);
         let remap = self.arena.compact(roots);
         for query in &mut self.queries {
             query.pending = query
@@ -629,6 +929,14 @@ impl StreamMonitor {
         self.shared.clear();
         self.since_gc = 0;
         self.gc_runs += 1;
+        if self.metrics.flight.is_enabled() {
+            self.metrics.flight.record(FlightKind::GcEpoch {
+                retained: remap.retained() as u64,
+            });
+        }
+        if let Some(timer) = gc_timer {
+            self.metrics.gc_pause.record(timer.elapsed_nanos());
+        }
         self.maybe_checkpoint();
     }
 
@@ -649,10 +957,28 @@ impl StreamMonitor {
         // `collect_garbage`, which `process_queue` reaches only after
         // draining the whole batch (the drain-before-snapshot invariant).
         debug_assert!(self.queue.is_empty());
+        let timer = self.metrics.is_enabled().then(Stopwatch::start);
         let bytes = self.encode_checkpoint();
-        if let Err(e) = write_epoch(&dir, self.segments_processed as u64, &bytes) {
-            self.checkpoint_failures += 1;
-            self.last_checkpoint_error = Some(e);
+        match write_epoch(&dir, self.segments_processed as u64, &bytes) {
+            Ok(_) => self.record_checkpoint_written(bytes.len(), timer),
+            Err(e) => {
+                self.checkpoint_failures += 1;
+                self.last_checkpoint_error = Some(e);
+                self.metrics.flight.record(FlightKind::CheckpointFailed);
+            }
+        }
+    }
+
+    /// Accounts one durably written checkpoint (serialize + write + fsync
+    /// span in `timer`, snapshot size in `bytes`).
+    fn record_checkpoint_written(&mut self, bytes: usize, timer: Option<Stopwatch>) {
+        self.checkpoints_written += 1;
+        self.metrics.flight.record(FlightKind::CheckpointWritten {
+            epoch: self.segments_processed as u64,
+            bytes: bytes as u64,
+        });
+        if let Some(timer) = timer {
+            self.metrics.checkpoint_write.record(timer.elapsed_nanos());
         }
     }
 
@@ -672,8 +998,11 @@ impl StreamMonitor {
     ///
     /// [`CheckpointError::Io`] if the filesystem refuses.
     pub fn write_checkpoint(&mut self, dir: &Path) -> Result<PathBuf, CheckpointError> {
+        let timer = self.metrics.is_enabled().then(Stopwatch::start);
         let bytes = self.checkpoint_bytes();
-        write_epoch(dir, self.segments_processed as u64, &bytes)
+        let written = write_epoch(dir, self.segments_processed as u64, &bytes)?;
+        self.record_checkpoint_written(bytes.len(), timer);
+        Ok(written)
     }
 
     /// Restores a monitor from checkpoint bytes, validating the container
@@ -793,6 +1122,13 @@ impl StreamMonitor {
             usize::try_from(v)
                 .map_err(|_| CheckpointError::Malformed(format!("{what} {v} exceeds usize")))
         };
+        // Telemetry is runtime state, not stream state: a restored monitor
+        // starts fresh instruments (and a fresh flight window) under the
+        // *restoring* configuration.
+        let mut metrics = RuntimeMetrics::new(config.telemetry, config.flight_capacity);
+        for _ in 0..queries.len() {
+            metrics.register_query();
+        }
         Ok(StreamMonitor {
             config,
             segmenter,
@@ -812,6 +1148,14 @@ impl StreamMonitor {
             backpressure_stalls: counters.backpressure_stalls,
             checkpoint_failures: counters.checkpoint_failures,
             last_checkpoint_error: None,
+            // Deliberately not checkpointed (see the field's docs): the
+            // restored monitor counts snapshots from its restore point.
+            checkpoints_written: 0,
+            events_observed: 0,
+            heartbeats: 0,
+            queue_depth_peak: 0,
+            closed_at: HashMap::new(),
+            metrics,
         })
     }
 }

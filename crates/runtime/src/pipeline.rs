@@ -37,9 +37,11 @@
 //! states and the `one_cache`/`gap_cache` progression memos, which carry the
 //! cross-segment reuse — is shared by every worker through `&` handles.
 
+use crate::telemetry::PipelineTelemetry;
 use rvmtl_distrib::DistributedComputation;
 use rvmtl_mtl::hashing::FxHashMap;
 use rvmtl_mtl::{FormulaId, ShardedInterner};
+use rvmtl_obs::Stopwatch;
 use rvmtl_solver::{SegmentCaches, SegmentSolver, SolverStats};
 use std::collections::{BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -113,6 +115,7 @@ pub(crate) fn run_pipeline(
     shared: &ShardedInterner,
     workers: usize,
     limit: Option<usize>,
+    telemetry: &PipelineTelemetry,
 ) -> PipelineOutcome {
     assert!(!segments.is_empty(), "a pipeline batch needs segments");
     assert_eq!(seeds.len(), entries.len(), "one entry stage per query");
@@ -165,7 +168,7 @@ pub(crate) fn run_pipeline(
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            handles.push(scope.spawn(|| worker(&state, segments, shared, limit)));
+            handles.push(scope.spawn(|| worker(&state, segments, shared, limit, telemetry)));
         }
         for handle in handles {
             // A solve panic is caught *inside* the worker and recorded in
@@ -242,6 +245,7 @@ fn worker(
     segments: &[(DistributedComputation, u64)],
     shared: &ShardedInterner,
     limit: Option<usize>,
+    telemetry: &PipelineTelemetry,
 ) {
     loop {
         let item = {
@@ -268,9 +272,15 @@ fn worker(
         // Isolate the solve: a panicking query loses this one item (recorded
         // in `state.lost`, no rewrites fanned out) while every other item —
         // including the same query's siblings — proceeds untouched.
+        let timer = telemetry.work_item.is_enabled().then(Stopwatch::start);
         let solved = catch_unwind(AssertUnwindSafe(|| {
             solve_item(state, segments, shared, limit, &item)
         }));
+        if let Some(timer) = timer {
+            let nanos = timer.elapsed_nanos();
+            telemetry.work_item.record(nanos);
+            telemetry.busy.add(nanos);
+        }
         let formulas = match solved {
             Ok(formulas) => formulas,
             Err(_) => {

@@ -5,7 +5,10 @@
 //! to a [`StreamMonitor`] event by event; the watermark closes segments as
 //! the chains' clocks advance, and the monitor prints each query's verdict
 //! state whenever a segment is folded in — exactly what a verification
-//! service attached to live chain RPC feeds would do.
+//! service attached to live chain RPC feeds would do. Telemetry is enabled,
+//! so the run ends with the runtime's health line and its full Prometheus
+//! text exposition — the scrapeable surface the CI telemetry smoke
+//! validates.
 //!
 //! ```text
 //! cargo run --example streaming
@@ -24,7 +27,11 @@ fn main() {
     let exec = TwoPartySwap::new(DELTA).execute(&TwoPartyScenario::conforming());
     let comp = exec.to_computation(EPSILON);
 
-    let mut monitor = StreamMonitor::new(comp.process_count(), EPSILON, StreamConfig::new(70));
+    let mut monitor = StreamMonitor::new(
+        comp.process_count(),
+        EPSILON,
+        StreamConfig::new(70).with_telemetry(),
+    );
     let queries = [
         ("liveness", specs::two_party::liveness(DELTA)),
         ("alice conforms", specs::two_party::alice_conform(DELTA)),
@@ -80,4 +87,11 @@ fn main() {
     for party in ["alice", "bob"] {
         println!("  payoff({party}) = {}", exec.payoff(party));
     }
+
+    // The scrapeable telemetry surface: health counters, then the full text
+    // exposition (counters, gauges, and — telemetry being on — the timing
+    // histograms). `bench_snapshot --scrape-check` parses exactly this.
+    println!("\nhealth: {}", report.health);
+    println!("\n# telemetry exposition");
+    print!("{}", report.telemetry.to_prometheus());
 }
