@@ -268,7 +268,7 @@ pub fn all_entries() -> Vec<(String, u64)> {
 /// Flattens pin rows into sorted `(key, value)` scalar entries — the unit of
 /// comparison of the CI gate.
 pub fn flatten(rows: &[PinRow]) -> Vec<(String, u64)> {
-    let mut entries: Vec<(String, u64)> = Vec::with_capacity(rows.len() * 6);
+    let mut entries: Vec<(String, u64)> = Vec::with_capacity(rows.len() * 8);
     for row in rows {
         let s = &row.stats;
         entries.push((
@@ -284,6 +284,14 @@ pub fn flatten(rows: &[PinRow]) -> Vec<(String, u64)> {
         entries.push((
             format!("{}/shift_normalized_nodes", row.key),
             s.shift_normalized_nodes as u64,
+        ));
+        entries.push((
+            format!("{}/frontier_batches", row.key),
+            s.frontier_batches as u64,
+        ));
+        entries.push((
+            format!("{}/batched_probe_ticks", row.key),
+            s.batched_probe_ticks as u64,
         ));
         entries.push((format!("{}/verdicts", row.key), row.verdicts));
     }

@@ -138,6 +138,28 @@ impl Cut {
         next.taken[p.0] += 1;
         next
     }
+
+    /// Clones `self` into `dst` and extends the copy with `event` — the
+    /// allocation-free form of [`Cut::extended`] for callers that keep a cut
+    /// per stack depth and rewrite it per candidate event (`dst`'s buffer is
+    /// reused; no per-child `Vec` allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is not the next event of its process (same contract
+    /// as [`Cut::extended`]).
+    pub fn extended_into(&self, comp: &DistributedComputation, event: EventId, dst: &mut Cut) {
+        let p = comp.event(event).process;
+        let ids = comp.events_of(p);
+        assert_eq!(
+            ids.get(self.taken[p.0]),
+            Some(&event),
+            "{event} is not the next event of {p}"
+        );
+        dst.taken.clear();
+        dst.taken.extend_from_slice(&self.taken);
+        dst.taken[p.0] += 1;
+    }
 }
 
 impl fmt::Display for Cut {

@@ -5,7 +5,7 @@
 use crate::{Integrity, MonitorConfig, VerdictSet};
 use rvmtl_distrib::{segment, DistributedComputation};
 use rvmtl_mtl::{ArenaOps, Formula, FormulaId, Interner, ShardedInterner, ShiftedId};
-use rvmtl_solver::{SegmentSolver, SolverStats};
+use rvmtl_solver::{ExploreEngine, SegmentSolver, SolverStats};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
@@ -135,6 +135,7 @@ pub struct OnlineMonitor {
     pending: BTreeSet<ShiftedId>,
     limit: Option<usize>,
     stats: SolverStats,
+    engine: ExploreEngine,
 }
 
 impl OnlineMonitor {
@@ -149,6 +150,7 @@ impl OnlineMonitor {
             pending: BTreeSet::from([root]),
             limit: None,
             stats: SolverStats::default(),
+            engine: ExploreEngine::default(),
         }
     }
 
@@ -198,6 +200,14 @@ impl OnlineMonitor {
         self
     }
 
+    /// Selects the solver exploration engine for every subsequent segment
+    /// (default: [`ExploreEngine::WorkStack`]). Both engines produce
+    /// identical verdicts and statistics.
+    pub fn with_engine(mut self, engine: ExploreEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The formulas whose verdicts are still open, resolved out of the
     /// monitor's arena.
     pub fn pending(&self) -> BTreeSet<Formula> {
@@ -229,6 +239,7 @@ impl OnlineMonitor {
     pub fn observe_segment(&mut self, seg: &DistributedComputation, next_anchor: u64) {
         let pending: Vec<ShiftedId> = self.pending.iter().copied().collect();
         let limit = self.limit;
+        let engine = self.engine;
         let mut next: BTreeSet<FormulaId> = BTreeSet::new();
         match &mut self.arena {
             QueryArena::Plain(interner) => {
@@ -240,7 +251,8 @@ impl OnlineMonitor {
                     .iter()
                     .map(|&s| ArenaOps::materialize(&mut **interner, s))
                     .collect();
-                let mut solver = SegmentSolver::new(seg, next_anchor, &mut **interner);
+                let mut solver =
+                    SegmentSolver::new(seg, next_anchor, &mut **interner).with_engine(engine);
                 if let Some(l) = limit {
                     solver = solver.with_limit(l);
                 }
@@ -261,7 +273,8 @@ impl OnlineMonitor {
                     .collect();
                 let results = crate::par::par_map(&seeds, |&psi| {
                     let mut handle = arena;
-                    let mut solver = SegmentSolver::new(seg, next_anchor, &mut handle);
+                    let mut solver =
+                        SegmentSolver::new(seg, next_anchor, &mut handle).with_engine(engine);
                     if let Some(l) = limit {
                         solver = solver.with_limit(l);
                     }
@@ -353,7 +366,8 @@ impl Monitor {
 
         let mut online = OnlineMonitor::new(phi.clone())
             .parallel(self.config.parallel)
-            .with_limit(self.config.max_solutions_per_segment);
+            .with_limit(self.config.max_solutions_per_segment)
+            .with_engine(self.config.engine);
         let mut reports = Vec::with_capacity(segments.len());
         for (i, seg) in segments.iter().enumerate() {
             let next_anchor = segments

@@ -26,6 +26,24 @@ use crate::{
     StateKey,
 };
 
+/// Reusable buffers for the batched interval-splitting progressions
+/// ([`ArenaOps::progress_one_over_batched`] /
+/// [`ArenaOps::progress_gap_over_batched`]). One instance amortises the key,
+/// probe-result and residual vectors across every window a caller splits —
+/// the solver keeps one per segment, so the batch entry points allocate
+/// nothing in steady state.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    /// Packed one-cache keys of the current tick run.
+    one_keys: Vec<OneKey>,
+    /// Packed gap-cache keys of the current tick run.
+    gap_keys: Vec<GapKey>,
+    /// Probe results, aligned with the key vector (`None` = miss).
+    probes: Vec<Option<FormulaId>>,
+    /// Per-tick residuals after misses are resolved.
+    residuals: Vec<FormulaId>,
+}
+
 /// How the residuals of a [`SplitRange`] vary across the range; see
 /// [`crate::Interner::progress_one_over`] for the full contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +135,34 @@ pub trait ArenaOps {
     fn gap_cache_get(&self, key: GapKey) -> Option<FormulaId>;
     /// Memoises a gap progression.
     fn gap_cache_put(&mut self, key: GapKey, value: FormulaId);
+
+    /// Probes the one-cache for every key of a run, in order, writing one
+    /// `Option` per key into `out` (cleared first). Semantically identical to
+    /// looping [`ArenaOps::one_cache_get`] — including the hit/miss tallies,
+    /// which must count one probe per key — but implementors may amortise the
+    /// table traffic: the sharded arena locks each shard once per maximal
+    /// same-shard key run instead of once per key, and every key of one
+    /// splitter run shares a formula (hence a shard), so a whole batch is one
+    /// lock round-trip.
+    fn one_cache_get_batch(&self, keys: &[OneKey], out: &mut Vec<Option<FormulaId>>) {
+        out.clear();
+        out.extend(keys.iter().map(|&k| self.one_cache_get(k)));
+    }
+
+    /// Batched counterpart of [`ArenaOps::gap_cache_get`]; same contract as
+    /// [`ArenaOps::one_cache_get_batch`].
+    fn gap_cache_get_batch(&self, keys: &[GapKey], out: &mut Vec<Option<FormulaId>>) {
+        out.clear();
+        out.extend(keys.iter().map(|&k| self.gap_cache_get(k)));
+    }
+
+    /// Interns a slice of formula trees in order. The sequential arena gains
+    /// nothing over a loop; the sharded arena still pays per-node lock
+    /// traffic (hash-consing is per-shard), but callers get one entry point
+    /// to hand a whole query set to either arena.
+    fn intern_all(&mut self, phis: &[Formula]) -> Vec<FormulaId> {
+        phis.iter().map(|phi| self.intern(phi)).collect()
+    }
 
     /// Smart binary conjunction.
     fn mk_and(&mut self, a: FormulaId, b: FormulaId) -> FormulaId {
@@ -347,7 +393,20 @@ pub trait ArenaOps {
         if let Some(f) = self.one_cache_get(cache_key) {
             return f;
         }
-        let f = match self.node(id) {
+        let f = self.progress_one_compute(key, id, clamped);
+        self.one_cache_put(cache_key, f);
+        f
+    }
+
+    /// The uncached body of [`ArenaOps::progress_one_cached`]: structural
+    /// progression of `id` against the observation `key` at horizon-clamped
+    /// elapsed time `clamped`. Issues **no** top-level cache traffic (children
+    /// still go through the cached entry point) — callers that probed and
+    /// missed call this and then memoise the result themselves, which is what
+    /// lets the batched splitter collect a run of misses and resolve them
+    /// together without double-counting probes.
+    fn progress_one_compute(&mut self, key: StateKey, id: FormulaId, clamped: u64) -> FormulaId {
+        match self.node(id) {
             Node::True => FormulaId::TRUE,
             Node::False => FormulaId::FALSE,
             Node::Atom(p) => {
@@ -427,9 +486,7 @@ pub trait ArenaOps {
                 let witness = self.mk_or(observed_witness, future_witness);
                 self.mk_and(pre, witness)
             }
-        };
-        self.one_cache_put(cache_key, f);
-        f
+        }
     }
 
     /// Memoised gap progression (see [`crate::Interner::progress_gap_cached`]),
@@ -460,14 +517,27 @@ pub trait ArenaOps {
         if let Some(f) = self.gap_cache_get(cache_key) {
             return f;
         }
-        if elapsed < slack {
+        let f = self.progress_gap_compute(id, elapsed);
+        self.gap_cache_put(cache_key, f);
+        f
+    }
+
+    /// The uncached body of [`ArenaOps::progress_gap_cached`]: structural gap
+    /// progression of `id` by `elapsed` ticks with **no** top-level cache
+    /// traffic (the counterpart of [`ArenaOps::progress_one_compute`] for the
+    /// batched splitter's collected-miss resolution).
+    fn progress_gap_compute(&mut self, id: FormulaId, elapsed: u64) -> FormulaId {
+        let meta = self.node_meta(id);
+        let clamped = elapsed.min(meta.horizon);
+        if clamped == 0 {
+            return id;
+        }
+        if elapsed < meta.slack {
             // The gap is shorter than the slack: no window elapses, they all
             // slide — the result is the exact translate.
-            let f = self.translate_down(id, elapsed);
-            self.gap_cache_put(cache_key, f);
-            return f;
+            return self.translate_down(id, elapsed);
         }
-        let f = match self.node(id) {
+        match self.node(id) {
             Node::True | Node::False | Node::Atom(_) => id,
             Node::Not(a) => {
                 let a = self.progress_gap_cached(a, clamped);
@@ -513,9 +583,7 @@ pub trait ArenaOps {
                     self.mk_until(a, i.shift_down(clamped), b)
                 }
             }
-        };
-        self.gap_cache_put(cache_key, f);
-        f
+        }
     }
 
     /// Interval-splitting progression over a pre-interned observation state
@@ -550,6 +618,153 @@ pub trait ArenaOps {
             base.saturating_add(self.temporal_horizon(id)),
             |arena, t| arena.progress_gap_cached(id, t.saturating_sub(base)),
         )
+    }
+
+    /// Batched variant of [`ArenaOps::progress_one_over_keyed`]: splits the
+    /// same window into the same ranges (appended to `out`, cleared first),
+    /// but issues the per-tick cache probes as **one contiguous batch**
+    /// through [`ArenaOps::one_cache_get_batch`], collects the misses, and
+    /// resolves them together in tick order. Returns the number of probes
+    /// issued (the tick count of the clamped run), which the solver surfaces
+    /// as its `batched_probe_ticks` counter.
+    ///
+    /// # Tally equivalence
+    ///
+    /// Probe-all-then-resolve sees exactly the hits and misses the
+    /// interleaved scalar loop would see, because within one run every packed
+    /// key is distinct — the relative time strictly increases tick over tick
+    /// and the horizon clamp is only reached at the final tick (the run stops
+    /// at the stability threshold) — and resolving a missed tick can never
+    /// insert another tick's key: a resolution memoises only its own key
+    /// (top-level) plus keys of *structurally smaller* subterms, while every
+    /// run key names `id` or its equal-size canonical residual.
+    #[allow(clippy::too_many_arguments)]
+    fn progress_one_over_batched(
+        &mut self,
+        key: StateKey,
+        time: u64,
+        id: FormulaId,
+        lo: u64,
+        hi: u64,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<SplitRange>,
+    ) -> usize {
+        debug_assert!(lo <= hi, "window [{lo}, {hi}] is empty");
+        let meta = self.node_meta(id);
+        let stable_from = time.saturating_add(meta.horizon);
+        // The scalar loop steps `lo ..= hi` but breaks at the first stable
+        // tick, so the probed run is clamped at the stability threshold.
+        let run_hi = hi.min(stable_from.max(lo));
+        let ProbeScratch {
+            one_keys,
+            probes,
+            residuals,
+            ..
+        } = scratch;
+        one_keys.clear();
+        if meta.is_translatable() {
+            let canon_horizon = self.node_meta(meta.canon).horizon;
+            for t in lo..=run_hi {
+                let elapsed = t.saturating_sub(time);
+                let rel = (elapsed as i64 - meta.slack as i64).min(canon_horizon as i64);
+                one_keys.push(OneKey::pack(key, meta.canon, rel, true));
+            }
+        } else {
+            for t in lo..=run_hi {
+                let clamped = t.saturating_sub(time).min(meta.horizon);
+                one_keys.push(OneKey::pack(key, id, clamped as i64, false));
+            }
+        }
+        self.one_cache_get_batch(one_keys, probes);
+        residuals.clear();
+        for i in 0..probes.len() {
+            let f = match probes[i] {
+                Some(f) => f,
+                None => {
+                    let t = lo + i as u64;
+                    let clamped = t.saturating_sub(time).min(meta.horizon);
+                    let f = self.progress_one_compute(key, id, clamped);
+                    self.one_cache_put(one_keys[i], f);
+                    f
+                }
+            };
+            residuals.push(f);
+        }
+        out.clear();
+        merge_residual_run(self, lo, hi, stable_from, residuals, out);
+        one_keys.len()
+    }
+
+    /// Batched variant of [`ArenaOps::progress_gap_over`]; same contract and
+    /// tally-equivalence argument as [`ArenaOps::progress_one_over_batched`].
+    /// Returns the probe count — ticks whose clamped gap is zero (the scalar
+    /// path's identity early-return) issue no probe and form a prefix of the
+    /// run, so they are excluded from both the batch and the count.
+    fn progress_gap_over_batched(
+        &mut self,
+        id: FormulaId,
+        base: u64,
+        lo: u64,
+        hi: u64,
+        scratch: &mut ProbeScratch,
+        out: &mut Vec<SplitRange>,
+    ) -> usize {
+        debug_assert!(lo <= hi, "window [{lo}, {hi}] is empty");
+        let meta = self.node_meta(id);
+        let stable_from = base.saturating_add(meta.horizon);
+        let run_hi = hi.min(stable_from.max(lo));
+        let ProbeScratch {
+            gap_keys,
+            probes,
+            residuals,
+            ..
+        } = scratch;
+        gap_keys.clear();
+        residuals.clear();
+        // A translatable node's relative times are keyed against its
+        // canonical residual's horizon; read it once. (Finite nonzero slack
+        // implies a temporal top level, so `canon` is populated; the other
+        // arms never read the value.)
+        let canon_horizon = if meta.slack >= 1 && meta.slack != u64::MAX {
+            self.node_meta(meta.canon).horizon
+        } else {
+            0
+        };
+        // Zero-gap ticks (elapsed == 0, or any tick of a time-invariant
+        // formula) are the identity with no cache traffic on the scalar
+        // path; elapsed is monotone in `t`, so they form a prefix of the
+        // run, recorded directly as residuals. The probed suffix starts at
+        // tick `lo + residuals.len()`.
+        for t in lo..=run_hi {
+            let elapsed = t.saturating_sub(base);
+            if elapsed.min(meta.horizon) == 0 {
+                residuals.push(id);
+            } else if meta.slack >= 1 {
+                gap_keys.push(GapKey::pack(
+                    meta.canon,
+                    (elapsed as i64 - meta.slack as i64).min(canon_horizon as i64),
+                ));
+            } else {
+                gap_keys.push(GapKey::pack(id, elapsed.min(meta.horizon) as i64));
+            }
+        }
+        let prefix = residuals.len() as u64;
+        self.gap_cache_get_batch(gap_keys, probes);
+        for i in 0..probes.len() {
+            let f = match probes[i] {
+                Some(f) => f,
+                None => {
+                    let elapsed = (lo + prefix + i as u64).saturating_sub(base);
+                    let f = self.progress_gap_compute(id, elapsed);
+                    self.gap_cache_put(gap_keys[i], f);
+                    f
+                }
+            };
+            residuals.push(f);
+        }
+        out.clear();
+        merge_residual_run(self, lo, hi, stable_from, residuals, out);
+        gap_keys.len()
     }
 
     /// Closes a formula against the empty future (see
@@ -729,4 +944,57 @@ fn is_unit_translate<A: ArenaOps + ?Sized>(arena: &A, prev: FormulaId, f: Formul
     }
     let mp = arena.node_meta(prev);
     mp.slack == mf.slack + 1 && mp.canon == mf.canon
+}
+
+/// The merge half of [`progress_over_with`], applied to a run of residuals
+/// that has already been resolved (`residuals[i]` is the residual at tick
+/// `lo + i`): folds adjacent ticks into `Uniform` / `Translated` ranges and
+/// extends the final (stable) tick's range to `hi`, appending to `out`. The
+/// run must cover `lo ..= min(hi, max(lo, stable_from))` — exactly the ticks
+/// the scalar loop steps before breaking on stability — so both splitters
+/// produce identical range vectors for identical residual sequences.
+fn merge_residual_run<A: ArenaOps + ?Sized>(
+    arena: &A,
+    lo: u64,
+    hi: u64,
+    stable_from: u64,
+    residuals: &[FormulaId],
+    out: &mut Vec<SplitRange>,
+) {
+    let mut prev: Option<FormulaId> = None;
+    for (i, &f) in residuals.iter().enumerate() {
+        let t = lo + i as u64;
+        let stable = t >= stable_from;
+        let upper = if stable { hi } else { t };
+        let extended = match out.last_mut() {
+            Some(r) if r.hi + 1 == t => {
+                if prev == Some(f) && r.kind == RangeKind::Uniform && arena.is_time_invariant(f) {
+                    r.hi = upper;
+                    true
+                } else if !stable
+                    && (r.kind == RangeKind::Translated || r.lo == r.hi)
+                    && prev.is_some_and(|p| is_unit_translate(arena, p, f))
+                {
+                    r.kind = RangeKind::Translated;
+                    r.hi = t;
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
+        if !extended {
+            out.push(SplitRange {
+                lo: t,
+                hi: upper,
+                residual: f,
+                kind: RangeKind::Uniform,
+            });
+        }
+        prev = Some(f);
+        if stable {
+            break;
+        }
+    }
 }

@@ -1547,6 +1547,13 @@ impl CacheStatCells {
         cell.set(cell.get().wrapping_add(1));
     }
 
+    /// Folds a batch's probes into one cell update (zero adds skipped).
+    fn tally_n(cell: &Cell<u64>, n: u64) {
+        if n > 0 {
+            cell.set(cell.get().wrapping_add(n));
+        }
+    }
+
     fn snapshot(&self) -> CacheStats {
         CacheStats {
             one_hits: self.one_hits.get(),
@@ -1697,6 +1704,42 @@ impl crate::ArenaOps for Interner {
 
     fn gap_cache_put(&mut self, key: GapKey, value: FormulaId) {
         self.gap_cache.insert(key, value);
+    }
+
+    fn one_cache_get_batch(&self, keys: &[OneKey], out: &mut Vec<Option<FormulaId>>) {
+        out.clear();
+        out.reserve(keys.len());
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for key in keys {
+            let found = self.one_cache.get(key).copied();
+            if found.is_some() {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            out.push(found);
+        }
+        CacheStatCells::tally_n(&self.stats.one_hits, hits);
+        CacheStatCells::tally_n(&self.stats.one_misses, misses);
+    }
+
+    fn gap_cache_get_batch(&self, keys: &[GapKey], out: &mut Vec<Option<FormulaId>>) {
+        out.clear();
+        out.reserve(keys.len());
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for key in keys {
+            let found = self.gap_cache.get(key).copied();
+            if found.is_some() {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+            out.push(found);
+        }
+        CacheStatCells::tally_n(&self.stats.gap_hits, hits);
+        CacheStatCells::tally_n(&self.stats.gap_misses, misses);
     }
 
     // The inherent implementations of these two stay authoritative (they

@@ -60,7 +60,7 @@ mod state;
 pub mod testgen;
 mod trace;
 
-pub use arena::{ArenaOps, RangeKind, SplitRange};
+pub use arena::{ArenaOps, ProbeScratch, RangeKind, SplitRange};
 pub use atom::Prop;
 pub use eval::{evaluate, evaluate_at, evaluate_from};
 pub use formula::Formula;

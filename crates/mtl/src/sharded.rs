@@ -84,6 +84,14 @@ impl SharedCacheStats {
         cell.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds a whole batch's worth of probes into one relaxed add (zero adds
+    /// skipped: the common all-hit / all-miss batch touches one cell).
+    fn tally_n(cell: &AtomicU64, n: u64) {
+        if n > 0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     fn snapshot(&self) -> CacheStats {
         CacheStats {
             one_hits: self.one_hits.load(Ordering::Relaxed),
@@ -621,6 +629,61 @@ impl ShardedInterner {
         let (shard, _) = unpack(key.formula().raw());
         self.lock(shard).gap_cache.insert(key, value);
     }
+
+    /// Batched one-cache probe: locks each shard **once per maximal run of
+    /// same-shard keys** instead of once per key, and folds the hit/miss
+    /// tallies into two relaxed adds per run. A splitter batch keys every
+    /// tick against the same formula, so the common case is one lock
+    /// round-trip for the whole batch. Tally totals are identical to the
+    /// per-key path: one probe counted per key, in order.
+    fn one_cache_get_batch(&self, keys: &[OneKey], out: &mut Vec<Option<FormulaId>>) {
+        out.clear();
+        out.reserve(keys.len());
+        let mut i = 0;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        while i < keys.len() {
+            let (shard, _) = unpack(keys[i].formula().raw());
+            let guard = self.lock(shard);
+            while i < keys.len() && unpack(keys[i].formula().raw()).0 == shard {
+                let found = guard.one_cache.get(&keys[i]).copied();
+                if found.is_some() {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+                out.push(found);
+                i += 1;
+            }
+        }
+        SharedCacheStats::tally_n(&self.stats.one_hits, hits);
+        SharedCacheStats::tally_n(&self.stats.one_misses, misses);
+    }
+
+    /// Batched gap-cache probe; see [`ShardedInterner::one_cache_get_batch`].
+    fn gap_cache_get_batch(&self, keys: &[GapKey], out: &mut Vec<Option<FormulaId>>) {
+        out.clear();
+        out.reserve(keys.len());
+        let mut i = 0;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        while i < keys.len() {
+            let (shard, _) = unpack(keys[i].formula().raw());
+            let guard = self.lock(shard);
+            while i < keys.len() && unpack(keys[i].formula().raw()).0 == shard {
+                let found = guard.gap_cache.get(&keys[i]).copied();
+                if found.is_some() {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+                out.push(found);
+                i += 1;
+            }
+        }
+        SharedCacheStats::tally_n(&self.stats.gap_hits, hits);
+        SharedCacheStats::tally_n(&self.stats.gap_misses, misses);
+    }
 }
 
 /// The [`ArenaOps`] algorithms run directly on the concurrent arena. This
@@ -695,6 +758,14 @@ impl ArenaOps for ShardedInterner {
     fn gap_cache_put(&mut self, key: GapKey, value: FormulaId) {
         ShardedInterner::gap_cache_put(self, key, value)
     }
+
+    fn one_cache_get_batch(&self, keys: &[OneKey], out: &mut Vec<Option<FormulaId>>) {
+        ShardedInterner::one_cache_get_batch(self, keys, out)
+    }
+
+    fn gap_cache_get_batch(&self, keys: &[GapKey], out: &mut Vec<Option<FormulaId>>) {
+        ShardedInterner::gap_cache_get_batch(self, keys, out)
+    }
 }
 
 /// Shared-handle impl: lets any number of worker threads drive the arena
@@ -767,6 +838,14 @@ impl ArenaOps for &ShardedInterner {
 
     fn gap_cache_put(&mut self, key: GapKey, value: FormulaId) {
         ShardedInterner::gap_cache_put(self, key, value)
+    }
+
+    fn one_cache_get_batch(&self, keys: &[OneKey], out: &mut Vec<Option<FormulaId>>) {
+        ShardedInterner::one_cache_get_batch(self, keys, out)
+    }
+
+    fn gap_cache_get_batch(&self, keys: &[GapKey], out: &mut Vec<Option<FormulaId>>) {
+        ShardedInterner::gap_cache_get_batch(self, keys, out)
     }
 }
 

@@ -36,7 +36,7 @@ use std::path::{Path, PathBuf};
 pub const MAGIC: &[u8; 8] = b"RVMTLCKP";
 
 /// Version of the checkpoint container and payload format.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Number of epoch files retained on disk (the newest plus its fallback).
 pub const RETAINED_EPOCHS: usize = 2;
@@ -421,25 +421,27 @@ fn decode_segmenter(r: &mut SnapshotReader<'_>) -> Result<SegmenterState, Snapsh
 }
 
 fn encode_stats(w: &mut SnapshotWriter, stats: &SolverStats) {
-    put_usize(w, stats.explored_states);
-    put_usize(w, stats.memo_hits);
-    put_usize(w, stats.completed_sequences);
-    put_usize(w, stats.constant_cutoffs);
-    put_usize(w, stats.time_splits);
-    put_usize(w, stats.merged_time_points);
-    put_usize(w, stats.shift_normalized_nodes);
+    // Field-list driven (declaration order), so a counter added to
+    // `SolverStats` is serialised without touching this codec — the format
+    // version gates compatibility.
+    stats.for_each_field(|_, value| put_usize(w, value));
 }
 
 fn decode_stats(r: &mut SnapshotReader<'_>) -> Result<SolverStats, SnapshotError> {
-    Ok(SolverStats {
-        explored_states: take_usize(r)?,
-        memo_hits: take_usize(r)?,
-        completed_sequences: take_usize(r)?,
-        constant_cutoffs: take_usize(r)?,
-        time_splits: take_usize(r)?,
-        merged_time_points: take_usize(r)?,
-        shift_normalized_nodes: take_usize(r)?,
-    })
+    let mut stats = SolverStats::default();
+    let mut failure = None;
+    stats.for_each_field_mut(|_, value| {
+        if failure.is_none() {
+            match take_usize(r) {
+                Ok(v) => *value = v,
+                Err(e) => failure = Some(e),
+            }
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(stats),
+    }
 }
 
 fn encode_query(w: &mut SnapshotWriter, q: &QueryImage) {

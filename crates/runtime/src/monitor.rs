@@ -472,32 +472,12 @@ impl StreamMonitor {
             "",
             self.checkpoint_failures,
         );
-        for (name, value) in [
-            (
-                "rvmtl_solver_explored_states_total",
-                self.stats.explored_states,
-            ),
-            ("rvmtl_solver_memo_hits_total", self.stats.memo_hits),
-            (
-                "rvmtl_solver_completed_sequences_total",
-                self.stats.completed_sequences,
-            ),
-            (
-                "rvmtl_solver_constant_cutoffs_total",
-                self.stats.constant_cutoffs,
-            ),
-            ("rvmtl_solver_time_splits_total", self.stats.time_splits),
-            (
-                "rvmtl_solver_merged_time_points_total",
-                self.stats.merged_time_points,
-            ),
-            (
-                "rvmtl_solver_shift_normalized_nodes_total",
-                self.stats.shift_normalized_nodes,
-            ),
-        ] {
-            snap.push_counter(name, "", value as u64);
-        }
+        // Field-list driven (SolverStats::for_each_field), so a counter added
+        // to the solver — e.g. the batch-shape counters `frontier_batches` /
+        // `batched_probe_ticks` — is bridged here without further plumbing.
+        self.stats.for_each_field(|name, value| {
+            snap.push_counter(format!("rvmtl_solver_{name}_total"), "", value as u64);
+        });
         for (arena, stats) in [
             ("query", self.arena.cache_stats()),
             ("worker", self.shared.cache_stats()),

@@ -2,12 +2,17 @@
 //!
 //! A *batch* of consecutive closed segments is processed by a pool of scoped
 //! worker threads sharing one work queue. The unit of work is one `(query,
-//! segment, pending formula)` triple: a worker progresses the formula through
-//! a [`SegmentSolver`] over the batch's shared [`ShardedInterner`] and
-//! enqueues each distinct rewritten formula *immediately* as a work item for
-//! the next segment — segment `k + 1` starts progressing a formula as soon as
-//! stage `k` emits it, while other formulas (of any query) are still inside
-//! stage `k`. There is no barrier between stages; the only synchronisation
+//! segment, pending formula)` triple, but workers *drain and solve them in
+//! same-segment batches*: a worker pops an item and takes every queued item
+//! of the same segment along with it (capped to a fair share under
+//! contention), then progresses the whole batch through **one**
+//! [`SegmentSolver`] over the batch's shared [`ShardedInterner`] — the
+//! segment's cache slot is taken and merged back once per batch instead of
+//! once per item, and the solver's pooled work-stack frames and probe
+//! scratch stay warm across the batch. Each distinct rewritten formula is
+//! enqueued *immediately* as a work item for the next segment — segment
+//! `k + 1` starts progressing a formula as soon as stage `k` emits it, while
+//! other formulas (of any query) are still inside stage `k`. There is no barrier between stages; the only synchronisation
 //! points are the shared queue, the per-`(segment, query)` dedup sets that
 //! keep the pending *sets* identical to the sequential union semantics, the
 //! per-segment cache slots, and the output sets of the last segment of the
@@ -168,7 +173,8 @@ pub(crate) fn run_pipeline(
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            handles.push(scope.spawn(|| worker(&state, segments, shared, limit, telemetry)));
+            handles
+                .push(scope.spawn(|| worker(&state, segments, shared, limit, workers, telemetry)));
         }
         for handle in handles {
             // A solve panic is caught *inside* the worker and recorded in
@@ -195,49 +201,141 @@ pub(crate) fn run_pipeline(
     PipelineOutcome { outs, stats, lost }
 }
 
-/// Solves one work item, replaying the per-segment result cache when another
-/// query already solved the same pending formula, and carrying the segment's
-/// solver caches across items otherwise.
-fn solve_item(
+/// Drains a same-segment *batch* of work items from the queue: the first
+/// item plus every queued item of the same segment (relative order
+/// preserved), capped so that a contended queue still leaves work for the
+/// other workers. Returns `None` when the pipeline has drained.
+fn pop_batch(state: &PipelineState, workers: usize) -> Option<Vec<Item>> {
+    let mut queue = lock_recover(&state.queue);
+    loop {
+        if let Some(first) = queue.pop_front() {
+            // Leave roughly a worker's fair share behind when siblings are
+            // competing for the queue (single-worker runs take everything).
+            let cap = (queue.len() + 1).div_ceil(workers.max(1)).max(1);
+            let segment = first.segment;
+            let mut batch = vec![first];
+            let mut keep = VecDeque::with_capacity(queue.len());
+            while let Some(item) = queue.pop_front() {
+                if batch.len() < cap && item.segment == segment {
+                    batch.push(item);
+                } else {
+                    keep.push_back(item);
+                }
+            }
+            *queue = keep;
+            return Some(batch);
+        }
+        if state.open.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        queue = state
+            .ready
+            .wait(queue)
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// Solves one same-segment batch of work items through a *single*
+/// [`SegmentSolver`]: the segment's cache slot is taken once, every item of
+/// the batch progresses through the warm solver (frames, probe scratch and
+/// memo stay hot), and the caches are merged back once — instead of one
+/// take/solve/merge round-trip per `(query, segment, formula)` item. Items
+/// whose pending formula was already solved by another query replay the
+/// per-segment result cache without touching the solver.
+///
+/// Returns one outcome per item, in order: `Some(rewrites)` or `None` for an
+/// item whose solve panicked. A panic is isolated to its item — the poisoned
+/// solver (and the caches it held) is discarded, exactly like the previous
+/// per-item path, and the remaining items of the batch continue on a fresh
+/// solver.
+fn solve_batch(
     state: &PipelineState,
     segments: &[(DistributedComputation, u64)],
     shared: &ShardedInterner,
     limit: Option<usize>,
-    item: &Item,
-) -> BTreeSet<FormulaId> {
-    if let Some(cached) = lock_recover(&state.results[item.segment]).get(&item.psi) {
-        return cached.clone();
-    }
-    let (segment, anchor) = &segments[item.segment];
-    let caches = lock_recover(&state.caches[item.segment])
-        .take()
-        .unwrap_or_else(|| SegmentCaches::new(segment));
-    let mut handle = shared;
-    let mut solver = SegmentSolver::with_caches(segment, *anchor, &mut handle, caches);
-    if let Some(l) = limit {
-        solver = solver.with_limit(l);
-    }
-    let result = solver.progress(item.psi);
-    let caches = solver.into_caches();
-    {
-        let mut slot = lock_recover(&state.caches[item.segment]);
+    items: &[Item],
+    telemetry: &PipelineTelemetry,
+) -> Vec<Option<BTreeSet<FormulaId>>> {
+    let seg_ix = items[0].segment;
+    let (segment, anchor) = &segments[seg_ix];
+    let mut outcomes: Vec<Option<BTreeSet<FormulaId>>> = Vec::with_capacity(items.len());
+    while outcomes.len() < items.len() {
+        // Replay-cache fast path: no solver needed.
+        {
+            let results = lock_recover(&state.results[seg_ix]);
+            while outcomes.len() < items.len() {
+                match results.get(&items[outcomes.len()].psi) {
+                    Some(cached) => outcomes.push(Some(cached.clone())),
+                    None => break,
+                }
+            }
+        }
+        if outcomes.len() == items.len() {
+            break;
+        }
+        // Build one solver for the remaining run of the batch.
+        let caches = lock_recover(&state.caches[seg_ix])
+            .take()
+            .unwrap_or_else(|| SegmentCaches::new(segment));
+        let mut handle = shared;
+        let mut solver = SegmentSolver::with_caches(segment, *anchor, &mut handle, caches);
+        if let Some(l) = limit {
+            solver = solver.with_limit(l);
+        }
+        let mut poisoned = false;
+        while outcomes.len() < items.len() && !poisoned {
+            let item = &items[outcomes.len()];
+            if let Some(cached) = lock_recover(&state.results[seg_ix]).get(&item.psi) {
+                outcomes.push(Some(cached.clone()));
+                continue;
+            }
+            // Isolate the solve: a panicking query loses this one item while
+            // every other item — including the same query's siblings —
+            // proceeds untouched.
+            let timer = telemetry.work_item.is_enabled().then(Stopwatch::start);
+            let solved = catch_unwind(AssertUnwindSafe(|| solver.progress(item.psi)));
+            if let Some(timer) = timer {
+                let nanos = timer.elapsed_nanos();
+                telemetry.work_item.record(nanos);
+                telemetry.busy.add(nanos);
+            }
+            match solved {
+                Ok(result) => {
+                    // Publish result and stats atomically: two workers may
+                    // race the same (segment, formula) item past the lookup
+                    // above and both solve it (the duplicate search is benign
+                    // — results are deterministic), but only the one that
+                    // first publishes accounts its statistics, so the
+                    // aggregated counters stay those of one solve per
+                    // distinct item.
+                    let won = lock_recover(&state.results[seg_ix])
+                        .insert(item.psi, result.formulas.clone())
+                        .is_none();
+                    if won {
+                        lock_recover(&state.stats).absorb(&result.stats);
+                    }
+                    outcomes.push(Some(result.formulas));
+                }
+                Err(_) => {
+                    outcomes.push(None);
+                    poisoned = true;
+                }
+            }
+        }
+        if poisoned {
+            // The solver may have panicked mid-search; its state (and the
+            // caches it took) is not trusted — dropped here, same as the old
+            // per-item path, which lost the taken caches on a panic too.
+            continue;
+        }
+        let caches = solver.into_caches();
+        let mut slot = lock_recover(&state.caches[seg_ix]);
         match slot.as_mut() {
             Some(existing) => existing.absorb(caches),
             None => *slot = Some(caches),
         }
     }
-    // Publish result and stats atomically: two workers may race the same
-    // (segment, formula) item past the lookup above and both solve it (the
-    // duplicate search is benign — results are deterministic), but only the
-    // one that first publishes accounts its statistics, so the aggregated
-    // counters stay those of one solve per distinct item.
-    let won = lock_recover(&state.results[item.segment])
-        .insert(item.psi, result.formulas.clone())
-        .is_none();
-    if won {
-        lock_recover(&state.stats).absorb(&result.stats);
-    }
-    result.formulas
+    outcomes
 }
 
 fn worker(
@@ -245,83 +343,62 @@ fn worker(
     segments: &[(DistributedComputation, u64)],
     shared: &ShardedInterner,
     limit: Option<usize>,
+    workers: usize,
     telemetry: &PipelineTelemetry,
 ) {
     loop {
-        let item = {
-            let mut queue = lock_recover(&state.queue);
-            loop {
-                if let Some(item) = queue.pop_front() {
-                    break Some(item);
-                }
-                if state.open.load(Ordering::Acquire) == 0 {
-                    break None;
-                }
-                queue = state
-                    .ready
-                    .wait(queue)
-                    .unwrap_or_else(PoisonError::into_inner);
-            }
-        };
-        let Some(item) = item else {
+        let Some(batch) = pop_batch(state, workers) else {
             // Everything drained: wake any sibling still waiting.
             state.ready.notify_all();
             return;
         };
 
-        // Isolate the solve: a panicking query loses this one item (recorded
-        // in `state.lost`, no rewrites fanned out) while every other item —
-        // including the same query's siblings — proceeds untouched.
-        let timer = telemetry.work_item.is_enabled().then(Stopwatch::start);
-        let solved = catch_unwind(AssertUnwindSafe(|| {
-            solve_item(state, segments, shared, limit, &item)
-        }));
-        if let Some(timer) = timer {
-            let nanos = timer.elapsed_nanos();
-            telemetry.work_item.record(nanos);
-            telemetry.busy.add(nanos);
+        let batch_timer = telemetry.segment_batch.is_enabled().then(Stopwatch::start);
+        let outcomes = solve_batch(state, segments, shared, limit, &batch, telemetry);
+        if let Some(timer) = batch_timer {
+            telemetry.segment_batch.record(timer.elapsed_nanos());
         }
-        let formulas = match solved {
-            Ok(formulas) => formulas,
-            Err(_) => {
+
+        for (item, outcome) in batch.iter().zip(outcomes) {
+            let Some(formulas) = outcome else {
                 lock_recover(&state.lost).push((item.query, item.psi));
                 if state.open.fetch_sub(1, Ordering::AcqRel) == 1 {
                     state.ready.notify_all();
                 }
                 continue;
-            }
-        };
-
-        let next_segment = item.segment + 1;
-        if next_segment < segments.len() {
-            // Hand each fresh rewrite to the next stage immediately.
-            let fresh: Vec<FormulaId> = {
-                let mut seen = lock_recover(&state.seen[next_segment][item.query]);
-                formulas
-                    .into_iter()
-                    .filter(|&psi| seen.insert(psi))
-                    .collect()
             };
-            if !fresh.is_empty() {
-                let mut queue = lock_recover(&state.queue);
-                for psi in fresh {
-                    state.open.fetch_add(1, Ordering::AcqRel);
-                    queue.push_back(Item {
-                        query: item.query,
-                        segment: next_segment,
-                        psi,
-                    });
+
+            let next_segment = item.segment + 1;
+            if next_segment < segments.len() {
+                // Hand each fresh rewrite to the next stage immediately.
+                let fresh: Vec<FormulaId> = {
+                    let mut seen = lock_recover(&state.seen[next_segment][item.query]);
+                    formulas
+                        .into_iter()
+                        .filter(|&psi| seen.insert(psi))
+                        .collect()
+                };
+                if !fresh.is_empty() {
+                    let mut queue = lock_recover(&state.queue);
+                    for psi in fresh {
+                        state.open.fetch_add(1, Ordering::AcqRel);
+                        queue.push_back(Item {
+                            query: item.query,
+                            segment: next_segment,
+                            psi,
+                        });
+                    }
+                    drop(queue);
+                    state.ready.notify_all();
                 }
-                drop(queue);
+            } else {
+                lock_recover(&state.outs[item.query]).extend(formulas);
+            }
+
+            if state.open.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last open item: release every waiting sibling.
                 state.ready.notify_all();
             }
-        } else {
-            lock_recover(&state.outs[item.query]).extend(formulas);
-        }
-
-        if state.open.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // Last open item: release every waiting sibling.
-            state.ready.notify_all();
         }
     }
 }

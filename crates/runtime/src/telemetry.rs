@@ -41,6 +41,10 @@ pub(crate) struct RuntimeMetrics {
     /// Wall time of one `(query, segment, pending formula)` work item (ns),
     /// recorded on both execution paths.
     pub(crate) work_item: Histogram,
+    /// Wall time of one same-segment *batch* of work items drained by a
+    /// pipeline worker and solved through a single solver instance (ns) —
+    /// the unit the data-oriented solver core is fed in.
+    pub(crate) segment_batch: Histogram,
     /// Total nanoseconds pipeline workers spent solving items (summed across
     /// workers; compare against `pipeline_wall × workers` for idle time).
     pub(crate) pipeline_busy: Counter,
@@ -69,6 +73,7 @@ impl RuntimeMetrics {
             gc_pause: registry.histogram("rvmtl_gc_pause_nanos", ""),
             checkpoint_write: registry.histogram("rvmtl_checkpoint_write_nanos", ""),
             work_item: registry.histogram("rvmtl_work_item_nanos", ""),
+            segment_batch: registry.histogram("rvmtl_pipeline_segment_batch_nanos", ""),
             pipeline_busy: registry.counter("rvmtl_pipeline_busy_nanos_total", ""),
             pipeline_wall: registry.counter("rvmtl_pipeline_wall_nanos_total", ""),
             registry,
@@ -98,6 +103,8 @@ impl RuntimeMetrics {
 pub(crate) struct PipelineTelemetry {
     /// Per-work-item wall time (ns).
     pub(crate) work_item: Histogram,
+    /// Per same-segment batch wall time (ns).
+    pub(crate) segment_batch: Histogram,
     /// Summed worker solve nanoseconds.
     pub(crate) busy: Counter,
 }
@@ -107,6 +114,7 @@ impl RuntimeMetrics {
     pub(crate) fn pipeline_slice(&self) -> PipelineTelemetry {
         PipelineTelemetry {
             work_item: self.work_item.clone(),
+            segment_batch: self.segment_batch.clone(),
             busy: self.pipeline_busy.clone(),
         }
     }

@@ -170,6 +170,61 @@
 //!   `bench_snapshot --check` gate pins the counters of every sweep against
 //!   `BENCH_PINS.json`.
 //!
+//! # Data-oriented core
+//!
+//! The representation work above fixes *what* the hot loop touches (packed
+//! keys, fused metadata, cached derived data); the work-stack engine
+//! ([`ExploreEngine::WorkStack`], the default) additionally fixes *how* it
+//! touches it, replacing the recursive explorer with an explicit stack of
+//! pooled per-depth frames over struct-of-arrays sibling batches:
+//!
+//! * **Flat frontier batches.** When a node is progressed against one
+//!   enabled event, the admissible window's residual ranges are flattened
+//!   into three parallel arrays — pending times, residual ids, merged range
+//!   widths — held in the node's pooled frame. All sibling children of one
+//!   cut rank therefore live contiguously and are activated by index, with
+//!   no per-child allocation: cuts are rewritten in place per depth
+//!   ([`rvmtl_distrib::Cut::extended_into`]), and frames/cut/scratch buffers
+//!   are pooled in [`SegmentCaches`] across every progression of a segment.
+//! * **Batched cache probes.** The per-tick progression-cache lookups of a
+//!   window are issued as *one* contiguous walk per `(node, event)` batch
+//!   ([`rvmtl_mtl::ArenaOps::progress_one_over_batched`] /
+//!   [`rvmtl_mtl::ArenaOps::progress_gap_over_batched`]): keys for the whole
+//!   window are packed first, probed together (on the sharded arena a run of
+//!   same-shard keys takes the shard lock once instead of once per tick),
+//!   and the misses are resolved together afterwards. Within one batch all
+//!   packed keys are distinct — the shift-relative key coordinate strictly
+//!   increases across the run and the horizon clamp is reached only at the
+//!   final tick — so probe-all-then-resolve observes exactly the hit/miss
+//!   tallies of the interleaved scalar loop, which keeps the cache counters
+//!   pinnable. The zone rewrite is likewise amortised: siblings sharing a
+//!   canonical residual are batch entries of one splitter call, not repeated
+//!   `normalize` walks.
+//! * **Staged memo slots.** The search memo is an open-addressed table
+//!   whose miss probe returns the slot the key would occupy
+//!   (`MemoTable::probe`); the completion insert redeems that slot without a
+//!   second hash walk, so each `(rank, time, formula)` triple is hashed once
+//!   per node instead of once at activation and once at completion.
+//! * **Union-of-contributions survives batching** because batching changes
+//!   only the *schedule* of the same edges, not their set: the driver
+//!   activates batch entries in the order the recursive engine would have
+//!   recursed (events in enabled order, ranges in window order, ticks within
+//!   a range in time order), counts merged range widths at the same points,
+//!   and assembles each node's contribution set in the same single pass
+//!   (children deposit into the parent frame's sink). The retained
+//!   recursive engine ([`ExploreEngine::Reference`]) runs the identical
+//!   search through the same batched splitters; the `engine_differential`
+//!   suite pins verdict sets *and* full [`SolverStats`] equality between
+//!   the two across ε sweeps, property suites and both arenas, and the
+//!   `--abtest` mode of `bench_snapshot` measures the ns/state gap between
+//!   them under interleaved rounds.
+//!
+//! The batch shape itself is pinned: [`SolverStats::frontier_batches`] (one
+//! per `(node, event)` expansion with a non-empty clipped window) and
+//! [`SolverStats::batched_probe_ticks`] (per-tick probes issued through the
+//! batched entry points) are structural counts, identical across engines
+//! and recorded in `BENCH_PINS.json` like every other search-shape counter.
+//!
 //! The search-shape counters ([`SolverStats`], including the
 //! interval-abstraction counters `time_splits` / `merged_time_points` and
 //! the zone counter `shift_normalized_nodes`) are pinned on Fig. 3-style
@@ -182,10 +237,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod instance;
+mod memo;
 mod progression;
 
 pub use instance::{CheckResult, Model, SolverInstance};
 pub use progression::{
-    distinct_progressions, exists_verdict, finalize, possible_verdicts, InternedProgression,
-    ProgressionQuery, ProgressionResult, SegmentCaches, SegmentSolver, SolverStats,
+    distinct_progressions, exists_verdict, finalize, possible_verdicts, ExploreEngine,
+    InternedProgression, ProgressionQuery, ProgressionResult, SegmentCaches, SegmentSolver,
+    SolverStats,
 };

@@ -52,70 +52,122 @@
 //!   computed once per cut rank and shared across all time steps and pending
 //!   formulas that visit the cut.
 
+use crate::memo::{MemoProbe, MemoTable, StagedSlot};
 use rvmtl_distrib::{Cut, DistributedComputation, EventId};
 use rvmtl_mtl::hashing::FxHashMap;
 use rvmtl_mtl::{
-    evaluate, ArenaOps, Formula, FormulaId, Interner, RangeKind, StateKey, TimedTrace,
+    evaluate, ArenaOps, Formula, FormulaId, Interner, ProbeScratch, RangeKind, SplitRange,
+    StateKey, TimedTrace,
 };
 use std::collections::BTreeSet;
+use std::mem;
 use std::sync::Arc;
 
-/// Counters describing the work performed by a query — useful for the
-/// scalability experiments and for regression-testing the memoisation.
+/// Which exploration engine a solver runs.
+///
+/// Both engines execute the *same* search — identical verdict sets and
+/// identical [`SolverStats`] on every input, which the `engine_differential`
+/// suite asserts across ε sweeps, property suites and both arenas. They
+/// differ only in how the search tree is traversed:
+///
+/// * [`ExploreEngine::WorkStack`] (the default) — the data-oriented core: an
+///   explicit work stack over struct-of-arrays frontier batches, batched
+///   cache probes, pooled per-depth buffers and staged memo slots (see the
+///   crate-level "Data-oriented core" section).
+/// * [`ExploreEngine::Reference`] — the retained recursive explorer, kept as
+///   the differential baseline and the `--abtest` comparison engine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SolverStats {
+pub enum ExploreEngine {
+    /// Flat work-stack engine over frontier batches (default).
+    #[default]
+    WorkStack,
+    /// Recursive reference engine (differential baseline).
+    Reference,
+}
+
+/// Generates [`SolverStats`] together with its element-wise combinators from
+/// **one** field list, so a counter added here is automatically covered by
+/// [`SolverStats::absorb`], [`SolverStats::delta_since`] and
+/// [`SolverStats::for_each_field`]. (The previous hand-written `delta_since`
+/// silently read 0 for any counter it forgot — a bug class this macro removes
+/// structurally; `stats_combinators_cover_every_field` pins it.)
+macro_rules! solver_stats {
+    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+        /// Counters describing the work performed by a query — useful for the
+        /// scalability experiments and for regression-testing the memoisation.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct SolverStats {
+            $($(#[$doc])* pub $field: usize,)+
+        }
+
+        impl SolverStats {
+            /// Adds the counters of `other` into `self` (used by the monitor
+            /// to aggregate per-segment statistics).
+            pub fn absorb(&mut self, other: &SolverStats) {
+                $(self.$field += other.$field;)+
+            }
+
+            /// The element-wise difference `self − other` (used to carve the
+            /// stats of one query out of a solver's cumulative counters).
+            pub fn delta_since(&self, other: &SolverStats) -> SolverStats {
+                SolverStats {
+                    $($field: self.$field - other.$field,)+
+                }
+            }
+
+            /// Visits every counter as a `(name, value)` pair, in declaration
+            /// order. This is the introspection hook the bench pins and the
+            /// telemetry bridge build on: a counter added to the macro list
+            /// shows up everywhere without further plumbing.
+            pub fn for_each_field(&self, mut f: impl FnMut(&'static str, usize)) {
+                $(f(stringify!($field), self.$field);)+
+            }
+
+            /// Mutable counterpart of [`SolverStats::for_each_field`] (used
+            /// by the coverage unit test to fill every field with a distinct
+            /// nonzero value without naming the fields).
+            pub fn for_each_field_mut(&mut self, mut f: impl FnMut(&'static str, &mut usize)) {
+                $(f(stringify!($field), &mut self.$field);)+
+            }
+        }
+    };
+}
+
+solver_stats! {
     /// Number of distinct search states explored.
-    pub explored_states: usize,
+    explored_states,
     /// Number of memoisation hits.
-    pub memo_hits: usize,
+    memo_hits,
     /// Number of complete cut sequences reached.
-    pub completed_sequences: usize,
+    completed_sequences,
     /// Number of branches cut off early because the pending formula had
     /// already collapsed to a constant verdict.
-    pub constant_cutoffs: usize,
+    constant_cutoffs,
     /// Number of residual-constant time ranges produced by the
     /// interval-splitting progression (one per `(node, event, residual)`
     /// instead of one per `(node, event, tick)`).
-    pub time_splits: usize,
+    time_splits,
     /// Number of admissible occurrence times that were *not* explored as
     /// separate search states because their range collapsed to its canonical
     /// earliest point (the per-tick engine would have explored each of them).
     /// Counts both time-invariant uniform ranges and shift-normal translated
     /// ranges.
-    pub merged_time_points: usize,
+    merged_time_points,
     /// Number of search nodes that were rewritten to their shift-normal zone
     /// representative before the memo lookup (pending time advanced toward
     /// the first live window, pending formula translated down in step), so a
     /// memo entry earned at one absolute time is a hit at every translate.
-    pub shift_normalized_nodes: usize,
-}
-
-impl SolverStats {
-    /// Adds the counters of `other` into `self` (used by the monitor to
-    /// aggregate per-segment statistics).
-    pub fn absorb(&mut self, other: &SolverStats) {
-        self.explored_states += other.explored_states;
-        self.memo_hits += other.memo_hits;
-        self.completed_sequences += other.completed_sequences;
-        self.constant_cutoffs += other.constant_cutoffs;
-        self.time_splits += other.time_splits;
-        self.merged_time_points += other.merged_time_points;
-        self.shift_normalized_nodes += other.shift_normalized_nodes;
-    }
-
-    /// The element-wise difference `self − other` (used to carve the stats of
-    /// one query out of a solver's cumulative counters).
-    pub fn delta_since(&self, other: &SolverStats) -> SolverStats {
-        SolverStats {
-            explored_states: self.explored_states - other.explored_states,
-            memo_hits: self.memo_hits - other.memo_hits,
-            completed_sequences: self.completed_sequences - other.completed_sequences,
-            constant_cutoffs: self.constant_cutoffs - other.constant_cutoffs,
-            time_splits: self.time_splits - other.time_splits,
-            merged_time_points: self.merged_time_points - other.merged_time_points,
-            shift_normalized_nodes: self.shift_normalized_nodes - other.shift_normalized_nodes,
-        }
-    }
+    shift_normalized_nodes,
+    /// Number of sibling frontier batches progressed against one event in a
+    /// single pass: one per `(search node, enabled event)` pair with a
+    /// non-empty admissible window. Structural — both explore engines count
+    /// the same expansions, so the figure is pinnable.
+    frontier_batches,
+    /// Number of per-tick cache probes issued through the batched splitter
+    /// entry points (`progress_one_over_batched` / `progress_gap_over_batched`
+    /// — one contiguous hash-table walk per batch instead of one per tick).
+    /// Structural, like `frontier_batches`.
+    batched_probe_ticks,
 }
 
 /// The result of a progression query on one segment: the set of distinct
@@ -155,6 +207,8 @@ pub struct ProgressionQuery<'a> {
     /// Stop after this many distinct rewritten formulas have been found
     /// (`usize::MAX` for no limit).
     limit: usize,
+    /// Which exploration engine runs the search.
+    engine: ExploreEngine,
 }
 
 impl<'a> ProgressionQuery<'a> {
@@ -166,7 +220,16 @@ impl<'a> ProgressionQuery<'a> {
             comp,
             next_anchor,
             limit: usize::MAX,
+            engine: ExploreEngine::default(),
         }
+    }
+
+    /// Selects the exploration engine (default: [`ExploreEngine::WorkStack`]).
+    /// Both engines produce identical results and statistics; the reference
+    /// engine exists as a differential baseline and A/B comparison point.
+    pub fn with_engine(mut self, engine: ExploreEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Limits the number of distinct rewritten formulas to search for; the
@@ -195,6 +258,7 @@ impl<'a> ProgressionQuery<'a> {
         let mut interner = Interner::new();
         let psi = interner.intern(phi);
         let mut engine = Engine::new(self.comp, self.next_anchor, self.limit, &mut interner);
+        engine.mode = self.engine;
         engine.run(psi, &mut |_, _| false);
         let (found, stats) = engine.into_parts();
         ProgressionResult {
@@ -278,6 +342,14 @@ impl<'a, 'i, A: ArenaOps> SegmentSolver<'a, 'i, A> {
             "SegmentSolver::with_limit: the solution limit must be at least 1"
         );
         self.engine.limit = limit;
+        self
+    }
+
+    /// Selects the exploration engine (default: [`ExploreEngine::WorkStack`]).
+    /// Both engines produce identical results and statistics; the reference
+    /// engine exists as a differential baseline and A/B comparison point.
+    pub fn with_engine(mut self, engine: ExploreEngine) -> Self {
+        self.engine.mode = engine;
         self
     }
 
@@ -384,8 +456,10 @@ pub struct SegmentCaches {
     /// Contribution sets per node, stored as sorted deduplicated boxed
     /// slices (the sets are tiny for most nodes; a flat slice beats a tree
     /// set on both build and replay, and `Box` keeps the caches `Send` so
-    /// pipeline workers can hand them around).
-    memo: FxHashMap<NodeKey, Box<[FormulaId]>>,
+    /// pipeline workers can hand them around). The open-addressed
+    /// [`MemoTable`] folds the activation lookup and the completion insert
+    /// into a single hash walk per node via staged slots.
+    memo: MemoTable<NodeKey, Box<[FormulaId]>>,
     feasibility: FxHashMap<(u128, u64), bool>,
     /// `cut.enabled()` per cut rank.
     enabled_cache: FxHashMap<u128, Arc<[EventId]>>,
@@ -396,6 +470,13 @@ pub struct SegmentCaches {
     /// rank — the bound up to which a node's pending time can be advanced
     /// without changing its children (see [`Engine::canonical_node`]).
     min_lo_cache: FxHashMap<u128, u64>,
+    /// Key/result buffers of the batched probe splitters, pooled across
+    /// every progression of the segment (scratch, never merged by `absorb`).
+    probe: ProbeScratch,
+    /// Residual ranges of the event currently being progressed (scratch).
+    splits: Vec<SplitRange>,
+    /// Pooled per-depth frames and cuts of the work-stack engine (scratch).
+    stack: StackScratch,
 }
 
 impl SegmentCaches {
@@ -403,11 +484,14 @@ impl SegmentCaches {
     pub fn new(comp: &DistributedComputation) -> Self {
         SegmentCaches {
             ranker: CutRanker::new(comp),
-            memo: FxHashMap::default(),
+            memo: MemoTable::default(),
             feasibility: FxHashMap::default(),
             enabled_cache: FxHashMap::default(),
             frontier_cache: FxHashMap::default(),
             min_lo_cache: FxHashMap::default(),
+            probe: ProbeScratch::default(),
+            splits: Vec::new(),
+            stack: StackScratch::default(),
         }
     }
 
@@ -422,11 +506,14 @@ impl SegmentCaches {
         {
             return;
         }
-        self.memo.extend(other.memo);
+        for (key, value) in other.memo.into_entries() {
+            self.memo.insert(key, value);
+        }
         self.feasibility.extend(other.feasibility);
         self.enabled_cache.extend(other.enabled_cache);
         self.frontier_cache.extend(other.frontier_cache);
         self.min_lo_cache.extend(other.min_lo_cache);
+        // `other`'s probe/splits/stack scratch carries no results — dropped.
     }
 
     /// Number of memoised search nodes (diagnostic).
@@ -485,6 +572,118 @@ impl CutRanker {
     }
 }
 
+/// One level of the work-stack engine: a search node mid-expansion holding
+/// the flat struct-of-arrays batch of sibling children produced for the
+/// event currently being progressed. Frames are pooled per depth in
+/// [`StackScratch`] and reinitialised in place, so steady-state descent
+/// allocates nothing.
+struct Frame {
+    /// Cut rank of the node (the cut itself lives at the same index of the
+    /// parallel `StackScratch::cuts` array).
+    rank: u128,
+    /// Canonical pending time of the node.
+    time: u64,
+    /// Canonical pending formula of the node.
+    psi: FormulaId,
+    /// Memo slot reserved at activation, redeemed at completion.
+    slot: StagedSlot,
+    /// Whether the node's cut is empty (gap progression) or not (frontier
+    /// progression).
+    empty_cut: bool,
+    /// The node's enabled events.
+    enabled: Arc<[EventId]>,
+    /// Next enabled event to progress against.
+    event_ix: usize,
+    /// Rank of the child cut for the event currently batched.
+    next_rank: u128,
+    /// SoA sibling batch for the current event: canonical pending times…
+    batch_times: Vec<u64>,
+    /// …residual pending formulas…
+    batch_ids: Vec<FormulaId>,
+    /// …and merged-away time points per sibling (the width of the range the
+    /// sibling canonically represents; 0 for per-tick children).
+    batch_merged: Vec<u64>,
+    /// Next sibling of the batch to activate.
+    child_ix: usize,
+    /// The node's contribution set, assembled as its children finish.
+    local: Vec<FormulaId>,
+}
+
+impl Frame {
+    fn new() -> Self {
+        Frame {
+            rank: 0,
+            time: 0,
+            psi: FormulaId::TRUE,
+            slot: StagedSlot::invalid(),
+            empty_cut: true,
+            enabled: Vec::new().into(),
+            event_ix: 0,
+            next_rank: 0,
+            batch_times: Vec::new(),
+            batch_ids: Vec::new(),
+            batch_merged: Vec::new(),
+            child_ix: 0,
+            local: Vec::new(),
+        }
+    }
+}
+
+/// The pooled per-depth state of the work-stack engine: one [`Frame`] and one
+/// [`Cut`] per search depth, grown on first use and reused across every
+/// progression of the segment.
+///
+/// Invariant: `cuts[0]` is the empty cut and is never rewritten — the driver
+/// only ever writes `cuts[depth + 1]` (via [`Cut::extended_into`]), and depth
+/// starts at 0.
+#[derive(Default)]
+struct StackScratch {
+    frames: Vec<Frame>,
+    cuts: Vec<Cut>,
+}
+
+impl StackScratch {
+    /// Ensures depth `depth + 1` (a frame and cut for both the level and its
+    /// child) exists.
+    fn ensure_levels(&mut self, depth: usize, process_count: usize) {
+        while self.frames.len() < depth + 2 {
+            self.frames.push(Frame::new());
+        }
+        while self.cuts.len() < depth + 2 {
+            self.cuts.push(Cut::empty(process_count));
+        }
+    }
+}
+
+/// Outcome of activating a search node in the work-stack engine.
+enum Activation {
+    /// The node resolved without descending (memo hit, constant cutoff, dead
+    /// branch or completed sequence); the flag is the node's stop signal
+    /// (`stop` accepted a formula or the limit was reached).
+    Finished(bool),
+    /// The node initialised its frame and the driver must descend into it.
+    Descended,
+}
+
+/// One driver-loop action, computed inside the borrow region over the split
+/// frame/cut arrays and executed after those borrows end.
+enum Action {
+    /// Nothing to do (empty window, sibling handed off, batch refilled).
+    Advance,
+    /// A child frame was initialised; descend.
+    Descend,
+    /// The frame at the current depth finished without stopping; pop.
+    Pop,
+    /// The root frame finished with the given stop signal.
+    Return(bool),
+    /// A stop signal fired at the current depth; unwind raw contribution
+    /// sets from `depth` to the root and return `true`.
+    Unwind,
+    /// The frame at the current depth finished *with* a stop signal: pop
+    /// first, then unwind from the parent.
+    PopUnwind,
+}
+
 struct Engine<'a, 'i, A: ArenaOps> {
     comp: &'a DistributedComputation,
     next_anchor: u64,
@@ -497,6 +696,8 @@ struct Engine<'a, 'i, A: ArenaOps> {
     caches: SegmentCaches,
     stats: SolverStats,
     found: BTreeSet<FormulaId>,
+    /// Which traversal runs the search (see [`ExploreEngine`]).
+    mode: ExploreEngine,
 }
 
 /// Early-stop predicate over found formulas; receives the arena so it can
@@ -528,23 +729,29 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
             caches,
             stats: SolverStats::default(),
             found: BTreeSet::new(),
+            mode: ExploreEngine::default(),
         }
     }
 
     /// Explores the full search space for `psi`. Returns `true` if `stop`
     /// accepted a formula (or the limit was reached) before exhaustion.
     fn run(&mut self, psi: FormulaId, stop: &mut StopFn<'_, A>) -> bool {
-        let initial_cut = Cut::empty(self.comp.process_count());
-        let root = self.caches.ranker.root();
         let mut sink = Vec::new();
-        self.explore(
-            &initial_cut,
-            root,
-            self.comp.base_time(),
-            psi,
-            stop,
-            &mut sink,
-        )
+        match self.mode {
+            ExploreEngine::WorkStack => self.run_stack(psi, stop, &mut sink),
+            ExploreEngine::Reference => {
+                let initial_cut = Cut::empty(self.comp.process_count());
+                let root = self.caches.ranker.root();
+                self.explore(
+                    &initial_cut,
+                    root,
+                    self.comp.base_time(),
+                    psi,
+                    stop,
+                    &mut sink,
+                )
+            }
+        }
     }
 
     fn into_parts(self) -> (BTreeSet<FormulaId>, SolverStats) {
@@ -835,17 +1042,35 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
                     self.caches
                         .ranker
                         .child(rank, &next_cut, self.comp.event(event).process.0);
-                // One progression call per distinct residual of the window,
-                // not one per admissible tick.
-                let splits = if cut.size() == 0 {
+                // One batched splitter call per (node, event): the cache
+                // probes for the whole admissible window are issued as one
+                // contiguous walk, misses resolved together.
+                let mut splits: Vec<SplitRange> = Vec::new();
+                let probes = if cut.size() == 0 {
                     // No observation is pending yet: only time has passed
                     // since the formula's (canonical) anchor.
-                    self.interner.progress_gap_over(psi, pending_time, lo, hi)
+                    self.interner.progress_gap_over_batched(
+                        psi,
+                        pending_time,
+                        lo,
+                        hi,
+                        &mut self.caches.probe,
+                        &mut splits,
+                    )
                 } else {
                     let key = self.frontier(cut, rank);
-                    self.interner
-                        .progress_one_over_keyed(key, pending_time, psi, lo, hi)
+                    self.interner.progress_one_over_batched(
+                        key,
+                        pending_time,
+                        psi,
+                        lo,
+                        hi,
+                        &mut self.caches.probe,
+                        &mut splits,
+                    )
                 };
+                self.stats.frontier_batches += 1;
+                self.stats.batched_probe_ticks += probes;
                 self.stats.time_splits += splits.len();
                 for range in splits {
                     let collapse = range.kind == RangeKind::Translated
@@ -903,6 +1128,305 @@ impl<'a, 'i, A: ArenaOps> Engine<'a, 'i, A> {
         sink.extend(local.iter().copied());
         self.caches.memo.insert(key, local.into());
         stopped || self.found.len() >= self.limit
+    }
+
+    /// Work-stack traversal: the same search as [`Engine::explore`] (same
+    /// visit order, same stats, same memo content) driven by an explicit
+    /// stack of pooled [`Frame`]s instead of recursion. The scratch is taken
+    /// out of the caches for the duration of the run so the driver can split
+    /// its arrays while calling `&mut self` methods.
+    fn run_stack(
+        &mut self,
+        psi: FormulaId,
+        stop: &mut StopFn<'_, A>,
+        sink: &mut Vec<FormulaId>,
+    ) -> bool {
+        let mut scratch = mem::take(&mut self.caches.stack);
+        let stopped = self.drive(&mut scratch, psi, stop, sink);
+        self.caches.stack = scratch;
+        stopped
+    }
+
+    fn drive(
+        &mut self,
+        scratch: &mut StackScratch,
+        psi: FormulaId,
+        stop: &mut StopFn<'_, A>,
+        sink: &mut Vec<FormulaId>,
+    ) -> bool {
+        let process_count = self.comp.process_count();
+        scratch.ensure_levels(0, process_count);
+        let root_rank = self.caches.ranker.root();
+        let base_time = self.comp.base_time();
+        {
+            let root_cut = &scratch.cuts[0];
+            let root_frame = &mut scratch.frames[0];
+            match self.activate(root_cut, root_rank, base_time, psi, stop, sink, root_frame) {
+                Activation::Finished(stopped) => return stopped,
+                Activation::Descended => {}
+            }
+        }
+        let mut depth = 0usize;
+        loop {
+            scratch.ensure_levels(depth, process_count);
+            // Split the pooled arrays around `depth` so the node's cut/frame,
+            // its child's cut/frame and its parent's sink can be borrowed
+            // simultaneously (all disjoint from `self`).
+            let action = {
+                let (cuts_here, cuts_child) = scratch.cuts.split_at_mut(depth + 1);
+                let cut = &cuts_here[depth];
+                let child_cut = &mut cuts_child[0];
+                let (frames_above, frames_here) = scratch.frames.split_at_mut(depth);
+                let (frame, child_frame) = match frames_here {
+                    [frame, child_frame, ..] => (frame, child_frame),
+                    _ => unreachable!("ensure_levels grew the frame pool"),
+                };
+                if frame.child_ix < frame.batch_times.len() {
+                    // Phase A: activate the next sibling of the current
+                    // batch. The range width it canonically represents is
+                    // accounted before activation, exactly where the
+                    // recursive engine counts it.
+                    let i = frame.child_ix;
+                    frame.child_ix += 1;
+                    self.stats.merged_time_points += frame.batch_merged[i] as usize;
+                    match self.activate(
+                        child_cut,
+                        frame.next_rank,
+                        frame.batch_times[i],
+                        frame.batch_ids[i],
+                        stop,
+                        &mut frame.local,
+                        child_frame,
+                    ) {
+                        Activation::Finished(true) => Action::Unwind,
+                        Activation::Finished(false) => Action::Advance,
+                        Activation::Descended => Action::Descend,
+                    }
+                } else if frame.event_ix < frame.enabled.len() {
+                    // Phase B: progress the node against its next enabled
+                    // event and flatten the resulting residual ranges into
+                    // the SoA sibling batch.
+                    let event = frame.enabled[frame.event_ix];
+                    frame.event_ix += 1;
+                    let (lo, hi) = self.comp.time_window(event);
+                    let lo = lo.max(frame.time);
+                    if lo > hi {
+                        Action::Advance
+                    } else {
+                        cut.extended_into(self.comp, event, child_cut);
+                        frame.next_rank = self.caches.ranker.child(
+                            frame.rank,
+                            child_cut,
+                            self.comp.event(event).process.0,
+                        );
+                        let probes = if frame.empty_cut {
+                            self.interner.progress_gap_over_batched(
+                                frame.psi,
+                                frame.time,
+                                lo,
+                                hi,
+                                &mut self.caches.probe,
+                                &mut self.caches.splits,
+                            )
+                        } else {
+                            let key = self.frontier(cut, frame.rank);
+                            self.interner.progress_one_over_batched(
+                                key,
+                                frame.time,
+                                frame.psi,
+                                lo,
+                                hi,
+                                &mut self.caches.probe,
+                                &mut self.caches.splits,
+                            )
+                        };
+                        self.stats.frontier_batches += 1;
+                        self.stats.batched_probe_ticks += probes;
+                        self.stats.time_splits += self.caches.splits.len();
+                        frame.batch_times.clear();
+                        frame.batch_ids.clear();
+                        frame.batch_merged.clear();
+                        frame.child_ix = 0;
+                        for range in self.caches.splits.iter() {
+                            let collapse = range.kind == RangeKind::Translated
+                                || self.interner.is_time_invariant(range.residual);
+                            if collapse {
+                                // The whole range is subsumed by its
+                                // earliest time (see [`Engine::explore`]).
+                                frame.batch_times.push(range.lo);
+                                frame.batch_ids.push(range.residual);
+                                frame.batch_merged.push(range.hi - range.lo);
+                            } else {
+                                for t in range.lo..=range.hi {
+                                    frame.batch_times.push(t);
+                                    frame.batch_ids.push(range.residual);
+                                    frame.batch_merged.push(0);
+                                }
+                            }
+                        }
+                        Action::Advance
+                    }
+                } else {
+                    // Phase C: every event batched and every sibling
+                    // activated — the node's contribution set is complete.
+                    let key: NodeKey = (frame.rank, frame.time, frame.psi);
+                    let parent_sink: &mut Vec<FormulaId> = match frames_above.last_mut() {
+                        Some(parent) => &mut parent.local,
+                        None => &mut *sink,
+                    };
+                    let stopped =
+                        self.finish_node(key, frame.slot, &mut frame.local, parent_sink, stop);
+                    if depth == 0 {
+                        Action::Return(stopped)
+                    } else if stopped {
+                        Action::PopUnwind
+                    } else {
+                        Action::Pop
+                    }
+                }
+            };
+            match action {
+                Action::Advance => {}
+                Action::Descend => depth += 1,
+                Action::Pop => depth -= 1,
+                Action::Return(stopped) => return stopped,
+                Action::Unwind => {
+                    unwind_raw(scratch, depth, sink);
+                    return true;
+                }
+                Action::PopUnwind => {
+                    depth -= 1;
+                    unwind_raw(scratch, depth, sink);
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Activates a search node in the work-stack engine: the limit check,
+    /// zone canonicalisation, staged memo probe and leaf resolution of
+    /// [`Engine::explore`], in the same order. Interior nodes initialise
+    /// `frame` in place and descend.
+    #[allow(clippy::too_many_arguments)]
+    fn activate(
+        &mut self,
+        cut: &Cut,
+        rank: u128,
+        pending_time: u64,
+        psi: FormulaId,
+        stop: &mut StopFn<'_, A>,
+        parent_sink: &mut Vec<FormulaId>,
+        frame: &mut Frame,
+    ) -> Activation {
+        if self.found.len() >= self.limit {
+            return Activation::Finished(true);
+        }
+        let (time, psi) = self.canonical_node(cut, rank, pending_time, psi);
+        let key: NodeKey = (rank, time, psi);
+        // One hash walk serves both the activation lookup and (on a miss)
+        // the completion insert, via the staged slot.
+        let slot = match self.caches.memo.probe(&key) {
+            MemoProbe::Hit(ix) => {
+                self.stats.memo_hits += 1;
+                let cached = self.caches.memo.value(ix);
+                parent_sink.extend(cached.iter().copied());
+                // Field-disjoint borrows: the cached slice lives in
+                // `self.caches`, the replay touches only `found`/`interner`.
+                let (found, interner, limit) = (&mut self.found, &mut *self.interner, self.limit);
+                for &f in cached.iter() {
+                    let hit = stop(interner, f);
+                    found.insert(f);
+                    if hit || found.len() >= limit {
+                        return Activation::Finished(true);
+                    }
+                }
+                return Activation::Finished(false);
+            }
+            MemoProbe::Miss(slot) => slot,
+        };
+        self.stats.explored_states += 1;
+        if psi.is_constant() {
+            frame.local.clear();
+            if self.can_complete(cut, rank, time) {
+                // The verdict can no longer change: every feasible extension
+                // produces the same rewritten formula.
+                self.stats.constant_cutoffs += 1;
+                frame.local.push(psi);
+            }
+            // (An empty set is the dead-branch case: the remaining events
+            // cannot be scheduled, so this partial interleaving corresponds
+            // to no trace at all.)
+            let stopped = self.finish_node(key, slot, &mut frame.local, parent_sink, stop);
+            return Activation::Finished(stopped);
+        }
+        if cut.is_full(self.comp) {
+            self.stats.completed_sequences += 1;
+            let final_formula = self.step(cut, rank, time, psi, self.next_anchor);
+            frame.local.clear();
+            frame.local.push(final_formula);
+            let stopped = self.finish_node(key, slot, &mut frame.local, parent_sink, stop);
+            return Activation::Finished(stopped);
+        }
+        frame.rank = rank;
+        frame.time = time;
+        frame.psi = psi;
+        frame.slot = slot;
+        frame.empty_cut = cut.size() == 0;
+        frame.enabled = self.enabled(cut, rank);
+        frame.event_ix = 0;
+        frame.next_rank = 0;
+        frame.batch_times.clear();
+        frame.batch_ids.clear();
+        frame.batch_merged.clear();
+        frame.child_ix = 0;
+        frame.local.clear();
+        Activation::Descended
+    }
+
+    /// Completes a node: canonicalises its contribution set, scans it
+    /// against `stop`/`found`, hands it to the parent's sink and redeems the
+    /// staged memo slot. Mirrors the tail of [`Engine::explore`] exactly
+    /// (including scanning the full set even after a stop hit — the set is
+    /// complete, so it is memoised either way).
+    fn finish_node(
+        &mut self,
+        key: NodeKey,
+        slot: StagedSlot,
+        local: &mut Vec<FormulaId>,
+        parent_sink: &mut Vec<FormulaId>,
+        stop: &mut StopFn<'_, A>,
+    ) -> bool {
+        local.sort_unstable();
+        local.dedup();
+        let mut stopped = false;
+        for &f in local.iter() {
+            if stop(self.interner, f) {
+                stopped = true;
+            }
+            self.found.insert(f);
+        }
+        parent_sink.extend(local.iter().copied());
+        self.caches
+            .memo
+            .insert_staged(slot, key, local.as_slice().into());
+        stopped || self.found.len() >= self.limit
+    }
+}
+
+/// Drains the raw (unsorted, unmemoised) contribution sets from `from` down
+/// to the root into `sink` — the work-stack analog of the recursive engine's
+/// early-stop path, where every ancestor surfaces what was found so far but
+/// memoises nothing (its set is incomplete).
+fn unwind_raw(scratch: &mut StackScratch, from: usize, sink: &mut Vec<FormulaId>) {
+    let mut depth = from;
+    loop {
+        if depth == 0 {
+            sink.append(&mut scratch.frames[0].local);
+            return;
+        }
+        let (above, here) = scratch.frames.split_at_mut(depth);
+        above[depth - 1].local.append(&mut here[0].local);
+        depth -= 1;
     }
 }
 
@@ -1069,6 +1593,80 @@ mod tests {
         assert_eq!(result.formulas.len(), 1);
         assert!(result.stats.constant_cutoffs >= 1);
         assert_eq!(result.verdicts(), BTreeSet::from([true]));
+    }
+
+    #[test]
+    fn stats_combinators_cover_every_field() {
+        // Fill every counter with a distinct nonzero value *without naming
+        // the fields*, so a counter added to the macro list is covered here
+        // automatically — this is the regression test for the bug class
+        // where `delta_since` forgot a newly added counter.
+        let mut stats = SolverStats::default();
+        let mut next = 1usize;
+        let mut field_count = 0usize;
+        stats.for_each_field_mut(|_, value| {
+            *value = next;
+            next += 1;
+            field_count += 1;
+        });
+        assert!(field_count >= 9, "expected at least 9 counters");
+
+        // delta_since(default) must reproduce every field exactly.
+        assert_eq!(stats.delta_since(&SolverStats::default()), stats);
+        // x.delta_since(x) must be all zeros.
+        assert_eq!(stats.delta_since(&stats), SolverStats::default());
+        // absorb must double every field.
+        let mut doubled = stats;
+        doubled.absorb(&stats);
+        let mut expected_doubled = SolverStats::default();
+        let mut next = 1usize;
+        expected_doubled.for_each_field_mut(|_, value| {
+            *value = 2 * next;
+            next += 1;
+        });
+        assert_eq!(doubled, expected_doubled);
+        // for_each_field must visit the same fields with the same values.
+        let mut seen = Vec::new();
+        stats.for_each_field(|name, value| seen.push((name, value)));
+        assert_eq!(seen.len(), field_count);
+        assert!(seen.iter().any(|&(name, _)| name == "frontier_batches"));
+        assert!(seen.iter().any(|&(name, _)| name == "batched_probe_ticks"));
+    }
+
+    #[test]
+    fn engines_agree_on_results_and_stats() {
+        let comp = fig3(2);
+        for text in ["a U[0,6) b", "G[0,10) (a | b)", "F[0,3) b"] {
+            let phi = parse(text).unwrap();
+            let work_stack = ProgressionQuery::new(&comp, 10)
+                .with_engine(ExploreEngine::WorkStack)
+                .distinct_progressions(&phi);
+            let reference = ProgressionQuery::new(&comp, 10)
+                .with_engine(ExploreEngine::Reference)
+                .distinct_progressions(&phi);
+            assert_eq!(work_stack.formulas, reference.formulas, "formulas: {text}");
+            assert_eq!(work_stack.stats, reference.stats, "stats: {text}");
+            assert!(work_stack.stats.frontier_batches > 0, "batches: {text}");
+            assert!(work_stack.stats.batched_probe_ticks > 0, "probes: {text}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_under_limit_stop() {
+        let comp = fig3(3);
+        let phi = parse("a U[0,6) b").unwrap();
+        for limit in 1..=3usize {
+            let work_stack = ProgressionQuery::new(&comp, 10)
+                .with_limit(limit)
+                .with_engine(ExploreEngine::WorkStack)
+                .distinct_progressions(&phi);
+            let reference = ProgressionQuery::new(&comp, 10)
+                .with_limit(limit)
+                .with_engine(ExploreEngine::Reference)
+                .distinct_progressions(&phi);
+            assert_eq!(work_stack.formulas, reference.formulas, "limit {limit}");
+            assert_eq!(work_stack.stats, reference.stats, "limit {limit}");
+        }
     }
 
     #[test]
