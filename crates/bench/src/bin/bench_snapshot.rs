@@ -40,6 +40,11 @@
 //! line must parse as `name{labels} value` and the core runtime metric
 //! families must be present (the CI telemetry smoke).
 //!
+//! `--wire-smoke` runs the wire-transport gate alone: every wire-replay
+//! scenario captures its delivered schedule to a `.rvw` file and replays it
+//! through `rvmtl-wire`, and the process exits non-zero if any replayed run
+//! diverges from direct in-memory ingestion (the CI wire smoke).
+//!
 //! `--abtest` runs the solver-engine A/B comparison: the retained reference
 //! recursion against the default work-stack engine on the `until_eps16` and
 //! `always_eps16` shift-free fixtures, in *interleaved* rounds (reference
@@ -221,6 +226,39 @@ fn run_checkpoint_smoke() -> ! {
     std::process::exit(0);
 }
 
+/// `--wire-smoke`: run every wire-replay scenario — the fault-storm
+/// schedule captured to a `.rvw` file and drained back through
+/// [`rvmtl_wire::WireSource`] — and fail the process if any replayed run
+/// diverges from direct in-memory ingestion (the CI wire-transport gate;
+/// see `docs/PROTOCOL.md` for the format under test).
+fn run_wire_smoke() -> ! {
+    let mut failed = false;
+    for case in rvmtl_bench::wire_replay_cases() {
+        let run = rvmtl_bench::run_wire_replay_case(&case);
+        let ok = run.replay_identical() && run.stats.decode_errors == 0;
+        eprintln!(
+            "[bench] wire-smoke {} ({}): {} frames, {} wire bytes, {} rejected, {}",
+            case.name,
+            if case.pipelined {
+                "pipelined"
+            } else {
+                "sequential"
+            },
+            run.stats.frames_total(),
+            run.wire_bytes,
+            run.stats.rejected,
+            if ok { "verdict-identical" } else { "DIVERGED" },
+        );
+        failed |= !ok || run.wire_bytes == 0;
+    }
+    if failed {
+        eprintln!("[bench] wire-smoke FAILED: wire replay is not verdict-identical");
+        std::process::exit(1);
+    }
+    eprintln!("[bench] wire-smoke passed");
+    std::process::exit(0);
+}
+
 /// `--scrape-check`: parse a scraped text exposition and fail the process on
 /// any malformed line or missing core metric family.
 fn run_scrape_check(path: &str) -> ! {
@@ -380,6 +418,9 @@ fn main() {
     }
     if args.iter().any(|a| a == "--checkpoint-smoke") {
         run_checkpoint_smoke();
+    }
+    if args.iter().any(|a| a == "--wire-smoke") {
+        run_wire_smoke();
     }
     if args.iter().any(|a| a == "--scrape-check") {
         run_scrape_check(&path_after(&args, "--scrape-check"));

@@ -642,9 +642,199 @@ pub fn run_checkpoint_case(case: &CheckpointCase) -> CheckpointRun {
     }
 }
 
+/// One scenario of the `wire_replay` smoke: the fault-storm workload's
+/// delivered schedule fed once through direct in-memory calls and once
+/// through a `.rvw` wire capture file (header, then `Hello`, per-event
+/// frames, and `End`) drained by [`rvmtl_wire::WireSource`] — across fault
+/// policies and both execution paths. Membership is shared by
+/// `bench_snapshot --wire-smoke` (the CI gate) and the library test.
+pub struct WireReplayCase {
+    /// Row name of the case.
+    pub name: &'static str,
+    /// The ingestion policy both monitors run under (also the `Hello`
+    /// handshake's declared policy).
+    pub policy: FaultPolicy,
+    /// The injected fault mix of the delivered schedule.
+    pub faults: FaultConfig,
+    /// Seed of the deterministic injection.
+    pub seed: u64,
+    /// Replay on the pipelined path (2 workers) instead of sequentially.
+    pub pipelined: bool,
+}
+
+/// The wire-replay scenario grid: each fault policy exercised on both
+/// execution paths, so the smoke covers exact, absorbed and degraded
+/// evidence over the framed transport.
+pub fn wire_replay_cases() -> Vec<WireReplayCase> {
+    let policies = [
+        (
+            "clean_strict",
+            FaultPolicy::Strict,
+            FaultConfig::none(),
+            0xE1A1u64,
+        ),
+        (
+            "dup_dedup",
+            FaultPolicy::Dedup,
+            FaultConfig::duplicates(0.3),
+            0xE1A2,
+        ),
+        (
+            "lossy_best_effort",
+            FaultPolicy::BestEffort,
+            FaultConfig {
+                drop_rate: 0.1,
+                duplicate_rate: 0.1,
+                delay_rate: 0.2,
+                max_delay_slots: 3,
+            },
+            0xE1A3,
+        ),
+    ];
+    let mut cases = Vec::new();
+    for (name, policy, faults, seed) in policies {
+        for pipelined in [false, true] {
+            cases.push(WireReplayCase {
+                name,
+                policy,
+                faults,
+                seed,
+                pipelined,
+            });
+        }
+    }
+    cases
+}
+
+/// The outcome of one wire-replay case: the direct-ingestion report, the
+/// wire-replayed report, and the transport-level accounting.
+pub struct WireReplayRun {
+    /// Report of the monitor fed through direct `observe` calls.
+    pub direct: StreamReport,
+    /// Report of the monitor fed through the `.rvw` capture.
+    pub replayed: StreamReport,
+    /// Size of the capture file in bytes.
+    pub wire_bytes: u64,
+    /// The wire source's frame counters.
+    pub stats: rvmtl_wire::WireStats,
+    /// Whether the case ran pipelined.
+    pub pipelined: bool,
+}
+
+impl WireReplayRun {
+    /// `true` if the wire-replayed run is indistinguishable from direct
+    /// ingestion: verdicts, pending obligations, integrity tags, segment
+    /// count and health always, plus exact [`SolverStats`] equality on the
+    /// sequential path (the pipelined explored/memo split is racy between
+    /// any two runs, wire or not, so there only the deterministic counters
+    /// gate).
+    ///
+    /// [`SolverStats`]: rvmtl_solver::SolverStats
+    pub fn replay_identical(&self) -> bool {
+        let base = self.replayed.verdicts == self.direct.verdicts
+            && self.replayed.pending == self.direct.pending
+            && self.replayed.integrity == self.direct.integrity
+            && self.replayed.segments == self.direct.segments
+            && self.replayed.health == self.direct.health;
+        let stats = if self.pipelined {
+            self.replayed.stats.explored_states + self.replayed.stats.memo_hits
+                == self.direct.stats.explored_states + self.direct.stats.memo_hits
+                && self.replayed.stats.completed_sequences == self.direct.stats.completed_sequences
+        } else {
+            self.replayed.stats == self.direct.stats
+        };
+        base && stats
+    }
+}
+
+/// Runs one wire-replay case: injects the case's faults into the canonical
+/// clean schedule, feeds the delivered arrivals directly into one monitor,
+/// captures the identical arrivals to a `.rvw` file, and drains that file
+/// through [`rvmtl_wire::WireSource`] into a second, identically configured
+/// monitor.
+///
+/// # Panics
+///
+/// Panics if the capture file cannot be written or read back, or if the
+/// capture fails the wire handshake against its own configuration — both
+/// are harness defects, not scenario outcomes.
+pub fn run_wire_replay_case(case: &WireReplayCase) -> WireReplayRun {
+    use rvmtl_wire::{capture_events, Hello, WireSource};
+
+    let (comp, phi) = fault_storm_workload();
+    let clean = StreamEvent::schedule_of(&comp);
+    let faulted = FaultInjector::new(case.seed, case.faults).inject(&clean);
+    let delivered: Vec<StreamEvent> = faulted.events().cloned().collect();
+    let segment_length = (comp.duration().max(1) / DEFAULT_SEGMENTS as u64).max(1);
+    let mut config = StreamConfig::new(segment_length).fault_policy(case.policy);
+    if case.pipelined {
+        config = config.pipelined(Some(2));
+    }
+
+    let mut direct = StreamMonitor::new(comp.process_count(), comp.epsilon(), config.clone());
+    direct.add_query(&phi);
+    for e in &delivered {
+        let _ = direct.observe(e.process, e.time, e.state.clone());
+    }
+    let direct = direct.finish();
+
+    let hello = Hello {
+        epsilon: comp.epsilon(),
+        processes: comp.process_count(),
+        fault_policy: case.policy,
+    };
+    let path = std::env::temp_dir().join(format!(
+        "rvmtl_wire_smoke_{}_{}.rvw",
+        case.name,
+        if case.pipelined {
+            "pipelined"
+        } else {
+            "sequential"
+        }
+    ));
+    let file = std::fs::File::create(&path).expect("create .rvw capture");
+    capture_events(std::io::BufWriter::new(file), &hello, &delivered).expect("write capture");
+    let wire_bytes = std::fs::metadata(&path).expect("stat capture").len();
+
+    let mut replayed = StreamMonitor::new(comp.process_count(), comp.epsilon(), config);
+    replayed.add_query(&phi);
+    let reader = std::io::BufReader::new(std::fs::File::open(&path).expect("open capture"));
+    let mut source = WireSource::new(reader).expect("wire header");
+    source.run(&mut replayed).expect("replay capture");
+    let stats = *source.stats();
+    let _ = std::fs::remove_file(&path);
+
+    WireReplayRun {
+        direct,
+        replayed: replayed.finish(),
+        wire_bytes,
+        stats,
+        pipelined: case.pipelined,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_replay_cases_are_replay_identical() {
+        for case in wire_replay_cases() {
+            let run = run_wire_replay_case(&case);
+            assert!(run.wire_bytes > 0, "{}: empty capture", case.name);
+            assert_eq!(run.stats.decode_errors, 0, "{}", case.name);
+            assert!(
+                run.replay_identical(),
+                "{} ({}): wire replay diverged from direct ingestion",
+                case.name,
+                if case.pipelined {
+                    "pipelined"
+                } else {
+                    "sequential"
+                }
+            );
+        }
+    }
 
     #[test]
     fn checkpoint_cases_restart_and_recover_identically() {

@@ -24,6 +24,9 @@
 //! what the differential tests compare degraded verdicts against.
 
 use crate::{DistributedComputation, EventId};
+use rvmtl_mtl::snapshot::{
+    decode_state, encode_state, SnapshotError, SnapshotReader, SnapshotWriter,
+};
 use rvmtl_mtl::State;
 use rvmtl_prng::StdRng;
 
@@ -55,6 +58,39 @@ impl StreamEvent {
                 }
             })
             .collect()
+    }
+
+    /// Encodes the event in the snapshot codec grammar — `process` as a
+    /// little-endian `u32`, `time` as a `u64`, then the state — which is the
+    /// body of a wire `Event` frame (see `docs/PROTOCOL.md` § Event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process index exceeds `u32::MAX` (no real deployment
+    /// does; the segmenter's process table is far smaller).
+    pub fn encode(&self, w: &mut SnapshotWriter) {
+        let process = u32::try_from(self.process)
+            .unwrap_or_else(|_| panic!("process index {} exceeds u32", self.process));
+        w.put_u32(process);
+        w.put_u64(self.time);
+        encode_state(w, &self.state);
+    }
+
+    /// Decodes one event encoded by [`StreamEvent::encode`]. Every failure is
+    /// a [`SnapshotError`], never a panic — the wire decoder's contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on truncated or malformed input.
+    pub fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let process = r.u32()? as usize;
+        let time = r.u64()?;
+        let state = decode_state(r)?;
+        Ok(StreamEvent {
+            process,
+            time,
+            state,
+        })
     }
 }
 

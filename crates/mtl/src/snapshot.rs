@@ -10,11 +10,13 @@
 //! with its fused [`crate::NodeMeta`] records and `ever_shifted` watermark.
 //!
 //! Everything is hand-rolled because the build environment is offline (no
-//! serde); the format doubles as the seed of the planned fleet wire format,
-//! so it is versioned at the container level (the runtime's envelope), kept
-//! deliberately flat, and **paranoid on decode**: no input, however
-//! truncated or bit-flipped, may panic the decoder — every failure is a
-//! [`SnapshotError`].
+//! serde); the format is versioned at the container level (the runtime's
+//! envelope), kept deliberately flat, and **paranoid on decode**: no input,
+//! however truncated or bit-flipped, may panic the decoder — every failure
+//! is a [`SnapshotError`]. The same codec grammar carries the `rvmtl-wire`
+//! streaming frames; `docs/PROTOCOL.md` at the repository root is the
+//! normative byte-level specification of the shared primitives, the
+//! checkpoint container and the wire stream.
 //!
 //! # Arena encoding and remap-on-restore
 //!

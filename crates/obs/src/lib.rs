@@ -38,7 +38,7 @@
 //! metrics (histograms, the flight recorder's timestamps) exist only when
 //! telemetry is enabled and are reported, never pinned.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 // Observability must never take the monitored system down: every lock here
 // recovers from poisoning and every fallible path degrades to "record

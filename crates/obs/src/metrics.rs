@@ -290,6 +290,27 @@ pub struct HistogramSnapshot {
 /// outside the registry). This is what
 /// `StreamMonitor::telemetry()` returns and what the text exposition is
 /// rendered from.
+///
+/// # Examples
+///
+/// A snapshot's text exposition round-trips through [`parse_exposition`]
+/// (the CI scrape smoke relies on exactly this):
+///
+/// ```
+/// use rvmtl_obs::{parse_exposition, TelemetrySnapshot};
+///
+/// let mut snapshot = TelemetrySnapshot::default();
+/// snapshot.push_counter("rvmtl_events_observed_total", "", 42);
+/// snapshot.push_gauge("rvmtl_pending_obligations", "query=\"0\"", 3);
+///
+/// let text = snapshot.to_prometheus();
+/// assert!(text.contains("rvmtl_events_observed_total 42"));
+///
+/// let samples = parse_exposition(&text).expect("own exposition parses");
+/// assert_eq!(samples.len(), 2);
+/// assert_eq!(samples[0].name, "rvmtl_events_observed_total");
+/// assert_eq!(samples[0].value, 42.0);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TelemetrySnapshot {
     /// All counters, registered then bridged, in registration order.
@@ -487,6 +508,29 @@ struct RegistryInner {
 /// The instrument registry. An enabled registry mints live handles and
 /// snapshots them; a disabled one ([`Registry::no_op`]) mints no-op handles,
 /// making every instrumented code path one never-taken branch.
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_obs::Registry;
+///
+/// let registry = Registry::new();
+/// let events = registry.counter("events_total", "");
+/// let per_query = registry.counter("solved_total", "query=\"0\"");
+/// events.inc();
+/// events.add(2);
+/// per_query.inc();
+///
+/// let snapshot = registry.snapshot();
+/// assert_eq!(snapshot.counter("events_total"), Some(3));
+/// assert_eq!(snapshot.counter_total("solved_total"), 1);
+///
+/// // A disabled registry mints no-op handles and snapshots empty.
+/// let off = Registry::no_op();
+/// let silent = off.counter("events_total", "");
+/// silent.inc();
+/// assert!(off.snapshot().counters.is_empty());
+/// ```
 pub struct Registry {
     inner: Option<Mutex<RegistryInner>>,
 }

@@ -2,7 +2,11 @@
 //! monitor-state codec on top of [`rvmtl_mtl::snapshot`].
 //!
 //! See the crate documentation's "Checkpoint format & recovery semantics"
-//! section for the architecture. This module owns three layers:
+//! section for the architecture, and `docs/PROTOCOL.md` at the repository
+//! root for the normative byte-level specification of both this container
+//! and the `rvmtl-wire` frame stream that shares its codec grammar (the
+//! spec is sufficient to re-implement either without reading this source).
+//! This module owns three layers:
 //!
 //! 1. **Envelope** — `magic | version | payload length | CRC-32 | payload`,
 //!    sealed by [`seal`] and opened (with full validation) by [`open`];

@@ -24,23 +24,39 @@
 //! `tests/differential.rs` pins this on the synthetic corpus and the
 //! protocol drivers.
 //!
-//! # 2. Pipelined segment stages
+//! # 2. Pipelined segment stages (same-segment batching)
 //!
 //! Closed segments buffer up to the configured flush depth and are processed
 //! as one batch by a pool of scoped worker threads (`std::thread::scope`).
-//! The unit of work is one `(query, segment, pending formula)` triple, so
-//! segment `k + 1` starts progressing each rewritten formula **as soon as
-//! stage `k` emits it** — there is no barrier between segments, and idle
-//! cores pick up whatever stage has work. Per-`(segment, query)` dedup sets
-//! keep the pending-set semantics identical to the sequential union; a
-//! per-segment result cache additionally collapses *cross-query* duplicates
-//! (several queries carrying the same canonical pending obligation solve
-//! the segment once), and the solver's per-segment memo/feasibility caches
-//! ([`rvmtl_solver::SegmentCaches`]) are handed from work item to work item
-//! instead of being rebuilt per formula. A query registered mid-stream
-//! ([`StreamMonitor::add_query`] after segments closed) is re-anchored at
-//! the current watermark boundary and enters the pipeline at that
-//! boundary's stage.
+//! The unit of work is one `(query, segment, pending formula)` triple, but
+//! workers *drain and solve in same-segment batches*: a worker pops an item
+//! and takes every queued item of the same segment along with it (capped to
+//! a fair share under contention), progressing the whole batch through
+//! **one** [`rvmtl_solver::SegmentSolver`] — the segment's cache slot is
+//! taken and merged back once per batch, and the solver's pooled work-stack
+//! frames and probe scratch stay warm across it. Each distinct rewritten
+//! formula is enqueued immediately as a work item for the next segment, so
+//! segment `k + 1` starts progressing a formula **as soon as stage `k`
+//! emits it** — there is no barrier between segments, and idle cores pick
+//! up whatever stage has work. Per-`(segment, query)` dedup sets keep the
+//! pending-set semantics identical to the sequential union; a per-segment
+//! result cache additionally collapses *cross-query* duplicates (several
+//! queries carrying the same canonical pending obligation solve the segment
+//! once), and the solver's per-segment memo/feasibility caches
+//! ([`rvmtl_solver::SegmentCaches`]) live in one slot per segment, taken
+//! and merged back per batch instead of rebuilt per formula. A query
+//! registered mid-stream ([`StreamMonitor::add_query`] after segments
+//! closed) is re-anchored at the current watermark boundary and enters the
+//! pipeline at that boundary's stage.
+//!
+//! Inside each batch the solver explores with the data-oriented work-stack
+//! engine ([`rvmtl_solver::ExploreEngine::WorkStack`], the default): an
+//! explicit frontier over flat batches with batched one/gap cache probes
+//! and staged memo slots. The reference recursion
+//! ([`rvmtl_solver::ExploreEngine::Reference`]) is retained behind the same
+//! trait for A/B equivalence runs (`bench_snapshot --abtest`); both engines
+//! execute the identical search, so the choice never shows in verdicts or
+//! search-shape counters.
 //!
 //! # 3. One arena, shared — ids remapped at stage boundaries
 //!
@@ -197,6 +213,18 @@
 //! stream: segmentation, solver per-segment caches (sequential path), the
 //! shared worker arena (pipelined path) and GC epochs are all shared;
 //! pending sets, verdicts and integrity tags stay per-query.
+//!
+//! # Wire ingestion
+//!
+//! [`StreamMonitor::observe`] / [`StreamMonitor::heartbeat`] are plain
+//! function calls; the `rvmtl-wire` crate gives the same ingestion surface
+//! a byte representation — a versioned, CRC-protected frame stream (format
+//! spec: `docs/PROTOCOL.md`) whose `WireSource` adapter drains any
+//! `std::io::Read` into a monitor after validating a `Hello` configuration
+//! handshake against [`StreamMonitor::process_count`],
+//! [`StreamMonitor::epsilon`] and [`StreamMonitor::fault_policy`]. Wire
+//! replay is differentially pinned verdict-identical to direct calls;
+//! `examples/wire_replay.rs` shows the file-capture round trip.
 //!
 //! # Example
 //!

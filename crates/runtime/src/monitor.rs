@@ -8,7 +8,9 @@ use crate::checkpoint::{
 use crate::pipeline::run_pipeline;
 use crate::telemetry::RuntimeMetrics;
 use crate::{RuntimeHealth, StreamConfig};
-use rvmtl_distrib::{DistributedComputation, FaultCounters, IncrementalSegmenter, StreamError};
+use rvmtl_distrib::{
+    DistributedComputation, FaultCounters, FaultPolicy, IncrementalSegmenter, StreamError,
+};
 use rvmtl_monitor::{Integrity, Verdict, VerdictSet};
 use rvmtl_mtl::{
     ArenaMemory, ArenaOps, Formula, FormulaId, Interner, ShardedInterner, ShiftedId, State,
@@ -124,6 +126,11 @@ impl fmt::Display for StreamReport {
         {
             writeln!(f, "  query {index} [{integrity}]: {verdicts}")?;
         }
+        writeln!(
+            f,
+            "  solver: {} states, {} frontier batches, {} batched probe ticks",
+            self.stats.explored_states, self.stats.frontier_batches, self.stats.batched_probe_ticks
+        )?;
         writeln!(f, "  health: {}", self.health)?;
         match &self.last_checkpoint_error {
             Some(error) => writeln!(f, "  last checkpoint error: {error}"),
@@ -277,6 +284,25 @@ impl StreamMonitor {
         &self.queries[id.0].root
     }
 
+    /// Number of processes the monitor ingests from (fixed at
+    /// construction). Together with [`StreamMonitor::epsilon`] and
+    /// [`StreamMonitor::fault_policy`] this is the configuration a wire
+    /// `Hello` handshake must match.
+    pub fn process_count(&self) -> usize {
+        self.segmenter.process_count()
+    }
+
+    /// The clock-skew bound ε the watermark segmentation assumes.
+    pub fn epsilon(&self) -> u64 {
+        self.segmenter.epsilon()
+    }
+
+    /// The ingestion fault policy in force (see
+    /// [`StreamConfig::fault_policy`]).
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.segmenter.policy()
+    }
+
     /// Ingests one event of `process` at local `time` establishing `state`,
     /// processing any segments this closes (subject to the configured flush
     /// depth).
@@ -284,6 +310,23 @@ impl StreamMonitor {
     /// # Errors
     ///
     /// See [`StreamError`]; a rejected event leaves the monitor unchanged.
+    /// What counts as rejectable depends on the configured [`FaultPolicy`] —
+    /// under the default `Strict` policy a duplicate observation is an
+    /// error, under `Dedup` it is absorbed (and the affected queries'
+    /// verdicts are integrity-tagged):
+    ///
+    /// ```
+    /// use rvmtl_mtl::{parse, state};
+    /// use rvmtl_runtime::{StreamConfig, StreamMonitor};
+    ///
+    /// let mut monitor = StreamMonitor::new(1, 0, StreamConfig::new(10));
+    /// monitor.add_query(&parse("G[0,5) p").unwrap());
+    /// monitor.observe(0, 1, state!["p"]).unwrap();
+    /// // Same (process, time) again: Strict rejects, monitor unchanged.
+    /// assert!(monitor.observe(0, 1, state!["p"]).is_err());
+    /// let report = monitor.finish();
+    /// assert!(report.integrity.iter().all(|i| i.is_exact()));
+    /// ```
     pub fn observe(&mut self, process: usize, time: u64, state: State) -> Result<(), StreamError> {
         let before = self.segmenter.fault_counters();
         let closed = match self.segmenter.observe(process, time, state) {

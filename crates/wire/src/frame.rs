@@ -1,0 +1,730 @@
+//! The frame codec: the stream header, the five frame kinds, and the
+//! [`FrameWriter`] / [`FrameReader`] pair over `std::io`.
+//!
+//! The byte-level layout is specified normatively in `docs/PROTOCOL.md`
+//! (§ "Wire stream format"); this module is one implementation of that
+//! document. Every decode path is bounds-checked and alloc-DoS-guarded: no
+//! input, however truncated or bit-flipped, may panic the decoder or make it
+//! allocate more than [`MAX_FRAME_LEN`] bytes — every failure is a typed
+//! [`WireError`].
+
+use rvmtl_distrib::{FaultPolicy, StreamEvent};
+use rvmtl_monitor::{Integrity, Verdict, VerdictSet};
+use rvmtl_mtl::snapshot::{
+    crc32, decode_formula, encode_formula, SnapshotError, SnapshotReader, SnapshotWriter,
+};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// First bytes of every wire stream (the checkpoint container uses
+/// `RVMTLCKP`; the two formats share the codec grammar but are never
+/// confusable).
+pub const MAGIC: &[u8; 8] = b"RVMTLWIR";
+
+/// Version of the wire stream format. A reader rejects any other version
+/// with [`WireError::UnsupportedVersion`] — version negotiation is
+/// "reconnect with a build that speaks it", exactly like the checkpoint
+/// container (see `docs/PROTOCOL.md` § "Version negotiation").
+pub const WIRE_VERSION: u32 = 1;
+
+/// Upper bound on one frame's payload length (16 MiB). A length prefix
+/// above this is rejected *before* any allocation, so a corrupt or hostile
+/// length word cannot make the reader allocate unbounded memory.
+pub const MAX_FRAME_LEN: u32 = 1 << 24;
+
+/// Error produced when a wire stream cannot be written, read, or decoded.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Transport failure while reading or writing framed bytes.
+    Io(std::io::Error),
+    /// The stream does not start with the wire magic.
+    BadMagic,
+    /// The stream header's version is not one this build understands.
+    UnsupportedVersion(u32),
+    /// A frame's length prefix exceeds [`MAX_FRAME_LEN`] (corrupt length
+    /// word or hostile input; rejected before allocating).
+    FrameTooLarge {
+        /// The declared payload length.
+        len: u32,
+        /// The maximum this reader accepts.
+        max: u32,
+    },
+    /// A frame's payload checksum does not match — the bytes were corrupted
+    /// in transit.
+    ChecksumMismatch {
+        /// Checksum recorded in the frame header.
+        expected: u32,
+        /// Checksum of the payload as read.
+        found: u32,
+    },
+    /// The stream ended before a field's bytes (connection cut mid-frame, or
+    /// a capture missing its `End` frame).
+    Truncated {
+        /// Bytes the next field needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A structurally invalid frame: unknown tag, non-canonical field,
+    /// trailing bytes, a frame out of protocol order, and so on.
+    Malformed(String),
+    /// The stream's `Hello` handshake disagrees with the receiving monitor's
+    /// configuration (process count, ε, or fault policy): ingesting it would
+    /// change verdicts, so the stream is refused — the wire-level mirror of
+    /// [`rvmtl_runtime::CheckpointError::ConfigMismatch`].
+    HandshakeMismatch(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire IO error: {e}"),
+            WireError::BadMagic => write!(f, "not a wire stream (bad magic)"),
+            WireError::UnsupportedVersion(v) => {
+                write!(f, "unsupported wire format version {v}")
+            }
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte bound")
+            }
+            WireError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "frame checksum mismatch: expected {expected:#010x}, found {found:#010x}"
+            ),
+            WireError::Truncated { needed, available } => write!(
+                f,
+                "wire stream truncated: needed {needed} more bytes, {available} available"
+            ),
+            WireError::Malformed(reason) => write!(f, "malformed wire stream: {reason}"),
+            WireError::HandshakeMismatch(reason) => {
+                write!(f, "wire handshake mismatch: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for WireError {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Truncated { needed, available } => {
+                WireError::Truncated { needed, available }
+            }
+            SnapshotError::Malformed(reason) => WireError::Malformed(reason),
+            other => WireError::Malformed(other.to_string()),
+        }
+    }
+}
+
+fn malformed(reason: impl Into<String>) -> WireError {
+    WireError::Malformed(reason.into())
+}
+
+/// The `Hello` handshake: the stream-level configuration a sender declares
+/// up front. A receiving [`crate::WireSource`] refuses the stream with
+/// [`WireError::HandshakeMismatch`] unless all three fields match the
+/// monitor it feeds — silently ingesting under a different ε or fault
+/// policy would change verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// The clock-skew bound ε the stream's segmentation assumes.
+    pub epsilon: u64,
+    /// Number of processes the stream reports for.
+    pub processes: usize,
+    /// The ingestion fault policy the sender expects.
+    pub fault_policy: FaultPolicy,
+}
+
+/// One `Verdict` frame: a query's verdict set over one closed segment,
+/// integrity-tagged — the monitor-to-subscriber half of the streaming plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictFrame {
+    /// The query's dense index ([`rvmtl_runtime::QueryId::index`]).
+    pub query: usize,
+    /// Base time of the closed segment the verdicts cover.
+    pub segment: u64,
+    /// The verdict set.
+    pub verdicts: VerdictSet,
+    /// The evidence provenance behind the verdicts.
+    pub integrity: Integrity,
+}
+
+/// One decoded frame of the streaming plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// The configuration handshake; must be the first frame of a stream.
+    Hello(Hello),
+    /// One observation: `(process, time, state)`.
+    Event(StreamEvent),
+    /// A clock advance without an observation (drives the watermark).
+    Heartbeat {
+        /// The reporting process.
+        process: usize,
+        /// The process's advanced local clock.
+        time: u64,
+    },
+    /// A per-segment verdict report (the downstream direction).
+    Verdict(VerdictFrame),
+    /// End of stream; must be the last frame.
+    End,
+}
+
+impl Frame {
+    /// The frame's kind as a lowercase label (`"hello"`, `"event"`, …) —
+    /// used in error messages and telemetry labels.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Hello(_) => "hello",
+            Frame::Event(_) => "event",
+            Frame::Heartbeat { .. } => "heartbeat",
+            Frame::Verdict(_) => "verdict",
+            Frame::End => "end",
+        }
+    }
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_EVENT: u8 = 1;
+const TAG_HEARTBEAT: u8 = 2;
+const TAG_VERDICT: u8 = 3;
+const TAG_END: u8 = 4;
+
+const INTEGRITY_EXACT: u8 = 0;
+const INTEGRITY_DEGRADED: u8 = 1;
+
+const VERDICT_TRUE: u8 = 0;
+const VERDICT_FALSE: u8 = 1;
+const VERDICT_INCONCLUSIVE: u8 = 2;
+
+fn encode_policy(w: &mut SnapshotWriter, policy: FaultPolicy) {
+    // Byte values shared with the checkpoint format (docs/PROTOCOL.md
+    // § "Fault policy byte").
+    w.put_u8(match policy {
+        FaultPolicy::Strict => 0,
+        FaultPolicy::Dedup => 1,
+        FaultPolicy::BestEffort => 2,
+    });
+}
+
+fn decode_policy(r: &mut SnapshotReader<'_>) -> Result<FaultPolicy, WireError> {
+    match r.u8()? {
+        0 => Ok(FaultPolicy::Strict),
+        1 => Ok(FaultPolicy::Dedup),
+        2 => Ok(FaultPolicy::BestEffort),
+        other => Err(malformed(format!("fault policy byte {other:#04x}"))),
+    }
+}
+
+fn encode_integrity(w: &mut SnapshotWriter, integrity: &Integrity) {
+    match integrity {
+        Integrity::Exact => w.put_u8(INTEGRITY_EXACT),
+        Integrity::Degraded {
+            dropped,
+            deduped,
+            late_beyond_epsilon,
+            worker_panics,
+        } => {
+            w.put_u8(INTEGRITY_DEGRADED);
+            w.put_u64(*dropped);
+            w.put_u64(*deduped);
+            w.put_u64(*late_beyond_epsilon);
+            w.put_u64(*worker_panics);
+        }
+    }
+}
+
+fn decode_integrity(r: &mut SnapshotReader<'_>) -> Result<Integrity, WireError> {
+    match r.u8()? {
+        INTEGRITY_EXACT => Ok(Integrity::Exact),
+        INTEGRITY_DEGRADED => {
+            let dropped = r.u64()?;
+            let deduped = r.u64()?;
+            let late_beyond_epsilon = r.u64()?;
+            let worker_panics = r.u64()?;
+            let integrity =
+                Integrity::from_counters(dropped, deduped, late_beyond_epsilon, worker_panics);
+            if integrity.is_exact() {
+                // `from_counters` collapsed all-zero counters: the canonical
+                // encoding of that is the Exact tag, so this was forged.
+                return Err(malformed("degraded integrity with all-zero counters"));
+            }
+            Ok(integrity)
+        }
+        other => Err(malformed(format!("integrity tag {other:#04x}"))),
+    }
+}
+
+fn encode_verdict(w: &mut SnapshotWriter, verdict: &Verdict) {
+    match verdict {
+        Verdict::True => w.put_u8(VERDICT_TRUE),
+        Verdict::False => w.put_u8(VERDICT_FALSE),
+        Verdict::Inconclusive(phi) => {
+            w.put_u8(VERDICT_INCONCLUSIVE);
+            encode_formula(w, phi);
+        }
+    }
+}
+
+fn decode_verdict(r: &mut SnapshotReader<'_>) -> Result<Verdict, WireError> {
+    match r.u8()? {
+        VERDICT_TRUE => Ok(Verdict::True),
+        VERDICT_FALSE => Ok(Verdict::False),
+        VERDICT_INCONCLUSIVE => Ok(Verdict::Inconclusive(decode_formula(r)?)),
+        other => Err(malformed(format!("verdict tag {other:#04x}"))),
+    }
+}
+
+/// Encodes one frame's payload (tag byte + body, no length/CRC header).
+fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    match frame {
+        Frame::Hello(hello) => {
+            w.put_u8(TAG_HELLO);
+            w.put_u64(hello.epsilon);
+            let processes = u32::try_from(hello.processes)
+                .unwrap_or_else(|_| panic!("process count {} exceeds u32", hello.processes));
+            w.put_u32(processes);
+            encode_policy(&mut w, hello.fault_policy);
+        }
+        Frame::Event(event) => {
+            w.put_u8(TAG_EVENT);
+            event.encode(&mut w);
+        }
+        Frame::Heartbeat { process, time } => {
+            w.put_u8(TAG_HEARTBEAT);
+            let process = u32::try_from(*process)
+                .unwrap_or_else(|_| panic!("process index {process} exceeds u32"));
+            w.put_u32(process);
+            w.put_u64(*time);
+        }
+        Frame::Verdict(verdict) => {
+            w.put_u8(TAG_VERDICT);
+            let query = u32::try_from(verdict.query)
+                .unwrap_or_else(|_| panic!("query index {} exceeds u32", verdict.query));
+            w.put_u32(query);
+            w.put_u64(verdict.segment);
+            encode_integrity(&mut w, &verdict.integrity);
+            w.put_len(verdict.verdicts.len());
+            for v in verdict.verdicts.iter() {
+                encode_verdict(&mut w, v);
+            }
+        }
+        Frame::End => w.put_u8(TAG_END),
+    }
+    w.into_bytes()
+}
+
+/// Decodes one frame from its payload bytes (already CRC-validated),
+/// rejecting trailing bytes.
+fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
+    let mut r = SnapshotReader::new(payload);
+    let frame = match r.u8()? {
+        TAG_HELLO => {
+            let epsilon = r.u64()?;
+            let processes = r.u32()? as usize;
+            if processes == 0 {
+                return Err(malformed("hello with zero processes"));
+            }
+            let fault_policy = decode_policy(&mut r)?;
+            Frame::Hello(Hello {
+                epsilon,
+                processes,
+                fault_policy,
+            })
+        }
+        TAG_EVENT => Frame::Event(StreamEvent::decode(&mut r)?),
+        TAG_HEARTBEAT => {
+            let process = r.u32()? as usize;
+            let time = r.u64()?;
+            Frame::Heartbeat { process, time }
+        }
+        TAG_VERDICT => {
+            let query = r.u32()? as usize;
+            let segment = r.u64()?;
+            let integrity = decode_integrity(&mut r)?;
+            let count = r.len(1)?;
+            let mut verdicts = VerdictSet::new();
+            for _ in 0..count {
+                verdicts.insert(decode_verdict(&mut r)?);
+            }
+            Frame::Verdict(VerdictFrame {
+                query,
+                segment,
+                verdicts,
+                integrity,
+            })
+        }
+        TAG_END => Frame::End,
+        other => return Err(malformed(format!("frame tag {other:#04x}"))),
+    };
+    r.expect_end()?;
+    Ok(frame)
+}
+
+/// Reads exactly `buf.len()` bytes, mapping EOF to [`WireError::Truncated`]
+/// (a wire stream must end with an `End` frame, never mid-field).
+fn read_exact_wire<R: Read>(inner: &mut R, buf: &mut [u8]) -> Result<(), WireError> {
+    inner.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated {
+                needed: buf.len(),
+                available: 0,
+            }
+        } else {
+            WireError::Io(e)
+        }
+    })
+}
+
+/// Writes frames to any [`std::io::Write`] sink: the stream header on
+/// construction, then one length-prefixed, CRC-protected frame per
+/// [`FrameWriter::write_frame`] call, and the terminating `End` frame on
+/// [`FrameWriter::finish`].
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_runtime::{FaultPolicy, StreamEvent};
+/// use rvmtl_mtl::state;
+/// use rvmtl_wire::{Frame, FrameReader, FrameWriter, Hello};
+///
+/// let mut writer = FrameWriter::new(Vec::new())?;
+/// writer.write_frame(&Frame::Hello(Hello {
+///     epsilon: 1,
+///     processes: 2,
+///     fault_policy: FaultPolicy::Strict,
+/// }))?;
+/// writer.write_frame(&Frame::Event(StreamEvent {
+///     process: 0,
+///     time: 3,
+///     state: state!["a"],
+/// }))?;
+/// let bytes = writer.finish()?;
+///
+/// let mut reader = FrameReader::new(&bytes[..])?;
+/// assert!(matches!(reader.next_frame()?, Some(Frame::Hello(_))));
+/// assert!(matches!(reader.next_frame()?, Some(Frame::Event(_))));
+/// assert_eq!(reader.next_frame()?, Some(Frame::End));
+/// assert_eq!(reader.next_frame()?, None);
+/// # Ok::<(), rvmtl_wire::WireError>(())
+/// ```
+#[derive(Debug)]
+pub struct FrameWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> FrameWriter<W> {
+    /// Wraps `inner` and writes the stream header (magic + version).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] if the header cannot be written.
+    pub fn new(mut inner: W) -> Result<Self, WireError> {
+        inner.write_all(MAGIC)?;
+        inner.write_all(&WIRE_VERSION.to_le_bytes())?;
+        Ok(FrameWriter { inner })
+    }
+
+    /// Writes one frame: `payload length (u32) | CRC-32 | payload`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] on a sink failure, or
+    /// [`WireError::FrameTooLarge`] if the frame's payload would exceed
+    /// [`MAX_FRAME_LEN`] — a writer never emits what readers reject.
+    pub fn write_frame(&mut self, frame: &Frame) -> Result<(), WireError> {
+        let payload = encode_frame(frame);
+        let len = u32::try_from(payload.len()).unwrap_or(u32::MAX);
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge {
+                len,
+                max: MAX_FRAME_LEN,
+            });
+        }
+        self.inner.write_all(&len.to_le_bytes())?;
+        self.inner.write_all(&crc32(&payload).to_le_bytes())?;
+        self.inner.write_all(&payload)?;
+        Ok(())
+    }
+
+    /// Writes the terminating `End` frame, flushes, and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Io`] on a sink failure.
+    pub fn finish(mut self) -> Result<W, WireError> {
+        self.write_frame(&Frame::End)?;
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Reads frames from any [`std::io::Read`] source — a file replay, a
+/// `UnixStream`/`TcpStream`, an in-memory buffer — validating the stream
+/// header on construction and every frame's length bound and CRC before
+/// decoding it. After the `End` frame, [`FrameReader::next_frame`] returns
+/// `Ok(None)` forever; EOF *before* `End` is [`WireError::Truncated`].
+///
+/// See the [`FrameWriter`] example for a complete write-then-read
+/// round trip.
+#[derive(Debug)]
+pub struct FrameReader<R: Read> {
+    inner: R,
+    finished: bool,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `inner`, reading and validating the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadMagic`], [`WireError::UnsupportedVersion`],
+    /// [`WireError::Truncated`] or [`WireError::Io`].
+    pub fn new(mut inner: R) -> Result<Self, WireError> {
+        let mut header = [0u8; 12];
+        read_exact_wire(&mut inner, &mut header)?;
+        if header[..8] != MAGIC[..] {
+            return Err(WireError::BadMagic);
+        }
+        let mut word = [0u8; 4];
+        word.copy_from_slice(&header[8..12]);
+        let version = u32::from_le_bytes(word);
+        if version != WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion(version));
+        }
+        Ok(FrameReader {
+            inner,
+            finished: false,
+        })
+    }
+
+    /// Reads the next frame; `Ok(None)` once the `End` frame has been seen.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]: transport failures, truncation (EOF before `End`),
+    /// an over-bound length prefix, a CRC mismatch, or a malformed payload.
+    /// Corrupt input never panics and never allocates beyond
+    /// [`MAX_FRAME_LEN`].
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.finished {
+            return Ok(None);
+        }
+        let mut word = [0u8; 4];
+        read_exact_wire(&mut self.inner, &mut word)?;
+        let len = u32::from_le_bytes(word);
+        if len == 0 {
+            return Err(malformed("empty frame"));
+        }
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge {
+                len,
+                max: MAX_FRAME_LEN,
+            });
+        }
+        read_exact_wire(&mut self.inner, &mut word)?;
+        let expected = u32::from_le_bytes(word);
+        let mut payload = vec![0u8; len as usize];
+        read_exact_wire(&mut self.inner, &mut payload)?;
+        let found = crc32(&payload);
+        if found != expected {
+            return Err(WireError::ChecksumMismatch { expected, found });
+        }
+        let frame = decode_frame(&payload)?;
+        if frame == Frame::End {
+            self.finished = true;
+        }
+        Ok(Some(frame))
+    }
+
+    /// Returns `true` once the `End` frame has been read.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Consumes the reader, returning the underlying source.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+/// Writes a complete capture in one call: the header, a `Hello`, every
+/// event in delivery order, and the terminating `End`. This is the
+/// `.rvw` file format the bench `wire_replay` mode and the `wire_replay`
+/// example produce.
+///
+/// # Errors
+///
+/// Returns [`WireError::Io`] on a sink failure.
+pub fn capture_events<W: Write>(
+    sink: W,
+    hello: &Hello,
+    events: &[StreamEvent],
+) -> Result<W, WireError> {
+    let mut writer = FrameWriter::new(sink)?;
+    writer.write_frame(&Frame::Hello(*hello))?;
+    for event in events {
+        writer.write_frame(&Frame::Event(event.clone()))?;
+    }
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvmtl_mtl::{parse, state};
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello(Hello {
+                epsilon: 3,
+                processes: 2,
+                fault_policy: FaultPolicy::Dedup,
+            }),
+            Frame::Event(StreamEvent {
+                process: 0,
+                time: 1,
+                state: state!["a.req", "b"],
+            }),
+            Frame::Heartbeat {
+                process: 1,
+                time: 9,
+            },
+            Frame::Verdict(VerdictFrame {
+                query: 0,
+                segment: 10,
+                verdicts: VerdictSet::from_formulas([
+                    &rvmtl_mtl::Formula::True,
+                    &parse("F[0,5) p").unwrap(),
+                ]),
+                integrity: Integrity::from_counters(1, 2, 0, 0),
+            }),
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut writer = FrameWriter::new(Vec::new()).unwrap();
+        let frames = sample_frames();
+        for frame in &frames {
+            writer.write_frame(frame).unwrap();
+        }
+        let bytes = writer.finish().unwrap();
+        let mut reader = FrameReader::new(&bytes[..]).unwrap();
+        for frame in &frames {
+            assert_eq!(reader.next_frame().unwrap().as_ref(), Some(frame));
+        }
+        assert_eq!(reader.next_frame().unwrap(), Some(Frame::End));
+        assert!(reader.is_finished());
+        assert_eq!(reader.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn header_is_validated() {
+        assert!(matches!(
+            FrameReader::new(&b"NOTAWIRE\x01\x00\x00\x00"[..]),
+            Err(WireError::BadMagic)
+        ));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            FrameReader::new(&bytes[..]),
+            Err(WireError::UnsupportedVersion(99))
+        ));
+        assert!(matches!(
+            FrameReader::new(&MAGIC[..5]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_fails_before_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut reader = FrameReader::new(&bytes[..]).unwrap();
+        assert!(matches!(
+            reader.next_frame(),
+            Err(WireError::FrameTooLarge { len: u32::MAX, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_length_frame_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&crc32(&[]).to_le_bytes());
+        let mut reader = FrameReader::new(&bytes[..]).unwrap();
+        assert!(matches!(reader.next_frame(), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn non_canonical_integrity_is_rejected() {
+        // A Degraded tag whose counters are all zero would decode to Exact;
+        // the canonical encoding of Exact is the Exact tag, so reject.
+        let mut w = SnapshotWriter::new();
+        w.put_u8(TAG_VERDICT);
+        w.put_u32(0);
+        w.put_u64(0);
+        w.put_u8(INTEGRITY_DEGRADED);
+        for _ in 0..4 {
+            w.put_u64(0);
+        }
+        w.put_u32(0);
+        let payload = w.into_bytes();
+        assert!(matches!(
+            decode_frame(&payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_in_a_frame_are_rejected() {
+        let mut payload = encode_frame(&Frame::End);
+        payload.push(0);
+        assert!(matches!(
+            decode_frame(&payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn capture_ends_with_end_frame() {
+        let events = [StreamEvent {
+            process: 0,
+            time: 1,
+            state: state![],
+        }];
+        let hello = Hello {
+            epsilon: 0,
+            processes: 1,
+            fault_policy: FaultPolicy::Strict,
+        };
+        let bytes = capture_events(Vec::new(), &hello, &events).unwrap();
+        let mut reader = FrameReader::new(&bytes[..]).unwrap();
+        let mut kinds = Vec::new();
+        while let Some(frame) = reader.next_frame().unwrap() {
+            kinds.push(frame.kind());
+        }
+        assert_eq!(kinds, ["hello", "event", "end"]);
+    }
+}

@@ -1,0 +1,72 @@
+//! # rvmtl-wire — the streaming plane's versioned frame codec
+//!
+//! Everything upstream of this crate moves `(process, time, state)` triples
+//! through function calls; this crate gives them a byte representation, so
+//! events can cross a file, a socket, or a replay log and still reach the
+//! same verdicts. The format reuses the snapshot codec grammar
+//! (`rvmtl-mtl::snapshot`) that the PR 7 checkpoint container proved out:
+//! little-endian fixed-width words, length-prefixed collections, CRC-32
+//! integrity, and paranoid decoding — every failure is a typed
+//! [`WireError`], never a panic, and no corrupt length word can force an
+//! over-bound allocation.
+//!
+//! The byte-level layout is specified normatively in **`docs/PROTOCOL.md`**
+//! at the repository root; that document is sufficient to re-implement this
+//! codec without reading the source, and this crate is one implementation
+//! of it.
+//!
+//! ## Layers
+//!
+//! | Layer | Types | Role |
+//! |-------|-------|------|
+//! | Stream envelope | [`MAGIC`], [`WIRE_VERSION`], [`MAX_FRAME_LEN`] | `RVMTLWIR` + version header; `len · crc · payload` per frame |
+//! | Frames | [`Frame`], [`Hello`], [`VerdictFrame`] | the five frame kinds of the streaming plane |
+//! | Transport | [`FrameWriter`], [`FrameReader`], [`capture_events`] | framing over any `std::io::Write` / `Read` |
+//! | Ingestion | [`WireSource`], [`WireStats`] | drives a `StreamMonitor` from a framed stream, with handshake + telemetry |
+//!
+//! ## Protocol rules
+//!
+//! A well-formed stream is `header · Hello · (Event | Heartbeat | Verdict)* ·
+//! End`. The `Hello` handshake carries the sender's ε, process count and
+//! fault policy and must match the receiving monitor
+//! ([`WireError::HandshakeMismatch`] otherwise — the wire-level mirror of
+//! the checkpoint `ConfigMismatch`); EOF before `End` is
+//! [`WireError::Truncated`]. Monitor-level rejections (a duplicate under
+//! `Strict`, say) are the fault policy's business, not the transport's:
+//! [`WireSource`] counts them and keeps draining, which is what makes a
+//! replayed capture verdict-identical to direct in-memory ingestion — the
+//! property the differential suite (`tests/differential.rs`) and the bench
+//! `--wire-smoke` gate pin down.
+//!
+//! ## Example
+//!
+//! Capture a stream to bytes and replay it into a monitor (see
+//! `examples/wire_replay.rs` for the file-backed version):
+//!
+//! ```
+//! use rvmtl_mtl::{parse, state};
+//! use rvmtl_runtime::{FaultPolicy, StreamConfig, StreamEvent, StreamMonitor};
+//! use rvmtl_wire::{capture_events, Hello, WireSource};
+//!
+//! let hello = Hello { epsilon: 0, processes: 1, fault_policy: FaultPolicy::Strict };
+//! let events = [StreamEvent { process: 0, time: 0, state: state!["ready"] }];
+//! let bytes = capture_events(Vec::new(), &hello, &events)?;
+//!
+//! let mut monitor = StreamMonitor::new(1, 0, StreamConfig::new(8));
+//! monitor.add_query(&parse("F[0,4) ready").unwrap());
+//! WireSource::new(&bytes[..])?.run(&mut monitor)?;
+//! # Ok::<(), rvmtl_wire::WireError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod frame;
+mod source;
+
+pub use frame::{
+    capture_events, Frame, FrameReader, FrameWriter, Hello, VerdictFrame, WireError, MAGIC,
+    MAX_FRAME_LEN, WIRE_VERSION,
+};
+pub use source::{WireSource, WireStats};

@@ -1,0 +1,370 @@
+//! [`WireSource`]: the transport-to-monitor adapter. It drains a framed
+//! byte stream — a `.rvw` replay file, a socket, any [`std::io::Read`] —
+//! validating the `Hello` handshake against the receiving monitor, routing
+//! `Event`/`Heartbeat` frames into [`StreamMonitor::observe`] /
+//! [`StreamMonitor::heartbeat`] under the monitor's own fault policy, and
+//! counting every frame for telemetry.
+
+use crate::frame::{Frame, FrameReader, WireError};
+use rvmtl_obs::TelemetrySnapshot;
+use rvmtl_runtime::StreamMonitor;
+use std::io::Read;
+
+/// Per-kind frame counters a [`WireSource`] maintains while draining a
+/// stream. Exposed for health checks and pushed into a
+/// [`TelemetrySnapshot`] via [`WireStats::push_telemetry`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// `Hello` frames accepted (0 or 1 per well-formed stream).
+    pub hello_frames: u64,
+    /// `Event` frames decoded and offered to the monitor.
+    pub event_frames: u64,
+    /// `Heartbeat` frames decoded and offered to the monitor.
+    pub heartbeat_frames: u64,
+    /// `Verdict` frames seen and skipped (they belong to the downstream,
+    /// monitor-to-subscriber direction; an ingest source ignores them).
+    pub verdict_frames: u64,
+    /// `End` frames (0 or 1).
+    pub end_frames: u64,
+    /// Frames the *monitor* rejected under its fault policy (for example a
+    /// duplicate under `Strict`). These are policy verdicts, not transport
+    /// failures: the source keeps draining, exactly as direct in-memory
+    /// ingestion keeps feeding after a rejected `observe`.
+    pub rejected: u64,
+    /// Frames that failed to decode (corrupt length, CRC, or payload). The
+    /// first such failure also aborts [`WireSource::run`] with the error.
+    pub decode_errors: u64,
+}
+
+impl WireStats {
+    /// Total frames decoded successfully, across every kind.
+    pub fn frames_total(&self) -> u64 {
+        self.hello_frames
+            + self.event_frames
+            + self.heartbeat_frames
+            + self.verdict_frames
+            + self.end_frames
+    }
+
+    /// Appends the wire counters to a telemetry snapshot:
+    /// `rvmtl_wire_frames_total{kind="..."}` per frame kind plus
+    /// `rvmtl_wire_rejected_total` and `rvmtl_wire_decode_errors_total`.
+    pub fn push_telemetry(&self, snapshot: &mut TelemetrySnapshot) {
+        for (kind, count) in [
+            ("hello", self.hello_frames),
+            ("event", self.event_frames),
+            ("heartbeat", self.heartbeat_frames),
+            ("verdict", self.verdict_frames),
+            ("end", self.end_frames),
+        ] {
+            snapshot.push_counter("rvmtl_wire_frames_total", format!("kind=\"{kind}\""), count);
+        }
+        snapshot.push_counter("rvmtl_wire_rejected_total", "", self.rejected);
+        snapshot.push_counter("rvmtl_wire_decode_errors_total", "", self.decode_errors);
+    }
+}
+
+/// Drives a [`StreamMonitor`] from any framed byte stream.
+///
+/// The adapter enforces the protocol's ordering rules — the first frame
+/// must be `Hello` and it must match the monitor's configuration
+/// ([`WireError::HandshakeMismatch`] otherwise), `End` terminates the
+/// stream, and EOF before `End` is [`WireError::Truncated`] — and routes
+/// monitor-level rejections through the monitor's own [`FaultPolicy`]
+/// exactly as direct calls would, so a replayed stream reaches the same
+/// verdicts as in-memory ingestion.
+///
+/// [`FaultPolicy`]: rvmtl_runtime::FaultPolicy
+///
+/// # Examples
+///
+/// ```
+/// use rvmtl_mtl::{parse, state};
+/// use rvmtl_runtime::{FaultPolicy, StreamConfig, StreamEvent, StreamMonitor};
+/// use rvmtl_wire::{capture_events, Hello, WireSource};
+///
+/// // Capture a two-event stream to bytes (in production: a file/socket).
+/// let hello = Hello { epsilon: 1, processes: 1, fault_policy: FaultPolicy::Strict };
+/// let events = [
+///     StreamEvent { process: 0, time: 0, state: state!["p"] },
+///     StreamEvent { process: 0, time: 5, state: state![] },
+/// ];
+/// let bytes = capture_events(Vec::new(), &hello, &events)?;
+///
+/// // Replay it into a monitor with the matching configuration.
+/// let mut monitor = StreamMonitor::new(1, 1, StreamConfig::new(10));
+/// let query = monitor.add_query(&parse("F[0,3) p").unwrap());
+/// let mut source = WireSource::new(&bytes[..])?;
+/// source.run(&mut monitor)?;
+/// assert_eq!(source.stats().event_frames, 2);
+///
+/// let report = monitor.finish();
+/// assert!(report.verdicts[query.index()].booleans().contains(&true));
+/// # Ok::<(), rvmtl_wire::WireError>(())
+/// ```
+#[derive(Debug)]
+pub struct WireSource<R: Read> {
+    reader: FrameReader<R>,
+    stats: WireStats,
+}
+
+impl<R: Read> WireSource<R> {
+    /// Wraps a raw byte source, validating the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadMagic`], [`WireError::UnsupportedVersion`],
+    /// [`WireError::Truncated`] or [`WireError::Io`] if the header is
+    /// damaged or unreadable.
+    pub fn new(source: R) -> Result<Self, WireError> {
+        Ok(WireSource {
+            reader: FrameReader::new(source)?,
+            stats: WireStats::default(),
+        })
+    }
+
+    /// The frame counters accumulated so far.
+    pub fn stats(&self) -> &WireStats {
+        &self.stats
+    }
+
+    /// Drains the stream into `monitor` until the `End` frame.
+    ///
+    /// `Event` and `Heartbeat` frames the monitor rejects under its fault
+    /// policy are counted in [`WireStats::rejected`] and replay continues —
+    /// policy handling is the monitor's job, and this matches direct
+    /// ingestion (where callers observe-and-continue). `Verdict` frames are
+    /// counted and skipped. Transport and decode failures abort with the
+    /// typed error after bumping [`WireStats::decode_errors`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::HandshakeMismatch`] if the stream's `Hello` disagrees
+    /// with the monitor's process count, ε, or fault policy (or is missing
+    /// or duplicated); any decode-level [`WireError`] on corrupt input;
+    /// [`WireError::Truncated`] if the stream ends before `End`.
+    pub fn run(&mut self, monitor: &mut StreamMonitor) -> Result<(), WireError> {
+        let mut greeted = false;
+        loop {
+            let frame = match self.reader.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => return Ok(()),
+                Err(e) => {
+                    self.stats.decode_errors += 1;
+                    return Err(e);
+                }
+            };
+            if !greeted && !matches!(frame, Frame::Hello(_)) {
+                self.stats.decode_errors += 1;
+                return Err(WireError::Malformed(format!(
+                    "first frame must be hello, found {}",
+                    frame.kind()
+                )));
+            }
+            match frame {
+                Frame::Hello(hello) => {
+                    if greeted {
+                        self.stats.decode_errors += 1;
+                        return Err(WireError::Malformed("duplicate hello frame".into()));
+                    }
+                    greeted = true;
+                    self.handshake(&hello, monitor)?;
+                    self.stats.hello_frames += 1;
+                }
+                Frame::Event(event) => {
+                    self.stats.event_frames += 1;
+                    if monitor
+                        .observe(event.process, event.time, event.state)
+                        .is_err()
+                    {
+                        self.stats.rejected += 1;
+                    }
+                }
+                Frame::Heartbeat { process, time } => {
+                    self.stats.heartbeat_frames += 1;
+                    if monitor.heartbeat(process, time).is_err() {
+                        self.stats.rejected += 1;
+                    }
+                }
+                Frame::Verdict(_) => {
+                    self.stats.verdict_frames += 1;
+                }
+                Frame::End => {
+                    self.stats.end_frames += 1;
+                }
+            }
+        }
+    }
+
+    fn handshake(&self, hello: &crate::Hello, monitor: &StreamMonitor) -> Result<(), WireError> {
+        if hello.processes != monitor.process_count() {
+            return Err(WireError::HandshakeMismatch(format!(
+                "stream reports {} processes, monitor expects {}",
+                hello.processes,
+                monitor.process_count()
+            )));
+        }
+        if hello.epsilon != monitor.epsilon() {
+            return Err(WireError::HandshakeMismatch(format!(
+                "stream assumes epsilon {}, monitor uses {}",
+                hello.epsilon,
+                monitor.epsilon()
+            )));
+        }
+        if hello.fault_policy != monitor.fault_policy() {
+            return Err(WireError::HandshakeMismatch(format!(
+                "stream expects {:?} fault policy, monitor runs {:?}",
+                hello.fault_policy,
+                monitor.fault_policy()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Consumes the source, returning the underlying frame reader (for
+    /// example to check [`FrameReader::is_finished`]).
+    pub fn into_reader(self) -> FrameReader<R> {
+        self.reader
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{capture_events, FrameWriter, Hello};
+    use rvmtl_mtl::{parse, state};
+    use rvmtl_runtime::{FaultPolicy, StreamConfig, StreamEvent, StreamMonitor};
+
+    fn monitor(processes: usize, epsilon: u64, policy: FaultPolicy) -> StreamMonitor {
+        let mut m = StreamMonitor::new(
+            processes,
+            epsilon,
+            StreamConfig::new(10).fault_policy(policy),
+        );
+        m.add_query(&parse("G[0,5) p").unwrap());
+        m
+    }
+
+    fn hello(processes: usize, epsilon: u64, policy: FaultPolicy) -> Hello {
+        Hello {
+            epsilon,
+            processes,
+            fault_policy: policy,
+        }
+    }
+
+    #[test]
+    fn handshake_mismatches_are_refused() {
+        let events: [StreamEvent; 0] = [];
+        for (stream, expect) in [
+            (hello(3, 1, FaultPolicy::Strict), "processes"),
+            (hello(2, 9, FaultPolicy::Strict), "epsilon"),
+            (hello(2, 1, FaultPolicy::Dedup), "fault policy"),
+        ] {
+            let bytes = capture_events(Vec::new(), &stream, &events).unwrap();
+            let mut source = WireSource::new(&bytes[..]).unwrap();
+            let mut m = monitor(2, 1, FaultPolicy::Strict);
+            let err = source.run(&mut m).unwrap_err();
+            match err {
+                WireError::HandshakeMismatch(reason) => {
+                    assert!(reason.contains(expect), "{reason} vs {expect}")
+                }
+                other => panic!("expected handshake mismatch, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_hello_is_malformed() {
+        let mut writer = FrameWriter::new(Vec::new()).unwrap();
+        writer
+            .write_frame(&Frame::Heartbeat {
+                process: 0,
+                time: 1,
+            })
+            .unwrap();
+        let bytes = writer.finish().unwrap();
+        let mut source = WireSource::new(&bytes[..]).unwrap();
+        let mut m = monitor(2, 1, FaultPolicy::Strict);
+        assert!(matches!(source.run(&mut m), Err(WireError::Malformed(_))));
+        assert_eq!(source.stats().decode_errors, 1);
+    }
+
+    #[test]
+    fn duplicate_hello_is_malformed() {
+        let mut writer = FrameWriter::new(Vec::new()).unwrap();
+        let h = hello(2, 1, FaultPolicy::Strict);
+        writer.write_frame(&Frame::Hello(h)).unwrap();
+        writer.write_frame(&Frame::Hello(h)).unwrap();
+        let bytes = writer.finish().unwrap();
+        let mut source = WireSource::new(&bytes[..]).unwrap();
+        let mut m = monitor(2, 1, FaultPolicy::Strict);
+        assert!(matches!(source.run(&mut m), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn monitor_rejections_are_counted_and_survived() {
+        // Two events at the same (process, time): under Strict the second
+        // is rejected by the monitor but replay continues to End.
+        let events = [
+            StreamEvent {
+                process: 0,
+                time: 1,
+                state: state!["p"],
+            },
+            StreamEvent {
+                process: 0,
+                time: 1,
+                state: state!["p"],
+            },
+        ];
+        let bytes = capture_events(Vec::new(), &hello(2, 1, FaultPolicy::Strict), &events).unwrap();
+        let mut source = WireSource::new(&bytes[..]).unwrap();
+        let mut m = monitor(2, 1, FaultPolicy::Strict);
+        source.run(&mut m).unwrap();
+        assert_eq!(source.stats().event_frames, 2);
+        assert_eq!(source.stats().rejected, 1);
+        assert_eq!(source.stats().end_frames, 1);
+        assert_eq!(source.stats().frames_total(), 4);
+    }
+
+    #[test]
+    fn truncated_stream_aborts_with_decode_error_counted() {
+        let events = [StreamEvent {
+            process: 0,
+            time: 1,
+            state: state!["p"],
+        }];
+        let bytes = capture_events(Vec::new(), &hello(2, 1, FaultPolicy::Strict), &events).unwrap();
+        // Drop the End frame and half the last event frame.
+        let cut = bytes.len() - 12;
+        let mut source = WireSource::new(&bytes[..cut]).unwrap();
+        let mut m = monitor(2, 1, FaultPolicy::Strict);
+        assert!(matches!(
+            source.run(&mut m),
+            Err(WireError::Truncated { .. })
+        ));
+        assert_eq!(source.stats().decode_errors, 1);
+    }
+
+    #[test]
+    fn telemetry_counters_are_pushed() {
+        let events = [StreamEvent {
+            process: 0,
+            time: 2,
+            state: state!["p"],
+        }];
+        let bytes = capture_events(Vec::new(), &hello(2, 1, FaultPolicy::Strict), &events).unwrap();
+        let mut source = WireSource::new(&bytes[..]).unwrap();
+        let mut m = monitor(2, 1, FaultPolicy::Strict);
+        source.run(&mut m).unwrap();
+        let mut snapshot = TelemetrySnapshot::default();
+        source.stats().push_telemetry(&mut snapshot);
+        assert_eq!(
+            snapshot.counter_total("rvmtl_wire_frames_total"),
+            source.stats().frames_total()
+        );
+        assert_eq!(snapshot.counter("rvmtl_wire_rejected_total"), Some(0));
+        assert_eq!(snapshot.counter("rvmtl_wire_decode_errors_total"), Some(0));
+    }
+}

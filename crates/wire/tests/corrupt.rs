@@ -1,0 +1,179 @@
+//! Corrupt-wire fuzz suite, mirroring the PR 7 checkpoint corruption tests:
+//! a pristine capture is truncated at every byte boundary and bit-flipped at
+//! every byte, and the decoder must answer each mutation with a typed
+//! [`WireError`] — never a panic, never an unbounded allocation. CI runs
+//! this in debug and release.
+
+use rvmtl_distrib::{FaultPolicy, StreamEvent};
+use rvmtl_monitor::{Integrity, VerdictSet};
+use rvmtl_mtl::{parse, state};
+use rvmtl_wire::{
+    Frame, FrameReader, FrameWriter, Hello, VerdictFrame, WireError, MAGIC, MAX_FRAME_LEN,
+    WIRE_VERSION,
+};
+
+/// A pristine capture exercising every frame kind and every body variant
+/// (degraded integrity, inconclusive verdicts with formulas, multi-prop
+/// states).
+fn pristine() -> Vec<u8> {
+    let mut writer = FrameWriter::new(Vec::new()).expect("header");
+    writer
+        .write_frame(&Frame::Hello(Hello {
+            epsilon: 3,
+            processes: 2,
+            fault_policy: FaultPolicy::Dedup,
+        }))
+        .expect("hello");
+    for (process, time, state) in [
+        (0usize, 1u64, state!["fischer[0].trying", "lock.free"]),
+        (1, 2, state!["fischer[1].crit"]),
+        (0, 7, state![]),
+    ] {
+        writer
+            .write_frame(&Frame::Event(StreamEvent {
+                process,
+                time,
+                state,
+            }))
+            .expect("event");
+    }
+    writer
+        .write_frame(&Frame::Heartbeat {
+            process: 1,
+            time: 9,
+        })
+        .expect("heartbeat");
+    writer
+        .write_frame(&Frame::Verdict(VerdictFrame {
+            query: 0,
+            segment: 10,
+            verdicts: VerdictSet::from_formulas([
+                &rvmtl_mtl::Formula::True,
+                &parse("F[0,5) crit -> G[0,9) !(a & b)").expect("spec"),
+            ]),
+            integrity: Integrity::from_counters(0, 2, 1, 0),
+        }))
+        .expect("verdict");
+    writer.finish().expect("end")
+}
+
+/// Fully drains one byte stream through the frame reader.
+fn decode_all(bytes: &[u8]) -> Result<Vec<Frame>, WireError> {
+    let mut reader = FrameReader::new(bytes)?;
+    let mut frames = Vec::new();
+    while let Some(frame) = reader.next_frame()? {
+        frames.push(frame);
+    }
+    Ok(frames)
+}
+
+#[test]
+fn pristine_capture_roundtrips() {
+    let bytes = pristine();
+    let frames = decode_all(&bytes).expect("pristine stream decodes");
+    assert_eq!(frames.len(), 7);
+    assert_eq!(frames.first().map(Frame::kind), Some("hello"));
+    assert_eq!(frames.last().map(Frame::kind), Some("end"));
+}
+
+/// Every proper prefix of the stream must fail with a typed error: the
+/// terminating `End` frame is part of the contract, so EOF anywhere before
+/// it is at best a truncation, never a silent success.
+#[test]
+fn truncation_at_every_byte_is_rejected() {
+    let bytes = pristine();
+    for cut in 0..bytes.len() {
+        match decode_all(&bytes[..cut]) {
+            Ok(frames) => panic!("truncation at {cut} decoded {} frames", frames.len()),
+            Err(
+                WireError::Truncated { .. }
+                | WireError::BadMagic
+                | WireError::UnsupportedVersion(_)
+                | WireError::ChecksumMismatch { .. }
+                | WireError::FrameTooLarge { .. }
+                | WireError::Malformed(_),
+            ) => {}
+            Err(other) => panic!("unexpected error at {cut}: {other:?}"),
+        }
+    }
+}
+
+/// Every single-bit corruption must be detected: the header fields are
+/// compared verbatim and every frame payload is covered by its CRC, so a
+/// flipped bit anywhere yields a typed error (and in no case a panic).
+#[test]
+fn bit_flips_at_every_byte_are_rejected() {
+    let bytes = pristine();
+    for index in 0..bytes.len() {
+        for mask in [0x01u8, 0x80u8] {
+            let mut mutated = bytes.clone();
+            mutated[index] ^= mask;
+            match decode_all(&mutated) {
+                Ok(frames) => panic!(
+                    "bit flip {mask:#04x} at byte {index} decoded {} frames",
+                    frames.len()
+                ),
+                Err(
+                    WireError::Truncated { .. }
+                    | WireError::BadMagic
+                    | WireError::UnsupportedVersion(_)
+                    | WireError::ChecksumMismatch { .. }
+                    | WireError::FrameTooLarge { .. }
+                    | WireError::Malformed(_),
+                ) => {}
+                Err(other) => panic!("unexpected error for flip at {index}: {other:?}"),
+            }
+        }
+    }
+}
+
+/// Flipping a length prefix towards a huge value must fail *before* the
+/// reader allocates the claimed buffer.
+#[test]
+fn hostile_length_prefix_fails_without_allocating() {
+    let bytes = pristine();
+    // The first frame's length word sits right after the 12-byte header.
+    let mut mutated = bytes.clone();
+    mutated[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    match decode_all(&mutated) {
+        Err(WireError::FrameTooLarge { len, max }) => {
+            assert_eq!(len, u32::MAX);
+            assert_eq!(max, MAX_FRAME_LEN);
+        }
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+}
+
+/// Garbage that merely *starts* like a stream is rejected at the right
+/// layer: wrong magic, wrong version, checkpoint magic.
+#[test]
+fn foreign_headers_are_rejected() {
+    assert!(matches!(
+        decode_all(b"RVMTLCKP\x02\x00\x00\x00"),
+        Err(WireError::BadMagic)
+    ));
+    let mut wrong_version = Vec::new();
+    wrong_version.extend_from_slice(MAGIC);
+    wrong_version.extend_from_slice(&(WIRE_VERSION + 1).to_le_bytes());
+    assert!(matches!(
+        decode_all(&wrong_version),
+        Err(WireError::UnsupportedVersion(v)) if v == WIRE_VERSION + 1
+    ));
+}
+
+/// Bytes appended after the `End` frame are unreachable by construction
+/// (the reader reports the stream finished), so a trailing-garbage attack
+/// cannot smuggle frames in.
+#[test]
+fn frames_after_end_are_not_decoded() {
+    let mut bytes = pristine();
+    let tail = pristine()[12..].to_vec(); // frames of a second stream, no header
+    bytes.extend_from_slice(&tail);
+    let mut reader = FrameReader::new(&bytes[..]).expect("header");
+    let mut count = 0;
+    while let Some(_frame) = reader.next_frame().expect("frames up to end") {
+        count += 1;
+    }
+    assert_eq!(count, 7, "reader must stop at the first End frame");
+    assert!(reader.is_finished());
+}

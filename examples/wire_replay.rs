@@ -1,0 +1,121 @@
+//! Capture the two-party-swap event stream to a `.rvw` wire file, then
+//! replay it through the framed transport path.
+//!
+//! The `streaming` example feeds the monitor through direct function calls;
+//! this one interposes the wire protocol (`docs/PROTOCOL.md`): the swap's
+//! merged event stream is serialized frame by frame into a capture file —
+//! `RVMTLWIR` header, `Hello` handshake, one CRC-protected `Event` frame per
+//! observation, `End` — and a [`WireSource`] drains that file back into a
+//! fresh [`StreamMonitor`], exactly as a monitor ingesting from a socket or
+//! a log tail would. The verdicts are byte-for-byte the ones direct
+//! ingestion reaches (the differential suite and the bench `--wire-smoke`
+//! gate pin this), and the wire layer's own frame counters ride along in
+//! the telemetry exposition.
+//!
+//! ```text
+//! cargo run --example wire_replay
+//! ```
+
+use rvmtl::chain::{specs, TwoPartyScenario, TwoPartySwap};
+use rvmtl::distrib::EventId;
+use rvmtl::runtime::{FaultPolicy, StreamConfig, StreamEvent, StreamMonitor};
+use rvmtl::wire::{capture_events, Hello, WireSource};
+use std::fs::File;
+use std::io::BufReader;
+
+const DELTA: u64 = 50;
+const EPSILON: u64 = 3;
+const SEGMENT_LENGTH: u64 = 70;
+
+fn main() {
+    // Execute the conforming swap and merge the two chains' logs into
+    // arrival order — the same stream the `streaming` example feeds live.
+    let exec = TwoPartySwap::new(DELTA).execute(&TwoPartyScenario::conforming());
+    let comp = exec.to_computation(EPSILON);
+    let mut order: Vec<EventId> = (0..comp.event_count()).map(EventId).collect();
+    order.sort_by_key(|&id| (comp.event(id).local_time, comp.event(id).process.0));
+    let events: Vec<StreamEvent> = order
+        .iter()
+        .map(|&id| {
+            let e = comp.event(id);
+            StreamEvent {
+                process: e.process.0,
+                time: e.local_time,
+                state: e.state.clone(),
+            }
+        })
+        .collect();
+
+    // Capture: header + Hello + one Event frame per observation + End.
+    let hello = Hello {
+        epsilon: EPSILON,
+        processes: comp.process_count(),
+        fault_policy: FaultPolicy::Strict,
+    };
+    let path = std::env::temp_dir().join("rvmtl_wire_replay_example.rvw");
+    let file = File::create(&path).expect("create capture file");
+    capture_events(file, &hello, &events).expect("write capture");
+    let wire_bytes = std::fs::metadata(&path).expect("stat capture").len();
+    println!(
+        "captured {} events to {} ({} wire bytes)\n",
+        events.len(),
+        path.display(),
+        wire_bytes
+    );
+
+    // Replay: drain the capture file into a fresh monitor through the
+    // framed transport path.
+    let mut monitor = StreamMonitor::new(
+        comp.process_count(),
+        EPSILON,
+        StreamConfig::new(SEGMENT_LENGTH).with_telemetry(),
+    );
+    let queries = [
+        ("liveness", specs::two_party::liveness(DELTA)),
+        ("alice conforms", specs::two_party::alice_conform(DELTA)),
+        ("bob conforms", specs::two_party::bob_conform(DELTA)),
+    ];
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|(name, phi)| (*name, monitor.add_query(phi)))
+        .collect();
+
+    let reader = BufReader::new(File::open(&path).expect("open capture file"));
+    let mut source = WireSource::new(reader).expect("wire header");
+    source.run(&mut monitor).expect("replay capture");
+    let stats = *source.stats();
+    println!(
+        "replayed {} frames ({} events, {} rejected, {} decode errors)\n",
+        stats.frames_total(),
+        stats.event_frames,
+        stats.rejected,
+        stats.decode_errors
+    );
+
+    let report = monitor.finish();
+    println!("per-query verdicts after replay:");
+    for (name, q) in &handles {
+        println!(
+            "  {name:<15} [{}] {}",
+            report.integrity[q.index()],
+            report.verdicts[q.index()]
+        );
+    }
+    println!(
+        "\n{} segments, {} solver states, {} GC epochs",
+        report.segments, report.stats.explored_states, report.gc_runs
+    );
+    println!("health: {}", report.health);
+
+    // The wire counters join the runtime's telemetry surface.
+    let mut telemetry = report.telemetry.clone();
+    stats.push_telemetry(&mut telemetry);
+    println!("\n# telemetry exposition (wire counters included)");
+    for line in telemetry.to_prometheus().lines() {
+        if line.starts_with("rvmtl_wire_") {
+            println!("{line}");
+        }
+    }
+
+    let _ = std::fs::remove_file(&path);
+}

@@ -18,6 +18,12 @@
 //! | [`runtime`] | `rvmtl-runtime` | streaming runtime: live streams, pipelined segments, GC |
 //! | [`chain`] | `rvmtl-chain` | mock blockchains and the cross-chain protocols |
 //! | [`ta`] | `rvmtl-ta` | timed-automata models and synthetic traces |
+//! | [`obs`] | `rvmtl-obs` | telemetry: metrics registry, flight recorder, exposition |
+//! | [`wire`] | `rvmtl-wire` | versioned wire frame codec + transport ingestion |
+//!
+//! The wire layer is demonstrated end to end by `examples/wire_replay.rs`
+//! (capture a stream to a `.rvw` file, replay it through [`wire::WireSource`])
+//! and specified normatively in `docs/PROTOCOL.md`.
 //!
 //! # Quickstart
 //!
@@ -83,6 +89,19 @@ pub mod chain {
 /// `rvmtl-ta`).
 pub mod ta {
     pub use rvmtl_ta::*;
+}
+
+/// Telemetry: metrics registry, flight recorder, Prometheus-text exposition
+/// (re-export of `rvmtl-obs`).
+pub mod obs {
+    pub use rvmtl_obs::*;
+}
+
+/// The streaming plane's versioned wire frame codec and transport ingestion
+/// (re-export of `rvmtl-wire`; the format is specified in
+/// `docs/PROTOCOL.md`).
+pub mod wire {
+    pub use rvmtl_wire::*;
 }
 
 pub use rvmtl_monitor::{Monitor, MonitorConfig, Verdict, VerdictSet};
